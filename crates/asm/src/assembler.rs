@@ -1,0 +1,316 @@
+//! A two-pass EVM assembler with label fixups.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use proxion_primitives::U256;
+
+use crate::opcode;
+
+/// An opaque jump-target label handle issued by [`Assembler::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error produced by [`Assembler::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A label was referenced but never bound with [`Assembler::label`].
+    UnboundLabel(Label),
+    /// A label was bound more than once.
+    DuplicateLabel(Label),
+    /// A label offset exceeded two bytes (code larger than 65535 bytes).
+    OffsetOverflow(Label),
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            AssembleError::DuplicateLabel(l) => write!(f, "label {l:?} bound twice"),
+            AssembleError::OffsetOverflow(l) => {
+                write!(f, "label {l:?} offset does not fit in a PUSH2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// A raw opcode byte (no immediate).
+    Op(u8),
+    /// A `PUSHn` with explicit immediate bytes (n = len).
+    PushBytes(Vec<u8>),
+    /// A `PUSH2` whose immediate is the byte offset of a label.
+    PushLabel(Label),
+    /// A `JUMPDEST` that binds a label to the current offset.
+    Bind(Label),
+    /// Raw bytes spliced verbatim (e.g. embedded data or pre-built code).
+    Raw(Vec<u8>),
+}
+
+impl Item {
+    fn encoded_len(&self) -> usize {
+        match self {
+            Item::Op(_) => 1,
+            Item::PushBytes(bytes) => 1 + bytes.len(),
+            Item::PushLabel(_) => 3, // PUSH2 + two bytes
+            Item::Bind(_) => 1,      // JUMPDEST
+            Item::Raw(bytes) => bytes.len(),
+        }
+    }
+}
+
+/// A two-pass EVM assembler.
+///
+/// Instructions are appended through the builder methods; labels may be
+/// referenced before they are bound. [`Assembler::assemble`] lays out the
+/// code, resolves label offsets into `PUSH2` immediates, and emits a
+/// `JUMPDEST` at every bound label.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_asm::{opcode as op, Assembler};
+///
+/// let mut asm = Assembler::new();
+/// let done = asm.new_label();
+/// asm.op(op::CALLVALUE)      // revert if value sent
+///     .op(op::ISZERO)
+///     .push_label(done)
+///     .op(op::JUMPI)
+///     .op(op::PUSH0)
+///     .op(op::PUSH0)
+///     .op(op::REVERT)
+///     .label(done)
+///     .op(op::STOP);
+/// let code = asm.assemble()?;
+/// assert_eq!(*code.last().unwrap(), op::STOP);
+/// # Ok::<(), proxion_asm::AssembleError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    next_label: usize,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issues a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let label = Label(self.next_label);
+        self.next_label += 1;
+        label
+    }
+
+    /// Appends a bare opcode.
+    pub fn op(&mut self, op: u8) -> &mut Self {
+        self.items.push(Item::Op(op));
+        self
+    }
+
+    /// Appends a `PUSHn` with the minimal width that represents `value`
+    /// (`PUSH0` for zero).
+    pub fn push(&mut self, value: U256) -> &mut Self {
+        let bytes = value.to_be_bytes();
+        let first = bytes.iter().position(|&b| b != 0).unwrap_or(32);
+        self.push_bytes(&bytes[first..])
+    }
+
+    /// Appends a `PUSHn` whose immediate is exactly `bytes` (so a four-byte
+    /// slice yields `PUSH4`, preserving selector-width encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than 32 bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        assert!(bytes.len() <= 32, "PUSH immediate longer than 32 bytes");
+        if bytes.is_empty() {
+            self.items.push(Item::Op(opcode::PUSH0));
+        } else {
+            self.items.push(Item::PushBytes(bytes.to_vec()));
+        }
+        self
+    }
+
+    /// Appends a `PUSH2` whose immediate will be the label's byte offset.
+    pub fn push_label(&mut self, label: Label) -> &mut Self {
+        self.items.push(Item::PushLabel(label));
+        self
+    }
+
+    /// Binds `label` here and emits a `JUMPDEST`.
+    pub fn label(&mut self, label: Label) -> &mut Self {
+        self.items.push(Item::Bind(label));
+        self
+    }
+
+    /// Splices raw bytes verbatim into the output.
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.items.push(Item::Raw(bytes.to_vec()));
+        self
+    }
+
+    /// Convenience: `PUSH label; JUMP`.
+    pub fn jump_to(&mut self, label: Label) -> &mut Self {
+        self.push_label(label).op(opcode::JUMP)
+    }
+
+    /// Convenience: `PUSH label; JUMPI` (consumes the condition already on
+    /// the stack).
+    pub fn jumpi_to(&mut self, label: Label) -> &mut Self {
+        self.push_label(label).op(opcode::JUMPI)
+    }
+
+    /// Current encoded size in bytes of everything appended so far.
+    pub fn len(&self) -> usize {
+        self.items.iter().map(Item::encoded_len).sum()
+    }
+
+    /// Returns `true` if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Lays out the code and resolves labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a referenced label was never bound, a label was
+    /// bound twice, or an offset does not fit in a `PUSH2` immediate.
+    pub fn assemble(&self) -> Result<Vec<u8>, AssembleError> {
+        // Pass 1: compute label offsets.
+        let mut offsets: HashMap<Label, usize> = HashMap::new();
+        let mut pc = 0usize;
+        for item in &self.items {
+            if let Item::Bind(label) = item {
+                if offsets.insert(*label, pc).is_some() {
+                    return Err(AssembleError::DuplicateLabel(*label));
+                }
+            }
+            pc += item.encoded_len();
+        }
+        // Pass 2: emit.
+        let mut out = Vec::with_capacity(pc);
+        for item in &self.items {
+            match item {
+                Item::Op(op) => out.push(*op),
+                Item::PushBytes(bytes) => {
+                    out.push(opcode::push_op(bytes.len()));
+                    out.extend_from_slice(bytes);
+                }
+                Item::PushLabel(label) => {
+                    let offset = *offsets
+                        .get(label)
+                        .ok_or(AssembleError::UnboundLabel(*label))?;
+                    let offset =
+                        u16::try_from(offset).map_err(|_| AssembleError::OffsetOverflow(*label))?;
+                    out.push(opcode::PUSH2);
+                    out.extend_from_slice(&offset.to_be_bytes());
+                }
+                Item::Bind(_) => out.push(opcode::JUMPDEST),
+                Item::Raw(bytes) => out.extend_from_slice(bytes),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode as op;
+
+    #[test]
+    fn minimal_width_push() {
+        let mut asm = Assembler::new();
+        asm.push(U256::ZERO)
+            .push(U256::from(0xffu64))
+            .push(U256::from(0x1234u64));
+        let code = asm.assemble().unwrap();
+        assert_eq!(
+            code,
+            vec![op::PUSH0, op::PUSH1, 0xff, op::PUSH2, 0x12, 0x34]
+        );
+    }
+
+    #[test]
+    fn push_bytes_preserves_width() {
+        let mut asm = Assembler::new();
+        asm.push_bytes(&[0x00, 0x00, 0x12, 0x34]);
+        let code = asm.assemble().unwrap();
+        assert_eq!(code, vec![op::PUSH4, 0x00, 0x00, 0x12, 0x34]);
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        let fwd = asm.new_label();
+        let back = asm.new_label();
+        asm.label(back);
+        asm.jump_to(fwd); // forward reference
+        asm.label(fwd);
+        asm.jump_to(back); // backward reference
+        let code = asm.assemble().unwrap();
+        // Layout: JUMPDEST(0) PUSH2 0004(1..3) JUMP(4)... wait, JUMP at 4
+        // means fwd JUMPDEST is at 5.
+        assert_eq!(code[0], op::JUMPDEST);
+        assert_eq!(&code[1..4], &[op::PUSH2, 0x00, 0x05]);
+        assert_eq!(code[4], op::JUMP);
+        assert_eq!(code[5], op::JUMPDEST);
+        assert_eq!(&code[6..9], &[op::PUSH2, 0x00, 0x00]);
+        assert_eq!(code[9], op::JUMP);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.push_label(l);
+        assert_eq!(asm.assemble(), Err(AssembleError::UnboundLabel(l)));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.label(l).label(l);
+        assert_eq!(asm.assemble(), Err(AssembleError::DuplicateLabel(l)));
+    }
+
+    #[test]
+    fn offset_overflow_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.raw(&vec![op::JUMPDEST; 70_000]);
+        asm.label(l);
+        asm.push_label(l);
+        assert_eq!(asm.assemble(), Err(AssembleError::OffsetOverflow(l)));
+    }
+
+    #[test]
+    fn raw_bytes_are_spliced_verbatim() {
+        let mut asm = Assembler::new();
+        asm.raw(&[0xde, 0xad]).op(op::STOP);
+        assert_eq!(asm.assemble().unwrap(), vec![0xde, 0xad, op::STOP]);
+        assert_eq!(asm.len(), 3);
+        assert!(!asm.is_empty());
+        assert!(Assembler::new().is_empty());
+    }
+
+    #[test]
+    fn len_matches_assembled_length() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.push(U256::from(300u64))
+            .jumpi_to(l)
+            .label(l)
+            .op(op::STOP);
+        assert_eq!(asm.len(), asm.assemble().unwrap().len());
+    }
+}

@@ -1,0 +1,32 @@
+//! EVM assembler used to synthesize contract bytecode.
+//!
+//! Two pieces live here: the canonical opcode table ([`opcode`]) shared by
+//! the disassembler and the interpreter, and a small two-pass assembler
+//! ([`Assembler`]) with label fixups that the Solidity-lite compiler builds
+//! on.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_asm::{opcode as op, Assembler};
+//! use proxion_primitives::U256;
+//!
+//! // PUSH1 2, PUSH1 3, ADD, PUSH0, MSTORE, PUSH1 32, PUSH0, RETURN
+//! let mut asm = Assembler::new();
+//! asm.push(U256::from(2u64))
+//!     .push(U256::from(3u64))
+//!     .op(op::ADD)
+//!     .op(op::PUSH0)
+//!     .op(op::MSTORE)
+//!     .push(U256::from(32u64))
+//!     .op(op::PUSH0)
+//!     .op(op::RETURN);
+//! let code = asm.assemble()?;
+//! assert_eq!(code[0], 0x60); // PUSH1
+//! # Ok::<(), proxion_asm::AssembleError>(())
+//! ```
+
+mod assembler;
+pub mod opcode;
+
+pub use assembler::{AssembleError, Assembler, Label};

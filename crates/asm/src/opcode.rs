@@ -1,0 +1,308 @@
+//! The canonical EVM opcode table (Shanghai-era instruction set).
+//!
+//! Both the disassembler and the interpreter consume this table, so the
+//! instruction set is defined exactly once in the workspace.
+
+/// Static metadata for one opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpInfo {
+    /// Mnemonic, e.g. `"DELEGATECALL"`.
+    pub name: &'static str,
+    /// Number of stack operands popped.
+    pub inputs: u8,
+    /// Number of stack results pushed.
+    pub outputs: u8,
+    /// Base gas cost (dynamic components are computed by the interpreter).
+    pub gas: u16,
+    /// Number of immediate bytes following the opcode (non-zero only for
+    /// `PUSH1`..`PUSH32`).
+    pub immediate: u8,
+}
+
+macro_rules! opcodes {
+    ($(($code:expr, $konst:ident, $name:expr, $in:expr, $out:expr, $gas:expr, $imm:expr);)*) => {
+        $(
+            #[doc = concat!("The `", $name, "` opcode (`", stringify!($code), "`).")]
+            pub const $konst: u8 = $code;
+        )*
+
+        /// Looks up the metadata for an opcode byte; `None` for undefined
+        /// (invalid) opcodes.
+        pub const fn info(op: u8) -> Option<OpInfo> {
+            match op {
+                $($code => Some(OpInfo {
+                    name: $name,
+                    inputs: $in,
+                    outputs: $out,
+                    gas: $gas,
+                    immediate: $imm,
+                }),)*
+                _ => None,
+            }
+        }
+    };
+}
+
+opcodes! {
+    (0x00, STOP, "STOP", 0, 0, 0, 0);
+    (0x01, ADD, "ADD", 2, 1, 3, 0);
+    (0x02, MUL, "MUL", 2, 1, 5, 0);
+    (0x03, SUB, "SUB", 2, 1, 3, 0);
+    (0x04, DIV, "DIV", 2, 1, 5, 0);
+    (0x05, SDIV, "SDIV", 2, 1, 5, 0);
+    (0x06, MOD, "MOD", 2, 1, 5, 0);
+    (0x07, SMOD, "SMOD", 2, 1, 5, 0);
+    (0x08, ADDMOD, "ADDMOD", 3, 1, 8, 0);
+    (0x09, MULMOD, "MULMOD", 3, 1, 8, 0);
+    (0x0a, EXP, "EXP", 2, 1, 10, 0);
+    (0x0b, SIGNEXTEND, "SIGNEXTEND", 2, 1, 5, 0);
+    (0x10, LT, "LT", 2, 1, 3, 0);
+    (0x11, GT, "GT", 2, 1, 3, 0);
+    (0x12, SLT, "SLT", 2, 1, 3, 0);
+    (0x13, SGT, "SGT", 2, 1, 3, 0);
+    (0x14, EQ, "EQ", 2, 1, 3, 0);
+    (0x15, ISZERO, "ISZERO", 1, 1, 3, 0);
+    (0x16, AND, "AND", 2, 1, 3, 0);
+    (0x17, OR, "OR", 2, 1, 3, 0);
+    (0x18, XOR, "XOR", 2, 1, 3, 0);
+    (0x19, NOT, "NOT", 1, 1, 3, 0);
+    (0x1a, BYTE, "BYTE", 2, 1, 3, 0);
+    (0x1b, SHL, "SHL", 2, 1, 3, 0);
+    (0x1c, SHR, "SHR", 2, 1, 3, 0);
+    (0x1d, SAR, "SAR", 2, 1, 3, 0);
+    (0x20, KECCAK256, "KECCAK256", 2, 1, 30, 0);
+    (0x30, ADDRESS, "ADDRESS", 0, 1, 2, 0);
+    (0x31, BALANCE, "BALANCE", 1, 1, 100, 0);
+    (0x32, ORIGIN, "ORIGIN", 0, 1, 2, 0);
+    (0x33, CALLER, "CALLER", 0, 1, 2, 0);
+    (0x34, CALLVALUE, "CALLVALUE", 0, 1, 2, 0);
+    (0x35, CALLDATALOAD, "CALLDATALOAD", 1, 1, 3, 0);
+    (0x36, CALLDATASIZE, "CALLDATASIZE", 0, 1, 2, 0);
+    (0x37, CALLDATACOPY, "CALLDATACOPY", 3, 0, 3, 0);
+    (0x38, CODESIZE, "CODESIZE", 0, 1, 2, 0);
+    (0x39, CODECOPY, "CODECOPY", 3, 0, 3, 0);
+    (0x3a, GASPRICE, "GASPRICE", 0, 1, 2, 0);
+    (0x3b, EXTCODESIZE, "EXTCODESIZE", 1, 1, 100, 0);
+    (0x3c, EXTCODECOPY, "EXTCODECOPY", 4, 0, 100, 0);
+    (0x3d, RETURNDATASIZE, "RETURNDATASIZE", 0, 1, 2, 0);
+    (0x3e, RETURNDATACOPY, "RETURNDATACOPY", 3, 0, 3, 0);
+    (0x3f, EXTCODEHASH, "EXTCODEHASH", 1, 1, 100, 0);
+    (0x40, BLOCKHASH, "BLOCKHASH", 1, 1, 20, 0);
+    (0x41, COINBASE, "COINBASE", 0, 1, 2, 0);
+    (0x42, TIMESTAMP, "TIMESTAMP", 0, 1, 2, 0);
+    (0x43, NUMBER, "NUMBER", 0, 1, 2, 0);
+    (0x44, DIFFICULTY, "PREVRANDAO", 0, 1, 2, 0);
+    (0x45, GASLIMIT, "GASLIMIT", 0, 1, 2, 0);
+    (0x46, CHAINID, "CHAINID", 0, 1, 2, 0);
+    (0x47, SELFBALANCE, "SELFBALANCE", 0, 1, 5, 0);
+    (0x48, BASEFEE, "BASEFEE", 0, 1, 2, 0);
+    (0x50, POP, "POP", 1, 0, 2, 0);
+    (0x51, MLOAD, "MLOAD", 1, 1, 3, 0);
+    (0x52, MSTORE, "MSTORE", 2, 0, 3, 0);
+    (0x53, MSTORE8, "MSTORE8", 2, 0, 3, 0);
+    (0x54, SLOAD, "SLOAD", 1, 1, 100, 0);
+    (0x55, SSTORE, "SSTORE", 2, 0, 100, 0);
+    (0x56, JUMP, "JUMP", 1, 0, 8, 0);
+    (0x57, JUMPI, "JUMPI", 2, 0, 10, 0);
+    (0x58, PC, "PC", 0, 1, 2, 0);
+    (0x59, MSIZE, "MSIZE", 0, 1, 2, 0);
+    (0x5a, GAS, "GAS", 0, 1, 2, 0);
+    (0x5b, JUMPDEST, "JUMPDEST", 0, 0, 1, 0);
+    (0x5c, TLOAD, "TLOAD", 1, 1, 100, 0);
+    (0x5d, TSTORE, "TSTORE", 2, 0, 100, 0);
+    (0x5e, MCOPY, "MCOPY", 3, 0, 3, 0);
+    (0x5f, PUSH0, "PUSH0", 0, 1, 2, 0);
+    (0x60, PUSH1, "PUSH1", 0, 1, 3, 1);
+    (0x61, PUSH2, "PUSH2", 0, 1, 3, 2);
+    (0x62, PUSH3, "PUSH3", 0, 1, 3, 3);
+    (0x63, PUSH4, "PUSH4", 0, 1, 3, 4);
+    (0x64, PUSH5, "PUSH5", 0, 1, 3, 5);
+    (0x65, PUSH6, "PUSH6", 0, 1, 3, 6);
+    (0x66, PUSH7, "PUSH7", 0, 1, 3, 7);
+    (0x67, PUSH8, "PUSH8", 0, 1, 3, 8);
+    (0x68, PUSH9, "PUSH9", 0, 1, 3, 9);
+    (0x69, PUSH10, "PUSH10", 0, 1, 3, 10);
+    (0x6a, PUSH11, "PUSH11", 0, 1, 3, 11);
+    (0x6b, PUSH12, "PUSH12", 0, 1, 3, 12);
+    (0x6c, PUSH13, "PUSH13", 0, 1, 3, 13);
+    (0x6d, PUSH14, "PUSH14", 0, 1, 3, 14);
+    (0x6e, PUSH15, "PUSH15", 0, 1, 3, 15);
+    (0x6f, PUSH16, "PUSH16", 0, 1, 3, 16);
+    (0x70, PUSH17, "PUSH17", 0, 1, 3, 17);
+    (0x71, PUSH18, "PUSH18", 0, 1, 3, 18);
+    (0x72, PUSH19, "PUSH19", 0, 1, 3, 19);
+    (0x73, PUSH20, "PUSH20", 0, 1, 3, 20);
+    (0x74, PUSH21, "PUSH21", 0, 1, 3, 21);
+    (0x75, PUSH22, "PUSH22", 0, 1, 3, 22);
+    (0x76, PUSH23, "PUSH23", 0, 1, 3, 23);
+    (0x77, PUSH24, "PUSH24", 0, 1, 3, 24);
+    (0x78, PUSH25, "PUSH25", 0, 1, 3, 25);
+    (0x79, PUSH26, "PUSH26", 0, 1, 3, 26);
+    (0x7a, PUSH27, "PUSH27", 0, 1, 3, 27);
+    (0x7b, PUSH28, "PUSH28", 0, 1, 3, 28);
+    (0x7c, PUSH29, "PUSH29", 0, 1, 3, 29);
+    (0x7d, PUSH30, "PUSH30", 0, 1, 3, 30);
+    (0x7e, PUSH31, "PUSH31", 0, 1, 3, 31);
+    (0x7f, PUSH32, "PUSH32", 0, 1, 3, 32);
+    (0x80, DUP1, "DUP1", 1, 2, 3, 0);
+    (0x81, DUP2, "DUP2", 2, 3, 3, 0);
+    (0x82, DUP3, "DUP3", 3, 4, 3, 0);
+    (0x83, DUP4, "DUP4", 4, 5, 3, 0);
+    (0x84, DUP5, "DUP5", 5, 6, 3, 0);
+    (0x85, DUP6, "DUP6", 6, 7, 3, 0);
+    (0x86, DUP7, "DUP7", 7, 8, 3, 0);
+    (0x87, DUP8, "DUP8", 8, 9, 3, 0);
+    (0x88, DUP9, "DUP9", 9, 10, 3, 0);
+    (0x89, DUP10, "DUP10", 10, 11, 3, 0);
+    (0x8a, DUP11, "DUP11", 11, 12, 3, 0);
+    (0x8b, DUP12, "DUP12", 12, 13, 3, 0);
+    (0x8c, DUP13, "DUP13", 13, 14, 3, 0);
+    (0x8d, DUP14, "DUP14", 14, 15, 3, 0);
+    (0x8e, DUP15, "DUP15", 15, 16, 3, 0);
+    (0x8f, DUP16, "DUP16", 16, 17, 3, 0);
+    (0x90, SWAP1, "SWAP1", 2, 2, 3, 0);
+    (0x91, SWAP2, "SWAP2", 3, 3, 3, 0);
+    (0x92, SWAP3, "SWAP3", 4, 4, 3, 0);
+    (0x93, SWAP4, "SWAP4", 5, 5, 3, 0);
+    (0x94, SWAP5, "SWAP5", 6, 6, 3, 0);
+    (0x95, SWAP6, "SWAP6", 7, 7, 3, 0);
+    (0x96, SWAP7, "SWAP7", 8, 8, 3, 0);
+    (0x97, SWAP8, "SWAP8", 9, 9, 3, 0);
+    (0x98, SWAP9, "SWAP9", 10, 10, 3, 0);
+    (0x99, SWAP10, "SWAP10", 11, 11, 3, 0);
+    (0x9a, SWAP11, "SWAP11", 12, 12, 3, 0);
+    (0x9b, SWAP12, "SWAP12", 13, 13, 3, 0);
+    (0x9c, SWAP13, "SWAP13", 14, 14, 3, 0);
+    (0x9d, SWAP14, "SWAP14", 15, 15, 3, 0);
+    (0x9e, SWAP15, "SWAP15", 16, 16, 3, 0);
+    (0x9f, SWAP16, "SWAP16", 17, 17, 3, 0);
+    (0xa0, LOG0, "LOG0", 2, 0, 375, 0);
+    (0xa1, LOG1, "LOG1", 3, 0, 750, 0);
+    (0xa2, LOG2, "LOG2", 4, 0, 1125, 0);
+    (0xa3, LOG3, "LOG3", 5, 0, 1500, 0);
+    (0xa4, LOG4, "LOG4", 6, 0, 1875, 0);
+    (0xf0, CREATE, "CREATE", 3, 1, 32000, 0);
+    (0xf1, CALL, "CALL", 7, 1, 100, 0);
+    (0xf2, CALLCODE, "CALLCODE", 7, 1, 100, 0);
+    (0xf3, RETURN, "RETURN", 2, 0, 0, 0);
+    (0xf4, DELEGATECALL, "DELEGATECALL", 6, 1, 100, 0);
+    (0xf5, CREATE2, "CREATE2", 4, 1, 32000, 0);
+    (0xfa, STATICCALL, "STATICCALL", 6, 1, 100, 0);
+    (0xfd, REVERT, "REVERT", 2, 0, 0, 0);
+    (0xfe, INVALID, "INVALID", 0, 0, 0, 0);
+    (0xff, SELFDESTRUCT, "SELFDESTRUCT", 1, 0, 5000, 0);
+}
+
+/// Returns `true` for `PUSH0`..`PUSH32`.
+pub const fn is_push(op: u8) -> bool {
+    op == PUSH0 || (op >= PUSH1 && op <= PUSH32)
+}
+
+/// Number of immediate bytes following `op` (0 for non-push opcodes and
+/// `PUSH0`).
+pub const fn immediate_len(op: u8) -> usize {
+    if op >= PUSH1 && op <= PUSH32 {
+        (op - PUSH1 + 1) as usize
+    } else {
+        0
+    }
+}
+
+/// Returns `true` if the opcode unconditionally ends a basic block
+/// (`STOP`, `JUMP`, `RETURN`, `REVERT`, `INVALID`, `SELFDESTRUCT`).
+pub const fn is_terminator(op: u8) -> bool {
+    matches!(op, STOP | JUMP | RETURN | REVERT | INVALID | SELFDESTRUCT)
+}
+
+/// The `PUSHn` opcode that encodes exactly `n` immediate bytes.
+///
+/// # Panics
+///
+/// Panics if `n > 32`.
+pub const fn push_op(n: usize) -> u8 {
+    assert!(n <= 32);
+    if n == 0 {
+        PUSH0
+    } else {
+        PUSH1 + (n as u8) - 1
+    }
+}
+
+/// The `DUPn` opcode duplicating the n-th stack item (1-based).
+///
+/// # Panics
+///
+/// Panics if `n` is not in `1..=16`.
+pub const fn dup_op(n: usize) -> u8 {
+    assert!(n >= 1 && n <= 16);
+    DUP1 + (n as u8) - 1
+}
+
+/// The `SWAPn` opcode swapping the top with the (n+1)-th item (1-based).
+///
+/// # Panics
+///
+/// Panics if `n` is not in `1..=16`.
+pub const fn swap_op(n: usize) -> u8 {
+    assert!(n >= 1 && n <= 16);
+    SWAP1 + (n as u8) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_known_opcodes() {
+        assert_eq!(info(DELEGATECALL).unwrap().name, "DELEGATECALL");
+        assert_eq!(info(DELEGATECALL).unwrap().inputs, 6);
+        assert_eq!(info(CALL).unwrap().inputs, 7);
+        assert_eq!(info(PUSH4).unwrap().immediate, 4);
+        assert_eq!(info(PUSH32).unwrap().immediate, 32);
+        assert!(info(0x0c).is_none());
+        assert!(info(0x21).is_none());
+        assert!(info(0xef).is_none());
+    }
+
+    #[test]
+    fn push_helpers() {
+        assert!(is_push(PUSH0));
+        assert!(is_push(PUSH1));
+        assert!(is_push(PUSH32));
+        assert!(!is_push(DUP1));
+        assert_eq!(immediate_len(PUSH0), 0);
+        assert_eq!(immediate_len(PUSH7), 7);
+        assert_eq!(push_op(0), PUSH0);
+        assert_eq!(push_op(4), PUSH4);
+        assert_eq!(push_op(32), PUSH32);
+    }
+
+    #[test]
+    fn dup_swap_helpers() {
+        assert_eq!(dup_op(1), DUP1);
+        assert_eq!(dup_op(16), DUP16);
+        assert_eq!(swap_op(1), SWAP1);
+        assert_eq!(swap_op(16), SWAP16);
+    }
+
+    #[test]
+    fn terminators() {
+        for op in [STOP, JUMP, RETURN, REVERT, INVALID, SELFDESTRUCT] {
+            assert!(is_terminator(op));
+        }
+        for op in [JUMPI, ADD, DELEGATECALL] {
+            assert!(!is_terminator(op));
+        }
+    }
+
+    #[test]
+    fn stack_effects_are_consistent() {
+        // DUPn pops n and pushes n+1; SWAPn pops and pushes n+1.
+        for n in 1..=16u8 {
+            let d = info(DUP1 + n - 1).unwrap();
+            assert_eq!((d.inputs, d.outputs), (n, n + 1));
+            let s = info(SWAP1 + n - 1).unwrap();
+            assert_eq!((s.inputs, s.outputs), (n + 1, n + 1));
+        }
+    }
+}

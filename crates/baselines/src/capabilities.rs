@@ -1,0 +1,159 @@
+//! The capability matrix of paper Table 1.
+
+/// Tool identifiers, in the paper's row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToolId {
+    /// The Etherscan proxy-verification heuristic.
+    Etherscan,
+    /// Slither's proxy detector.
+    Slither,
+    /// Salehi et al.'s upgradeability study.
+    Salehi,
+    /// USCHunt.
+    Uschunt,
+    /// CRUSH.
+    Crush,
+    /// Proxion (this work).
+    Proxion,
+}
+
+impl ToolId {
+    /// Human-readable tool name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ToolId::Etherscan => "EtherScan",
+            ToolId::Slither => "Slither",
+            ToolId::Salehi => "Salehi et al.",
+            ToolId::Uschunt => "USCHunt",
+            ToolId::Crush => "CRUSH",
+            ToolId::Proxion => "Proxion",
+        }
+    }
+}
+
+/// What a tool can analyze (the columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The tool.
+    pub tool: ToolId,
+    /// Covers contracts with source code and transactions.
+    pub source_with_tx: bool,
+    /// Covers contracts with source code but no transactions.
+    pub source_without_tx: bool,
+    /// Covers bytecode-only contracts with transactions.
+    pub nosource_with_tx: bool,
+    /// Covers bytecode-only contracts without transactions (hidden).
+    pub nosource_without_tx: bool,
+    /// Detects function collisions on source contracts.
+    pub function_with_source: bool,
+    /// Detects function collisions on bytecode-only contracts.
+    pub function_without_source: bool,
+    /// Detects storage collisions on source contracts.
+    pub storage_with_source: bool,
+    /// Detects storage collisions on bytecode-only contracts.
+    pub storage_without_source: bool,
+}
+
+/// The full matrix, row for row as printed in Table 1.
+pub const CAPABILITY_MATRIX: [Capabilities; 6] = [
+    Capabilities {
+        tool: ToolId::Etherscan,
+        source_with_tx: true,
+        source_without_tx: true,
+        nosource_with_tx: false,
+        nosource_without_tx: false,
+        function_with_source: false,
+        function_without_source: false,
+        storage_with_source: false,
+        storage_without_source: false,
+    },
+    Capabilities {
+        tool: ToolId::Slither,
+        source_with_tx: true,
+        source_without_tx: true,
+        nosource_with_tx: false,
+        nosource_without_tx: false,
+        function_with_source: true,
+        function_without_source: false,
+        storage_with_source: true,
+        storage_without_source: false,
+    },
+    Capabilities {
+        tool: ToolId::Salehi,
+        source_with_tx: true,
+        source_without_tx: false,
+        nosource_with_tx: true,
+        nosource_without_tx: false,
+        function_with_source: false,
+        function_without_source: false,
+        storage_with_source: false,
+        storage_without_source: false,
+    },
+    Capabilities {
+        tool: ToolId::Uschunt,
+        source_with_tx: true,
+        source_without_tx: true,
+        nosource_with_tx: false,
+        nosource_without_tx: false,
+        function_with_source: true,
+        function_without_source: false,
+        storage_with_source: true,
+        storage_without_source: false,
+    },
+    Capabilities {
+        tool: ToolId::Crush,
+        source_with_tx: true,
+        source_without_tx: false,
+        nosource_with_tx: true,
+        nosource_without_tx: false,
+        function_with_source: false,
+        function_without_source: false,
+        storage_with_source: true,
+        storage_without_source: true,
+    },
+    Capabilities {
+        tool: ToolId::Proxion,
+        source_with_tx: true,
+        source_without_tx: true,
+        nosource_with_tx: true,
+        nosource_without_tx: true,
+        function_with_source: true,
+        function_without_source: true,
+        storage_with_source: true,
+        storage_without_source: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxion_row_is_fully_capable() {
+        let proxion = CAPABILITY_MATRIX
+            .iter()
+            .find(|c| c.tool == ToolId::Proxion)
+            .unwrap();
+        assert!(proxion.nosource_without_tx, "hidden-contract coverage");
+        assert!(proxion.function_without_source);
+        assert!(proxion.storage_without_source);
+    }
+
+    #[test]
+    fn only_proxion_covers_hidden_contracts() {
+        let covering: Vec<ToolId> = CAPABILITY_MATRIX
+            .iter()
+            .filter(|c| c.nosource_without_tx)
+            .map(|c| c.tool)
+            .collect();
+        assert_eq!(covering, vec![ToolId::Proxion]);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = CAPABILITY_MATRIX.iter().map(|c| c.tool.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

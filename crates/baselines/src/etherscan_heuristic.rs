@@ -1,0 +1,65 @@
+//! The Etherscan proxy-verification heuristic.
+
+use proxion_asm::opcode;
+use proxion_chain::Chain;
+use proxion_disasm::Disassembly;
+use proxion_primitives::Address;
+
+/// Etherscan's integrated proxy check: a contract is flagged as a proxy
+/// iff its bytecode contains the `DELEGATECALL` opcode. Etherscan
+/// documents that this over-approximates (library users are flagged too);
+/// Proxion's §4.1 uses the same check *only* as a first-stage gate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EtherscanHeuristic;
+
+impl EtherscanHeuristic {
+    /// Creates the heuristic.
+    pub fn new() -> Self {
+        EtherscanHeuristic
+    }
+
+    /// Returns `true` if the contract would be flagged as a proxy.
+    pub fn detect_proxy(&self, chain: &Chain, address: Address) -> bool {
+        let code = chain.code_at(address);
+        if code.is_empty() {
+            return false;
+        }
+        Disassembly::new(&code).contains(opcode::DELEGATECALL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_solc::{compile, templates};
+
+    #[test]
+    fn flags_proxies_and_library_users_alike() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let lib = chain
+            .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+            .unwrap();
+        let proxy = chain
+            .install_new(me, templates::minimal_proxy_runtime(lib))
+            .unwrap();
+        let user = chain
+            .install_new(
+                me,
+                compile(&templates::library_user("U", lib)).unwrap().runtime,
+            )
+            .unwrap();
+        let token = chain
+            .install_new(me, compile(&templates::plain_token("T")).unwrap().runtime)
+            .unwrap();
+
+        let tool = EtherscanHeuristic::new();
+        assert!(tool.detect_proxy(&chain, proxy));
+        assert!(
+            tool.detect_proxy(&chain, user),
+            "library user is a (documented) false positive"
+        );
+        assert!(!tool.detect_proxy(&chain, token));
+        assert!(!tool.detect_proxy(&chain, Address::from_low_u64(0xeeee)));
+    }
+}

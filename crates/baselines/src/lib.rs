@@ -1,0 +1,36 @@
+//! Reimplementations of the tools Proxion is compared against (paper
+//! Table 1, Table 2, §6.2, §9.1).
+//!
+//! Each baseline implements its published decision procedure *including
+//! its documented failure modes*, because the comparison experiments
+//! measure exactly those:
+//!
+//! * [`EtherscanHeuristic`] — flags any contract whose bytecode contains
+//!   `DELEGATECALL` as a proxy; Etherscan itself admits this
+//!   over-approximates.
+//! * [`UschuntLike`] — Slither-based static analysis; requires verified
+//!   source, halts on a configurable fraction of contracts (the ~30%
+//!   compiler-version failures the paper reports), detects proxies by
+//!   keyword search, intersects *prototype strings* for function
+//!   collisions (missing mined selector collisions), and flags any
+//!   same-slot variable-name/type mismatch as a storage collision
+//!   (false-positives on padding).
+//! * [`CrushLike`] — transaction-history-driven: discovers proxy/logic
+//!   pairs from `DELEGATECALL`s in recorded traces (missing hidden
+//!   contracts, including library users as false pairs) and runs the
+//!   CRUSH storage engine on them.
+//! * [`SalehiReplay`] — replays recorded transactions to find contracts
+//!   that issued delegate calls; like CRUSH it cannot see contracts with
+//!   no history.
+
+mod capabilities;
+mod crush;
+mod etherscan_heuristic;
+mod salehi;
+mod uschunt;
+
+pub use capabilities::{Capabilities, ToolId, CAPABILITY_MATRIX};
+pub use crush::CrushLike;
+pub use etherscan_heuristic::EtherscanHeuristic;
+pub use salehi::SalehiReplay;
+pub use uschunt::{UschuntLike, UschuntOutcome};

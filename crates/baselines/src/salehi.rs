@@ -1,0 +1,114 @@
+//! A Salehi-et-al.-style baseline: transaction replay for upgradeability.
+
+use proxion_chain::Chain;
+use proxion_core::{ImplSource, ProxyCheck, ProxyDetector};
+use proxion_evm::CallKind;
+use proxion_primitives::Address;
+
+/// Salehi, Clark & Mannan (WTSC'22) study *who can upgrade* proxy
+/// contracts by replaying each contract's past transactions through a
+/// modified EVM. The consequence the paper highlights: a contract is only
+/// analyzable if it has transactions to replay; freshly deployed or
+/// deliberately silent (hidden) contracts are out of scope.
+#[derive(Debug, Clone, Default)]
+pub struct SalehiReplay {
+    detector: ProxyDetector,
+}
+
+impl SalehiReplay {
+    /// Creates the analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Proxy verdict by replay: `None` when the contract has no
+    /// transaction history (not analyzable), otherwise whether any
+    /// historical trace shows it delegate-calling.
+    pub fn detect_proxy(&self, chain: &Chain, address: Address) -> Option<bool> {
+        let txs = chain.transactions_of(address);
+        if txs.is_empty() {
+            return None;
+        }
+        Some(txs.iter().any(|tx| {
+            tx.internal_calls
+                .iter()
+                .any(|c| c.kind == CallKind::DelegateCall && c.from == address)
+        }))
+    }
+
+    /// Upgradeability verdict: for contracts with history that are
+    /// proxies, reports whether the implementation address lives in
+    /// mutable storage (upgradeable) rather than bytecode.
+    pub fn is_upgradeable(&self, chain: &Chain, address: Address) -> Option<bool> {
+        if self.detect_proxy(chain, address) != Some(true) {
+            return None;
+        }
+        match self.detector.check(chain, address) {
+            ProxyCheck::Proxy { impl_source, .. } => {
+                Some(matches!(impl_source, ImplSource::StorageSlot(_)))
+            }
+            ProxyCheck::NotProxy(_) => Some(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_primitives::U256;
+    use proxion_solc::{compile, templates, SlotSpec};
+
+    #[test]
+    fn silent_contracts_not_analyzable() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+            .unwrap();
+        let silent = chain
+            .install_new(me, templates::minimal_proxy_runtime(logic))
+            .unwrap();
+        assert_eq!(SalehiReplay::new().detect_proxy(&chain, silent), None);
+        assert_eq!(SalehiReplay::new().is_upgradeable(&chain, silent), None);
+    }
+
+    #[test]
+    fn replay_identifies_active_proxies_and_upgradeability() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+            .unwrap();
+        let minimal = chain
+            .install_new(me, templates::minimal_proxy_runtime(logic))
+            .unwrap();
+        let upgradeable = chain
+            .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(
+            upgradeable,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(logic),
+        );
+        // Drive both so they have history.
+        chain.transact(me, minimal, vec![1, 2, 3, 4], U256::ZERO);
+        chain.transact(me, upgradeable, vec![1, 2, 3, 4], U256::ZERO);
+
+        let tool = SalehiReplay::new();
+        assert_eq!(tool.detect_proxy(&chain, minimal), Some(true));
+        assert_eq!(tool.is_upgradeable(&chain, minimal), Some(false));
+        assert_eq!(tool.detect_proxy(&chain, upgradeable), Some(true));
+        assert_eq!(tool.is_upgradeable(&chain, upgradeable), Some(true));
+    }
+
+    #[test]
+    fn transacting_non_proxy_is_negative_not_none() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let token = chain
+            .install_new(me, compile(&templates::plain_token("T")).unwrap().runtime)
+            .unwrap();
+        chain.transact(me, token, vec![0, 0, 0, 0], U256::ZERO);
+        assert_eq!(SalehiReplay::new().detect_proxy(&chain, token), Some(false));
+    }
+}

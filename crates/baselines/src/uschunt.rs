@@ -1,0 +1,286 @@
+//! A USCHunt/Slither-style baseline: source-only static analysis with the
+//! failure modes the paper measured.
+
+use std::collections::BTreeSet;
+
+use proxion_chain::Chain;
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, U256};
+
+/// Why USCHunt did or did not produce a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UschuntOutcome<T> {
+    /// Analysis produced a verdict.
+    Ok(T),
+    /// No verified source available — the tool cannot run at all.
+    NoSource,
+    /// The contract failed to compile (unknown compiler version etc.).
+    /// The paper measured this on ~30% of the Smart Contract Sanctuary
+    /// corpus when run with default flags.
+    CompileError,
+}
+
+impl<T> UschuntOutcome<T> {
+    /// The verdict, if analysis ran.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            UschuntOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The USCHunt-like analyzer.
+///
+/// * Proxy detection: keyword search over the source text (`delegatecall`
+///   / `proxy`), as Slither's upgradeability checks do.
+/// * Function collisions: intersection of *prototype strings* — mined
+///   selector collisions between differently-named functions are missed.
+/// * Storage collisions: same-slot comparison of declared variables that
+///   flags any name or type mismatch — padding variables and benign
+///   renames become false positives.
+#[derive(Debug, Clone)]
+pub struct UschuntLike {
+    /// Fraction (0..=1) of verified contracts whose compilation halts;
+    /// deterministic per address. Models the unknown-compiler-version
+    /// failures.
+    pub compile_failure_rate: f64,
+}
+
+impl Default for UschuntLike {
+    fn default() -> Self {
+        UschuntLike {
+            compile_failure_rate: 0.3,
+        }
+    }
+}
+
+impl UschuntLike {
+    /// Creates the analyzer with the paper's observed ~30% failure rate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an analyzer with an explicit failure rate.
+    pub fn with_failure_rate(compile_failure_rate: f64) -> Self {
+        UschuntLike {
+            compile_failure_rate,
+        }
+    }
+
+    fn compiles(&self, address: Address) -> bool {
+        // Deterministic pseudo-random failure keyed on the address.
+        let h = proxion_primitives::keccak256(address.as_bytes()).to_u256();
+        let bucket = (h % U256::from(10_000u64)).low_u64() as f64 / 10_000.0;
+        bucket >= self.compile_failure_rate
+    }
+
+    /// Proxy detection (source keyword search).
+    pub fn detect_proxy(
+        &self,
+        _chain: &Chain,
+        etherscan: &Etherscan,
+        address: Address,
+    ) -> UschuntOutcome<bool> {
+        let Some(source) = etherscan.source_of(address) else {
+            return UschuntOutcome::NoSource;
+        };
+        if !self.compiles(address) {
+            return UschuntOutcome::CompileError;
+        }
+        let text = source.text.to_lowercase();
+        UschuntOutcome::Ok(text.contains("delegatecall") || text.contains("proxy"))
+    }
+
+    /// Function-collision check on a pair (source prototypes only).
+    pub fn function_collisions(
+        &self,
+        etherscan: &Etherscan,
+        proxy: Address,
+        logic: Address,
+    ) -> UschuntOutcome<Vec<String>> {
+        let (Some(p), Some(l)) = (etherscan.source_of(proxy), etherscan.source_of(logic)) else {
+            return UschuntOutcome::NoSource;
+        };
+        if !self.compiles(proxy) || !self.compiles(logic) {
+            return UschuntOutcome::CompileError;
+        }
+        let proxy_protos: BTreeSet<&String> = p.functions.iter().map(|f| &f.prototype).collect();
+        let collisions = l
+            .functions
+            .iter()
+            .filter(|f| proxy_protos.contains(&f.prototype))
+            .map(|f| f.prototype.clone())
+            .collect();
+        UschuntOutcome::Ok(collisions)
+    }
+
+    /// Storage-collision check on a pair: flags same-slot declared
+    /// variables whose name *or* type differs.
+    pub fn storage_collisions(
+        &self,
+        etherscan: &Etherscan,
+        proxy: Address,
+        logic: Address,
+    ) -> UschuntOutcome<Vec<(String, String)>> {
+        let (Some(p), Some(l)) = (etherscan.source_of(proxy), etherscan.source_of(logic)) else {
+            return UschuntOutcome::NoSource;
+        };
+        if !self.compiles(proxy) || !self.compiles(logic) {
+            return UschuntOutcome::CompileError;
+        }
+        let mut out = Vec::new();
+        for pv in &p.storage {
+            for lv in &l.storage {
+                if pv.slot == lv.slot && (pv.name != lv.name || pv.type_name != lv.type_name) {
+                    out.push((pv.name.clone(), lv.name.clone()));
+                }
+            }
+        }
+        UschuntOutcome::Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_primitives::keccak256;
+    use proxion_solc::{compile, templates, ContractSpec, StorageVar, VarType};
+
+    struct Fixture {
+        chain: Chain,
+        etherscan: Etherscan,
+        me: Address,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut chain = Chain::new();
+            let me = chain.new_funded_account();
+            Fixture {
+                chain,
+                etherscan: Etherscan::new(),
+                me,
+            }
+        }
+
+        fn install(&mut self, spec: &ContractSpec, verify: bool) -> Address {
+            let compiled = compile(spec).unwrap();
+            let hash = keccak256(&compiled.runtime);
+            let addr = self.chain.install_new(self.me, compiled.runtime).unwrap();
+            self.etherscan.register_contract(addr, hash);
+            if verify {
+                self.etherscan.register_verified(addr, compiled.source);
+            }
+            addr
+        }
+    }
+
+    /// A tool with failures disabled, for deterministic logic tests.
+    fn tool() -> UschuntLike {
+        UschuntLike::with_failure_rate(0.0)
+    }
+
+    #[test]
+    fn requires_source() {
+        let mut fx = Fixture::new();
+        let hidden = fx.install(&templates::eip1967_proxy("P"), false);
+        assert_eq!(
+            tool().detect_proxy(&fx.chain, &fx.etherscan, hidden),
+            UschuntOutcome::NoSource
+        );
+    }
+
+    #[test]
+    fn keyword_detection_finds_source_proxies() {
+        let mut fx = Fixture::new();
+        let proxy = fx.install(&templates::eip1967_proxy("P"), true);
+        let token = fx.install(&templates::plain_token("T"), true);
+        assert_eq!(
+            tool().detect_proxy(&fx.chain, &fx.etherscan, proxy),
+            UschuntOutcome::Ok(true)
+        );
+        assert_eq!(
+            tool().detect_proxy(&fx.chain, &fx.etherscan, token),
+            UschuntOutcome::Ok(false)
+        );
+    }
+
+    #[test]
+    fn keyword_detection_false_positive_on_library_user() {
+        let mut fx = Fixture::new();
+        let lib = fx.install(&templates::simple_logic("Lib"), true);
+        let user = fx.install(&templates::library_user("U", lib), true);
+        // The rendered source contains ".delegatecall(" in a function
+        // body — the keyword search cannot tell it apart.
+        assert_eq!(
+            tool().detect_proxy(&fx.chain, &fx.etherscan, user),
+            UschuntOutcome::Ok(true)
+        );
+    }
+
+    #[test]
+    fn prototype_intersection_misses_mined_collisions() {
+        let mut fx = Fixture::new();
+        let (proxy_spec, logic_spec) = templates::honeypot_pair(Address::from_low_u64(1));
+        let proxy = fx.install(&proxy_spec, true);
+        let logic = fx.install(&logic_spec, true);
+        // The mined selector collision exists, but prototypes differ.
+        let found = tool()
+            .function_collisions(&fx.etherscan, proxy, logic)
+            .ok()
+            .unwrap();
+        assert!(found.is_empty(), "USCHunt must miss mined collisions");
+    }
+
+    #[test]
+    fn prototype_intersection_finds_inherited_collisions() {
+        let mut fx = Fixture::new();
+        let proxy = fx.install(&templates::ownable_delegate_proxy("P"), true);
+        let logic = fx.install(&templates::wyvern_logic("L"), true);
+        let found = tool()
+            .function_collisions(&fx.etherscan, proxy, logic)
+            .ok()
+            .unwrap();
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn storage_name_mismatch_false_positive() {
+        // Same slot, same type, different names — benign, but flagged.
+        let a = ContractSpec::new("A").with_var(StorageVar::new("owner", VarType::Address));
+        let b = ContractSpec::new("B").with_var(StorageVar::new("admin", VarType::Address));
+        let mut fx = Fixture::new();
+        let pa = fx.install(&a, true);
+        let pb = fx.install(&b, true);
+        let found = tool()
+            .storage_collisions(&fx.etherscan, pa, pb)
+            .ok()
+            .unwrap();
+        assert_eq!(
+            found.len(),
+            1,
+            "name mismatch must be flagged (the FP mode)"
+        );
+    }
+
+    #[test]
+    fn compile_failures_are_deterministic() {
+        let t = UschuntLike::new();
+        let mut fx = Fixture::new();
+        let addr = fx.install(&templates::eip1967_proxy("P"), true);
+        let first = t.detect_proxy(&fx.chain, &fx.etherscan, addr);
+        let second = t.detect_proxy(&fx.chain, &fx.etherscan, addr);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn failure_rate_roughly_matches() {
+        let t = UschuntLike::new(); // 30%
+        let failures = (0..2000)
+            .filter(|&i| !t.compiles(Address::from_low_u64(i)))
+            .count();
+        let rate = failures as f64 / 2000.0;
+        assert!((0.25..0.35).contains(&rate), "rate {rate} out of band");
+    }
+}

@@ -1,0 +1,110 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * dispatcher-pattern selector extraction vs. naive `PUSH4` scanning
+//!   (the §3.1 false-positive trap);
+//! * the bytecode-hash deduplication in the pipeline (the optimization
+//!   that makes the 36M-contract scan feasible, §6.1);
+//! * provenance-tagged emulation vs. the plain disassembly gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_core::{Pipeline, PipelineConfig, ProxyDetector};
+use proxion_dataset::{Landscape, LandscapeConfig};
+use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Disassembly};
+use proxion_solc::{compile, templates};
+
+fn bench_selector_extraction(c: &mut Criterion) {
+    let compiled = compile(&templates::plain_token("T")).unwrap();
+    let disasm = Disassembly::new(&compiled.runtime);
+    let mut group = c.benchmark_group("ablation_selector_extraction");
+    group.bench_function("dispatcher_walk", |b| {
+        b.iter(|| std::hint::black_box(extract_dispatcher_selectors(&disasm)))
+    });
+    group.bench_function("naive_push4", |b| {
+        b.iter(|| std::hint::black_box(naive_push4_selectors(&disasm)))
+    });
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let landscape = Landscape::generate(&LandscapeConfig {
+        seed: 99,
+        total_contracts: 150,
+    });
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.sample_size(10);
+    // The pipeline caches per bytecode hash; the non-dedup variant calls
+    // the detector afresh for every address.
+    group.bench_function("pipeline_with_dedup", |b| {
+        let pipeline = Pipeline::new(PipelineConfig {
+            parallelism: 1,
+            resolve_history: false,
+            check_collisions: false,
+            check_historical_pairs: false,
+        });
+        b.iter(|| {
+            std::hint::black_box(pipeline.analyze_all(&landscape.chain, &landscape.etherscan))
+        })
+    });
+    group.bench_function("per_contract_no_dedup", |b| {
+        let detector = ProxyDetector::new();
+        b.iter(|| {
+            let mut count = 0usize;
+            for contract in &landscape.contracts {
+                if detector
+                    .check(&landscape.chain, contract.address)
+                    .is_proxy()
+                {
+                    count += 1;
+                }
+            }
+            std::hint::black_box(count)
+        })
+    });
+    group.finish();
+}
+
+fn bench_gate_vs_emulation(c: &mut Criterion) {
+    let landscape = Landscape::generate(&LandscapeConfig {
+        seed: 17,
+        total_contracts: 150,
+    });
+    let detector = ProxyDetector::new();
+    let mut group = c.benchmark_group("ablation_detection_stages");
+    group.sample_size(20);
+    group.bench_function("stage1_disasm_gate_only", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for contract in &landscape.contracts {
+                let code = landscape.chain.code_at(contract.address);
+                let disasm = Disassembly::new(&code);
+                if disasm.contains(proxion_asm::opcode::DELEGATECALL) {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("full_two_stage_check", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for contract in &landscape.contracts {
+                if detector
+                    .check(&landscape.chain, contract.address)
+                    .is_proxy()
+                {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selector_extraction,
+    bench_dedup,
+    bench_gate_vs_emulation
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion benchmarks for the collision detectors (§6.1: 6.7 ms per
+//! function-collision pair; storage pairs dominated by slicing +
+//! validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_chain::Chain;
+use proxion_core::{FunctionCollisionDetector, StorageCollisionDetector};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{keccak256, Address, U256};
+use proxion_solc::{compile, templates};
+
+struct Pairs {
+    chain: Chain,
+    etherscan: Etherscan,
+    verified_pair: (Address, Address),
+    bytecode_pair: (Address, Address),
+    audius_pair: (Address, Address),
+}
+
+fn pairs() -> Pairs {
+    let mut chain = Chain::new();
+    let mut etherscan = Etherscan::new();
+    let me = chain.new_funded_account();
+    let install = |chain: &mut Chain,
+                   etherscan: &mut Etherscan,
+                   spec: &proxion_solc::ContractSpec,
+                   verify: bool| {
+        let compiled = compile(spec).unwrap();
+        let hash = keccak256(&compiled.runtime);
+        let addr = chain.install_new(me, compiled.runtime).unwrap();
+        etherscan.register_contract(addr, hash);
+        if verify {
+            etherscan.register_verified(addr, compiled.source);
+        }
+        addr
+    };
+
+    let wy_proxy_v = {
+        let spec = templates::ownable_delegate_proxy("P1");
+        install(&mut chain, &mut etherscan, &spec, true)
+    };
+    let wy_logic_v = {
+        let spec = templates::wyvern_logic("L1");
+        install(&mut chain, &mut etherscan, &spec, true)
+    };
+    chain.set_storage(wy_proxy_v, U256::ONE, U256::from(wy_logic_v));
+
+    let (hp, hl) = templates::honeypot_pair(Address::from_low_u64(9));
+    let hp_logic = install(&mut chain, &mut etherscan, &hl, false);
+    let hp_proxy = install(&mut chain, &mut etherscan, &hp, false);
+    chain.set_storage(hp_proxy, U256::ONE, U256::from(hp_logic));
+
+    let (ap, al) = templates::audius_pair();
+    let a_logic = install(&mut chain, &mut etherscan, &al, false);
+    let a_proxy = install(&mut chain, &mut etherscan, &ap, false);
+    let mut owner = [0u8; 20];
+    owner[10] = 0x11;
+    chain.set_storage(a_proxy, U256::ZERO, U256::from_be_slice(&owner));
+    chain.set_storage(a_proxy, U256::ONE, U256::from(a_logic));
+
+    Pairs {
+        chain,
+        etherscan,
+        verified_pair: (wy_proxy_v, wy_logic_v),
+        bytecode_pair: (hp_proxy, hp_logic),
+        audius_pair: (a_proxy, a_logic),
+    }
+}
+
+fn bench_function_collisions(c: &mut Criterion) {
+    let fx = pairs();
+    let detector = FunctionCollisionDetector::new();
+    let mut group = c.benchmark_group("function_collision");
+    group.bench_function("source_mode_pair", |b| {
+        b.iter(|| {
+            std::hint::black_box(detector.check_pair(
+                &fx.chain,
+                &fx.etherscan,
+                fx.verified_pair.0,
+                fx.verified_pair.1,
+            ))
+        })
+    });
+    group.bench_function("bytecode_mode_pair", |b| {
+        b.iter(|| {
+            std::hint::black_box(detector.check_pair(
+                &fx.chain,
+                &fx.etherscan,
+                fx.bytecode_pair.0,
+                fx.bytecode_pair.1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_storage_collisions(c: &mut Criterion) {
+    let fx = pairs();
+    let detector = StorageCollisionDetector::new();
+    let mut group = c.benchmark_group("storage_collision");
+    group.bench_function("clean_pair", |b| {
+        b.iter(|| {
+            std::hint::black_box(detector.check_pair(
+                &fx.chain,
+                fx.verified_pair.0,
+                fx.verified_pair.1,
+            ))
+        })
+    });
+    group.bench_function("audius_pair_with_validation", |b| {
+        b.iter(|| {
+            std::hint::black_box(detector.check_pair(&fx.chain, fx.audius_pair.0, fx.audius_pair.1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_function_collisions, bench_storage_collisions);
+criterion_main!(benches);

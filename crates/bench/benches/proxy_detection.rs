@@ -1,0 +1,102 @@
+//! Criterion benchmarks for the §6.1 headline: per-contract proxy-check
+//! latency across contract shapes, and bulk throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use proxion_chain::Chain;
+use proxion_core::ProxyDetector;
+use proxion_dataset::{Landscape, LandscapeConfig};
+use proxion_primitives::{Address, U256};
+use proxion_solc::{compile, templates, SlotSpec};
+
+struct Fixtures {
+    chain: Chain,
+    minimal: Address,
+    eip1967: Address,
+    token: Address,
+    library_user: Address,
+}
+
+fn fixtures() -> Fixtures {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = chain
+        .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+        .unwrap();
+    let minimal = chain
+        .install_new(me, templates::minimal_proxy_runtime(logic))
+        .unwrap();
+    let eip1967 = chain
+        .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(
+        eip1967,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+    let token = chain
+        .install_new(me, compile(&templates::plain_token("T")).unwrap().runtime)
+        .unwrap();
+    let library_user = chain
+        .install_new(
+            me,
+            compile(&templates::library_user("U", logic))
+                .unwrap()
+                .runtime,
+        )
+        .unwrap();
+    Fixtures {
+        chain,
+        minimal,
+        eip1967,
+        token,
+        library_user,
+    }
+}
+
+fn bench_shapes(c: &mut Criterion) {
+    let fx = fixtures();
+    let detector = ProxyDetector::new();
+    let mut group = c.benchmark_group("proxy_detection");
+    for (name, address) in [
+        ("minimal_proxy", fx.minimal),
+        ("eip1967_proxy", fx.eip1967),
+        ("plain_token", fx.token),
+        ("library_user", fx.library_user),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(detector.check(&fx.chain, address)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let landscape = Landscape::generate(&LandscapeConfig {
+        seed: 42,
+        total_contracts: 200,
+    });
+    let detector = ProxyDetector::new();
+    let addresses: Vec<Address> = landscape.contracts.iter().map(|c| c.address).collect();
+    let mut group = c.benchmark_group("proxy_detection_bulk");
+    group.throughput(Throughput::Elements(addresses.len() as u64));
+    group.sample_size(20);
+    group.bench_function("mixed_200_contracts", |b| {
+        b.iter_batched(
+            || addresses.clone(),
+            |addrs| {
+                let mut proxies = 0usize;
+                for a in addrs {
+                    if detector.check(&landscape.chain, a).is_proxy() {
+                        proxies += 1;
+                    }
+                }
+                std::hint::black_box(proxies)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapes, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Regenerates the **§6.2 effectiveness** comparison:
+//!
+//! * (a) a Smart-Contract-Sanctuary-like corpus (verified contracts):
+//!   Proxion vs USCHunt proxy identification and failure rates, plus the
+//!   function collisions only Proxion reports;
+//! * (b) a CRUSH-like whole-chain corpus: trace-based pair discovery vs
+//!   Proxion's bytecode detection — library-call exclusion and hidden
+//!   proxies.
+
+use std::collections::BTreeSet;
+
+use proxion_baselines::{CrushLike, UschuntLike, UschuntOutcome};
+use proxion_bench::{header, pct, standard_landscape};
+use proxion_core::{Pipeline, PipelineConfig, ProxyDetector};
+use proxion_dataset::TemplateId;
+
+fn main() {
+    let landscape = standard_landscape();
+    let total = landscape.contracts.len();
+
+    // ---------------------------------------------------------------
+    header(&format!(
+        "§6.2(a) Sanctuary-like corpus: Proxion vs USCHunt (of {total} contracts)"
+    ));
+    let verified: Vec<_> = landscape
+        .contracts
+        .iter()
+        .filter(|c| c.truth.has_source)
+        .collect();
+    let uschunt = UschuntLike::new();
+    let detector = ProxyDetector::new();
+
+    let mut us_found = 0usize;
+    let mut us_correct = 0usize;
+    let mut us_failures = 0usize;
+    let mut px_found = 0usize;
+    let mut px_correct = 0usize;
+    let mut px_failures = 0usize;
+    for c in &verified {
+        match uschunt.detect_proxy(&landscape.chain, &landscape.etherscan, c.address) {
+            UschuntOutcome::Ok(true) => {
+                us_found += 1;
+                if c.truth.is_proxy {
+                    us_correct += 1;
+                }
+            }
+            UschuntOutcome::Ok(false) | UschuntOutcome::NoSource => {}
+            UschuntOutcome::CompileError => us_failures += 1,
+        }
+        let check = detector.check(&landscape.chain, c.address);
+        if check.is_proxy() {
+            px_found += 1;
+            if c.truth.is_proxy {
+                px_correct += 1;
+            }
+        } else if matches!(
+            check,
+            proxion_core::ProxyCheck::NotProxy(proxion_core::NotProxyReason::EmulationError(_))
+        ) {
+            px_failures += 1;
+        }
+    }
+    let true_proxies = verified.iter().filter(|c| c.truth.is_proxy).count();
+    println!(
+        "verified contracts:      {:>8}   (true proxies among them: {true_proxies})",
+        verified.len()
+    );
+    println!(
+        "USCHunt: {:>6} flagged ({us_correct} correct), {:>5} analysis failures ({:.1}%)",
+        us_found,
+        us_failures,
+        pct(us_failures, verified.len())
+    );
+    println!(
+        "Proxion: {:>6} flagged ({px_correct} correct), {:>5} emulation failures ({:.1}%)",
+        px_found,
+        px_failures,
+        pct(px_failures, verified.len())
+    );
+    println!("(paper: 35,924 vs 29,023 proxies; ~30% USCHunt halts vs 1.2% Proxion");
+    println!(" failures; 257 function collisions USCHunt never reported.)");
+
+    // ---------------------------------------------------------------
+    header("§6.2(b) CRUSH-like whole-chain corpus: trace-based vs Proxion");
+    let crush = CrushLike::new();
+    let crush_proxies = crush.detect_proxies(&landscape.chain);
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 8,
+        resolve_history: false,
+        check_collisions: true,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+    let proxion_proxies: BTreeSet<_> = report.proxies().map(|r| r.address).collect();
+
+    let crush_only: Vec<_> = crush_proxies.difference(&proxion_proxies).collect();
+    let proxion_only: Vec<_> = proxion_proxies.difference(&crush_proxies).collect();
+    let library_users: BTreeSet<_> = landscape
+        .contracts
+        .iter()
+        .filter(|c| c.template == TemplateId::LibraryUser)
+        .map(|c| c.address)
+        .collect();
+    let crush_only_library = crush_only
+        .iter()
+        .filter(|a| library_users.contains(a))
+        .count();
+    let hidden = report.hidden_proxy_count();
+
+    println!(
+        "CRUSH   proxies (trace-based):   {:>8}",
+        crush_proxies.len()
+    );
+    println!(
+        "Proxion proxies (bytecode):      {:>8}",
+        proxion_proxies.len()
+    );
+    println!(
+        "CRUSH-only flags:                {:>8}   ({} are library users — false pairs)",
+        crush_only.len(),
+        crush_only_library
+    );
+    println!(
+        "Proxion-only finds:              {:>8}   (contracts with no usable traces)",
+        proxion_only.len()
+    );
+    println!("hidden proxies (no src, no tx):  {:>8}", hidden);
+    println!(
+        "exploitable storage collisions found by the pipeline: {:>4}",
+        report.storage_collision_count()
+    );
+    println!();
+    println!("(paper: CRUSH over-reports ~1.2M library users; Proxion uncovers");
+    println!(" 1,667,905 proxies CRUSH cannot see, incl. 1.5M hidden, and 1,480");
+    println!(" additional exploitable storage collisions.)");
+}

@@ -1,0 +1,75 @@
+//! Regenerates **Figure 5**: the bytecode-duplicate skew — most proxy and
+//! logic contracts are byte-identical clones of a handful of templates.
+
+use std::collections::HashMap;
+
+use proxion_bench::{header, pct, standard_landscape};
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_primitives::B256;
+
+fn print_distribution(label: &str, counts: &mut Vec<(B256, usize)>, total: usize) {
+    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    println!(
+        "{label}: {} instances, {} unique bytecodes",
+        total,
+        counts.len()
+    );
+    println!("  top duplicates (count per unique bytecode, log-scale shape):");
+    for (rank, (_, count)) in counts.iter().take(10).enumerate() {
+        let bar_len = ((*count as f64).ln().max(0.0) * 6.0) as usize;
+        println!(
+            "  #{:<3} {:>8}  {}",
+            rank + 1,
+            count,
+            "#".repeat(bar_len.max(1))
+        );
+    }
+    let top3: usize = counts.iter().take(3).map(|(_, c)| c).sum();
+    println!(
+        "  top-3 templates cover {top3}/{total} ({:.1}%)",
+        pct(top3, total)
+    );
+    println!();
+}
+
+fn main() {
+    let landscape = standard_landscape();
+    header(&format!(
+        "Figure 5: bytecode-duplicate distribution ({} contracts)",
+        landscape.contracts.len()
+    ));
+
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 8,
+        resolve_history: false,
+        check_collisions: false,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+
+    let mut proxy_hashes: HashMap<B256, usize> = HashMap::new();
+    let mut logic_hashes: HashMap<B256, usize> = HashMap::new();
+    let mut proxy_total = 0usize;
+    let mut logic_total = 0usize;
+    for r in report.proxies() {
+        *proxy_hashes.entry(r.code_hash).or_insert(0) += 1;
+        proxy_total += 1;
+        if let Some(logic) = r.check.logic().filter(|l| !l.is_zero()) {
+            let code = landscape.chain.code_at(logic);
+            let hash = proxion_primitives::keccak256(code.as_slice());
+            *logic_hashes.entry(hash).or_insert(0) += 1;
+            logic_total += 1;
+        }
+    }
+
+    let mut proxies: Vec<(B256, usize)> = proxy_hashes.into_iter().collect();
+    let mut logics: Vec<(B256, usize)> = logic_hashes.into_iter().collect();
+    print_distribution("(a) proxy contracts", &mut proxies, proxy_total);
+    print_distribution(
+        "(b) logic contracts (by referencing pair)",
+        &mut logics,
+        logic_total,
+    );
+    println!("(paper: 19.6M proxies but only 96,420 unique; 42% of proxies are");
+    println!(" clones of just three templates.)");
+}

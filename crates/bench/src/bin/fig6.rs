@@ -1,0 +1,71 @@
+//! Regenerates **Figure 6**: the histogram of logic-contract upgrade
+//! counts, recovered with Algorithm 1.
+
+use proxion_bench::{header, pct, standard_landscape};
+use proxion_core::{Pipeline, PipelineConfig};
+
+fn main() {
+    let landscape = standard_landscape();
+    header(&format!(
+        "Figure 6: upgrade counts ({} contracts)",
+        landscape.contracts.len()
+    ));
+
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 8,
+        resolve_history: true,
+        check_collisions: false,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+
+    let mut histogram: Vec<(usize, usize)> = Vec::new();
+    let mut upgraded = 0usize;
+    let mut total_events = 0usize;
+    let mut slot_proxies = 0usize;
+    let mut total_logics = 0usize;
+    for r in report.proxies() {
+        let Some(history) = r.history.as_ref() else {
+            continue;
+        };
+        slot_proxies += 1;
+        let upgrades = history.upgrade_count();
+        total_logics += history.addresses.len();
+        if upgrades > 0 {
+            upgraded += 1;
+            total_events += upgrades;
+        }
+        match histogram.iter_mut().find(|(u, _)| *u == upgrades) {
+            Some((_, c)) => *c += 1,
+            None => histogram.push((upgrades, 1)),
+        }
+    }
+    histogram.sort_unstable();
+
+    println!("{:<10} | {:>8}  (log-scale bar)", "#upgrades", "proxies");
+    println!("{}", "-".repeat(50));
+    for (upgrades, count) in &histogram {
+        let bar = ((*count as f64).ln().max(0.0) * 6.0) as usize;
+        println!(
+            "{:<10} | {:>8}  {}",
+            upgrades,
+            count,
+            "#".repeat(bar.max(1))
+        );
+    }
+    println!();
+    let never = slot_proxies - upgraded;
+    println!(
+        "Slot-based proxies analyzed: {slot_proxies}; never upgraded: {never} ({:.1}%)",
+        pct(never, slot_proxies)
+    );
+    if upgraded > 0 {
+        println!(
+            "Upgraded proxies: {upgraded}; total upgrade events: {total_events}; \
+             mean logic contracts per upgraded proxy: {:.2}",
+            total_logics.saturating_sub(never) as f64 / upgraded as f64
+        );
+    }
+    println!("(paper: 99.7% of proxies never upgrade; 51,925 upgraded proxies,");
+    println!(" 68,804 upgrade events, 1.32 logic contracts on average.)");
+}

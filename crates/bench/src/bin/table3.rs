@@ -1,0 +1,90 @@
+//! Regenerates **Table 3**: function and storage collisions detected per
+//! deployment year, plus the duplicate share among function collisions.
+
+use std::collections::HashMap;
+
+use proxion_bench::{header, pct, standard_landscape, YearSeries};
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_dataset::params::YEARS;
+use proxion_primitives::Address;
+
+fn main() {
+    let landscape = standard_landscape();
+    header(&format!(
+        "Table 3: collisions per deployment year ({} contracts)",
+        landscape.contracts.len()
+    ));
+
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 8,
+        resolve_history: false,
+        check_collisions: true,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+
+    let year_of: HashMap<Address, u16> = landscape
+        .contracts
+        .iter()
+        .map(|c| (c.address, c.year))
+        .collect();
+
+    let mut function = YearSeries::new();
+    let mut storage = YearSeries::new();
+    let mut duplicate_function = 0u64;
+    let mut function_hashes: HashMap<proxion_primitives::B256, u64> = HashMap::new();
+
+    for r in &report.reports {
+        let Some(&year) = year_of.get(&r.address) else {
+            continue;
+        };
+        if r.function_collisions
+            .as_ref()
+            .is_some_and(|f| f.has_collisions())
+        {
+            function.add(year, 1);
+            *function_hashes.entry(r.code_hash).or_insert(0) += 1;
+        }
+        if r.storage_collisions
+            .as_ref()
+            .is_some_and(|s| s.has_exploitable())
+        {
+            storage.add(year, 1);
+        }
+    }
+    for &count in function_hashes.values() {
+        if count > 1 {
+            duplicate_function += count;
+        }
+    }
+
+    println!(
+        "{:<6} | {:>20} {:>20}",
+        "Year", "Function collisions", "Storage collisions"
+    );
+    println!("{}", "-".repeat(52));
+    for year in YEARS {
+        println!(
+            "{:<6} | {:>20} {:>20}",
+            year,
+            function.get(year),
+            storage.get(year)
+        );
+    }
+    println!("{}", "-".repeat(52));
+    println!(
+        "{:<6} | {:>20} {:>20}",
+        "Total",
+        function.total(),
+        storage.total()
+    );
+    println!();
+    println!(
+        "Duplicated-bytecode share of function collisions: {}/{} ({:.1}%)",
+        duplicate_function,
+        function.total(),
+        pct(duplicate_function as usize, function.total() as usize)
+    );
+    println!("(paper: 1,566,784 function / 3,022 storage collisions; 98.7% of");
+    println!(" function collisions are duplicates of OwnableDelegateProxy.)");
+}

@@ -1,0 +1,161 @@
+//! Shared helpers for the table/figure regeneration harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index); this library holds the scoring and
+//! formatting code they share.
+
+use std::collections::BTreeMap;
+
+use proxion_dataset::{Landscape, LandscapeConfig};
+
+/// The default landscape size for the harnesses. Override with the
+/// `PROXION_SCALE` environment variable.
+pub fn landscape_scale() -> usize {
+    std::env::var("PROXION_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000)
+}
+
+/// Builds the standard benchmark landscape (deterministic).
+pub fn standard_landscape() -> Landscape {
+    Landscape::generate(&LandscapeConfig {
+        seed: 0xe7e4,
+        total_contracts: landscape_scale(),
+    })
+}
+
+/// A confusion matrix with the paper's Table 2 columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Scores one observation.
+    pub fn record(&mut self, truth: bool, flagged: bool) {
+        match (truth, flagged) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Accuracy over all recorded observations.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// Formats as the Table 2 row: `TP FP TN FN accuracy`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>5} {:>5} {:>5} {:>5} {:>8.1}%",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.accuracy()
+        )
+    }
+}
+
+/// Percentage helper.
+pub fn pct(part: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / total as f64
+    }
+}
+
+/// Prints a section header in the harnesses' uniform style.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Accumulates per-year counters and prints them in year order.
+#[derive(Debug, Clone, Default)]
+pub struct YearSeries {
+    values: BTreeMap<u16, u64>,
+}
+
+impl YearSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to `year`.
+    pub fn add(&mut self, year: u16, amount: u64) {
+        *self.values.entry(year).or_insert(0) += amount;
+    }
+
+    /// The value for a year.
+    pub fn get(&self, year: u16) -> u64 {
+        self.values.get(&year).copied().unwrap_or(0)
+    }
+
+    /// The cumulative value up to and including a year.
+    pub fn cumulative(&self, year: u16) -> u64 {
+        self.values
+            .iter()
+            .filter(|&(&y, _)| y <= year)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Total over all years.
+    pub fn total(&self) -> u64 {
+        self.values.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_scoring() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!((c.tp, c.fn_, c.fp, c.tn), (1, 1, 1, 1));
+        assert!((c.accuracy() - 50.0).abs() < 1e-9);
+        assert!(c.row().contains("50.0%"));
+    }
+
+    #[test]
+    fn year_series_cumulative() {
+        let mut s = YearSeries::new();
+        s.add(2020, 2);
+        s.add(2021, 3);
+        s.add(2021, 1);
+        assert_eq!(s.get(2021), 4);
+        assert_eq!(s.cumulative(2020), 2);
+        assert_eq!(s.cumulative(2023), 6);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.get(2019), 0);
+    }
+
+    #[test]
+    fn pct_handles_zero() {
+        assert_eq!(pct(1, 0), 0.0);
+        assert!((pct(1, 4) - 25.0).abs() < 1e-9);
+    }
+}

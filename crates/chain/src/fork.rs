@@ -1,0 +1,277 @@
+//! A copy-on-write fork of the chain state.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proxion_evm::{Host, MemoryDb, Snapshot};
+use proxion_primitives::{keccak256, Address, B256, U256};
+
+/// A journaled overlay [`Host`] that reads through to a base [`MemoryDb`]
+/// and keeps every write local. Dropping the fork discards all changes.
+///
+/// The proxy detector runs every probe execution on a fork so that the
+/// emulation described in the paper (§4.2) can never corrupt the chain it
+/// is analyzing.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_chain::ForkDb;
+/// use proxion_evm::{Host, MemoryDb};
+/// use proxion_primitives::{Address, U256};
+///
+/// let mut base = MemoryDb::new();
+/// let a = Address::from_low_u64(1);
+/// base.set_storage(a, U256::ZERO, U256::from(7u64));
+///
+/// let mut fork = ForkDb::new(&base);
+/// assert_eq!(fork.storage(a, U256::ZERO), U256::from(7u64));
+/// fork.set_storage(a, U256::ZERO, U256::from(9u64));
+/// assert_eq!(fork.storage(a, U256::ZERO), U256::from(9u64));
+/// assert_eq!(base.storage(a, U256::ZERO), U256::from(7u64));
+/// ```
+pub struct ForkDb<'a> {
+    base: &'a MemoryDb,
+    storage: HashMap<(Address, U256), U256>,
+    balances: HashMap<Address, U256>,
+    nonces: HashMap<Address, u64>,
+    codes: HashMap<Address, Arc<Vec<u8>>>,
+    destroyed: HashSet<Address>,
+    journal: Vec<Entry>,
+}
+
+enum Entry {
+    Storage(Address, U256, Option<U256>),
+    Balance(Address, Option<U256>),
+    Nonce(Address, Option<u64>),
+    Code(Address, Option<Arc<Vec<u8>>>),
+    Destroyed(Address, bool),
+}
+
+impl<'a> ForkDb<'a> {
+    /// Creates a fork over `base`.
+    pub fn new(base: &'a MemoryDb) -> Self {
+        ForkDb {
+            base,
+            storage: HashMap::new(),
+            balances: HashMap::new(),
+            nonces: HashMap::new(),
+            codes: HashMap::new(),
+            destroyed: HashSet::new(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// Number of overlay writes currently live (diagnostic).
+    pub fn overlay_len(&self) -> usize {
+        self.storage.len() + self.balances.len() + self.nonces.len() + self.codes.len()
+    }
+}
+
+impl Host for ForkDb<'_> {
+    fn exists(&self, address: Address) -> bool {
+        !self.balance(address).is_zero()
+            || self.nonce(address) > 0
+            || !self.code(address).is_empty()
+    }
+
+    fn balance(&self, address: Address) -> U256 {
+        self.balances
+            .get(&address)
+            .copied()
+            .unwrap_or_else(|| self.base.balance(address))
+    }
+
+    fn nonce(&self, address: Address) -> u64 {
+        self.nonces
+            .get(&address)
+            .copied()
+            .unwrap_or_else(|| self.base.nonce(address))
+    }
+
+    fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.codes
+            .get(&address)
+            .cloned()
+            .unwrap_or_else(|| self.base.code(address))
+    }
+
+    fn code_hash(&self, address: Address) -> B256 {
+        match self.codes.get(&address) {
+            Some(code) => keccak256(code.as_slice()),
+            None => self.base.code_hash(address),
+        }
+    }
+
+    fn storage(&self, address: Address, slot: U256) -> U256 {
+        self.storage
+            .get(&(address, slot))
+            .copied()
+            .unwrap_or_else(|| self.base.storage(address, slot))
+    }
+
+    fn set_storage(&mut self, address: Address, slot: U256, value: U256) {
+        let prev = self.storage.insert((address, slot), value);
+        self.journal.push(Entry::Storage(address, slot, prev));
+    }
+
+    fn set_balance(&mut self, address: Address, balance: U256) {
+        let prev = self.balances.insert(address, balance);
+        self.journal.push(Entry::Balance(address, prev));
+    }
+
+    fn inc_nonce(&mut self, address: Address) -> u64 {
+        let current = self.nonce(address);
+        let prev = self.nonces.insert(address, current + 1);
+        self.journal.push(Entry::Nonce(address, prev));
+        current
+    }
+
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        let prev = self.codes.insert(address, Arc::new(code));
+        self.journal.push(Entry::Code(address, prev));
+    }
+
+    fn mark_destroyed(&mut self, address: Address) {
+        let was = !self.destroyed.insert(address);
+        self.journal.push(Entry::Destroyed(address, was));
+    }
+
+    fn block_hash(&self, number: u64) -> B256 {
+        self.base.block_hash(number)
+    }
+
+    fn snapshot(&mut self) -> Snapshot {
+        Snapshot::new(self.journal.len())
+    }
+
+    fn rollback(&mut self, snapshot: Snapshot) {
+        let target = snapshot.index();
+        while self.journal.len() > target {
+            match self.journal.pop().expect("length checked") {
+                Entry::Storage(a, s, prev) => match prev {
+                    Some(v) => {
+                        self.storage.insert((a, s), v);
+                    }
+                    None => {
+                        self.storage.remove(&(a, s));
+                    }
+                },
+                Entry::Balance(a, prev) => match prev {
+                    Some(v) => {
+                        self.balances.insert(a, v);
+                    }
+                    None => {
+                        self.balances.remove(&a);
+                    }
+                },
+                Entry::Nonce(a, prev) => match prev {
+                    Some(v) => {
+                        self.nonces.insert(a, v);
+                    }
+                    None => {
+                        self.nonces.remove(&a);
+                    }
+                },
+                Entry::Code(a, prev) => match prev {
+                    Some(v) => {
+                        self.codes.insert(a, v);
+                    }
+                    None => {
+                        self.codes.remove(&a);
+                    }
+                },
+                Entry::Destroyed(a, was) => {
+                    if !was {
+                        self.destroyed.remove(&a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    #[test]
+    fn reads_fall_through_to_base() {
+        let mut base = MemoryDb::new();
+        base.set_code(addr(1), vec![0xfe]);
+        base.set_balance(addr(1), U256::from(5u64));
+        base.set_storage(addr(1), U256::ONE, U256::from(11u64));
+        let fork = ForkDb::new(&base);
+        assert_eq!(*fork.code(addr(1)), vec![0xfe]);
+        assert_eq!(fork.balance(addr(1)), U256::from(5u64));
+        assert_eq!(fork.storage(addr(1), U256::ONE), U256::from(11u64));
+        assert_eq!(fork.code_hash(addr(1)), base.code_hash(addr(1)));
+        assert!(fork.exists(addr(1)));
+        assert!(!fork.exists(addr(2)));
+    }
+
+    #[test]
+    fn writes_stay_in_overlay() {
+        let mut base = MemoryDb::new();
+        base.set_storage(addr(1), U256::ZERO, U256::from(7u64));
+        let mut fork = ForkDb::new(&base);
+        fork.set_storage(addr(1), U256::ZERO, U256::from(9u64));
+        fork.set_code(addr(2), vec![0x00]);
+        assert_eq!(fork.storage(addr(1), U256::ZERO), U256::from(9u64));
+        assert_eq!(*fork.code(addr(2)), vec![0x00]);
+        assert_eq!(base.storage(addr(1), U256::ZERO), U256::from(7u64));
+        assert!(base.code(addr(2)).is_empty());
+        assert!(fork.overlay_len() > 0);
+    }
+
+    #[test]
+    fn rollback_restores_overlay_and_base_reads() {
+        let mut base = MemoryDb::new();
+        base.set_storage(addr(1), U256::ZERO, U256::from(7u64));
+        let mut fork = ForkDb::new(&base);
+        let snap = fork.snapshot();
+        fork.set_storage(addr(1), U256::ZERO, U256::from(9u64));
+        fork.inc_nonce(addr(3));
+        fork.set_balance(addr(3), U256::ONE);
+        fork.mark_destroyed(addr(1));
+        fork.rollback(snap);
+        assert_eq!(fork.storage(addr(1), U256::ZERO), U256::from(7u64));
+        assert_eq!(fork.nonce(addr(3)), 0);
+        assert_eq!(fork.balance(addr(3)), U256::ZERO);
+        assert_eq!(fork.overlay_len(), 0);
+    }
+
+    #[test]
+    fn nested_rollback_layers() {
+        let base = MemoryDb::new();
+        let mut fork = ForkDb::new(&base);
+        fork.set_storage(addr(1), U256::ZERO, U256::ONE);
+        let snap = fork.snapshot();
+        fork.set_storage(addr(1), U256::ZERO, U256::from(2u64));
+        fork.rollback(snap);
+        assert_eq!(fork.storage(addr(1), U256::ZERO), U256::ONE);
+    }
+
+    #[test]
+    fn nonce_increments_on_top_of_base() {
+        let mut base = MemoryDb::new();
+        base.inc_nonce(addr(1));
+        base.inc_nonce(addr(1));
+        let mut fork = ForkDb::new(&base);
+        assert_eq!(fork.inc_nonce(addr(1)), 2);
+        assert_eq!(fork.nonce(addr(1)), 3);
+        assert_eq!(base.nonce(addr(1)), 2);
+    }
+
+    #[test]
+    fn code_hash_reflects_overlay_code() {
+        let base = MemoryDb::new();
+        let mut fork = ForkDb::new(&base);
+        fork.set_code(addr(1), vec![1, 2, 3]);
+        assert_eq!(fork.code_hash(addr(1)), keccak256([1, 2, 3]));
+    }
+}

@@ -1,0 +1,42 @@
+//! A simulated Ethereum archive node.
+//!
+//! Proxion (the paper) consumes Ethereum through a narrow interface: the
+//! runtime bytecode of every account, `getStorageAt(address, slot, block)`
+//! over the whole chain history, deployment metadata, and transaction
+//! records (to know which contracts ever interacted). This crate provides
+//! exactly that interface over an in-memory chain whose blocks are produced
+//! by executing real transactions through the `proxion-evm` interpreter.
+//!
+//! Two pieces matter to the analyses:
+//!
+//! * [`Chain`] — the node: executes transactions block by block, maintains
+//!   a per-slot change history so historical storage queries answer exactly
+//!   as a real archive node would, and counts `getStorageAt` API calls so
+//!   the paper's efficiency claim (≈26 calls per proxy, §6.1) can be
+//!   measured.
+//! * [`ForkDb`] — a copy-on-write overlay over the chain state. Proxion's
+//!   dynamic proxy detection *emulates* contracts with crafted call data;
+//!   running that emulation on a fork guarantees the probe never perturbs
+//!   the chain.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_chain::Chain;
+//! use proxion_primitives::{Address, U256};
+//!
+//! let mut chain = Chain::new();
+//! let me = chain.new_funded_account();
+//! // Deploy a contract that just stops (runtime code = 0x00).
+//! let init = vec![0x60, 0x00, 0x5f, 0x53, 0x60, 0x01, 0x5f, 0xf3];
+//! let addr = chain.deploy(me, init).expect("deploys");
+//! assert!(!chain.code_at(addr).is_empty());
+//! ```
+
+mod fork;
+mod node;
+mod trace;
+
+pub use fork::ForkDb;
+pub use node::{Chain, ChainError, DeploymentInfo, InternalCall, TxRecord};
+pub use trace::{TraceBuilder, TraceFrame, TxTrace};

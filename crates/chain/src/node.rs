@@ -1,0 +1,623 @@
+//! The simulated archive node.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proxion_evm::{
+    BlockEnv, CallKind, CallResult, Env, Evm, Host, Inspector, MemoryDb, Message,
+    RecordingInspector,
+};
+use proxion_primitives::{Address, DetRng, U256};
+
+/// Error returned by chain operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A deployment's init code reverted or failed.
+    DeploymentFailed(String),
+    /// A direct install targeted an address that already has code.
+    AddressOccupied(Address),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::DeploymentFailed(reason) => write!(f, "deployment failed: {reason}"),
+            ChainError::AddressOccupied(a) => write!(f, "address {a} already has code"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Metadata about a deployed contract.
+#[derive(Debug, Clone)]
+pub struct DeploymentInfo {
+    /// Block height at which the contract appeared.
+    pub block: u64,
+    /// The deploying account (EOA or factory contract).
+    pub deployer: Address,
+}
+
+/// An internal (contract-to-contract) call observed while executing a
+/// transaction.
+#[derive(Debug, Clone)]
+pub struct InternalCall {
+    /// Block in which it happened.
+    pub block: u64,
+    /// Kind of call.
+    pub kind: CallKind,
+    /// The frame that issued the call (storage context).
+    pub from: Address,
+    /// The account whose code was invoked.
+    pub code_address: Address,
+}
+
+/// A recorded external transaction.
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// Block height.
+    pub block: u64,
+    /// Sender (EOA).
+    pub from: Address,
+    /// Target contract (or created contract for deployments).
+    pub to: Address,
+    /// Whether the transaction succeeded.
+    pub success: bool,
+    /// The first four bytes of the call data, when present — the function
+    /// selector the caller used (what trace-seeded analyses harvest).
+    pub input_selector: Option<[u8; 4]>,
+    /// Internal calls made during execution.
+    pub internal_calls: Vec<InternalCall>,
+}
+
+/// The simulated archive node: current state plus full history.
+///
+/// Every transaction occupies its own block (sufficient for the analyses,
+/// which only need a total order of state changes). Storage writes are
+/// recorded per block, so [`Chain::storage_at`] answers historical queries
+/// exactly like `eth_getStorageAt` against an archive node — and counts
+/// how many times it is called, which the performance evaluation (§6.1)
+/// reports as "API calls per proxy".
+pub struct Chain {
+    db: MemoryDb,
+    head: u64,
+    /// (address, slot) → change list [(block, new value)] in block order.
+    storage_history: HashMap<(Address, U256), Vec<(u64, U256)>>,
+    deployments: HashMap<Address, DeploymentInfo>,
+    txs: Vec<TxRecord>,
+    /// Per-address indexes into `txs` (as target or internal participant).
+    tx_index: HashMap<Address, Vec<usize>>,
+    api_calls: AtomicU64,
+    rng: DetRng,
+}
+
+impl Default for Chain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Chain {
+    /// Genesis block height.
+    pub const GENESIS: u64 = 0;
+
+    /// Creates a chain with an empty genesis state.
+    pub fn new() -> Self {
+        Chain {
+            db: MemoryDb::new(),
+            head: Self::GENESIS,
+            storage_history: HashMap::new(),
+            deployments: HashMap::new(),
+            txs: Vec::new(),
+            tx_index: HashMap::new(),
+            api_calls: AtomicU64::new(0),
+            rng: DetRng::new(0x10ad),
+        }
+    }
+
+    /// Current head block height.
+    pub fn head_block(&self) -> u64 {
+        self.head
+    }
+
+    /// The execution environment for the current head.
+    pub fn env(&self) -> Env {
+        Env {
+            block: BlockEnv {
+                number: self.head,
+                timestamp: 1_438_269_973 + self.head * 12,
+                ..BlockEnv::default()
+            },
+            ..Env::default()
+        }
+    }
+
+    /// Read-only access to the underlying state database (for forks).
+    pub fn db(&self) -> &MemoryDb {
+        &self.db
+    }
+
+    /// Creates a fresh EOA funded with 2^96 wei.
+    pub fn new_funded_account(&mut self) -> Address {
+        let address = self.rng.next_address();
+        self.db.set_balance(address, U256::ONE << 96u32);
+        self.db.commit();
+        address
+    }
+
+    fn begin_block(&mut self) -> u64 {
+        self.head += 1;
+        self.head
+    }
+
+    fn record_state_changes(&mut self, block: u64) {
+        for (address, slot) in self.db.journal_storage_keys() {
+            let value = self.db.storage(address, slot);
+            let history = self.storage_history.entry((address, slot)).or_default();
+            if history.last().map(|&(_, v)| v) != Some(value) {
+                history.push((block, value));
+            }
+        }
+        self.db.commit();
+    }
+
+    fn record_tx(&mut self, record: TxRecord) {
+        let index = self.txs.len();
+        self.tx_index.entry(record.to).or_default().push(index);
+        for call in &record.internal_calls {
+            for participant in [call.from, call.code_address] {
+                let entries = self.tx_index.entry(participant).or_default();
+                if entries.last() != Some(&index) {
+                    entries.push(index);
+                }
+            }
+        }
+        self.txs.push(record);
+    }
+
+    /// Deploys a contract by executing its init code in a new block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::DeploymentFailed`] if the init code reverts or
+    /// halts abnormally.
+    pub fn deploy(&mut self, deployer: Address, init_code: Vec<u8>) -> Result<Address, ChainError> {
+        let block = self.begin_block();
+        let env = self.env();
+        let mut inspector = RecordingInspector::new();
+        let result = {
+            let mut evm = Evm::with_inspector(&mut self.db, env, &mut inspector);
+            evm.call(Message::create(deployer, init_code, U256::ZERO))
+        };
+        if !result.is_success() {
+            self.db.rollback(proxion_evm::Snapshot::new(0));
+            self.db.commit();
+            self.head -= 1;
+            return Err(ChainError::DeploymentFailed(result.halt.to_string()));
+        }
+        let address = result.created.expect("successful create has an address");
+        self.finish_tx(block, deployer, address, None, &result, &inspector);
+        self.deployments
+            .insert(address, DeploymentInfo { block, deployer });
+        Ok(address)
+    }
+
+    /// Installs runtime bytecode directly at a fresh address, bypassing
+    /// init-code execution. This is how the dataset generator deploys
+    /// hundreds of thousands of contracts quickly; the resulting account is
+    /// indistinguishable from a CREATE-deployed one to every analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::AddressOccupied`] if the address has code.
+    pub fn install(
+        &mut self,
+        deployer: Address,
+        address: Address,
+        runtime_code: Vec<u8>,
+    ) -> Result<(), ChainError> {
+        if !self.db.code(address).is_empty() {
+            return Err(ChainError::AddressOccupied(address));
+        }
+        let block = self.begin_block();
+        self.db.set_code(address, runtime_code);
+        self.db.inc_nonce(address);
+        self.db.commit();
+        self.deployments
+            .insert(address, DeploymentInfo { block, deployer });
+        Ok(())
+    }
+
+    /// Installs bytecode at a deterministic fresh address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChainError::AddressOccupied`] (practically impossible
+    /// for random addresses).
+    pub fn install_new(
+        &mut self,
+        deployer: Address,
+        runtime_code: Vec<u8>,
+    ) -> Result<Address, ChainError> {
+        let address = self.rng.next_address();
+        self.install(deployer, address, runtime_code)?;
+        Ok(address)
+    }
+
+    /// Writes a storage slot directly (dataset setup), recording history.
+    pub fn set_storage(&mut self, address: Address, slot: U256, value: U256) {
+        let block = self.begin_block();
+        self.db.set_storage(address, slot, value);
+        self.record_state_changes(block);
+    }
+
+    /// Executes an external transaction in a new block and records it.
+    pub fn transact(
+        &mut self,
+        from: Address,
+        to: Address,
+        input: Vec<u8>,
+        value: U256,
+    ) -> CallResult {
+        let block = self.begin_block();
+        let env = self.env();
+        let mut inspector = RecordingInspector::new();
+        let input_selector = selector_of(&input);
+        let result = {
+            let mut evm = Evm::with_inspector(&mut self.db, env, &mut inspector);
+            evm.call(Message::eoa_call(from, to, input).with_value(value))
+        };
+        self.finish_tx(block, from, to, input_selector, &result, &inspector);
+        result
+    }
+
+    /// Executes a transaction with a caller-provided inspector (used by
+    /// analyses that need deeper visibility than [`TxRecord`] keeps).
+    pub fn transact_inspected(
+        &mut self,
+        from: Address,
+        to: Address,
+        input: Vec<u8>,
+        inspector: &mut dyn Inspector,
+    ) -> CallResult {
+        let block = self.begin_block();
+        let env = self.env();
+        let input_selector = selector_of(&input);
+        let result = {
+            let mut evm = Evm::with_inspector(&mut self.db, env, inspector);
+            evm.call(Message::eoa_call(from, to, input))
+        };
+        let record = TxRecord {
+            block,
+            from,
+            to,
+            success: result.is_success(),
+            input_selector,
+            internal_calls: Vec::new(),
+        };
+        self.record_state_changes(block);
+        self.record_tx(record);
+        result
+    }
+
+    fn finish_tx(
+        &mut self,
+        block: u64,
+        from: Address,
+        to: Address,
+        input_selector: Option<[u8; 4]>,
+        result: &CallResult,
+        inspector: &RecordingInspector,
+    ) {
+        let internal_calls = inspector
+            .calls
+            .iter()
+            .map(|c| InternalCall {
+                block,
+                kind: c.kind,
+                from: c.target,
+                code_address: c.code_address,
+            })
+            .collect();
+        self.record_state_changes(block);
+        self.record_tx(TxRecord {
+            block,
+            from,
+            to,
+            success: result.is_success(),
+            input_selector,
+            internal_calls,
+        });
+    }
+
+    // ---- archive-node query interface ----
+
+    /// Runtime bytecode at the head block.
+    pub fn code_at(&self, address: Address) -> Arc<Vec<u8>> {
+        self.db.code(address)
+    }
+
+    /// `eth_getStorageAt(address, slot, block)`: the slot value as of the
+    /// *end* of `block`. Every call increments the API-call counter.
+    pub fn storage_at(&self, address: Address, slot: U256, block: u64) -> U256 {
+        self.api_calls.fetch_add(1, Ordering::Relaxed);
+        match self.storage_history.get(&(address, slot)) {
+            Some(history) => {
+                // Last change at height <= block.
+                match history.partition_point(|&(b, _)| b <= block) {
+                    0 => U256::ZERO,
+                    n => history[n - 1].1,
+                }
+            }
+            None => U256::ZERO,
+        }
+    }
+
+    /// Current (head) value of a storage slot, without counting as an API
+    /// call.
+    pub fn storage_latest(&self, address: Address, slot: U256) -> U256 {
+        self.db.storage(address, slot)
+    }
+
+    /// Number of `storage_at` calls made so far.
+    pub fn api_call_count(&self) -> u64 {
+        self.api_calls.load(Ordering::Relaxed)
+    }
+
+    /// Resets the API-call counter (between experiments).
+    pub fn reset_api_calls(&self) {
+        self.api_calls.store(0, Ordering::Relaxed);
+    }
+
+    /// Deployment metadata for a contract.
+    pub fn deployment(&self, address: Address) -> Option<&DeploymentInfo> {
+        self.deployments.get(&address)
+    }
+
+    /// All contract addresses ever deployed, in deployment order.
+    pub fn contracts(&self) -> Vec<Address> {
+        let mut all: Vec<(u64, Address)> = self
+            .deployments
+            .iter()
+            .map(|(&a, info)| (info.block, a))
+            .collect();
+        all.sort_unstable();
+        all.into_iter().map(|(_, a)| a).collect()
+    }
+
+    /// Whether the contract is alive (deployed and not destroyed).
+    pub fn is_alive(&self, address: Address) -> bool {
+        self.deployments.contains_key(&address) && !self.db.is_destroyed(address)
+    }
+
+    /// All recorded transactions.
+    pub fn transactions(&self) -> &[TxRecord] {
+        &self.txs
+    }
+
+    /// The transactions a contract participated in (as external target or
+    /// internal caller/callee).
+    pub fn transactions_of(&self, address: Address) -> Vec<&TxRecord> {
+        self.tx_index
+            .get(&address)
+            .map(|indexes| indexes.iter().map(|&i| &self.txs[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether the contract appears in any transaction — the availability
+    /// criterion that transaction-replay tools (CRUSH, Salehi et al.)
+    /// require and hidden contracts lack.
+    pub fn has_transactions(&self, address: Address) -> bool {
+        self.tx_index.get(&address).is_some_and(|v| !v.is_empty())
+    }
+
+    /// The full storage change history of one slot: `(block, value)` pairs.
+    pub fn storage_history_of(&self, address: Address, slot: U256) -> Vec<(u64, U256)> {
+        self.storage_history
+            .get(&(address, slot))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// The 4-byte selector prefix of call data, when long enough.
+fn selector_of(input: &[u8]) -> Option<[u8; 4]> {
+    if input.len() < 4 {
+        return None;
+    }
+    let mut out = [0u8; 4];
+    out.copy_from_slice(&input[..4]);
+    Some(out)
+}
+
+impl fmt::Debug for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chain")
+            .field("head", &self.head)
+            .field("contracts", &self.deployments.len())
+            .field("txs", &self.txs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_asm::{opcode as op, Assembler};
+
+    /// Init code that deploys `runtime` via CODECOPY.
+    fn init_for(runtime: &[u8]) -> Vec<u8> {
+        let mut asm = Assembler::new();
+        let body = asm.new_label();
+        asm.push(U256::from(runtime.len()))
+            .op(op::DUP1)
+            .push_label(body)
+            .op(op::PUSH0)
+            .op(op::CODECOPY)
+            .op(op::PUSH0)
+            .op(op::RETURN)
+            .label(body);
+        // Note: label() emits a JUMPDEST, so copy from label+1.
+        // Simpler: append runtime after an explicit marker offset.
+        let mut code = asm.assemble().unwrap();
+        // Patch: we copy from `body` which points at the JUMPDEST; replace
+        // that trailing JUMPDEST with the runtime itself.
+        code.pop();
+        code.extend_from_slice(runtime);
+        code
+    }
+
+    #[test]
+    fn deploy_and_query_code() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let runtime = vec![op::STOP];
+        let addr = chain.deploy(me, init_for(&runtime)).unwrap();
+        assert_eq!(*chain.code_at(addr), runtime);
+        assert!(chain.is_alive(addr));
+        assert_eq!(chain.deployment(addr).unwrap().deployer, me);
+        assert!(chain.contracts().contains(&addr));
+    }
+
+    #[test]
+    fn failed_deployment_is_an_error() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        // Init code that reverts immediately.
+        let err = chain.deploy(me, vec![op::PUSH0, op::PUSH0, op::REVERT]);
+        assert!(matches!(err, Err(ChainError::DeploymentFailed(_))));
+    }
+
+    #[test]
+    fn install_rejects_occupied_address() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+        assert_eq!(
+            chain.install(me, a, vec![op::STOP]),
+            Err(ChainError::AddressOccupied(a))
+        );
+    }
+
+    #[test]
+    fn storage_history_binary_searchable() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+        let slot = U256::ZERO;
+        chain.set_storage(a, slot, U256::from(1u64)); // some block b1
+        let b1 = chain.head_block();
+        chain.set_storage(a, slot, U256::from(2u64));
+        let b2 = chain.head_block();
+
+        assert_eq!(chain.storage_at(a, slot, 0), U256::ZERO);
+        assert_eq!(chain.storage_at(a, slot, b1), U256::from(1u64));
+        assert_eq!(chain.storage_at(a, slot, b2 - 1), U256::from(1u64));
+        assert_eq!(chain.storage_at(a, slot, b2), U256::from(2u64));
+        assert_eq!(chain.storage_at(a, slot, b2 + 100), U256::from(2u64));
+        assert_eq!(chain.api_call_count(), 5);
+        chain.reset_api_calls();
+        assert_eq!(chain.api_call_count(), 0);
+        assert_eq!(chain.storage_history_of(a, slot).len(), 2);
+    }
+
+    #[test]
+    fn transact_records_storage_writes() {
+        // Contract: SSTORE(0, CALLDATALOAD(0)); STOP.
+        let mut asm = Assembler::new();
+        asm.op(op::PUSH0)
+            .op(op::CALLDATALOAD)
+            .op(op::PUSH0)
+            .op(op::SSTORE)
+            .op(op::STOP);
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, asm.assemble().unwrap()).unwrap();
+
+        let mut input = vec![0u8; 32];
+        input[31] = 42;
+        let r = chain.transact(me, a, input, U256::ZERO);
+        assert!(r.is_success());
+        let wrote_at = chain.head_block();
+        assert_eq!(chain.storage_latest(a, U256::ZERO), U256::from(42u64));
+        assert_eq!(chain.storage_at(a, U256::ZERO, wrote_at), U256::from(42u64));
+        assert_eq!(chain.storage_at(a, U256::ZERO, wrote_at - 1), U256::ZERO);
+        assert!(chain.has_transactions(a));
+        assert_eq!(chain.transactions_of(a).len(), 1);
+    }
+
+    #[test]
+    fn reverted_writes_leave_no_history() {
+        // SSTORE then REVERT.
+        let mut asm = Assembler::new();
+        asm.push(U256::from(9u64))
+            .op(op::PUSH0)
+            .op(op::SSTORE)
+            .op(op::PUSH0)
+            .op(op::PUSH0)
+            .op(op::REVERT);
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, asm.assemble().unwrap()).unwrap();
+        let r = chain.transact(me, a, vec![], U256::ZERO);
+        assert!(!r.is_success());
+        assert!(chain.storage_history_of(a, U256::ZERO).is_empty());
+        assert_eq!(chain.storage_latest(a, U256::ZERO), U256::ZERO);
+        // The failed transaction is still recorded.
+        assert!(chain.has_transactions(a));
+        assert!(!chain.transactions_of(a)[0].success);
+    }
+
+    #[test]
+    fn internal_calls_recorded() {
+        // Proxy delegatecalls to logic.
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain.install_new(me, vec![op::STOP]).unwrap();
+        let mut proxy_asm = Assembler::new();
+        proxy_asm
+            .op(op::PUSH0)
+            .op(op::PUSH0)
+            .op(op::PUSH0)
+            .op(op::PUSH0)
+            .push(U256::from(logic))
+            .op(op::GAS)
+            .op(op::DELEGATECALL)
+            .op(op::STOP);
+        let proxy = chain
+            .install_new(me, proxy_asm.assemble().unwrap())
+            .unwrap();
+        let r = chain.transact(me, proxy, vec![], U256::ZERO);
+        assert!(r.is_success());
+        // The logic contract has "transactions" through the internal call.
+        assert!(chain.has_transactions(logic));
+        let record = chain.transactions_of(logic)[0];
+        assert_eq!(record.internal_calls.len(), 1);
+        assert_eq!(record.internal_calls[0].kind, CallKind::DelegateCall);
+        assert_eq!(record.internal_calls[0].from, proxy);
+        assert_eq!(record.internal_calls[0].code_address, logic);
+    }
+
+    #[test]
+    fn hidden_contract_has_no_transactions() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let hidden = chain.install_new(me, vec![op::STOP]).unwrap();
+        assert!(!chain.has_transactions(hidden));
+        assert!(chain.is_alive(hidden));
+    }
+
+    #[test]
+    fn blocks_advance_per_transaction() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let start = chain.head_block();
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+        chain.transact(me, a, vec![], U256::ZERO);
+        chain.transact(me, a, vec![], U256::ZERO);
+        assert_eq!(chain.head_block(), start + 3);
+        assert_eq!(chain.transactions().len(), 2);
+    }
+}

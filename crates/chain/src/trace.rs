@@ -1,0 +1,165 @@
+//! Structured transaction tracing — the `debug_traceTransaction`-style
+//! facility replay-based tools (Salehi et al., CRUSH) consume on a real
+//! node.
+
+use proxion_evm::{CallKind, CallResult, Inspector, StorageAccess};
+use proxion_primitives::{Address, U256};
+
+/// One frame of a call trace, in pre-order (parents before children).
+#[derive(Debug, Clone)]
+pub struct TraceFrame {
+    /// Call kind.
+    pub kind: CallKind,
+    /// Depth at which the call was issued (0 = issued by the top frame).
+    pub depth: usize,
+    /// `msg.sender` of the frame.
+    pub caller: Address,
+    /// Storage context.
+    pub target: Address,
+    /// Account whose code ran.
+    pub code_address: Address,
+    /// Input bytes.
+    pub input: Vec<u8>,
+    /// Value transferred.
+    pub value: U256,
+    /// Whether the frame succeeded.
+    pub success: Option<bool>,
+}
+
+/// A full transaction trace: the call tree plus every storage access.
+#[derive(Debug, Clone, Default)]
+pub struct TxTrace {
+    /// Internal call frames, in issue order (the top-level frame is not
+    /// included; its parameters are the transaction itself).
+    pub frames: Vec<TraceFrame>,
+    /// Storage reads and writes, in execution order.
+    pub storage: Vec<StorageAccess>,
+    /// Number of opcodes executed.
+    pub steps: u64,
+}
+
+impl TxTrace {
+    /// All `DELEGATECALL` frames (what proxy-discovery tools scan for).
+    pub fn delegate_frames(&self) -> impl Iterator<Item = &TraceFrame> {
+        self.frames
+            .iter()
+            .filter(|f| f.kind == CallKind::DelegateCall)
+    }
+
+    /// The storage slots written, deduplicated, in first-write order.
+    pub fn written_slots(&self) -> Vec<(Address, U256)> {
+        let mut out: Vec<(Address, U256)> = Vec::new();
+        for access in self.storage.iter().filter(|a| a.is_write) {
+            if !out.contains(&(access.address, access.slot)) {
+                out.push((access.address, access.slot));
+            }
+        }
+        out
+    }
+}
+
+/// The inspector that builds a [`TxTrace`].
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: TxTrace,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the builder and returns the trace.
+    pub fn into_trace(self) -> TxTrace {
+        self.trace
+    }
+}
+
+impl Inspector for TraceBuilder {
+    fn on_step(&mut self, _pc: usize, _op: u8, _depth: usize) {
+        self.trace.steps += 1;
+    }
+
+    fn on_call(&mut self, record: &proxion_evm::CallRecord) {
+        self.trace.frames.push(TraceFrame {
+            kind: record.kind,
+            depth: record.depth,
+            caller: record.caller,
+            target: record.target,
+            code_address: record.code_address,
+            input: record.input.clone(),
+            value: record.value,
+            success: None,
+        });
+    }
+
+    fn on_call_end(&mut self, record_index: usize, result: &CallResult) {
+        if let Some(frame) = self.trace.frames.get_mut(record_index) {
+            frame.success = Some(result.is_success());
+        }
+    }
+
+    fn on_storage(&mut self, access: StorageAccess) {
+        self.trace.storage.push(access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Chain;
+
+    #[test]
+    fn trace_frames_empty_before_use() {
+        let trace = TraceBuilder::new().into_trace();
+        assert!(trace.frames.is_empty());
+        assert_eq!(trace.steps, 0);
+        assert!(trace.written_slots().is_empty());
+    }
+
+    #[test]
+    fn written_slots_deduplicate_in_order() {
+        let mut trace = TxTrace::default();
+        let a = Address::from_low_u64(1);
+        for (slot, write) in [(1u64, true), (2, true), (1, true), (3, false)] {
+            trace.storage.push(StorageAccess {
+                address: a,
+                slot: U256::from(slot),
+                value: U256::ZERO,
+                is_write: write,
+            });
+        }
+        assert_eq!(
+            trace.written_slots(),
+            vec![(a, U256::ONE), (a, U256::from(2u64))]
+        );
+    }
+
+    #[test]
+    fn end_to_end_trace_through_chain() {
+        // Proxy delegates to logic which writes a slot; the trace must
+        // show the delegate frame and the write.
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        // Logic: sstore(0, 7)
+        let logic = chain
+            .install_new(me, vec![0x60, 0x07, 0x5f, 0x55, 0x00])
+            .unwrap();
+        let proxy = chain
+            .install_new(me, proxion_solc::templates::minimal_proxy_runtime(logic))
+            .unwrap();
+        let mut builder = TraceBuilder::new();
+        let result =
+            chain.transact_inspected(me, proxy, vec![0xab, 0xcd, 0xef, 0x01], &mut builder);
+        assert!(result.is_success());
+        let trace = builder.into_trace();
+        assert_eq!(trace.delegate_frames().count(), 1);
+        let frame = trace.delegate_frames().next().unwrap();
+        assert_eq!(frame.target, proxy, "delegate runs in the proxy's context");
+        assert_eq!(frame.code_address, logic);
+        assert_eq!(frame.success, Some(true));
+        assert_eq!(trace.written_slots(), vec![(proxy, U256::ZERO)]);
+        assert!(trace.steps > 0);
+    }
+}

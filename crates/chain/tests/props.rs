@@ -1,0 +1,126 @@
+//! Property-based tests for the archive node: historical storage queries
+//! must agree with a straightforward replay of the write log.
+
+use proptest::prelude::*;
+use proxion_chain::Chain;
+use proxion_primitives::{Address, U256};
+
+/// A write script: (slot, value) pairs applied in order, one block each.
+fn write_script() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0u8..4, any::<u8>()), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn storage_at_agrees_with_replay(script in write_script()) {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let target = chain.install_new(me, vec![0x00]).unwrap();
+        // Apply the script; remember (block, slot, value).
+        let mut log: Vec<(u64, u8, u8)> = Vec::new();
+        for &(slot, value) in &script {
+            chain.set_storage(target, U256::from(slot as u64), U256::from(value as u64));
+            log.push((chain.head_block(), slot, value));
+        }
+        // At every block height, the archive answer must equal the value
+        // of the last write at or before that height.
+        let head = chain.head_block();
+        for probe_block in 0..=head {
+            for slot in 0u8..4 {
+                let expected = log
+                    .iter()
+                    .filter(|&&(b, s, _)| s == slot && b <= probe_block)
+                    .next_back()
+                    .map(|&(_, _, v)| U256::from(v as u64))
+                    .unwrap_or(U256::ZERO);
+                let got = chain.storage_at(target, U256::from(slot as u64), probe_block);
+                prop_assert_eq!(got, expected, "slot {} at block {}", slot, probe_block);
+            }
+        }
+    }
+
+    #[test]
+    fn latest_matches_last_write(script in write_script()) {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let target = chain.install_new(me, vec![0x00]).unwrap();
+        let mut last: [Option<u8>; 4] = [None; 4];
+        for &(slot, value) in &script {
+            chain.set_storage(target, U256::from(slot as u64), U256::from(value as u64));
+            last[slot as usize] = Some(value);
+        }
+        for slot in 0u8..4 {
+            let expected = last[slot as usize]
+                .map(|v| U256::from(v as u64))
+                .unwrap_or(U256::ZERO);
+            prop_assert_eq!(chain.storage_latest(target, U256::from(slot as u64)), expected);
+            // And the head-block archive query agrees with latest.
+            prop_assert_eq!(
+                chain.storage_at(target, U256::from(slot as u64), chain.head_block()),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn history_is_change_compressed(script in write_script()) {
+        // The per-slot history must never contain two consecutive entries
+        // with the same value (redundant writes are compressed away).
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let target = chain.install_new(me, vec![0x00]).unwrap();
+        for &(slot, value) in &script {
+            chain.set_storage(target, U256::from(slot as u64), U256::from(value as u64));
+        }
+        for slot in 0u8..4 {
+            let history = chain.storage_history_of(target, U256::from(slot as u64));
+            for pair in history.windows(2) {
+                prop_assert!(pair[0].0 < pair[1].0, "blocks must be increasing");
+                prop_assert_ne!(pair[0].1, pair[1].1, "consecutive values must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn resolver_finds_exactly_the_change_points(values in proptest::collection::vec(1u64..=6, 1..8)) {
+        // Install a sequence of distinct "logic addresses" (values may
+        // repeat consecutively; resolver sees the compressed history).
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let proxy = chain.install_new(me, vec![0x00]).unwrap();
+        let slot = U256::ZERO;
+        for (i, &v) in values.iter().enumerate() {
+            chain.set_storage(proxy, slot, U256::from(Address::from_low_u64(v)));
+            // Unrelated padding blocks.
+            for _ in 0..(i % 3) + 1 {
+                chain.set_storage(me, U256::MAX, U256::from(i));
+            }
+        }
+        let resolver = proxion_core::LogicResolver::new();
+        let history = resolver.resolve(&chain, proxy, slot);
+        // Expected: consecutive-dedup of the value sequence, BUT the
+        // resolver's same-endpoint pruning may merge a value that appears
+        // at both ends of a range with everything in between. With unique
+        // non-repeating histories the answer is exact:
+        let mut dedup: Vec<u64> = Vec::new();
+        for &v in &values {
+            if dedup.last() != Some(&v) {
+                dedup.push(v);
+            }
+        }
+        let unique_history = dedup.iter().collect::<std::collections::BTreeSet<_>>().len() == dedup.len();
+        if unique_history {
+            let expected: Vec<Address> = dedup.iter().map(|&v| Address::from_low_u64(v)).collect();
+            prop_assert_eq!(history.addresses, expected);
+        } else {
+            // The paper's uniqueness assumption is violated; the resolver
+            // must still return a subset of the written values.
+            prop_assert!(history
+                .addresses
+                .iter()
+                .all(|a| values.iter().any(|&v| Address::from_low_u64(v) == *a)));
+        }
+    }
+}

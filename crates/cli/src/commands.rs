@@ -1,0 +1,351 @@
+//! The CLI subcommands.
+
+use proxion_baselines::{CrushLike, UschuntLike};
+use proxion_chain::Chain;
+use proxion_core::{
+    FunctionCollisionDetector, Pipeline, PipelineConfig, ProxyDetector, ProxyStandard,
+    StorageCollisionDetector,
+};
+use proxion_dataset::{CollisionCorpus, Landscape, LandscapeConfig};
+use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Disassembly};
+use proxion_primitives::{decode_hex, encode_hex, selector, Address, U256};
+use proxion_solc::{compile, templates};
+
+/// `proxion inspect <hex-file-or-string>`
+pub fn inspect(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .ok_or("inspect needs a hex file path or hex string")?;
+    let hex = match std::fs::read_to_string(input) {
+        Ok(contents) => contents.trim().to_string(),
+        Err(_) => input.clone(),
+    };
+    let code = decode_hex(&hex).map_err(|e| format!("invalid hex: {e}"))?;
+    if code.is_empty() {
+        return Err("empty bytecode".into());
+    }
+    println!("bytecode: {} bytes", code.len());
+
+    let disasm = Disassembly::new(&code);
+    println!("instructions: {}", disasm.instructions().len());
+    println!("jumpdests: {}", disasm.jumpdests().len());
+
+    let has_delegate = disasm.contains(proxion_asm_delegatecall());
+    println!(
+        "DELEGATECALL gate: {}",
+        if has_delegate {
+            "present (proxy candidate — needs emulation to confirm)"
+        } else {
+            "absent (not a proxy)"
+        }
+    );
+
+    let info = extract_dispatcher_selectors(&disasm);
+    println!(
+        "call-data prelude: {}",
+        if info.has_calldata_prelude {
+            "found"
+        } else {
+            "not found"
+        }
+    );
+    println!("dispatcher selectors ({}):", info.selectors.len());
+    for s in &info.selectors {
+        println!("  0x{}", encode_hex(s));
+    }
+    let naive = naive_push4_selectors(&disasm);
+    let junk: Vec<_> = naive.difference(&info.selectors).collect();
+    if !junk.is_empty() {
+        println!(
+            "PUSH4 immediates that are NOT dispatcher selectors ({}):",
+            junk.len()
+        );
+        for s in junk {
+            println!("  0x{}  (naive scan would miscount this)", encode_hex(s));
+        }
+    }
+
+    let layout = StorageCollisionDetector::new().layout_of(&code);
+    println!("storage access regions ({}):", layout.len());
+    for region in &layout {
+        println!("  {region}");
+    }
+
+    if code.len() <= 256 {
+        println!("\ndisassembly:");
+        print!("{}", disasm.listing());
+    } else {
+        println!(
+            "\n(disassembly suppressed: {} bytes; first 24 instructions)",
+            code.len()
+        );
+        for insn in disasm.instructions().iter().take(24) {
+            println!("{insn}");
+        }
+    }
+    Ok(())
+}
+
+// Local alias to avoid importing the asm crate for one constant.
+fn proxion_asm_delegatecall() -> u8 {
+    0xf4
+}
+
+/// `proxion landscape [contracts] [seed]`
+pub fn landscape(args: &[String]) -> Result<(), String> {
+    let contracts: usize = parse_or(args.first(), 1000)?;
+    let seed: u64 = parse_or(args.get(1), 0x5eed)?;
+    println!("generating landscape: {contracts} contracts, seed {seed:#x}...");
+    let landscape = Landscape::generate(&LandscapeConfig {
+        seed,
+        total_contracts: contracts,
+    });
+    let started = std::time::Instant::now();
+    let report = Pipeline::new(PipelineConfig {
+        parallelism: 8,
+        resolve_history: true,
+        check_collisions: true,
+        check_historical_pairs: false,
+    })
+    .analyze_all(&landscape.chain, &landscape.etherscan);
+    println!(
+        "analyzed {} contracts in {:.2}s",
+        report.total(),
+        started.elapsed().as_secs_f64()
+    );
+    println!(
+        "proxies: {} ({} hidden)",
+        report.proxy_count(),
+        report.hidden_proxy_count()
+    );
+    let standards = report.standard_distribution();
+    for (label, key) in [
+        ("EIP-1167", ProxyStandard::Eip1167),
+        ("EIP-1822", ProxyStandard::Eip1822),
+        ("EIP-1967", ProxyStandard::Eip1967),
+        ("others", ProxyStandard::Other),
+    ] {
+        println!("  {label:<9} {}", standards.get(&key).copied().unwrap_or(0));
+    }
+    println!(
+        "collisions: {} function pairs, {} exploitable storage pairs",
+        report.function_collision_count(),
+        report.storage_collision_count()
+    );
+    println!(
+        "upgrades: {} proxies upgraded ({} events)",
+        report.upgraded_proxy_count(),
+        report.total_upgrade_events()
+    );
+    Ok(())
+}
+
+/// `proxion accuracy [per-kind]`
+pub fn accuracy(args: &[String]) -> Result<(), String> {
+    let per_kind: usize = parse_or(args.first(), 5)?;
+    let corpus = CollisionCorpus::generate(0xacc, per_kind);
+    println!("corpus: {} labeled pairs", corpus.pairs.len());
+
+    let uschunt = UschuntLike::new();
+    let crush = CrushLike::new();
+    let proxion_fn = FunctionCollisionDetector::new();
+    let proxion_st = StorageCollisionDetector::new();
+    let detector = ProxyDetector::new();
+
+    let mut rows = [
+        ("USCHunt st", [0usize; 4]),
+        ("CRUSH   st", [0; 4]),
+        ("Proxion st", [0; 4]),
+        ("USCHunt fn", [0; 4]),
+        ("Proxion fn", [0; 4]),
+    ];
+    for pair in &corpus.pairs {
+        let us_st = uschunt
+            .storage_collisions(&corpus.etherscan, pair.proxy, pair.logic)
+            .ok()
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
+        let crush_st = crush
+            .storage_collisions(&corpus.chain, pair.proxy, pair.logic)
+            .has_exploitable();
+        let is_proxy = detector.check(&corpus.chain, pair.proxy).is_proxy();
+        let px_st = is_proxy
+            && proxion_st
+                .check_pair(&corpus.chain, pair.proxy, pair.logic)
+                .has_exploitable();
+        let us_fn = uschunt
+            .function_collisions(&corpus.etherscan, pair.proxy, pair.logic)
+            .ok()
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
+        let px_fn = is_proxy
+            && proxion_fn
+                .check_pair(&corpus.chain, &corpus.etherscan, pair.proxy, pair.logic)
+                .has_collisions();
+        for (row, (truth, flagged)) in rows.iter_mut().zip([
+            (pair.truth_storage, us_st),
+            (pair.truth_storage, crush_st),
+            (pair.truth_storage, px_st),
+            (pair.truth_function, us_fn),
+            (pair.truth_function, px_fn),
+        ]) {
+            let bucket = match (truth, flagged) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            };
+            row.1[bucket] += 1;
+        }
+    }
+    println!(
+        "{:<12} {:>5} {:>5} {:>5} {:>5} {:>9}",
+        "", "TP", "FP", "TN", "FN", "accuracy"
+    );
+    for (name, [tp, fp, tn, fn_]) in rows {
+        let accuracy = 100.0 * (tp + tn) as f64 / (tp + fp + tn + fn_) as f64;
+        println!("{name:<12} {tp:>5} {fp:>5} {tn:>5} {fn_:>5} {accuracy:>8.1}%");
+    }
+    Ok(())
+}
+
+/// `proxion demo <honeypot|audius>`
+pub fn demo(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("honeypot") => demo_honeypot(),
+        Some("audius") => demo_audius(),
+        _ => Err("demo needs `honeypot` or `audius`".into()),
+    }
+}
+
+fn demo_honeypot() -> Result<(), String> {
+    let mut chain = Chain::new();
+    let attacker = chain.new_funded_account();
+    let victim = chain.new_funded_account();
+    let (proxy_spec, logic_spec) = templates::honeypot_pair(chain.new_funded_account());
+    let logic = chain
+        .install_new(attacker, compile(&logic_spec).unwrap().runtime)
+        .map_err(|e| e.to_string())?;
+    let proxy = chain
+        .install_new(attacker, compile(&proxy_spec).unwrap().runtime)
+        .map_err(|e| e.to_string())?;
+    chain.set_storage(proxy, U256::ONE, U256::from(logic));
+
+    let bait = selector("free_ether_withdrawal()");
+    let result = chain.transact(victim, proxy, bait.to_vec(), U256::ZERO);
+    println!(
+        "victim calls free_ether_withdrawal(): success = {}",
+        result.is_success()
+    );
+
+    let check = ProxyDetector::new().check(&chain, proxy);
+    println!(
+        "proxy detection: {}",
+        if check.is_proxy() { "PROXY" } else { "no" }
+    );
+    let report = FunctionCollisionDetector::new().check_pair(
+        &chain,
+        &proxion_etherscan::Etherscan::new(),
+        proxy,
+        logic,
+    );
+    for collision in &report.collisions {
+        println!("FUNCTION COLLISION: {collision}");
+    }
+    if report.has_collisions() {
+        println!("verdict: honeypot — the bait selector never reaches the logic contract");
+        Ok(())
+    } else {
+        Err("expected a collision".into())
+    }
+}
+
+fn demo_audius() -> Result<(), String> {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    let (proxy_spec, logic_spec) = templates::audius_pair();
+    let logic = chain
+        .install_new(deployer, compile(&logic_spec).unwrap().runtime)
+        .map_err(|e| e.to_string())?;
+    let proxy = chain
+        .install_new(deployer, compile(&proxy_spec).unwrap().runtime)
+        .map_err(|e| e.to_string())?;
+    let mut admin = [0u8; 20];
+    admin[7] = 0x77;
+    chain.set_storage(proxy, U256::ZERO, U256::from(Address::from(admin)));
+    chain.set_storage(proxy, U256::ONE, U256::from(logic));
+
+    let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+    for collision in &report.collisions {
+        println!("STORAGE COLLISION: {collision}");
+    }
+    let attacker = chain.new_funded_account();
+    let r = chain.transact(
+        attacker,
+        proxy,
+        selector("initialize()").to_vec(),
+        U256::ZERO,
+    );
+    println!("attacker initialize(): success = {}", r.is_success());
+    let owner = chain.transact(attacker, proxy, selector("owner()").to_vec(), U256::ZERO);
+    println!(
+        "owner is now: {}",
+        Address::from_word(U256::from_be_slice(&owner.output))
+    );
+    if report.has_exploitable() && r.is_success() {
+        println!("verdict: exploitable storage collision — ownership seized");
+        Ok(())
+    } else {
+        Err("expected an exploitable collision".into())
+    }
+}
+
+fn parse_or<T: std::str::FromStr>(arg: Option<&String>, default: T) -> Result<T, String> {
+    match arg {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("invalid number {s:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_or_defaults_and_parses() {
+        assert_eq!(parse_or::<usize>(None, 7).unwrap(), 7);
+        assert_eq!(parse_or::<usize>(Some(&"12".into()), 7).unwrap(), 12);
+        assert!(parse_or::<usize>(Some(&"x".into()), 7).is_err());
+    }
+
+    #[test]
+    fn inspect_rejects_bad_input() {
+        assert!(inspect(&[]).is_err());
+        assert!(inspect(&["zz".into()]).is_err());
+        assert!(inspect(&["".into()]).is_err());
+    }
+
+    #[test]
+    fn inspect_accepts_minimal_proxy_hex() {
+        let code = templates::minimal_proxy_runtime(Address::from_low_u64(7));
+        let hex = encode_hex(&code);
+        inspect(&[hex]).unwrap();
+    }
+
+    #[test]
+    fn demos_run_clean() {
+        demo(&["honeypot".into()]).unwrap();
+        demo(&["audius".into()]).unwrap();
+        assert!(demo(&[]).is_err());
+    }
+
+    #[test]
+    fn accuracy_runs_on_tiny_corpus() {
+        accuracy(&["1".into()]).unwrap();
+    }
+
+    #[test]
+    fn landscape_runs_small() {
+        landscape(&["60".into(), "3".into()]).unwrap();
+    }
+}

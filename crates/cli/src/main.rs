@@ -1,0 +1,63 @@
+//! `proxion` — the command-line interface.
+//!
+//! ```text
+//! proxion inspect <hex-file-or-string>   static bytecode analysis
+//! proxion landscape [N] [seed]           generate + analyze a landscape
+//! proxion accuracy [per-kind]            Table 2 accuracy comparison
+//! proxion demo <honeypot|audius>         run an attack reproduction
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => ("help", &[] as &[String]),
+    };
+    let result = match command {
+        "inspect" => commands::inspect(rest),
+        "landscape" => commands::landscape(rest),
+        "accuracy" => commands::accuracy(rest),
+        "demo" => commands::demo(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; see `proxion help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "proxion — hidden-proxy and collision analysis for EVM bytecode
+
+USAGE:
+    proxion inspect <hex-file-or-string>
+        Disassemble runtime bytecode and report: opcode statistics, the
+        DELEGATECALL gate verdict, dispatcher selectors (vs. the naive
+        PUSH4 scan), and the recovered storage-access layout.
+
+    proxion landscape [contracts] [seed]
+        Generate a synthetic Ethereum landscape (default 1000 contracts)
+        and run the full Proxion pipeline over it.
+
+    proxion accuracy [per-kind]
+        Generate the labeled collision corpus and print the Table 2
+        accuracy comparison (Proxion vs USCHunt vs CRUSH).
+
+    proxion demo honeypot
+    proxion demo audius
+        Reproduce the paper's Listing 1 / Listing 2 attacks end to end.
+"
+    );
+}

@@ -1,0 +1,271 @@
+//! Diamond (EIP-2535) proxy detection — the paper's §8.2 future work.
+//!
+//! The base detector probes with a *random* selector, which a diamond's
+//! fallback rejects (no facet registered), so diamonds are missed (§8.1).
+//! The fix the paper sketches: harvest selectors the contract has
+//! actually been called with from its transaction history (the way CRUSH
+//! gathers inputs) and probe with those. A contract that delegates with
+//! full call-data forwarding for a *harvested* selector — but not for a
+//! random one — is a diamond-style per-selector proxy.
+
+use std::collections::BTreeSet;
+
+use proxion_chain::{Chain, ForkDb};
+use proxion_disasm::Disassembly;
+use proxion_evm::{Evm, Message, Origin, RecordingInspector};
+use proxion_primitives::{Address, U256};
+
+use crate::proxy::{NotProxyReason, ProxyCheck, ProxyDetector};
+
+/// A facet routing discovered for one selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacetRoute {
+    /// The probed selector.
+    pub selector: [u8; 4],
+    /// The facet (logic contract) it delegates to.
+    pub facet: Address,
+}
+
+/// The outcome of the extended diamond check.
+#[derive(Debug, Clone)]
+pub enum DiamondCheck {
+    /// The contract routes at least one harvested selector through a
+    /// forwarding delegatecall while rejecting random selectors.
+    Diamond {
+        /// Selector → facet routes observed.
+        routes: Vec<FacetRoute>,
+    },
+    /// The base detector already classifies it (an ordinary proxy).
+    OrdinaryProxy(ProxyCheck),
+    /// Not a diamond: no harvested selector triggered a forwarding
+    /// delegate call.
+    NotDiamond,
+    /// The contract has no transaction history to harvest selectors
+    /// from — the extension inherits this limitation from its
+    /// trace-based seeding.
+    NoHistory,
+}
+
+impl DiamondCheck {
+    /// Returns `true` if a diamond was identified.
+    pub fn is_diamond(&self) -> bool {
+        matches!(self, DiamondCheck::Diamond { .. })
+    }
+}
+
+/// The extended detector.
+#[derive(Debug, Clone, Default)]
+pub struct DiamondDetector {
+    base: ProxyDetector,
+}
+
+impl DiamondDetector {
+    /// Creates the detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Harvests the 4-byte selectors a contract has historically been
+    /// called with (external transactions only).
+    pub fn harvest_selectors(&self, chain: &Chain, address: Address) -> BTreeSet<[u8; 4]> {
+        let mut selectors = BTreeSet::new();
+        for tx in chain.transactions_of(address) {
+            if tx.to == address && tx.success {
+                // The chain keeps inputs only implicitly (via storage
+                // history); selectors are harvested from the recorded
+                // call-data prefixes.
+                if let Some(selector) = tx.input_selector {
+                    selectors.insert(selector);
+                }
+            }
+        }
+        selectors
+    }
+
+    /// Runs the extended check.
+    pub fn check(&self, chain: &Chain, address: Address) -> DiamondCheck {
+        // If the ordinary two-step check already accepts the contract,
+        // it is not a diamond-specific case.
+        let base = self.base.check(chain, address);
+        match &base {
+            ProxyCheck::Proxy { .. } => return DiamondCheck::OrdinaryProxy(base),
+            ProxyCheck::NotProxy(NotProxyReason::NoCode)
+            | ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall) => {
+                return DiamondCheck::NotDiamond
+            }
+            ProxyCheck::NotProxy(_) => {}
+        }
+        let selectors = self.harvest_selectors(chain, address);
+        if selectors.is_empty() {
+            return DiamondCheck::NoHistory;
+        }
+        let code = chain.code_at(address);
+        let disasm = Disassembly::new(&code);
+        // Reuse the detector's padding so forwarded-input comparison uses
+        // realistic call-data lengths.
+        let template = self.base.craft_call_data(&disasm, address);
+        let mut routes = Vec::new();
+        for selector in selectors {
+            let mut call_data = template.clone();
+            call_data[..4].copy_from_slice(&selector);
+            let mut fork = ForkDb::new(chain.db());
+            let mut inspector = RecordingInspector::new();
+            {
+                let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut inspector);
+                let _ = evm.call(Message::eoa_call(
+                    Address::from_low_u64(0xd1a),
+                    address,
+                    call_data.clone(),
+                ));
+            }
+            let delegate = inspector
+                .delegate_calls()
+                .find(|d| d.depth == 0 && d.proxy == address && d.forwarded_input == call_data);
+            if let Some(obs) = delegate {
+                // Diamond facets come out of a computed (hashed) slot, so
+                // the provenance is Computed/Storage — either way the
+                // routing itself is the signal.
+                debug_assert!(!matches!(obs.target_word.origin, Origin::CodeConstant));
+                routes.push(FacetRoute {
+                    selector,
+                    facet: obs.logic,
+                });
+            }
+        }
+        if routes.is_empty() {
+            DiamondCheck::NotDiamond
+        } else {
+            DiamondCheck::Diamond { routes }
+        }
+    }
+
+    /// Convenience: the facet registered for `selector` in our diamond
+    /// template's storage layout, read from the chain (no execution).
+    pub fn registered_facet(
+        &self,
+        chain: &Chain,
+        diamond: Address,
+        selector: [u8; 4],
+    ) -> Option<Address> {
+        let slot = proxion_solc::templates::diamond_facet_slot(selector);
+        let value = chain.storage_latest(diamond, slot);
+        if value.is_zero() {
+            None
+        } else {
+            Some(Address::from_word(
+                value & ((U256::ONE << 160u32) - U256::ONE),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_primitives::selector;
+    use proxion_solc::{compile, templates};
+
+    fn setup() -> (Chain, Address, Address) {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let facet = chain
+            .install_new(
+                me,
+                compile(&templates::simple_logic("Facet")).unwrap().runtime,
+            )
+            .unwrap();
+        let diamond = chain
+            .install_new(me, compile(&templates::diamond_proxy("D")).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(
+            diamond,
+            templates::diamond_facet_slot(selector("setValue(uint256)")),
+            U256::from(facet),
+        );
+        chain.set_storage(
+            diamond,
+            templates::diamond_facet_slot(selector("value()")),
+            U256::from(facet),
+        );
+        (chain, diamond, facet)
+    }
+
+    #[test]
+    fn diamond_with_history_detected() {
+        let (mut chain, diamond, facet) = setup();
+        let user = chain.new_funded_account();
+        // Historical traffic through registered selectors.
+        let mut data = selector("setValue(uint256)").to_vec();
+        data.extend_from_slice(&U256::from(5u64).to_be_bytes());
+        assert!(chain.transact(user, diamond, data, U256::ZERO).is_success());
+        chain.transact(user, diamond, selector("value()").to_vec(), U256::ZERO);
+
+        let detector = DiamondDetector::new();
+        let check = detector.check(&chain, diamond);
+        match check {
+            DiamondCheck::Diamond { routes } => {
+                assert!(!routes.is_empty());
+                assert!(routes.iter().all(|r| r.facet == facet));
+            }
+            other => panic!("expected diamond, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_diamond_still_missed() {
+        // Without history the extension cannot help — faithful to the
+        // trace-seeded design.
+        let (chain, diamond, _) = setup();
+        let check = DiamondDetector::new().check(&chain, diamond);
+        assert!(matches!(check, DiamondCheck::NoHistory));
+    }
+
+    #[test]
+    fn ordinary_proxy_reported_as_such() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+            .unwrap();
+        let proxy = chain
+            .install_new(me, templates::minimal_proxy_runtime(logic))
+            .unwrap();
+        let check = DiamondDetector::new().check(&chain, proxy);
+        assert!(matches!(check, DiamondCheck::OrdinaryProxy(c) if c.is_proxy()));
+    }
+
+    #[test]
+    fn plain_contract_with_history_not_diamond() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let lib = chain
+            .install_new(
+                me,
+                compile(&templates::simple_logic("Lib")).unwrap().runtime,
+            )
+            .unwrap();
+        let user = chain
+            .install_new(
+                me,
+                compile(&templates::library_user("U", lib)).unwrap().runtime,
+            )
+            .unwrap();
+        chain.transact(me, user, selector("increment()").to_vec(), U256::ZERO);
+        let check = DiamondDetector::new().check(&chain, user);
+        assert!(matches!(check, DiamondCheck::NotDiamond));
+    }
+
+    #[test]
+    fn registered_facet_helper() {
+        let (chain, diamond, facet) = setup();
+        let detector = DiamondDetector::new();
+        assert_eq!(
+            detector.registered_facet(&chain, diamond, selector("value()")),
+            Some(facet)
+        );
+        assert_eq!(
+            detector.registered_facet(&chain, diamond, [9, 9, 9, 9]),
+            None
+        );
+    }
+}

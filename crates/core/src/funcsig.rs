@@ -1,0 +1,314 @@
+//! Function-collision detection (paper §5.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use proxion_chain::Chain;
+use proxion_disasm::{extract_dispatcher_selectors, Disassembly};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{encode_hex, Address};
+
+/// How a contract's selector set was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorSource {
+    /// From verified source (Slither-style signature listing).
+    VerifiedSource,
+    /// From the bytecode dispatcher (Proxion's novel §5.1 capability).
+    Bytecode,
+    /// The contract has no code (nothing to extract).
+    NoCode,
+}
+
+impl fmt::Display for SelectorSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectorSource::VerifiedSource => write!(f, "verified source"),
+            SelectorSource::Bytecode => write!(f, "bytecode dispatcher"),
+            SelectorSource::NoCode => write!(f, "no code"),
+        }
+    }
+}
+
+/// One colliding selector between a proxy and a logic contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionCollision {
+    /// The shared 4-byte selector.
+    pub selector: [u8; 4],
+    /// The proxy-side function name, when source is available.
+    pub proxy_function: Option<String>,
+    /// The logic-side function name, when source is available.
+    pub logic_function: Option<String>,
+}
+
+impl fmt::Display for FunctionCollision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "0x{} ({} vs {})",
+            encode_hex(self.selector),
+            self.proxy_function.as_deref().unwrap_or("<bytecode>"),
+            self.logic_function.as_deref().unwrap_or("<bytecode>"),
+        )
+    }
+}
+
+/// The outcome of checking one proxy/logic pair.
+#[derive(Debug, Clone)]
+pub struct FunctionCollisionReport {
+    /// Colliding selectors.
+    pub collisions: Vec<FunctionCollision>,
+    /// How the proxy's selectors were obtained.
+    pub proxy_source: SelectorSource,
+    /// How the logic's selectors were obtained.
+    pub logic_source: SelectorSource,
+    /// Number of selectors found on the proxy side.
+    pub proxy_selector_count: usize,
+    /// Number of selectors found on the logic side.
+    pub logic_selector_count: usize,
+}
+
+impl FunctionCollisionReport {
+    /// Returns `true` if at least one collision was found.
+    pub fn has_collisions(&self) -> bool {
+        !self.collisions.is_empty()
+    }
+}
+
+/// Detects function collisions between proxy/logic pairs.
+///
+/// When verified source is available (directly or through bytecode-hash
+/// propagation) the selector set comes from the declared function
+/// signatures. Otherwise it is extracted from the bytecode dispatcher —
+/// crucially, *only* `PUSH4` immediates that participate in a dispatch
+/// comparison count, which is what keeps the false-positive rate near
+/// zero (Table 2: 99.5% accuracy, no false positives).
+#[derive(Debug, Clone, Default)]
+pub struct FunctionCollisionDetector;
+
+impl FunctionCollisionDetector {
+    /// Creates a detector.
+    pub fn new() -> Self {
+        FunctionCollisionDetector
+    }
+
+    /// Extracts a contract's selector set and names (names only when
+    /// source is available).
+    pub fn selectors_of(
+        &self,
+        chain: &Chain,
+        etherscan: &Etherscan,
+        address: Address,
+    ) -> (BTreeSet<[u8; 4]>, Vec<([u8; 4], String)>, SelectorSource) {
+        if let Some(source) = etherscan.effective_source(address) {
+            let named: Vec<([u8; 4], String)> = source
+                .functions
+                .iter()
+                .map(|f| (f.selector, f.name.clone()))
+                .collect();
+            let set = named.iter().map(|(s, _)| *s).collect();
+            return (set, named, SelectorSource::VerifiedSource);
+        }
+        let code = chain.code_at(address);
+        if code.is_empty() {
+            return (BTreeSet::new(), Vec::new(), SelectorSource::NoCode);
+        }
+        let disasm = Disassembly::new(&code);
+        let info = extract_dispatcher_selectors(&disasm);
+        (info.selectors, Vec::new(), SelectorSource::Bytecode)
+    }
+
+    /// Checks one proxy/logic pair.
+    pub fn check_pair(
+        &self,
+        chain: &Chain,
+        etherscan: &Etherscan,
+        proxy: Address,
+        logic: Address,
+    ) -> FunctionCollisionReport {
+        let (proxy_set, proxy_names, proxy_source) = self.selectors_of(chain, etherscan, proxy);
+        let (logic_set, logic_names, logic_source) = self.selectors_of(chain, etherscan, logic);
+        let name_of = |names: &[([u8; 4], String)], sel: [u8; 4]| {
+            names
+                .iter()
+                .find(|(s, _)| *s == sel)
+                .map(|(_, n)| n.clone())
+        };
+        let collisions = proxy_set
+            .intersection(&logic_set)
+            .map(|&selector| FunctionCollision {
+                selector,
+                proxy_function: name_of(&proxy_names, selector),
+                logic_function: name_of(&logic_names, selector),
+            })
+            .collect();
+        FunctionCollisionReport {
+            collisions,
+            proxy_source,
+            logic_source,
+            proxy_selector_count: proxy_set.len(),
+            logic_selector_count: logic_set.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_primitives::keccak256;
+    use proxion_solc::{compile, templates};
+
+    struct Fixture {
+        chain: Chain,
+        etherscan: Etherscan,
+        me: Address,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut chain = Chain::new();
+            let me = chain.new_funded_account();
+            Fixture {
+                chain,
+                etherscan: Etherscan::new(),
+                me,
+            }
+        }
+
+        fn install(&mut self, spec: &proxion_solc::ContractSpec, verify: bool) -> Address {
+            let compiled = compile(spec).unwrap();
+            let hash = keccak256(&compiled.runtime);
+            let addr = self.chain.install_new(self.me, compiled.runtime).unwrap();
+            self.etherscan.register_contract(addr, hash);
+            if verify {
+                self.etherscan.register_verified(addr, compiled.source);
+            }
+            addr
+        }
+    }
+
+    #[test]
+    fn honeypot_collision_found_from_bytecode_only() {
+        // The headline capability: neither contract verified, collision
+        // still found from dispatcher extraction.
+        let mut fx = Fixture::new();
+        let (proxy_spec, logic_spec) = templates::honeypot_pair(Address::from_low_u64(9));
+        let proxy = fx.install(&proxy_spec, false);
+        let logic = fx.install(&logic_spec, false);
+        let report =
+            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, proxy, logic);
+        assert!(report.has_collisions());
+        assert_eq!(report.proxy_source, SelectorSource::Bytecode);
+        assert_eq!(report.logic_source, SelectorSource::Bytecode);
+        assert_eq!(report.collisions[0].selector, [0xdf, 0x4a, 0x31, 0x06]);
+        assert!(report.collisions[0].proxy_function.is_none());
+    }
+
+    #[test]
+    fn wyvern_collisions_found_from_source() {
+        let mut fx = Fixture::new();
+        let proxy = fx.install(&templates::ownable_delegate_proxy("P"), true);
+        let logic = fx.install(&templates::wyvern_logic("L"), true);
+        let report =
+            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, proxy, logic);
+        assert_eq!(report.collisions.len(), 3);
+        assert_eq!(report.proxy_source, SelectorSource::VerifiedSource);
+        let names: Vec<String> = report
+            .collisions
+            .iter()
+            .filter_map(|c| c.proxy_function.clone())
+            .collect();
+        assert!(names.contains(&"implementation".to_string()));
+        assert!(names.contains(&"proxyType".to_string()));
+        assert!(names.contains(&"upgradeabilityOwner".to_string()));
+    }
+
+    #[test]
+    fn mixed_source_and_bytecode_pair() {
+        let mut fx = Fixture::new();
+        let proxy = fx.install(&templates::ownable_delegate_proxy("P"), true);
+        let logic = fx.install(&templates::wyvern_logic("L"), false);
+        let report =
+            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, proxy, logic);
+        assert_eq!(report.proxy_source, SelectorSource::VerifiedSource);
+        assert_eq!(report.logic_source, SelectorSource::Bytecode);
+        assert_eq!(report.collisions.len(), 3);
+        // Proxy-side names known; logic side anonymous.
+        assert!(report.collisions[0].proxy_function.is_some());
+        assert!(report.collisions[0].logic_function.is_none());
+    }
+
+    #[test]
+    fn junk_push4_does_not_create_false_collisions() {
+        let mut fx = Fixture::new();
+        // Token embeds junk constant 0xcafebabe; build a logic whose
+        // dispatcher would match it only if naively extracted.
+        let logic_spec = proxion_solc::ContractSpec::new("L").with_function(
+            proxion_solc::Function::new("x", vec![], proxion_solc::FnBody::Stop)
+                .with_selector([0xca, 0xfe, 0xba, 0xbe]),
+        );
+        let token = fx.install(&templates::plain_token("T"), false);
+        let logic = fx.install(&logic_spec, false);
+        let report =
+            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, token, logic);
+        assert!(
+            !report.has_collisions(),
+            "junk PUSH4 constant must not count as a dispatcher selector"
+        );
+    }
+
+    #[test]
+    fn disjoint_contracts_have_no_collisions() {
+        let mut fx = Fixture::new();
+        let a = fx.install(&templates::plain_token("A"), false);
+        let b = fx.install(&templates::simple_logic("B"), false);
+        let report = FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, a, b);
+        assert!(!report.has_collisions());
+        assert!(report.proxy_selector_count > 0);
+        assert!(report.logic_selector_count > 0);
+    }
+
+    #[test]
+    fn minimal_proxy_has_no_selectors() {
+        let mut fx = Fixture::new();
+        let logic = fx.install(&templates::simple_logic("L"), false);
+        let proxy = fx
+            .chain
+            .install_new(fx.me, templates::minimal_proxy_runtime(logic))
+            .unwrap();
+        let report =
+            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, proxy, logic);
+        assert_eq!(report.proxy_selector_count, 0);
+        assert!(!report.has_collisions());
+    }
+
+    #[test]
+    fn source_propagated_through_duplicates() {
+        let mut fx = Fixture::new();
+        let spec = templates::ownable_delegate_proxy("P");
+        let compiled = compile(&spec).unwrap();
+        let hash = keccak256(&compiled.runtime);
+        // First copy verified, second copy not.
+        let first = fx
+            .chain
+            .install_new(fx.me, compiled.runtime.clone())
+            .unwrap();
+        let second = fx.chain.install_new(fx.me, compiled.runtime).unwrap();
+        fx.etherscan.register_contract(first, hash);
+        fx.etherscan.register_contract(second, hash);
+        fx.etherscan.register_verified(first, compiled.source);
+
+        let detector = FunctionCollisionDetector::new();
+        let (_, _, source) = detector.selectors_of(&fx.chain, &fx.etherscan, second);
+        assert_eq!(source, SelectorSource::VerifiedSource);
+    }
+
+    #[test]
+    fn collision_display_formats() {
+        let c = FunctionCollision {
+            selector: [0xde, 0xad, 0xbe, 0xef],
+            proxy_function: Some("steal".into()),
+            logic_function: None,
+        };
+        assert_eq!(c.to_string(), "0xdeadbeef (steal vs <bytecode>)");
+    }
+}

@@ -1,0 +1,72 @@
+//! Proxion: uncovering hidden proxy smart contracts and their collision
+//! vulnerabilities.
+//!
+//! This crate implements the paper's contribution end to end:
+//!
+//! 1. **Proxy detection** ([`ProxyDetector`], paper §4.1–4.2) — a
+//!    two-step check that needs neither source code nor past
+//!    transactions: a disassembly gate for the `DELEGATECALL` opcode,
+//!    then EVM emulation with crafted call data whose selector matches no
+//!    `PUSH4` immediate in the bytecode. A contract is a proxy iff the
+//!    emulation observes a `DELEGATECALL` that forwards the full call
+//!    data. The provenance-tagged stack of `proxion-evm` reveals whether
+//!    the callee address was a code constant (minimal proxy) or a storage
+//!    slot (upgradeable proxy), which also classifies the proxy against
+//!    the EIP-1167/1822/1967 standards.
+//! 2. **Logic resolution** ([`LogicResolver`], §4.3, Algorithm 1) — a
+//!    binary search over archived storage that recovers every logic
+//!    contract ever installed in a proxy's implementation slot using
+//!    ~log₂(blocks) `getStorageAt` calls instead of millions.
+//! 3. **Function collision detection** ([`FunctionCollisionDetector`],
+//!    §5.1) — signature-list intersection from verified source when
+//!    available, and dispatcher-pattern selector extraction from raw
+//!    bytecode otherwise (the capability no prior tool had).
+//! 4. **Storage collision detection** ([`StorageCollisionDetector`],
+//!    §5.2) — CRUSH-style layout recovery: program slicing and abstract
+//!    execution of `SLOAD`/`SSTORE` sites to infer `(slot, offset,
+//!    width)` access regions, pairwise comparison of proxy and logic
+//!    layouts, and EVM-validated exploitability for collisions touching
+//!    access-control guards.
+//! 5. **Pipeline** ([`Pipeline`]) — the full-chain analysis with
+//!    bytecode-hash deduplication and parallel workers, producing the
+//!    landscape statistics of the paper's §7.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_chain::Chain;
+//! use proxion_core::ProxyDetector;
+//! use proxion_solc::templates;
+//!
+//! let mut chain = Chain::new();
+//! let me = chain.new_funded_account();
+//! let logic = chain
+//!     .install_new(me, vec![0x00])
+//!     .unwrap();
+//! let proxy = chain
+//!     .install_new(me, templates::minimal_proxy_runtime(logic))
+//!     .unwrap();
+//!
+//! let detector = ProxyDetector::new();
+//! let check = detector.check(&chain, proxy);
+//! assert!(check.is_proxy());
+//! assert_eq!(check.logic(), Some(logic));
+//! ```
+
+mod diamond;
+mod funcsig;
+mod logic;
+mod pipeline;
+mod proxy;
+mod storage;
+
+pub use diamond::{DiamondCheck, DiamondDetector, FacetRoute};
+pub use funcsig::{
+    FunctionCollision, FunctionCollisionDetector, FunctionCollisionReport, SelectorSource,
+};
+pub use logic::{LogicHistory, LogicResolver, UpgradeEvent};
+pub use pipeline::{AnalysisReport, ContractReport, PairCollisions, Pipeline, PipelineConfig};
+pub use proxy::{ImplSource, NotProxyReason, ProxyCheck, ProxyDetector, ProxyStandard};
+pub use storage::{
+    AccessKind, AccessRegion, StorageCollision, StorageCollisionDetector, StorageCollisionReport,
+};

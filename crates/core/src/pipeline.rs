@@ -1,0 +1,674 @@
+//! The full-chain analysis pipeline (paper §6–7).
+//!
+//! Applies the detector to every alive contract with the two optimizations
+//! the paper leans on for scale: **bytecode-hash deduplication** (identical
+//! bytecode is analyzed once; per-address state — the implementation slot
+//! value — is then read directly) and **parallel workers**.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use proxion_chain::Chain;
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, B256};
+
+use crate::funcsig::{FunctionCollisionDetector, FunctionCollisionReport};
+use crate::logic::{LogicHistory, LogicResolver};
+use crate::proxy::{ImplSource, NotProxyReason, ProxyCheck, ProxyDetector, ProxyStandard};
+use crate::storage::{StorageCollisionDetector, StorageCollisionReport};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of worker threads (1 = sequential).
+    pub parallelism: usize,
+    /// Whether to resolve full logic histories (Algorithm 1).
+    pub resolve_history: bool,
+    /// Whether to run the collision detectors on identified pairs.
+    pub check_collisions: bool,
+    /// Whether to also check every *historical* proxy/logic pair (every
+    /// implementation the proxy ever pointed at, as the paper's 19.5M-pair
+    /// analysis does), not just the current pair. Requires
+    /// `resolve_history`.
+    pub check_historical_pairs: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            parallelism: 1,
+            resolve_history: true,
+            check_collisions: true,
+            check_historical_pairs: false,
+        }
+    }
+}
+
+/// Collision reports for one (proxy, logic) pair.
+#[derive(Debug, Clone)]
+pub struct PairCollisions {
+    /// The logic contract of the pair.
+    pub logic: Address,
+    /// Function-collision report.
+    pub functions: FunctionCollisionReport,
+    /// Storage-collision report.
+    pub storage: StorageCollisionReport,
+}
+
+/// Everything the pipeline learned about one contract.
+#[derive(Debug, Clone)]
+pub struct ContractReport {
+    /// The contract address.
+    pub address: Address,
+    /// Bytecode hash (dedup key).
+    pub code_hash: B256,
+    /// The proxy check outcome.
+    pub check: ProxyCheck,
+    /// Whether verified source is available (directly or propagated).
+    pub has_source: bool,
+    /// Whether the contract appears in any transaction.
+    pub has_transactions: bool,
+    /// Deployment block.
+    pub deploy_block: u64,
+    /// Full implementation history (storage-based proxies only).
+    pub history: Option<LogicHistory>,
+    /// Function-collision report for the current proxy/logic pair.
+    pub function_collisions: Option<FunctionCollisionReport>,
+    /// Storage-collision report for the current proxy/logic pair.
+    pub storage_collisions: Option<StorageCollisionReport>,
+    /// Collision reports for historical pairs (non-empty only when
+    /// [`PipelineConfig::check_historical_pairs`] is set; excludes the
+    /// current pair, which is reported in the fields above).
+    pub historical_pairs: Vec<PairCollisions>,
+}
+
+impl ContractReport {
+    /// Returns `true` if the contract is a *hidden* proxy: no source, no
+    /// transactions — invisible to every prior tool (paper Table 1).
+    pub fn is_hidden_proxy(&self) -> bool {
+        self.check.is_proxy() && !self.has_source && !self.has_transactions
+    }
+}
+
+/// Aggregated results over a whole chain.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Per-contract reports, in deployment order.
+    pub reports: Vec<ContractReport>,
+}
+
+impl AnalysisReport {
+    /// Number of contracts analyzed.
+    pub fn total(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Reports of identified proxies.
+    pub fn proxies(&self) -> impl Iterator<Item = &ContractReport> {
+        self.reports.iter().filter(|r| r.check.is_proxy())
+    }
+
+    /// Number of identified proxies.
+    pub fn proxy_count(&self) -> usize {
+        self.proxies().count()
+    }
+
+    /// Number of hidden proxies (no source, no transactions).
+    pub fn hidden_proxy_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_hidden_proxy()).count()
+    }
+
+    /// Distribution of proxy standards (paper Table 4).
+    pub fn standard_distribution(&self) -> HashMap<ProxyStandard, usize> {
+        let mut out = HashMap::new();
+        for report in self.proxies() {
+            if let Some(standard) = report.check.standard() {
+                *out.entry(standard).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of pairs with at least one function collision.
+    pub fn function_collision_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| {
+                r.function_collisions
+                    .as_ref()
+                    .is_some_and(|f| f.has_collisions())
+            })
+            .count()
+    }
+
+    /// Number of pairs with at least one exploitable storage collision.
+    pub fn storage_collision_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| {
+                r.storage_collisions
+                    .as_ref()
+                    .is_some_and(|s| s.has_exploitable())
+            })
+            .count()
+    }
+
+    /// Number of contracts whose emulation failed (paper §7.1 reports
+    /// ~4.9%).
+    pub fn emulation_error_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.check,
+                    ProxyCheck::NotProxy(NotProxyReason::EmulationError(_))
+                )
+            })
+            .count()
+    }
+
+    /// Proxies that upgraded at least once.
+    pub fn upgraded_proxy_count(&self) -> usize {
+        self.proxies()
+            .filter(|r| r.history.as_ref().is_some_and(|h| h.upgrade_count() > 0))
+            .count()
+    }
+
+    /// Number of historical (non-current) pairs with any collision.
+    pub fn historical_collision_pair_count(&self) -> usize {
+        self.reports
+            .iter()
+            .flat_map(|r| &r.historical_pairs)
+            .filter(|p| p.functions.has_collisions() || p.storage.has_exploitable())
+            .count()
+    }
+
+    /// Total upgrade events across all proxies (paper Fig. 6).
+    pub fn total_upgrade_events(&self) -> usize {
+        self.proxies()
+            .filter_map(|r| r.history.as_ref())
+            .map(LogicHistory::upgrade_count)
+            .sum()
+    }
+}
+
+#[derive(Clone)]
+struct CachedCheck {
+    is_proxy: bool,
+    impl_source: Option<ImplSource>,
+    standard: Option<ProxyStandard>,
+    reason: Option<NotProxyReason>,
+}
+
+/// The full-chain analysis pipeline.
+pub struct Pipeline {
+    config: PipelineConfig,
+    detector: ProxyDetector,
+    resolver: LogicResolver,
+    functions: FunctionCollisionDetector,
+    storage: StorageCollisionDetector,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new(PipelineConfig::default())
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline {
+            config,
+            detector: ProxyDetector::new(),
+            resolver: LogicResolver::new(),
+            functions: FunctionCollisionDetector::new(),
+            storage: StorageCollisionDetector::new(),
+        }
+    }
+
+    /// Analyzes every alive contract on the chain.
+    pub fn analyze_all(&self, chain: &Chain, etherscan: &Etherscan) -> AnalysisReport {
+        let addresses: Vec<Address> = chain
+            .contracts()
+            .into_iter()
+            .filter(|&a| chain.is_alive(a))
+            .collect();
+        self.analyze(chain, etherscan, &addresses)
+    }
+
+    /// Analyzes an explicit set of addresses.
+    pub fn analyze(
+        &self,
+        chain: &Chain,
+        etherscan: &Etherscan,
+        addresses: &[Address],
+    ) -> AnalysisReport {
+        let check_cache: Mutex<HashMap<B256, CachedCheck>> = Mutex::new(HashMap::new());
+        let pair_cache: Mutex<
+            HashMap<(B256, B256), (FunctionCollisionReport, StorageCollisionReport)>,
+        > = Mutex::new(HashMap::new());
+
+        let workers = self.config.parallelism.max(1);
+        let mut reports: Vec<ContractReport> = if workers == 1 {
+            addresses
+                .iter()
+                .map(|&a| self.analyze_one(chain, etherscan, a, &check_cache, &pair_cache))
+                .collect()
+        } else {
+            let chunk = addresses.len().div_ceil(workers);
+            let results: Mutex<Vec<ContractReport>> = Mutex::new(Vec::new());
+            crossbeam::scope(|scope| {
+                for part in addresses.chunks(chunk.max(1)) {
+                    scope.spawn(|_| {
+                        let local: Vec<ContractReport> = part
+                            .iter()
+                            .map(|&a| {
+                                self.analyze_one(chain, etherscan, a, &check_cache, &pair_cache)
+                            })
+                            .collect();
+                        results.lock().extend(local);
+                    });
+                }
+            })
+            .expect("worker panicked");
+            results.into_inner()
+        };
+        reports.sort_by_key(|r| r.deploy_block);
+        AnalysisReport { reports }
+    }
+
+    fn analyze_one(
+        &self,
+        chain: &Chain,
+        etherscan: &Etherscan,
+        address: Address,
+        check_cache: &Mutex<HashMap<B256, CachedCheck>>,
+        pair_cache: &Mutex<
+            HashMap<(B256, B256), (FunctionCollisionReport, StorageCollisionReport)>,
+        >,
+    ) -> ContractReport {
+        let code = chain.code_at(address);
+        let code_hash = proxion_primitives::keccak256(code.as_slice());
+
+        // Proxy detection is bytecode-determined (except the concrete
+        // logic address); reuse cached verdicts for identical bytecode.
+        let cached = check_cache.lock().get(&code_hash).cloned();
+        let check = match cached {
+            Some(cache) => self.rehydrate(chain, address, &cache),
+            None => {
+                let fresh = self.detector.check(chain, address);
+                let cache = match &fresh {
+                    ProxyCheck::Proxy {
+                        impl_source,
+                        standard,
+                        ..
+                    } => CachedCheck {
+                        is_proxy: true,
+                        impl_source: Some(*impl_source),
+                        standard: Some(*standard),
+                        reason: None,
+                    },
+                    ProxyCheck::NotProxy(reason) => CachedCheck {
+                        is_proxy: false,
+                        impl_source: None,
+                        standard: None,
+                        reason: Some(reason.clone()),
+                    },
+                };
+                check_cache.lock().insert(code_hash, cache);
+                fresh
+            }
+        };
+
+        let history = match (&check, self.config.resolve_history) {
+            (
+                ProxyCheck::Proxy {
+                    impl_source: ImplSource::StorageSlot(slot),
+                    ..
+                },
+                true,
+            ) => Some(self.resolver.resolve(chain, address, *slot)),
+            _ => None,
+        };
+
+        let check_pair_cached = |logic: Address| {
+            let logic_hash = proxion_primitives::keccak256(chain.code_at(logic).as_slice());
+            let key = (code_hash, logic_hash);
+            let hit = pair_cache.lock().get(&key).cloned();
+            match hit {
+                Some(pair) => pair,
+                None => {
+                    let f = self.functions.check_pair(chain, etherscan, address, logic);
+                    let s = self.storage.check_pair(chain, address, logic);
+                    pair_cache.lock().insert(key, (f.clone(), s.clone()));
+                    (f, s)
+                }
+            }
+        };
+
+        let (function_collisions, storage_collisions) = match (&check, self.config.check_collisions)
+        {
+            (ProxyCheck::Proxy { logic, .. }, true) if !logic.is_zero() => {
+                let (f, s) = check_pair_cached(*logic);
+                (Some(f), Some(s))
+            }
+            _ => (None, None),
+        };
+
+        // Historical (superseded) pairs, when requested.
+        let mut historical_pairs = Vec::new();
+        if self.config.check_historical_pairs && self.config.check_collisions {
+            if let Some(history) = history.as_ref() {
+                let current = check.logic();
+                for &logic in &history.addresses {
+                    if Some(logic) == current || logic.is_zero() {
+                        continue;
+                    }
+                    let (functions, storage) = check_pair_cached(logic);
+                    historical_pairs.push(PairCollisions {
+                        logic,
+                        functions,
+                        storage,
+                    });
+                }
+            }
+        }
+
+        ContractReport {
+            address,
+            code_hash,
+            check,
+            has_source: etherscan.effective_source(address).is_some(),
+            has_transactions: chain.has_transactions(address),
+            deploy_block: chain.deployment(address).map(|d| d.block).unwrap_or(0),
+            history,
+            function_collisions,
+            storage_collisions,
+            historical_pairs,
+        }
+    }
+
+    /// Rebuilds a per-address verdict from a cached bytecode verdict: the
+    /// concrete logic address comes from the address's own storage.
+    fn rehydrate(&self, chain: &Chain, address: Address, cache: &CachedCheck) -> ProxyCheck {
+        if !cache.is_proxy {
+            return ProxyCheck::NotProxy(
+                cache
+                    .reason
+                    .clone()
+                    .unwrap_or(NotProxyReason::DelegateNotReached),
+            );
+        }
+        let impl_source = cache.impl_source.expect("proxy cache has impl source");
+        let logic = match impl_source {
+            ImplSource::StorageSlot(slot) => {
+                Address::from_word(chain.storage_latest(address, slot))
+            }
+            ImplSource::Hardcoded | ImplSource::Computed => {
+                // Hard-coded addresses require reading the bytecode; rerun
+                // the cheap emulation path for exactness.
+                return self.detector.check(chain, address);
+            }
+        };
+        ProxyCheck::Proxy {
+            logic,
+            impl_source,
+            standard: cache.standard.expect("proxy cache has standard"),
+        }
+    }
+}
+
+/// Convenience: the share of `part` in `total`, as a percentage.
+pub(crate) fn _percentage(part: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_primitives::U256;
+    use proxion_solc::{compile, templates, SlotSpec};
+
+    fn build_world() -> (Chain, Etherscan, Vec<Address>) {
+        let mut chain = Chain::new();
+        let mut etherscan = Etherscan::new();
+        let me = chain.new_funded_account();
+        let install = |chain: &mut Chain,
+                       etherscan: &mut Etherscan,
+                       spec: &proxion_solc::ContractSpec,
+                       verify: bool| {
+            let compiled = compile(spec).unwrap();
+            let hash = proxion_primitives::keccak256(&compiled.runtime);
+            let addr = chain.install_new(me, compiled.runtime).unwrap();
+            etherscan.register_contract(addr, hash);
+            if verify {
+                etherscan.register_verified(addr, compiled.source);
+            }
+            addr
+        };
+
+        let logic = install(
+            &mut chain,
+            &mut etherscan,
+            &templates::simple_logic("L"),
+            true,
+        );
+        let p1967 = install(
+            &mut chain,
+            &mut etherscan,
+            &templates::eip1967_proxy("P1"),
+            false,
+        );
+        chain.set_storage(
+            p1967,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(logic),
+        );
+        let minimal = chain
+            .install_new(me, templates::minimal_proxy_runtime(logic))
+            .unwrap();
+        etherscan.register_contract(
+            minimal,
+            proxion_primitives::keccak256(chain.code_at(minimal).as_slice()),
+        );
+        let token = install(
+            &mut chain,
+            &mut etherscan,
+            &templates::plain_token("T"),
+            true,
+        );
+        let wy_logic = install(
+            &mut chain,
+            &mut etherscan,
+            &templates::wyvern_logic("WL"),
+            false,
+        );
+        let wy_proxy = install(
+            &mut chain,
+            &mut etherscan,
+            &templates::ownable_delegate_proxy("WP"),
+            false,
+        );
+        chain.set_storage(wy_proxy, U256::ONE, U256::from(wy_logic));
+
+        let addresses = vec![logic, p1967, minimal, token, wy_logic, wy_proxy];
+        (chain, etherscan, addresses)
+    }
+
+    #[test]
+    fn pipeline_classifies_world() {
+        let (chain, etherscan, addresses) = build_world();
+        let pipeline = Pipeline::default();
+        let report = pipeline.analyze(&chain, &etherscan, &addresses);
+        assert_eq!(report.total(), 6);
+        assert_eq!(report.proxy_count(), 3, "p1967 + minimal + wyvern proxy");
+        let standards = report.standard_distribution();
+        assert_eq!(standards.get(&ProxyStandard::Eip1967), Some(&1));
+        assert_eq!(standards.get(&ProxyStandard::Eip1167), Some(&1));
+        assert_eq!(standards.get(&ProxyStandard::Other), Some(&1));
+        // The wyvern pair has 3 function collisions.
+        assert_eq!(report.function_collision_count(), 1);
+    }
+
+    #[test]
+    fn hidden_proxies_counted() {
+        let (chain, etherscan, addresses) = build_world();
+        let report = Pipeline::default().analyze(&chain, &etherscan, &addresses);
+        // No transactions were ever sent; non-verified proxies are hidden.
+        assert!(report.hidden_proxy_count() >= 2);
+    }
+
+    #[test]
+    fn dedup_cache_returns_same_results() {
+        // Install the same proxy bytecode at many addresses; all must be
+        // detected, each with its own logic address.
+        let mut chain = Chain::new();
+        let etherscan = Etherscan::new();
+        let me = chain.new_funded_account();
+        let logic_a = chain
+            .install_new(me, compile(&templates::simple_logic("A")).unwrap().runtime)
+            .unwrap();
+        let logic_b = chain
+            .install_new(me, compile(&templates::eip1822_logic("B")).unwrap().runtime)
+            .unwrap();
+        let proxy_code = compile(&templates::custom_slot_proxy("P", 0))
+            .unwrap()
+            .runtime;
+        let p1 = chain.install_new(me, proxy_code.clone()).unwrap();
+        let p2 = chain.install_new(me, proxy_code).unwrap();
+        chain.set_storage(p1, U256::ZERO, U256::from(logic_a));
+        chain.set_storage(p2, U256::ZERO, U256::from(logic_b));
+
+        let report = Pipeline::default().analyze(&chain, &etherscan, &[p1, p2]);
+        assert_eq!(report.proxy_count(), 2);
+        let logics: Vec<Option<Address>> = report.reports.iter().map(|r| r.check.logic()).collect();
+        assert!(logics.contains(&Some(logic_a)));
+        assert!(logics.contains(&Some(logic_b)));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (chain, etherscan, addresses) = build_world();
+        let seq = Pipeline::new(PipelineConfig {
+            parallelism: 1,
+            ..PipelineConfig::default()
+        })
+        .analyze(&chain, &etherscan, &addresses);
+        let par = Pipeline::new(PipelineConfig {
+            parallelism: 4,
+            ..PipelineConfig::default()
+        })
+        .analyze(&chain, &etherscan, &addresses);
+        assert_eq!(seq.proxy_count(), par.proxy_count());
+        assert_eq!(
+            seq.function_collision_count(),
+            par.function_collision_count()
+        );
+        assert_eq!(seq.hidden_proxy_count(), par.hidden_proxy_count());
+        assert_eq!(seq.total(), par.total());
+    }
+
+    #[test]
+    fn history_resolved_for_upgradeable_proxies() {
+        let mut chain = Chain::new();
+        let etherscan = Etherscan::new();
+        let me = chain.new_funded_account();
+        let l1 = chain
+            .install_new(me, compile(&templates::simple_logic("L1")).unwrap().runtime)
+            .unwrap();
+        let l2 = chain
+            .install_new(
+                me,
+                compile(&templates::eip1822_logic("L2")).unwrap().runtime,
+            )
+            .unwrap();
+        let proxy = chain
+            .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+            .unwrap();
+        let slot = SlotSpec::eip1967_implementation().to_u256();
+        chain.set_storage(proxy, slot, U256::from(l1));
+        for _ in 0..20 {
+            chain.set_storage(proxy, U256::from(50u64), U256::ONE);
+        }
+        chain.set_storage(proxy, slot, U256::from(l2));
+
+        let report = Pipeline::default().analyze(&chain, &etherscan, &[proxy]);
+        let r = &report.reports[0];
+        let history = r.history.as_ref().expect("history resolved");
+        assert_eq!(history.addresses, vec![l1, l2]);
+        assert_eq!(report.upgraded_proxy_count(), 1);
+        assert_eq!(report.total_upgrade_events(), 1);
+    }
+
+    #[test]
+    fn historical_pairs_checked_when_configured() {
+        // Proxy first points at a colliding Wyvern logic, then upgrades to
+        // a clean one: the historical pair must surface the collision.
+        let mut chain = Chain::new();
+        let etherscan = Etherscan::new();
+        let me = chain.new_funded_account();
+        let colliding = chain
+            .install_new(
+                me,
+                compile(&templates::wyvern_logic("Old")).unwrap().runtime,
+            )
+            .unwrap();
+        let clean = chain
+            .install_new(
+                me,
+                compile(&templates::simple_logic("New")).unwrap().runtime,
+            )
+            .unwrap();
+        let proxy = chain
+            .install_new(
+                me,
+                compile(&templates::ownable_delegate_proxy("P"))
+                    .unwrap()
+                    .runtime,
+            )
+            .unwrap();
+        chain.set_storage(proxy, U256::ONE, U256::from(colliding));
+        for _ in 0..30 {
+            chain.set_storage(me, U256::MAX, U256::ONE);
+        }
+        chain.set_storage(proxy, U256::ONE, U256::from(clean));
+
+        let report = Pipeline::new(PipelineConfig {
+            parallelism: 1,
+            resolve_history: true,
+            check_collisions: true,
+            check_historical_pairs: true,
+        })
+        .analyze(&chain, &etherscan, &[proxy]);
+        let r = &report.reports[0];
+        // Current pair (clean logic) has no function collision...
+        assert!(!r.function_collisions.as_ref().unwrap().has_collisions());
+        // ...but the historical pair does.
+        assert_eq!(r.historical_pairs.len(), 1);
+        assert_eq!(r.historical_pairs[0].logic, colliding);
+        assert!(r.historical_pairs[0].functions.has_collisions());
+        assert_eq!(report.historical_collision_pair_count(), 1);
+    }
+
+    #[test]
+    fn config_flags_disable_stages() {
+        let (chain, etherscan, addresses) = build_world();
+        let report = Pipeline::new(PipelineConfig {
+            parallelism: 1,
+            resolve_history: false,
+            check_collisions: false,
+            check_historical_pairs: false,
+        })
+        .analyze(&chain, &etherscan, &addresses);
+        assert!(report.reports.iter().all(|r| r.history.is_none()));
+        assert!(report
+            .reports
+            .iter()
+            .all(|r| r.function_collisions.is_none() && r.storage_collisions.is_none()));
+    }
+}

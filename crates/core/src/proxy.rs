@@ -1,0 +1,517 @@
+//! Proxy detection: the two-step check of paper §4.1–4.2.
+
+use proxion_chain::{Chain, ForkDb};
+use proxion_disasm::Disassembly;
+use proxion_evm::{Evm, Message, Origin, RecordingInspector};
+use proxion_primitives::{Address, DetRng, U256};
+use proxion_solc::templates::parse_minimal_proxy;
+use proxion_solc::SlotSpec;
+
+/// Where a proxy keeps its logic-contract address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImplSource {
+    /// Hard-coded in the bytecode (`PUSH20` constant).
+    Hardcoded,
+    /// Loaded from the given storage slot.
+    StorageSlot(U256),
+    /// Computed at runtime in a way the provenance tags could not
+    /// attribute (e.g. a memory round-trip).
+    Computed,
+}
+
+/// The proxy standard a contract follows (paper Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProxyStandard {
+    /// EIP-1167 minimal proxy (logic address hard-coded in bytecode).
+    Eip1167,
+    /// EIP-1822 UUPS (`keccak256("PROXIABLE")` slot).
+    Eip1822,
+    /// EIP-1967 (`keccak256("eip1967.proxy.implementation") - 1` slot).
+    Eip1967,
+    /// A proxy that stores its logic address elsewhere.
+    Other,
+}
+
+/// Why a contract was rejected as a proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotProxyReason {
+    /// The account has no code (EOA or destroyed).
+    NoCode,
+    /// The bytecode contains no `DELEGATECALL` opcode (step 1, §4.1).
+    NoDelegatecall,
+    /// Emulation ran, but no `DELEGATECALL` executed on the fallback path
+    /// (library users, diamonds with unregistered selectors, guarded
+    /// delegates).
+    DelegateNotReached,
+    /// A `DELEGATECALL` executed but did not forward the transaction call
+    /// data (§4.2's forwarding check).
+    NotForwarding,
+    /// The emulation failed with a runtime error before any delegate call
+    /// (the paper reports ~4.9% of contracts, §7.1).
+    EmulationError(String),
+}
+
+/// The outcome of a proxy check.
+#[derive(Debug, Clone)]
+pub enum ProxyCheck {
+    /// The contract is a proxy.
+    Proxy {
+        /// The logic contract observed during emulation.
+        logic: Address,
+        /// Where the logic address came from.
+        impl_source: ImplSource,
+        /// Standard classification.
+        standard: ProxyStandard,
+    },
+    /// The contract is not a proxy.
+    NotProxy(NotProxyReason),
+}
+
+impl ProxyCheck {
+    /// Returns `true` if the contract was identified as a proxy.
+    pub fn is_proxy(&self) -> bool {
+        matches!(self, ProxyCheck::Proxy { .. })
+    }
+
+    /// The observed logic contract, if a proxy.
+    pub fn logic(&self) -> Option<Address> {
+        match self {
+            ProxyCheck::Proxy { logic, .. } => Some(*logic),
+            ProxyCheck::NotProxy(_) => None,
+        }
+    }
+
+    /// The standard classification, if a proxy.
+    pub fn standard(&self) -> Option<ProxyStandard> {
+        match self {
+            ProxyCheck::Proxy { standard, .. } => Some(*standard),
+            ProxyCheck::NotProxy(_) => None,
+        }
+    }
+
+    /// The implementation-address source, if a proxy.
+    pub fn impl_source(&self) -> Option<ImplSource> {
+        match self {
+            ProxyCheck::Proxy { impl_source, .. } => Some(*impl_source),
+            ProxyCheck::NotProxy(_) => None,
+        }
+    }
+}
+
+/// The proxy detector.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug, Clone)]
+pub struct ProxyDetector {
+    /// Seed for the crafted-selector RNG (deterministic probes).
+    seed: u64,
+    /// Number of extra argument bytes appended after the crafted
+    /// selector. A realistic call data length exercises `CALLDATACOPY`
+    /// forwarding of more than 4 bytes.
+    arg_bytes: usize,
+}
+
+impl Default for ProxyDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProxyDetector {
+    /// Creates a detector with the default deterministic probe seed.
+    pub fn new() -> Self {
+        ProxyDetector {
+            seed: 0x9df4_a310_6000_0001,
+            arg_bytes: 32,
+        }
+    }
+
+    /// Crafts probe call data for a contract: a 4-byte selector differing
+    /// from every `PUSH4` immediate in the bytecode (so it cannot match
+    /// any dispatcher entry), plus 32 bytes of argument padding.
+    pub fn craft_call_data(&self, disasm: &Disassembly, address: Address) -> Vec<u8> {
+        let known: Vec<[u8; 4]> = disasm.push4_immediates();
+        let mut rng = DetRng::new(self.seed ^ U256::from(address).low_u64());
+        let selector = loop {
+            let candidate = rng.next_selector();
+            if !known.contains(&candidate) {
+                break candidate;
+            }
+        };
+        let mut data = selector.to_vec();
+        let mut padding = vec![0u8; self.arg_bytes];
+        rng.fill_bytes(&mut padding);
+        data.extend_from_slice(&padding);
+        data
+    }
+
+    /// Follows a chain of proxies (proxy → proxy → … → logic) to the
+    /// terminal implementation, up to `max_hops`. Returns the sequence of
+    /// hops starting with `address` itself; the last element is the first
+    /// non-proxy contract (or the hop where `max_hops` ran out).
+    ///
+    /// Nested proxies are common on mainnet (e.g. a minimal proxy cloning
+    /// an EIP-1967 proxy); a pair analysis against the *intermediate* hop
+    /// would miss collisions with the terminal logic.
+    pub fn resolve_terminal(
+        &self,
+        chain: &Chain,
+        address: Address,
+        max_hops: usize,
+    ) -> Vec<Address> {
+        let mut hops = vec![address];
+        let mut current = address;
+        for _ in 0..max_hops {
+            match self.check(chain, current) {
+                ProxyCheck::Proxy { logic, .. } if !logic.is_zero() && !hops.contains(&logic) => {
+                    hops.push(logic);
+                    current = logic;
+                }
+                _ => break,
+            }
+        }
+        hops
+    }
+
+    /// Runs the two-step proxy check against the chain's current state.
+    ///
+    /// The emulation runs on a [`ForkDb`]; the chain is never mutated.
+    pub fn check(&self, chain: &Chain, address: Address) -> ProxyCheck {
+        let code = chain.code_at(address);
+        if code.is_empty() {
+            return ProxyCheck::NotProxy(NotProxyReason::NoCode);
+        }
+        // Step 1 (§4.1): disassemble and gate on DELEGATECALL presence.
+        let disasm = Disassembly::new(&code);
+        if !disasm.contains(proxion_asm::opcode::DELEGATECALL) {
+            return ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall);
+        }
+        // Step 2 (§4.2): emulate with crafted call data and observe.
+        let call_data = self.craft_call_data(&disasm, address);
+        let mut fork = ForkDb::new(chain.db());
+        let mut inspector = RecordingInspector::new();
+        let probe = Address::from_low_u64(0x5eed_cafe);
+        let result = {
+            let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut inspector);
+            evm.call(Message::eoa_call(probe, address, call_data.clone()))
+        };
+
+        // A proxy is a contract whose outermost frame delegate-calls with
+        // the full call data forwarded.
+        let delegate = inspector
+            .delegate_calls()
+            .find(|d| d.depth == 0 && d.proxy == address);
+        match delegate {
+            Some(obs) if obs.forwarded_input == call_data => {
+                let impl_source = match obs.target_word.origin {
+                    Origin::CodeConstant => ImplSource::Hardcoded,
+                    Origin::StorageSlot(slot) => ImplSource::StorageSlot(slot),
+                    _ => ImplSource::Computed,
+                };
+                let standard = classify(&code, impl_source);
+                ProxyCheck::Proxy {
+                    logic: obs.logic,
+                    impl_source,
+                    standard,
+                }
+            }
+            Some(_) => ProxyCheck::NotProxy(NotProxyReason::NotForwarding),
+            None => {
+                // Distinguish "executed fine but never delegated" from a
+                // genuine emulation failure. A REVERT is normal contract
+                // behaviour (e.g. solc's default fallback); anything else
+                // that is not success counts as an emulation error.
+                use proxion_evm::HaltReason;
+                match result.halt {
+                    HaltReason::Success | HaltReason::Revert => {
+                        ProxyCheck::NotProxy(NotProxyReason::DelegateNotReached)
+                    }
+                    other => {
+                        ProxyCheck::NotProxy(NotProxyReason::EmulationError(other.to_string()))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Classifies a confirmed proxy against the standards of Table 4.
+fn classify(code: &[u8], impl_source: ImplSource) -> ProxyStandard {
+    match impl_source {
+        ImplSource::Hardcoded => {
+            // Any hard-coded-address forwarder is the minimal pattern; the
+            // canonical 45-byte EIP-1167 runtime is the common case.
+            let _ = parse_minimal_proxy(code);
+            ProxyStandard::Eip1167
+        }
+        ImplSource::StorageSlot(slot) => {
+            if slot == SlotSpec::eip1967_implementation().to_u256() {
+                ProxyStandard::Eip1967
+            } else if slot == SlotSpec::eip1822_proxiable().to_u256() {
+                ProxyStandard::Eip1822
+            } else {
+                ProxyStandard::Other
+            }
+        }
+        ImplSource::Computed => ProxyStandard::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_primitives::U256;
+    use proxion_solc::{compile, templates, ContractSpec};
+
+    struct Fixture {
+        chain: Chain,
+        me: Address,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut chain = Chain::new();
+            let me = chain.new_funded_account();
+            Fixture { chain, me }
+        }
+
+        fn install_spec(&mut self, spec: &ContractSpec) -> Address {
+            let compiled = compile(spec).expect("compiles");
+            self.chain.install_new(self.me, compiled.runtime).unwrap()
+        }
+
+        fn check(&self, address: Address) -> ProxyCheck {
+            ProxyDetector::new().check(&self.chain, address)
+        }
+    }
+
+    #[test]
+    fn minimal_proxy_detected_as_eip1167() {
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        let proxy = fx
+            .chain
+            .install_new(fx.me, templates::minimal_proxy_runtime(logic))
+            .unwrap();
+        let check = fx.check(proxy);
+        assert!(check.is_proxy());
+        assert_eq!(check.logic(), Some(logic));
+        assert_eq!(check.standard(), Some(ProxyStandard::Eip1167));
+        assert_eq!(check.impl_source(), Some(ImplSource::Hardcoded));
+    }
+
+    #[test]
+    fn eip1967_proxy_detected_with_slot() {
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        let proxy = fx.install_spec(&templates::eip1967_proxy("P"));
+        let slot = SlotSpec::eip1967_implementation().to_u256();
+        fx.chain.set_storage(proxy, slot, U256::from(logic));
+        let check = fx.check(proxy);
+        assert!(check.is_proxy());
+        assert_eq!(check.logic(), Some(logic));
+        assert_eq!(check.standard(), Some(ProxyStandard::Eip1967));
+        assert_eq!(check.impl_source(), Some(ImplSource::StorageSlot(slot)));
+    }
+
+    #[test]
+    fn eip1822_proxy_detected() {
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::eip1822_logic("L"));
+        let proxy = fx.install_spec(&templates::eip1822_proxy("P"));
+        fx.chain.set_storage(
+            proxy,
+            SlotSpec::eip1822_proxiable().to_u256(),
+            U256::from(logic),
+        );
+        let check = fx.check(proxy);
+        assert_eq!(check.standard(), Some(ProxyStandard::Eip1822));
+    }
+
+    #[test]
+    fn custom_slot_proxy_classified_other() {
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        let proxy = fx.install_spec(&templates::custom_slot_proxy("P", 7));
+        fx.chain
+            .set_storage(proxy, U256::from(7u64), U256::from(logic));
+        let check = fx.check(proxy);
+        assert!(check.is_proxy());
+        assert_eq!(check.standard(), Some(ProxyStandard::Other));
+        assert_eq!(
+            check.impl_source(),
+            Some(ImplSource::StorageSlot(U256::from(7u64)))
+        );
+    }
+
+    #[test]
+    fn ownable_delegate_proxy_detected() {
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::wyvern_logic("L"));
+        let proxy = fx.install_spec(&templates::ownable_delegate_proxy("P"));
+        fx.chain.set_storage(proxy, U256::ONE, U256::from(logic));
+        let check = fx.check(proxy);
+        assert!(check.is_proxy());
+        assert_eq!(check.standard(), Some(ProxyStandard::Other));
+    }
+
+    #[test]
+    fn plain_contract_rejected_without_delegatecall() {
+        let mut fx = Fixture::new();
+        let token = fx.install_spec(&templates::plain_token("T"));
+        let check = fx.check(token);
+        assert!(matches!(
+            check,
+            ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall)
+        ));
+    }
+
+    #[test]
+    fn library_user_rejected_despite_delegatecall() {
+        // Library user HAS the DELEGATECALL opcode (passes step 1) but the
+        // crafted selector falls to the reverting fallback — the delegate
+        // never runs (step 2 rejects).
+        let mut fx = Fixture::new();
+        let lib = fx.install_spec(&templates::simple_logic("Lib"));
+        let user = fx.install_spec(&templates::library_user("U", lib));
+        let check = fx.check(user);
+        assert!(matches!(
+            check,
+            ProxyCheck::NotProxy(NotProxyReason::DelegateNotReached)
+        ));
+    }
+
+    #[test]
+    fn non_forwarding_delegator_rejected() {
+        let mut fx = Fixture::new();
+        let target = fx.install_spec(&templates::simple_logic("T"));
+        let nf = fx.install_spec(&templates::non_forwarding_delegator("NF", target));
+        let check = fx.check(nf);
+        assert!(matches!(
+            check,
+            ProxyCheck::NotProxy(NotProxyReason::NotForwarding)
+        ));
+    }
+
+    #[test]
+    fn call_forwarder_rejected() {
+        let mut fx = Fixture::new();
+        let target = fx.install_spec(&templates::simple_logic("T"));
+        let cf = fx.install_spec(&templates::call_forwarder("CF", target));
+        let check = fx.check(cf);
+        // No DELEGATECALL opcode at all (plain CALL): rejected at step 1.
+        assert!(matches!(
+            check,
+            ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall)
+        ));
+    }
+
+    #[test]
+    fn diamond_proxy_missed_as_in_paper() {
+        // Faithful limitation (paper §8.1): random probes never match a
+        // registered facet selector, so the diamond's delegatecall is
+        // unreachable and Proxion misses it.
+        let mut fx = Fixture::new();
+        let facet = fx.install_spec(&templates::simple_logic("F"));
+        let diamond = fx.install_spec(&templates::diamond_proxy("D"));
+        fx.chain.set_storage(
+            diamond,
+            templates::diamond_facet_slot(proxion_primitives::selector("setValue(uint256)")),
+            U256::from(facet),
+        );
+        let check = fx.check(diamond);
+        assert!(matches!(
+            check,
+            ProxyCheck::NotProxy(NotProxyReason::DelegateNotReached)
+        ));
+    }
+
+    #[test]
+    fn empty_account_rejected() {
+        let fx = Fixture::new();
+        let check = fx.check(Address::from_low_u64(0xdead));
+        assert!(matches!(
+            check,
+            ProxyCheck::NotProxy(NotProxyReason::NoCode)
+        ));
+    }
+
+    #[test]
+    fn crafted_selector_avoids_dispatcher_entries() {
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        // The honeypot proxy has a real function; the probe must not hit it.
+        let (proxy_spec, _) = templates::honeypot_pair(Address::from_low_u64(9));
+        let proxy = fx.install_spec(&proxy_spec);
+        fx.chain.set_storage(proxy, U256::ONE, U256::from(logic));
+        let code = fx.chain.code_at(proxy);
+        let disasm = Disassembly::new(&code);
+        let detector = ProxyDetector::new();
+        let data = detector.craft_call_data(&disasm, proxy);
+        let mut probe_sel = [0u8; 4];
+        probe_sel.copy_from_slice(&data[..4]);
+        assert!(!disasm.push4_immediates().contains(&probe_sel));
+        // And the full check still identifies the proxy.
+        assert!(fx.check(proxy).is_proxy());
+    }
+
+    #[test]
+    fn nested_proxies_resolved_to_terminal_logic() {
+        // minimal proxy -> EIP-1967 proxy -> logic.
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        let middle = fx.install_spec(&templates::eip1967_proxy("Mid"));
+        fx.chain.set_storage(
+            middle,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(logic),
+        );
+        let outer = fx
+            .chain
+            .install_new(fx.me, templates::minimal_proxy_runtime(middle))
+            .unwrap();
+
+        let detector = ProxyDetector::new();
+        let hops = detector.resolve_terminal(&fx.chain, outer, 8);
+        assert_eq!(hops, vec![outer, middle, logic]);
+        // A hop budget of 1 stops at the intermediate proxy.
+        assert_eq!(
+            detector.resolve_terminal(&fx.chain, outer, 1),
+            vec![outer, middle]
+        );
+        // A non-proxy resolves to itself.
+        assert_eq!(detector.resolve_terminal(&fx.chain, logic, 8), vec![logic]);
+    }
+
+    #[test]
+    fn cyclic_proxies_terminate() {
+        // Two custom-slot proxies pointing at each other must not loop.
+        let mut fx = Fixture::new();
+        let a = fx.install_spec(&templates::custom_slot_proxy("A", 0));
+        let b = fx.install_spec(&templates::custom_slot_proxy("B", 0));
+        fx.chain.set_storage(a, U256::ZERO, U256::from(b));
+        fx.chain.set_storage(b, U256::ZERO, U256::from(a));
+        let hops = ProxyDetector::new().resolve_terminal(&fx.chain, a, 16);
+        assert_eq!(hops, vec![a, b], "cycle must be cut at the repeat");
+    }
+
+    #[test]
+    fn probe_does_not_mutate_chain() {
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        let proxy = fx.install_spec(&templates::custom_slot_proxy("P", 0));
+        fx.chain.set_storage(proxy, U256::ZERO, U256::from(logic));
+        let head_before = fx.chain.head_block();
+        let history_before = fx.chain.storage_history_of(proxy, U256::ZERO);
+        let _ = fx.check(proxy);
+        assert_eq!(fx.chain.head_block(), head_before);
+        assert_eq!(
+            fx.chain.storage_history_of(proxy, U256::ZERO),
+            history_before
+        );
+        assert!(
+            !fx.chain.has_transactions(proxy),
+            "probe must not record txs"
+        );
+    }
+}

@@ -1,0 +1,979 @@
+//! Storage-collision detection (paper §5.2): the CRUSH-style engine.
+//!
+//! The pipeline mirrors CRUSH's stages:
+//!
+//! 1. **Access-site discovery** — every `SLOAD`/`SSTORE` in the
+//!    disassembly.
+//! 2. **Slicing + abstract execution** — each basic block is executed
+//!    over an abstract stack that tracks constants, storage-derived
+//!    values and mask algebra. This recovers for every access its
+//!    `(slot, byte offset, width)` region: packed reads show up as
+//!    `SLOAD; SHR k; AND mask`, packed writes as the read-modify-write
+//!    `SLOAD; AND ~mask; OR; SSTORE` merge — the exact idioms solc emits.
+//! 3. **Guard identification** — a region whose value is compared against
+//!    `CALLER` or branches a `JUMPI` (the `require(...)` shapes) is an
+//!    access-control guard; CRUSH calls these the sensitive slots.
+//! 4. **Pairwise comparison** — proxy regions vs. logic regions on the
+//!    same slot with overlapping bytes but mismatched extents are
+//!    collision candidates.
+//! 5. **Exploit validation** — candidate collisions touching a guard are
+//!    replayed concretely: every logic function is executed *through the
+//!    proxy* on a fork, and a write that clobbers the guard region with a
+//!    different extent confirms the exploit.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use proxion_chain::{Chain, ForkDb};
+use proxion_disasm::{extract_dispatcher_selectors, Cfg, Disassembly};
+use proxion_evm::{Evm, Host, Message, RecordingInspector};
+use proxion_primitives::{Address, U256};
+
+/// Whether a region was read or written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Observed `SLOAD`.
+    Read,
+    /// Observed `SSTORE`.
+    Write,
+}
+
+/// One storage access region recovered from bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRegion {
+    /// The storage slot.
+    pub slot: U256,
+    /// Byte offset within the slot (from the least significant byte).
+    pub offset: usize,
+    /// Width in bytes.
+    pub width: usize,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Whether the value feeds an access-control decision.
+    pub guard: bool,
+    /// Whether the slot is in the hashed namespace (a mapping/dynamic
+    /// access at `keccak256(key ‖ base)`); `slot` then holds the *base*.
+    /// Hashed and scalar accesses never overlap (CRUSH's namespace rule).
+    pub hashed: bool,
+}
+
+impl AccessRegion {
+    /// Returns `true` if two regions overlap byte ranges in the same slot
+    /// and namespace (scalar vs hashed accesses never overlap).
+    pub fn overlaps(&self, other: &AccessRegion) -> bool {
+        self.hashed == other.hashed
+            && self.slot == other.slot
+            && self.offset < other.offset + other.width
+            && other.offset < self.offset + self.width
+    }
+
+    /// Returns `true` if the two regions interpret the slot differently
+    /// (different extent).
+    pub fn mismatches(&self, other: &AccessRegion) -> bool {
+        self.offset != other.offset || self.width != other.width
+    }
+}
+
+impl fmt::Display for AccessRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}slot {:#x} bytes {}..{} ({:?}{})",
+            if self.hashed { "hashed " } else { "" },
+            self.slot,
+            self.offset,
+            self.offset + self.width,
+            self.kind,
+            if self.guard { ", guard" } else { "" }
+        )
+    }
+}
+
+/// One detected storage collision on a proxy/logic pair.
+#[derive(Debug, Clone)]
+pub struct StorageCollision {
+    /// The colliding slot.
+    pub slot: U256,
+    /// The proxy-side region.
+    pub proxy_region: AccessRegion,
+    /// The logic-side region.
+    pub logic_region: AccessRegion,
+    /// The collision touches an access-control guard and the opposite
+    /// side writes it — CRUSH's exploitability criterion.
+    pub exploitable: bool,
+    /// The exploit was confirmed by concrete execution on a fork.
+    pub validated: bool,
+}
+
+impl fmt::Display for StorageCollision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slot {:#x}: proxy [{}..{}] vs logic [{}..{}]{}{}",
+            self.slot,
+            self.proxy_region.offset,
+            self.proxy_region.offset + self.proxy_region.width,
+            self.logic_region.offset,
+            self.logic_region.offset + self.logic_region.width,
+            if self.exploitable { " EXPLOITABLE" } else { "" },
+            if self.validated { " (validated)" } else { "" },
+        )
+    }
+}
+
+/// Report for one proxy/logic pair.
+#[derive(Debug, Clone)]
+pub struct StorageCollisionReport {
+    /// All collisions found (deduplicated by slot + extents).
+    pub collisions: Vec<StorageCollision>,
+    /// Regions recovered on the proxy side.
+    pub proxy_regions: Vec<AccessRegion>,
+    /// Regions recovered on the logic side.
+    pub logic_regions: Vec<AccessRegion>,
+}
+
+impl StorageCollisionReport {
+    /// Returns `true` if any collision was found.
+    pub fn has_collisions(&self) -> bool {
+        !self.collisions.is_empty()
+    }
+
+    /// Returns `true` if any collision is exploitable.
+    pub fn has_exploitable(&self) -> bool {
+        self.collisions.iter().any(|c| c.exploitable)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Abstract execution
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// A compile-time constant.
+    Const(U256),
+    /// `msg.sender`.
+    Caller,
+    /// A value loaded from storage (index into the region table).
+    Storage(usize),
+    /// A storage value that was `AND`ed with a contiguous mask. Whether
+    /// that was a field *extraction* (a real packed read) or the *clear*
+    /// step of a read-modify-write is ambiguous until the value is
+    /// consumed: an `OR` proves read-modify-write (and retracts the
+    /// speculative read refinement); anything else confirms extraction.
+    Masked {
+        region: usize,
+        mask: U256,
+        prev_offset: usize,
+        prev_width: usize,
+    },
+    /// A storage value whose field bytes were cleared with a
+    /// non-contiguous (middle-field) mask; unambiguously the clear step of
+    /// a read-modify-write. `field` is the byte mask of the field.
+    Cleared { region: usize, field: U256 },
+    /// The merged value of a read-modify-write, ready to be stored.
+    Merge { slot_region: usize, field: U256 },
+    /// A boolean derived from a storage region (`ISZERO`/`EQ`).
+    Flag(usize),
+    /// `keccak256(key ‖ base)` — a mapping entry slot with the given base.
+    MappingSlot(U256),
+    /// Anything else.
+    Top,
+}
+
+/// Decomposes a contiguous, byte-aligned mask into `(byte offset, byte
+/// width)`; returns `None` for non-contiguous or unaligned masks.
+fn decode_mask(mask: U256) -> Option<(usize, usize)> {
+    if mask.is_zero() {
+        return None;
+    }
+    let mut trailing = 0u32;
+    while !mask.bit(trailing) {
+        trailing += 1;
+    }
+    let shifted = mask >> trailing;
+    // shifted must be all-ones: shifted & (shifted + 1) == 0.
+    if !(shifted & (shifted + U256::ONE)).is_zero() {
+        return None;
+    }
+    let width_bits = shifted.bit_len();
+    if trailing % 8 != 0 || width_bits % 8 != 0 {
+        return None;
+    }
+    Some(((trailing / 8) as usize, (width_bits / 8) as usize))
+}
+
+struct AbstractInterpreter {
+    regions: Vec<AccessRegion>,
+    /// Region indexes that are read-modify-write artifacts (not real
+    /// reads).
+    rmw_reads: BTreeSet<usize>,
+}
+
+impl AbstractInterpreter {
+    fn new() -> Self {
+        AbstractInterpreter {
+            regions: Vec::new(),
+            rmw_reads: BTreeSet::new(),
+        }
+    }
+
+    fn run(mut self, disasm: &Disassembly) -> Vec<AccessRegion> {
+        let cfg = Cfg::new(disasm);
+        let instructions = disasm.instructions();
+        for block in cfg.blocks() {
+            let mut stack: Vec<AbsVal> = Vec::new();
+            let mut memory: std::collections::HashMap<u64, AbsVal> =
+                std::collections::HashMap::new();
+            for insn in &instructions[block.first..=block.last] {
+                self.step(insn, &mut stack, &mut memory);
+            }
+        }
+        // Drop read-modify-write artifacts, then dedupe.
+        let mut out: Vec<AccessRegion> = Vec::new();
+        for (i, region) in self.regions.into_iter().enumerate() {
+            if self.rmw_reads.contains(&i) {
+                continue;
+            }
+            match out.iter_mut().find(|r| {
+                r.slot == region.slot
+                    && r.offset == region.offset
+                    && r.width == region.width
+                    && r.kind == region.kind
+            }) {
+                Some(existing) => existing.guard |= region.guard,
+                None => out.push(region),
+            }
+        }
+        out
+    }
+
+    fn pop(stack: &mut Vec<AbsVal>) -> AbsVal {
+        stack.pop().unwrap_or(AbsVal::Top)
+    }
+
+    /// The region index behind a storage-derived value, if any.
+    fn storage_region(value: AbsVal) -> Option<usize> {
+        match value {
+            AbsVal::Storage(r) | AbsVal::Flag(r) => Some(r),
+            AbsVal::Masked { region, .. } => Some(region),
+            _ => None,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(
+        &mut self,
+        insn: &proxion_disasm::Instruction,
+        stack: &mut Vec<AbsVal>,
+        memory: &mut std::collections::HashMap<u64, AbsVal>,
+    ) {
+        use proxion_asm::opcode as op;
+        let opcode = insn.opcode;
+        match opcode {
+            _ if insn.is_push() => {
+                stack.push(AbsVal::Const(insn.push_value().unwrap_or(U256::ZERO)));
+            }
+            _ if (op::DUP1..=op::DUP16).contains(&opcode) => {
+                let n = (opcode - op::DUP1) as usize;
+                let value = if n < stack.len() {
+                    stack[stack.len() - 1 - n]
+                } else {
+                    AbsVal::Top
+                };
+                stack.push(value);
+            }
+            _ if (op::SWAP1..=op::SWAP16).contains(&opcode) => {
+                let n = (opcode - op::SWAP1 + 1) as usize;
+                while stack.len() < n + 1 {
+                    stack.insert(0, AbsVal::Top);
+                }
+                let len = stack.len();
+                stack.swap(len - 1, len - 1 - n);
+            }
+            op::CALLER => stack.push(AbsVal::Caller),
+            op::SLOAD => {
+                let slot = Self::pop(stack);
+                match slot {
+                    AbsVal::Const(s) => {
+                        let region = self.regions.len();
+                        self.regions.push(AccessRegion {
+                            slot: s,
+                            offset: 0,
+                            width: 32,
+                            kind: AccessKind::Read,
+                            guard: false,
+                            hashed: false,
+                        });
+                        stack.push(AbsVal::Storage(region));
+                    }
+                    AbsVal::MappingSlot(base) => {
+                        let region = self.regions.len();
+                        self.regions.push(AccessRegion {
+                            slot: base,
+                            offset: 0,
+                            width: 32,
+                            kind: AccessKind::Read,
+                            guard: false,
+                            hashed: true,
+                        });
+                        stack.push(AbsVal::Storage(region));
+                    }
+                    _ => stack.push(AbsVal::Top),
+                }
+            }
+            op::SHR => {
+                let (shift, value) = (Self::pop(stack), Self::pop(stack));
+                match (shift, Self::storage_region(value)) {
+                    (AbsVal::Const(n), Some(r)) => {
+                        if let Some(bits) = n.try_into_usize().filter(|b| b % 8 == 0) {
+                            self.regions[r].offset += bits / 8;
+                        }
+                        stack.push(AbsVal::Storage(r));
+                    }
+                    (AbsVal::Const(n), None) => match value {
+                        AbsVal::Const(x) => stack.push(AbsVal::Const(x >> n)),
+                        _ => stack.push(AbsVal::Top),
+                    },
+                    _ => stack.push(AbsVal::Top),
+                }
+            }
+            op::SHL => {
+                let (shift, value) = (Self::pop(stack), Self::pop(stack));
+                match (shift, value) {
+                    (AbsVal::Const(n), AbsVal::Const(x)) => stack.push(AbsVal::Const(x << n)),
+                    _ => stack.push(AbsVal::Top),
+                }
+            }
+            op::AND => {
+                let (a, b) = (Self::pop(stack), Self::pop(stack));
+                if let (AbsVal::Const(x), AbsVal::Const(y)) = (a, b) {
+                    stack.push(AbsVal::Const(x & y));
+                } else {
+                    let (constant, other) = match (a, b) {
+                        (AbsVal::Const(c), x) | (x, AbsVal::Const(c)) => (Some(c), x),
+                        _ => (None, AbsVal::Top),
+                    };
+                    match (constant, Self::storage_region(other), other) {
+                        (Some(mask), Some(r), _) => {
+                            if let Some((off, width)) = decode_mask(mask) {
+                                // Speculatively treat it as extraction;
+                                // an OR consumer will retract this.
+                                let prev_offset = self.regions[r].offset;
+                                let prev_width = self.regions[r].width;
+                                self.regions[r].offset += off;
+                                self.regions[r].width = width;
+                                stack.push(AbsVal::Masked {
+                                    region: r,
+                                    mask,
+                                    prev_offset,
+                                    prev_width,
+                                });
+                            } else if decode_mask(!mask).is_some() {
+                                // Non-contiguous mask whose complement is
+                                // a field: unambiguously a clear.
+                                stack.push(AbsVal::Cleared {
+                                    region: r,
+                                    field: !mask,
+                                });
+                            } else {
+                                stack.push(AbsVal::Storage(r));
+                            }
+                        }
+                        (Some(_), None, AbsVal::Caller) => stack.push(AbsVal::Caller),
+                        _ => stack.push(AbsVal::Top),
+                    }
+                }
+            }
+            op::OR => {
+                let (a, b) = (Self::pop(stack), Self::pop(stack));
+                match (a, b) {
+                    (
+                        AbsVal::Masked {
+                            region,
+                            mask,
+                            prev_offset,
+                            prev_width,
+                        },
+                        _,
+                    )
+                    | (
+                        _,
+                        AbsVal::Masked {
+                            region,
+                            mask,
+                            prev_offset,
+                            prev_width,
+                        },
+                    ) => {
+                        // Retract the speculative read refinement: this
+                        // was the clear half of a read-modify-write.
+                        self.regions[region].offset = prev_offset;
+                        self.regions[region].width = prev_width;
+                        self.rmw_reads.insert(region);
+                        stack.push(AbsVal::Merge {
+                            slot_region: region,
+                            field: !mask,
+                        });
+                    }
+                    (AbsVal::Cleared { region, field }, _)
+                    | (_, AbsVal::Cleared { region, field }) => {
+                        self.rmw_reads.insert(region);
+                        stack.push(AbsVal::Merge {
+                            slot_region: region,
+                            field,
+                        });
+                    }
+                    (AbsVal::Const(x), AbsVal::Const(y)) => stack.push(AbsVal::Const(x | y)),
+                    _ => stack.push(AbsVal::Top),
+                }
+            }
+            op::ISZERO => {
+                let a = Self::pop(stack);
+                match (Self::storage_region(a), a) {
+                    (Some(r), _) => stack.push(AbsVal::Flag(r)),
+                    (None, AbsVal::Const(c)) => stack.push(AbsVal::Const(U256::from(c.is_zero()))),
+                    _ => stack.push(AbsVal::Top),
+                }
+            }
+            op::EQ => {
+                let (a, b) = (Self::pop(stack), Self::pop(stack));
+                let region = Self::storage_region(a).or_else(|| Self::storage_region(b));
+                match region {
+                    Some(r) => {
+                        if matches!(a, AbsVal::Caller) || matches!(b, AbsVal::Caller) {
+                            self.regions[r].guard = true;
+                        }
+                        stack.push(AbsVal::Flag(r));
+                    }
+                    None => stack.push(AbsVal::Top),
+                }
+            }
+            op::JUMPI => {
+                let (_dest, cond) = (Self::pop(stack), Self::pop(stack));
+                if let Some(r) = Self::storage_region(cond) {
+                    self.regions[r].guard = true;
+                }
+            }
+            op::SSTORE => {
+                let (slot, value) = (Self::pop(stack), Self::pop(stack));
+                match slot {
+                    AbsVal::Const(s) => {
+                        let (offset, width) = match value {
+                            AbsVal::Merge { slot_region, field }
+                                if self.regions[slot_region].slot == s =>
+                            {
+                                decode_mask(field).unwrap_or((0, 32))
+                            }
+                            _ => (0, 32),
+                        };
+                        self.regions.push(AccessRegion {
+                            slot: s,
+                            offset,
+                            width,
+                            kind: AccessKind::Write,
+                            guard: false,
+                            hashed: false,
+                        });
+                    }
+                    AbsVal::MappingSlot(base) => {
+                        self.regions.push(AccessRegion {
+                            slot: base,
+                            offset: 0,
+                            width: 32,
+                            kind: AccessKind::Write,
+                            guard: false,
+                            hashed: true,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            op::MSTORE => {
+                let (offset, value) = (Self::pop(stack), Self::pop(stack));
+                match offset {
+                    AbsVal::Const(off) => {
+                        if let Some(off) = off.try_into_u64() {
+                            memory.insert(off, value);
+                        }
+                    }
+                    // An unknown-offset write invalidates the whole model.
+                    _ => memory.clear(),
+                }
+            }
+            op::KECCAK256 => {
+                let (offset, length) = (Self::pop(stack), Self::pop(stack));
+                // Recognize the Solidity mapping-slot derivation:
+                // keccak256(mem[off .. off+64]) where the second word is a
+                // constant base slot.
+                let result = match (offset, length) {
+                    (AbsVal::Const(off), AbsVal::Const(len)) if len == U256::from(64u64) => {
+                        match off
+                            .try_into_u64()
+                            .and_then(|o| memory.get(&(o + 32)).copied())
+                        {
+                            Some(AbsVal::Const(base)) => AbsVal::MappingSlot(base),
+                            _ => AbsVal::Top,
+                        }
+                    }
+                    _ => AbsVal::Top,
+                };
+                stack.push(result);
+            }
+            _ => {
+                // Generic transfer: pop inputs, push Top outputs.
+                if let Some(info) = proxion_asm::opcode::info(opcode) {
+                    for _ in 0..info.inputs {
+                        Self::pop(stack);
+                    }
+                    for _ in 0..info.outputs {
+                        stack.push(AbsVal::Top);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The detector
+// ---------------------------------------------------------------------
+
+/// The storage-collision detector.
+#[derive(Debug, Clone, Default)]
+pub struct StorageCollisionDetector;
+
+impl StorageCollisionDetector {
+    /// Creates a detector.
+    pub fn new() -> Self {
+        StorageCollisionDetector
+    }
+
+    /// Recovers the access-region layout of a contract from its bytecode.
+    pub fn layout_of(&self, code: &[u8]) -> Vec<AccessRegion> {
+        if code.is_empty() {
+            return Vec::new();
+        }
+        let disasm = Disassembly::new(code);
+        AbstractInterpreter::new().run(&disasm)
+    }
+
+    /// Checks one proxy/logic pair: recovers both layouts, compares
+    /// pairwise, and validates guard-touching candidates by concrete
+    /// execution through the proxy on a fork.
+    pub fn check_pair(
+        &self,
+        chain: &Chain,
+        proxy: Address,
+        logic: Address,
+    ) -> StorageCollisionReport {
+        let proxy_code = chain.code_at(proxy);
+        let logic_code = chain.code_at(logic);
+        let proxy_regions = self.layout_of(&proxy_code);
+        let logic_regions = self.layout_of(&logic_code);
+
+        let mut collisions = Vec::new();
+        for pr in &proxy_regions {
+            for lr in &logic_regions {
+                if pr.overlaps(lr) && pr.mismatches(lr) {
+                    // Exploitability: the colliding region guards access
+                    // control on one side while the other side writes
+                    // overlapping bytes.
+                    let guard_side = pr.guard || lr.guard;
+                    let cross_write = (pr.guard && lr.kind == AccessKind::Write)
+                        || (lr.guard && pr.kind == AccessKind::Write);
+                    collisions.push(StorageCollision {
+                        slot: pr.slot,
+                        proxy_region: pr.clone(),
+                        logic_region: lr.clone(),
+                        exploitable: guard_side && cross_write,
+                        validated: false,
+                    });
+                }
+            }
+        }
+        dedupe_collisions(&mut collisions);
+
+        // Concrete validation pass (CRUSH's exploit generation): run every
+        // logic function through the proxy on a fork and watch the writes.
+        if collisions.iter().any(|c| c.exploitable) {
+            let writes = self.probe_writes_through_proxy(chain, proxy, &logic_code);
+            for collision in &mut collisions {
+                if !collision.exploitable {
+                    continue;
+                }
+                let guard_region = if collision.proxy_region.guard {
+                    &collision.proxy_region
+                } else {
+                    &collision.logic_region
+                };
+                for write in &writes {
+                    if write.slot == guard_region.slot
+                        && write.overlaps(guard_region)
+                        && write.mismatches(guard_region)
+                    {
+                        collision.validated = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        StorageCollisionReport {
+            collisions,
+            proxy_regions,
+            logic_regions,
+        }
+    }
+
+    /// Executes every logic dispatcher function *through the proxy* on a
+    /// fork and returns the storage write regions that landed in the
+    /// proxy's storage.
+    fn probe_writes_through_proxy(
+        &self,
+        chain: &Chain,
+        proxy: Address,
+        logic_code: &[u8],
+    ) -> Vec<AccessRegion> {
+        let disasm = Disassembly::new(logic_code);
+        let selectors = extract_dispatcher_selectors(&disasm).selectors;
+        let mut writes = Vec::new();
+        let probe = Address::from_low_u64(0xfeed_5700); // zero low byte
+        for selector in selectors {
+            let mut fork = ForkDb::new(chain.db());
+            // Make sure the probe "succeeds" where balance checks matter.
+            fork.set_balance(probe, U256::ONE << 96u32);
+            let mut inspector = RecordingInspector::new();
+            let mut call_data = selector.to_vec();
+            call_data.extend_from_slice(&[0x11; 32]);
+            {
+                let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut inspector);
+                let _ = evm.call(Message::eoa_call(probe, proxy, call_data));
+            }
+            for access in inspector.storage {
+                if access.is_write && access.address == proxy {
+                    writes.push(AccessRegion {
+                        slot: access.slot,
+                        offset: 0,
+                        width: 32,
+                        kind: AccessKind::Write,
+                        guard: false,
+                        hashed: false,
+                    });
+                }
+            }
+        }
+        writes
+    }
+}
+
+/// Collapses collisions with identical extents, OR-merging the
+/// exploitable/validated verdicts so a (write × guarded-read) pairing is
+/// never shadowed by a benign (read × read) pairing of the same extents.
+fn dedupe_collisions(collisions: &mut Vec<StorageCollision>) {
+    let mut out: Vec<StorageCollision> = Vec::new();
+    for collision in collisions.drain(..) {
+        let key = (
+            collision.slot,
+            collision.proxy_region.offset,
+            collision.proxy_region.width,
+            collision.logic_region.offset,
+            collision.logic_region.width,
+        );
+        match out.iter_mut().find(|c| {
+            (
+                c.slot,
+                c.proxy_region.offset,
+                c.proxy_region.width,
+                c.logic_region.offset,
+                c.logic_region.width,
+            ) == key
+        }) {
+            Some(existing) => {
+                existing.exploitable |= collision.exploitable;
+                existing.validated |= collision.validated;
+                existing.proxy_region.guard |= collision.proxy_region.guard;
+                existing.logic_region.guard |= collision.logic_region.guard;
+            }
+            None => out.push(collision),
+        }
+    }
+    *collisions = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_solc::{compile, templates, ContractSpec, FnBody, Function, StorageVar, VarType};
+
+    fn layout(spec: &ContractSpec) -> Vec<AccessRegion> {
+        let compiled = compile(spec).unwrap();
+        StorageCollisionDetector::new().layout_of(&compiled.runtime)
+    }
+
+    #[test]
+    fn decode_mask_cases() {
+        assert_eq!(decode_mask(U256::from(0xffu64)), Some((0, 1)));
+        assert_eq!(decode_mask(U256::from(0xff00u64)), Some((1, 1)));
+        assert_eq!(
+            decode_mask((U256::ONE << 160u32) - U256::ONE),
+            Some((0, 20))
+        );
+        // address mask shifted two bytes
+        let shifted = ((U256::ONE << 160u32) - U256::ONE) << 16u32;
+        assert_eq!(decode_mask(shifted), Some((2, 20)));
+        assert_eq!(decode_mask(U256::ZERO), None);
+        assert_eq!(decode_mask(U256::from(0b1010u64)), None);
+        assert_eq!(decode_mask(U256::MAX), Some((0, 32)));
+    }
+
+    #[test]
+    fn full_slot_read_recovered() {
+        let spec = ContractSpec::new("R")
+            .with_var(StorageVar::new("x", VarType::Uint256))
+            .with_function(Function::new("x", vec![], FnBody::ReturnVar(0)));
+        let regions = layout(&spec);
+        assert!(regions.contains(&AccessRegion {
+            slot: U256::ZERO,
+            offset: 0,
+            width: 32,
+            kind: AccessKind::Read,
+            guard: false,
+            hashed: false,
+        }));
+    }
+
+    #[test]
+    fn packed_read_recovers_offset_and_width() {
+        // bool, bool, address packed into slot 0; read the address.
+        let spec = ContractSpec::new("P")
+            .with_var(StorageVar::new("a", VarType::Bool))
+            .with_var(StorageVar::new("b", VarType::Bool))
+            .with_var(StorageVar::new("owner", VarType::Address))
+            .with_function(Function::new("owner", vec![], FnBody::ReturnVar(2)));
+        let regions = layout(&spec);
+        assert!(
+            regions.iter().any(|r| r.slot == U256::ZERO
+                && r.offset == 2
+                && r.width == 20
+                && r.kind == AccessKind::Read),
+            "regions: {regions:?}"
+        );
+    }
+
+    #[test]
+    fn packed_write_recovers_field_not_full_slot() {
+        let spec = ContractSpec::new("W")
+            .with_var(StorageVar::new("a", VarType::Bool))
+            .with_var(StorageVar::new("b", VarType::Uint64))
+            .with_function(Function::new(
+                "setB",
+                vec![VarType::Uint256],
+                FnBody::StoreVar {
+                    var: 1,
+                    value: proxion_solc::StoreValue::Arg0,
+                },
+            ));
+        let regions = layout(&spec);
+        // The write must be byte 1..9, and the RMW's internal read must
+        // NOT appear as a full-slot read.
+        assert!(
+            regions.iter().any(|r| r.kind == AccessKind::Write
+                && r.slot == U256::ZERO
+                && r.offset == 1
+                && r.width == 8),
+            "regions: {regions:?}"
+        );
+        assert!(
+            !regions
+                .iter()
+                .any(|r| r.kind == AccessKind::Read && r.slot == U256::ZERO),
+            "RMW artifact read leaked: {regions:?}"
+        );
+    }
+
+    #[test]
+    fn guard_detected_on_caller_comparison() {
+        let spec = templates::plain_token("T"); // mint is owner-guarded
+        let regions = layout(&spec);
+        assert!(
+            regions
+                .iter()
+                .any(|r| r.guard && r.kind == AccessKind::Read && r.slot == U256::ZERO),
+            "owner guard not detected: {regions:?}"
+        );
+    }
+
+    #[test]
+    fn initialize_flag_is_a_guard() {
+        let (_, logic) = templates::audius_pair();
+        let regions = layout(&logic);
+        assert!(
+            regions
+                .iter()
+                .any(|r| r.guard && r.slot == U256::ZERO && r.width == 1),
+            "initialized flag guard not found: {regions:?}"
+        );
+    }
+
+    #[test]
+    fn audius_pair_collision_detected_and_validated() {
+        let (proxy_spec, logic_spec) = templates::audius_pair();
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&logic_spec).unwrap().runtime)
+            .unwrap();
+        let proxy = chain
+            .install_new(me, compile(&proxy_spec).unwrap().runtime)
+            .unwrap();
+        // Owner with zero low byte (the exploitable alignment).
+        let mut owner = [0u8; 20];
+        owner[10] = 0x42;
+        chain.set_storage(proxy, U256::ZERO, U256::from(Address::from(owner)));
+        chain.set_storage(proxy, U256::ONE, U256::from(logic));
+
+        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        assert!(report.has_collisions(), "no collisions: {report:?}");
+        assert!(report.has_exploitable(), "not exploitable: {report:?}");
+        assert!(
+            report.collisions.iter().any(|c| c.validated),
+            "exploit not validated: {report:?}"
+        );
+    }
+
+    #[test]
+    fn matching_layouts_produce_no_collisions() {
+        // Proxy and logic agree: both use slot 0 as uint256.
+        let proxy_spec = templates::custom_slot_proxy("P", 5);
+        let logic_spec = templates::simple_logic("L");
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&logic_spec).unwrap().runtime)
+            .unwrap();
+        let proxy = chain
+            .install_new(me, compile(&proxy_spec).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(proxy, U256::from(5u64), U256::from(logic));
+        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        assert!(
+            !report.has_collisions(),
+            "false positive: {:?}",
+            report.collisions
+        );
+    }
+
+    #[test]
+    fn wyvern_pair_owner_width_agreement_is_not_a_collision() {
+        // Proxy: owner(20B)@slot0, logic(20B)@slot1. Wyvern logic: same
+        // layout — no mismatch.
+        let proxy_spec = templates::ownable_delegate_proxy("P");
+        let logic_spec = templates::wyvern_logic("L");
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&logic_spec).unwrap().runtime)
+            .unwrap();
+        let proxy = chain
+            .install_new(me, compile(&proxy_spec).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(proxy, U256::ONE, U256::from(logic));
+        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        assert!(
+            !report.has_collisions(),
+            "same-extent regions must not collide: {:?}",
+            report.collisions
+        );
+    }
+
+    #[test]
+    fn width_mismatch_without_guard_is_unexploitable_collision() {
+        // Proxy reads slot 0 as address (20B, no guard on logic side
+        // write of 32B) — collision but not exploitable.
+        let proxy_spec = ContractSpec::new("P")
+            .with_var(StorageVar::new("owner", VarType::Address))
+            .with_function(Function::new("owner", vec![], FnBody::ReturnVar(0)))
+            .with_fallback(proxion_solc::Fallback::DelegateForward(
+                proxion_solc::ImplRef::Slot(proxion_solc::SlotSpec::Index(1)),
+            ));
+        let logic_spec = templates::simple_logic("L"); // slot 0 as uint256
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&logic_spec).unwrap().runtime)
+            .unwrap();
+        let proxy = chain
+            .install_new(me, compile(&proxy_spec).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(proxy, U256::ONE, U256::from(logic));
+        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        assert!(report.has_collisions());
+        assert!(!report.has_exploitable());
+    }
+
+    #[test]
+    fn mapping_accesses_recovered_in_hashed_namespace() {
+        let regions = layout(&templates::mapping_token("T"));
+        // balanceOf: hashed read at base 1; deposit: hashed write at base 1.
+        assert!(
+            regions
+                .iter()
+                .any(|r| r.hashed && r.slot == U256::ONE && r.kind == AccessKind::Read),
+            "hashed read missing: {regions:?}"
+        );
+        assert!(
+            regions
+                .iter()
+                .any(|r| r.hashed && r.slot == U256::ONE && r.kind == AccessKind::Write),
+            "hashed write missing: {regions:?}"
+        );
+        // owner(): a scalar read at slot 0 — NOT hashed.
+        assert!(regions
+            .iter()
+            .any(|r| !r.hashed && r.slot == U256::ZERO && r.kind == AccessKind::Read));
+    }
+
+    #[test]
+    fn mapping_base_never_collides_with_scalar_slot() {
+        // Proxy keeps its logic address in scalar slot 1; the logic's
+        // balances mapping has base slot 1. Without namespace separation
+        // this is a false collision — CRUSH's rule prevents it.
+        let proxy_spec = templates::ownable_delegate_proxy("P"); // scalar slot 1 (logic)
+        let logic_spec = templates::mapping_token("M"); // mapping base slot 1
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&logic_spec).unwrap().runtime)
+            .unwrap();
+        let proxy = chain
+            .install_new(me, compile(&proxy_spec).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(proxy, U256::ONE, U256::from(logic));
+        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        assert!(
+            report
+                .collisions
+                .iter()
+                .all(|c| !(c.proxy_region.hashed ^ c.logic_region.hashed)),
+            "cross-namespace collision reported: {:?}",
+            report.collisions
+        );
+        assert!(
+            !report.collisions.iter().any(|c| c.slot == U256::ONE
+                && !c.proxy_region.hashed
+                && !c.logic_region.hashed
+                && c.logic_region.kind == AccessKind::Write
+                && c.logic_region.width == 32
+                && c.proxy_region.width == 20
+                && c.exploitable),
+            "mapping base misread as scalar write: {:?}",
+            report.collisions
+        );
+    }
+
+    #[test]
+    fn empty_code_has_empty_layout() {
+        assert!(StorageCollisionDetector::new().layout_of(&[]).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Robustness fuzzing: every analysis must gracefully handle arbitrary
+//! bytes deployed as runtime bytecode — no panic, no hang. On mainnet the
+//! analyzers face hand-written assembly and data blobs; crashing on weird
+//! input is not an option (the paper's emulation-error rate covers these,
+//! §7.1).
+
+use proptest::prelude::*;
+use proxion_chain::Chain;
+use proxion_core::{FunctionCollisionDetector, ProxyDetector, StorageCollisionDetector};
+use proxion_disasm::{extract_dispatcher_selectors, Cfg, Disassembly};
+use proxion_etherscan::Etherscan;
+
+fn arbitrary_code() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Pure noise.
+        proptest::collection::vec(any::<u8>(), 1..300),
+        // Opcode-biased noise (valid opcodes with occasional immediates).
+        proptest::collection::vec(0u8..=0xff, 1..300),
+        // DELEGATECALL-rich noise: forces the detector past stage 1.
+        proptest::collection::vec(
+            prop_oneof![Just(0xf4u8), Just(0x5fu8), Just(0x60u8), any::<u8>()],
+            1..300
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn analyses_never_panic_on_arbitrary_bytecode(code in arbitrary_code()) {
+        // Static layers.
+        let disasm = Disassembly::new(&code);
+        let _ = Cfg::new(&disasm);
+        let _ = extract_dispatcher_selectors(&disasm);
+        let _ = StorageCollisionDetector::new().layout_of(&code);
+
+        // Dynamic layers (bounded by the gas limit).
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let address = chain.install_new(me, code).unwrap();
+        let check = ProxyDetector::new().check(&chain, address);
+        // Whatever the verdict, downstream analyses must also survive.
+        if let Some(logic) = check.logic() {
+            let _ = FunctionCollisionDetector::new().check_pair(
+                &chain,
+                &Etherscan::new(),
+                address,
+                logic,
+            );
+            let _ = StorageCollisionDetector::new().check_pair(&chain, address, logic);
+        }
+    }
+
+    #[test]
+    fn transact_never_panics_on_arbitrary_bytecode(
+        code in arbitrary_code(),
+        input in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let address = chain.install_new(me, code).unwrap();
+        let _ = chain.transact(me, address, input, proxion_primitives::U256::ZERO);
+    }
+}

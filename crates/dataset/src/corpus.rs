@@ -1,0 +1,546 @@
+//! Labeled proxy/logic pairs for the accuracy experiments (Table 2).
+
+use proxion_chain::Chain;
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{keccak256, Address, DetRng, U256};
+use proxion_solc::{
+    compile, templates, ContractSpec, Fallback, FnBody, Function, ImplRef, SlotSpec, StorageVar,
+    StoreValue, VarType,
+};
+
+/// The construction of a labeled pair — each kind targets one behaviour
+/// the Table 2 comparison measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairKind {
+    /// Proxy and logic both declare the EIP-897 introspection functions
+    /// (a true function collision every tool should find).
+    InheritedCollision,
+    /// A mined-selector honeypot (true function collision that
+    /// prototype-comparing tools miss).
+    MinedHoneypot,
+    /// Disjoint function surfaces, but the proxy embeds junk `PUSH4`
+    /// constants (a function-collision negative that naive bytecode
+    /// matching flags).
+    JunkPush4Negative,
+    /// Disjoint function surfaces, nothing tricky (plain negative).
+    DisjointNegative,
+    /// The Audius pattern: exploitable storage collision (true positive).
+    AudiusExploit,
+    /// Same slot, same extent, different variable names (a storage
+    /// negative that name-comparing tools flag).
+    PaddingRename,
+    /// Identical layouts (plain storage negative).
+    SameLayout,
+    /// Extent mismatch with no access-control guard (collision exists but
+    /// is not exploitable — counted negative for "exploitable storage
+    /// collision").
+    WidthMismatchBenign,
+    /// A library user and its library (not a proxy pair at all;
+    /// trace-based tools analyze it anyway).
+    LibraryPair,
+    /// Guard-touching extent mismatch that manual inspection deems benign
+    /// (the logic's full-slot write always preserves the guard value) —
+    /// the false-positive mode behind Proxion's 28 storage FPs in
+    /// Table 2.
+    GuardedMismatchBenign,
+    /// A genuinely exploitable collision hidden behind a *computed* slot
+    /// index, which defeats slicing-based layout recovery — the
+    /// false-negative mode (Table 2's 17 FNs).
+    ObfuscatedCollision,
+}
+
+impl PairKind {
+    /// All kinds.
+    pub const ALL: [PairKind; 11] = [
+        PairKind::InheritedCollision,
+        PairKind::MinedHoneypot,
+        PairKind::JunkPush4Negative,
+        PairKind::DisjointNegative,
+        PairKind::AudiusExploit,
+        PairKind::PaddingRename,
+        PairKind::SameLayout,
+        PairKind::WidthMismatchBenign,
+        PairKind::LibraryPair,
+        PairKind::GuardedMismatchBenign,
+        PairKind::ObfuscatedCollision,
+    ];
+}
+
+/// One labeled pair.
+#[derive(Debug, Clone)]
+pub struct LabeledPair {
+    /// The proxy-side contract (or caller, for [`PairKind::LibraryPair`]).
+    pub proxy: Address,
+    /// The logic-side contract.
+    pub logic: Address,
+    /// The construction.
+    pub kind: PairKind,
+    /// Ground truth: the pair has a function collision.
+    pub truth_function: bool,
+    /// Ground truth: the pair has an *exploitable* storage collision.
+    pub truth_storage: bool,
+    /// Ground truth: the pair is a genuine proxy/logic pair.
+    pub is_proxy_pair: bool,
+}
+
+/// A generated corpus with its chain and source registry.
+pub struct CollisionCorpus {
+    /// The chain holding the corpus contracts.
+    pub chain: Chain,
+    /// The registry (every contract verified, mirroring the Smart
+    /// Contract Sanctuary setting of §6.3).
+    pub etherscan: Etherscan,
+    /// The labeled pairs.
+    pub pairs: Vec<LabeledPair>,
+}
+
+impl CollisionCorpus {
+    /// Generates `per_kind` pairs of every [`PairKind`].
+    pub fn generate(seed: u64, per_kind: usize) -> CollisionCorpus {
+        let mut chain = Chain::new();
+        let mut etherscan = Etherscan::new();
+        let deployer = chain.new_funded_account();
+        let mut rng = DetRng::new(seed);
+        let mut pairs = Vec::new();
+        let mut counter = 0u64;
+
+        for kind in PairKind::ALL {
+            for _ in 0..per_kind {
+                counter += 1;
+                let pair = build_pair(
+                    &mut chain,
+                    &mut etherscan,
+                    deployer,
+                    &mut rng,
+                    kind,
+                    counter,
+                );
+                pairs.push(pair);
+            }
+        }
+        CollisionCorpus {
+            chain,
+            etherscan,
+            pairs,
+        }
+    }
+}
+
+fn install(
+    chain: &mut Chain,
+    etherscan: &mut Etherscan,
+    deployer: Address,
+    spec: &ContractSpec,
+) -> Address {
+    let compiled = compile(spec).expect("corpus spec compiles");
+    let hash = keccak256(&compiled.runtime);
+    let address = chain.install_new(deployer, compiled.runtime).unwrap();
+    etherscan.register_contract(address, hash);
+    etherscan.register_verified(address, compiled.source);
+    address
+}
+
+/// Adds a uniquely named marker function so each instance has distinct
+/// bytecode (the corpus mirrors distinct real-world deployments).
+fn vary(spec: ContractSpec, counter: u64) -> ContractSpec {
+    spec.with_function(Function::new(
+        format!("corpusMarker{counter}"),
+        vec![],
+        FnBody::ReturnConst(U256::from(counter)),
+    ))
+}
+
+fn slot_proxy(name: &str, counter: u64) -> ContractSpec {
+    vary(
+        ContractSpec::new(name)
+            .with_var(StorageVar::new("owner", VarType::Address))
+            .with_var(StorageVar::new("logic", VarType::Address))
+            .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(1)))),
+        counter,
+    )
+}
+
+fn build_pair(
+    chain: &mut Chain,
+    etherscan: &mut Etherscan,
+    deployer: Address,
+    rng: &mut DetRng,
+    kind: PairKind,
+    counter: u64,
+) -> LabeledPair {
+    match kind {
+        PairKind::InheritedCollision => {
+            let proxy_spec = vary(
+                templates::ownable_delegate_proxy("OwnableDelegateProxy"),
+                counter,
+            );
+            let logic_spec = vary(
+                templates::wyvern_logic("AuthenticatedProxy"),
+                counter + 10_000,
+            );
+            let logic = install(chain, etherscan, deployer, &logic_spec);
+            let proxy = install(chain, etherscan, deployer, &proxy_spec);
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: true,
+                truth_storage: false,
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::MinedHoneypot => {
+            let (proxy_spec, logic_spec) = templates::honeypot_pair(rng.next_address());
+            let logic = install(chain, etherscan, deployer, &vary(logic_spec, counter));
+            let proxy = install(
+                chain,
+                etherscan,
+                deployer,
+                &vary(proxy_spec, counter + 10_000),
+            );
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: true,
+                truth_storage: false,
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::JunkPush4Negative => {
+            // Logic declares a function whose selector equals a junk
+            // constant embedded in the proxy body — only naive PUSH4
+            // matching collides them.
+            let junk = rng.next_selector();
+            let proxy_spec = slot_proxy("JunkProxy", counter).with_junk_push4(junk);
+            let logic_spec = vary(
+                ContractSpec::new("JunkLogic")
+                    .with_function(Function::new("lure", vec![], FnBody::Stop).with_selector(junk)),
+                counter + 10_000,
+            );
+            let logic = install(chain, etherscan, deployer, &logic_spec);
+            let proxy = install(chain, etherscan, deployer, &proxy_spec);
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: false,
+                truth_storage: false,
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::DisjointNegative => {
+            let proxy_spec = vary(templates::eip1967_proxy("CleanProxy"), counter);
+            let logic_spec = vary(templates::simple_logic("CleanLogic"), counter + 10_000);
+            let logic = install(chain, etherscan, deployer, &logic_spec);
+            let proxy = install(chain, etherscan, deployer, &proxy_spec);
+            chain.set_storage(
+                proxy,
+                SlotSpec::eip1967_implementation().to_u256(),
+                U256::from(logic),
+            );
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: false,
+                truth_storage: false,
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::AudiusExploit => {
+            let (proxy_spec, logic_spec) = templates::audius_pair();
+            let logic = install(chain, etherscan, deployer, &vary(logic_spec, counter));
+            let proxy = install(
+                chain,
+                etherscan,
+                deployer,
+                &vary(proxy_spec, counter + 10_000),
+            );
+            let mut owner = [0u8; 20];
+            rng.fill_bytes(&mut owner[..19]);
+            owner[19] = 0;
+            chain.set_storage(proxy, U256::ZERO, U256::from_be_slice(&owner));
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: false,
+                truth_storage: true,
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::PaddingRename => {
+            // owner/admin: same slot, same 20-byte extent — benign.
+            let proxy_spec = vary(
+                ContractSpec::new("RenameProxy")
+                    .with_var(StorageVar::new("owner", VarType::Address))
+                    .with_var(StorageVar::new("logic", VarType::Address))
+                    .with_function(Function::new("owner", vec![], FnBody::ReturnVar(0)))
+                    .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(1)))),
+                counter,
+            );
+            let logic_spec = vary(
+                ContractSpec::new("RenameLogic")
+                    .with_var(StorageVar::new("admin", VarType::Address))
+                    .with_var(StorageVar::new("gap", VarType::Address))
+                    .with_function(Function::new("admin", vec![], FnBody::ReturnVar(0))),
+                counter + 10_000,
+            );
+            let logic = install(chain, etherscan, deployer, &logic_spec);
+            let proxy = install(chain, etherscan, deployer, &proxy_spec);
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: false,
+                truth_storage: false,
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::SameLayout => {
+            let proxy_spec = vary(templates::ownable_delegate_proxy("TwinProxy"), counter);
+            let logic_spec = vary(
+                ContractSpec::new("TwinLogic")
+                    .with_var(StorageVar::new("owner", VarType::Address))
+                    .with_var(StorageVar::new("logic", VarType::Address))
+                    .with_function(Function::new("whoami", vec![], FnBody::ReturnVar(0))),
+                counter + 10_000,
+            );
+            let logic = install(chain, etherscan, deployer, &logic_spec);
+            let proxy = install(chain, etherscan, deployer, &proxy_spec);
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: false,
+                truth_storage: false,
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::WidthMismatchBenign => {
+            // Proxy reads slot 0 as a 20-byte address; logic writes slot 0
+            // as uint256. Mismatch, but no guard on either side.
+            let proxy_spec = vary(
+                ContractSpec::new("BenignProxy")
+                    .with_var(StorageVar::new("beneficiary", VarType::Address))
+                    .with_function(Function::new("beneficiary", vec![], FnBody::ReturnVar(0)))
+                    .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(1)))),
+                counter,
+            );
+            let logic_spec = vary(
+                ContractSpec::new("BenignLogic")
+                    .with_var(StorageVar::new("counter", VarType::Uint256))
+                    .with_function(Function::new(
+                        "bump",
+                        vec![VarType::Uint256],
+                        FnBody::StoreVar {
+                            var: 0,
+                            value: StoreValue::Arg0,
+                        },
+                    )),
+                counter + 10_000,
+            );
+            let logic = install(chain, etherscan, deployer, &logic_spec);
+            let proxy = install(chain, etherscan, deployer, &proxy_spec);
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: false,
+                truth_storage: false, // collision exists, but unexploitable
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::GuardedMismatchBenign => {
+            // Proxy guards on owner (slot 0, 20 bytes); logic writes slot 0
+            // full-width. Statically (and even dynamically) this looks
+            // like a guard clobber, but by construction the written value
+            // always embeds the owner — benign on manual inspection.
+            let proxy_spec = vary(
+                ContractSpec::new("GuardedProxy")
+                    .with_var(StorageVar::new("owner", VarType::Address))
+                    .with_var(StorageVar::new("logic", VarType::Address))
+                    .with_function(Function::new(
+                        "reclaim",
+                        vec![VarType::Address],
+                        FnBody::GuardedStore {
+                            owner_var: 0,
+                            var: 0,
+                        },
+                    ))
+                    .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(1)))),
+                counter,
+            );
+            let logic_spec = vary(
+                ContractSpec::new("CheckpointLogic")
+                    .with_var(StorageVar::new("checkpoint", VarType::Uint256))
+                    .with_function(Function::new(
+                        "checkpoint",
+                        vec![VarType::Uint256],
+                        FnBody::StoreVar {
+                            var: 0,
+                            value: StoreValue::Arg0,
+                        },
+                    )),
+                counter + 10_000,
+            );
+            let logic = install(chain, etherscan, deployer, &logic_spec);
+            let proxy = install(chain, etherscan, deployer, &proxy_spec);
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: false,
+                truth_storage: false, // benign by manual inspection
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::ObfuscatedCollision => {
+            // Same exploitable shape as GuardedMismatch, but the logic's
+            // write goes through a computed slot index — hidden from
+            // slicing. Ground truth: exploitable.
+            let proxy_spec = vary(
+                ContractSpec::new("VictimProxy")
+                    .with_var(StorageVar::new("owner", VarType::Address))
+                    .with_var(StorageVar::new("logic", VarType::Address))
+                    .with_function(Function::new(
+                        "rescue",
+                        vec![VarType::Address],
+                        FnBody::GuardedStore {
+                            owner_var: 0,
+                            var: 0,
+                        },
+                    ))
+                    .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(1)))),
+                counter,
+            );
+            let logic_spec = vary(
+                ContractSpec::new("SneakyLogic")
+                    .with_var(StorageVar::new("tally", VarType::Uint256))
+                    .with_function(Function::new(
+                        "tally",
+                        vec![VarType::Uint256],
+                        FnBody::StoreVarObfuscated { var: 0 },
+                    )),
+                counter + 10_000,
+            );
+            let logic = install(chain, etherscan, deployer, &logic_spec);
+            let proxy = install(chain, etherscan, deployer, &proxy_spec);
+            chain.set_storage(proxy, U256::ONE, U256::from(logic));
+            LabeledPair {
+                proxy,
+                logic,
+                kind,
+                truth_function: false,
+                truth_storage: true, // genuinely exploitable, but hidden
+                is_proxy_pair: true,
+            }
+        }
+        PairKind::LibraryPair => {
+            // Library with an initializer guard: a trace-based pair that
+            // LOOKS collision-prone, but is not a proxy pair.
+            let lib_spec = vary(
+                ContractSpec::new("GuardedLib")
+                    .with_var(StorageVar::new("initialized", VarType::Bool))
+                    .with_var(StorageVar::new("libOwner", VarType::Address))
+                    .with_function(Function::new(
+                        "init",
+                        vec![],
+                        FnBody::Initialize {
+                            flag_var: 0,
+                            owner_var: 1,
+                        },
+                    )),
+                counter,
+            );
+            let lib = install(chain, etherscan, deployer, &lib_spec);
+            // The caller also writes its own slot 0 as a full word — to a
+            // trace-based tool that wrongly treats this pair as
+            // proxy/logic, that write "clobbers" the library's guard.
+            let user_spec = vary(
+                templates::library_user("LibCaller", lib).with_function(Function::new(
+                    "reset",
+                    vec![VarType::Uint256],
+                    FnBody::StoreVar {
+                        var: 0,
+                        value: StoreValue::Arg0,
+                    },
+                )),
+                counter + 10_000,
+            );
+            let user = install(chain, etherscan, deployer, &user_spec);
+            // Drive a transaction so trace-based tools discover the pair.
+            let probe = chain.new_funded_account();
+            chain.transact(
+                probe,
+                user,
+                proxion_primitives::selector("increment()").to_vec(),
+                U256::ZERO,
+            );
+            LabeledPair {
+                proxy: user,
+                logic: lib,
+                kind,
+                truth_function: false,
+                truth_storage: false,
+                is_proxy_pair: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_kinds() {
+        let corpus = CollisionCorpus::generate(1, 2);
+        assert_eq!(corpus.pairs.len(), PairKind::ALL.len() * 2);
+        for kind in PairKind::ALL {
+            assert_eq!(corpus.pairs.iter().filter(|p| p.kind == kind).count(), 2);
+        }
+    }
+
+    #[test]
+    fn truth_labels_consistent() {
+        let corpus = CollisionCorpus::generate(2, 1);
+        for pair in &corpus.pairs {
+            match pair.kind {
+                PairKind::InheritedCollision | PairKind::MinedHoneypot => {
+                    assert!(pair.truth_function)
+                }
+                PairKind::AudiusExploit => assert!(pair.truth_storage),
+                PairKind::LibraryPair => assert!(!pair.is_proxy_pair),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn every_contract_verified() {
+        let corpus = CollisionCorpus::generate(3, 1);
+        for pair in &corpus.pairs {
+            assert!(corpus.etherscan.is_verified(pair.proxy));
+            assert!(corpus.etherscan.is_verified(pair.logic));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = CollisionCorpus::generate(4, 2);
+        let b = CollisionCorpus::generate(4, 2);
+        let addrs_a: Vec<_> = a.pairs.iter().map(|p| (p.proxy, p.logic)).collect();
+        let addrs_b: Vec<_> = b.pairs.iter().map(|p| (p.proxy, p.logic)).collect();
+        assert_eq!(addrs_a, addrs_b);
+    }
+}

@@ -1,0 +1,754 @@
+//! Whole-chain landscape generation.
+
+use proxion_chain::Chain;
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{keccak256, Address, DetRng, U256};
+use proxion_solc::{compile, templates, ContractSpec, FnBody, Function, SlotSpec};
+
+use crate::params;
+
+/// The ground-truth proxy standard of a generated contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrueStandard {
+    /// EIP-1167-style minimal proxy (hard-coded logic address).
+    Minimal,
+    /// EIP-1822 UUPS.
+    Eip1822,
+    /// EIP-1967.
+    Eip1967,
+    /// Slot-based but non-standard.
+    OtherSlot,
+    /// EIP-2535 diamond (Proxion's known miss).
+    Diamond,
+}
+
+/// Which generator template produced a contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateId {
+    /// One of the three mega-duplicated templates (index 0–2).
+    Mega(u8),
+    /// An ordinary minimal proxy.
+    Minimal,
+    /// An EIP-1967 proxy.
+    Eip1967Proxy,
+    /// An EIP-1822 proxy.
+    Eip1822Proxy,
+    /// A custom-slot proxy.
+    CustomSlotProxy,
+    /// A Wyvern-style `OwnableDelegateProxy`.
+    WyvernProxy,
+    /// A honeypot proxy (mined function collision).
+    HoneypotProxy,
+    /// An Audius-style proxy (storage collision).
+    AudiusProxy,
+    /// A beacon proxy (two-hop implementation resolution).
+    BeaconProxy,
+    /// An EIP-2535 diamond.
+    Diamond,
+    /// A library-using contract (has `DELEGATECALL`, not a proxy).
+    LibraryUser,
+    /// A plain token.
+    PlainToken,
+    /// A `CALL`-forwarding contract (not a proxy).
+    CallForwarder,
+    /// A shared logic/implementation contract.
+    Logic,
+}
+
+/// Ground truth for one generated contract.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Whether the contract is, by construction, a proxy.
+    pub is_proxy: bool,
+    /// The standard, for proxies.
+    pub standard: Option<TrueStandard>,
+    /// The currently installed logic contract, for proxies.
+    pub logic: Option<Address>,
+    /// Whether verified source was published.
+    pub has_source: bool,
+    /// Whether at least one transaction was driven.
+    pub has_tx: bool,
+    /// Whether the current proxy/logic pair has a function collision.
+    pub function_collision: bool,
+    /// Whether the current pair has an exploitable storage collision.
+    pub storage_collision: bool,
+    /// Number of upgrade events performed.
+    pub upgrades: usize,
+}
+
+/// One generated contract.
+#[derive(Debug, Clone)]
+pub struct GeneratedContract {
+    /// Deployed address.
+    pub address: Address,
+    /// Deployment year (paper x-axis).
+    pub year: u16,
+    /// Producing template.
+    pub template: TemplateId,
+    /// Ground truth.
+    pub truth: GroundTruth,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct LandscapeConfig {
+    /// RNG seed (same seed ⇒ identical landscape).
+    pub seed: u64,
+    /// Number of contracts to generate.
+    pub total_contracts: usize,
+}
+
+impl Default for LandscapeConfig {
+    fn default() -> Self {
+        LandscapeConfig {
+            seed: 0x1a4d_5ca9,
+            total_contracts: 400,
+        }
+    }
+}
+
+/// A generated synthetic Ethereum landscape.
+pub struct Landscape {
+    /// The chain holding every generated contract.
+    pub chain: Chain,
+    /// The source registry.
+    pub etherscan: Etherscan,
+    /// Per-contract records with ground truth, in deployment order.
+    pub contracts: Vec<GeneratedContract>,
+}
+
+struct Generator {
+    chain: Chain,
+    etherscan: Etherscan,
+    rng: DetRng,
+    deployer: Address,
+    user: Address,
+    variant_counter: u64,
+}
+
+impl Generator {
+    /// Installs a compiled spec, registers it with Etherscan, optionally
+    /// verifying the source.
+    fn install(&mut self, spec: &ContractSpec, verify: bool) -> Address {
+        let compiled = compile(spec).expect("template compiles");
+        self.install_raw(compiled.runtime, verify.then_some(compiled.source))
+    }
+
+    fn install_raw(
+        &mut self,
+        runtime: Vec<u8>,
+        source: Option<proxion_solc::SourceInfo>,
+    ) -> Address {
+        let hash = keccak256(&runtime);
+        let address = self
+            .chain
+            .install_new(self.deployer, runtime)
+            .expect("fresh address");
+        self.etherscan.register_contract(address, hash);
+        if let Some(source) = source {
+            self.etherscan.register_verified(address, source);
+        }
+        address
+    }
+
+    /// Appends a uniquely-named marker function so otherwise-identical
+    /// specs compile to distinct bytecode.
+    fn variant(&mut self, spec: ContractSpec) -> ContractSpec {
+        self.variant_counter += 1;
+        spec.with_function(Function::new(
+            format!("marker{}", self.variant_counter),
+            vec![],
+            FnBody::ReturnConst(U256::from(self.variant_counter)),
+        ))
+    }
+
+    fn drive_tx(&mut self, address: Address) {
+        // An unmatched selector: cheap, exercises the fallback (and the
+        // delegate path of proxies, giving CRUSH-style tools their
+        // traces).
+        self.chain
+            .transact(self.user, address, vec![0xff, 0xff, 0xff, 0xff], U256::ZERO);
+    }
+}
+
+impl Landscape {
+    /// Generates a landscape.
+    pub fn generate(config: &LandscapeConfig) -> Landscape {
+        let mut chain = Chain::new();
+        let deployer = chain.new_funded_account();
+        let user = chain.new_funded_account();
+        let mut generator = Generator {
+            chain,
+            etherscan: Etherscan::new(),
+            rng: DetRng::new(config.seed),
+            deployer,
+            user,
+            variant_counter: 0,
+        };
+        let g = &mut generator;
+
+        // ---- shared infrastructure ----
+        // Mega templates: two minimal-proxy targets (CoinTool/XEN-like)
+        // and the OwnableDelegateProxy/Wyvern pair whose duplicates carry
+        // 98.7% of all function collisions (§7.2).
+        let mega_logic_a = {
+            let spec = g.variant(templates::simple_logic("CoinToolApp"));
+            g.install(&spec, true)
+        };
+        let mega_logic_b = {
+            let spec = g.variant(templates::simple_logic("XenTorrent"));
+            g.install(&spec, true)
+        };
+        let wyvern_logic = g.install(&templates::wyvern_logic("WyvernTokenTransferProxy"), true);
+        let wyvern_proxy_code = compile(&templates::ownable_delegate_proxy("OwnableDelegateProxy"))
+            .expect("compiles")
+            .runtime;
+        let mega_minimal_a = templates::minimal_proxy_runtime(mega_logic_a);
+        let mega_minimal_b = templates::minimal_proxy_runtime(mega_logic_b);
+
+        // A pool of ordinary logic implementations.
+        let pool_size = (config.total_contracts / 40).clamp(3, 40);
+        let mut logic_pool = Vec::with_capacity(pool_size);
+        let mut contracts: Vec<GeneratedContract> = Vec::new();
+        for i in 0..pool_size {
+            let verify = g.rng.next_bool(0.5);
+            // Alternate scalar-storage and mapping-based implementations so
+            // the storage analysis sees both namespaces at scale.
+            let spec = if i % 3 == 2 {
+                g.variant(templates::mapping_token(&format!("VaultImpl{i}")))
+            } else {
+                g.variant(templates::simple_logic(&format!("Impl{i}")))
+            };
+            let address = g.install(&spec, verify);
+            logic_pool.push(address);
+            contracts.push(GeneratedContract {
+                address,
+                year: *g.rng.choose(&params::YEARS),
+                template: TemplateId::Logic,
+                truth: GroundTruth {
+                    is_proxy: false,
+                    standard: None,
+                    logic: None,
+                    has_source: verify,
+                    has_tx: false,
+                    function_collision: false,
+                    storage_collision: false,
+                    upgrades: 0,
+                },
+            });
+        }
+
+        // ---- population ----
+        let remaining = config.total_contracts.saturating_sub(contracts.len());
+        for _ in 0..remaining {
+            let year_index = g.rng.choose_weighted(&params::YEAR_WEIGHTS);
+            let year = params::YEARS[year_index];
+            let is_proxy = g.rng.next_bool(params::PROXY_SHARE_BY_YEAR[year_index]);
+            let verify_roll = g.rng.next_bool(params::SOURCE_SHARE_BY_YEAR[year_index]);
+            let tx_roll = g.rng.next_bool(params::TX_SHARE_BY_YEAR[year_index]);
+
+            let record = if is_proxy {
+                Self::generate_proxy(
+                    g,
+                    year,
+                    year_index,
+                    verify_roll,
+                    tx_roll,
+                    &logic_pool,
+                    wyvern_logic,
+                    &wyvern_proxy_code,
+                    &mega_minimal_a,
+                    &mega_minimal_b,
+                    mega_logic_a,
+                    mega_logic_b,
+                )
+            } else {
+                Self::generate_non_proxy(g, year, verify_roll, tx_roll, &logic_pool)
+            };
+            contracts.push(record);
+        }
+
+        Landscape {
+            chain: generator.chain,
+            etherscan: generator.etherscan,
+            contracts,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_proxy(
+        g: &mut Generator,
+        year: u16,
+        _year_index: usize,
+        verify: bool,
+        drive: bool,
+        logic_pool: &[Address],
+        wyvern_logic: Address,
+        wyvern_proxy_code: &[u8],
+        mega_minimal_a: &[u8],
+        mega_minimal_b: &[u8],
+        mega_logic_a: Address,
+        mega_logic_b: Address,
+    ) -> GeneratedContract {
+        // Mega-duplicate clones first (42% of all proxies).
+        if g.rng.next_bool(params::MEGA_TEMPLATE_SHARE) {
+            let which = g.rng.choose_weighted(&[0.45, 0.35, 0.20]);
+            let (code, logic, template, function_collision) = match which {
+                0 => (
+                    mega_minimal_a.to_vec(),
+                    mega_logic_a,
+                    TemplateId::Mega(0),
+                    false,
+                ),
+                1 => (
+                    mega_minimal_b.to_vec(),
+                    mega_logic_b,
+                    TemplateId::Mega(1),
+                    false,
+                ),
+                _ => (
+                    wyvern_proxy_code.to_vec(),
+                    wyvern_logic,
+                    TemplateId::Mega(2),
+                    true,
+                ),
+            };
+            let address = g.install_raw(code, None);
+            let standard = if which == 2 {
+                g.chain.set_storage(address, U256::ONE, U256::from(logic));
+                TrueStandard::OtherSlot
+            } else {
+                TrueStandard::Minimal
+            };
+            if drive {
+                g.drive_tx(address);
+            }
+            return GeneratedContract {
+                address,
+                year,
+                template,
+                truth: GroundTruth {
+                    is_proxy: true,
+                    standard: Some(standard),
+                    logic: Some(logic),
+                    has_source: false,
+                    has_tx: drive,
+                    function_collision,
+                    storage_collision: false,
+                    upgrades: 0,
+                },
+            };
+        }
+
+        // Special attack pairs.
+        if g.rng.next_bool(params::HONEYPOT_RATE) {
+            let usdt = g.rng.next_address();
+            let (proxy_spec, logic_spec) = templates::honeypot_pair(usdt);
+            let logic_spec = g.variant(logic_spec);
+            let logic = g.install(&logic_spec, false);
+            let proxy_spec = g.variant(proxy_spec);
+            let address = g.install(&proxy_spec, false);
+            g.chain.set_storage(address, U256::ONE, U256::from(logic));
+            if drive {
+                g.drive_tx(address);
+            }
+            return GeneratedContract {
+                address,
+                year,
+                template: TemplateId::HoneypotProxy,
+                truth: GroundTruth {
+                    is_proxy: true,
+                    standard: Some(TrueStandard::OtherSlot),
+                    logic: Some(logic),
+                    has_source: false,
+                    has_tx: drive,
+                    function_collision: true,
+                    storage_collision: false,
+                    upgrades: 0,
+                },
+            };
+        }
+        if g.rng.next_bool(params::STORAGE_COLLISION_RATE) {
+            let (proxy_spec, logic_spec) = templates::audius_pair();
+            let logic_spec = g.variant(logic_spec);
+            let logic = g.install(&logic_spec, verify);
+            let proxy_spec = g.variant(proxy_spec);
+            let address = g.install(&proxy_spec, verify);
+            // Exploitable alignment: owner with a zero low byte.
+            let mut owner = [0u8; 20];
+            g.rng.fill_bytes(&mut owner[..19]);
+            owner[19] = 0;
+            let owner_word = U256::from_be_slice(&owner);
+            g.chain.set_storage(address, U256::ZERO, owner_word);
+            g.chain.set_storage(address, U256::ONE, U256::from(logic));
+            if drive {
+                g.drive_tx(address);
+            }
+            return GeneratedContract {
+                address,
+                year,
+                template: TemplateId::AudiusProxy,
+                truth: GroundTruth {
+                    is_proxy: true,
+                    standard: Some(TrueStandard::OtherSlot),
+                    logic: Some(logic),
+                    has_source: verify,
+                    has_tx: drive,
+                    function_collision: false,
+                    storage_collision: true,
+                    upgrades: 0,
+                },
+            };
+        }
+        // Beacon proxies: a small share of the non-standard population.
+        if g.rng.next_bool(0.015) {
+            let logic = *g.rng.choose(logic_pool);
+            let beacon_spec = g.variant(templates::beacon("Beacon"));
+            let beacon = g.install(&beacon_spec, verify);
+            g.chain.set_storage(beacon, U256::ZERO, U256::from(logic));
+            let proxy_spec = g.variant(templates::beacon_proxy("BeaconProxy"));
+            let address = g.install(&proxy_spec, verify);
+            g.chain.set_storage(
+                address,
+                templates::eip1967_beacon_slot().to_u256(),
+                U256::from(beacon),
+            );
+            if drive {
+                g.drive_tx(address);
+            }
+            return GeneratedContract {
+                address,
+                year,
+                template: TemplateId::BeaconProxy,
+                truth: GroundTruth {
+                    is_proxy: true,
+                    standard: Some(TrueStandard::OtherSlot),
+                    logic: Some(logic),
+                    has_source: verify,
+                    has_tx: drive,
+                    function_collision: false,
+                    storage_collision: false,
+                    upgrades: 0,
+                },
+            };
+        }
+
+        // Rare diamonds (Proxion's documented miss).
+        if g.rng.next_bool(0.005) {
+            let spec = g.variant(templates::diamond_proxy("Diamond"));
+            let address = g.install(&spec, verify);
+            let facet = *g.rng.choose(logic_pool);
+            g.chain.set_storage(
+                address,
+                templates::diamond_facet_slot(proxion_primitives::selector("setValue(uint256)")),
+                U256::from(facet),
+            );
+            if drive {
+                g.drive_tx(address);
+            }
+            return GeneratedContract {
+                address,
+                year,
+                template: TemplateId::Diamond,
+                truth: GroundTruth {
+                    is_proxy: true,
+                    standard: Some(TrueStandard::Diamond),
+                    logic: Some(facet),
+                    has_source: verify,
+                    has_tx: drive,
+                    function_collision: false,
+                    storage_collision: false,
+                    upgrades: 0,
+                },
+            };
+        }
+
+        // Ordinary standards (Table 4 mix).
+        let standard_index = g.rng.choose_weighted(&params::STANDARD_WEIGHTS);
+        let logic = *g.rng.choose(logic_pool);
+        let (address, standard, template, slot, has_source) = match standard_index {
+            0 => {
+                let address = g.install_raw(templates::minimal_proxy_runtime(logic), None);
+                (
+                    address,
+                    TrueStandard::Minimal,
+                    TemplateId::Minimal,
+                    None,
+                    false,
+                )
+            }
+            1 => {
+                let spec = g.variant(templates::eip1822_proxy("UupsProxy"));
+                let address = g.install(&spec, verify);
+                let slot = SlotSpec::eip1822_proxiable().to_u256();
+                (
+                    address,
+                    TrueStandard::Eip1822,
+                    TemplateId::Eip1822Proxy,
+                    Some(slot),
+                    verify,
+                )
+            }
+            2 => {
+                let spec = g.variant(templates::eip1967_proxy("TransparentProxy"));
+                let address = g.install(&spec, verify);
+                let slot = SlotSpec::eip1967_implementation().to_u256();
+                (
+                    address,
+                    TrueStandard::Eip1967,
+                    TemplateId::Eip1967Proxy,
+                    Some(slot),
+                    verify,
+                )
+            }
+            _ => {
+                let slot_index = g.rng.next_range(0, 3);
+                let spec = g.variant(templates::custom_slot_proxy("CustomProxy", slot_index));
+                let address = g.install(&spec, verify);
+                (
+                    address,
+                    TrueStandard::OtherSlot,
+                    TemplateId::CustomSlotProxy,
+                    Some(U256::from(slot_index)),
+                    verify,
+                )
+            }
+        };
+        if let Some(slot) = slot {
+            g.chain.set_storage(address, slot, U256::from(logic));
+        }
+
+        // Upgrade history for slot-based proxies.
+        let mut upgrades = 0;
+        let mut current_logic = logic;
+        if let Some(slot) = slot {
+            if g.rng.next_bool(params::UPGRADE_PROBABILITY) {
+                loop {
+                    upgrades += 1;
+                    current_logic = *g.rng.choose(logic_pool);
+                    // Space out upgrades with unrelated blocks.
+                    for _ in 0..g.rng.next_range(1, 4) {
+                        g.chain
+                            .set_storage(g.deployer, U256::MAX, U256::from(upgrades as u64));
+                    }
+                    g.chain
+                        .set_storage(address, slot, U256::from(current_logic));
+                    if !g.rng.next_bool(params::UPGRADE_CONTINUE) || upgrades >= 80 {
+                        break;
+                    }
+                }
+            }
+        }
+        if drive {
+            g.drive_tx(address);
+        }
+        GeneratedContract {
+            address,
+            year,
+            template,
+            truth: GroundTruth {
+                is_proxy: true,
+                standard: Some(standard),
+                logic: Some(current_logic),
+                has_source,
+                has_tx: drive,
+                function_collision: false,
+                storage_collision: false,
+                upgrades,
+            },
+        }
+    }
+
+    fn generate_non_proxy(
+        g: &mut Generator,
+        year: u16,
+        verify: bool,
+        drive: bool,
+        logic_pool: &[Address],
+    ) -> GeneratedContract {
+        let roll = g.rng.choose_weighted(&[0.80, 0.12, 0.08]);
+        let (spec, template) = match roll {
+            0 => (
+                g.variant(templates::plain_token("Token")),
+                TemplateId::PlainToken,
+            ),
+            1 => {
+                let lib = *g.rng.choose(logic_pool);
+                (
+                    g.variant(templates::library_user("LibUser", lib)),
+                    TemplateId::LibraryUser,
+                )
+            }
+            _ => {
+                let target = *g.rng.choose(logic_pool);
+                (
+                    g.variant(templates::call_forwarder("Forwarder", target)),
+                    TemplateId::CallForwarder,
+                )
+            }
+        };
+        let address = g.install(&spec, verify);
+        if drive {
+            if template == TemplateId::LibraryUser {
+                // Exercise the library call so the delegatecall shows up
+                // in traces (what CRUSH-style discovery keys on).
+                let user = g.user;
+                g.chain.transact(
+                    user,
+                    address,
+                    proxion_primitives::selector("increment()").to_vec(),
+                    U256::ZERO,
+                );
+            } else {
+                g.drive_tx(address);
+            }
+        }
+        GeneratedContract {
+            address,
+            year,
+            template,
+            truth: GroundTruth {
+                is_proxy: false,
+                standard: None,
+                logic: None,
+                has_source: verify,
+                has_tx: drive,
+                function_collision: false,
+                storage_collision: false,
+                upgrades: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Landscape {
+        Landscape::generate(&LandscapeConfig {
+            seed: 7,
+            total_contracts: 200,
+        })
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let l = small();
+        assert_eq!(l.contracts.len(), 200);
+        assert_eq!(l.chain.contracts().len(), l.etherscan.contract_count());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Landscape::generate(&LandscapeConfig {
+            seed: 9,
+            total_contracts: 80,
+        });
+        let b = Landscape::generate(&LandscapeConfig {
+            seed: 9,
+            total_contracts: 80,
+        });
+        let codes_a: Vec<_> = a.contracts.iter().map(|c| c.truth.is_proxy).collect();
+        let codes_b: Vec<_> = b.contracts.iter().map(|c| c.truth.is_proxy).collect();
+        assert_eq!(codes_a, codes_b);
+        assert_eq!(
+            a.contracts.iter().map(|c| c.address).collect::<Vec<_>>(),
+            b.contracts.iter().map(|c| c.address).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn proxy_share_in_paper_band() {
+        let l = Landscape::generate(&LandscapeConfig {
+            seed: 3,
+            total_contracts: 600,
+        });
+        let proxies = l.contracts.iter().filter(|c| c.truth.is_proxy).count();
+        let share = proxies as f64 / l.contracts.len() as f64;
+        // Paper: 54.2% of alive contracts are proxies; generator is
+        // weighted toward recent years so expect 0.4–0.75.
+        assert!((0.40..0.80).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn minimal_dominates_standards() {
+        let l = Landscape::generate(&LandscapeConfig {
+            seed: 5,
+            total_contracts: 600,
+        });
+        let minimal = l
+            .contracts
+            .iter()
+            .filter(|c| c.truth.standard == Some(TrueStandard::Minimal))
+            .count();
+        let proxies = l.contracts.iter().filter(|c| c.truth.is_proxy).count();
+        assert!(
+            minimal as f64 / proxies as f64 > 0.6,
+            "minimal {minimal}/{proxies}"
+        );
+    }
+
+    #[test]
+    fn duplicates_exist() {
+        let l = small();
+        let mega: Vec<_> = l
+            .contracts
+            .iter()
+            .filter(|c| matches!(c.template, TemplateId::Mega(_)))
+            .collect();
+        assert!(mega.len() > 10, "mega clones: {}", mega.len());
+        // All Mega(0) clones share a bytecode hash.
+        let hashes: std::collections::BTreeSet<_> = mega
+            .iter()
+            .filter(|c| c.template == TemplateId::Mega(0))
+            .map(|c| proxion_primitives::keccak256(l.chain.code_at(c.address).as_slice()))
+            .collect();
+        assert!(hashes.len() <= 1);
+    }
+
+    #[test]
+    fn hidden_proxies_present() {
+        let l = small();
+        let hidden = l
+            .contracts
+            .iter()
+            .filter(|c| c.truth.is_proxy && !c.truth.has_source && !c.truth.has_tx)
+            .count();
+        assert!(hidden > 0, "landscape must contain hidden proxies");
+    }
+
+    #[test]
+    fn upgraded_proxies_have_history() {
+        let l = Landscape::generate(&LandscapeConfig {
+            seed: 11,
+            total_contracts: 2500,
+        });
+        let upgraded: Vec<_> = l
+            .contracts
+            .iter()
+            .filter(|c| c.truth.upgrades > 0)
+            .collect();
+        assert!(!upgraded.is_empty(), "some proxies must upgrade");
+        for c in upgraded.iter().take(3) {
+            let slot = match c.truth.standard {
+                Some(TrueStandard::Eip1967) => SlotSpec::eip1967_implementation().to_u256(),
+                Some(TrueStandard::Eip1822) => SlotSpec::eip1822_proxiable().to_u256(),
+                _ => continue,
+            };
+            let history = l.chain.storage_history_of(c.address, slot);
+            assert!(history.len() >= c.truth.upgrades);
+        }
+    }
+
+    #[test]
+    fn wyvern_clones_carry_function_collisions() {
+        let l = small();
+        let with_collisions = l
+            .contracts
+            .iter()
+            .filter(|c| c.truth.function_collision)
+            .count();
+        assert!(with_collisions > 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic Ethereum landscape generation with ground-truth labels.
+//!
+//! The paper's landscape experiments (Figures 2/4/5/6, Tables 3/4) and
+//! accuracy experiments (Table 2, §6.2/§6.3) run over mainnet. Offline,
+//! this crate generates a population whose *generative parameters follow
+//! the paper's published marginals* — proxy share per year, standard mix,
+//! bytecode-duplicate skew, source/transaction availability, upgrade
+//! frequency, collision prevalence — and records ground truth for every
+//! contract, so accuracy can be scored exactly.
+//!
+//! Two generators:
+//!
+//! * [`Landscape::generate`] — a whole synthetic chain (the §7 corpus).
+//! * [`CollisionCorpus::generate`] — labeled proxy/logic pairs covering
+//!   every true/false collision mode (the Table 2 corpus), including the
+//!   adversarial negatives each baseline is known to stumble on.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_dataset::{Landscape, LandscapeConfig};
+//!
+//! let config = LandscapeConfig { total_contracts: 60, ..LandscapeConfig::default() };
+//! let landscape = Landscape::generate(&config);
+//! assert_eq!(landscape.contracts.len(), 60);
+//! let proxies = landscape.contracts.iter().filter(|c| c.truth.is_proxy).count();
+//! assert!(proxies > 0);
+//! ```
+
+mod corpus;
+mod landscape;
+pub mod params;
+
+pub use corpus::{CollisionCorpus, LabeledPair, PairKind};
+pub use landscape::{
+    GeneratedContract, GroundTruth, Landscape, LandscapeConfig, TemplateId, TrueStandard,
+};

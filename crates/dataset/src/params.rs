@@ -1,0 +1,85 @@
+//! Paper-derived generative parameters.
+//!
+//! Every constant here is lifted from the paper's reported measurements so
+//! that the synthetic landscape reproduces the published distributions.
+
+/// The evaluated years (paper Figs. 2/4, Table 3).
+pub const YEARS: [u16; 9] = [2015, 2016, 2017, 2018, 2019, 2020, 2021, 2022, 2023];
+
+/// Relative share of alive contracts deployed per year, shaped after the
+/// cumulative curve of Fig. 2 (slow start, explosive growth from 2021).
+pub const YEAR_WEIGHTS: [f64; 9] = [0.002, 0.008, 0.03, 0.05, 0.05, 0.06, 0.20, 0.30, 0.30];
+
+/// Probability that a contract deployed in the given year is a proxy.
+/// Tracks §7.2: ~54% overall, >93% of 2022–2023 deployments, few before
+/// 2018.
+pub const PROXY_SHARE_BY_YEAR: [f64; 9] = [0.02, 0.05, 0.12, 0.25, 0.30, 0.35, 0.55, 0.93, 0.93];
+
+/// Standard mix among proxies (Table 4): EIP-1167 minimal 89.05%,
+/// EIP-1822 0.12%, EIP-1967 1.00%, other slot-based 9.83%.
+pub const STANDARD_WEIGHTS: [f64; 4] = [0.8905, 0.0012, 0.0100, 0.0983];
+
+/// Probability that a contract has verified source (Fig. 2: <20%
+/// overall, and §7.2: ~90% of proxies have no source). Indexed by year —
+/// early contracts are more often verified.
+pub const SOURCE_SHARE_BY_YEAR: [f64; 9] = [0.45, 0.40, 0.35, 0.30, 0.28, 0.25, 0.15, 0.10, 0.10];
+
+/// Probability that a contract has at least one transaction (Fig. 2:
+/// ~53% overall; newer contracts more often silent).
+pub const TX_SHARE_BY_YEAR: [f64; 9] = [0.90, 0.85, 0.80, 0.75, 0.70, 0.65, 0.50, 0.40, 0.35];
+
+/// Probability that a slot-based proxy ever upgrades (§7.2: only 51,925
+/// of 19.6M proxies — but almost all of those are minimal; among
+/// *upgradeable* proxies the share is a few percent).
+pub const UPGRADE_PROBABILITY: f64 = 0.05;
+
+/// Geometric continuation probability for additional upgrades (mean
+/// extra logic contracts ≈ 1.32 → p ≈ 0.25).
+pub const UPGRADE_CONTINUE: f64 = 0.25;
+
+/// Share of minimal proxies cloned from the three mega-popular templates
+/// (§7.2: CoinTool_App, XENTorrent, OwnableDelegateProxy account for 42%
+/// of all proxies).
+pub const MEGA_TEMPLATE_SHARE: f64 = 0.42;
+
+/// Probability that a generated OwnableDelegateProxy-style pair carries
+/// the inherited function collisions (§7.2: those duplicates are 98.7%
+/// of all function collisions).
+pub const WYVERN_COLLISION_SHARE: f64 = 1.0;
+
+/// Probability that a non-mega upgradeable proxy/logic pair has an
+/// (exploitable) storage collision — tuned so the landscape yields a
+/// Table 3-like count of a few per thousand pairs.
+pub const STORAGE_COLLISION_RATE: f64 = 0.02;
+
+/// Probability that a non-mega pair carries a mined function-collision
+/// honeypot.
+pub const HONEYPOT_RATE: f64 = 0.01;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_distributions() {
+        let year_sum: f64 = YEAR_WEIGHTS.iter().sum();
+        assert!((year_sum - 1.0).abs() < 1e-9);
+        let std_sum: f64 = STANDARD_WEIGHTS.iter().sum();
+        assert!((std_sum - 1.0).abs() < 1e-9);
+        for p in PROXY_SHARE_BY_YEAR
+            .iter()
+            .chain(&SOURCE_SHARE_BY_YEAR)
+            .chain(&TX_SHARE_BY_YEAR)
+        {
+            assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn arrays_align_with_years() {
+        assert_eq!(YEARS.len(), YEAR_WEIGHTS.len());
+        assert_eq!(YEARS.len(), PROXY_SHARE_BY_YEAR.len());
+        assert_eq!(YEARS.len(), SOURCE_SHARE_BY_YEAR.len());
+        assert_eq!(YEARS.len(), TX_SHARE_BY_YEAR.len());
+    }
+}

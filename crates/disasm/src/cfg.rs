@@ -1,0 +1,330 @@
+//! Basic-block recovery and a static control-flow graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proxion_asm::opcode;
+
+use crate::insn::Disassembly;
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockTerminator {
+    /// Unconditional `JUMP`.
+    Jump,
+    /// Conditional `JUMPI` (fallthrough edge plus jump edge).
+    JumpI,
+    /// `STOP`, `RETURN`, `REVERT`, `INVALID`, `SELFDESTRUCT` or an
+    /// undefined opcode.
+    Halt,
+    /// Execution falls through into the next block (e.g. the next byte is
+    /// a `JUMPDEST` starting a new block).
+    FallThrough,
+    /// The block runs off the end of the code (implicit `STOP`).
+    EndOfCode,
+}
+
+/// A maximal straight-line instruction sequence.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Index of the first instruction (into [`Disassembly::instructions`]).
+    pub first: usize,
+    /// Index of the last instruction, inclusive.
+    pub last: usize,
+    /// Byte offset of the first instruction.
+    pub start_offset: usize,
+    /// How the block ends.
+    pub terminator: BlockTerminator,
+    /// Statically known successor *byte offsets*.
+    pub successors: Vec<usize>,
+}
+
+/// A static control-flow graph over basic blocks.
+///
+/// Jump edges are resolved only when the jump target is a constant pushed
+/// by the immediately preceding instruction (`PUSH2 dest; JUMP`), which is
+/// the pattern every known compiler emits. Computed jumps get no static
+/// edge — the analyses that need those run the real interpreter instead.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// Map from start byte offset to block index.
+    by_offset: BTreeMap<usize, usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for a disassembled contract.
+    pub fn new(disasm: &Disassembly) -> Self {
+        let instructions = disasm.instructions();
+        // Pass 1: find block leader byte offsets.
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        if !instructions.is_empty() {
+            leaders.insert(0);
+        }
+        for (idx, insn) in instructions.iter().enumerate() {
+            match insn.opcode {
+                opcode::JUMPDEST => {
+                    leaders.insert(insn.offset);
+                }
+                op if opcode::is_terminator(op) || op == opcode::JUMPI => {
+                    if let Some(next) = instructions.get(idx + 1) {
+                        leaders.insert(next.offset);
+                    }
+                }
+                op if opcode::info(op).is_none() => {
+                    if let Some(next) = instructions.get(idx + 1) {
+                        leaders.insert(next.offset);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Pass 2: slice instruction ranges into blocks.
+        let mut blocks = Vec::new();
+        let mut by_offset = BTreeMap::new();
+        let mut current_first: Option<usize> = None;
+        for (idx, insn) in instructions.iter().enumerate() {
+            if leaders.contains(&insn.offset) && current_first.is_some() {
+                // Close the running block as a fallthrough.
+                let first = current_first.take().expect("checked is_some");
+                Self::push_block(
+                    &mut blocks,
+                    &mut by_offset,
+                    instructions,
+                    first,
+                    idx - 1,
+                    disasm,
+                );
+            }
+            if current_first.is_none() {
+                current_first = Some(idx);
+            }
+            let ends_block = opcode::is_terminator(insn.opcode)
+                || insn.opcode == opcode::JUMPI
+                || opcode::info(insn.opcode).is_none();
+            if ends_block {
+                let first = current_first.take().expect("set above");
+                Self::push_block(
+                    &mut blocks,
+                    &mut by_offset,
+                    instructions,
+                    first,
+                    idx,
+                    disasm,
+                );
+            }
+        }
+        if let Some(first) = current_first {
+            Self::push_block(
+                &mut blocks,
+                &mut by_offset,
+                instructions,
+                first,
+                instructions.len() - 1,
+                disasm,
+            );
+        }
+        Cfg { blocks, by_offset }
+    }
+
+    fn push_block(
+        blocks: &mut Vec<BasicBlock>,
+        by_offset: &mut BTreeMap<usize, usize>,
+        instructions: &[crate::insn::Instruction],
+        first: usize,
+        last: usize,
+        disasm: &Disassembly,
+    ) {
+        let last_insn = &instructions[last];
+        let next_offset = last_insn.next_offset();
+        let has_next = last + 1 < instructions.len();
+
+        let (terminator, mut successors) = match last_insn.opcode {
+            opcode::JUMP => (BlockTerminator::Jump, Vec::new()),
+            opcode::JUMPI => {
+                let mut succ = Vec::new();
+                if has_next {
+                    succ.push(next_offset);
+                }
+                (BlockTerminator::JumpI, succ)
+            }
+            op if opcode::is_terminator(op) || opcode::info(op).is_none() => {
+                (BlockTerminator::Halt, Vec::new())
+            }
+            _ if has_next => (BlockTerminator::FallThrough, vec![next_offset]),
+            _ => (BlockTerminator::EndOfCode, Vec::new()),
+        };
+
+        // Static jump target: `PUSH dest` immediately before the jump.
+        if matches!(last_insn.opcode, opcode::JUMP | opcode::JUMPI) && last > first {
+            let prev = &instructions[last - 1];
+            if let Some(value) = prev.push_value() {
+                if let Some(dest) = value.try_into_usize() {
+                    if disasm.jumpdests().contains(&dest) {
+                        successors.push(dest);
+                    }
+                }
+            }
+        }
+
+        by_offset.insert(instructions[first].offset, blocks.len());
+        blocks.push(BasicBlock {
+            first,
+            last,
+            start_offset: instructions[first].offset,
+            terminator,
+            successors,
+        });
+    }
+
+    /// All blocks in code order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block starting at byte `offset`, if any.
+    pub fn block_at(&self, offset: usize) -> Option<&BasicBlock> {
+        self.by_offset.get(&offset).map(|&i| &self.blocks[i])
+    }
+
+    /// The entry block (offset 0), if the code is non-empty.
+    pub fn entry(&self) -> Option<&BasicBlock> {
+        self.blocks.first()
+    }
+
+    /// Byte offsets of blocks reachable from the entry following static
+    /// edges only.
+    pub fn reachable_offsets(&self) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut work = vec![0usize];
+        while let Some(offset) = work.pop() {
+            if !seen.insert(offset) {
+                continue;
+            }
+            if let Some(block) = self.block_at(offset) {
+                for &succ in &block.successors {
+                    if !seen.contains(&succ) {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_asm::{opcode as op, Assembler};
+    use proxion_primitives::U256;
+
+    fn cfg_of(code: &[u8]) -> (Disassembly, Cfg) {
+        let d = Disassembly::new(code);
+        let c = Cfg::new(&d);
+        (d, c)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, c) = cfg_of(&[op::PUSH1, 1, op::PUSH1, 2, op::ADD, op::STOP]);
+        assert_eq!(c.blocks().len(), 1);
+        assert_eq!(c.blocks()[0].terminator, BlockTerminator::Halt);
+        assert!(c.blocks()[0].successors.is_empty());
+    }
+
+    #[test]
+    fn jumpi_splits_blocks_with_both_edges() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.push(U256::ONE)
+            .jumpi_to(l)
+            .op(op::STOP)
+            .label(l)
+            .op(op::STOP);
+        let code = asm.assemble().unwrap();
+        let (_, c) = cfg_of(&code);
+        assert_eq!(c.blocks().len(), 3);
+        let b0 = &c.blocks()[0];
+        assert_eq!(b0.terminator, BlockTerminator::JumpI);
+        assert_eq!(b0.successors.len(), 2, "fallthrough + static target");
+        // Jump edge goes to the JUMPDEST block.
+        let target = *b0.successors.iter().max().unwrap();
+        assert!(c.block_at(target).is_some());
+    }
+
+    #[test]
+    fn jumpdest_starts_new_block() {
+        let code = [op::PUSH1, 0, op::JUMPDEST, op::STOP];
+        let (_, c) = cfg_of(&code);
+        assert_eq!(c.blocks().len(), 2);
+        assert_eq!(c.blocks()[0].terminator, BlockTerminator::FallThrough);
+        assert_eq!(c.blocks()[0].successors, vec![2]);
+        assert_eq!(c.blocks()[1].start_offset, 2);
+    }
+
+    #[test]
+    fn computed_jump_has_no_static_edge() {
+        // CALLDATALOAD-derived jump target.
+        let code = [
+            op::PUSH0,
+            op::CALLDATALOAD,
+            op::JUMP,
+            op::JUMPDEST,
+            op::STOP,
+        ];
+        let (_, c) = cfg_of(&code);
+        let b0 = &c.blocks()[0];
+        assert_eq!(b0.terminator, BlockTerminator::Jump);
+        assert!(b0.successors.is_empty());
+    }
+
+    #[test]
+    fn reachability_follows_static_edges() {
+        let mut asm = Assembler::new();
+        let reached = asm.new_label();
+        let dead = asm.new_label();
+        asm.jump_to(reached);
+        asm.label(dead).op(op::STOP); // never referenced from entry
+        asm.label(reached).op(op::STOP);
+        let code = asm.assemble().unwrap();
+        let (_, c) = cfg_of(&code);
+        let reachable = c.reachable_offsets();
+        assert!(reachable.contains(&0));
+        let reached_block = c
+            .blocks()
+            .iter()
+            .find(|b| b.start_offset > 0 && reachable.contains(&b.start_offset))
+            .unwrap();
+        assert_eq!(reached_block.terminator, BlockTerminator::Halt);
+        // Dead block exists but is unreachable.
+        assert!(c.blocks().len() >= 3);
+        assert!(c
+            .blocks()
+            .iter()
+            .any(|b| !reachable.contains(&b.start_offset)));
+    }
+
+    #[test]
+    fn end_of_code_terminator() {
+        let code = [op::PUSH1, 1];
+        let (_, c) = cfg_of(&code);
+        assert_eq!(c.blocks().len(), 1);
+        assert_eq!(c.blocks()[0].terminator, BlockTerminator::EndOfCode);
+        assert!(c.entry().is_some());
+    }
+
+    #[test]
+    fn empty_code_has_no_blocks() {
+        let (_, c) = cfg_of(&[]);
+        assert!(c.blocks().is_empty());
+        assert!(c.entry().is_none());
+    }
+
+    #[test]
+    fn invalid_opcode_ends_block() {
+        let code = [0x0c, op::JUMPDEST, op::STOP];
+        let (_, c) = cfg_of(&code);
+        assert_eq!(c.blocks().len(), 2);
+        assert_eq!(c.blocks()[0].terminator, BlockTerminator::Halt);
+    }
+}

@@ -1,0 +1,375 @@
+//! Function-selector extraction from bytecode.
+//!
+//! The paper's key observation (§5.1): function signatures always follow a
+//! `PUSH4`, but not every `PUSH4` immediate is a signature — embedded data
+//! and `abi.encodeWithSignature` constants also follow `PUSH4`. Proxion
+//! therefore only accepts 4-byte immediates that participate in a
+//! *dispatcher comparison*: the selector is compared (`EQ`, or `GT`/`LT`
+//! for split dispatchers) against the call-data selector and the result
+//! feeds a conditional jump into a function body.
+
+use std::collections::BTreeSet;
+
+use proxion_asm::opcode;
+
+use crate::insn::Disassembly;
+
+/// The dispatcher structure recovered from a contract.
+#[derive(Debug, Clone, Default)]
+pub struct DispatcherInfo {
+    /// Selectors compared in the dispatcher (the contract's external
+    /// function surface).
+    pub selectors: BTreeSet<[u8; 4]>,
+    /// Whether the canonical call-data prelude was found
+    /// (`CALLDATALOAD; PUSH1 0xe0; SHR` or the legacy `DIV`-by-2^224
+    /// form).
+    pub has_calldata_prelude: bool,
+}
+
+impl DispatcherInfo {
+    /// Returns `true` if the dispatcher compares at least one selector.
+    pub fn has_functions(&self) -> bool {
+        !self.selectors.is_empty()
+    }
+}
+
+/// Extracts the dispatcher selector set of a contract.
+///
+/// A `PUSH4` immediate is accepted as a selector iff, within a short
+/// window after it (allowing stack-shuffling `DUP`s), a comparison opcode
+/// (`EQ`, `GT`, `LT`) executes whose result — possibly through `ISZERO` —
+/// feeds a `JUMPI`. This is exactly the code shape every known compiler
+/// emits for function dispatch, and it excludes `PUSH4` immediates that
+/// are embedded data or call-encoding constants.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_disasm::{extract_dispatcher_selectors, Disassembly};
+/// use proxion_asm::opcode as op;
+///
+/// // DUP1 PUSH4 0xdf4a3106 EQ PUSH2 0x0010 JUMPI ... (dispatcher entry)
+/// let code = [
+///     op::DUP1, op::PUSH4, 0xdf, 0x4a, 0x31, 0x06, op::EQ,
+///     op::PUSH2, 0x00, 0x10, op::JUMPI, op::STOP,
+/// ];
+/// let info = extract_dispatcher_selectors(&Disassembly::new(&code));
+/// assert!(info.selectors.contains(&[0xdf, 0x4a, 0x31, 0x06]));
+/// ```
+pub fn extract_dispatcher_selectors(disasm: &Disassembly) -> DispatcherInfo {
+    let instructions = disasm.instructions();
+    let mut info = DispatcherInfo::default();
+
+    // Prelude detection: CALLDATALOAD ... SHR (new) or ... DIV (legacy).
+    for window in instructions.windows(3) {
+        if window[0].opcode == opcode::CALLDATALOAD
+            && window[1].is_push()
+            && matches!(window[2].opcode, opcode::SHR | opcode::DIV)
+        {
+            info.has_calldata_prelude = true;
+            break;
+        }
+    }
+
+    for (i, insn) in instructions.iter().enumerate() {
+        if insn.opcode != opcode::PUSH4 || insn.immediate.len() != 4 {
+            continue;
+        }
+        if selector_feeds_dispatch(instructions, i) {
+            let mut sel = [0u8; 4];
+            sel.copy_from_slice(&insn.immediate);
+            info.selectors.insert(sel);
+        }
+    }
+    info
+}
+
+/// Checks whether the `PUSH4` at instruction index `i` participates in a
+/// dispatcher comparison.
+fn selector_feeds_dispatch(instructions: &[crate::insn::Instruction], i: usize) -> bool {
+    // Phase 1: find a comparison within 3 instructions, skipping DUPs.
+    let mut j = i + 1;
+    let mut skipped = 0;
+    let cmp_index = loop {
+        let Some(insn) = instructions.get(j) else {
+            return false;
+        };
+        match insn.opcode {
+            op if (opcode::DUP1..=opcode::DUP16).contains(&op) && skipped < 3 => {
+                skipped += 1;
+                j += 1;
+            }
+            opcode::EQ | opcode::GT | opcode::LT => break j,
+            // `SUB` + `ISZERO` is an equality idiom used by some
+            // hand-written dispatchers.
+            opcode::SUB
+                if instructions
+                    .get(j + 1)
+                    .is_some_and(|n| n.opcode == opcode::ISZERO) =>
+            {
+                break j + 1;
+            }
+            _ => return false,
+        }
+    };
+    // Phase 2: the comparison result must reach a JUMPI within 3
+    // instructions, through optional ISZEROs and the pushed destination.
+    let mut k = cmp_index + 1;
+    let mut steps = 0;
+    while steps < 4 {
+        let Some(insn) = instructions.get(k) else {
+            return false;
+        };
+        match insn.opcode {
+            opcode::JUMPI => return true,
+            opcode::ISZERO => {}
+            op if opcode::is_push(op) => {}
+            _ => return false,
+        }
+        k += 1;
+        steps += 1;
+    }
+    false
+}
+
+/// The naive selector extraction: every well-formed `PUSH4` immediate.
+/// This is the flawed method the paper describes (§3.1) and what the
+/// Etherscan-style baseline uses; Proxion's ablation benchmark compares it
+/// against [`extract_dispatcher_selectors`].
+pub fn naive_push4_selectors(disasm: &Disassembly) -> BTreeSet<[u8; 4]> {
+    disasm.push4_immediates().into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_asm::opcode as op;
+
+    fn selectors_of(code: &[u8]) -> BTreeSet<[u8; 4]> {
+        extract_dispatcher_selectors(&Disassembly::new(code)).selectors
+    }
+
+    const SEL: [u8; 4] = [0xde, 0xad, 0xbe, 0xef];
+
+    #[test]
+    fn solc_linear_dispatcher_entry() {
+        let code = [
+            op::DUP1,
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::EQ,
+            op::PUSH2,
+            0x00,
+            0x20,
+            op::JUMPI,
+            op::STOP,
+        ];
+        assert!(selectors_of(&code).contains(&SEL));
+    }
+
+    #[test]
+    fn dup_between_push_and_eq() {
+        // PUSH4 sel; DUP2; EQ; PUSH2; JUMPI
+        let code = [
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::DUP2,
+            op::EQ,
+            op::PUSH2,
+            0x00,
+            0x20,
+            op::JUMPI,
+        ];
+        assert!(selectors_of(&code).contains(&SEL));
+    }
+
+    #[test]
+    fn split_dispatcher_gt_pivot_accepted() {
+        let code = [
+            op::DUP1,
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::GT,
+            op::PUSH2,
+            0x00,
+            0x20,
+            op::JUMPI,
+        ];
+        assert!(selectors_of(&code).contains(&SEL));
+    }
+
+    #[test]
+    fn iszero_negated_comparison_accepted() {
+        let code = [
+            op::DUP1,
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::EQ,
+            op::ISZERO,
+            op::PUSH2,
+            0x00,
+            0x20,
+            op::JUMPI,
+        ];
+        assert!(selectors_of(&code).contains(&SEL));
+    }
+
+    #[test]
+    fn sub_iszero_equality_idiom_accepted() {
+        let code = [
+            op::DUP1,
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::SUB,
+            op::ISZERO,
+            op::PUSH2,
+            0x00,
+            0x20,
+            op::JUMPI,
+        ];
+        assert!(selectors_of(&code).contains(&SEL));
+    }
+
+    #[test]
+    fn encode_with_signature_constant_rejected() {
+        // PUSH4 sel; PUSH1 0xe0; SHL; ... — building call data, not
+        // dispatching.
+        let code = [
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::PUSH1,
+            0xe0,
+            op::SHL,
+            op::PUSH0,
+            op::MSTORE,
+            op::STOP,
+        ];
+        assert!(selectors_of(&code).is_empty());
+    }
+
+    #[test]
+    fn embedded_data_after_push4_rejected() {
+        let code = [op::PUSH4, 0xde, 0xad, 0xbe, 0xef, op::POP, op::STOP];
+        assert!(selectors_of(&code).is_empty());
+    }
+
+    #[test]
+    fn comparison_without_jumpi_rejected() {
+        // EQ result consumed by MSTORE, not a jump.
+        let code = [
+            op::DUP1,
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::EQ,
+            op::PUSH0,
+            op::MSTORE,
+            op::STOP,
+        ];
+        assert!(selectors_of(&code).is_empty());
+    }
+
+    #[test]
+    fn naive_extraction_includes_everything() {
+        let code = [
+            // dispatcher entry
+            op::DUP1,
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::EQ,
+            op::PUSH2,
+            0x00,
+            0x20,
+            op::JUMPI,
+            // junk constant
+            op::PUSH4,
+            0x01,
+            0x02,
+            0x03,
+            0x04,
+            op::POP,
+        ];
+        let d = Disassembly::new(&code);
+        let naive = naive_push4_selectors(&d);
+        let precise = extract_dispatcher_selectors(&d).selectors;
+        assert_eq!(naive.len(), 2);
+        assert_eq!(precise.len(), 1);
+        assert!(naive.is_superset(&precise));
+    }
+
+    #[test]
+    fn prelude_detection() {
+        let with_shr = [
+            op::PUSH0,
+            op::CALLDATALOAD,
+            op::PUSH1,
+            0xe0,
+            op::SHR,
+            op::STOP,
+        ];
+        let info = extract_dispatcher_selectors(&Disassembly::new(&with_shr));
+        assert!(info.has_calldata_prelude);
+        assert!(!info.has_functions());
+
+        // Legacy compilers divide by 2^224 instead of shifting; the
+        // divisor constant is pushed right before the DIV.
+        let legacy_div = [
+            op::PUSH0,
+            op::CALLDATALOAD,
+            op::PUSH8,
+            0x01,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            op::DIV,
+            op::STOP,
+        ];
+        let info = extract_dispatcher_selectors(&Disassembly::new(&legacy_div));
+        assert!(info.has_calldata_prelude);
+
+        let none = [op::PUSH0, op::MSTORE, op::STOP];
+        let info = extract_dispatcher_selectors(&Disassembly::new(&none));
+        assert!(!info.has_calldata_prelude);
+    }
+
+    #[test]
+    fn multiple_selectors_collected() {
+        #[rustfmt::skip]
+        let code = [
+            op::DUP1, op::PUSH4, 1, 1, 1, 1, op::EQ, op::PUSH2, 0, 0x30, op::JUMPI,
+            op::DUP1, op::PUSH4, 2, 2, 2, 2, op::EQ, op::PUSH2, 0, 0x40, op::JUMPI,
+            op::DUP1, op::PUSH4, 3, 3, 3, 3, op::EQ, op::PUSH2, 0, 0x50, op::JUMPI,
+            op::STOP,
+        ];
+        let sels = selectors_of(&code);
+        assert_eq!(sels.len(), 3);
+        assert!(sels.contains(&[2, 2, 2, 2]));
+    }
+}

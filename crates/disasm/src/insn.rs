@@ -1,0 +1,274 @@
+//! Linear-sweep disassembly of EVM bytecode.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use proxion_asm::opcode;
+use proxion_primitives::{encode_hex, U256};
+
+/// One decoded instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instruction {
+    /// Byte offset of the opcode within the code.
+    pub offset: usize,
+    /// The opcode byte (possibly undefined).
+    pub opcode: u8,
+    /// Immediate bytes for `PUSH1..PUSH32` (empty otherwise). Truncated
+    /// immediates at the end of code are kept at their actual length.
+    pub immediate: Vec<u8>,
+}
+
+impl Instruction {
+    /// Mnemonic for display; undefined opcodes render as `INVALID(0xXX)`.
+    pub fn mnemonic(&self) -> String {
+        match opcode::info(self.opcode) {
+            Some(info) => info.name.to_string(),
+            None => format!("INVALID(0x{:02x})", self.opcode),
+        }
+    }
+
+    /// Returns `true` if this instruction is a defined opcode.
+    pub fn is_defined(&self) -> bool {
+        opcode::info(self.opcode).is_some()
+    }
+
+    /// Returns `true` for `PUSH0..PUSH32`.
+    pub fn is_push(&self) -> bool {
+        opcode::is_push(self.opcode)
+    }
+
+    /// The push immediate as a 256-bit value (zero-extended), or `None`
+    /// for non-push instructions.
+    pub fn push_value(&self) -> Option<U256> {
+        if self.is_push() {
+            Some(U256::from_be_slice(&self.immediate))
+        } else {
+            None
+        }
+    }
+
+    /// Total encoded length in bytes.
+    pub fn len(&self) -> usize {
+        1 + self.immediate.len()
+    }
+
+    /// Always `false`: an instruction occupies at least its opcode byte.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Byte offset of the *next* instruction.
+    pub fn next_offset(&self) -> usize {
+        self.offset + self.len()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.immediate.is_empty() {
+            write!(f, "{:04x}: {}", self.offset, self.mnemonic())
+        } else {
+            write!(
+                f,
+                "{:04x}: {} 0x{}",
+                self.offset,
+                self.mnemonic(),
+                encode_hex(&self.immediate)
+            )
+        }
+    }
+}
+
+/// A disassembled contract.
+///
+/// Disassembly is a linear sweep: every byte is decoded exactly once, with
+/// push immediates skipped. This matches how the EVM itself delimits
+/// instructions and how Octopus (the tool the paper builds on) operates.
+#[derive(Debug, Clone)]
+pub struct Disassembly {
+    instructions: Vec<Instruction>,
+    code_len: usize,
+    /// Byte offsets that are valid `JUMPDEST`s.
+    jumpdests: BTreeSet<usize>,
+}
+
+impl Disassembly {
+    /// Disassembles runtime bytecode.
+    pub fn new(code: &[u8]) -> Self {
+        let mut instructions = Vec::new();
+        let mut jumpdests = BTreeSet::new();
+        let mut offset = 0;
+        while offset < code.len() {
+            let op = code[offset];
+            let imm_len = opcode::immediate_len(op);
+            let end = (offset + 1 + imm_len).min(code.len());
+            if op == opcode::JUMPDEST {
+                jumpdests.insert(offset);
+            }
+            instructions.push(Instruction {
+                offset,
+                opcode: op,
+                immediate: code[offset + 1..end].to_vec(),
+            });
+            offset = offset + 1 + imm_len;
+        }
+        Disassembly {
+            instructions,
+            code_len: code.len(),
+            jumpdests,
+        }
+    }
+
+    /// The decoded instruction stream.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Original code length in bytes.
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// Returns `true` if any instruction has the given opcode.
+    pub fn contains(&self, op: u8) -> bool {
+        self.instructions.iter().any(|i| i.opcode == op)
+    }
+
+    /// Byte offsets that hold valid `JUMPDEST`s.
+    pub fn jumpdests(&self) -> &BTreeSet<usize> {
+        &self.jumpdests
+    }
+
+    /// Index of the instruction at byte `offset`, if one starts there.
+    pub fn index_at_offset(&self, offset: usize) -> Option<usize> {
+        self.instructions
+            .binary_search_by_key(&offset, |i| i.offset)
+            .ok()
+    }
+
+    /// Every `PUSH4` immediate in the code, **including** false positives
+    /// such as embedded data and `abi.encodeWithSignature` constants — the
+    /// naive selector extraction the paper warns against (§3.1).
+    pub fn push4_immediates(&self) -> Vec<[u8; 4]> {
+        self.instructions
+            .iter()
+            .filter(|i| i.opcode == opcode::PUSH4 && i.immediate.len() == 4)
+            .map(|i| {
+                let mut out = [0u8; 4];
+                out.copy_from_slice(&i.immediate);
+                out
+            })
+            .collect()
+    }
+
+    /// Every push immediate interpreted as a value, regardless of width.
+    pub fn push_values(&self) -> impl Iterator<Item = U256> + '_ {
+        self.instructions.iter().filter_map(Instruction::push_value)
+    }
+
+    /// Renders the full listing (one instruction per line).
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for insn in &self.instructions {
+            out.push_str(&insn.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_asm::opcode as op;
+
+    #[test]
+    fn decodes_simple_sequence() {
+        let code = [op::PUSH1, 0x80, op::PUSH1, 0x40, op::MSTORE, op::STOP];
+        let d = Disassembly::new(&code);
+        let ops: Vec<u8> = d.instructions().iter().map(|i| i.opcode).collect();
+        assert_eq!(ops, vec![op::PUSH1, op::PUSH1, op::MSTORE, op::STOP]);
+        assert_eq!(d.instructions()[0].immediate, vec![0x80]);
+        assert_eq!(d.instructions()[2].offset, 4);
+        assert_eq!(d.code_len(), 6);
+    }
+
+    #[test]
+    fn truncated_push_at_end() {
+        let code = [op::PUSH4, 0xaa, 0xbb];
+        let d = Disassembly::new(&code);
+        assert_eq!(d.instructions().len(), 1);
+        assert_eq!(d.instructions()[0].immediate, vec![0xaa, 0xbb]);
+        // Truncated PUSH4 immediates are not valid 4-byte selectors.
+        assert!(d.push4_immediates().is_empty());
+    }
+
+    #[test]
+    fn jumpdest_inside_immediate_not_counted() {
+        let code = [op::PUSH2, 0x5b, 0x5b, op::JUMPDEST];
+        let d = Disassembly::new(&code);
+        assert_eq!(d.jumpdests().len(), 1);
+        assert!(d.jumpdests().contains(&3));
+    }
+
+    #[test]
+    fn contains_and_push4() {
+        let code = [
+            op::PUSH4,
+            0xde,
+            0xad,
+            0xbe,
+            0xef,
+            op::DELEGATECALL,
+            op::STOP,
+        ];
+        let d = Disassembly::new(&code);
+        assert!(d.contains(op::DELEGATECALL));
+        assert!(!d.contains(op::CALL));
+        assert_eq!(d.push4_immediates(), vec![[0xde, 0xad, 0xbe, 0xef]]);
+    }
+
+    #[test]
+    fn undefined_opcodes_decoded() {
+        let code = [0x0c, 0xef, op::STOP];
+        let d = Disassembly::new(&code);
+        assert_eq!(d.instructions().len(), 3);
+        assert!(!d.instructions()[0].is_defined());
+        assert_eq!(d.instructions()[0].mnemonic(), "INVALID(0x0c)");
+    }
+
+    #[test]
+    fn index_at_offset_lookup() {
+        let code = [op::PUSH2, 0x00, 0x01, op::STOP];
+        let d = Disassembly::new(&code);
+        assert_eq!(d.index_at_offset(0), Some(0));
+        assert_eq!(d.index_at_offset(3), Some(1));
+        assert_eq!(
+            d.index_at_offset(1),
+            None,
+            "mid-immediate is not an instruction"
+        );
+    }
+
+    #[test]
+    fn push_values_and_listing() {
+        let code = [op::PUSH0, op::PUSH1, 0xff, op::STOP];
+        let d = Disassembly::new(&code);
+        let values: Vec<U256> = d.push_values().collect();
+        assert_eq!(values, vec![U256::ZERO, U256::from(0xffu64)]);
+        let listing = d.listing();
+        assert!(listing.contains("0000: PUSH0"));
+        assert!(listing.contains("PUSH1 0xff"));
+    }
+
+    #[test]
+    fn instruction_display_and_len() {
+        let code = [op::PUSH1, 0xaa];
+        let d = Disassembly::new(&code);
+        let i = &d.instructions()[0];
+        assert_eq!(i.to_string(), "0000: PUSH1 0xaa");
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+        assert_eq!(i.next_offset(), 2);
+    }
+}

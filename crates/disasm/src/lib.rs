@@ -1,0 +1,30 @@
+//! EVM bytecode disassembler, basic-block/CFG recovery and dispatcher
+//! analysis.
+//!
+//! This crate is Proxion's substitute for the Octopus disassembler the
+//! paper extends (§4.1): it turns raw runtime bytecode into an instruction
+//! stream, recovers basic blocks and static jump edges, and — crucially for
+//! function-collision detection on closed-source contracts (§5.1) —
+//! extracts the *dispatcher selector set*: the 4-byte function signatures
+//! that are actually compared against call data, as opposed to every 4-byte
+//! immediate that merely follows a `PUSH4`.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_disasm::Disassembly;
+//!
+//! // PUSH1 0x80, PUSH1 0x40, MSTORE, STOP
+//! let code = [0x60, 0x80, 0x60, 0x40, 0x52, 0x00];
+//! let disasm = Disassembly::new(&code);
+//! assert_eq!(disasm.instructions().len(), 4);
+//! assert!(!disasm.contains(proxion_asm::opcode::DELEGATECALL));
+//! ```
+
+mod cfg;
+mod dispatcher;
+mod insn;
+
+pub use cfg::{BasicBlock, BlockTerminator, Cfg};
+pub use dispatcher::{extract_dispatcher_selectors, naive_push4_selectors, DispatcherInfo};
+pub use insn::{Disassembly, Instruction};

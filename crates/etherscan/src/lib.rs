@@ -1,0 +1,170 @@
+//! A simulated Etherscan: the verified-source registry and bytecode-hash
+//! deduplication service the paper relies on (§5.1, §7.1).
+//!
+//! Proxion consumes Etherscan through two capabilities:
+//!
+//! * **Verified source lookup** — for a minority of contracts, developers
+//!   published source code; the source-mode collision detectors and the
+//!   USCHunt baseline only work on these.
+//! * **Bytecode-hash grouping** — the paper assigns the source code of a
+//!   verified contract to every other contract with the same bytecode
+//!   hash, and avoids re-analyzing identical bytecode (the optimization
+//!   that cuts the 36M-contract storage-collision scan to 48 days, §6.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_etherscan::Etherscan;
+//! use proxion_primitives::{keccak256, Address};
+//!
+//! let mut scan = Etherscan::new();
+//! let a = Address::from_low_u64(1);
+//! let b = Address::from_low_u64(2);
+//! let hash = keccak256(b"same bytecode");
+//! scan.register_contract(a, hash);
+//! scan.register_contract(b, hash);
+//! assert_eq!(scan.duplicates_of(a).len(), 2);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proxion_primitives::{Address, B256};
+use proxion_solc::SourceInfo;
+
+/// The simulated explorer.
+#[derive(Debug, Clone, Default)]
+pub struct Etherscan {
+    verified: HashMap<Address, Arc<SourceInfo>>,
+    code_hash: HashMap<Address, B256>,
+    by_hash: HashMap<B256, Vec<Address>>,
+}
+
+impl Etherscan {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a deployed contract's bytecode hash (for dedup grouping).
+    pub fn register_contract(&mut self, address: Address, code_hash: B256) {
+        self.code_hash.insert(address, code_hash);
+        self.by_hash.entry(code_hash).or_default().push(address);
+    }
+
+    /// Publishes verified source for a contract.
+    pub fn register_verified(&mut self, address: Address, source: SourceInfo) {
+        self.verified.insert(address, Arc::new(source));
+    }
+
+    /// Whether this exact address has published source.
+    pub fn is_verified(&self, address: Address) -> bool {
+        self.verified.contains_key(&address)
+    }
+
+    /// The source verified at this exact address.
+    pub fn source_of(&self, address: Address) -> Option<Arc<SourceInfo>> {
+        self.verified.get(&address).cloned()
+    }
+
+    /// The source available for this address *after* bytecode-hash
+    /// propagation: if any contract with identical bytecode is verified,
+    /// its source applies (the paper's §7.1 assignment rule).
+    pub fn effective_source(&self, address: Address) -> Option<Arc<SourceInfo>> {
+        if let Some(source) = self.verified.get(&address) {
+            return Some(Arc::clone(source));
+        }
+        let hash = self.code_hash.get(&address)?;
+        self.by_hash
+            .get(hash)?
+            .iter()
+            .find_map(|candidate| self.verified.get(candidate).cloned())
+    }
+
+    /// All addresses sharing this contract's bytecode hash (including
+    /// itself).
+    pub fn duplicates_of(&self, address: Address) -> Vec<Address> {
+        self.code_hash
+            .get(&address)
+            .and_then(|h| self.by_hash.get(h))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Iterates over `(code_hash, addresses)` groups.
+    pub fn hash_groups(&self) -> impl Iterator<Item = (&B256, &Vec<Address>)> {
+        self.by_hash.iter()
+    }
+
+    /// Number of distinct bytecode hashes registered.
+    pub fn unique_bytecode_count(&self) -> usize {
+        self.by_hash.len()
+    }
+
+    /// Number of registered contracts.
+    pub fn contract_count(&self) -> usize {
+        self.code_hash.len()
+    }
+
+    /// Number of directly verified contracts.
+    pub fn verified_count(&self) -> usize {
+        self.verified.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_primitives::keccak256;
+    use proxion_solc::{compile, templates};
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    fn sample_source() -> SourceInfo {
+        compile(&templates::plain_token("T")).unwrap().source
+    }
+
+    #[test]
+    fn verified_lookup() {
+        let mut scan = Etherscan::new();
+        scan.register_verified(addr(1), sample_source());
+        assert!(scan.is_verified(addr(1)));
+        assert!(!scan.is_verified(addr(2)));
+        assert_eq!(scan.source_of(addr(1)).unwrap().contract_name, "T");
+        assert!(scan.source_of(addr(2)).is_none());
+        assert_eq!(scan.verified_count(), 1);
+    }
+
+    #[test]
+    fn source_propagates_through_hash_groups() {
+        let mut scan = Etherscan::new();
+        let hash = keccak256(b"code");
+        scan.register_contract(addr(1), hash);
+        scan.register_contract(addr(2), hash);
+        scan.register_verified(addr(1), sample_source());
+        // addr(2) was never verified, but shares bytecode with addr(1).
+        assert!(!scan.is_verified(addr(2)));
+        assert_eq!(scan.effective_source(addr(2)).unwrap().contract_name, "T");
+        // Unrelated contract gets nothing.
+        scan.register_contract(addr(3), keccak256(b"other"));
+        assert!(scan.effective_source(addr(3)).is_none());
+    }
+
+    #[test]
+    fn duplicate_groups() {
+        let mut scan = Etherscan::new();
+        let h1 = keccak256(b"a");
+        let h2 = keccak256(b"b");
+        scan.register_contract(addr(1), h1);
+        scan.register_contract(addr(2), h1);
+        scan.register_contract(addr(3), h2);
+        assert_eq!(scan.duplicates_of(addr(1)).len(), 2);
+        assert_eq!(scan.duplicates_of(addr(3)), vec![addr(3)]);
+        assert!(scan.duplicates_of(addr(9)).is_empty());
+        assert_eq!(scan.unique_bytecode_count(), 2);
+        assert_eq!(scan.contract_count(), 3);
+        assert_eq!(scan.hash_groups().count(), 2);
+    }
+}

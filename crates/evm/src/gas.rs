@@ -1,0 +1,146 @@
+//! Gas accounting.
+//!
+//! Costs follow the Shanghai schedule for the static components plus the
+//! quadratic memory expansion rule. Warm/cold access-list distinctions and
+//! the SSTORE refund counter are intentionally omitted (see DESIGN.md):
+//! the analyses depend on execution *behaviour*, not exact gas totals, and
+//! the gas meter exists chiefly to bound runaway executions.
+
+/// The gas meter for one call frame.
+#[derive(Debug, Clone)]
+pub struct Gas {
+    limit: u64,
+    used: u64,
+    /// Highest memory word count paid for so far.
+    memory_words: u64,
+}
+
+impl Gas {
+    /// Creates a meter with the given limit.
+    pub fn new(limit: u64) -> Self {
+        Gas {
+            limit,
+            used: 0,
+            memory_words: 0,
+        }
+    }
+
+    /// Gas spent so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Gas still available.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used
+    }
+
+    /// The frame's limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Charges `amount` gas; `false` means out-of-gas (the meter is left
+    /// exhausted so the frame aborts deterministically).
+    #[must_use]
+    pub fn charge(&mut self, amount: u64) -> bool {
+        if amount > self.remaining() {
+            self.used = self.limit;
+            return false;
+        }
+        self.used += amount;
+        true
+    }
+
+    /// Charges for expanding memory to `end` bytes. Returns `false` on
+    /// out-of-gas.
+    #[must_use]
+    pub fn charge_memory(&mut self, end: usize) -> bool {
+        let words = (end as u64).div_ceil(32);
+        if words <= self.memory_words {
+            return true;
+        }
+        let cost = memory_cost(words) - memory_cost(self.memory_words);
+        self.memory_words = words;
+        self.charge(cost)
+    }
+
+    /// Refunds unused gas from a completed child frame.
+    pub fn reclaim(&mut self, unused: u64) {
+        self.used = self.used.saturating_sub(unused);
+    }
+
+    /// EIP-150: the maximum gas forwardable to a child call — all but one
+    /// 64th of the remainder.
+    pub fn max_forwardable(&self) -> u64 {
+        let rem = self.remaining();
+        rem - rem / 64
+    }
+}
+
+fn memory_cost(words: u64) -> u64 {
+    3 * words + words * words / 512
+}
+
+/// The incremental cost of expanding a frame's memory from `from_bytes` to
+/// `to_bytes`, exposed for tests and the benchmark harnesses.
+pub fn memory_expansion_cost(from_bytes: usize, to_bytes: usize) -> u64 {
+    let from = (from_bytes as u64).div_ceil(32);
+    let to = (to_bytes as u64).div_ceil(32);
+    if to <= from {
+        0
+    } else {
+        memory_cost(to) - memory_cost(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_exhaust() {
+        let mut g = Gas::new(100);
+        assert!(g.charge(60));
+        assert_eq!(g.remaining(), 40);
+        assert!(!g.charge(41), "over-limit charge must fail");
+        assert_eq!(g.remaining(), 0, "failed charge exhausts the meter");
+    }
+
+    #[test]
+    fn memory_expansion_is_quadratic_and_monotone() {
+        let mut g = Gas::new(10_000_000);
+        assert!(g.charge_memory(32));
+        let after_one_word = g.used();
+        assert_eq!(after_one_word, 3);
+        // Re-touching already-paid memory is free.
+        assert!(g.charge_memory(16));
+        assert_eq!(g.used(), after_one_word);
+        // 1024 words = 32 KiB: 3*1024 + 1024²/512 = 5120.
+        assert!(g.charge_memory(32 * 1024));
+        assert_eq!(g.used(), 5120);
+    }
+
+    #[test]
+    fn expansion_cost_helper_matches_meter() {
+        assert_eq!(memory_expansion_cost(0, 32), 3);
+        assert_eq!(memory_expansion_cost(0, 32 * 1024), 5120);
+        assert_eq!(memory_expansion_cost(64, 32), 0);
+    }
+
+    #[test]
+    fn eip150_rule() {
+        let g = Gas::new(6400);
+        assert_eq!(g.max_forwardable(), 6400 - 100);
+    }
+
+    #[test]
+    fn reclaim_returns_child_gas() {
+        let mut g = Gas::new(1000);
+        assert!(g.charge(500));
+        g.reclaim(200);
+        assert_eq!(g.used(), 300);
+        g.reclaim(10_000);
+        assert_eq!(g.used(), 0, "reclaim saturates at zero");
+    }
+}

@@ -1,0 +1,487 @@
+//! The state interface the interpreter executes against, plus an in-memory
+//! journaled implementation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proxion_primitives::{keccak256, Address, B256, U256};
+
+/// A marker for a state snapshot, returned by [`Host::snapshot`] and
+/// consumed by [`Host::rollback`].
+///
+/// The interpreter treats the value as opaque; `Host` implementors encode
+/// their own journal position in it via [`Snapshot::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot(usize);
+
+impl Snapshot {
+    /// Wraps a journal index. Only `Host` implementors should call this.
+    pub fn new(index: usize) -> Self {
+        Snapshot(index)
+    }
+
+    /// The journal index stored at snapshot time.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Static information about an account.
+#[derive(Debug, Clone, Default)]
+pub struct AccountInfo {
+    /// Current balance in wei.
+    pub balance: U256,
+    /// Transaction / creation nonce.
+    pub nonce: u64,
+    /// Runtime bytecode (empty for EOAs).
+    pub code: Arc<Vec<u8>>,
+    /// `keccak256(code)`.
+    pub code_hash: B256,
+    /// Whether the account executed `SELFDESTRUCT`.
+    pub destroyed: bool,
+}
+
+/// The state interface consumed by the interpreter.
+///
+/// Implementations must support snapshot/rollback so that reverted call
+/// frames leave no trace; [`MemoryDb`] provides a journaled in-memory
+/// implementation and `proxion-chain` builds the archive-node abstraction
+/// on top of it.
+pub trait Host {
+    /// Returns `true` if the account exists (has balance, code or nonce).
+    fn exists(&self, address: Address) -> bool;
+    /// Account balance (zero for non-existent accounts).
+    fn balance(&self, address: Address) -> U256;
+    /// Account nonce.
+    fn nonce(&self, address: Address) -> u64;
+    /// Runtime bytecode (empty for EOAs and non-existent accounts).
+    fn code(&self, address: Address) -> Arc<Vec<u8>>;
+    /// `keccak256` of the runtime bytecode.
+    fn code_hash(&self, address: Address) -> B256;
+    /// Reads a storage slot (zero when never written).
+    fn storage(&self, address: Address, slot: U256) -> U256;
+    /// Writes a storage slot.
+    fn set_storage(&mut self, address: Address, slot: U256, value: U256);
+    /// Sets an account's balance.
+    fn set_balance(&mut self, address: Address, balance: U256);
+    /// Increments and returns the account's previous nonce.
+    fn inc_nonce(&mut self, address: Address) -> u64;
+    /// Installs runtime bytecode at an address, creating the account.
+    fn set_code(&mut self, address: Address, code: Vec<u8>);
+    /// Marks the account destroyed (`SELFDESTRUCT`).
+    fn mark_destroyed(&mut self, address: Address);
+    /// Hash for the `BLOCKHASH` opcode.
+    fn block_hash(&self, number: u64) -> B256;
+    /// Takes a snapshot of the mutable state.
+    fn snapshot(&mut self) -> Snapshot;
+    /// Rolls back every mutation made after `snapshot`.
+    fn rollback(&mut self, snapshot: Snapshot);
+
+    /// Moves `value` from `from` to `to`; `false` (and no mutation) if the
+    /// balance is insufficient.
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        if value.is_zero() {
+            return true;
+        }
+        let from_balance = self.balance(from);
+        if from_balance < value {
+            return false;
+        }
+        self.set_balance(from, from_balance - value);
+        let to_balance = self.balance(to);
+        self.set_balance(to, to_balance + value);
+        true
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Account {
+    balance: U256,
+    nonce: u64,
+    code: Arc<Vec<u8>>,
+    code_hash: B256,
+    storage: HashMap<U256, U256>,
+    destroyed: bool,
+}
+
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    StorageChanged {
+        address: Address,
+        slot: U256,
+        prev: Option<U256>,
+    },
+    BalanceChanged {
+        address: Address,
+        prev: U256,
+    },
+    NonceChanged {
+        address: Address,
+        prev: u64,
+    },
+    CodeChanged {
+        address: Address,
+        prev: Arc<Vec<u8>>,
+        prev_hash: B256,
+    },
+    DestroyedChanged {
+        address: Address,
+        prev: bool,
+    },
+    AccountCreated {
+        address: Address,
+    },
+}
+
+/// A journaled, in-memory state database.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_evm::{Host, MemoryDb};
+/// use proxion_primitives::{Address, U256};
+///
+/// let mut db = MemoryDb::new();
+/// let a = Address::from_low_u64(1);
+/// let snap = db.snapshot();
+/// db.set_storage(a, U256::ZERO, U256::from(7u64));
+/// db.rollback(snap);
+/// assert_eq!(db.storage(a, U256::ZERO), U256::ZERO);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryDb {
+    accounts: HashMap<Address, Account>,
+    journal: Vec<JournalEntry>,
+}
+
+impl MemoryDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn account_mut(&mut self, address: Address) -> &mut Account {
+        let journal = &mut self.journal;
+        self.accounts.entry(address).or_insert_with(|| {
+            journal.push(JournalEntry::AccountCreated { address });
+            Account {
+                code_hash: keccak256([]),
+                ..Account::default()
+            }
+        })
+    }
+
+    /// Iterates over all known account addresses.
+    pub fn addresses(&self) -> impl Iterator<Item = Address> + '_ {
+        self.accounts.keys().copied()
+    }
+
+    /// Returns a copy of the account's static info, if it exists.
+    pub fn account_info(&self, address: Address) -> Option<AccountInfo> {
+        self.accounts.get(&address).map(|a| AccountInfo {
+            balance: a.balance,
+            nonce: a.nonce,
+            code: Arc::clone(&a.code),
+            code_hash: a.code_hash,
+            destroyed: a.destroyed,
+        })
+    }
+
+    /// Returns every written storage slot of an account.
+    pub fn storage_of(&self, address: Address) -> HashMap<U256, U256> {
+        self.accounts
+            .get(&address)
+            .map(|a| a.storage.clone())
+            .unwrap_or_default()
+    }
+
+    /// Whether the account ran `SELFDESTRUCT`.
+    pub fn is_destroyed(&self, address: Address) -> bool {
+        self.accounts.get(&address).is_some_and(|a| a.destroyed)
+    }
+
+    /// Discards the journal, making all current state permanent. Call this
+    /// between transactions.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+
+    /// The unique `(address, slot)` pairs written since the last
+    /// [`MemoryDb::commit`], in first-write order. Rolled-back writes have
+    /// been popped from the journal and therefore do not appear. Archive
+    /// layers use this to record per-block storage history.
+    pub fn journal_storage_keys(&self) -> Vec<(Address, U256)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for entry in &self.journal {
+            if let JournalEntry::StorageChanged { address, slot, .. } = entry {
+                if seen.insert((*address, *slot)) {
+                    out.push((*address, *slot));
+                }
+            }
+        }
+        out
+    }
+
+    /// Addresses whose code changed since the last [`MemoryDb::commit`]
+    /// (i.e. contracts deployed in the pending transaction).
+    pub fn journal_code_changes(&self) -> Vec<Address> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for entry in &self.journal {
+            if let JournalEntry::CodeChanged { address, .. } = entry {
+                if seen.insert(*address) {
+                    out.push(*address);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Host for MemoryDb {
+    fn exists(&self, address: Address) -> bool {
+        self.accounts
+            .get(&address)
+            .is_some_and(|a| !a.balance.is_zero() || a.nonce > 0 || !a.code.is_empty())
+    }
+
+    fn balance(&self, address: Address) -> U256 {
+        self.accounts
+            .get(&address)
+            .map(|a| a.balance)
+            .unwrap_or_default()
+    }
+
+    fn nonce(&self, address: Address) -> u64 {
+        self.accounts
+            .get(&address)
+            .map(|a| a.nonce)
+            .unwrap_or_default()
+    }
+
+    fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.accounts
+            .get(&address)
+            .map(|a| Arc::clone(&a.code))
+            .unwrap_or_default()
+    }
+
+    fn code_hash(&self, address: Address) -> B256 {
+        self.accounts
+            .get(&address)
+            .map(|a| a.code_hash)
+            .unwrap_or_else(|| keccak256([]))
+    }
+
+    fn storage(&self, address: Address, slot: U256) -> U256 {
+        self.accounts
+            .get(&address)
+            .and_then(|a| a.storage.get(&slot).copied())
+            .unwrap_or_default()
+    }
+
+    fn set_storage(&mut self, address: Address, slot: U256, value: U256) {
+        let account = self.account_mut(address);
+        let prev = account.storage.insert(slot, value);
+        self.journal.push(JournalEntry::StorageChanged {
+            address,
+            slot,
+            prev,
+        });
+    }
+
+    fn set_balance(&mut self, address: Address, balance: U256) {
+        let account = self.account_mut(address);
+        let prev = account.balance;
+        account.balance = balance;
+        self.journal
+            .push(JournalEntry::BalanceChanged { address, prev });
+    }
+
+    fn inc_nonce(&mut self, address: Address) -> u64 {
+        let account = self.account_mut(address);
+        let prev = account.nonce;
+        account.nonce += 1;
+        self.journal
+            .push(JournalEntry::NonceChanged { address, prev });
+        prev
+    }
+
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        let hash = keccak256(&code);
+        let account = self.account_mut(address);
+        let prev = std::mem::replace(&mut account.code, Arc::new(code));
+        let prev_hash = std::mem::replace(&mut account.code_hash, hash);
+        self.journal.push(JournalEntry::CodeChanged {
+            address,
+            prev,
+            prev_hash,
+        });
+    }
+
+    fn mark_destroyed(&mut self, address: Address) {
+        let account = self.account_mut(address);
+        let prev = account.destroyed;
+        account.destroyed = true;
+        self.journal
+            .push(JournalEntry::DestroyedChanged { address, prev });
+    }
+
+    fn block_hash(&self, number: u64) -> B256 {
+        keccak256(number.to_be_bytes())
+    }
+
+    fn snapshot(&mut self) -> Snapshot {
+        Snapshot(self.journal.len())
+    }
+
+    fn rollback(&mut self, snapshot: Snapshot) {
+        while self.journal.len() > snapshot.0 {
+            match self.journal.pop().expect("journal length checked") {
+                JournalEntry::StorageChanged {
+                    address,
+                    slot,
+                    prev,
+                } => {
+                    let account = self.accounts.get_mut(&address).expect("journaled account");
+                    match prev {
+                        Some(v) => {
+                            account.storage.insert(slot, v);
+                        }
+                        None => {
+                            account.storage.remove(&slot);
+                        }
+                    }
+                }
+                JournalEntry::BalanceChanged { address, prev } => {
+                    self.accounts
+                        .get_mut(&address)
+                        .expect("journaled account")
+                        .balance = prev;
+                }
+                JournalEntry::NonceChanged { address, prev } => {
+                    self.accounts
+                        .get_mut(&address)
+                        .expect("journaled account")
+                        .nonce = prev;
+                }
+                JournalEntry::CodeChanged {
+                    address,
+                    prev,
+                    prev_hash,
+                } => {
+                    let account = self.accounts.get_mut(&address).expect("journaled account");
+                    account.code = prev;
+                    account.code_hash = prev_hash;
+                }
+                JournalEntry::DestroyedChanged { address, prev } => {
+                    self.accounts
+                        .get_mut(&address)
+                        .expect("journaled account")
+                        .destroyed = prev;
+                }
+                JournalEntry::AccountCreated { address } => {
+                    self.accounts.remove(&address);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    #[test]
+    fn storage_read_write() {
+        let mut db = MemoryDb::new();
+        assert_eq!(db.storage(addr(1), U256::ZERO), U256::ZERO);
+        db.set_storage(addr(1), U256::ZERO, U256::from(5u64));
+        assert_eq!(db.storage(addr(1), U256::ZERO), U256::from(5u64));
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let mut db = MemoryDb::new();
+        db.set_code(addr(1), vec![0x60]);
+        db.set_balance(addr(1), U256::from(100u64));
+        db.commit();
+
+        let snap = db.snapshot();
+        db.set_storage(addr(1), U256::ONE, U256::from(9u64));
+        db.set_balance(addr(1), U256::from(50u64));
+        db.inc_nonce(addr(1));
+        db.set_code(addr(2), vec![0xff]);
+        db.mark_destroyed(addr(1));
+        db.rollback(snap);
+
+        assert_eq!(db.storage(addr(1), U256::ONE), U256::ZERO);
+        assert_eq!(db.balance(addr(1)), U256::from(100u64));
+        assert_eq!(db.nonce(addr(1)), 0);
+        assert!(!db.exists(addr(2)), "created account must vanish");
+        assert!(!db.is_destroyed(addr(1)));
+        assert_eq!(*db.code(addr(1)), vec![0x60]);
+    }
+
+    #[test]
+    fn nested_snapshots() {
+        let mut db = MemoryDb::new();
+        let s1 = db.snapshot();
+        db.set_storage(addr(1), U256::ZERO, U256::ONE);
+        let s2 = db.snapshot();
+        db.set_storage(addr(1), U256::ZERO, U256::from(2u64));
+        db.rollback(s2);
+        assert_eq!(db.storage(addr(1), U256::ZERO), U256::ONE);
+        db.rollback(s1);
+        assert_eq!(db.storage(addr(1), U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn transfer_checks_balance() {
+        let mut db = MemoryDb::new();
+        db.set_balance(addr(1), U256::from(10u64));
+        assert!(!db.transfer(addr(1), addr(2), U256::from(11u64)));
+        assert_eq!(db.balance(addr(2)), U256::ZERO);
+        assert!(db.transfer(addr(1), addr(2), U256::from(4u64)));
+        assert_eq!(db.balance(addr(1)), U256::from(6u64));
+        assert_eq!(db.balance(addr(2)), U256::from(4u64));
+        // Zero-value transfer from an empty account succeeds.
+        assert!(db.transfer(addr(9), addr(1), U256::ZERO));
+    }
+
+    #[test]
+    fn code_hash_tracks_code() {
+        let mut db = MemoryDb::new();
+        assert_eq!(db.code_hash(addr(1)), keccak256([]));
+        db.set_code(addr(1), vec![1, 2, 3]);
+        assert_eq!(db.code_hash(addr(1)), keccak256([1, 2, 3]));
+    }
+
+    #[test]
+    fn exists_semantics() {
+        let mut db = MemoryDb::new();
+        assert!(!db.exists(addr(5)));
+        db.set_storage(addr(5), U256::ZERO, U256::ONE);
+        assert!(
+            !db.exists(addr(5)),
+            "storage alone does not make an account exist"
+        );
+        db.set_balance(addr(5), U256::ONE);
+        assert!(db.exists(addr(5)));
+    }
+
+    #[test]
+    fn account_info_and_iteration() {
+        let mut db = MemoryDb::new();
+        db.set_code(addr(3), vec![0xfe]);
+        let info = db.account_info(addr(3)).unwrap();
+        assert_eq!(*info.code, vec![0xfe]);
+        assert!(db.addresses().any(|a| a == addr(3)));
+        assert!(db.account_info(addr(4)).is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Execution observers.
+//!
+//! An [`Inspector`] receives callbacks as the interpreter executes. The
+//! [`RecordingInspector`] captures everything the Proxion analyses need:
+//! the full call tree, every `DELEGATECALL` with the provenance of its
+//! target address and the exact bytes it forwarded, and all storage
+//! accesses.
+
+use proxion_primitives::{Address, U256};
+
+use crate::stack::TaggedWord;
+use crate::types::{CallKind, CallResult, Log};
+
+/// A message call observed during execution.
+#[derive(Debug, Clone)]
+pub struct CallRecord {
+    /// Kind of call.
+    pub kind: CallKind,
+    /// Call depth at which the call was *issued* (the child runs at
+    /// `depth + 1`).
+    pub depth: usize,
+    /// `msg.sender` of the child frame.
+    pub caller: Address,
+    /// Storage context of the child frame.
+    pub target: Address,
+    /// Account whose code runs.
+    pub code_address: Address,
+    /// The word holding the callee address, with provenance.
+    pub target_word: TaggedWord,
+    /// Input bytes passed to the child.
+    pub input: Vec<u8>,
+    /// Value transferred.
+    pub value: U256,
+    /// Whether the child frame succeeded (filled in after the child
+    /// returns).
+    pub success: Option<bool>,
+}
+
+/// A `DELEGATECALL` observed in the fallback-execution sense Proxion cares
+/// about: who delegated, to where, with what provenance, forwarding what.
+#[derive(Debug, Clone)]
+pub struct DelegateObservation {
+    /// The contract that executed the `DELEGATECALL` (its storage context).
+    pub proxy: Address,
+    /// The callee (logic contract) address.
+    pub logic: Address,
+    /// The stack word the callee address was popped from, carrying
+    /// provenance (code constant vs. storage slot).
+    pub target_word: TaggedWord,
+    /// The input bytes forwarded to the logic contract.
+    pub forwarded_input: Vec<u8>,
+    /// Call depth at which the delegate call was issued.
+    pub depth: usize,
+}
+
+/// A storage read or write observed during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageAccess {
+    /// The account whose storage was accessed.
+    pub address: Address,
+    /// The slot.
+    pub slot: U256,
+    /// The value read, or the new value written.
+    pub value: U256,
+    /// `true` for `SSTORE`, `false` for `SLOAD`.
+    pub is_write: bool,
+}
+
+/// Observer interface for the interpreter. All methods have empty default
+/// implementations, so an inspector only overrides what it needs.
+pub trait Inspector {
+    /// Called before each opcode executes. `pc` is the program counter and
+    /// `op` the opcode byte.
+    fn on_step(&mut self, _pc: usize, _op: u8, _depth: usize) {}
+
+    /// Called when a call-family opcode is about to execute its child.
+    fn on_call(&mut self, _record: &CallRecord) {}
+
+    /// Called when a child frame returns; `record_index` pairs with the
+    /// `on_call` invocation order.
+    fn on_call_end(&mut self, _record_index: usize, _result: &CallResult) {}
+
+    /// Called for every `SLOAD`/`SSTORE`.
+    fn on_storage(&mut self, _access: StorageAccess) {}
+
+    /// Called for every emitted log.
+    fn on_log(&mut self, _log: &Log) {}
+}
+
+/// An inspector that ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopInspector;
+
+impl Inspector for NoopInspector {}
+
+/// Records the full call tree and all storage traffic.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_evm::RecordingInspector;
+///
+/// let inspector = RecordingInspector::default();
+/// assert!(inspector.calls.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecordingInspector {
+    /// Every call issued, in issue order.
+    pub calls: Vec<CallRecord>,
+    /// Every storage access, in execution order.
+    pub storage: Vec<StorageAccess>,
+    /// Every log emitted (including ones later reverted).
+    pub logs: Vec<Log>,
+    /// Number of opcodes executed.
+    pub steps: u64,
+}
+
+impl RecordingInspector {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All observed `DELEGATECALL`s, in issue order.
+    pub fn delegate_calls(&self) -> impl Iterator<Item = DelegateObservation> + '_ {
+        self.calls
+            .iter()
+            .filter(|c| c.kind == CallKind::DelegateCall)
+            .map(|c| DelegateObservation {
+                proxy: c.target,
+                logic: c.code_address,
+                target_word: c.target_word,
+                forwarded_input: c.input.clone(),
+                depth: c.depth,
+            })
+    }
+
+    /// The first `DELEGATECALL` issued at the outermost contract frame
+    /// (depth 0), if any — the event that defines a proxy contract.
+    pub fn top_level_delegate(&self) -> Option<DelegateObservation> {
+        self.delegate_calls().find(|d| d.depth == 0)
+    }
+}
+
+impl Inspector for RecordingInspector {
+    fn on_step(&mut self, _pc: usize, _op: u8, _depth: usize) {
+        self.steps += 1;
+    }
+
+    fn on_call(&mut self, record: &CallRecord) {
+        self.calls.push(record.clone());
+    }
+
+    fn on_call_end(&mut self, record_index: usize, result: &CallResult) {
+        if let Some(record) = self.calls.get_mut(record_index) {
+            record.success = Some(result.is_success());
+        }
+    }
+
+    fn on_storage(&mut self, access: StorageAccess) {
+        self.storage.push(access);
+    }
+
+    fn on_log(&mut self, log: &Log) {
+        self.logs.push(log.clone());
+    }
+}

@@ -1,0 +1,1776 @@
+//! The bytecode interpreter.
+
+use std::sync::Arc;
+
+use proxion_asm::opcode as op;
+use proxion_primitives::{Address, B256, U256};
+
+use crate::gas::Gas;
+use crate::host::Host;
+use crate::inspector::{CallRecord, Inspector, StorageAccess};
+use crate::memory::Memory;
+use crate::stack::{Origin, Stack, TaggedWord};
+use crate::types::{
+    CallKind, CallResult, Env, HaltReason, Log, Message, CALL_STIPEND, MAX_CALL_DEPTH,
+};
+
+/// EIP-170 deployed-code size limit.
+const MAX_CODE_SIZE: usize = 24_576;
+
+/// The EVM: executes [`Message`]s against a [`Host`].
+///
+/// See the crate-level documentation for an example.
+pub struct Evm<'h, 'i, H: Host> {
+    host: &'h mut H,
+    env: Env,
+    inspector: Option<&'i mut dyn Inspector>,
+    call_records: usize,
+    /// EIP-1153 transient storage: per-transaction, per-account, cleared
+    /// at the start of every top-level call and rolled back with reverted
+    /// frames.
+    transient: std::collections::HashMap<(Address, U256), U256>,
+    transient_journal: Vec<((Address, U256), U256)>,
+}
+
+impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
+    /// Creates an EVM without an inspector.
+    pub fn new(host: &'h mut H, env: Env) -> Self {
+        Evm {
+            host,
+            env,
+            inspector: None,
+            call_records: 0,
+            transient: std::collections::HashMap::new(),
+            transient_journal: Vec::new(),
+        }
+    }
+
+    /// Creates an EVM that reports execution events to `inspector`.
+    pub fn with_inspector(host: &'h mut H, env: Env, inspector: &'i mut dyn Inspector) -> Self {
+        Evm {
+            host,
+            env,
+            inspector: Some(inspector),
+            call_records: 0,
+            transient: std::collections::HashMap::new(),
+            transient_journal: Vec::new(),
+        }
+    }
+
+    /// Executes a top-level message call and returns its outcome. State
+    /// changes of failed frames are rolled back; successful changes are
+    /// left in the host (call [`crate::MemoryDb::commit`] or roll back via
+    /// a snapshot taken beforehand, as the caller prefers).
+    pub fn call(&mut self, msg: Message) -> CallResult {
+        // Transient storage lives for exactly one transaction.
+        self.transient.clear();
+        self.transient_journal.clear();
+        self.execute_message(msg, 0)
+    }
+
+    fn execute_message(&mut self, msg: Message, depth: usize) -> CallResult {
+        if depth > MAX_CALL_DEPTH {
+            return CallResult::halted(HaltReason::CallDepthExceeded, 0);
+        }
+        if msg.kind.is_create() {
+            self.execute_create(msg, depth)
+        } else {
+            self.execute_call(msg, depth)
+        }
+    }
+
+    fn execute_call(&mut self, msg: Message, depth: usize) -> CallResult {
+        let snapshot = self.host.snapshot();
+        let transient_mark = self.transient_journal.len();
+        // Only plain CALLs move value between distinct accounts;
+        // CALLCODE/DELEGATECALL run in the caller's own context and
+        // STATICCALL carries no value.
+        if msg.kind == CallKind::Call && !msg.value.is_zero() {
+            if !self.host.transfer(msg.caller, msg.target, msg.value) {
+                self.host.rollback(snapshot);
+                return CallResult::halted(HaltReason::InsufficientBalance, 0);
+            }
+        }
+        let code = self.host.code(msg.code_address);
+        if code.is_empty() {
+            return CallResult {
+                halt: HaltReason::Success,
+                output: Vec::new(),
+                gas_used: 0,
+                logs: Vec::new(),
+                created: None,
+            };
+        }
+        let mut gas = Gas::new(msg.gas_limit);
+        let (halt, output, mut logs) = self.run_frame(&msg, &code, &mut gas, depth);
+        if !halt.is_success() {
+            self.host.rollback(snapshot);
+            self.rollback_transient(transient_mark);
+            logs.clear();
+        }
+        CallResult {
+            halt,
+            output,
+            gas_used: gas.used(),
+            logs,
+            created: None,
+        }
+    }
+
+    fn execute_create(&mut self, msg: Message, depth: usize) -> CallResult {
+        let snapshot = self.host.snapshot();
+        let transient_mark = self.transient_journal.len();
+        let target = msg.target;
+        // Address collision: an account with code or a used nonce blocks
+        // creation.
+        if !self.host.code(target).is_empty() || self.host.nonce(target) > 0 {
+            return CallResult::halted(HaltReason::CreateCollision, msg.gas_limit);
+        }
+        self.host.inc_nonce(target);
+        if !msg.value.is_zero() && !self.host.transfer(msg.caller, target, msg.value) {
+            self.host.rollback(snapshot);
+            return CallResult::halted(HaltReason::InsufficientBalance, 0);
+        }
+        let init_code: Arc<Vec<u8>> = Arc::new(msg.input.clone());
+        let frame_msg = Message {
+            input: Vec::new(),
+            ..msg.clone()
+        };
+        let mut gas = Gas::new(msg.gas_limit);
+        let (halt, output, logs) = self.run_frame(&frame_msg, &init_code, &mut gas, depth);
+        if !halt.is_success() {
+            self.host.rollback(snapshot);
+            self.rollback_transient(transient_mark);
+            return CallResult {
+                halt,
+                output,
+                gas_used: gas.used(),
+                logs: Vec::new(),
+                created: None,
+            };
+        }
+        if output.len() > MAX_CODE_SIZE {
+            self.host.rollback(snapshot);
+            return CallResult::halted(HaltReason::CodeSizeLimit, gas.used());
+        }
+        // Code deposit cost: 200 gas per byte.
+        if !gas.charge(200 * output.len() as u64) {
+            self.host.rollback(snapshot);
+            return CallResult::halted(HaltReason::OutOfGas, gas.used());
+        }
+        self.host.set_code(target, output);
+        CallResult {
+            halt: HaltReason::Success,
+            output: Vec::new(),
+            gas_used: gas.used(),
+            logs,
+            created: Some(target),
+        }
+    }
+
+    /// Runs one frame to completion. Returns the halt reason, the output
+    /// bytes and the logs emitted by this frame and its successful
+    /// children.
+    #[allow(clippy::too_many_lines)]
+    fn run_frame(
+        &mut self,
+        msg: &Message,
+        code: &[u8],
+        gas: &mut Gas,
+        depth: usize,
+    ) -> (HaltReason, Vec<u8>, Vec<Log>) {
+        let valid_jumpdests = analyze_jumpdests(code);
+        let mut stack = Stack::new();
+        let mut memory = Memory::new();
+        let mut return_data: Vec<u8> = Vec::new();
+        let mut logs: Vec<Log> = Vec::new();
+        let mut pc = 0usize;
+
+        macro_rules! halt {
+            ($reason:expr) => {
+                return ($reason, Vec::new(), logs)
+            };
+        }
+        macro_rules! pop {
+            () => {
+                match stack.pop() {
+                    Ok(w) => w,
+                    Err(_) => halt!(HaltReason::StackUnderflow(pc)),
+                }
+            };
+        }
+        macro_rules! push {
+            ($word:expr) => {
+                if stack.push($word).is_err() {
+                    halt!(HaltReason::StackOverflow(pc));
+                }
+            };
+        }
+        macro_rules! push_val {
+            ($value:expr, $origin:expr) => {
+                push!(TaggedWord::with_origin($value, $origin))
+            };
+        }
+        macro_rules! charge {
+            ($amount:expr) => {
+                if !gas.charge($amount) {
+                    halt!(HaltReason::OutOfGas);
+                }
+            };
+        }
+        macro_rules! mem_charge {
+            ($end:expr) => {
+                if !gas.charge_memory($end) {
+                    halt!(HaltReason::OutOfGas);
+                }
+            };
+        }
+        /// Converts a U256 to a usize usable as a memory offset/length; a
+        /// value beyond 2^32 can never be paid for, so it is out-of-gas.
+        macro_rules! as_usize {
+            ($word:expr) => {
+                match $word.try_into_usize() {
+                    Some(v) if v <= u32::MAX as usize => v,
+                    _ => halt!(HaltReason::OutOfGas),
+                }
+            };
+        }
+
+        loop {
+            let opcode = match code.get(pc) {
+                Some(&b) => b,
+                None => halt!(HaltReason::Success), // running off the end == STOP
+            };
+            let Some(info) = op::info(opcode) else {
+                halt!(HaltReason::InvalidOpcode(opcode));
+            };
+            if let Some(inspector) = self.inspector.as_deref_mut() {
+                inspector.on_step(pc, opcode, depth);
+            }
+            charge!(info.gas as u64);
+
+            match opcode {
+                op::STOP => halt!(HaltReason::Success),
+
+                // ---- arithmetic ----
+                op::ADD => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value.wrapping_add(b.value), Origin::Computed);
+                }
+                op::MUL => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value.wrapping_mul(b.value), Origin::Computed);
+                }
+                op::SUB => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value.wrapping_sub(b.value), Origin::Computed);
+                }
+                op::DIV => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value / b.value, a.origin.combine(b.origin));
+                }
+                op::SDIV => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value.sdiv(b.value), Origin::Computed);
+                }
+                op::MOD => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value % b.value, a.origin.combine(b.origin));
+                }
+                op::SMOD => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value.smod(b.value), Origin::Computed);
+                }
+                op::ADDMOD => {
+                    let (a, b, n) = (pop!(), pop!(), pop!());
+                    push_val!(a.value.addmod(b.value, n.value), Origin::Computed);
+                }
+                op::MULMOD => {
+                    let (a, b, n) = (pop!(), pop!(), pop!());
+                    push_val!(a.value.mulmod(b.value, n.value), Origin::Computed);
+                }
+                op::EXP => {
+                    let (base, exp) = (pop!(), pop!());
+                    // 50 gas per byte of exponent.
+                    charge!(50 * exp.value.bit_len().div_ceil(8) as u64);
+                    push_val!(base.value.wrapping_pow(exp.value), Origin::Computed);
+                }
+                op::SIGNEXTEND => {
+                    let (b, x) = (pop!(), pop!());
+                    push_val!(x.value.signextend(b.value), Origin::Computed);
+                }
+
+                // ---- comparison & bitwise ----
+                op::LT => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(U256::from(a.value < b.value), Origin::Computed);
+                }
+                op::GT => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(U256::from(a.value > b.value), Origin::Computed);
+                }
+                op::SLT => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(U256::from(a.value.slt(b.value)), Origin::Computed);
+                }
+                op::SGT => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(U256::from(a.value.sgt(b.value)), Origin::Computed);
+                }
+                op::EQ => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(U256::from(a.value == b.value), Origin::Computed);
+                }
+                op::ISZERO => {
+                    let a = pop!();
+                    push_val!(U256::from(a.value.is_zero()), Origin::Computed);
+                }
+                op::AND => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value & b.value, a.origin.combine(b.origin));
+                }
+                op::OR => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value | b.value, a.origin.combine(b.origin));
+                }
+                op::XOR => {
+                    let (a, b) = (pop!(), pop!());
+                    push_val!(a.value ^ b.value, Origin::Computed);
+                }
+                op::NOT => {
+                    let a = pop!();
+                    push_val!(!a.value, a.origin);
+                }
+                op::BYTE => {
+                    let (i, x) = (pop!(), pop!());
+                    let byte = match i.value.try_into_usize() {
+                        Some(idx) => x.value.byte_be(idx),
+                        None => 0,
+                    };
+                    push_val!(U256::from(byte as u64), Origin::Computed);
+                }
+                op::SHL => {
+                    let (shift, x) = (pop!(), pop!());
+                    push_val!(x.value << shift.value, x.origin.combine(shift.origin));
+                }
+                op::SHR => {
+                    let (shift, x) = (pop!(), pop!());
+                    push_val!(x.value >> shift.value, x.origin.combine(shift.origin));
+                }
+                op::SAR => {
+                    let (shift, x) = (pop!(), pop!());
+                    push_val!(x.value.sar(shift.value), Origin::Computed);
+                }
+
+                // ---- keccak ----
+                op::KECCAK256 => {
+                    let (off, len) = (pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    let off = if len == 0 { 0 } else { as_usize!(off.value) };
+                    mem_charge!(off + len);
+                    charge!(6 * (len as u64).div_ceil(32));
+                    let data = memory.read(off, len);
+                    push_val!(
+                        proxion_primitives::keccak256(&data).to_u256(),
+                        Origin::Computed
+                    );
+                }
+
+                // ---- environment ----
+                op::ADDRESS => push_val!(U256::from(msg.target), Origin::Environment),
+                op::BALANCE => {
+                    let a = pop!();
+                    let balance = self.host.balance(Address::from_word(a.value));
+                    push_val!(balance, Origin::Environment);
+                }
+                op::ORIGIN => push_val!(U256::from(self.env.tx.origin), Origin::Environment),
+                op::CALLER => push_val!(U256::from(msg.caller), Origin::Environment),
+                op::CALLVALUE => push_val!(msg.value, Origin::Environment),
+                op::CALLDATALOAD => {
+                    let off = pop!();
+                    let word = match off.value.try_into_usize() {
+                        Some(o) => load_padded_word(&msg.input, o),
+                        None => U256::ZERO,
+                    };
+                    push_val!(word, Origin::Calldata);
+                }
+                op::CALLDATASIZE => {
+                    push_val!(U256::from(msg.input.len()), Origin::Environment)
+                }
+                op::CALLDATACOPY => {
+                    let (dst, src, len) = (pop!(), pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    if len > 0 {
+                        let dst = as_usize!(dst.value);
+                        mem_charge!(dst + len);
+                        charge!(3 * (len as u64).div_ceil(32));
+                        let slice = data_slice(&msg.input, src.value, len);
+                        memory.write_padded(dst, &slice, len);
+                    }
+                }
+                op::CODESIZE => push_val!(U256::from(code.len()), Origin::Environment),
+                op::CODECOPY => {
+                    let (dst, src, len) = (pop!(), pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    if len > 0 {
+                        let dst = as_usize!(dst.value);
+                        mem_charge!(dst + len);
+                        charge!(3 * (len as u64).div_ceil(32));
+                        let slice = data_slice(code, src.value, len);
+                        memory.write_padded(dst, &slice, len);
+                    }
+                }
+                op::GASPRICE => push_val!(self.env.tx.gas_price, Origin::Environment),
+                op::EXTCODESIZE => {
+                    let a = pop!();
+                    let size = self.host.code(Address::from_word(a.value)).len();
+                    push_val!(U256::from(size), Origin::Environment);
+                }
+                op::EXTCODECOPY => {
+                    let (a, dst, src, len) = (pop!(), pop!(), pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    if len > 0 {
+                        let dst = as_usize!(dst.value);
+                        mem_charge!(dst + len);
+                        charge!(3 * (len as u64).div_ceil(32));
+                        let ext = self.host.code(Address::from_word(a.value));
+                        let slice = data_slice(&ext, src.value, len);
+                        memory.write_padded(dst, &slice, len);
+                    }
+                }
+                op::RETURNDATASIZE => {
+                    push_val!(U256::from(return_data.len()), Origin::Environment)
+                }
+                op::RETURNDATACOPY => {
+                    let (dst, src, len) = (pop!(), pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    if len > 0 {
+                        let dst = as_usize!(dst.value);
+                        let src = match src.value.try_into_usize() {
+                            Some(s) if s + len <= return_data.len() => s,
+                            _ => halt!(HaltReason::ReturnDataOutOfBounds),
+                        };
+                        mem_charge!(dst + len);
+                        charge!(3 * (len as u64).div_ceil(32));
+                        let slice = return_data[src..src + len].to_vec();
+                        memory.write_padded(dst, &slice, len);
+                    }
+                }
+                op::EXTCODEHASH => {
+                    let a = pop!();
+                    let hash = self.host.code_hash(Address::from_word(a.value));
+                    push_val!(hash.to_u256(), Origin::Environment);
+                }
+
+                // ---- block info ----
+                op::BLOCKHASH => {
+                    let n = pop!();
+                    let hash = match n.value.try_into_u64() {
+                        Some(num) if num < self.env.block.number => {
+                            self.host.block_hash(num).to_u256()
+                        }
+                        _ => U256::ZERO,
+                    };
+                    push_val!(hash, Origin::Environment);
+                }
+                op::COINBASE => {
+                    push_val!(U256::from(self.env.block.coinbase), Origin::Environment)
+                }
+                op::TIMESTAMP => {
+                    push_val!(U256::from(self.env.block.timestamp), Origin::Environment)
+                }
+                op::NUMBER => push_val!(U256::from(self.env.block.number), Origin::Environment),
+                op::DIFFICULTY => push_val!(self.env.block.prevrandao, Origin::Environment),
+                op::GASLIMIT => {
+                    push_val!(U256::from(self.env.block.gas_limit), Origin::Environment)
+                }
+                op::CHAINID => push_val!(U256::from(self.env.block.chain_id), Origin::Environment),
+                op::SELFBALANCE => {
+                    push_val!(self.host.balance(msg.target), Origin::Environment)
+                }
+                op::BASEFEE => push_val!(self.env.block.basefee, Origin::Environment),
+
+                // ---- stack, memory, storage, flow ----
+                op::POP => {
+                    pop!();
+                }
+                op::MLOAD => {
+                    let off = as_usize!(pop!().value);
+                    mem_charge!(off + 32);
+                    push_val!(memory.load_word(off), Origin::MemoryLoad);
+                }
+                op::MSTORE => {
+                    let (off, val) = (pop!(), pop!());
+                    let off = as_usize!(off.value);
+                    mem_charge!(off + 32);
+                    memory.store_word(off, val.value);
+                }
+                op::MSTORE8 => {
+                    let (off, val) = (pop!(), pop!());
+                    let off = as_usize!(off.value);
+                    mem_charge!(off + 1);
+                    memory.store_byte(off, val.value.low_u64() as u8);
+                }
+                op::SLOAD => {
+                    let slot = pop!();
+                    let value = self.host.storage(msg.target, slot.value);
+                    if let Some(inspector) = self.inspector.as_deref_mut() {
+                        inspector.on_storage(StorageAccess {
+                            address: msg.target,
+                            slot: slot.value,
+                            value,
+                            is_write: false,
+                        });
+                    }
+                    push_val!(value, Origin::StorageSlot(slot.value));
+                }
+                op::SSTORE => {
+                    if msg.is_static {
+                        halt!(HaltReason::StaticViolation(opcode));
+                    }
+                    let (slot, value) = (pop!(), pop!());
+                    charge!(5000);
+                    self.host.set_storage(msg.target, slot.value, value.value);
+                    if let Some(inspector) = self.inspector.as_deref_mut() {
+                        inspector.on_storage(StorageAccess {
+                            address: msg.target,
+                            slot: slot.value,
+                            value: value.value,
+                            is_write: true,
+                        });
+                    }
+                }
+                op::JUMP => {
+                    let dest = pop!();
+                    let dest = match dest.value.try_into_usize() {
+                        Some(d) if valid_jumpdests.get(d).copied().unwrap_or(false) => d,
+                        _ => halt!(HaltReason::InvalidJump(pc)),
+                    };
+                    pc = dest;
+                    continue;
+                }
+                op::JUMPI => {
+                    let (dest, cond) = (pop!(), pop!());
+                    if !cond.value.is_zero() {
+                        let dest = match dest.value.try_into_usize() {
+                            Some(d) if valid_jumpdests.get(d).copied().unwrap_or(false) => d,
+                            _ => halt!(HaltReason::InvalidJump(pc)),
+                        };
+                        pc = dest;
+                        continue;
+                    }
+                }
+                op::PC => push_val!(U256::from(pc), Origin::Environment),
+                op::MSIZE => push_val!(U256::from(memory.len()), Origin::Environment),
+                op::GAS => push_val!(U256::from(gas.remaining()), Origin::Environment),
+                op::JUMPDEST => {}
+                op::TLOAD => {
+                    let slot = pop!();
+                    let value = self
+                        .transient
+                        .get(&(msg.target, slot.value))
+                        .copied()
+                        .unwrap_or(U256::ZERO);
+                    push_val!(value, Origin::Computed);
+                }
+                op::TSTORE => {
+                    if msg.is_static {
+                        halt!(HaltReason::StaticViolation(opcode));
+                    }
+                    let (slot, value) = (pop!(), pop!());
+                    let key = (msg.target, slot.value);
+                    let prev = self.transient.get(&key).copied().unwrap_or(U256::ZERO);
+                    self.transient_journal.push((key, prev));
+                    self.transient.insert(key, value.value);
+                }
+                op::MCOPY => {
+                    let (dst, src, len) = (pop!(), pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    if len > 0 {
+                        let dst = as_usize!(dst.value);
+                        let src = as_usize!(src.value);
+                        mem_charge!(src + len);
+                        mem_charge!(dst + len);
+                        charge!(3 * (len as u64).div_ceil(32));
+                        let data = memory.read(src, len);
+                        memory.write_padded(dst, &data, len);
+                    }
+                }
+
+                // ---- pushes, dups, swaps ----
+                op::PUSH0 => push_val!(U256::ZERO, Origin::CodeConstant),
+                _ if (op::PUSH1..=op::PUSH32).contains(&opcode) => {
+                    let n = op::immediate_len(opcode);
+                    let end = (pc + 1 + n).min(code.len());
+                    let value = U256::from_be_slice(&code[pc + 1..end]);
+                    // Truncated immediates at the end of code are
+                    // zero-padded on the right per the yellow paper.
+                    let missing = (pc + 1 + n).saturating_sub(code.len());
+                    let value = if missing > 0 {
+                        value << (8 * missing as u32)
+                    } else {
+                        value
+                    };
+                    push_val!(value, Origin::CodeConstant);
+                    pc += 1 + n;
+                    continue;
+                }
+                _ if (op::DUP1..=op::DUP16).contains(&opcode) => {
+                    let n = (opcode - op::DUP1 + 1) as usize;
+                    match stack.dup(n) {
+                        Ok(()) => {}
+                        Err(crate::stack::StackError::Underflow) => {
+                            halt!(HaltReason::StackUnderflow(pc))
+                        }
+                        Err(crate::stack::StackError::Overflow) => {
+                            halt!(HaltReason::StackOverflow(pc))
+                        }
+                    }
+                }
+                _ if (op::SWAP1..=op::SWAP16).contains(&opcode) => {
+                    let n = (opcode - op::SWAP1 + 1) as usize;
+                    if stack.swap(n).is_err() {
+                        halt!(HaltReason::StackUnderflow(pc));
+                    }
+                }
+
+                // ---- logs ----
+                _ if (op::LOG0..=op::LOG4).contains(&opcode) => {
+                    if msg.is_static {
+                        halt!(HaltReason::StaticViolation(opcode));
+                    }
+                    let topic_count = (opcode - op::LOG0) as usize;
+                    let (off, len) = (pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    let off = if len == 0 { 0 } else { as_usize!(off.value) };
+                    mem_charge!(off + len);
+                    charge!(8 * len as u64);
+                    let mut topics = Vec::with_capacity(topic_count);
+                    for _ in 0..topic_count {
+                        topics.push(B256::from(pop!().value));
+                    }
+                    let log = Log {
+                        address: msg.target,
+                        topics,
+                        data: memory.read(off, len),
+                    };
+                    if let Some(inspector) = self.inspector.as_deref_mut() {
+                        inspector.on_log(&log);
+                    }
+                    logs.push(log);
+                }
+
+                // ---- creations ----
+                op::CREATE | op::CREATE2 => {
+                    if msg.is_static {
+                        halt!(HaltReason::StaticViolation(opcode));
+                    }
+                    let value = pop!();
+                    let (off, len) = (pop!(), pop!());
+                    let salt = if opcode == op::CREATE2 {
+                        Some(pop!().value)
+                    } else {
+                        None
+                    };
+                    let len = as_usize!(len.value);
+                    let off = if len == 0 { 0 } else { as_usize!(off.value) };
+                    mem_charge!(off + len);
+                    if opcode == op::CREATE2 {
+                        charge!(6 * (len as u64).div_ceil(32));
+                    }
+                    let init_code = memory.read(off, len);
+                    let new_address = match salt {
+                        Some(salt) => msg
+                            .target
+                            .create2_address(salt, proxion_primitives::keccak256(&init_code)),
+                        None => {
+                            let nonce = self.host.nonce(msg.target);
+                            msg.target.create_address(nonce)
+                        }
+                    };
+                    self.host.inc_nonce(msg.target);
+                    let child_gas = gas.max_forwardable();
+                    charge!(child_gas);
+                    let kind = if opcode == op::CREATE2 {
+                        CallKind::Create2
+                    } else {
+                        CallKind::Create
+                    };
+                    let child = Message {
+                        kind,
+                        caller: msg.target,
+                        target: new_address,
+                        code_address: new_address,
+                        input: init_code,
+                        value: value.value,
+                        gas_limit: child_gas,
+                        is_static: false,
+                        salt,
+                    };
+                    let record_index = self.record_call(
+                        &child,
+                        TaggedWord::computed(U256::from(new_address)),
+                        depth,
+                    );
+                    let result = self.execute_message(child, depth + 1);
+                    self.finish_call(record_index, &result);
+                    gas.reclaim(child_gas.saturating_sub(result.gas_used));
+                    return_data = if result.halt == HaltReason::Revert {
+                        result.output.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    if result.is_success() {
+                        logs.extend(result.logs);
+                        push_val!(U256::from(new_address), Origin::Computed);
+                    } else {
+                        push_val!(U256::ZERO, Origin::Computed);
+                    }
+                }
+
+                // ---- calls ----
+                op::CALL | op::CALLCODE | op::DELEGATECALL | op::STATICCALL => {
+                    let _gas_word = pop!();
+                    let addr_word = pop!();
+                    let value = if opcode == op::CALL || opcode == op::CALLCODE {
+                        pop!().value
+                    } else {
+                        U256::ZERO
+                    };
+                    if opcode == op::CALL && msg.is_static && !value.is_zero() {
+                        halt!(HaltReason::StaticViolation(opcode));
+                    }
+                    let (in_off, in_len) = (pop!(), pop!());
+                    let (out_off, out_len) = (pop!(), pop!());
+                    let in_len = as_usize!(in_len.value);
+                    let in_off = if in_len == 0 {
+                        0
+                    } else {
+                        as_usize!(in_off.value)
+                    };
+                    let out_len = as_usize!(out_len.value);
+                    let out_off = if out_len == 0 {
+                        0
+                    } else {
+                        as_usize!(out_off.value)
+                    };
+                    mem_charge!(in_off + in_len);
+                    mem_charge!(out_off + out_len);
+                    let input = memory.read(in_off, in_len);
+                    let callee = Address::from_word(addr_word.value);
+
+                    let mut child_gas = gas
+                        .max_forwardable()
+                        .min(_gas_word.value.try_into_u64().unwrap_or(u64::MAX));
+                    charge!(child_gas);
+                    if !value.is_zero() {
+                        child_gas += CALL_STIPEND;
+                    }
+
+                    let (kind, child_caller, child_target, child_value, child_static) = match opcode
+                    {
+                        op::CALL => (CallKind::Call, msg.target, callee, value, msg.is_static),
+                        op::CALLCODE => (
+                            CallKind::CallCode,
+                            msg.target,
+                            msg.target,
+                            value,
+                            msg.is_static,
+                        ),
+                        op::DELEGATECALL => (
+                            CallKind::DelegateCall,
+                            msg.caller,
+                            msg.target,
+                            msg.value,
+                            msg.is_static,
+                        ),
+                        _ => (CallKind::StaticCall, msg.target, callee, U256::ZERO, true),
+                    };
+                    let child = Message {
+                        kind,
+                        caller: child_caller,
+                        target: child_target,
+                        code_address: callee,
+                        input,
+                        value: child_value,
+                        gas_limit: child_gas,
+                        is_static: child_static,
+                        salt: None,
+                    };
+                    let record_index = self.record_call(&child, addr_word, depth);
+                    let result = self.execute_message(child, depth + 1);
+                    self.finish_call(record_index, &result);
+                    gas.reclaim(child_gas.saturating_sub(result.gas_used));
+                    return_data = result.output.clone();
+                    if out_len > 0 {
+                        memory.write_padded(
+                            out_off,
+                            &result.output[..result.output.len().min(out_len)],
+                            result.output.len().min(out_len),
+                        );
+                    }
+                    if result.is_success() {
+                        logs.extend(result.logs.clone());
+                    }
+                    push_val!(U256::from(result.is_success()), Origin::Computed);
+                }
+
+                // ---- halts ----
+                op::RETURN => {
+                    let (off, len) = (pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    let off = if len == 0 { 0 } else { as_usize!(off.value) };
+                    mem_charge!(off + len);
+                    return (HaltReason::Success, memory.read(off, len), logs);
+                }
+                op::REVERT => {
+                    let (off, len) = (pop!(), pop!());
+                    let len = as_usize!(len.value);
+                    let off = if len == 0 { 0 } else { as_usize!(off.value) };
+                    mem_charge!(off + len);
+                    return (HaltReason::Revert, memory.read(off, len), logs);
+                }
+                op::INVALID => halt!(HaltReason::InvalidOpcode(op::INVALID)),
+                op::SELFDESTRUCT => {
+                    if msg.is_static {
+                        halt!(HaltReason::StaticViolation(opcode));
+                    }
+                    let beneficiary = Address::from_word(pop!().value);
+                    let balance = self.host.balance(msg.target);
+                    self.host.transfer(msg.target, beneficiary, balance);
+                    self.host.mark_destroyed(msg.target);
+                    halt!(HaltReason::Success);
+                }
+
+                other => halt!(HaltReason::InvalidOpcode(other)),
+            }
+            pc += 1;
+        }
+    }
+
+    fn rollback_transient(&mut self, mark: usize) {
+        while self.transient_journal.len() > mark {
+            let (key, prev) = self.transient_journal.pop().expect("length checked");
+            if prev.is_zero() {
+                self.transient.remove(&key);
+            } else {
+                self.transient.insert(key, prev);
+            }
+        }
+    }
+
+    fn record_call(&mut self, child: &Message, target_word: TaggedWord, depth: usize) -> usize {
+        let index = self.call_records;
+        self.call_records += 1;
+        if let Some(inspector) = self.inspector.as_deref_mut() {
+            inspector.on_call(&CallRecord {
+                kind: child.kind,
+                depth,
+                caller: child.caller,
+                target: child.target,
+                code_address: child.code_address,
+                target_word,
+                input: child.input.clone(),
+                value: child.value,
+                success: None,
+            });
+        }
+        index
+    }
+
+    fn finish_call(&mut self, record_index: usize, result: &CallResult) {
+        if let Some(inspector) = self.inspector.as_deref_mut() {
+            inspector.on_call_end(record_index, result);
+        }
+    }
+}
+
+/// Marks every byte position holding a `JUMPDEST` opcode that is not inside
+/// a push immediate.
+fn analyze_jumpdests(code: &[u8]) -> Vec<bool> {
+    let mut valid = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let opcode = code[i];
+        if opcode == op::JUMPDEST {
+            valid[i] = true;
+        }
+        i += 1 + op::immediate_len(opcode);
+    }
+    valid
+}
+
+/// Loads a 32-byte word from `data` at `offset`, zero-padded past the end.
+fn load_padded_word(data: &[u8], offset: usize) -> U256 {
+    let mut buf = [0u8; 32];
+    if offset < data.len() {
+        let n = (data.len() - offset).min(32);
+        buf[..n].copy_from_slice(&data[offset..offset + n]);
+    }
+    U256::from_be_bytes(buf)
+}
+
+/// Extracts `len` bytes from `data` starting at a 256-bit offset,
+/// zero-padding past the end.
+fn data_slice(data: &[u8], offset: U256, len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    if let Some(off) = offset.try_into_usize() {
+        if off < data.len() {
+            let n = (data.len() - off).min(len);
+            out[..n].copy_from_slice(&data[off..off + n]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::MemoryDb;
+    use crate::inspector::RecordingInspector;
+    use proxion_asm::{opcode, Assembler};
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    fn run_code(code: Vec<u8>, input: Vec<u8>) -> CallResult {
+        let mut db = MemoryDb::new();
+        let target = addr(0xc0de);
+        db.set_code(target, code);
+        let mut evm = Evm::new(&mut db, Env::default());
+        evm.call(Message::eoa_call(addr(1), target, input))
+    }
+
+    #[test]
+    fn add_and_return() {
+        let mut asm = Assembler::new();
+        asm.push(U256::from(2u64))
+            .push(U256::from(40u64))
+            .op(opcode::ADD)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let result = run_code(asm.assemble().unwrap(), vec![]);
+        assert!(result.is_success());
+        assert_eq!(U256::from_be_slice(&result.output), U256::from(42u64));
+    }
+
+    #[test]
+    fn running_off_code_end_is_stop() {
+        let result = run_code(vec![opcode::PUSH1, 1], vec![]);
+        assert!(result.is_success());
+        assert!(result.output.is_empty());
+    }
+
+    #[test]
+    fn invalid_opcode_halts() {
+        let result = run_code(vec![0x0c], vec![]);
+        assert_eq!(result.halt, HaltReason::InvalidOpcode(0x0c));
+    }
+
+    #[test]
+    fn truncated_push_is_zero_padded() {
+        // PUSH2 with only one immediate byte available: value 0xff00.
+        let code = vec![opcode::PUSH2, 0xff];
+        let mut db = MemoryDb::new();
+        db.set_code(addr(2), code);
+        // The push runs off the end; frame stops. Just assert no panic.
+        let mut evm = Evm::new(&mut db, Env::default());
+        let result = evm.call(Message::eoa_call(addr(1), addr(2), vec![]));
+        assert!(result.is_success());
+    }
+
+    #[test]
+    fn jump_and_jumpi() {
+        let mut asm = Assembler::new();
+        let skip = asm.new_label();
+        // if calldata word != 0 jump over the revert
+        asm.op(opcode::PUSH0)
+            .op(opcode::CALLDATALOAD)
+            .jumpi_to(skip)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::REVERT)
+            .label(skip)
+            .push(U256::ONE)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let code = asm.assemble().unwrap();
+        let ok = run_code(code.clone(), vec![1; 32]);
+        assert!(ok.is_success());
+        let rev = run_code(code, vec![]);
+        assert_eq!(rev.halt, HaltReason::Revert);
+    }
+
+    #[test]
+    fn jump_to_non_jumpdest_fails() {
+        // PUSH1 0; JUMP — destination 0 is a PUSH, not a JUMPDEST.
+        let result = run_code(vec![opcode::PUSH1, 0x00, opcode::JUMP], vec![]);
+        assert!(matches!(result.halt, HaltReason::InvalidJump(_)));
+    }
+
+    #[test]
+    fn jumpdest_inside_push_immediate_is_invalid() {
+        // PUSH2 0x5b5b; PUSH1 1; JUMP — the 0x5b bytes are immediates.
+        let code = vec![opcode::PUSH2, 0x5b, 0x5b, opcode::PUSH1, 0x01, opcode::JUMP];
+        let result = run_code(code, vec![]);
+        assert!(matches!(result.halt, HaltReason::InvalidJump(_)));
+    }
+
+    #[test]
+    fn storage_persists_on_success_and_rolls_back_on_revert() {
+        let target = addr(0xaa);
+        // SSTORE(0, 7); then REVERT or STOP depending on calldata.
+        let mut asm = Assembler::new();
+        let stop = asm.new_label();
+        asm.push(U256::from(7u64))
+            .op(opcode::PUSH0)
+            .op(opcode::SSTORE)
+            .op(opcode::PUSH0)
+            .op(opcode::CALLDATALOAD)
+            .jumpi_to(stop)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::REVERT)
+            .label(stop)
+            .op(opcode::STOP);
+        let code = asm.assemble().unwrap();
+
+        let mut db = MemoryDb::new();
+        db.set_code(target, code);
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(1), target, vec![]));
+        assert_eq!(r.halt, HaltReason::Revert);
+        assert_eq!(db.storage(target, U256::ZERO), U256::ZERO);
+
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(1), target, vec![1; 32]));
+        assert!(r.is_success());
+        assert_eq!(db.storage(target, U256::ZERO), U256::from(7u64));
+    }
+
+    #[test]
+    fn sload_carries_storage_provenance() {
+        let target = addr(0xbb);
+        let mut asm = Assembler::new();
+        // SLOAD slot 3, AND with address mask, DELEGATECALL-like usage is
+        // covered elsewhere; here we just return the loaded value.
+        asm.push(U256::from(3u64))
+            .op(opcode::SLOAD)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(target, asm.assemble().unwrap());
+        db.set_storage(target, U256::from(3u64), U256::from(0x55u64));
+        db.commit();
+        let mut insp = RecordingInspector::new();
+        let mut evm = Evm::with_inspector(&mut db, Env::default(), &mut insp);
+        let r = evm.call(Message::eoa_call(addr(1), target, vec![]));
+        assert!(r.is_success());
+        assert_eq!(insp.storage.len(), 1);
+        assert!(!insp.storage[0].is_write);
+        assert_eq!(insp.storage[0].slot, U256::from(3u64));
+    }
+
+    #[test]
+    fn nested_call_and_returndata() {
+        // Callee returns 32-byte value 99; caller forwards it.
+        let callee = addr(0x2);
+        let caller = addr(0x1a);
+        let mut callee_asm = Assembler::new();
+        callee_asm
+            .push(U256::from(99u64))
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut caller_asm = Assembler::new();
+        // CALL(gas, callee, 0, 0, 0, 0, 32) then RETURN memory[0..32]
+        caller_asm
+            .push(U256::from(32u64)) // out len
+            .op(opcode::PUSH0) // out off
+            .op(opcode::PUSH0) // in len
+            .op(opcode::PUSH0) // in off
+            .op(opcode::PUSH0) // value
+            .push(U256::from(callee))
+            .op(opcode::GAS)
+            .op(opcode::CALL)
+            .op(opcode::POP)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(callee, callee_asm.assemble().unwrap());
+        db.set_code(caller, caller_asm.assemble().unwrap());
+        let mut insp = RecordingInspector::new();
+        let mut evm = Evm::with_inspector(&mut db, Env::default(), &mut insp);
+        let r = evm.call(Message::eoa_call(addr(9), caller, vec![]));
+        assert!(r.is_success());
+        assert_eq!(U256::from_be_slice(&r.output), U256::from(99u64));
+        assert_eq!(insp.calls.len(), 1);
+        assert_eq!(insp.calls[0].kind, CallKind::Call);
+        assert_eq!(insp.calls[0].success, Some(true));
+    }
+
+    #[test]
+    fn delegatecall_runs_in_caller_context() {
+        // Logic writes 5 to slot 0 of *its* storage context; when invoked
+        // via DELEGATECALL the write must land in the proxy's storage.
+        let logic = addr(0x10);
+        let proxy = addr(0x11);
+        let mut logic_asm = Assembler::new();
+        logic_asm
+            .push(U256::from(5u64))
+            .op(opcode::PUSH0)
+            .op(opcode::SSTORE)
+            .op(opcode::STOP);
+        let mut proxy_asm = Assembler::new();
+        proxy_asm
+            .op(opcode::PUSH0) // out len
+            .op(opcode::PUSH0) // out off
+            .op(opcode::PUSH0) // in len
+            .op(opcode::PUSH0) // in off
+            .push(U256::from(logic))
+            .op(opcode::GAS)
+            .op(opcode::DELEGATECALL)
+            .op(opcode::POP)
+            .op(opcode::STOP);
+        let mut db = MemoryDb::new();
+        db.set_code(logic, logic_asm.assemble().unwrap());
+        db.set_code(proxy, proxy_asm.assemble().unwrap());
+        let mut insp = RecordingInspector::new();
+        let mut evm = Evm::with_inspector(&mut db, Env::default(), &mut insp);
+        let r = evm.call(Message::eoa_call(addr(9), proxy, vec![]));
+        assert!(r.is_success());
+        assert_eq!(db.storage(proxy, U256::ZERO), U256::from(5u64));
+        assert_eq!(db.storage(logic, U256::ZERO), U256::ZERO);
+        let d = insp.top_level_delegate().expect("delegate observed");
+        assert_eq!(d.proxy, proxy);
+        assert_eq!(d.logic, logic);
+        assert_eq!(d.target_word.origin, Origin::CodeConstant);
+    }
+
+    #[test]
+    fn delegatecall_address_from_storage_has_slot_provenance() {
+        let logic = addr(0x20);
+        let proxy = addr(0x21);
+        let slot = U256::from(1u64);
+        let mut proxy_asm = Assembler::new();
+        proxy_asm
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .push(slot)
+            .op(opcode::SLOAD)
+            .op(opcode::GAS)
+            .op(opcode::DELEGATECALL)
+            .op(opcode::POP)
+            .op(opcode::STOP);
+        let mut db = MemoryDb::new();
+        db.set_code(logic, vec![opcode::STOP]);
+        db.set_code(proxy, proxy_asm.assemble().unwrap());
+        db.set_storage(proxy, slot, U256::from(logic));
+        db.commit();
+        let mut insp = RecordingInspector::new();
+        let mut evm = Evm::with_inspector(&mut db, Env::default(), &mut insp);
+        let r = evm.call(Message::eoa_call(addr(9), proxy, vec![]));
+        assert!(r.is_success());
+        let d = insp.top_level_delegate().unwrap();
+        assert_eq!(d.target_word.origin, Origin::StorageSlot(slot));
+        assert_eq!(d.logic, logic);
+    }
+
+    #[test]
+    fn staticcall_blocks_sstore() {
+        let callee = addr(0x30);
+        let caller = addr(0x31);
+        let mut callee_asm = Assembler::new();
+        callee_asm
+            .push(U256::ONE)
+            .op(opcode::PUSH0)
+            .op(opcode::SSTORE)
+            .op(opcode::STOP);
+        let mut caller_asm = Assembler::new();
+        caller_asm
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .push(U256::from(callee))
+            .op(opcode::GAS)
+            .op(opcode::STATICCALL)
+            // return the success flag
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(callee, callee_asm.assemble().unwrap());
+        db.set_code(caller, caller_asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), caller, vec![]));
+        assert!(r.is_success());
+        assert_eq!(
+            U256::from_be_slice(&r.output),
+            U256::ZERO,
+            "child must fail"
+        );
+        assert_eq!(db.storage(callee, U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn create_deploys_runtime_code() {
+        // Init code returns a 1-byte runtime: STOP.
+        // PUSH1 0x00 (STOP byte via MSTORE8), RETURN 1 byte at offset 0.
+        let mut init = Assembler::new();
+        init.push(U256::from(opcode::STOP as u64))
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE8)
+            .push(U256::ONE)
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let init_code = init.assemble().unwrap();
+        let deployer = addr(0x40);
+        let mut db = MemoryDb::new();
+        db.set_balance(deployer, U256::from(1u64) << 64u32);
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::create(deployer, init_code, U256::ZERO));
+        assert!(r.is_success());
+        let created = r.created.expect("address assigned");
+        assert_eq!(*db.code(created), vec![opcode::STOP]);
+    }
+
+    #[test]
+    fn create_opcode_pushes_new_address() {
+        // Contract that CREATEs an empty contract and returns the address.
+        let factory = addr(0x50);
+        let mut asm = Assembler::new();
+        asm.op(opcode::PUSH0) // len
+            .op(opcode::PUSH0) // off
+            .op(opcode::PUSH0) // value
+            .op(opcode::CREATE)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(factory, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), factory, vec![]));
+        assert!(r.is_success());
+        let created = Address::from_word(U256::from_be_slice(&r.output));
+        assert!(!created.is_zero());
+        assert_eq!(created, factory.create_address(0));
+    }
+
+    #[test]
+    fn out_of_gas_on_infinite_loop() {
+        // JUMPDEST; PUSH0; JUMP(0) forever.
+        let code = vec![opcode::JUMPDEST, opcode::PUSH0, opcode::JUMP];
+        let mut db = MemoryDb::new();
+        db.set_code(addr(0x60), code);
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), addr(0x60), vec![]).with_gas(100_000));
+        assert_eq!(r.halt, HaltReason::OutOfGas);
+        assert_eq!(r.gas_used, 100_000);
+    }
+
+    #[test]
+    fn value_transfer_and_balances() {
+        let receiver = addr(0x70);
+        let sender = addr(0x71);
+        let mut db = MemoryDb::new();
+        db.set_balance(sender, U256::from(100u64));
+        db.set_code(receiver, vec![opcode::STOP]);
+        let r = Evm::new(&mut db, Env::default())
+            .call(Message::eoa_call(sender, receiver, vec![]).with_value(U256::from(40u64)));
+        assert!(r.is_success());
+        assert_eq!(db.balance(receiver), U256::from(40u64));
+        assert_eq!(db.balance(sender), U256::from(60u64));
+
+        let r = Evm::new(&mut db, Env::default())
+            .call(Message::eoa_call(sender, receiver, vec![]).with_value(U256::from(1000u64)));
+        assert_eq!(r.halt, HaltReason::InsufficientBalance);
+    }
+
+    #[test]
+    fn calldata_opcodes() {
+        // Return CALLDATASIZE and word at offset 0.
+        let mut asm = Assembler::new();
+        asm.op(opcode::CALLDATASIZE)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .op(opcode::PUSH0)
+            .op(opcode::CALLDATALOAD)
+            .push(U256::from(32u64))
+            .op(opcode::MSTORE)
+            .push(U256::from(64u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let input = vec![0xab; 4];
+        let r = run_code(asm.assemble().unwrap(), input);
+        assert!(r.is_success());
+        assert_eq!(U256::from_be_slice(&r.output[..32]), U256::from(4u64));
+        // 0xabababab padded right with zeros.
+        let expected = U256::from_be_slice(&[0xab, 0xab, 0xab, 0xab]) << 224u32;
+        assert_eq!(U256::from_be_slice(&r.output[32..]), expected);
+    }
+
+    #[test]
+    fn keccak_opcode_matches_primitive() {
+        let mut asm = Assembler::new();
+        // keccak256 of empty range.
+        asm.op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::KECCAK256)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let r = run_code(asm.assemble().unwrap(), vec![]);
+        assert!(r.is_success());
+        assert_eq!(
+            U256::from_be_slice(&r.output),
+            proxion_primitives::keccak256([]).to_u256()
+        );
+    }
+
+    #[test]
+    fn selfdestruct_moves_balance_and_marks_destroyed() {
+        let victim = addr(0x80);
+        let heir = addr(0x81);
+        let mut asm = Assembler::new();
+        asm.push(U256::from(heir)).op(opcode::SELFDESTRUCT);
+        let mut db = MemoryDb::new();
+        db.set_code(victim, asm.assemble().unwrap());
+        db.set_balance(victim, U256::from(33u64));
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), victim, vec![]));
+        assert!(r.is_success());
+        assert!(db.is_destroyed(victim));
+        assert_eq!(db.balance(heir), U256::from(33u64));
+        assert_eq!(db.balance(victim), U256::ZERO);
+    }
+
+    #[test]
+    fn logs_collected_and_reverted_logs_dropped() {
+        let emitter = addr(0x90);
+        let mut asm = Assembler::new();
+        // LOG1 with topic 7, then STOP or REVERT by calldata.
+        let stop = asm.new_label();
+        asm.push(U256::from(7u64))
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::LOG1)
+            .op(opcode::PUSH0)
+            .op(opcode::CALLDATALOAD)
+            .jumpi_to(stop)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::REVERT)
+            .label(stop)
+            .op(opcode::STOP);
+        let mut db = MemoryDb::new();
+        db.set_code(emitter, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let ok = evm.call(Message::eoa_call(addr(9), emitter, vec![1; 32]));
+        assert_eq!(ok.logs.len(), 1);
+        assert_eq!(ok.logs[0].topics[0], B256::from(U256::from(7u64)));
+        let rev = evm.call(Message::eoa_call(addr(9), emitter, vec![]));
+        assert!(rev.logs.is_empty());
+    }
+
+    #[test]
+    fn env_opcodes_reflect_env() {
+        let mut env = Env::default();
+        env.block.number = 1234;
+        env.block.chain_id = 1;
+        let mut asm = Assembler::new();
+        asm.op(opcode::NUMBER)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .op(opcode::CHAINID)
+            .push(U256::from(32u64))
+            .op(opcode::MSTORE)
+            .push(U256::from(64u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(addr(3), asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, env);
+        let r = evm.call(Message::eoa_call(addr(9), addr(3), vec![]));
+        assert_eq!(U256::from_be_slice(&r.output[..32]), U256::from(1234u64));
+        assert_eq!(U256::from_be_slice(&r.output[32..]), U256::ONE);
+    }
+
+    #[test]
+    fn call_to_empty_account_succeeds() {
+        let caller = addr(0xa1);
+        let mut asm = Assembler::new();
+        asm.op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .push(U256::from(addr(0xdead)))
+            .op(opcode::GAS)
+            .op(opcode::CALL)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(caller, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), caller, vec![]));
+        assert_eq!(U256::from_be_slice(&r.output), U256::ONE);
+    }
+
+    #[test]
+    fn returndatacopy_out_of_bounds_halts() {
+        let caller = addr(0xb1);
+        let mut asm = Assembler::new();
+        // No call made: return buffer is empty; copying 1 byte must halt.
+        asm.push(U256::ONE) // len
+            .op(opcode::PUSH0) // src
+            .op(opcode::PUSH0) // dst
+            .op(opcode::RETURNDATACOPY);
+        let mut db = MemoryDb::new();
+        db.set_code(caller, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), caller, vec![]));
+        assert_eq!(r.halt, HaltReason::ReturnDataOutOfBounds);
+    }
+
+    #[test]
+    fn stack_underflow_reported() {
+        let r = run_code(vec![opcode::ADD], vec![]);
+        assert!(matches!(r.halt, HaltReason::StackUnderflow(0)));
+    }
+
+    #[test]
+    fn call_depth_limit_halts_cyclic_delegation() {
+        // A self-delegating contract recurses until MAX_CALL_DEPTH; the
+        // overall transaction must terminate cleanly (the inner frames
+        // fail with CallDepthExceeded and the proxy bubbles a revert).
+        let target = addr(0xdee9);
+        let mut asm = Assembler::new();
+        let revert_label = asm.new_label();
+        asm.op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .push(U256::from(target))
+            .op(opcode::GAS)
+            .op(opcode::DELEGATECALL)
+            .op(opcode::ISZERO)
+            .jumpi_to(revert_label)
+            .op(opcode::STOP)
+            .label(revert_label)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::REVERT);
+        let mut db = MemoryDb::new();
+        db.set_code(target, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(1), target, vec![]));
+        // The innermost failure propagates up as reverts; the key property
+        // is termination without a native stack overflow.
+        assert!(!r.is_success());
+    }
+
+    #[test]
+    fn eip150_limits_forwarded_gas() {
+        // A child burning unbounded gas cannot consume the parent's last
+        // 1/64th: the parent still completes.
+        let burner = addr(0xb0b0);
+        let parent = addr(0xb0b1);
+        // Burner: infinite loop.
+        let mut burner_asm = Assembler::new();
+        let top = burner_asm.new_label();
+        burner_asm.label(top);
+        burner_asm.jump_to(top);
+        // Parent: CALL burner (all gas implicitly), then RETURN 32 bytes.
+        let mut parent_asm = Assembler::new();
+        parent_asm
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .push(U256::from(burner))
+            .op(opcode::GAS)
+            .op(opcode::CALL)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(burner, burner_asm.assemble().unwrap());
+        db.set_code(parent, parent_asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(1), parent, vec![]).with_gas(1_000_000));
+        assert!(r.is_success(), "parent must survive the burner: {}", r.halt);
+        assert_eq!(
+            U256::from_be_slice(&r.output),
+            U256::ZERO,
+            "child ran out of gas"
+        );
+        assert!(r.gas_used < 1_000_000, "the 1/64 reserve was kept");
+    }
+
+    #[test]
+    fn transient_storage_round_trip_within_tx() {
+        // TSTORE(5, 99); TLOAD(5) -> return.
+        let mut asm = Assembler::new();
+        asm.push(U256::from(99u64))
+            .push(U256::from(5u64))
+            .op(opcode::TSTORE)
+            .push(U256::from(5u64))
+            .op(opcode::TLOAD)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let code = asm.assemble().unwrap();
+        let target = addr(0x7_10ad);
+        let mut db = MemoryDb::new();
+        db.set_code(target, code);
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(1), target, vec![]));
+        assert!(r.is_success());
+        assert_eq!(U256::from_be_slice(&r.output), U256::from(99u64));
+        // Persistent storage untouched.
+        assert_eq!(db.storage(target, U256::from(5u64)), U256::ZERO);
+
+        // A second transaction starts with cleared transient storage.
+        let mut asm = Assembler::new();
+        asm.push(U256::from(5u64))
+            .op(opcode::TLOAD)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let reader = addr(0x7_10ae);
+        db.set_code(reader, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(1), reader, vec![]));
+        assert_eq!(U256::from_be_slice(&r.output), U256::ZERO);
+    }
+
+    #[test]
+    fn transient_writes_of_reverted_child_rolled_back() {
+        // Child TSTOREs then reverts; parent TLOADs the same slot of ITS
+        // OWN context... transient is per-address, so use DELEGATECALL to
+        // share the context.
+        let child = addr(0x100);
+        let parent = addr(0x101);
+        let mut child_asm = Assembler::new();
+        child_asm
+            .push(U256::from(7u64))
+            .op(opcode::PUSH0)
+            .op(opcode::TSTORE)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::REVERT);
+        let mut parent_asm = Assembler::new();
+        parent_asm
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .push(U256::from(child))
+            .op(opcode::GAS)
+            .op(opcode::DELEGATECALL)
+            .op(opcode::POP)
+            .op(opcode::PUSH0)
+            .op(opcode::TLOAD)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(child, child_asm.assemble().unwrap());
+        db.set_code(parent, parent_asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(1), parent, vec![]));
+        assert!(r.is_success());
+        assert_eq!(
+            U256::from_be_slice(&r.output),
+            U256::ZERO,
+            "reverted child's transient write must be rolled back"
+        );
+    }
+
+    #[test]
+    fn tstore_rejected_in_static_context() {
+        let callee = addr(0x110);
+        let caller = addr(0x111);
+        let mut callee_asm = Assembler::new();
+        callee_asm
+            .push(U256::ONE)
+            .op(opcode::PUSH0)
+            .op(opcode::TSTORE)
+            .op(opcode::STOP);
+        let mut caller_asm = Assembler::new();
+        caller_asm
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .op(opcode::PUSH0)
+            .push(U256::from(callee))
+            .op(opcode::GAS)
+            .op(opcode::STATICCALL)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(callee, callee_asm.assemble().unwrap());
+        db.set_code(caller, caller_asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(1), caller, vec![]));
+        assert_eq!(
+            U256::from_be_slice(&r.output),
+            U256::ZERO,
+            "static TSTORE must fail"
+        );
+    }
+
+    #[test]
+    fn mcopy_moves_memory() {
+        // mem[0]=0xAB..; MCOPY(64, 0, 32); return mem[64..96].
+        let mut asm = Assembler::new();
+        asm.push(U256::from(0xab00cdu64))
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64)) // len
+            .op(opcode::PUSH0) // src
+            .push(U256::from(64u64)) // dst
+            .op(opcode::MCOPY)
+            .push(U256::from(64u64))
+            .op(opcode::MLOAD)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let r = run_code(asm.assemble().unwrap(), vec![]);
+        assert!(r.is_success(), "MCOPY failed: {}", r.halt);
+        assert_eq!(U256::from_be_slice(&r.output), U256::from(0xab00cdu64));
+    }
+
+    #[test]
+    fn callcode_runs_callee_code_in_caller_storage() {
+        // Like delegatecall but msg.sender becomes the caller contract.
+        let logic = addr(0x120);
+        let user = addr(0x121);
+        let mut logic_asm = Assembler::new();
+        // sstore(0, caller)
+        logic_asm
+            .op(opcode::CALLER)
+            .op(opcode::PUSH0)
+            .op(opcode::SSTORE)
+            .op(opcode::STOP);
+        let mut user_asm = Assembler::new();
+        user_asm
+            .op(opcode::PUSH0) // out len
+            .op(opcode::PUSH0) // out off
+            .op(opcode::PUSH0) // in len
+            .op(opcode::PUSH0) // in off
+            .op(opcode::PUSH0) // value
+            .push(U256::from(logic))
+            .op(opcode::GAS)
+            .op(opcode::CALLCODE)
+            .op(opcode::POP)
+            .op(opcode::STOP);
+        let mut db = MemoryDb::new();
+        db.set_code(logic, logic_asm.assemble().unwrap());
+        db.set_code(user, user_asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), user, vec![]));
+        assert!(r.is_success());
+        // Write lands in USER's storage (shared context)...
+        assert_eq!(db.storage(logic, U256::ZERO), U256::ZERO);
+        // ...and msg.sender inside the frame is the user contract itself
+        // (CALLCODE semantics), not the EOA.
+        assert_eq!(db.storage(user, U256::ZERO), U256::from(user));
+    }
+
+    #[test]
+    fn create2_address_matches_eip1014_derivation() {
+        let factory = addr(0x130);
+        // CREATE2 with empty init code and salt 0x42; return the address.
+        let mut asm = Assembler::new();
+        asm.push(U256::from(0x42u64)) // salt
+            .op(opcode::PUSH0) // len
+            .op(opcode::PUSH0) // off
+            .op(opcode::PUSH0) // value
+            .op(opcode::CREATE2)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(32u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(factory, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), factory, vec![]));
+        assert!(r.is_success());
+        let created = Address::from_word(U256::from_be_slice(&r.output));
+        let expected =
+            factory.create2_address(U256::from(0x42u64), proxion_primitives::keccak256([]));
+        assert_eq!(created, expected);
+    }
+
+    #[test]
+    fn extcode_opcodes_reflect_other_accounts() {
+        let other = addr(0x140);
+        let prober = addr(0x141);
+        let other_code = vec![opcode::STOP, opcode::STOP, opcode::STOP];
+        let mut asm = Assembler::new();
+        // return (extcodesize(other), extcodehash(other))
+        asm.push(U256::from(other))
+            .op(opcode::EXTCODESIZE)
+            .op(opcode::PUSH0)
+            .op(opcode::MSTORE)
+            .push(U256::from(other))
+            .op(opcode::EXTCODEHASH)
+            .push(U256::from(32u64))
+            .op(opcode::MSTORE)
+            .push(U256::from(64u64))
+            .op(opcode::PUSH0)
+            .op(opcode::RETURN);
+        let mut db = MemoryDb::new();
+        db.set_code(other, other_code.clone());
+        db.set_code(prober, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(addr(9), prober, vec![]));
+        assert!(r.is_success());
+        assert_eq!(U256::from_be_slice(&r.output[..32]), U256::from(3u64));
+        assert_eq!(
+            U256::from_be_slice(&r.output[32..]),
+            proxion_primitives::keccak256(&other_code).to_u256()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! A from-scratch EVM interpreter with a provenance-tagged stack and
+//! inspector hooks.
+//!
+//! The interpreter executes real (Shanghai-era) EVM bytecode against a
+//! pluggable [`Host`] that supplies accounts, code and storage. Two features
+//! set it apart from a plain EVM and make it the engine behind Proxion's
+//! hidden-proxy detection:
+//!
+//! * **Provenance tags** — every stack word carries an [`Origin`] describing
+//!   where its value came from (a code constant, a storage slot, call data,
+//!   the environment). When a `DELEGATECALL` executes, the inspector can
+//!   therefore see *where the callee address was loaded from*, which is how
+//!   Proxion distinguishes minimal proxies (address hard-coded in bytecode)
+//!   from upgradeable proxies (address in a storage slot) and classifies the
+//!   storage slot against the EIP-1967/EIP-1822 standards.
+//! * **Inspector hooks** — an [`Inspector`] receives every call, storage
+//!   access and log, letting analyses observe execution without modifying
+//!   the interpreter.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_evm::{Evm, Env, Host, MemoryDb, Message};
+//! use proxion_primitives::{Address, U256};
+//!
+//! // PUSH1 42, PUSH0, MSTORE, PUSH1 32, PUSH0, RETURN
+//! let code = vec![0x60, 42, 0x5f, 0x52, 0x60, 32, 0x5f, 0xf3];
+//! let addr = Address::from_low_u64(0xc0de);
+//!
+//! let mut db = MemoryDb::new();
+//! db.set_code(addr, code);
+//!
+//! let mut evm = Evm::new(&mut db, Env::default());
+//! let result = evm.call(Message::eoa_call(Address::from_low_u64(1), addr, vec![]));
+//! assert!(result.is_success());
+//! assert_eq!(U256::from_be_slice(&result.output), U256::from(42u64));
+//! ```
+
+mod gas;
+mod host;
+mod inspector;
+mod interp;
+mod memory;
+mod stack;
+mod types;
+
+pub use gas::{memory_expansion_cost, Gas};
+pub use host::{AccountInfo, Host, MemoryDb, Snapshot};
+pub use inspector::{
+    CallRecord, DelegateObservation, Inspector, NoopInspector, RecordingInspector, StorageAccess,
+};
+pub use interp::Evm;
+pub use memory::Memory;
+pub use stack::{Origin, Stack, StackError, TaggedWord};
+pub use types::{
+    BlockEnv, CallKind, CallResult, Env, HaltReason, Log, Message, TxEnv, CALL_STIPEND,
+    MAX_CALL_DEPTH, STACK_LIMIT,
+};

@@ -1,0 +1,147 @@
+//! The transient byte-addressed memory of a call frame.
+
+use proxion_primitives::U256;
+
+/// Call-frame memory: a zero-initialized, word-expanded byte array.
+///
+/// Expansion is tracked in 32-byte words so `MSIZE` and the quadratic
+/// expansion gas cost match the EVM specification.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory { bytes: Vec::new() }
+    }
+
+    /// Current size in bytes (always a multiple of 32).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if the memory has never been touched.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Expands to cover `offset + len` bytes, rounded up to a 32-byte word
+    /// boundary. A zero-length access does not expand.
+    pub fn expand(&mut self, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        let rounded = end.div_ceil(32) * 32;
+        if rounded > self.bytes.len() {
+            self.bytes.resize(rounded, 0);
+        }
+    }
+
+    /// Reads a 32-byte word at `offset` (`MLOAD`).
+    pub fn load_word(&mut self, offset: usize) -> U256 {
+        self.expand(offset, 32);
+        let mut buf = [0u8; 32];
+        buf.copy_from_slice(&self.bytes[offset..offset + 32]);
+        U256::from_be_bytes(buf)
+    }
+
+    /// Writes a 32-byte word at `offset` (`MSTORE`).
+    pub fn store_word(&mut self, offset: usize, value: U256) {
+        self.expand(offset, 32);
+        self.bytes[offset..offset + 32].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Writes a single byte at `offset` (`MSTORE8`).
+    pub fn store_byte(&mut self, offset: usize, value: u8) {
+        self.expand(offset, 1);
+        self.bytes[offset] = value;
+    }
+
+    /// Reads `len` bytes starting at `offset`, expanding as needed.
+    pub fn read(&mut self, offset: usize, len: usize) -> Vec<u8> {
+        if len == 0 {
+            return Vec::new();
+        }
+        self.expand(offset, len);
+        self.bytes[offset..offset + len].to_vec()
+    }
+
+    /// Copies `src` to `offset`, zero-filling up to `len` if `src` is
+    /// shorter and truncating if longer (the semantics of `CALLDATACOPY`,
+    /// `CODECOPY` and friends).
+    pub fn write_padded(&mut self, offset: usize, src: &[u8], len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.expand(offset, len);
+        let copy = src.len().min(len);
+        self.bytes[offset..offset + copy].copy_from_slice(&src[..copy]);
+        self.bytes[offset + copy..offset + len].fill(0);
+    }
+
+    /// A read-only view of the raw bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_round_trip() {
+        let mut m = Memory::new();
+        let v = U256::from(0xdead_beefu64);
+        m.store_word(64, v);
+        assert_eq!(m.load_word(64), v);
+        assert_eq!(m.len(), 96);
+    }
+
+    #[test]
+    fn expansion_rounds_to_words() {
+        let mut m = Memory::new();
+        m.store_byte(0, 1);
+        assert_eq!(m.len(), 32);
+        m.store_byte(32, 2);
+        assert_eq!(m.len(), 64);
+        m.expand(100, 0);
+        assert_eq!(m.len(), 64, "zero-length access must not expand");
+    }
+
+    #[test]
+    fn unwritten_memory_is_zero() {
+        let mut m = Memory::new();
+        assert_eq!(m.load_word(256), U256::ZERO);
+        assert!(m.len() >= 288);
+    }
+
+    #[test]
+    fn padded_write_zero_fills() {
+        let mut m = Memory::new();
+        m.write_padded(0, &[1, 2, 3], 5);
+        assert_eq!(m.read(0, 5), vec![1, 2, 3, 0, 0]);
+        // Truncation when src longer than len.
+        m.write_padded(0, &[9, 9, 9, 9], 2);
+        assert_eq!(m.read(0, 3), vec![9, 9, 3]);
+    }
+
+    #[test]
+    fn store_byte_overwrites_single_byte() {
+        let mut m = Memory::new();
+        m.store_word(0, U256::MAX);
+        m.store_byte(31, 0x00);
+        assert_eq!(m.load_word(0) & U256::from(0xffu64), U256::ZERO);
+    }
+
+    #[test]
+    fn unaligned_word_access() {
+        let mut m = Memory::new();
+        m.store_word(1, U256::ONE);
+        assert_eq!(m.load_word(1), U256::ONE);
+        assert_eq!(m.len(), 64);
+    }
+}

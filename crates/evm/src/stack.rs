@@ -1,0 +1,270 @@
+//! The EVM operand stack with provenance tags.
+
+use std::fmt;
+
+use proxion_primitives::U256;
+
+use crate::types::STACK_LIMIT;
+
+/// Where a stack word's value originated.
+///
+/// Provenance is what lets Proxion see, at the moment a `DELEGATECALL`
+/// executes, whether the callee address was hard-coded in the bytecode (a
+/// minimal proxy) or loaded from a storage slot (an upgradeable proxy) —
+/// and, in the latter case, *which* slot, so the proxy can be classified
+/// against the EIP-1967/EIP-1822 standard slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Result of arbitrary computation; nothing is known.
+    Computed,
+    /// A `PUSHn` immediate (a constant embedded in the code).
+    CodeConstant,
+    /// Loaded from call data.
+    Calldata,
+    /// Loaded from storage slot `.0` by `SLOAD`.
+    StorageSlot(U256),
+    /// Environment opcodes (`CALLER`, `ADDRESS`, `NUMBER`, ...).
+    Environment,
+    /// Loaded from memory by `MLOAD`.
+    MemoryLoad,
+}
+
+impl Origin {
+    /// Merges the provenance of a two-operand computation. Masking or
+    /// shifting a tagged value with a code constant preserves the tag —
+    /// this matches how compilers extract a 160-bit address out of a
+    /// storage word (`AND` with a mask, or `SHR`/`DIV` by a power of two).
+    pub fn combine(self, other: Origin) -> Origin {
+        match (self, other) {
+            (Origin::CodeConstant, Origin::CodeConstant) => Origin::CodeConstant,
+            (Origin::CodeConstant, x) | (x, Origin::CodeConstant) => x,
+            _ => Origin::Computed,
+        }
+    }
+}
+
+/// A stack word and its provenance tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaggedWord {
+    /// The 256-bit value.
+    pub value: U256,
+    /// Where the value came from.
+    pub origin: Origin,
+}
+
+impl TaggedWord {
+    /// A word produced by arbitrary computation.
+    pub fn computed(value: U256) -> Self {
+        TaggedWord {
+            value,
+            origin: Origin::Computed,
+        }
+    }
+
+    /// A word with an explicit origin.
+    pub fn with_origin(value: U256, origin: Origin) -> Self {
+        TaggedWord { value, origin }
+    }
+}
+
+impl From<U256> for TaggedWord {
+    fn from(value: U256) -> Self {
+        TaggedWord::computed(value)
+    }
+}
+
+/// The EVM operand stack (at most [`STACK_LIMIT`] words).
+#[derive(Debug, Clone, Default)]
+pub struct Stack {
+    words: Vec<TaggedWord>,
+}
+
+/// Error indicating a stack under- or overflow; the interpreter converts
+/// this into the corresponding [`crate::HaltReason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// Pop or peek on too few items.
+    Underflow,
+    /// Push beyond [`STACK_LIMIT`] items.
+    Overflow,
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::Underflow => write!(f, "stack underflow"),
+            StackError::Overflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+impl Stack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Stack {
+            words: Vec::with_capacity(64),
+        }
+    }
+
+    /// Number of words currently on the stack.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Pushes a tagged word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackError::Overflow`] past [`STACK_LIMIT`] entries.
+    pub fn push(&mut self, word: TaggedWord) -> Result<(), StackError> {
+        if self.words.len() >= STACK_LIMIT {
+            return Err(StackError::Overflow);
+        }
+        self.words.push(word);
+        Ok(())
+    }
+
+    /// Pushes a value with [`Origin::Computed`].
+    pub fn push_value(&mut self, value: U256) -> Result<(), StackError> {
+        self.push(TaggedWord::computed(value))
+    }
+
+    /// Pops the top word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackError::Underflow`] on an empty stack.
+    pub fn pop(&mut self) -> Result<TaggedWord, StackError> {
+        self.words.pop().ok_or(StackError::Underflow)
+    }
+
+    /// Pops the top word, discarding its tag.
+    pub fn pop_value(&mut self) -> Result<U256, StackError> {
+        self.pop().map(|w| w.value)
+    }
+
+    /// Peeks the word `depth` positions from the top (0 = top).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackError::Underflow`] if fewer than `depth + 1` words
+    /// are present.
+    pub fn peek(&self, depth: usize) -> Result<TaggedWord, StackError> {
+        if depth >= self.words.len() {
+            return Err(StackError::Underflow);
+        }
+        Ok(self.words[self.words.len() - 1 - depth])
+    }
+
+    /// `DUPn`: duplicates the word `n - 1` positions below the top.
+    ///
+    /// # Errors
+    ///
+    /// Underflow if too few words, overflow if at the limit.
+    pub fn dup(&mut self, n: usize) -> Result<(), StackError> {
+        let word = self.peek(n - 1)?;
+        self.push(word)
+    }
+
+    /// `SWAPn`: swaps the top with the word `n` positions below it.
+    ///
+    /// # Errors
+    ///
+    /// Underflow if fewer than `n + 1` words are present.
+    pub fn swap(&mut self, n: usize) -> Result<(), StackError> {
+        let len = self.words.len();
+        if n + 1 > len {
+            return Err(StackError::Underflow);
+        }
+        self.words.swap(len - 1, len - 1 - n);
+        Ok(())
+    }
+
+    /// A read-only view of the words, bottom first.
+    pub fn as_slice(&self) -> &[TaggedWord] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: u64) -> TaggedWord {
+        TaggedWord::computed(U256::from(v))
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut s = Stack::new();
+        s.push(w(1)).unwrap();
+        s.push(w(2)).unwrap();
+        assert_eq!(s.pop_value().unwrap(), U256::from(2u64));
+        assert_eq!(s.pop_value().unwrap(), U256::from(1u64));
+        assert_eq!(s.pop(), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn overflow_at_limit() {
+        let mut s = Stack::new();
+        for i in 0..STACK_LIMIT {
+            s.push(w(i as u64)).unwrap();
+        }
+        assert_eq!(s.push(w(0)), Err(StackError::Overflow));
+        assert_eq!(s.len(), STACK_LIMIT);
+    }
+
+    #[test]
+    fn dup_copies_tag() {
+        let mut s = Stack::new();
+        s.push(TaggedWord::with_origin(
+            U256::from(9u64),
+            Origin::StorageSlot(U256::ZERO),
+        ))
+        .unwrap();
+        s.dup(1).unwrap();
+        let top = s.pop().unwrap();
+        assert_eq!(top.origin, Origin::StorageSlot(U256::ZERO));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn swap_exchanges_depths() {
+        let mut s = Stack::new();
+        for i in 1..=4 {
+            s.push(w(i)).unwrap();
+        }
+        s.swap(3).unwrap(); // top (4) <-> bottom (1)
+        assert_eq!(s.peek(0).unwrap().value, U256::from(1u64));
+        assert_eq!(s.peek(3).unwrap().value, U256::from(4u64));
+        assert_eq!(s.swap(4), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn origin_combination_rules() {
+        let c = Origin::CodeConstant;
+        let st = Origin::StorageSlot(U256::ONE);
+        assert_eq!(c.combine(c), Origin::CodeConstant);
+        assert_eq!(c.combine(st), st);
+        assert_eq!(st.combine(c), st);
+        assert_eq!(st.combine(Origin::Calldata), Origin::Computed);
+        assert_eq!(Origin::Calldata.combine(c), Origin::Calldata);
+    }
+
+    #[test]
+    fn peek_depths() {
+        let mut s = Stack::new();
+        s.push(w(10)).unwrap();
+        s.push(w(20)).unwrap();
+        assert_eq!(s.peek(0).unwrap().value, U256::from(20u64));
+        assert_eq!(s.peek(1).unwrap().value, U256::from(10u64));
+        assert_eq!(s.peek(2), Err(StackError::Underflow));
+    }
+}

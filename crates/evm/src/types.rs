@@ -1,0 +1,340 @@
+//! Message, environment and result types for the interpreter.
+
+use std::fmt;
+
+use proxion_primitives::{Address, B256, U256};
+
+/// Maximum EVM stack height.
+pub const STACK_LIMIT: usize = 1024;
+
+/// Maximum message-call depth. The mainnet limit is 1024; we cap at 24
+/// because the interpreter recurses one native frame per EVM frame and
+/// adversarial contracts can delegate in a cycle (found by the fuzz
+/// suite). Real proxy chains are single-digit deep, so the analyses are
+/// unaffected; a deeper-chain contract halts with
+/// [`HaltReason::CallDepthExceeded`] and is reported as an emulation
+/// error, exactly like the paper's runtime-error bucket (§7.1).
+pub const MAX_CALL_DEPTH: usize = 24;
+
+/// Gas stipend added to value-bearing calls.
+pub const CALL_STIPEND: u64 = 2300;
+
+/// The kind of message call being executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// Ordinary `CALL`: callee's code in callee's context.
+    Call,
+    /// `DELEGATECALL`: callee's code with the caller's storage, address,
+    /// caller and value.
+    DelegateCall,
+    /// `CALLCODE`: callee's code with the caller's storage, but the caller
+    /// becomes `msg.sender`.
+    CallCode,
+    /// `STATICCALL`: like `CALL` but state modifications are forbidden.
+    StaticCall,
+    /// Contract creation via `CREATE`.
+    Create,
+    /// Contract creation via `CREATE2`.
+    Create2,
+}
+
+impl CallKind {
+    /// Returns `true` for the two creation kinds.
+    pub fn is_create(self) -> bool {
+        matches!(self, CallKind::Create | CallKind::Create2)
+    }
+}
+
+impl fmt::Display for CallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CallKind::Call => "CALL",
+            CallKind::DelegateCall => "DELEGATECALL",
+            CallKind::CallCode => "CALLCODE",
+            CallKind::StaticCall => "STATICCALL",
+            CallKind::Create => "CREATE",
+            CallKind::Create2 => "CREATE2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A message call to execute.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// The kind of call.
+    pub kind: CallKind,
+    /// `msg.sender` for the frame.
+    pub caller: Address,
+    /// The account whose storage is operated on (equals `code_address`
+    /// except for `DELEGATECALL`/`CALLCODE` frames).
+    pub target: Address,
+    /// The account whose code runs.
+    pub code_address: Address,
+    /// Call data (or init code for creations).
+    pub input: Vec<u8>,
+    /// `msg.value`.
+    pub value: U256,
+    /// Gas limit for the frame.
+    pub gas_limit: u64,
+    /// Whether state modifications are forbidden.
+    pub is_static: bool,
+    /// Salt for `CREATE2`.
+    pub salt: Option<U256>,
+}
+
+impl Message {
+    /// Default gas limit used for top-level calls in tests and analyses.
+    pub const DEFAULT_GAS: u64 = 30_000_000;
+
+    /// Builds a plain external (EOA-originated) call with the default gas
+    /// limit and zero value.
+    pub fn eoa_call(from: Address, to: Address, input: Vec<u8>) -> Self {
+        Message {
+            kind: CallKind::Call,
+            caller: from,
+            target: to,
+            code_address: to,
+            input,
+            value: U256::ZERO,
+            gas_limit: Self::DEFAULT_GAS,
+            is_static: false,
+            salt: None,
+        }
+    }
+
+    /// Builds a contract-creation message with the default gas limit.
+    pub fn create(from: Address, init_code: Vec<u8>, value: U256) -> Self {
+        Message {
+            kind: CallKind::Create,
+            caller: from,
+            target: Address::ZERO,
+            code_address: Address::ZERO,
+            input: init_code,
+            value,
+            gas_limit: Self::DEFAULT_GAS,
+            is_static: false,
+            salt: None,
+        }
+    }
+
+    /// Sets the transferred value.
+    pub fn with_value(mut self, value: U256) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Sets the gas limit.
+    pub fn with_gas(mut self, gas_limit: u64) -> Self {
+        self.gas_limit = gas_limit;
+        self
+    }
+}
+
+/// Why a frame stopped executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaltReason {
+    /// `RETURN` or `STOP` — successful completion.
+    Success,
+    /// `REVERT` — state rolled back, output carries revert data.
+    Revert,
+    /// Ran out of gas.
+    OutOfGas,
+    /// Stack underflow at the given pc.
+    StackUnderflow(usize),
+    /// Stack exceeded 1024 entries.
+    StackOverflow(usize),
+    /// Jump to a destination that is not a `JUMPDEST`.
+    InvalidJump(usize),
+    /// An undefined opcode (or explicit `INVALID`) was executed.
+    InvalidOpcode(u8),
+    /// A state-modifying opcode ran inside a static call.
+    StaticViolation(u8),
+    /// Call depth exceeded [`MAX_CALL_DEPTH`].
+    CallDepthExceeded,
+    /// `CREATE`/`CREATE2` collision with an existing account.
+    CreateCollision,
+    /// Initcode returned runtime code above the EIP-170 size limit.
+    CodeSizeLimit,
+    /// RETURNDATACOPY read past the end of the return buffer.
+    ReturnDataOutOfBounds,
+    /// The caller's balance cannot cover the transferred value.
+    InsufficientBalance,
+}
+
+impl HaltReason {
+    /// `true` only for [`HaltReason::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, HaltReason::Success)
+    }
+}
+
+impl fmt::Display for HaltReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaltReason::Success => write!(f, "success"),
+            HaltReason::Revert => write!(f, "revert"),
+            HaltReason::OutOfGas => write!(f, "out of gas"),
+            HaltReason::StackUnderflow(pc) => write!(f, "stack underflow at pc {pc}"),
+            HaltReason::StackOverflow(pc) => write!(f, "stack overflow at pc {pc}"),
+            HaltReason::InvalidJump(dest) => write!(f, "invalid jump destination {dest}"),
+            HaltReason::InvalidOpcode(op) => write!(f, "invalid opcode 0x{op:02x}"),
+            HaltReason::StaticViolation(op) => {
+                write!(f, "state modification (0x{op:02x}) in static call")
+            }
+            HaltReason::CallDepthExceeded => write!(f, "call depth exceeded"),
+            HaltReason::CreateCollision => write!(f, "create address collision"),
+            HaltReason::CodeSizeLimit => write!(f, "deployed code exceeds size limit"),
+            HaltReason::ReturnDataOutOfBounds => write!(f, "return data read out of bounds"),
+            HaltReason::InsufficientBalance => write!(f, "insufficient balance for transfer"),
+        }
+    }
+}
+
+/// An emitted `LOG0..LOG4` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log {
+    /// Emitting account.
+    pub address: Address,
+    /// Up to four indexed topics.
+    pub topics: Vec<B256>,
+    /// Unindexed payload.
+    pub data: Vec<u8>,
+}
+
+/// The outcome of a message call.
+#[derive(Debug, Clone)]
+pub struct CallResult {
+    /// Why execution stopped.
+    pub halt: HaltReason,
+    /// Return data (revert data when `halt` is [`HaltReason::Revert`]).
+    pub output: Vec<u8>,
+    /// Gas consumed by the frame.
+    pub gas_used: u64,
+    /// Logs emitted (only meaningful on success).
+    pub logs: Vec<Log>,
+    /// Address of the created contract, for creation messages.
+    pub created: Option<Address>,
+}
+
+impl CallResult {
+    /// Returns `true` if the call completed successfully.
+    pub fn is_success(&self) -> bool {
+        self.halt.is_success()
+    }
+
+    pub(crate) fn halted(halt: HaltReason, gas_used: u64) -> Self {
+        CallResult {
+            halt,
+            output: Vec::new(),
+            gas_used,
+            logs: Vec::new(),
+            created: None,
+        }
+    }
+}
+
+/// Block-level environment visible to contracts.
+#[derive(Debug, Clone)]
+pub struct BlockEnv {
+    /// `NUMBER`.
+    pub number: u64,
+    /// `TIMESTAMP`.
+    pub timestamp: u64,
+    /// `COINBASE`.
+    pub coinbase: Address,
+    /// `PREVRANDAO` (ex-`DIFFICULTY`).
+    pub prevrandao: U256,
+    /// `GASLIMIT`.
+    pub gas_limit: u64,
+    /// `BASEFEE`.
+    pub basefee: U256,
+    /// `CHAINID` — 1 (mainnet) by default, as Proxion assumes.
+    pub chain_id: u64,
+}
+
+impl Default for BlockEnv {
+    fn default() -> Self {
+        BlockEnv {
+            number: 18_473_542, // the paper's final analyzed block
+            timestamp: 1_698_796_799,
+            coinbase: Address::from_low_u64(0xc0ffee),
+            prevrandao: U256::from(0x1234_5678u64),
+            gas_limit: 30_000_000,
+            basefee: U256::from(10_000_000_000u64),
+            chain_id: 1,
+        }
+    }
+}
+
+/// Transaction-level environment visible to contracts.
+#[derive(Debug, Clone)]
+pub struct TxEnv {
+    /// `ORIGIN`.
+    pub origin: Address,
+    /// `GASPRICE`.
+    pub gas_price: U256,
+}
+
+impl Default for TxEnv {
+    fn default() -> Self {
+        TxEnv {
+            origin: Address::from_low_u64(0xe0a),
+            gas_price: U256::from(12_000_000_000u64),
+        }
+    }
+}
+
+/// Combined execution environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    /// Block-level values.
+    pub block: BlockEnv,
+    /// Transaction-level values.
+    pub tx: TxEnv,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_builders() {
+        let m = Message::eoa_call(Address::from_low_u64(1), Address::from_low_u64(2), vec![1]);
+        assert_eq!(m.kind, CallKind::Call);
+        assert_eq!(m.target, m.code_address);
+        assert_eq!(m.gas_limit, Message::DEFAULT_GAS);
+
+        let c = Message::create(Address::from_low_u64(1), vec![0x00], U256::ONE)
+            .with_gas(5)
+            .with_value(U256::from(2u64));
+        assert_eq!(c.kind, CallKind::Create);
+        assert_eq!(c.gas_limit, 5);
+        assert_eq!(c.value, U256::from(2u64));
+        assert!(c.kind.is_create());
+    }
+
+    #[test]
+    fn halt_reason_display_and_success() {
+        assert!(HaltReason::Success.is_success());
+        assert!(!HaltReason::Revert.is_success());
+        assert_eq!(HaltReason::OutOfGas.to_string(), "out of gas");
+        assert_eq!(
+            HaltReason::InvalidOpcode(0xef).to_string(),
+            "invalid opcode 0xef"
+        );
+    }
+
+    #[test]
+    fn default_env_is_mainnet_shaped() {
+        let env = Env::default();
+        assert_eq!(env.block.chain_id, 1);
+        assert!(env.block.number > 0);
+    }
+
+    #[test]
+    fn call_kind_display() {
+        assert_eq!(CallKind::DelegateCall.to_string(), "DELEGATECALL");
+        assert_eq!(CallKind::Create2.to_string(), "CREATE2");
+    }
+}

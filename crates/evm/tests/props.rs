@@ -1,0 +1,195 @@
+//! Property-based tests: the interpreter's arithmetic opcodes must agree
+//! with the U256 reference semantics, and state handling must respect
+//! revert/commit invariants.
+
+use proptest::prelude::*;
+use proxion_asm::{opcode as op, Assembler};
+use proxion_evm::{Env, Evm, Host, MemoryDb, Message};
+use proxion_primitives::{Address, U256};
+
+fn u256() -> impl Strategy<Value = U256> {
+    prop_oneof![
+        any::<u64>().prop_map(U256::from),
+        any::<[u8; 32]>().prop_map(U256::from_be_bytes),
+        Just(U256::ZERO),
+        Just(U256::MAX),
+    ]
+}
+
+/// Runs `<push b> <push a> <op> RETURN` and returns the 32-byte result.
+fn run_binary_op(opcode: u8, a: U256, b: U256) -> U256 {
+    let mut asm = Assembler::new();
+    asm.push(b)
+        .push(a)
+        .op(opcode)
+        .op(op::PUSH0)
+        .op(op::MSTORE)
+        .push(U256::from(32u64))
+        .op(op::PUSH0)
+        .op(op::RETURN);
+    let code = asm.assemble().unwrap();
+    let target = Address::from_low_u64(7);
+    let mut db = MemoryDb::new();
+    db.set_code(target, code);
+    let mut evm = Evm::new(&mut db, Env::default());
+    let result = evm.call(Message::eoa_call(Address::from_low_u64(1), target, vec![]));
+    assert!(
+        result.is_success(),
+        "op 0x{opcode:02x} failed: {}",
+        result.halt
+    );
+    U256::from_be_slice(&result.output)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_matches_reference(a in u256(), b in u256()) {
+        prop_assert_eq!(run_binary_op(op::ADD, a, b), a.wrapping_add(b));
+    }
+
+    #[test]
+    fn mul_matches_reference(a in u256(), b in u256()) {
+        prop_assert_eq!(run_binary_op(op::MUL, a, b), a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn sub_matches_reference(a in u256(), b in u256()) {
+        prop_assert_eq!(run_binary_op(op::SUB, a, b), a.wrapping_sub(b));
+    }
+
+    #[test]
+    fn div_mod_match_reference(a in u256(), b in u256()) {
+        prop_assert_eq!(run_binary_op(op::DIV, a, b), a / b);
+        prop_assert_eq!(run_binary_op(op::MOD, a, b), a % b);
+    }
+
+    #[test]
+    fn sdiv_smod_match_reference(a in u256(), b in u256()) {
+        prop_assert_eq!(run_binary_op(op::SDIV, a, b), a.sdiv(b));
+        prop_assert_eq!(run_binary_op(op::SMOD, a, b), a.smod(b));
+    }
+
+    #[test]
+    fn comparisons_match_reference(a in u256(), b in u256()) {
+        prop_assert_eq!(run_binary_op(op::LT, a, b), U256::from(a < b));
+        prop_assert_eq!(run_binary_op(op::GT, a, b), U256::from(a > b));
+        prop_assert_eq!(run_binary_op(op::SLT, a, b), U256::from(a.slt(b)));
+        prop_assert_eq!(run_binary_op(op::SGT, a, b), U256::from(a.sgt(b)));
+        prop_assert_eq!(run_binary_op(op::EQ, a, b), U256::from(a == b));
+    }
+
+    #[test]
+    fn bitwise_match_reference(a in u256(), b in u256()) {
+        prop_assert_eq!(run_binary_op(op::AND, a, b), a & b);
+        prop_assert_eq!(run_binary_op(op::OR, a, b), a | b);
+        prop_assert_eq!(run_binary_op(op::XOR, a, b), a ^ b);
+    }
+
+    #[test]
+    fn shifts_match_reference(a in u256(), s in 0u64..300) {
+        // EVM shift operand order: shift on top.
+        let shift = U256::from(s);
+        prop_assert_eq!(run_binary_op(op::SHL, shift, a), a << shift);
+        prop_assert_eq!(run_binary_op(op::SHR, shift, a), a >> shift);
+        prop_assert_eq!(run_binary_op(op::SAR, shift, a), a.sar(shift));
+    }
+
+    #[test]
+    fn exp_matches_reference(a in u256(), e in 0u64..64) {
+        prop_assert_eq!(
+            run_binary_op(op::EXP, a, U256::from(e)),
+            a.wrapping_pow(U256::from(e))
+        );
+    }
+
+    #[test]
+    fn signextend_matches_reference(a in u256(), b in 0u64..40) {
+        prop_assert_eq!(
+            run_binary_op(op::SIGNEXTEND, U256::from(b), a),
+            a.signextend(U256::from(b))
+        );
+    }
+
+    #[test]
+    fn byte_matches_reference(a in u256(), i in 0u64..40) {
+        prop_assert_eq!(
+            run_binary_op(op::BYTE, U256::from(i), a),
+            U256::from(a.byte_be(i as usize) as u64)
+        );
+    }
+
+    #[test]
+    fn memory_store_load_roundtrip(value in u256(), offset in 0u64..512) {
+        // MSTORE at offset then MLOAD must return the value.
+        let mut asm = Assembler::new();
+        asm.push(value)
+            .push(U256::from(offset))
+            .op(op::MSTORE)
+            .push(U256::from(offset))
+            .op(op::MLOAD)
+            .op(op::PUSH0)
+            .op(op::MSTORE)
+            .push(U256::from(32u64))
+            .op(op::PUSH0)
+            .op(op::RETURN);
+        let target = Address::from_low_u64(7);
+        let mut db = MemoryDb::new();
+        db.set_code(target, asm.assemble().unwrap());
+        let mut evm = Evm::new(&mut db, Env::default());
+        let r = evm.call(Message::eoa_call(Address::from_low_u64(1), target, vec![]));
+        prop_assert!(r.is_success());
+        prop_assert_eq!(U256::from_be_slice(&r.output), value);
+    }
+
+    #[test]
+    fn storage_write_then_revert_never_persists(slot in u256(), value in u256()) {
+        // SSTORE then REVERT: storage must be untouched afterwards.
+        let mut asm = Assembler::new();
+        asm.push(value)
+            .push(slot)
+            .op(op::SSTORE)
+            .op(op::PUSH0)
+            .op(op::PUSH0)
+            .op(op::REVERT);
+        let target = Address::from_low_u64(7);
+        let mut db = MemoryDb::new();
+        db.set_code(target, asm.assemble().unwrap());
+        let r = Evm::new(&mut db, Env::default())
+            .call(Message::eoa_call(Address::from_low_u64(1), target, vec![]));
+        prop_assert!(!r.is_success());
+        prop_assert_eq!(db.storage(target, slot), U256::ZERO);
+    }
+
+    #[test]
+    fn calldata_is_forwarded_verbatim_by_minimal_proxy(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // An echo logic: CALLDATACOPY everything to memory and RETURN it.
+        let mut echo = Assembler::new();
+        echo.op(op::CALLDATASIZE)
+            .op(op::PUSH0)
+            .op(op::PUSH0)
+            .op(op::CALLDATACOPY)
+            .op(op::CALLDATASIZE)
+            .op(op::PUSH0)
+            .op(op::RETURN);
+        let logic = Address::from_low_u64(0x10);
+        let proxy_code = {
+            let mut code = vec![0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73];
+            code.extend_from_slice(logic.as_bytes());
+            code.extend_from_slice(&[
+                0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57,
+                0xfd, 0x5b, 0xf3,
+            ]);
+            code
+        };
+        let proxy = Address::from_low_u64(0x11);
+        let mut db = MemoryDb::new();
+        db.set_code(logic, echo.assemble().unwrap());
+        db.set_code(proxy, proxy_code);
+        let r = Evm::new(&mut db, Env::default())
+            .call(Message::eoa_call(Address::from_low_u64(1), proxy, data.clone()));
+        prop_assert!(r.is_success());
+        prop_assert_eq!(r.output, data);
+    }
+}

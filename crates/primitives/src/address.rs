@@ -1,0 +1,195 @@
+//! 20-byte Ethereum account addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hex::{decode_hex, encode_hex, ParseHexError};
+use crate::keccak::keccak256;
+use crate::U256;
+
+/// A 20-byte Ethereum address.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::Address;
+///
+/// let usdt: Address = "0xdAC17F958D2ee523a2206206994597C13D831ec7".parse()?;
+/// assert_eq!(usdt.as_bytes()[0], 0xda);
+/// # Ok::<(), proxion_primitives::ParseHexError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address.
+    pub const ZERO: Address = Address([0; 20]);
+
+    /// Returns the raw bytes.
+    #[inline]
+    pub const fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Returns `true` if this is the zero address.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 20]
+    }
+
+    /// Builds an address whose low 8 bytes are `v` (test helper; mirrors
+    /// `Address::from_low_u64_be` in common Ethereum libraries).
+    pub fn from_low_u64(v: u64) -> Self {
+        let mut out = [0u8; 20];
+        out[12..].copy_from_slice(&v.to_be_bytes());
+        Address(out)
+    }
+
+    /// Truncates a 256-bit word to its low 20 bytes, as the EVM does when an
+    /// address is popped from the stack.
+    pub fn from_word(word: U256) -> Self {
+        let bytes = word.to_be_bytes();
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&bytes[12..]);
+        Address(out)
+    }
+
+    /// The address a `CREATE` at `nonce` from `self` deploys to, exactly
+    /// per the yellow paper: `keccak256(rlp([sender, nonce]))[12..]`.
+    pub fn create_address(&self, nonce: u64) -> Address {
+        let encoded = crate::rlp_encode_list(&[
+            crate::rlp_encode_bytes(&self.0),
+            crate::rlp_encode_u64(nonce),
+        ]);
+        Address::from_word(keccak256(encoded).to_u256())
+    }
+
+    /// The address a `CREATE2` deploys to:
+    /// `keccak256(0xff ‖ deployer ‖ salt ‖ keccak256(init_code))[12..]`,
+    /// exactly per EIP-1014.
+    pub fn create2_address(&self, salt: U256, init_code_hash: crate::B256) -> Address {
+        let mut buf = [0u8; 85];
+        buf[0] = 0xff;
+        buf[1..21].copy_from_slice(&self.0);
+        buf[21..53].copy_from_slice(&salt.to_be_bytes());
+        buf[53..85].copy_from_slice(init_code_hash.as_bytes());
+        Address::from_word(keccak256(buf).to_u256())
+    }
+}
+
+impl From<[u8; 20]> for Address {
+    fn from(bytes: [u8; 20]) -> Self {
+        Address(bytes)
+    }
+}
+
+impl From<Address> for U256 {
+    fn from(a: Address) -> Self {
+        U256::from_be_slice(&a.0)
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl FromStr for Address {
+    type Err = ParseHexError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = decode_hex(s)?;
+        if bytes.len() != 20 {
+            return Err(ParseHexError::BadLength {
+                expected: 40,
+                found: bytes.len() * 2,
+            });
+        }
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&bytes);
+        Ok(Address(out))
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address(0x{})", encode_hex(&self.0))
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", encode_hex(&self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let s = "0xdac17f958d2ee523a2206206994597c13d831ec7";
+        let a: Address = s.parse().unwrap();
+        assert_eq!(a.to_string(), s);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_length() {
+        assert!("0x1234".parse::<Address>().is_err());
+        assert!("0xzz".repeat(20).parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn word_round_trip_truncates_high_bytes() {
+        let w = U256::MAX;
+        let a = Address::from_word(w);
+        assert_eq!(a.0, [0xff; 20]);
+        assert_eq!(U256::from(a), U256::MAX >> 96u32);
+    }
+
+    #[test]
+    fn create_address_matches_mainnet_vector() {
+        // The canonical worked example: sender
+        // 0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0 at nonce 0 deploys to
+        // 0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d.
+        let sender: Address = "0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            sender.create_address(0).to_string(),
+            "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d"
+        );
+        // Nonce 1 differs (and uses the single-byte integer encoding).
+        assert_ne!(sender.create_address(1), sender.create_address(0));
+    }
+
+    #[test]
+    fn create_addresses_are_deterministic_and_distinct() {
+        let d = Address::from_low_u64(7);
+        let a1 = d.create_address(0);
+        let a2 = d.create_address(1);
+        assert_ne!(a1, a2);
+        assert_eq!(a1, d.create_address(0));
+        assert!(!a1.is_zero());
+    }
+
+    #[test]
+    fn create2_follows_eip1014_shape() {
+        let d = Address::from_low_u64(1);
+        let h = keccak256(b"init code");
+        let a1 = d.create2_address(U256::from(1u64), h);
+        let a2 = d.create2_address(U256::from(2u64), h);
+        assert_ne!(a1, a2);
+        assert_eq!(a1, d.create2_address(U256::from(1u64), h));
+    }
+
+    #[test]
+    fn zero_address() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::from_low_u64(1).is_zero());
+        assert_eq!(Address::default(), Address::ZERO);
+    }
+}

@@ -1,0 +1,150 @@
+//! Hexadecimal encoding and decoding helpers.
+
+use std::fmt;
+
+/// Error returned when decoding a hex string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseHexError {
+    /// A character outside `[0-9a-fA-F]` was found.
+    InvalidChar {
+        /// The offending character.
+        char: char,
+        /// Byte index of the character within the (de-prefixed) input.
+        index: usize,
+    },
+    /// The input had an odd number of hex digits.
+    OddLength,
+    /// The decoded payload had an unexpected length.
+    BadLength {
+        /// Number of hex digits expected.
+        expected: usize,
+        /// Number of hex digits found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHexError::InvalidChar { char, index } => {
+                write!(f, "invalid hex character {char:?} at index {index}")
+            }
+            ParseHexError::OddLength => write!(f, "hex string has an odd number of digits"),
+            ParseHexError::BadLength { expected, found } => {
+                write!(f, "expected {expected} hex digits, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseHexError {}
+
+/// Encodes bytes as a lowercase hex string without a prefix.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::encode_hex;
+///
+/// assert_eq!(encode_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode_hex(bytes: impl AsRef<[u8]>) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let bytes = bytes.as_ref();
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Encodes bytes as a lowercase hex string with a `0x` prefix.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::encode_hex_prefixed;
+///
+/// assert_eq!(encode_hex_prefixed(&[0xbe, 0xef]), "0xbeef");
+/// ```
+pub fn encode_hex_prefixed(bytes: impl AsRef<[u8]>) -> String {
+    format!("0x{}", encode_hex(bytes))
+}
+
+/// Decodes a hex string (optionally `0x`-prefixed, case-insensitive) into
+/// bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseHexError`] if the string contains non-hex characters or an
+/// odd number of digits.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::decode_hex;
+///
+/// assert_eq!(decode_hex("0xBEef")?, vec![0xbe, 0xef]);
+/// # Ok::<(), proxion_primitives::ParseHexError>(())
+/// ```
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, ParseHexError> {
+    let s = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
+    if s.len() % 2 != 0 {
+        return Err(ParseHexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let digits: Vec<char> = s.chars().collect();
+    for (i, pair) in digits.chunks(2).enumerate() {
+        let hi = pair[0].to_digit(16).ok_or(ParseHexError::InvalidChar {
+            char: pair[0],
+            index: 2 * i,
+        })?;
+        let lo = pair[1].to_digit(16).ok_or(ParseHexError::InvalidChar {
+            char: pair[1],
+            index: 2 * i + 1,
+        })?;
+        out.push((hi as u8) << 4 | lo as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode_hex(&encode_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn prefix_and_case_insensitive() {
+        assert_eq!(decode_hex("0xABCD").unwrap(), vec![0xab, 0xcd]);
+        assert_eq!(decode_hex("abcd").unwrap(), vec![0xab, 0xcd]);
+        assert_eq!(decode_hex("0X01").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode_hex("abc"), Err(ParseHexError::OddLength));
+        assert!(matches!(
+            decode_hex("zz"),
+            Err(ParseHexError::InvalidChar {
+                char: 'z',
+                index: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+        assert_eq!(encode_hex([]), "");
+        assert_eq!(encode_hex_prefixed([]), "0x");
+    }
+}

@@ -1,0 +1,347 @@
+//! Keccak-256 as used by Ethereum (the original Keccak padding, **not**
+//! NIST SHA-3), implemented from scratch and validated against published
+//! test vectors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hex::encode_hex;
+use crate::U256;
+
+/// A 32-byte hash digest.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::{keccak256, B256};
+///
+/// let h: B256 = keccak256(b"");
+/// assert_eq!(
+///     h.to_string(),
+///     "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+/// );
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct B256(pub [u8; 32]);
+
+impl B256 {
+    /// The all-zero digest.
+    pub const ZERO: B256 = B256([0; 32]);
+
+    /// Returns the digest bytes.
+    #[inline]
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Interprets the digest as a big-endian 256-bit integer.
+    pub fn to_u256(self) -> U256 {
+        U256::from_be_bytes(self.0)
+    }
+}
+
+impl From<[u8; 32]> for B256 {
+    fn from(bytes: [u8; 32]) -> Self {
+        B256(bytes)
+    }
+}
+
+impl From<U256> for B256 {
+    fn from(v: U256) -> Self {
+        B256(v.to_be_bytes())
+    }
+}
+
+impl AsRef<[u8]> for B256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for B256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B256(0x{})", encode_hex(&self.0))
+    }
+}
+
+impl fmt::Display for B256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", encode_hex(&self.0))
+    }
+}
+
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x][y]` per the Keccak reference.
+const RHO: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+fn keccak_f1600(state: &mut [[u64; 5]; 5]) {
+    for &rc in &RC {
+        // θ step.
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x][y] ^= d;
+            }
+        }
+        // ρ and π steps.
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(RHO[x][y]);
+            }
+        }
+        // χ step.
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ (!b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι step.
+        state[0][0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::{keccak256, Keccak256};
+///
+/// let mut hasher = Keccak256::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// assert_eq!(hasher.finalize(), keccak256(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buffer: [u8; Self::RATE],
+    buffered: usize,
+}
+
+impl Keccak256 {
+    /// The sponge rate for a 256-bit capacity: 136 bytes.
+    const RATE: usize = 136;
+
+    /// Creates an empty hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [[0; 5]; 5],
+            buffer: [0; Self::RATE],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs more input bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let take = (Self::RATE - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == Self::RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..Self::RATE / 8 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&self.buffer[8 * i..8 * i + 8]);
+            let lane = u64::from_le_bytes(chunk);
+            self.state[i % 5][i / 5] ^= lane;
+        }
+        keccak_f1600(&mut self.state);
+        self.buffered = 0;
+    }
+
+    /// Consumes the hasher and returns the 32-byte digest.
+    pub fn finalize(mut self) -> B256 {
+        // Original Keccak multi-rate padding: 0x01 ... 0x80.
+        self.buffer[self.buffered..].fill(0);
+        self.buffer[self.buffered] = 0x01;
+        self.buffer[Self::RATE - 1] |= 0x80;
+        self.buffered = Self::RATE;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let lane = self.state[i % 5][i / 5];
+            out[8 * i..8 * i + 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        B256(out)
+    }
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Computes the Keccak-256 digest of `data` in one call.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::keccak256;
+///
+/// let digest = keccak256(b"abc");
+/// assert_eq!(
+///     digest.to_string(),
+///     "0x4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+/// );
+/// ```
+pub fn keccak256(data: impl AsRef<[u8]>) -> B256 {
+    let mut hasher = Keccak256::new();
+    hasher.update(data.as_ref());
+    hasher.finalize()
+}
+
+/// Computes the 4-byte function selector for a canonical Solidity function
+/// prototype, i.e. the first four bytes of `keccak256(prototype)`.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::selector;
+///
+/// assert_eq!(selector("transfer(address,uint256)"), [0xa9, 0x05, 0x9c, 0xbb]);
+/// ```
+pub fn selector(prototype: &str) -> [u8; 4] {
+    let digest = keccak256(prototype.as_bytes());
+    [digest.0[0], digest.0[1], digest.0[2], digest.0[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::encode_hex;
+
+    fn hex_of(data: &[u8]) -> String {
+        encode_hex(keccak256(data).as_bytes())
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        assert_eq!(
+            hex_of(b""),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex_of(b"abc"),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn long_input_crossing_rate_boundary() {
+        // 200 'a' bytes spans more than one 136-byte block.
+        let data = vec![b'a'; 200];
+        // Cross-checked against an independent reference implementation.
+        assert_eq!(
+            hex_of(&data),
+            "96ea54061def936c4be90b518992fdc6f12f535068a256229aca54267b4d084d"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let oneshot = keccak256(&data);
+        for chunk_size in [1usize, 7, 64, 135, 136, 137, 999] {
+            let mut h = Keccak256::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn known_ethereum_selectors() {
+        assert_eq!(
+            selector("transfer(address,uint256)"),
+            [0xa9, 0x05, 0x9c, 0xbb]
+        );
+        assert_eq!(selector("balanceOf(address)"), [0x70, 0xa0, 0x82, 0x31]);
+        assert_eq!(
+            selector("approve(address,uint256)"),
+            [0x09, 0x5e, 0xa7, 0xb3]
+        );
+        assert_eq!(selector("implementation()"), [0x5c, 0x60, 0xda, 0x1b]);
+    }
+
+    #[test]
+    fn eip1967_implementation_slot() {
+        // EIP-1967: keccak256("eip1967.proxy.implementation") - 1.
+        let slot = keccak256(b"eip1967.proxy.implementation").to_u256() - U256::ONE;
+        assert_eq!(
+            format!("{slot:x}"),
+            "360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc"
+        );
+    }
+
+    #[test]
+    fn eip1822_proxiable_slot() {
+        // EIP-1822: keccak256("PROXIABLE").
+        let slot = keccak256(b"PROXIABLE").to_u256();
+        assert_eq!(
+            format!("{slot:x}"),
+            "c5f16f0fcc639fa48a6947836d9850f504798523bf8c9a3a87d5876cf622bcf7"
+        );
+    }
+
+    #[test]
+    fn b256_display_and_conversions() {
+        let h = keccak256(b"x");
+        assert!(h.to_string().starts_with("0x"));
+        assert_eq!(B256::from(h.to_u256()), h);
+        assert_eq!(B256::ZERO.as_bytes(), &[0u8; 32]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Core Ethereum primitives for the Proxion proxy-contract analyzer.
+//!
+//! This crate is self-contained: the 256-bit word type ([`U256`]), the
+//! [`Keccak-256`](keccak256) hash, hex codecs and the deterministic RNG are
+//! all implemented from scratch so that the rest of the workspace has no
+//! dependency on external big-integer or hashing crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_primitives::{keccak256, selector, Address, U256};
+//!
+//! // The 4-byte function selector of the ERC-20 transfer function.
+//! assert_eq!(selector("transfer(address,uint256)"), [0xa9, 0x05, 0x9c, 0xbb]);
+//!
+//! let a = U256::from(7u64);
+//! let b = U256::from(6u64);
+//! assert_eq!(a * b, U256::from(42u64));
+//!
+//! let addr = Address::from_low_u64(0xbeef);
+//! assert_eq!(U256::from(addr).low_u64(), 0xbeef);
+//! ```
+
+mod address;
+mod hex;
+mod keccak;
+mod rlp;
+mod rng;
+mod u256;
+
+pub use address::Address;
+pub use hex::{decode_hex, encode_hex, encode_hex_prefixed, ParseHexError};
+pub use keccak::{keccak256, selector, Keccak256, B256};
+pub use rlp::{rlp_encode_bytes, rlp_encode_list, rlp_encode_u64};
+pub use rng::DetRng;
+pub use u256::{ParseU256Error, Sign, U256};

@@ -1,0 +1,144 @@
+//! Minimal RLP (Recursive Length Prefix) encoding — enough for the
+//! `CREATE` address derivation, which is the only place Ethereum's account
+//! model needs it: `address = keccak256(rlp([sender, nonce]))[12..]`.
+
+/// RLP-encodes a byte string.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::rlp_encode_bytes;
+///
+/// assert_eq!(rlp_encode_bytes(b"dog"), vec![0x83, b'd', b'o', b'g']);
+/// assert_eq!(rlp_encode_bytes(&[]), vec![0x80]);
+/// assert_eq!(rlp_encode_bytes(&[0x7f]), vec![0x7f]);
+/// ```
+pub fn rlp_encode_bytes(data: &[u8]) -> Vec<u8> {
+    match data {
+        // A single byte below 0x80 is its own encoding.
+        [b] if *b < 0x80 => vec![*b],
+        _ if data.len() <= 55 => {
+            let mut out = Vec::with_capacity(1 + data.len());
+            out.push(0x80 + data.len() as u8);
+            out.extend_from_slice(data);
+            out
+        }
+        _ => {
+            let len_bytes = minimal_be(data.len() as u64);
+            let mut out = Vec::with_capacity(1 + len_bytes.len() + data.len());
+            out.push(0xb7 + len_bytes.len() as u8);
+            out.extend_from_slice(&len_bytes);
+            out.extend_from_slice(data);
+            out
+        }
+    }
+}
+
+/// RLP-encodes an unsigned integer (minimal big-endian, zero is the empty
+/// string).
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::rlp_encode_u64;
+///
+/// assert_eq!(rlp_encode_u64(0), vec![0x80]);
+/// assert_eq!(rlp_encode_u64(15), vec![0x0f]);
+/// assert_eq!(rlp_encode_u64(1024), vec![0x82, 0x04, 0x00]);
+/// ```
+pub fn rlp_encode_u64(value: u64) -> Vec<u8> {
+    rlp_encode_bytes(&minimal_be(value))
+}
+
+/// RLP-encodes a list from already-encoded items.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::{rlp_encode_bytes, rlp_encode_list};
+///
+/// // [ "cat", "dog" ]
+/// let encoded = rlp_encode_list(&[rlp_encode_bytes(b"cat"), rlp_encode_bytes(b"dog")]);
+/// assert_eq!(encoded[0], 0xc8);
+/// ```
+pub fn rlp_encode_list(items: &[Vec<u8>]) -> Vec<u8> {
+    let payload_len: usize = items.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(1 + 8 + payload_len);
+    if payload_len <= 55 {
+        out.push(0xc0 + payload_len as u8);
+    } else {
+        let len_bytes = minimal_be(payload_len as u64);
+        out.push(0xf7 + len_bytes.len() as u8);
+        out.extend_from_slice(&len_bytes);
+    }
+    for item in items {
+        out.extend_from_slice(item);
+    }
+    out
+}
+
+/// Minimal big-endian representation (empty for zero).
+fn minimal_be(value: u64) -> Vec<u8> {
+    if value == 0 {
+        return Vec::new();
+    }
+    let bytes = value.to_be_bytes();
+    let first = bytes.iter().position(|&b| b != 0).unwrap_or(8);
+    bytes[first..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_vectors() {
+        // From the Ethereum wiki RLP test vectors.
+        assert_eq!(rlp_encode_bytes(b"dog"), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(rlp_encode_bytes(&[]), vec![0x80]);
+        assert_eq!(rlp_encode_bytes(&[0x00]), vec![0x00]);
+        assert_eq!(rlp_encode_bytes(&[0x0f]), vec![0x0f]);
+        assert_eq!(rlp_encode_bytes(&[0x04, 0x00]), vec![0x82, 0x04, 0x00]);
+        let lorem = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+        let encoded = rlp_encode_bytes(lorem);
+        assert_eq!(encoded[0], 0xb8);
+        assert_eq!(encoded[1], lorem.len() as u8);
+        assert_eq!(&encoded[2..], lorem);
+    }
+
+    #[test]
+    fn integer_vectors() {
+        assert_eq!(rlp_encode_u64(0), vec![0x80]);
+        assert_eq!(rlp_encode_u64(1), vec![0x01]);
+        assert_eq!(rlp_encode_u64(16), vec![0x10]);
+        assert_eq!(rlp_encode_u64(79), vec![0x4f]);
+        assert_eq!(rlp_encode_u64(127), vec![0x7f]);
+        assert_eq!(rlp_encode_u64(128), vec![0x81, 0x80]);
+        assert_eq!(rlp_encode_u64(1000), vec![0x82, 0x03, 0xe8]);
+        assert_eq!(
+            rlp_encode_u64(0xffff_ffff),
+            vec![0x84, 0xff, 0xff, 0xff, 0xff]
+        );
+    }
+
+    #[test]
+    fn list_vectors() {
+        // [] -> 0xc0
+        assert_eq!(rlp_encode_list(&[]), vec![0xc0]);
+        // ["cat","dog"] -> 0xc8 0x83 'c' 'a' 't' 0x83 'd' 'o' 'g'
+        let encoded = rlp_encode_list(&[rlp_encode_bytes(b"cat"), rlp_encode_bytes(b"dog")]);
+        assert_eq!(
+            encoded,
+            vec![0xc8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']
+        );
+    }
+
+    #[test]
+    fn long_list_header() {
+        let items: Vec<Vec<u8>> = (0..20).map(|_| rlp_encode_bytes(b"abc")).collect();
+        let encoded = rlp_encode_list(&items);
+        // 20 * 4 = 80 bytes payload > 55 → long form.
+        assert_eq!(encoded[0], 0xf8);
+        assert_eq!(encoded[1], 80);
+    }
+}

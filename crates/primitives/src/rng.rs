@@ -1,0 +1,261 @@
+//! A small deterministic random number generator (xoshiro256** seeded via
+//! SplitMix64).
+//!
+//! The dataset generator and the proxy detector's call-data crafting both
+//! need reproducible randomness; pinning the algorithm here guarantees that
+//! every experiment in the repository is bit-for-bit reproducible regardless
+//! of external crate versions.
+
+use crate::{Address, U256};
+
+/// Deterministic RNG (xoshiro256**).
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Two generators with the same seed
+    /// produce identical streams.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        DetRng { state }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform value in `[0, bound)` using Lemire's method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to remove modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Returns a uniform value in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fills a byte buffer with random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Returns a random 4-byte value (e.g. a candidate function selector).
+    pub fn next_selector(&mut self) -> [u8; 4] {
+        let mut out = [0u8; 4];
+        self.fill_bytes(&mut out);
+        out
+    }
+
+    /// Returns a random 256-bit word.
+    pub fn next_u256(&mut self) -> U256 {
+        let mut bytes = [0u8; 32];
+        self.fill_bytes(&mut bytes);
+        U256::from_be_bytes(bytes)
+    }
+
+    /// Returns a random non-zero address.
+    pub fn next_address(&mut self) -> Address {
+        loop {
+            let mut bytes = [0u8; 20];
+            self.fill_bytes(&mut bytes);
+            let a = Address(bytes);
+            if !a.is_zero() {
+                return a;
+            }
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples an index from a discrete distribution given by `weights`.
+    /// Zero-weight entries are never selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or the slice is empty.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(8);
+        assert_ne!(DetRng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut rng = DetRng::new(1);
+        for _ in 0..1000 {
+            let v = rng.next_range(10, 20);
+            assert!((10..=20).contains(&v));
+            assert!(rng.next_below(3) < 3);
+        }
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let mut rng = DetRng::new(2);
+        assert!(!rng.next_bool(0.0));
+        assert!(rng.next_bool(1.0));
+        // p outside [0,1] is clamped rather than panicking.
+        assert!(rng.next_bool(2.0));
+        assert!(!rng.next_bool(-1.0));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = DetRng::new(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.next_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should not be identity");
+    }
+
+    #[test]
+    fn weighted_choice_respects_zero_weights() {
+        let mut rng = DetRng::new(6);
+        for _ in 0..1000 {
+            let i = rng.choose_weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn addresses_and_words_nonzero_and_distinct() {
+        let mut rng = DetRng::new(9);
+        let a = rng.next_address();
+        let b = rng.next_address();
+        assert_ne!(a, b);
+        assert_ne!(rng.next_u256(), rng.next_u256());
+    }
+}

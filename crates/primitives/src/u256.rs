@@ -1,0 +1,1073 @@
+//! A 256-bit unsigned integer with the exact wrapping semantics of EVM words.
+//!
+//! The representation is four little-endian `u64` limbs. All arithmetic
+//! operators wrap modulo 2^256, matching `ADD`/`MUL`/`SUB` on the EVM; the
+//! division and modulo operators return zero for a zero divisor, matching
+//! `DIV`/`MOD`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{
+    Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, MulAssign, Neg, Not, Rem, Shl, Shr, Sub,
+    SubAssign,
+};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Sign of a 256-bit word under two's-complement interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// The most significant bit is clear.
+    NonNegative,
+    /// The most significant bit is set.
+    Negative,
+}
+
+/// Error returned when parsing a [`U256`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseU256Error {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+    Overflow,
+}
+
+impl fmt::Display for ParseU256Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in string"),
+            ParseErrorKind::Overflow => write!(f, "number too large to fit in 256 bits"),
+        }
+    }
+}
+
+impl std::error::Error for ParseU256Error {}
+
+/// A 256-bit unsigned integer — the native word of the EVM.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_primitives::U256;
+///
+/// let x: U256 = "0xff".parse()?;
+/// assert_eq!(x + U256::ONE, U256::from(256u64));
+/// # Ok::<(), proxion_primitives::ParseU256Error>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct U256([u64; 4]);
+
+impl U256 {
+    /// The value `0`.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value `1`.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The largest representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+    /// Number of bits in the word.
+    pub const BITS: u32 = 256;
+
+    /// Creates a value from little-endian limbs.
+    #[inline]
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns the little-endian limbs.
+    #[inline]
+    pub const fn into_limbs(self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Creates a value from a big-endian 32-byte array.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let start = 32 - 8 * (i + 1);
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[start..start + 8]);
+            *limb = u64::from_be_bytes(chunk);
+        }
+        U256(limbs)
+    }
+
+    /// Creates a value from up to 32 big-endian bytes, zero-extending on the
+    /// left. This matches how the EVM loads `PUSH1..PUSH32` immediates and
+    /// call-data words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than 32 bytes.
+    pub fn from_be_slice(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 32, "slice longer than 32 bytes");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        Self::from_be_bytes(buf)
+    }
+
+    /// Returns the value as a big-endian 32-byte array.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            let start = 32 - 8 * (i + 1);
+            out[start..start + 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0[0] == 0 && self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0
+    }
+
+    /// Returns the low 64 bits, discarding the rest.
+    #[inline]
+    pub const fn low_u64(self) -> u64 {
+        self.0[0]
+    }
+
+    /// Returns the low 128 bits, discarding the rest.
+    #[inline]
+    pub const fn low_u128(self) -> u128 {
+        (self.0[1] as u128) << 64 | self.0[0] as u128
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn try_into_u64(self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `usize` if the value fits.
+    pub fn try_into_usize(self) -> Option<usize> {
+        self.try_into_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Number of bits required to represent the value (`0` for zero).
+    pub fn bit_len(self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * (i as u32 + 1) - self.0[i].leading_zeros();
+            }
+        }
+        0
+    }
+
+    /// Number of leading zero bits.
+    pub fn leading_zeros(self) -> u32 {
+        256 - self.bit_len()
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        self.0[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Returns the byte at big-endian index `i` (index 0 is the most
+    /// significant byte), as used by the EVM `BYTE` opcode.
+    pub fn byte_be(self, i: usize) -> u8 {
+        if i >= 32 {
+            return 0;
+        }
+        self.to_be_bytes()[i]
+    }
+
+    /// The sign of the value under two's-complement interpretation.
+    pub fn sign(self) -> Sign {
+        if self.0[3] >> 63 == 1 {
+            Sign::Negative
+        } else {
+            Sign::NonNegative
+        }
+    }
+
+    /// Wrapping addition, returning the carry flag as well.
+    pub fn overflowing_add(self, rhs: Self) -> (Self, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Wrapping subtraction, returning the borrow flag as well.
+    pub fn overflowing_sub(self, rhs: Self) -> (Self, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Wrapping addition modulo 2^256.
+    #[inline]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction modulo 2^256.
+    #[inline]
+    pub fn wrapping_sub(self, rhs: Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked addition: `None` on overflow.
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction: `None` on underflow.
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Full 256×256 → 512-bit multiplication, returned as (low, high).
+    pub fn widening_mul(self, rhs: Self) -> (Self, Self) {
+        let mut prod = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = prod[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                prod[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            prod[i + 4] = carry as u64;
+        }
+        (
+            U256([prod[0], prod[1], prod[2], prod[3]]),
+            U256([prod[4], prod[5], prod[6], prod[7]]),
+        )
+    }
+
+    /// Wrapping multiplication modulo 2^256.
+    #[inline]
+    pub fn wrapping_mul(self, rhs: Self) -> Self {
+        self.widening_mul(rhs).0
+    }
+
+    /// Checked multiplication: `None` on overflow.
+    pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+        match self.widening_mul(rhs) {
+            (lo, hi) if hi.is_zero() => Some(lo),
+            _ => None,
+        }
+    }
+
+    /// Simultaneous quotient and remainder. Returns `(0, 0)` when dividing
+    /// by zero, matching the EVM's `DIV`/`MOD` semantics.
+    pub fn div_rem(self, rhs: Self) -> (Self, Self) {
+        if rhs.is_zero() {
+            return (U256::ZERO, U256::ZERO);
+        }
+        if self < rhs {
+            return (U256::ZERO, self);
+        }
+        // Fast path: both operands fit in one limb.
+        if self.bit_len() <= 64 {
+            let (q, r) = (self.0[0] / rhs.0[0], self.0[0] % rhs.0[0]);
+            return (U256::from(q), U256::from(r));
+        }
+        // Fast path: single-limb divisor — schoolbook division by u64.
+        if rhs.bit_len() <= 64 {
+            let d = rhs.0[0];
+            let mut q = [0u64; 4];
+            let mut rem = 0u128;
+            for i in (0..4).rev() {
+                let cur = rem << 64 | self.0[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                rem = cur % d as u128;
+            }
+            return (U256(q), U256::from(rem as u64));
+        }
+        // General case: binary long division.
+        let shift = rhs.leading_zeros() - self.leading_zeros();
+        let mut divisor = rhs << shift;
+        let mut quotient = U256::ZERO;
+        let mut remainder = self;
+        for i in (0..=shift).rev() {
+            if remainder >= divisor {
+                remainder = remainder.wrapping_sub(divisor);
+                quotient.0[(i / 64) as usize] |= 1u64 << (i % 64);
+            }
+            divisor = divisor >> 1u32;
+        }
+        (quotient, remainder)
+    }
+
+    /// Signed division with EVM `SDIV` semantics (truncated toward zero;
+    /// `x / 0 == 0`; `MIN / -1 == MIN`).
+    pub fn sdiv(self, rhs: Self) -> Self {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let min = U256::ONE << 255u32;
+        if self == min && rhs == U256::MAX {
+            return min;
+        }
+        let (sa, sb) = (self.sign(), rhs.sign());
+        let a = if sa == Sign::Negative { -self } else { self };
+        let b = if sb == Sign::Negative { -rhs } else { rhs };
+        let q = a / b;
+        if sa != sb {
+            -q
+        } else {
+            q
+        }
+    }
+
+    /// Signed modulo with EVM `SMOD` semantics (result has the dividend's
+    /// sign; `x % 0 == 0`).
+    pub fn smod(self, rhs: Self) -> Self {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let sa = self.sign();
+        let a = if sa == Sign::Negative { -self } else { self };
+        let b = if rhs.sign() == Sign::Negative {
+            -rhs
+        } else {
+            rhs
+        };
+        let r = a % b;
+        if sa == Sign::Negative {
+            -r
+        } else {
+            r
+        }
+    }
+
+    /// `(self + rhs) % modulus` computed without intermediate overflow
+    /// (EVM `ADDMOD`).
+    pub fn addmod(self, rhs: Self, modulus: Self) -> Self {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        let (sum, carry) = self.overflowing_add(rhs);
+        if !carry {
+            return sum % modulus;
+        }
+        // 257-bit sum: reduce via 512-bit remainder with high word = 1.
+        rem512(
+            [sum.0[0], sum.0[1], sum.0[2], sum.0[3], 1, 0, 0, 0],
+            modulus,
+        )
+    }
+
+    /// `(self * rhs) % modulus` computed over the full 512-bit product
+    /// (EVM `MULMOD`).
+    pub fn mulmod(self, rhs: Self, modulus: Self) -> Self {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        let (lo, hi) = self.widening_mul(rhs);
+        rem512(
+            [
+                lo.0[0], lo.0[1], lo.0[2], lo.0[3], hi.0[0], hi.0[1], hi.0[2], hi.0[3],
+            ],
+            modulus,
+        )
+    }
+
+    /// Wrapping exponentiation by squaring (EVM `EXP`).
+    pub fn wrapping_pow(self, mut exp: Self) -> Self {
+        let mut base = self;
+        let mut acc = U256::ONE;
+        while !exp.is_zero() {
+            if exp.bit(0) {
+                acc = acc.wrapping_mul(base);
+            }
+            base = base.wrapping_mul(base);
+            exp = exp >> 1u32;
+        }
+        acc
+    }
+
+    /// Sign-extends from byte `b` (EVM `SIGNEXTEND`): the byte at index `b`
+    /// counted from the least significant end becomes the sign byte.
+    pub fn signextend(self, b: Self) -> Self {
+        let Some(b) = b.try_into_u64() else {
+            return self;
+        };
+        if b >= 31 {
+            return self;
+        }
+        let bit = (b as u32) * 8 + 7;
+        let mask = (U256::ONE << (bit + 1)).wrapping_sub(U256::ONE);
+        if self.bit(bit) {
+            self | !mask
+        } else {
+            self & mask
+        }
+    }
+
+    /// Signed less-than comparison (EVM `SLT`).
+    pub fn slt(self, rhs: Self) -> bool {
+        match (self.sign(), rhs.sign()) {
+            (Sign::Negative, Sign::NonNegative) => true,
+            (Sign::NonNegative, Sign::Negative) => false,
+            _ => self < rhs,
+        }
+    }
+
+    /// Signed greater-than comparison (EVM `SGT`).
+    pub fn sgt(self, rhs: Self) -> bool {
+        rhs.slt(self)
+    }
+
+    /// Arithmetic (sign-preserving) right shift (EVM `SAR`).
+    pub fn sar(self, shift: Self) -> Self {
+        let negative = self.sign() == Sign::Negative;
+        let Some(s) = shift.try_into_u64().filter(|&s| s < 256) else {
+            return if negative { U256::MAX } else { U256::ZERO };
+        };
+        let shifted = self >> s as u32;
+        if negative && s > 0 {
+            shifted | (U256::MAX << (256 - s as u32))
+        } else {
+            shifted
+        }
+    }
+
+    /// Parses from a decimal string.
+    pub fn from_dec_str(s: &str) -> Result<Self, ParseU256Error> {
+        if s.is_empty() {
+            return Err(ParseU256Error {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = U256::ZERO;
+        let ten = U256::from(10u64);
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseU256Error {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            acc = acc
+                .checked_mul(ten)
+                .and_then(|v| v.checked_add(U256::from(d as u64)))
+                .ok_or(ParseU256Error {
+                    kind: ParseErrorKind::Overflow,
+                })?;
+        }
+        Ok(acc)
+    }
+
+    /// Parses from a hexadecimal string, with or without a `0x` prefix.
+    pub fn from_hex_str(s: &str) -> Result<Self, ParseU256Error> {
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
+        if s.is_empty() {
+            return Err(ParseU256Error {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        if s.len() > 64 {
+            return Err(ParseU256Error {
+                kind: ParseErrorKind::Overflow,
+            });
+        }
+        let mut acc = U256::ZERO;
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseU256Error {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            acc = (acc << 4u32) | U256::from(d as u64);
+        }
+        Ok(acc)
+    }
+}
+
+/// Remainder of a 512-bit little-endian value modulo a non-zero 256-bit
+/// modulus, via binary long division over the 512-bit value.
+fn rem512(value: [u64; 8], modulus: U256) -> U256 {
+    debug_assert!(!modulus.is_zero());
+    let mut rem = U256::ZERO;
+    let mut started = false;
+    for i in (0..512).rev() {
+        let bit = value[i / 64] >> (i % 64) & 1;
+        if !started && bit == 0 {
+            continue;
+        }
+        started = true;
+        // rem = rem * 2 + bit, then conditionally subtract modulus.
+        // rem < modulus <= 2^256-1 so rem*2+1 fits in 257 bits; handle the
+        // possible carry-out explicitly.
+        let (shifted, carry) = rem.overflowing_add(rem);
+        let (shifted, carry2) = shifted.overflowing_add(U256::from(bit));
+        rem = shifted;
+        if carry || carry2 || rem >= modulus {
+            rem = rem.wrapping_sub(modulus);
+        }
+    }
+    rem
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<u8> for U256 {
+    fn from(v: u8) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<usize> for U256 {
+    fn from(v: usize) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+}
+
+impl From<bool> for U256 {
+    fn from(v: bool) -> Self {
+        if v {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+}
+
+impl FromStr for U256 {
+    type Err = ParseU256Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.starts_with("0x") || s.starts_with("0X") {
+            Self::from_hex_str(s)
+        } else {
+            Self::from_dec_str(s)
+        }
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl AddAssign for U256 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl SubAssign for U256 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl MulAssign for U256 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    fn div(self, rhs: Self) -> Self {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    fn rem(self, rhs: Self) -> Self {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Neg for U256 {
+    type Output = U256;
+    /// Two's-complement negation modulo 2^256.
+    fn neg(self) -> Self {
+        U256::ZERO.wrapping_sub(self)
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> Self {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: Self) -> Self {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: Self) -> Self {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: Self) -> Self {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, shift: u32) -> Self {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let (limbs, bits) = ((shift / 64) as usize, shift % 64);
+        let mut out = [0u64; 4];
+        for i in (limbs..4).rev() {
+            out[i] = self.0[i - limbs] << bits;
+            if bits > 0 && i > limbs {
+                out[i] |= self.0[i - limbs - 1] >> (64 - bits);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    fn shr(self, shift: u32) -> Self {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let (limbs, bits) = ((shift / 64) as usize, shift % 64);
+        let mut out = [0u64; 4];
+        for i in 0..4 - limbs {
+            out[i] = self.0[i + limbs] >> bits;
+            if bits > 0 && i + limbs + 1 < 4 {
+                out[i] |= self.0[i + limbs + 1] << (64 - bits);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shl<U256> for U256 {
+    type Output = U256;
+    /// EVM `SHL`: shifts ≥ 256 produce zero.
+    fn shl(self, shift: U256) -> Self {
+        match shift.try_into_u64() {
+            Some(s) if s < 256 => self << s as u32,
+            _ => U256::ZERO,
+        }
+    }
+}
+
+impl Shr<U256> for U256 {
+    type Output = U256;
+    /// EVM `SHR`: shifts ≥ 256 produce zero.
+    fn shr(self, shift: U256) -> Self {
+        match shift.try_into_u64() {
+            Some(s) if s < 256 => self >> s as u32,
+            _ => U256::ZERO,
+        }
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{self:x})")
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut v = *self;
+        let ten = U256::from(10u64);
+        while !v.is_zero() {
+            let (q, r) = v.div_rem(ten);
+            digits.push(b'0' + r.low_u64() as u8);
+            v = q;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).expect("ASCII digits"))
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.to_be_bytes();
+        let s: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        let trimmed = s.trim_start_matches('0');
+        let out = if trimmed.is_empty() { "0" } else { trimmed };
+        if f.alternate() {
+            write!(f, "0x{out}")
+        } else {
+            f.write_str(out)
+        }
+    }
+}
+
+impl fmt::UpperHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = format!("{self:x}");
+        let upper = lower.to_uppercase();
+        if f.alternate() {
+            write!(f, "0x{upper}")
+        } else {
+            f.write_str(&upper)
+        }
+    }
+}
+
+impl fmt::Binary for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut started = false;
+        for i in (0..256).rev() {
+            let bit = self.bit(i);
+            if bit {
+                started = true;
+            }
+            if started {
+                f.write_str(if bit { "1" } else { "0" })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = U256::from_limbs([u64::MAX, 0, 0, 0]);
+        assert_eq!(a + U256::ONE, U256::from_limbs([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn add_wraps_at_max() {
+        assert_eq!(U256::MAX + U256::ONE, U256::ZERO);
+        let (_, carry) = U256::MAX.overflowing_add(U256::ONE);
+        assert!(carry);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(U256::ZERO - U256::ONE, U256::MAX);
+    }
+
+    #[test]
+    fn mul_small_and_large() {
+        assert_eq!(
+            u(1_000_000) * u(1_000_000),
+            U256::from(1_000_000_000_000u64)
+        );
+        // (2^128) * (2^128) wraps to zero.
+        let x = U256::ONE << 128u32;
+        assert_eq!(x * x, U256::ZERO);
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1.
+        let y = x - U256::ONE;
+        let expect = U256::ZERO - (U256::ONE << 129u32) + U256::ONE;
+        assert_eq!(y * y, expect);
+    }
+
+    #[test]
+    fn widening_mul_high_part() {
+        let x = U256::ONE << 200u32;
+        let (lo, hi) = x.widening_mul(x);
+        assert_eq!(lo, U256::ZERO);
+        assert_eq!(hi, U256::ONE << 144u32);
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        assert_eq!(u(100) / u(7), u(14));
+        assert_eq!(u(100) % u(7), u(2));
+        assert_eq!(u(100) / U256::ZERO, U256::ZERO);
+        assert_eq!(u(100) % U256::ZERO, U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = U256::from_hex_str(
+            "0xdeadbeefcafebabe1234567890abcdef00112233445566778899aabbccddeeff",
+        )
+        .unwrap();
+        let b = U256::from_hex_str("0x1234567890abcdef").unwrap();
+        let (q, r) = a.div_rem(b);
+        assert_eq!(q * b + r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_by_larger_is_zero() {
+        assert_eq!(u(3) / u(5), U256::ZERO);
+        assert_eq!(u(3) % u(5), u(3));
+    }
+
+    #[test]
+    fn sdiv_truncates_toward_zero() {
+        let neg7 = -u(7);
+        assert_eq!(neg7.sdiv(u(2)), -u(3));
+        assert_eq!(u(7).sdiv(-u(2)), -u(3));
+        assert_eq!(neg7.sdiv(-u(2)), u(3));
+    }
+
+    #[test]
+    fn sdiv_min_by_minus_one_is_min() {
+        let min = U256::ONE << 255u32;
+        assert_eq!(min.sdiv(U256::MAX), min);
+    }
+
+    #[test]
+    fn smod_sign_follows_dividend() {
+        assert_eq!((-u(7)).smod(u(3)), -u(1));
+        assert_eq!(u(7).smod(-u(3)), u(1));
+    }
+
+    #[test]
+    fn addmod_handles_carry() {
+        // (MAX + MAX) % MAX == 0; (MAX + 2) % MAX == 2 % MAX... check vs spec:
+        // (2^256-1 + 2) mod (2^256-1) = 2? (sum = 2^256+1 = (2^256-1) + 2 → rem 2).
+        assert_eq!(U256::MAX.addmod(u(2), U256::MAX), u(2));
+        assert_eq!(u(10).addmod(u(10), u(8)), u(4));
+        assert_eq!(u(10).addmod(u(10), U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn mulmod_full_width() {
+        // (2^255 * 4) mod (2^256 - 1): 2^257 mod (2^256-1) = 2.
+        let x = U256::ONE << 255u32;
+        assert_eq!(x.mulmod(u(4), U256::MAX), u(2));
+        assert_eq!(u(10).mulmod(u(10), u(7)), u(2));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        assert_eq!(u(3).wrapping_pow(u(5)), u(243));
+        assert_eq!(u(2).wrapping_pow(u(256)), U256::ZERO);
+        assert_eq!(u(0).wrapping_pow(U256::ZERO), U256::ONE);
+    }
+
+    #[test]
+    fn signextend_matches_evm_examples() {
+        // SIGNEXTEND(0, 0xff) = -1.
+        assert_eq!(u(0xff).signextend(u(0)), U256::MAX);
+        // SIGNEXTEND(0, 0x7f) = 0x7f.
+        assert_eq!(u(0x7f).signextend(u(0)), u(0x7f));
+        // byte index beyond 30 is identity.
+        assert_eq!(u(0xff).signextend(u(31)), u(0xff));
+        assert_eq!(u(0xff).signextend(U256::MAX), u(0xff));
+    }
+
+    #[test]
+    fn shifts_basic_and_boundary() {
+        assert_eq!(u(1) << 255u32 >> 255u32, u(1));
+        assert_eq!(U256::ONE << 256u32, U256::ZERO >> 0u32);
+        assert_eq!(u(0xf0) >> 4u32, u(0x0f));
+        assert_eq!(U256::MAX << U256::from(256u64), U256::ZERO);
+        assert_eq!(U256::MAX >> U256::MAX, U256::ZERO);
+    }
+
+    #[test]
+    fn sar_preserves_sign() {
+        let neg2 = -u(2);
+        assert_eq!(neg2.sar(u(1)), -u(1));
+        assert_eq!(neg2.sar(u(300)), U256::MAX);
+        assert_eq!(u(16).sar(u(2)), u(4));
+        assert_eq!(u(16).sar(u(300)), U256::ZERO);
+    }
+
+    #[test]
+    fn slt_sgt_signed_ordering() {
+        assert!((-u(1)).slt(u(0)));
+        assert!(!u(0).slt(-u(1)));
+        assert!(u(1).sgt(-u(1)));
+        assert!((-u(1)).slt(-u(0)) == (-u(1)).slt(U256::ZERO));
+    }
+
+    #[test]
+    fn byte_be_indexing() {
+        let v = U256::from_hex_str("0x0102").unwrap();
+        assert_eq!(v.byte_be(31), 0x02);
+        assert_eq!(v.byte_be(30), 0x01);
+        assert_eq!(v.byte_be(0), 0x00);
+        assert_eq!(v.byte_be(32), 0x00);
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = U256::from_hex_str(
+            "0x00112233445566778899aabbccddeeff0102030405060708090a0b0c0d0e0f10",
+        )
+        .unwrap();
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn from_be_slice_zero_extends() {
+        assert_eq!(U256::from_be_slice(&[0x12, 0x34]), u(0x1234));
+        assert_eq!(U256::from_be_slice(&[]), U256::ZERO);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935",
+        ] {
+            let v: U256 = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("0xff".parse::<U256>().unwrap(), u(255));
+        assert!("".parse::<U256>().is_err());
+        assert!("0xzz".parse::<U256>().is_err());
+        assert!("12a".parse::<U256>().is_err());
+    }
+
+    #[test]
+    fn parse_overflow_rejected() {
+        // 2^256 decimal.
+        let too_big =
+            "115792089237316195423570985008687907853269984665640564039457584007913129639936";
+        assert!(U256::from_dec_str(too_big).is_err());
+        assert!(U256::from_hex_str(&"f".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", u(255)), "ff");
+        assert_eq!(format!("{:#x}", u(255)), "0xff");
+        assert_eq!(format!("{:X}", u(255)), "FF");
+        assert_eq!(format!("{:x}", U256::ZERO), "0");
+        assert_eq!(format!("{:b}", u(5)), "101");
+    }
+
+    #[test]
+    fn ordering_across_limbs() {
+        let big = U256::ONE << 200u32;
+        let small = U256::MAX >> 100u32;
+        assert!(big > u(1));
+        assert!((small > big) == (small.cmp(&big) == Ordering::Greater));
+        assert_eq!(u(5).cmp(&u(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_len_and_leading_zeros() {
+        assert_eq!(U256::ZERO.bit_len(), 0);
+        assert_eq!(U256::ONE.bit_len(), 1);
+        assert_eq!(U256::MAX.bit_len(), 256);
+        assert_eq!((U256::ONE << 64u32).bit_len(), 65);
+        assert_eq!(U256::ONE.leading_zeros(), 255);
+    }
+
+    #[test]
+    fn neg_is_twos_complement() {
+        assert_eq!(-U256::ONE, U256::MAX);
+        assert_eq!(-U256::ZERO, U256::ZERO);
+        assert_eq!(-(-u(12345)), u(12345));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the arithmetic and codec primitives.
+
+use proptest::prelude::*;
+use proxion_primitives::{decode_hex, encode_hex, keccak256, Keccak256, U256};
+
+fn u256() -> impl Strategy<Value = U256> {
+    any::<[u8; 32]>().prop_map(U256::from_be_bytes)
+}
+
+/// A 256-bit value that is often small (exercises limb boundaries).
+fn u256_mixed() -> impl Strategy<Value = U256> {
+    prop_oneof![
+        any::<u64>().prop_map(U256::from),
+        any::<u128>().prop_map(U256::from),
+        u256(),
+        Just(U256::ZERO),
+        Just(U256::ONE),
+        Just(U256::MAX),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in u256_mixed(), b in u256_mixed()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in u256_mixed(), b in u256_mixed(), c in u256_mixed()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in u256_mixed(), b in u256_mixed()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in u256_mixed(), b in u256_mixed(), c in u256_mixed()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_inverts_add(a in u256_mixed(), b in u256_mixed()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(a in u256_mixed()) {
+        prop_assert_eq!(a + (-a), U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in u256_mixed(), b in u256_mixed()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q * b + r, a);
+        // No overflow in q*b since q*b <= a.
+        prop_assert!(q.checked_mul(b).is_some());
+    }
+
+    #[test]
+    fn division_by_zero_is_zero(a in u256_mixed()) {
+        prop_assert_eq!(a / U256::ZERO, U256::ZERO);
+        prop_assert_eq!(a % U256::ZERO, U256::ZERO);
+    }
+
+    #[test]
+    fn widening_mul_consistent_with_mulmod(a in u256_mixed(), b in u256_mixed(), m in u256_mixed()) {
+        prop_assume!(!m.is_zero());
+        // mulmod computed through the 512-bit product must match
+        // iterated addition modulo m on small operands.
+        let expected = {
+            // (a mod m) * (b mod m) mod m via repeated doubling.
+            let mut acc = U256::ZERO;
+            let mut base = a % m;
+            let mut exp = b;
+            while !exp.is_zero() {
+                if exp.bit(0) {
+                    acc = acc.addmod(base, m);
+                }
+                base = base.addmod(base, m);
+                exp = exp >> 1u32;
+            }
+            acc
+        };
+        prop_assert_eq!(a.mulmod(b, m), expected);
+    }
+
+    #[test]
+    fn shifts_compose(a in u256_mixed(), s1 in 0u32..128, s2 in 0u32..128) {
+        prop_assert_eq!((a << s1) << s2, a << (s1 + s2));
+        prop_assert_eq!((a >> s1) >> s2, a >> (s1 + s2));
+    }
+
+    #[test]
+    fn shl_shr_roundtrip_preserves_low_bits(a in u256_mixed(), s in 0u32..256) {
+        let masked = if s == 0 { a } else { a & (U256::MAX >> s) };
+        prop_assert_eq!((a << s) >> s, masked);
+    }
+
+    #[test]
+    fn bitops_involutions(a in u256_mixed(), b in u256_mixed()) {
+        prop_assert_eq!(!!a, a);
+        prop_assert_eq!((a ^ b) ^ b, a);
+        prop_assert_eq!(a & a, a);
+        prop_assert_eq!(a | a, a);
+    }
+
+    #[test]
+    fn byte_be_matches_to_be_bytes(a in u256_mixed(), i in 0usize..32) {
+        prop_assert_eq!(a.byte_be(i), a.to_be_bytes()[i]);
+    }
+
+    #[test]
+    fn ordering_consistent_with_sub(a in u256_mixed(), b in u256_mixed()) {
+        let (_, borrow) = a.overflowing_sub(b);
+        prop_assert_eq!(borrow, a < b);
+    }
+
+    #[test]
+    fn decimal_parse_roundtrip(a in u256_mixed()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<U256>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_parse_roundtrip(a in u256_mixed()) {
+        let s = format!("{a:#x}");
+        prop_assert_eq!(s.parse::<U256>().unwrap(), a);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(bytes in any::<[u8; 32]>()) {
+        prop_assert_eq!(U256::from_be_bytes(bytes).to_be_bytes(), bytes);
+    }
+
+    #[test]
+    fn signextend_is_idempotent(a in u256_mixed(), b in 0u64..32) {
+        let once = a.signextend(U256::from(b));
+        prop_assert_eq!(once.signextend(U256::from(b)), once);
+    }
+
+    #[test]
+    fn sar_matches_shr_for_nonnegative(a in u256_mixed(), s in 0u64..256) {
+        let nonneg = a >> 1u32; // clear the sign bit
+        prop_assert_eq!(nonneg.sar(U256::from(s)), nonneg >> U256::from(s));
+    }
+
+    #[test]
+    fn sdiv_smod_reconstruct(a in u256_mixed(), b in u256_mixed()) {
+        prop_assume!(!b.is_zero());
+        // a == sdiv(a,b)*b + smod(a,b) in wrapping arithmetic.
+        let q = a.sdiv(b);
+        let r = a.smod(b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn hex_codec_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let encoded = encode_hex(&data);
+        prop_assert_eq!(decode_hex(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn keccak_incremental_any_split(data in proptest::collection::vec(any::<u8>(), 0..500), split in 0usize..500) {
+        let split = split.min(data.len());
+        let mut h = Keccak256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), keccak256(&data));
+    }
+
+    #[test]
+    fn keccak_injective_on_samples(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                   b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if a != b {
+            prop_assert_ne!(keccak256(&a), keccak256(&b));
+        }
+    }
+
+    #[test]
+    fn exp_matches_repeated_mul(base in u256_mixed(), e in 0u64..32) {
+        let mut expected = U256::ONE;
+        for _ in 0..e {
+            expected = expected.wrapping_mul(base);
+        }
+        prop_assert_eq!(base.wrapping_pow(U256::from(e)), expected);
+    }
+}

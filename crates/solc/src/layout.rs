@@ -1,0 +1,188 @@
+//! Solidity storage layout: sequential slot assignment with packing.
+
+use crate::model::StorageVar;
+
+/// Where one variable lives in storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotAssignment {
+    /// Sequential slot index.
+    pub slot: u64,
+    /// Byte offset within the slot, counted from the least significant
+    /// byte (Solidity packs low-to-high).
+    pub offset: usize,
+    /// Width in bytes.
+    pub width: usize,
+}
+
+impl SlotAssignment {
+    /// Returns `true` if two assignments overlap byte ranges in the same
+    /// slot.
+    pub fn overlaps(&self, other: &SlotAssignment) -> bool {
+        self.slot == other.slot
+            && self.offset < other.offset + other.width
+            && other.offset < self.offset + self.width
+    }
+}
+
+/// The computed layout of a contract's declared variables.
+///
+/// Implements the Solidity rules: variables are assigned to slots in
+/// declaration order; consecutive variables share a slot while the next
+/// one still fits in the remaining bytes; a variable that does not fit
+/// starts a new slot.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_solc::{StorageLayout, StorageVar, VarType};
+///
+/// // bool + bool + address pack into slot 0; uint256 takes slot 1.
+/// let layout = StorageLayout::new(&[
+///     StorageVar::new("initialized", VarType::Bool),
+///     StorageVar::new("initializing", VarType::Bool),
+///     StorageVar::new("owner", VarType::Address),
+///     StorageVar::new("total", VarType::Uint256),
+/// ]);
+/// assert_eq!(layout.assignment(0).slot, 0);
+/// assert_eq!(layout.assignment(1).offset, 1);
+/// assert_eq!(layout.assignment(2).offset, 2);
+/// assert_eq!(layout.assignment(3).slot, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StorageLayout {
+    assignments: Vec<SlotAssignment>,
+    slots_used: u64,
+}
+
+impl StorageLayout {
+    /// Computes the layout for variables in declaration order.
+    pub fn new(vars: &[StorageVar]) -> Self {
+        let mut assignments = Vec::with_capacity(vars.len());
+        let mut slot = 0u64;
+        let mut offset = 0usize;
+        for var in vars {
+            let width = var.ty.width();
+            if offset + width > 32 {
+                slot += 1;
+                offset = 0;
+            }
+            assignments.push(SlotAssignment {
+                slot,
+                offset,
+                width,
+            });
+            offset += width;
+            if offset == 32 {
+                slot += 1;
+                offset = 0;
+            }
+        }
+        let slots_used = if offset > 0 { slot + 1 } else { slot };
+        StorageLayout {
+            assignments,
+            slots_used,
+        }
+    }
+
+    /// The assignment of variable `index` (declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn assignment(&self, index: usize) -> SlotAssignment {
+        self.assignments[index]
+    }
+
+    /// All assignments, in declaration order.
+    pub fn assignments(&self) -> &[SlotAssignment] {
+        &self.assignments
+    }
+
+    /// Number of sequential slots occupied.
+    pub fn slots_used(&self) -> u64 {
+        self.slots_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VarType;
+
+    fn v(ty: VarType) -> StorageVar {
+        StorageVar::new("x", ty)
+    }
+
+    #[test]
+    fn packing_follows_solidity_rules() {
+        let layout = StorageLayout::new(&[
+            v(VarType::Bool),    // slot 0, offset 0
+            v(VarType::Address), // slot 0, offset 1
+            v(VarType::Uint128), // slot 1 (11 bytes left in slot 0 < 16)
+            v(VarType::Uint128), // slot 1, offset 16
+            v(VarType::Uint8),   // slot 2
+        ]);
+        let a = layout.assignments();
+        assert_eq!((a[0].slot, a[0].offset), (0, 0));
+        assert_eq!((a[1].slot, a[1].offset), (0, 1));
+        assert_eq!((a[2].slot, a[2].offset), (1, 0));
+        assert_eq!((a[3].slot, a[3].offset), (1, 16));
+        assert_eq!((a[4].slot, a[4].offset), (2, 0));
+        assert_eq!(layout.slots_used(), 3);
+    }
+
+    #[test]
+    fn full_slot_types_never_pack() {
+        let layout = StorageLayout::new(&[v(VarType::Bool), v(VarType::Uint256), v(VarType::Bool)]);
+        let a = layout.assignments();
+        assert_eq!(a[0].slot, 0);
+        assert_eq!(a[1].slot, 1);
+        assert_eq!(a[2].slot, 2);
+    }
+
+    #[test]
+    fn exact_fill_advances_slot() {
+        let layout = StorageLayout::new(&[
+            v(VarType::Uint128),
+            v(VarType::Uint128), // fills slot 0 exactly
+            v(VarType::Bool),    // must start slot 1
+        ]);
+        assert_eq!(layout.assignment(2).slot, 1);
+        assert_eq!(layout.assignment(2).offset, 0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = SlotAssignment {
+            slot: 0,
+            offset: 0,
+            width: 20,
+        };
+        let b = SlotAssignment {
+            slot: 0,
+            offset: 0,
+            width: 1,
+        };
+        let c = SlotAssignment {
+            slot: 0,
+            offset: 20,
+            width: 12,
+        };
+        let d = SlotAssignment {
+            slot: 1,
+            offset: 0,
+            width: 32,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&d));
+    }
+
+    #[test]
+    fn empty_layout() {
+        let layout = StorageLayout::new(&[]);
+        assert!(layout.assignments().is_empty());
+        assert_eq!(layout.slots_used(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Solidity-lite: a contract model compiled to real EVM bytecode.
+//!
+//! The Proxion paper analyzes contracts produced by the Solidity/Vyper
+//! compilers. Its bytecode-level analyses key on *compiler idioms*: the
+//! `PUSH4/EQ/JUMPI` function dispatcher, packed storage accesses through
+//! `AND`-masks and shifts, and the canonical fallback-delegatecall shapes
+//! of the proxy EIPs. This crate reproduces those idioms: a
+//! [`ContractSpec`] describes a contract the way a Solidity source file
+//! would (storage variables in declaration order, external functions, a
+//! fallback), and [`compile`] lowers it to runtime bytecode that is
+//! idiomatic solc output — so the analyses face the same recognition
+//! problem they face on mainnet.
+//!
+//! The compiler also emits [`SourceInfo`] — the function signatures and
+//! storage layout a verified-source explorer (Etherscan) would expose —
+//! which the source-mode collision detectors and the USCHunt baseline
+//! consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_solc::{compile, ContractSpec, Function, FnBody, StorageVar, VarType};
+//!
+//! let spec = ContractSpec::new("Counter")
+//!     .with_var(StorageVar::new("count", VarType::Uint256))
+//!     .with_function(Function::new("count", vec![], FnBody::ReturnVar(0)));
+//! let compiled = compile(&spec).expect("compiles");
+//! assert!(!compiled.runtime.is_empty());
+//! assert_eq!(compiled.source.functions[0].name, "count");
+//! ```
+
+mod compiler;
+mod layout;
+mod mining;
+mod model;
+mod render;
+pub mod templates;
+
+pub use compiler::{compile, CompileError, CompiledContract};
+pub use layout::{SlotAssignment, StorageLayout};
+pub use mining::{mine_selector_collision, mining_hash_rate, MinedName};
+pub use model::{
+    ContractSpec, DispatcherStyle, Fallback, FnBody, Function, ImplRef, SlotSpec, StorageVar,
+    StoreValue, VarType,
+};
+pub use render::{FunctionAbi, SourceInfo, SourceVar};

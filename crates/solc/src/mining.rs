@@ -1,0 +1,150 @@
+//! Selector mining — the attack primitive behind honeypot function
+//! collisions (paper §2.3).
+//!
+//! The paper observes that finding a function name whose Keccak-256 prefix
+//! matches a victim selector is "remarkably easy": any 4-byte collision
+//! needs ~2³² attempts in expectation (the authors hit one for
+//! `free_ether_withdrawal()` after ~600M attempts on a laptop). This
+//! module implements the miner; the test suite mines short prefixes (so
+//! tests stay fast) and the benchmark suite measures the hash rate from
+//! which the full-collision time extrapolates.
+
+use proxion_primitives::keccak256;
+
+/// The outcome of a mining run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedName {
+    /// The mined function name (no parameter list).
+    pub name: String,
+    /// The canonical prototype (`name()`).
+    pub prototype: String,
+    /// Number of candidates hashed before the hit.
+    pub attempts: u64,
+}
+
+/// Encodes a counter as the candidate-name suffix (base-36, `a-z0-9`).
+fn suffix(mut counter: u64) -> String {
+    const ALPHABET: &[u8; 36] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let mut out = Vec::new();
+    loop {
+        out.push(ALPHABET[(counter % 36) as usize]);
+        counter /= 36;
+        if counter == 0 {
+            break;
+        }
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ASCII alphabet")
+}
+
+/// Mines a zero-argument function name whose selector's first
+/// `prefix_len` bytes equal `target`'s, trying at most `max_attempts`
+/// candidates of the form `<name_prefix><base36 counter>()`.
+///
+/// A full collision needs `prefix_len = 4` (expected ~2³² attempts —
+/// feasible offline, not in a unit test); tests use 1–2 byte prefixes.
+///
+/// # Panics
+///
+/// Panics if `prefix_len` is 0 or greater than 4.
+pub fn mine_selector_collision(
+    target: [u8; 4],
+    name_prefix: &str,
+    prefix_len: usize,
+    max_attempts: u64,
+) -> Option<MinedName> {
+    assert!((1..=4).contains(&prefix_len), "prefix_len must be 1..=4");
+    for attempt in 0..max_attempts {
+        let name = format!("{name_prefix}{}", suffix(attempt));
+        let prototype = format!("{name}()");
+        let digest = keccak256(prototype.as_bytes());
+        if digest.as_bytes()[..prefix_len] == target[..prefix_len] {
+            return Some(MinedName {
+                name,
+                prototype,
+                attempts: attempt + 1,
+            });
+        }
+    }
+    None
+}
+
+/// Measures the raw mining throughput: candidate prototypes hashed per
+/// second over a fixed batch (used by the benchmark harness to
+/// extrapolate the paper's 600M-attempt figure).
+pub fn mining_hash_rate(batch: u64) -> f64 {
+    let started = std::time::Instant::now();
+    let mut sink = 0u8;
+    for attempt in 0..batch {
+        let prototype = format!("probe{}()", suffix(attempt));
+        sink ^= keccak256(prototype.as_bytes()).as_bytes()[0];
+    }
+    std::hint::black_box(sink);
+    batch as f64 / started.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_primitives::selector;
+
+    #[test]
+    fn suffix_is_injective_over_small_range() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(suffix(i)), "duplicate suffix at {i}");
+        }
+        assert_eq!(suffix(0), "a");
+        assert_eq!(suffix(35), "9");
+        assert_eq!(suffix(36), "ba");
+    }
+
+    #[test]
+    fn mines_one_byte_prefix_quickly() {
+        // One byte: expected ~256 attempts.
+        let target = selector("free_ether_withdrawal()");
+        let mined = mine_selector_collision(target, "impl_", 1, 100_000)
+            .expect("1-byte prefix must be found fast");
+        assert_eq!(selector(&mined.prototype)[0], target[0]);
+        assert!(mined.attempts <= 100_000);
+    }
+
+    #[test]
+    fn mines_two_byte_prefix_within_budget() {
+        // Two bytes: expected ~65k attempts.
+        let target = selector("transfer(address,uint256)");
+        let mined = mine_selector_collision(target, "steal_", 2, 2_000_000)
+            .expect("2-byte prefix within 2M attempts");
+        assert_eq!(&selector(&mined.prototype)[..2], &target[..2]);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_none() {
+        let target = selector("free_ether_withdrawal()");
+        // 4-byte collision in 10 attempts: essentially impossible.
+        assert_eq!(mine_selector_collision(target, "x", 4, 10), None);
+    }
+
+    #[test]
+    fn mined_name_reproduces_honeypot_construction() {
+        // End-to-end: mine a (short-prefix) collision and build a contract
+        // with it, exactly like the paper's attacker does with 4 bytes.
+        let victim = selector("free_ether_withdrawal()");
+        let mined = mine_selector_collision(victim, "impl_", 1, 100_000).unwrap();
+        let spec = crate::ContractSpec::new("Mined").with_function(crate::Function::new(
+            mined.name.clone(),
+            vec![],
+            crate::FnBody::Stop,
+        ));
+        let compiled = crate::compile(&spec).unwrap();
+        assert_eq!(
+            compiled.source.functions[0].selector[0], victim[0],
+            "deployed dispatcher carries the mined prefix"
+        );
+    }
+
+    #[test]
+    fn hash_rate_is_positive() {
+        assert!(mining_hash_rate(1_000) > 0.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! The contract model: variables, functions, fallback behaviour.
+
+use proxion_primitives::{keccak256, selector, Address, U256};
+
+/// An elementary Solidity value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarType {
+    /// `bool` — 1 byte.
+    Bool,
+    /// `uint8` — 1 byte.
+    Uint8,
+    /// `uint16` — 2 bytes.
+    Uint16,
+    /// `uint32` — 4 bytes.
+    Uint32,
+    /// `uint64` — 8 bytes.
+    Uint64,
+    /// `uint128` — 16 bytes.
+    Uint128,
+    /// `uint256` — a full slot.
+    Uint256,
+    /// `address` — 20 bytes.
+    Address,
+    /// `bytes32` — a full slot.
+    Bytes32,
+    /// `mapping(address => uint256)` — reserves its declaration slot; the
+    /// values live at `keccak256(key ‖ slot)`.
+    Mapping,
+}
+
+impl VarType {
+    /// Storage footprint in bytes, per the Solidity layout rules.
+    pub fn width(self) -> usize {
+        match self {
+            VarType::Bool | VarType::Uint8 => 1,
+            VarType::Uint16 => 2,
+            VarType::Uint32 => 4,
+            VarType::Uint64 => 8,
+            VarType::Uint128 => 16,
+            VarType::Address => 20,
+            VarType::Uint256 | VarType::Bytes32 | VarType::Mapping => 32,
+        }
+    }
+
+    /// The Solidity type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VarType::Bool => "bool",
+            VarType::Uint8 => "uint8",
+            VarType::Uint16 => "uint16",
+            VarType::Uint32 => "uint32",
+            VarType::Uint64 => "uint64",
+            VarType::Uint128 => "uint128",
+            VarType::Uint256 => "uint256",
+            VarType::Address => "address",
+            VarType::Bytes32 => "bytes32",
+            VarType::Mapping => "mapping(address => uint256)",
+        }
+    }
+
+    /// The value mask (`2^(8*width) - 1`).
+    pub fn mask(self) -> U256 {
+        if self.width() == 32 {
+            U256::MAX
+        } else {
+            (U256::ONE << (8 * self.width()) as u32) - U256::ONE
+        }
+    }
+}
+
+/// A declared storage variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageVar {
+    /// Variable name.
+    pub name: String,
+    /// Value type.
+    pub ty: VarType,
+}
+
+impl StorageVar {
+    /// Creates a variable declaration.
+    pub fn new(name: impl Into<String>, ty: VarType) -> Self {
+        StorageVar {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Where a storage slot is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotSpec {
+    /// A sequential slot index (ordinary variables).
+    Index(u64),
+    /// A fixed 256-bit slot (the hashed slots of EIP-1967/EIP-1822).
+    Fixed(U256),
+}
+
+impl SlotSpec {
+    /// The EIP-1967 implementation slot:
+    /// `keccak256("eip1967.proxy.implementation") - 1`.
+    pub fn eip1967_implementation() -> Self {
+        SlotSpec::Fixed(keccak256(b"eip1967.proxy.implementation").to_u256() - U256::ONE)
+    }
+
+    /// The EIP-1822 (UUPS) slot: `keccak256("PROXIABLE")`.
+    pub fn eip1822_proxiable() -> Self {
+        SlotSpec::Fixed(keccak256(b"PROXIABLE").to_u256())
+    }
+
+    /// The EIP-2535 diamond storage base slot:
+    /// `keccak256("diamond.standard.diamond.storage")`.
+    pub fn eip2535_diamond() -> Self {
+        SlotSpec::Fixed(keccak256(b"diamond.standard.diamond.storage").to_u256())
+    }
+
+    /// The slot as a 256-bit key.
+    pub fn to_u256(self) -> U256 {
+        match self {
+            SlotSpec::Index(i) => U256::from(i),
+            SlotSpec::Fixed(v) => v,
+        }
+    }
+}
+
+/// Where a function body gets the value it stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreValue {
+    /// The first call-data argument (`calldataload(4)`).
+    Arg0,
+    /// A compile-time constant.
+    Const(U256),
+    /// `msg.sender`.
+    Caller,
+}
+
+/// What a function does. Bodies are deliberately small — they are the
+/// behaviours the collision analyses distinguish, each lowered to the
+/// exact instruction idiom solc emits for the same Solidity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FnBody {
+    /// `return <const>;`
+    ReturnConst(U256),
+    /// `return <var i>;` — a packed storage read.
+    ReturnVar(usize),
+    /// `<var i> = <value>;` — a packed storage write.
+    StoreVar {
+        /// Index into [`ContractSpec::vars`].
+        var: usize,
+        /// The stored value.
+        value: StoreValue,
+    },
+    /// The (Audius-style) initializer:
+    /// `require(!<flag>); <flag> = true; <owner> = msg.sender;`
+    Initialize {
+        /// Index of the `initialized` boolean.
+        flag_var: usize,
+        /// Index of the `owner` address.
+        owner_var: usize,
+    },
+    /// `require(msg.sender == <owner>); <var> = arg0;`
+    GuardedStore {
+        /// Index of the owner variable consulted for access control.
+        owner_var: usize,
+        /// Index of the variable written.
+        var: usize,
+    },
+    /// `payable(msg.sender).transfer(<amount>)` — honeypot bait.
+    PayoutEther(u64),
+    /// `Lib.delegatecall(<fixed 4-byte input>)` — an external *library*
+    /// call: a delegatecall outside the fallback that does not forward
+    /// call data. Library users are exactly what Proxion must NOT flag as
+    /// proxies (§2.2).
+    LibraryCall {
+        /// The library contract.
+        lib: Address,
+    },
+    /// `target.call(abi.encodeWithSignature(...))` — plants a `PUSH4`
+    /// selector constant in the body (a dispatcher false-positive bait).
+    ExternalCall {
+        /// The called contract.
+        target: Address,
+        /// The encoded selector constant.
+        selector: [u8; 4],
+    },
+    /// `<impl slot> = arg0;` — the upgrade setter of a proxy.
+    SetImplementation {
+        /// Slot holding the implementation address.
+        slot: SlotSpec,
+    },
+    /// A full-slot store whose slot index is *computed* at runtime
+    /// (`slot + 0` through an `ADD`), defeating constant-slot recovery in
+    /// slicing-based analyzers — the bytecode shape behind the paper's
+    /// storage-collision false negatives.
+    StoreVarObfuscated {
+        /// Index into [`ContractSpec::vars`] (the write hits the whole
+        /// slot of this variable).
+        var: usize,
+    },
+    /// `map[msg.sender] = arg0;` — a mapping write: the slot is
+    /// `keccak256(caller ‖ base_slot)`.
+    MappingStore {
+        /// Index of the mapping variable.
+        var: usize,
+    },
+    /// `return map[msg.sender];` — a mapping read.
+    MappingLoad {
+        /// Index of the mapping variable.
+        var: usize,
+    },
+    /// Empty body (`{}`).
+    Stop,
+}
+
+/// An external function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name, e.g. `"transfer"`.
+    pub name: String,
+    /// Parameter types (determines the canonical prototype).
+    pub params: Vec<VarType>,
+    /// The body.
+    pub body: FnBody,
+    /// Overrides the selector instead of hashing the prototype. Models an
+    /// attacker-mined name whose Keccak prefix collides with a victim
+    /// function (the paper found one for `free_ether_withdrawal()` in 600M
+    /// attempts, §2.3); we skip the brute force and declare the outcome.
+    pub selector_override: Option<[u8; 4]>,
+}
+
+impl Function {
+    /// Creates a function.
+    pub fn new(name: impl Into<String>, params: Vec<VarType>, body: FnBody) -> Self {
+        Function {
+            name: name.into(),
+            params,
+            body,
+            selector_override: None,
+        }
+    }
+
+    /// Sets a mined selector (see [`Function::selector_override`]).
+    pub fn with_selector(mut self, selector: [u8; 4]) -> Self {
+        self.selector_override = Some(selector);
+        self
+    }
+
+    /// The canonical prototype string, e.g. `"transfer(address,uint256)"`.
+    pub fn prototype(&self) -> String {
+        let params: Vec<&str> = self.params.iter().map(|p| p.name()).collect();
+        format!("{}({})", self.name, params.join(","))
+    }
+
+    /// The 4-byte dispatch selector.
+    pub fn selector(&self) -> [u8; 4] {
+        self.selector_override
+            .unwrap_or_else(|| selector(&self.prototype()))
+    }
+}
+
+/// What the implementation address of a proxy's fallback delegatecall is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImplRef {
+    /// Hard-coded in the bytecode (minimal-proxy family).
+    Hardcoded(Address),
+    /// Loaded from a storage slot (upgradeable proxies).
+    Slot(SlotSpec),
+}
+
+/// The contract's fallback behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fallback {
+    /// No fallback: unmatched selectors revert (solc default).
+    Revert,
+    /// Accept and stop (a payable receive-all).
+    Accept,
+    /// The proxy fallback: forward the full call data via `DELEGATECALL`
+    /// and bubble up the result (the OpenZeppelin shape).
+    DelegateForward(ImplRef),
+    /// A delegatecall in the fallback that does NOT forward the call data
+    /// (fixed empty input) — fails Proxion's forwarding check (§4.2).
+    DelegateNoForward(ImplRef),
+    /// Forwards call data with a plain `CALL` — not a proxy by
+    /// definition (no storage-context sharing).
+    CallForward(ImplRef),
+    /// The EIP-2535 diamond fallback: look the facet up in a selector →
+    /// address mapping rooted at the diamond storage slot; revert for
+    /// unregistered selectors.
+    DiamondLookup,
+    /// The beacon pattern (EIP-1967 §beacon): read a *beacon* contract
+    /// address from the slot, `STATICCALL` its `implementation()` getter,
+    /// and delegate-forward to the returned address. The implementation
+    /// address reaches the `DELEGATECALL` through memory, so provenance
+    /// tagging reports it as computed.
+    BeaconForward(SlotSpec),
+}
+
+/// How the dispatcher is laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatcherStyle {
+    /// One `DUP1 PUSH4 EQ JUMPI` chain (solc with few functions).
+    #[default]
+    Linear,
+    /// One `GT` pivot splitting two linear halves (solc with many
+    /// functions).
+    BinarySplit,
+}
+
+/// A full contract description — the Solidity-lite "source file".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractSpec {
+    /// Contract name.
+    pub name: String,
+    /// Storage variables in declaration order.
+    pub vars: Vec<StorageVar>,
+    /// External functions.
+    pub functions: Vec<Function>,
+    /// Fallback behaviour.
+    pub fallback: Fallback,
+    /// Dispatcher layout.
+    pub dispatcher: DispatcherStyle,
+    /// Extra 4-byte constants embedded as dead data (naive-extraction
+    /// false-positive bait).
+    pub junk_push4: Vec<[u8; 4]>,
+}
+
+impl ContractSpec {
+    /// Creates an empty contract with a reverting fallback.
+    pub fn new(name: impl Into<String>) -> Self {
+        ContractSpec {
+            name: name.into(),
+            vars: Vec::new(),
+            functions: Vec::new(),
+            fallback: Fallback::Revert,
+            dispatcher: DispatcherStyle::Linear,
+            junk_push4: Vec::new(),
+        }
+    }
+
+    /// Appends a storage variable.
+    pub fn with_var(mut self, var: StorageVar) -> Self {
+        self.vars.push(var);
+        self
+    }
+
+    /// Appends a function.
+    pub fn with_function(mut self, function: Function) -> Self {
+        self.functions.push(function);
+        self
+    }
+
+    /// Sets the fallback.
+    pub fn with_fallback(mut self, fallback: Fallback) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Sets the dispatcher style.
+    pub fn with_dispatcher(mut self, dispatcher: DispatcherStyle) -> Self {
+        self.dispatcher = dispatcher;
+        self
+    }
+
+    /// Adds a junk 4-byte constant.
+    pub fn with_junk_push4(mut self, junk: [u8; 4]) -> Self {
+        self.junk_push4.push(junk);
+        self
+    }
+
+    /// The selectors of all declared functions.
+    pub fn selectors(&self) -> Vec<[u8; 4]> {
+        self.functions.iter().map(Function::selector).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_type_widths_and_masks() {
+        assert_eq!(VarType::Bool.width(), 1);
+        assert_eq!(VarType::Address.width(), 20);
+        assert_eq!(VarType::Uint256.width(), 32);
+        assert_eq!(VarType::Bool.mask(), U256::from(0xffu64));
+        assert_eq!(VarType::Uint256.mask(), U256::MAX);
+        assert_eq!(VarType::Address.mask(), (U256::ONE << 160u32) - U256::ONE);
+    }
+
+    #[test]
+    fn prototype_and_selector() {
+        let f = Function::new(
+            "transfer",
+            vec![VarType::Address, VarType::Uint256],
+            FnBody::Stop,
+        );
+        assert_eq!(f.prototype(), "transfer(address,uint256)");
+        assert_eq!(f.selector(), [0xa9, 0x05, 0x9c, 0xbb]);
+    }
+
+    #[test]
+    fn paper_example_selector() {
+        // The paper's running example (Listing 1): the selector of
+        // free_ether_withdrawal() is 0xdf4a3106.
+        let f = Function::new("free_ether_withdrawal", vec![], FnBody::Stop);
+        assert_eq!(f.selector(), [0xdf, 0x4a, 0x31, 0x06]);
+    }
+
+    #[test]
+    fn selector_override_wins() {
+        let f = Function::new("impl_LUsXCWD2AKCc", vec![], FnBody::Stop)
+            .with_selector([0xdf, 0x4a, 0x31, 0x06]);
+        assert_eq!(f.selector(), [0xdf, 0x4a, 0x31, 0x06]);
+    }
+
+    #[test]
+    fn standard_slots() {
+        assert_eq!(
+            format!("{:x}", SlotSpec::eip1967_implementation().to_u256()),
+            "360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc"
+        );
+        assert_eq!(
+            format!("{:x}", SlotSpec::eip1822_proxiable().to_u256()),
+            "c5f16f0fcc639fa48a6947836d9850f504798523bf8c9a3a87d5876cf622bcf7"
+        );
+        assert_eq!(SlotSpec::Index(3).to_u256(), U256::from(3u64));
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = ContractSpec::new("T")
+            .with_var(StorageVar::new("a", VarType::Bool))
+            .with_function(Function::new("f", vec![], FnBody::Stop))
+            .with_fallback(Fallback::Accept)
+            .with_dispatcher(DispatcherStyle::BinarySplit)
+            .with_junk_push4([1, 2, 3, 4]);
+        assert_eq!(spec.vars.len(), 1);
+        assert_eq!(spec.selectors().len(), 1);
+        assert_eq!(spec.fallback, Fallback::Accept);
+        assert_eq!(spec.junk_push4.len(), 1);
+    }
+}

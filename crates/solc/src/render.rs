@@ -1,0 +1,258 @@
+//! The verified-source view of a compiled contract: ABI, storage layout
+//! and a pseudo-Solidity rendering.
+
+use proxion_primitives::{encode_hex, U256};
+
+use crate::layout::StorageLayout;
+use crate::model::{ContractSpec, Fallback, FnBody, ImplRef, SlotSpec, StoreValue};
+
+/// One external function as seen in verified source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionAbi {
+    /// Function name.
+    pub name: String,
+    /// Canonical prototype, e.g. `"transfer(address,uint256)"`.
+    pub prototype: String,
+    /// 4-byte dispatch selector.
+    pub selector: [u8; 4],
+}
+
+/// One declared storage variable as seen in verified source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceVar {
+    /// Variable name.
+    pub name: String,
+    /// Solidity type name.
+    pub type_name: String,
+    /// Assigned slot.
+    pub slot: U256,
+    /// Byte offset within the slot.
+    pub offset: usize,
+    /// Width in bytes.
+    pub width: usize,
+}
+
+/// What an explorer (Etherscan) exposes for a verified contract: the ABI
+/// surface, the storage layout, and source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceInfo {
+    /// Contract name.
+    pub contract_name: String,
+    /// External functions.
+    pub functions: Vec<FunctionAbi>,
+    /// Declared storage variables with their layout.
+    pub storage: Vec<SourceVar>,
+    /// Pseudo-Solidity source text.
+    pub text: String,
+}
+
+impl SourceInfo {
+    /// Builds the source view from a spec and its computed layout.
+    pub fn from_spec(spec: &ContractSpec, layout: &StorageLayout) -> Self {
+        let functions = spec
+            .functions
+            .iter()
+            .map(|f| FunctionAbi {
+                name: f.name.clone(),
+                prototype: f.prototype(),
+                selector: f.selector(),
+            })
+            .collect();
+        let storage = spec
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let a = layout.assignment(i);
+                SourceVar {
+                    name: v.name.clone(),
+                    type_name: v.ty.name().to_string(),
+                    slot: U256::from(a.slot),
+                    offset: a.offset,
+                    width: a.width,
+                }
+            })
+            .collect();
+        let text = render_solidity(spec);
+        SourceInfo {
+            contract_name: spec.name.clone(),
+            functions,
+            storage,
+            text,
+        }
+    }
+
+    /// The selector set (what a Slither-style signature extraction yields).
+    pub fn selectors(&self) -> Vec<[u8; 4]> {
+        self.functions.iter().map(|f| f.selector).collect()
+    }
+}
+
+fn render_body(body: &FnBody, spec: &ContractSpec) -> String {
+    let var = |i: usize| spec.vars[i].name.clone();
+    match body {
+        FnBody::ReturnConst(v) => format!("return {v};"),
+        FnBody::ReturnVar(i) => format!("return {};", var(*i)),
+        FnBody::StoreVar { var: i, value } => {
+            let rhs = match value {
+                StoreValue::Arg0 => "arg0".to_string(),
+                StoreValue::Const(c) => c.to_string(),
+                StoreValue::Caller => "msg.sender".to_string(),
+            };
+            format!("{} = {rhs};", var(*i))
+        }
+        FnBody::Initialize {
+            flag_var,
+            owner_var,
+        } => format!(
+            "require(!{0}); {0} = true; {1} = msg.sender;",
+            var(*flag_var),
+            var(*owner_var)
+        ),
+        FnBody::GuardedStore { owner_var, var: i } => format!(
+            "require(msg.sender == {}); {} = arg0;",
+            var(*owner_var),
+            var(*i)
+        ),
+        FnBody::PayoutEther(amount) => {
+            format!("payable(msg.sender).transfer({amount});")
+        }
+        FnBody::LibraryCall { lib } => format!("{lib}.delegatecall(LIB_INPUT);"),
+        FnBody::ExternalCall { target, selector } => format!(
+            "{target}.call(abi.encodeWithSelector(0x{}));",
+            encode_hex(selector)
+        ),
+        FnBody::SetImplementation { slot } => {
+            format!("sstore({}, arg0);", render_slot(*slot))
+        }
+        FnBody::StoreVarObfuscated { var: i } => {
+            format!("assembly {{ sstore(add({}.slot, 0), arg0) }}", var(*i))
+        }
+        FnBody::MappingStore { var: i } => format!("{}[msg.sender] = arg0;", var(*i)),
+        FnBody::MappingLoad { var: i } => format!("return {}[msg.sender];", var(*i)),
+        FnBody::Stop => String::new(),
+    }
+}
+
+fn render_slot(slot: SlotSpec) -> String {
+    match slot {
+        SlotSpec::Index(i) => format!("{i}"),
+        SlotSpec::Fixed(h) => format!("0x{h:x}"),
+    }
+}
+
+fn render_impl_ref(impl_ref: ImplRef) -> String {
+    match impl_ref {
+        ImplRef::Hardcoded(a) => format!("{a}"),
+        ImplRef::Slot(s) => format!("sload({})", render_slot(s)),
+    }
+}
+
+/// Renders the spec as pseudo-Solidity, the text an explorer would show
+/// for a verified contract.
+fn render_solidity(spec: &ContractSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("contract {} {{\n", spec.name));
+    for v in &spec.vars {
+        out.push_str(&format!("    {} private {};\n", v.ty.name(), v.name));
+    }
+    if !spec.vars.is_empty() && !spec.functions.is_empty() {
+        out.push('\n');
+    }
+    for f in &spec.functions {
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{} arg{i}", p.name()))
+            .collect();
+        out.push_str(&format!(
+            "    function {}({}) external {{ {} }}\n",
+            f.name,
+            params.join(", "),
+            render_body(&f.body, spec)
+        ));
+    }
+    match spec.fallback {
+        Fallback::Revert => {}
+        Fallback::Accept => out.push_str("    receive() external payable {}\n"),
+        Fallback::DelegateForward(r) => out.push_str(&format!(
+            "    fallback() external {{ {}.delegatecall(msg.data); }}\n",
+            render_impl_ref(r)
+        )),
+        Fallback::DelegateNoForward(r) => out.push_str(&format!(
+            "    fallback() external {{ {}.delegatecall(\"\"); }}\n",
+            render_impl_ref(r)
+        )),
+        Fallback::CallForward(r) => out.push_str(&format!(
+            "    fallback() external {{ {}.call(msg.data); }}\n",
+            render_impl_ref(r)
+        )),
+        Fallback::DiamondLookup => out.push_str(
+            "    fallback() external { facets[msg.sig].delegatecall(msg.data); }\n",
+        ),
+        Fallback::BeaconForward(s) => out.push_str(&format!(
+            "    fallback() external {{ IBeacon(sload({})).implementation().delegatecall(msg.data); }}\n",
+            render_slot(s)
+        )),
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Function, StorageVar, VarType};
+
+    #[test]
+    fn source_info_carries_abi_and_layout() {
+        let spec = ContractSpec::new("Token")
+            .with_var(StorageVar::new("owner", VarType::Address))
+            .with_var(StorageVar::new("paused", VarType::Bool))
+            .with_function(Function::new(
+                "transfer",
+                vec![VarType::Address, VarType::Uint256],
+                FnBody::Stop,
+            ));
+        let layout = StorageLayout::new(&spec.vars);
+        let info = SourceInfo::from_spec(&spec, &layout);
+        assert_eq!(info.contract_name, "Token");
+        assert_eq!(info.functions[0].prototype, "transfer(address,uint256)");
+        assert_eq!(info.functions[0].selector, [0xa9, 0x05, 0x9c, 0xbb]);
+        assert_eq!(info.storage[0].slot, U256::ZERO);
+        assert_eq!(info.storage[1].offset, 20);
+        assert_eq!(info.selectors().len(), 1);
+    }
+
+    #[test]
+    fn rendered_text_looks_like_solidity() {
+        let spec = ContractSpec::new("P")
+            .with_var(StorageVar::new("logic", VarType::Address))
+            .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(0))));
+        let layout = StorageLayout::new(&spec.vars);
+        let info = SourceInfo::from_spec(&spec, &layout);
+        assert!(info.text.contains("contract P {"));
+        assert!(info.text.contains("address private logic;"));
+        assert!(info.text.contains("delegatecall(msg.data)"));
+    }
+
+    #[test]
+    fn initialize_body_renders_require() {
+        let spec = ContractSpec::new("L")
+            .with_var(StorageVar::new("initialized", VarType::Bool))
+            .with_var(StorageVar::new("owner", VarType::Address))
+            .with_function(Function::new(
+                "initialize",
+                vec![],
+                FnBody::Initialize {
+                    flag_var: 0,
+                    owner_var: 1,
+                },
+            ));
+        let layout = StorageLayout::new(&spec.vars);
+        let info = SourceInfo::from_spec(&spec, &layout);
+        assert!(info.text.contains("require(!initialized)"));
+        assert!(info.text.contains("owner = msg.sender"));
+    }
+}

@@ -1,0 +1,473 @@
+//! Canonical contract templates: the proxy standards, the collision attack
+//! pairs from the paper, and the negative cases every analysis must get
+//! right.
+
+use proxion_primitives::{keccak256, selector, Address, U256};
+
+use crate::model::{
+    ContractSpec, Fallback, FnBody, Function, ImplRef, SlotSpec, StorageVar, StoreValue, VarType,
+};
+
+/// The canonical EIP-1167 minimal-proxy runtime (45 bytes):
+/// `363d3d373d3d3d363d73 <logic> 5af43d82803e903d91602b57fd5bf3`.
+///
+/// # Examples
+///
+/// ```
+/// use proxion_solc::templates::minimal_proxy_runtime;
+/// use proxion_primitives::Address;
+///
+/// let code = minimal_proxy_runtime(Address::from_low_u64(7));
+/// assert_eq!(code.len(), 45);
+/// assert_eq!(code[0], 0x36); // CALLDATASIZE
+/// assert_eq!(code[31], 0xf4); // DELEGATECALL
+/// ```
+pub fn minimal_proxy_runtime(logic: Address) -> Vec<u8> {
+    let mut code = Vec::with_capacity(45);
+    code.extend_from_slice(&[0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73]);
+    code.extend_from_slice(logic.as_bytes());
+    code.extend_from_slice(&[
+        0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b, 0xf3,
+    ]);
+    code
+}
+
+/// Extracts the hard-coded logic address from an EIP-1167 runtime, if the
+/// code matches the canonical pattern.
+pub fn parse_minimal_proxy(code: &[u8]) -> Option<Address> {
+    if code.len() != 45
+        || code[..10] != [0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73]
+        || code[30..]
+            != [
+                0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b,
+                0xf3,
+            ]
+    {
+        return None;
+    }
+    let mut address = [0u8; 20];
+    address.copy_from_slice(&code[10..30]);
+    Some(Address(address))
+}
+
+/// The storage slot that holds the facet address for `selector` in our
+/// EIP-2535 diamond template: `keccak256(pad32(selector) ‖ DIAMOND_SLOT)`.
+pub fn diamond_facet_slot(selector: [u8; 4]) -> U256 {
+    let mut buf = [0u8; 64];
+    // Selector right-aligned in the first word (it is pushed as a
+    // 4-byte-shifted-down value by the fallback).
+    buf[28..32].copy_from_slice(&selector);
+    buf[32..64].copy_from_slice(&SlotSpec::eip2535_diamond().to_u256().to_be_bytes());
+    keccak256(buf).to_u256()
+}
+
+/// An EIP-1967 transparent-style proxy: implementation address in the
+/// standard hashed slot, an `upgradeTo(address)` admin function, and the
+/// forwarding fallback.
+pub fn eip1967_proxy(name: &str) -> ContractSpec {
+    let slot = SlotSpec::eip1967_implementation();
+    ContractSpec::new(name)
+        .with_function(Function::new(
+            "upgradeTo",
+            vec![VarType::Address],
+            FnBody::SetImplementation { slot },
+        ))
+        .with_fallback(Fallback::DelegateForward(ImplRef::Slot(slot)))
+}
+
+/// An EIP-1822 (UUPS) proxy: *no* functions of its own; the upgrade logic
+/// lives in the implementation (see [`eip1822_logic`]).
+pub fn eip1822_proxy(name: &str) -> ContractSpec {
+    ContractSpec::new(name).with_fallback(Fallback::DelegateForward(ImplRef::Slot(
+        SlotSpec::eip1822_proxiable(),
+    )))
+}
+
+/// A UUPS logic contract: `updateCodeAddress(address)` writes the
+/// PROXIABLE slot (in the proxy's context, via delegatecall).
+pub fn eip1822_logic(name: &str) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_var(StorageVar::new("value", VarType::Uint256))
+        .with_function(Function::new(
+            "updateCodeAddress",
+            vec![VarType::Address],
+            FnBody::SetImplementation {
+                slot: SlotSpec::eip1822_proxiable(),
+            },
+        ))
+        .with_function(Function::new("value", vec![], FnBody::ReturnVar(0)))
+        .with_function(Function::new(
+            "setValue",
+            vec![VarType::Uint256],
+            FnBody::StoreVar {
+                var: 0,
+                value: StoreValue::Arg0,
+            },
+        ))
+}
+
+/// The `OwnableDelegateProxy` shape (Wyvern/OpenSea): owner and logic
+/// address in sequential slots, the EIP-897 introspection functions, and a
+/// forwarding fallback reading slot 1.
+pub fn ownable_delegate_proxy(name: &str) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_var(StorageVar::new("owner", VarType::Address))
+        .with_var(StorageVar::new("logic", VarType::Address))
+        .with_function(Function::new(
+            "proxyType",
+            vec![],
+            FnBody::ReturnConst(U256::from(2u64)),
+        ))
+        .with_function(Function::new(
+            "implementation",
+            vec![],
+            FnBody::ReturnVar(1),
+        ))
+        .with_function(Function::new(
+            "upgradeabilityOwner",
+            vec![],
+            FnBody::ReturnVar(0),
+        ))
+        .with_function(Function::new(
+            "upgradeTo",
+            vec![VarType::Address],
+            FnBody::GuardedStore {
+                owner_var: 0,
+                var: 1,
+            },
+        ))
+        .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(1))))
+}
+
+/// A Wyvern-style logic contract that *also* declares the EIP-897
+/// introspection functions — producing the three function collisions the
+/// paper attributes to `OwnableDelegateProxy` duplicates (§7.2), plus
+/// ordinary business functions.
+pub fn wyvern_logic(name: &str) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_var(StorageVar::new("owner", VarType::Address))
+        .with_var(StorageVar::new("registry", VarType::Address))
+        .with_function(Function::new(
+            "proxyType",
+            vec![],
+            FnBody::ReturnConst(U256::from(2u64)),
+        ))
+        .with_function(Function::new(
+            "implementation",
+            vec![],
+            FnBody::ReturnVar(1),
+        ))
+        .with_function(Function::new(
+            "upgradeabilityOwner",
+            vec![],
+            FnBody::ReturnVar(0),
+        ))
+        .with_function(Function::new(
+            "proxy",
+            vec![VarType::Address, VarType::Uint256],
+            FnBody::Stop,
+        ))
+        .with_function(Function::new("user", vec![], FnBody::ReturnVar(0)))
+}
+
+/// The honeypot pair from the paper's Listing 1.
+///
+/// The proxy's `impl_LUsXCWD2AKCc()` carries a mined selector equal to the
+/// logic's `free_ether_withdrawal()` (`0xdf4a3106`), so a user calling the
+/// enticing withdrawal function actually executes the proxy's stealing
+/// function.
+pub fn honeypot_pair(usdt: Address) -> (ContractSpec, ContractSpec) {
+    let bait_selector = selector("free_ether_withdrawal()");
+    let proxy = ContractSpec::new("HoneypotProxy")
+        .with_var(StorageVar::new("owner", VarType::Address))
+        .with_var(StorageVar::new("logic", VarType::Address))
+        .with_function(
+            Function::new(
+                "impl_LUsXCWD2AKCc",
+                vec![],
+                FnBody::ExternalCall {
+                    target: usdt,
+                    selector: selector("transfer(address,uint256)"),
+                },
+            )
+            .with_selector(bait_selector),
+        )
+        .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(1))));
+    let logic = ContractSpec::new("HoneypotLogic").with_function(Function::new(
+        "free_ether_withdrawal",
+        vec![],
+        FnBody::PayoutEther(10),
+    ));
+    (proxy, logic)
+}
+
+/// The Audius-style storage-collision pair from the paper's Listing 2.
+///
+/// Proxy slot 0 holds `owner` (20 bytes); the logic contract's
+/// `initialized`/`initializing` booleans live at slot 0 bytes 0–1 and its
+/// own `owner` at bytes 2–21. Executing `initialize()` through the proxy
+/// lets an attacker whose address has a zero low byte re-initialize and
+/// seize ownership — the real-world Audius exploit.
+pub fn audius_pair() -> (ContractSpec, ContractSpec) {
+    let proxy = ContractSpec::new("AudiusProxy")
+        .with_var(StorageVar::new("owner", VarType::Address))
+        .with_var(StorageVar::new("logic", VarType::Address))
+        .with_function(Function::new(
+            "transferProxyOwnership",
+            vec![VarType::Address],
+            FnBody::GuardedStore {
+                owner_var: 0,
+                var: 0,
+            },
+        ))
+        .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(1))));
+    let logic = ContractSpec::new("AudiusLogic")
+        .with_var(StorageVar::new("initialized", VarType::Bool))
+        .with_var(StorageVar::new("initializing", VarType::Bool))
+        .with_var(StorageVar::new("owner", VarType::Address))
+        .with_function(Function::new(
+            "initialize",
+            vec![],
+            FnBody::Initialize {
+                flag_var: 0,
+                owner_var: 2,
+            },
+        ))
+        .with_function(Function::new("owner", vec![], FnBody::ReturnVar(2)))
+        .with_function(Function::new(
+            "setGovernance",
+            vec![VarType::Address],
+            FnBody::GuardedStore {
+                owner_var: 2,
+                var: 2,
+            },
+        ));
+    (proxy, logic)
+}
+
+/// A library-user contract: delegatecalls a library from a *function body*
+/// (not the fallback) with fixed input. Has the `DELEGATECALL` opcode but
+/// is **not** a proxy; CRUSH-style tools misclassify it (§6.2).
+pub fn library_user(name: &str, lib: Address) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_var(StorageVar::new("counter", VarType::Uint256))
+        .with_function(Function::new(
+            "increment",
+            vec![],
+            FnBody::LibraryCall { lib },
+        ))
+        .with_function(Function::new("counter", vec![], FnBody::ReturnVar(0)))
+}
+
+/// A plain (non-proxy) token-like contract, with a junk `PUSH4` constant
+/// as naive-extraction bait.
+pub fn plain_token(name: &str) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_var(StorageVar::new("owner", VarType::Address))
+        .with_var(StorageVar::new("totalSupply", VarType::Uint256))
+        .with_function(Function::new("totalSupply", vec![], FnBody::ReturnVar(1)))
+        .with_function(Function::new(
+            "mint",
+            vec![VarType::Uint256],
+            FnBody::GuardedStore {
+                owner_var: 0,
+                var: 1,
+            },
+        ))
+        .with_function(Function::new("owner", vec![], FnBody::ReturnVar(0)))
+        .with_junk_push4([0xca, 0xfe, 0xba, 0xbe])
+}
+
+/// An EIP-2535 diamond proxy: per-selector facet lookup in the fallback.
+/// Random-selector probing never triggers its delegatecall, so Proxion
+/// (faithfully to the paper's §8.1 limitation) misses it.
+pub fn diamond_proxy(name: &str) -> ContractSpec {
+    ContractSpec::new(name).with_fallback(Fallback::DiamondLookup)
+}
+
+/// A custom (non-standard) storage-slot proxy: implementation address in
+/// sequential slot `slot`, with an unguarded setter — the "Others" row of
+/// the paper's Table 4.
+pub fn custom_slot_proxy(name: &str, slot: u64) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_function(Function::new(
+            "setImplementation",
+            vec![VarType::Address],
+            FnBody::SetImplementation {
+                slot: SlotSpec::Index(slot),
+            },
+        ))
+        .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(
+            slot,
+        ))))
+}
+
+/// The EIP-1967 *beacon* slot:
+/// `keccak256("eip1967.proxy.beacon") - 1`.
+pub fn eip1967_beacon_slot() -> SlotSpec {
+    SlotSpec::Fixed(keccak256(b"eip1967.proxy.beacon").to_u256() - U256::ONE)
+}
+
+/// A beacon contract: holds the implementation address in slot 0 and
+/// exposes `implementation()`.
+pub fn beacon(name: &str) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_var(StorageVar::new("implementation", VarType::Address))
+        .with_function(Function::new(
+            "implementation",
+            vec![],
+            FnBody::ReturnVar(0),
+        ))
+        .with_function(Function::new(
+            "setImplementation",
+            vec![VarType::Address],
+            FnBody::StoreVar {
+                var: 0,
+                value: StoreValue::Arg0,
+            },
+        ))
+}
+
+/// A beacon proxy: resolves the implementation through a beacon contract
+/// (two hops), so the delegate target's provenance is *computed* rather
+/// than a direct code constant or storage slot.
+pub fn beacon_proxy(name: &str) -> ContractSpec {
+    ContractSpec::new(name).with_fallback(Fallback::BeaconForward(eip1967_beacon_slot()))
+}
+
+/// An ERC-20-like logic contract built on a balances *mapping*: mapping
+/// accesses live in the hashed-slot namespace and must never be confused
+/// with scalar slots by the storage analysis.
+pub fn mapping_token(name: &str) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_var(StorageVar::new("owner", VarType::Address))
+        .with_var(StorageVar::new("balances", VarType::Mapping))
+        .with_function(Function::new(
+            "deposit",
+            vec![VarType::Uint256],
+            FnBody::MappingStore { var: 1 },
+        ))
+        .with_function(Function::new(
+            "balanceOf",
+            vec![],
+            FnBody::MappingLoad { var: 1 },
+        ))
+        .with_function(Function::new("owner", vec![], FnBody::ReturnVar(0)))
+}
+
+/// A simple logic/business contract with a configurable name and a couple
+/// of functions (the default implementation target in generated pairs).
+pub fn simple_logic(name: &str) -> ContractSpec {
+    ContractSpec::new(name)
+        .with_var(StorageVar::new("value", VarType::Uint256))
+        .with_function(Function::new("value", vec![], FnBody::ReturnVar(0)))
+        .with_function(Function::new(
+            "setValue",
+            vec![VarType::Uint256],
+            FnBody::StoreVar {
+                var: 0,
+                value: StoreValue::Arg0,
+            },
+        ))
+}
+
+/// A contract whose fallback delegatecalls **without forwarding** the call
+/// data — it must fail Proxion's forwarding check (§4.2).
+pub fn non_forwarding_delegator(name: &str, target: Address) -> ContractSpec {
+    ContractSpec::new(name).with_fallback(Fallback::DelegateNoForward(ImplRef::Hardcoded(target)))
+}
+
+/// A contract whose fallback forwards via plain `CALL` — not a proxy (no
+/// storage-context sharing).
+pub fn call_forwarder(name: &str, target: Address) -> ContractSpec {
+    ContractSpec::new(name).with_fallback(Fallback::CallForward(ImplRef::Hardcoded(target)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::layout::StorageLayout;
+
+    #[test]
+    fn minimal_proxy_round_trip() {
+        let logic = Address::from_low_u64(0xbeef);
+        let code = minimal_proxy_runtime(logic);
+        assert_eq!(code.len(), 45);
+        assert_eq!(parse_minimal_proxy(&code), Some(logic));
+        assert_eq!(parse_minimal_proxy(&code[..44]), None);
+        let mut tampered = code.clone();
+        tampered[0] = 0x00;
+        assert_eq!(parse_minimal_proxy(&tampered), None);
+    }
+
+    #[test]
+    fn all_templates_compile() {
+        let lib = Address::from_low_u64(1);
+        let usdt = Address::from_low_u64(2);
+        let (hp, hl) = honeypot_pair(usdt);
+        let (ap, al) = audius_pair();
+        for spec in [
+            eip1967_proxy("A"),
+            eip1822_proxy("B"),
+            eip1822_logic("C"),
+            ownable_delegate_proxy("D"),
+            wyvern_logic("E"),
+            hp,
+            hl,
+            ap,
+            al,
+            library_user("F", lib),
+            plain_token("G"),
+            diamond_proxy("H"),
+            custom_slot_proxy("I", 3),
+            simple_logic("J"),
+            non_forwarding_delegator("K", lib),
+            call_forwarder("L", lib),
+        ] {
+            compile(&spec).unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn honeypot_selectors_collide() {
+        let (proxy, logic) = honeypot_pair(Address::from_low_u64(2));
+        let ps = proxy.selectors();
+        let ls = logic.selectors();
+        assert!(ps.contains(&[0xdf, 0x4a, 0x31, 0x06]));
+        assert!(ls.contains(&[0xdf, 0x4a, 0x31, 0x06]));
+    }
+
+    #[test]
+    fn wyvern_pair_has_three_collisions() {
+        let proxy = ownable_delegate_proxy("P");
+        let logic = wyvern_logic("L");
+        let ps = proxy.selectors();
+        let collisions: Vec<_> = logic
+            .selectors()
+            .into_iter()
+            .filter(|s| ps.contains(s))
+            .collect();
+        assert_eq!(collisions.len(), 3);
+    }
+
+    #[test]
+    fn audius_layouts_overlap_at_slot_zero() {
+        let (proxy, logic) = audius_pair();
+        let pl = StorageLayout::new(&proxy.vars);
+        let ll = StorageLayout::new(&logic.vars);
+        // Proxy owner occupies slot 0 bytes 0..20; logic initialized is
+        // slot 0 byte 0 — different widths, same bytes.
+        assert!(pl.assignment(0).overlaps(&ll.assignment(0)));
+        assert_ne!(pl.assignment(0).width, ll.assignment(0).width);
+    }
+
+    #[test]
+    fn diamond_facet_slot_is_stable() {
+        let s1 = diamond_facet_slot([1, 2, 3, 4]);
+        let s2 = diamond_facet_slot([1, 2, 3, 4]);
+        let s3 = diamond_facet_slot([1, 2, 3, 5]);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests: storage-layout invariants and the structural
+//! relationship between specs and their compiled bytecode.
+
+use proptest::prelude::*;
+use proxion_primitives::U256;
+use proxion_solc::{
+    compile, ContractSpec, DispatcherStyle, Fallback, FnBody, Function, ImplRef, SlotSpec,
+    StorageLayout, StorageVar, VarType,
+};
+
+fn var_type() -> impl Strategy<Value = VarType> {
+    prop_oneof![
+        Just(VarType::Bool),
+        Just(VarType::Uint8),
+        Just(VarType::Uint16),
+        Just(VarType::Uint32),
+        Just(VarType::Uint64),
+        Just(VarType::Uint128),
+        Just(VarType::Uint256),
+        Just(VarType::Address),
+        Just(VarType::Bytes32),
+    ]
+}
+
+fn vars(max: usize) -> impl Strategy<Value = Vec<StorageVar>> {
+    proptest::collection::vec(var_type(), 0..max).prop_map(|types| {
+        types
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| StorageVar::new(format!("v{i}"), ty))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn layout_never_overlaps(vars in vars(24)) {
+        let layout = StorageLayout::new(&vars);
+        let assignments = layout.assignments();
+        for (i, a) in assignments.iter().enumerate() {
+            // Fits within its slot.
+            prop_assert!(a.offset + a.width <= 32, "var {i} spills its slot");
+            for (j, b) in assignments.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.overlaps(b), "vars {i} and {j} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_is_declaration_ordered(vars in vars(24)) {
+        let layout = StorageLayout::new(&vars);
+        let assignments = layout.assignments();
+        for pair in assignments.windows(2) {
+            let earlier = (pair[0].slot, pair[0].offset);
+            let later = (pair[1].slot, pair[1].offset);
+            prop_assert!(earlier < later, "layout order must follow declaration order");
+        }
+        if let Some(last) = assignments.last() {
+            prop_assert!(layout.slots_used() >= last.slot + 1);
+        }
+    }
+
+    #[test]
+    fn layout_packs_tightly(vars in vars(24)) {
+        // Solidity invariant: a variable starts a new slot only if it
+        // would not fit in the remaining bytes of the previous one.
+        let layout = StorageLayout::new(&vars);
+        let assignments = layout.assignments();
+        for pair in assignments.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if b.slot > a.slot {
+                prop_assert!(
+                    a.offset + a.width + b.width > 32,
+                    "var moved to a new slot although it fit: {a:?} -> {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_selectors_are_recoverable(count in 1usize..12, split in any::<bool>()) {
+        // Every declared function's selector must be recoverable from the
+        // compiled dispatcher, and nothing else — for both dispatcher
+        // layouts. This is the core soundness property behind Proxion's
+        // bytecode-mode function-collision detection.
+        let mut spec = ContractSpec::new("P").with_dispatcher(if split {
+            DispatcherStyle::BinarySplit
+        } else {
+            DispatcherStyle::Linear
+        });
+        for i in 0..count {
+            spec = spec.with_function(Function::new(format!("fn{i}"), vec![], FnBody::Stop));
+        }
+        let compiled = compile(&spec).unwrap();
+        let disasm = proxion_disasm::Disassembly::new(&compiled.runtime);
+        let recovered = proxion_disasm::extract_dispatcher_selectors(&disasm).selectors;
+        let declared: std::collections::BTreeSet<[u8; 4]> =
+            spec.selectors().into_iter().collect();
+        prop_assert_eq!(recovered, declared);
+    }
+
+    #[test]
+    fn junk_push4_never_recovered_as_selector(junk in any::<[u8; 4]>()) {
+        let spec = ContractSpec::new("J")
+            .with_function(Function::new("real", vec![], FnBody::Stop))
+            .with_junk_push4(junk);
+        prop_assume!(junk != spec.functions[0].selector());
+        let compiled = compile(&spec).unwrap();
+        let disasm = proxion_disasm::Disassembly::new(&compiled.runtime);
+        let recovered = proxion_disasm::extract_dispatcher_selectors(&disasm).selectors;
+        prop_assert!(!recovered.contains(&junk));
+        // ... although the naive extraction does see it (the §3.1 trap).
+        let naive = proxion_disasm::naive_push4_selectors(&disasm);
+        prop_assert!(naive.contains(&junk));
+    }
+
+    #[test]
+    fn compilation_is_deterministic(count in 0usize..6, slot in 0u64..4) {
+        let mut spec = ContractSpec::new("D")
+            .with_var(StorageVar::new("a", VarType::Address))
+            .with_fallback(Fallback::DelegateForward(ImplRef::Slot(SlotSpec::Index(slot))));
+        for i in 0..count {
+            spec = spec.with_function(Function::new(
+                format!("f{i}"),
+                vec![VarType::Uint256],
+                FnBody::ReturnConst(U256::from(i)),
+            ));
+        }
+        let first = compile(&spec).unwrap();
+        let second = compile(&spec).unwrap();
+        prop_assert_eq!(first.runtime, second.runtime);
+        prop_assert_eq!(first.source, second.source);
+    }
+
+    #[test]
+    fn source_layout_matches_compiled_layout(vars in vars(12)) {
+        let mut spec = ContractSpec::new("S");
+        for v in &vars {
+            spec = spec.with_var(v.clone());
+        }
+        let compiled = compile(&spec).unwrap();
+        prop_assert_eq!(compiled.source.storage.len(), vars.len());
+        for (i, sv) in compiled.source.storage.iter().enumerate() {
+            let a = compiled.layout.assignment(i);
+            prop_assert_eq!(sv.slot, U256::from(a.slot));
+            prop_assert_eq!(sv.offset, a.offset);
+            prop_assert_eq!(sv.width, a.width);
+        }
+    }
+}

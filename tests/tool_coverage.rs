@@ -1,0 +1,112 @@
+//! The Table 1 story as one executable scenario: a *hidden* malicious
+//! proxy (no source published, no transactions ever sent) is invisible to
+//! every prior tool and found only by Proxion — which also pinpoints the
+//! collision that makes it dangerous.
+
+use proxion_baselines::{CrushLike, EtherscanHeuristic, SalehiReplay, UschuntLike, UschuntOutcome};
+use proxion_chain::Chain;
+use proxion_core::{DiamondCheck, DiamondDetector, FunctionCollisionDetector, ProxyDetector};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{selector, Address, U256};
+use proxion_solc::{compile, templates};
+
+/// Deploys the paper's Listing 1 honeypot with *nothing* published: the
+/// exact adversarial setup §3.1 warns about.
+fn hidden_honeypot() -> (Chain, Etherscan, Address, Address) {
+    let mut chain = Chain::new();
+    let attacker = chain.new_funded_account();
+    let (proxy_spec, logic_spec) = templates::honeypot_pair(Address::from_low_u64(0xdead));
+    let logic = chain
+        .install_new(attacker, compile(&logic_spec).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(attacker, compile(&proxy_spec).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(proxy, U256::ONE, U256::from(logic));
+    (chain, Etherscan::new(), proxy, logic)
+}
+
+#[test]
+fn hidden_honeypot_is_invisible_to_every_baseline() {
+    let (chain, etherscan, proxy, _) = hidden_honeypot();
+
+    // USCHunt / Slither: no verified source — cannot analyze at all.
+    assert_eq!(
+        UschuntLike::new().detect_proxy(&chain, &etherscan, proxy),
+        UschuntOutcome::NoSource
+    );
+
+    // CRUSH: no transactions — trace-based discovery never sees it.
+    assert!(!CrushLike::new().detect_proxy(&chain, proxy));
+
+    // Salehi et al.: nothing to replay.
+    assert_eq!(SalehiReplay::new().detect_proxy(&chain, proxy), None);
+
+    // Etherscan's heuristic DOES fire (the bytecode has DELEGATECALL) but
+    // it cannot say anything about collisions — and it fires on library
+    // users just the same, so the signal is weak by the paper's account.
+    assert!(EtherscanHeuristic::new().detect_proxy(&chain, proxy));
+}
+
+#[test]
+fn proxion_finds_the_hidden_honeypot_and_its_collision() {
+    let (chain, etherscan, proxy, logic) = hidden_honeypot();
+
+    let check = ProxyDetector::new().check(&chain, proxy);
+    assert!(check.is_proxy(), "hidden proxy must be identified");
+    assert_eq!(check.logic(), Some(logic), "and its logic resolved");
+
+    let report = FunctionCollisionDetector::new().check_pair(&chain, &etherscan, proxy, logic);
+    assert!(
+        report
+            .collisions
+            .iter()
+            .any(|c| c.selector == selector("free_ether_withdrawal()")),
+        "the mined collision must be exposed from bytecode alone"
+    );
+}
+
+#[test]
+fn diamond_extension_closes_the_gap_for_trafficked_diamonds() {
+    // §8.2: a diamond with history is recoverable by the extension, while
+    // the base detector (faithfully) misses it.
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let facet = chain
+        .install_new(me, compile(&templates::simple_logic("F")).unwrap().runtime)
+        .unwrap();
+    let diamond = chain
+        .install_new(me, compile(&templates::diamond_proxy("D")).unwrap().runtime)
+        .unwrap();
+    let sel = selector("value()");
+    chain.set_storage(
+        diamond,
+        templates::diamond_facet_slot(sel),
+        U256::from(facet),
+    );
+    chain.transact(me, diamond, sel.to_vec(), U256::ZERO);
+
+    assert!(
+        !ProxyDetector::new().check(&chain, diamond).is_proxy(),
+        "base detector must miss the diamond (the paper's §8.1 limitation)"
+    );
+    let check = DiamondDetector::new().check(&chain, diamond);
+    match check {
+        DiamondCheck::Diamond { routes } => {
+            assert_eq!(routes.len(), 1);
+            assert_eq!(routes[0].selector, sel);
+            assert_eq!(routes[0].facet, facet);
+        }
+        other => panic!("extension must find the diamond, got {other:?}"),
+    }
+}
+
+#[test]
+fn driving_a_single_transaction_flips_trace_based_tools() {
+    // The flip side of "hidden": one transaction is all CRUSH/Salehi need.
+    let (mut chain, _, proxy, _) = hidden_honeypot();
+    let victim = chain.new_funded_account();
+    chain.transact(victim, proxy, vec![0xff; 4], U256::ZERO);
+    assert!(CrushLike::new().detect_proxy(&chain, proxy));
+    assert_eq!(SalehiReplay::new().detect_proxy(&chain, proxy), Some(true));
+}
