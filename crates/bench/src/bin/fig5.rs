@@ -7,8 +7,8 @@ use proxion_bench::{header, pct, standard_landscape};
 use proxion_core::{Pipeline, PipelineConfig};
 use proxion_primitives::B256;
 
-fn print_distribution(label: &str, counts: &mut Vec<(B256, usize)>, total: usize) {
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+fn print_distribution(label: &str, counts: &mut [(B256, usize)], total: usize) {
+    counts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     println!(
         "{label}: {} instances, {} unique bytecodes",
         total,

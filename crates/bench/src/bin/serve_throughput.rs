@@ -1,0 +1,97 @@
+//! Serve-mode throughput harness: starts the analysis server over a
+//! deterministic landscape on loopback, drives `proxy_check` load with
+//! the bundled load generator, and reports requests/second plus cache
+//! hit rate — cold cache vs. warm cache.
+//!
+//! Scale with `PROXION_SCALE` (landscape size), `PROXION_CONNS`
+//! (client connections, default 4), and `PROXION_REQS` (requests per
+//! connection, default 200).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use proxion_bench::{header, standard_landscape};
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_service::{loadgen, server, LoadgenConfig, ServerConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let landscape = standard_landscape();
+    let total = landscape.contracts.len();
+    header(&format!("serve-mode throughput ({total} contracts)"));
+
+    let chain = Arc::new(RwLock::new(landscape.chain));
+    let etherscan = Arc::new(RwLock::new(landscape.etherscan));
+    let pipeline = Arc::new(Pipeline::new(PipelineConfig::default()));
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let handle = server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_capacity: 256,
+            follow_chain: false,
+        },
+        chain,
+        etherscan,
+        Arc::clone(&pipeline),
+    )
+    .expect("server starts");
+    let config = LoadgenConfig {
+        connections: env_usize("PROXION_CONNS", 4),
+        requests_per_connection: env_usize("PROXION_REQS", 200),
+    };
+    println!(
+        "server: {} workers, queue 256, {} connections x {} requests",
+        workers, config.connections, config.requests_per_connection
+    );
+
+    // Cold pass: every distinct bytecode is a verdict-cache miss.
+    let cold = loadgen::run(handle.local_addr(), &config).expect("cold load run");
+    let cold_stats = pipeline.cache().stats();
+    println!(
+        "cold cache:  {:>10.0} req/s   ({} ok, {} errors, hit rate {:.1}%)",
+        cold.requests_per_sec,
+        cold.ok,
+        cold.errors,
+        100.0 * cold_stats.checks.hit_rate()
+    );
+
+    // Warm pass: same addresses again — verdicts come from the cache.
+    let warm = loadgen::run(handle.local_addr(), &config).expect("warm load run");
+    let warm_stats = pipeline.cache().stats();
+    let warm_hits = warm_stats.checks.hits - cold_stats.checks.hits;
+    let warm_misses = warm_stats.checks.misses - cold_stats.checks.misses;
+    let warm_rate = if warm_hits + warm_misses > 0 {
+        100.0 * warm_hits as f64 / (warm_hits + warm_misses) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "warm cache:  {:>10.0} req/s   ({} ok, {} errors, hit rate {:.1}%)",
+        warm.requests_per_sec, warm.ok, warm.errors, warm_rate
+    );
+    println!(
+        "speedup:     {:>10.2}x   (cache entries: {} verdicts, {} pairs)",
+        warm.requests_per_sec / cold.requests_per_sec.max(1e-9),
+        warm_stats.checks.entries,
+        warm_stats.pairs.entries
+    );
+
+    let rejected = handle
+        .metrics()
+        .rejected_total
+        .load(std::sync::atomic::Ordering::Relaxed);
+    if rejected > 0 {
+        println!("backpressure: {rejected} connections answered 503");
+    }
+    handle.stop();
+}

@@ -38,5 +38,5 @@ mod node;
 mod trace;
 
 pub use fork::ForkDb;
-pub use node::{Chain, ChainError, DeploymentInfo, InternalCall, TxRecord};
+pub use node::{Chain, ChainError, DeploymentInfo, HeadWatch, InternalCall, TxRecord};
 pub use trace::{TraceBuilder, TraceFrame, TxTrace};

@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use parking_lot::{Condvar, Mutex};
 use proxion_evm::{
     BlockEnv, CallKind, CallResult, Env, Evm, Host, Inspector, MemoryDb, Message,
     RecordingInspector,
@@ -30,6 +32,79 @@ impl fmt::Display for ChainError {
 }
 
 impl std::error::Error for ChainError {}
+
+/// A clonable handle that observes head-block advancement.
+///
+/// The chain announces every *committed* block through its watch; failed
+/// deployments (which roll the head back) are never announced, so the
+/// observed height only moves forward and always names a block whose state
+/// is fully visible through the query interface. Block followers hold a
+/// clone of this handle and sleep in [`HeadWatch::wait_past`] instead of
+/// polling [`Chain::head_block`].
+#[derive(Clone)]
+pub struct HeadWatch {
+    inner: Arc<HeadWatchInner>,
+}
+
+struct HeadWatchInner {
+    head: Mutex<u64>,
+    advanced: Condvar,
+}
+
+impl HeadWatch {
+    fn new(head: u64) -> Self {
+        HeadWatch {
+            inner: Arc::new(HeadWatchInner {
+                head: Mutex::new(head),
+                advanced: Condvar::new(),
+            }),
+        }
+    }
+
+    fn advance(&self, head: u64) {
+        let mut current = self.inner.head.lock();
+        if head > *current {
+            *current = head;
+            self.inner.advanced.notify_all();
+        }
+    }
+
+    /// The highest committed block height announced so far.
+    pub fn current(&self) -> u64 {
+        *self.inner.head.lock()
+    }
+
+    /// Blocks until the committed head exceeds `last_seen`, returning the
+    /// new height, or `None` if `timeout` elapses first.
+    pub fn wait_past(&self, last_seen: u64, timeout: Duration) -> Option<u64> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut head = self.inner.head.lock();
+        while *head <= last_seen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self
+                .inner
+                .advanced
+                .wait_for(&mut head, deadline - now)
+                .timed_out()
+                && *head <= last_seen
+            {
+                return None;
+            }
+        }
+        Some(*head)
+    }
+}
+
+impl fmt::Debug for HeadWatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeadWatch")
+            .field("head", &self.current())
+            .finish()
+    }
+}
 
 /// Metadata about a deployed contract.
 #[derive(Debug, Clone)]
@@ -86,6 +161,10 @@ pub struct Chain {
     /// (address, slot) → change list [(block, new value)] in block order.
     storage_history: HashMap<(Address, U256), Vec<(u64, U256)>>,
     deployments: HashMap<Address, DeploymentInfo>,
+    /// `(block, address)` for every deployment, in chain order — the feed
+    /// incremental followers consume to analyze only what is new.
+    deploy_log: Vec<(u64, Address)>,
+    head_watch: HeadWatch,
     txs: Vec<TxRecord>,
     /// Per-address indexes into `txs` (as target or internal participant).
     tx_index: HashMap<Address, Vec<usize>>,
@@ -110,6 +189,8 @@ impl Chain {
             head: Self::GENESIS,
             storage_history: HashMap::new(),
             deployments: HashMap::new(),
+            deploy_log: Vec::new(),
+            head_watch: HeadWatch::new(Self::GENESIS),
             txs: Vec::new(),
             tx_index: HashMap::new(),
             api_calls: AtomicU64::new(0),
@@ -150,6 +231,19 @@ impl Chain {
     fn begin_block(&mut self) -> u64 {
         self.head += 1;
         self.head
+    }
+
+    /// Announces the (now fully committed) head to all watchers. Called at
+    /// the end of every successful mutation; failure paths that roll the
+    /// head back never announce.
+    fn commit_block(&mut self) {
+        self.head_watch.advance(self.head);
+    }
+
+    fn record_deployment(&mut self, block: u64, address: Address, deployer: Address) {
+        self.deployments
+            .insert(address, DeploymentInfo { block, deployer });
+        self.deploy_log.push((block, address));
     }
 
     fn record_state_changes(&mut self, block: u64) {
@@ -199,8 +293,8 @@ impl Chain {
         }
         let address = result.created.expect("successful create has an address");
         self.finish_tx(block, deployer, address, None, &result, &inspector);
-        self.deployments
-            .insert(address, DeploymentInfo { block, deployer });
+        self.record_deployment(block, address, deployer);
+        self.commit_block();
         Ok(address)
     }
 
@@ -225,8 +319,8 @@ impl Chain {
         self.db.set_code(address, runtime_code);
         self.db.inc_nonce(address);
         self.db.commit();
-        self.deployments
-            .insert(address, DeploymentInfo { block, deployer });
+        self.record_deployment(block, address, deployer);
+        self.commit_block();
         Ok(())
     }
 
@@ -251,6 +345,7 @@ impl Chain {
         let block = self.begin_block();
         self.db.set_storage(address, slot, value);
         self.record_state_changes(block);
+        self.commit_block();
     }
 
     /// Executes an external transaction in a new block and records it.
@@ -270,6 +365,7 @@ impl Chain {
             evm.call(Message::eoa_call(from, to, input).with_value(value))
         };
         self.finish_tx(block, from, to, input_selector, &result, &inspector);
+        self.commit_block();
         result
     }
 
@@ -299,6 +395,7 @@ impl Chain {
         };
         self.record_state_changes(block);
         self.record_tx(record);
+        self.commit_block();
         result
     }
 
@@ -374,6 +471,20 @@ impl Chain {
     /// Deployment metadata for a contract.
     pub fn deployment(&self, address: Address) -> Option<&DeploymentInfo> {
         self.deployments.get(&address)
+    }
+
+    /// A clonable handle for waiting on head-block advancement.
+    pub fn head_watch(&self) -> HeadWatch {
+        self.head_watch.clone()
+    }
+
+    /// Deployments with block height in `(after, up_to]`, in chain order:
+    /// the incremental feed a block follower consumes after waking from
+    /// [`HeadWatch::wait_past`].
+    pub fn deployed_between(&self, after: u64, up_to: u64) -> &[(u64, Address)] {
+        let lo = self.deploy_log.partition_point(|&(b, _)| b <= after);
+        let hi = self.deploy_log.partition_point(|&(b, _)| b <= up_to);
+        &self.deploy_log[lo..hi]
     }
 
     /// All contract addresses ever deployed, in deployment order.
@@ -488,6 +599,70 @@ mod tests {
         // Init code that reverts immediately.
         let err = chain.deploy(me, vec![op::PUSH0, op::PUSH0, op::REVERT]);
         assert!(matches!(err, Err(ChainError::DeploymentFailed(_))));
+    }
+
+    #[test]
+    fn head_watch_sees_committed_blocks_only() {
+        let mut chain = Chain::new();
+        let watch = chain.head_watch();
+        assert_eq!(watch.current(), Chain::GENESIS);
+
+        let me = chain.new_funded_account();
+        // A failed deployment rolls the head back and announces nothing.
+        let _ = chain.deploy(me, vec![op::PUSH0, op::PUSH0, op::REVERT]);
+        assert_eq!(watch.current(), Chain::GENESIS);
+        assert!(watch
+            .wait_past(Chain::GENESIS, Duration::from_millis(10))
+            .is_none());
+
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+        let announced = watch
+            .wait_past(Chain::GENESIS, Duration::from_secs(1))
+            .expect("head advanced");
+        assert_eq!(announced, chain.head_block());
+        assert_eq!(chain.deployment(a).unwrap().block, announced);
+    }
+
+    #[test]
+    fn head_watch_wakes_waiter_across_threads() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let watch = chain.head_watch();
+        let start = chain.head_block();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(move || watch.wait_past(start, Duration::from_secs(5)));
+            chain.install_new(me, vec![op::STOP]).unwrap();
+            let woke = waiter.join().unwrap().expect("woken by deployment");
+            assert!(woke > start);
+        });
+    }
+
+    #[test]
+    fn deployed_between_feeds_only_new_contracts() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+        let cut = chain.head_block();
+        let b = chain.install_new(me, vec![op::STOP]).unwrap();
+        let c = chain.install_new(me, vec![op::STOP]).unwrap();
+
+        let all: Vec<Address> = chain
+            .deployed_between(Chain::GENESIS, chain.head_block())
+            .iter()
+            .map(|&(_, a)| a)
+            .collect();
+        assert_eq!(all, vec![a, b, c]);
+
+        let fresh: Vec<Address> = chain
+            .deployed_between(cut, chain.head_block())
+            .iter()
+            .map(|&(_, a)| a)
+            .collect();
+        assert_eq!(fresh, vec![b, c]);
+
+        assert!(chain
+            .deployed_between(chain.head_block(), u64::MAX)
+            .is_empty());
     }
 
     #[test]

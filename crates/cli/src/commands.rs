@@ -1,5 +1,8 @@
 //! The CLI subcommands.
 
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 use proxion_baselines::{CrushLike, UschuntLike};
 use proxion_chain::Chain;
 use proxion_core::{
@@ -9,10 +12,20 @@ use proxion_core::{
 use proxion_dataset::{CollisionCorpus, Landscape, LandscapeConfig};
 use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Disassembly};
 use proxion_primitives::{decode_hex, encode_hex, selector, Address, U256};
+use proxion_service::json::{self, JsonValue};
+use proxion_service::{loadgen as service_loadgen, server, LoadgenConfig, ServerConfig};
 use proxion_solc::{compile, templates};
 
-/// `proxion inspect <hex-file-or-string>`
+/// Removes `flag` from `args`, reporting whether it was present.
+fn take_flag(args: &[String], flag: &str) -> (bool, Vec<String>) {
+    let present = args.iter().any(|a| a == flag);
+    let rest = args.iter().filter(|a| *a != flag).cloned().collect();
+    (present, rest)
+}
+
+/// `proxion inspect [--json] <hex-file-or-string>`
 pub fn inspect(args: &[String]) -> Result<(), String> {
+    let (as_json, args) = take_flag(args, "--json");
     let input = args
         .first()
         .ok_or("inspect needs a hex file path or hex string")?;
@@ -23,6 +36,9 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
     let code = decode_hex(&hex).map_err(|e| format!("invalid hex: {e}"))?;
     if code.is_empty() {
         return Err("empty bytecode".into());
+    }
+    if as_json {
+        return inspect_json(&code);
     }
     println!("bytecode: {} bytes", code.len());
 
@@ -91,11 +107,49 @@ fn proxion_asm_delegatecall() -> u8 {
     0xf4
 }
 
-/// `proxion landscape [contracts] [seed]`
+/// Machine-readable `inspect` output.
+fn inspect_json(code: &[u8]) -> Result<(), String> {
+    let disasm = Disassembly::new(code);
+    let info = extract_dispatcher_selectors(&disasm);
+    let naive = naive_push4_selectors(&disasm);
+    let junk: Vec<JsonValue> = naive
+        .difference(&info.selectors)
+        .map(|s| format!("0x{}", encode_hex(s)).into())
+        .collect();
+    let selectors: Vec<JsonValue> = info
+        .selectors
+        .iter()
+        .map(|s| format!("0x{}", encode_hex(s)).into())
+        .collect();
+    let layout = StorageCollisionDetector::new().layout_of(code);
+    let doc = json::object(vec![
+        ("bytes", code.len().into()),
+        ("instructions", disasm.instructions().len().into()),
+        ("jumpdests", disasm.jumpdests().len().into()),
+        (
+            "has_delegatecall",
+            disasm.contains(proxion_asm_delegatecall()).into(),
+        ),
+        ("has_calldata_prelude", info.has_calldata_prelude.into()),
+        ("dispatcher_selectors", JsonValue::Array(selectors)),
+        ("non_dispatcher_push4", JsonValue::Array(junk)),
+        (
+            "storage_regions",
+            json::parse(&json::to_json(&layout)).expect("valid JSON"),
+        ),
+    ]);
+    println!("{}", json::to_json(&doc));
+    Ok(())
+}
+
+/// `proxion landscape [--json] [contracts] [seed]`
 pub fn landscape(args: &[String]) -> Result<(), String> {
+    let (as_json, args) = take_flag(args, "--json");
     let contracts: usize = parse_or(args.first(), 1000)?;
     let seed: u64 = parse_or(args.get(1), 0x5eed)?;
-    println!("generating landscape: {contracts} contracts, seed {seed:#x}...");
+    if !as_json {
+        println!("generating landscape: {contracts} contracts, seed {seed:#x}...");
+    }
     let landscape = Landscape::generate(&LandscapeConfig {
         seed,
         total_contracts: contracts,
@@ -108,6 +162,40 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         check_historical_pairs: false,
     })
     .analyze_all(&landscape.chain, &landscape.etherscan);
+    if as_json {
+        let standards = report.standard_distribution();
+        let standard_members: Vec<(&str, JsonValue)> = [
+            ("eip1167", ProxyStandard::Eip1167),
+            ("eip1822", ProxyStandard::Eip1822),
+            ("eip1967", ProxyStandard::Eip1967),
+            ("other", ProxyStandard::Other),
+        ]
+        .into_iter()
+        .map(|(label, key)| (label, standards.get(&key).copied().unwrap_or(0).into()))
+        .collect();
+        let doc = json::object(vec![
+            ("contracts", report.total().into()),
+            ("proxies", report.proxy_count().into()),
+            ("hidden_proxies", report.hidden_proxy_count().into()),
+            ("standards", json::object(standard_members)),
+            (
+                "function_collision_pairs",
+                report.function_collision_count().into(),
+            ),
+            (
+                "exploitable_storage_pairs",
+                report.storage_collision_count().into(),
+            ),
+            ("upgraded_proxies", report.upgraded_proxy_count().into()),
+            ("upgrade_events", report.total_upgrade_events().into()),
+            (
+                "reports",
+                json::parse(&json::to_json(&report.reports)).expect("valid JSON"),
+            ),
+        ]);
+        println!("{}", json::to_json(&doc));
+        return Ok(());
+    }
     println!(
         "analyzed {} contracts in {:.2}s",
         report.total(),
@@ -300,6 +388,147 @@ fn demo_audius() -> Result<(), String> {
     }
 }
 
+/// Options of `proxion serve`.
+struct ServeOpts {
+    contracts: usize,
+    seed: u64,
+    port: u16,
+    workers: usize,
+    queue: usize,
+    follow: bool,
+}
+
+impl ServeOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = ServeOpts {
+            contracts: 200,
+            seed: 0x5eed,
+            port: 0,
+            workers: 4,
+            queue: 64,
+            follow: true,
+        };
+        let mut positional = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut flag_value = |name: &str| {
+                iter.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--port" => {
+                    opts.port = flag_value("--port")?
+                        .parse()
+                        .map_err(|_| "invalid --port".to_owned())?
+                }
+                "--workers" => {
+                    opts.workers = flag_value("--workers")?
+                        .parse()
+                        .map_err(|_| "invalid --workers".to_owned())?
+                }
+                "--queue" => {
+                    opts.queue = flag_value("--queue")?
+                        .parse()
+                        .map_err(|_| "invalid --queue".to_owned())?
+                }
+                "--no-follow" => opts.follow = false,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other:?}"));
+                }
+                _ => positional.push(arg.clone()),
+            }
+        }
+        opts.contracts = parse_or(positional.first(), opts.contracts)?;
+        opts.seed = parse_or(positional.get(1), opts.seed)?;
+        Ok(opts)
+    }
+}
+
+/// Generates a landscape and starts the analysis server over it. Shared
+/// by `proxion serve` and the integration tests, which need the handle.
+fn launch_server(
+    opts: &ServeOpts,
+) -> Result<(proxion_service::ServerHandle, Arc<RwLock<Chain>>), String> {
+    let landscape = Landscape::generate(&LandscapeConfig {
+        seed: opts.seed,
+        total_contracts: opts.contracts,
+    });
+    let chain = Arc::new(RwLock::new(landscape.chain));
+    let etherscan = Arc::new(RwLock::new(landscape.etherscan));
+    let pipeline = Arc::new(Pipeline::new(PipelineConfig {
+        parallelism: 1,
+        resolve_history: true,
+        check_collisions: true,
+        check_historical_pairs: false,
+    }));
+    let handle = server::start(
+        ServerConfig {
+            addr: format!("127.0.0.1:{}", opts.port),
+            workers: opts.workers,
+            queue_capacity: opts.queue,
+            follow_chain: opts.follow,
+        },
+        Arc::clone(&chain),
+        etherscan,
+        pipeline,
+    )
+    .map_err(|e| format!("failed to start server: {e}"))?;
+    Ok((handle, chain))
+}
+
+/// `proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow]`
+///
+/// Generates a synthetic landscape and serves the analysis over HTTP
+/// until killed.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let opts = ServeOpts::parse(args)?;
+    println!(
+        "generating landscape: {} contracts, seed {:#x}...",
+        opts.contracts, opts.seed
+    );
+    let (handle, _chain) = launch_server(&opts)?;
+    println!(
+        "proxion-service listening on http://{}",
+        handle.local_addr()
+    );
+    println!("  POST /rpc       methods: proxy_check, logic_history, collisions, contracts, stats, health");
+    println!("  GET  /health    liveness");
+    println!("  GET  /metrics   Prometheus text format");
+    println!(
+        "  workers: {}, queue: {}, follower: {}",
+        opts.workers,
+        opts.queue,
+        if opts.follow { "on" } else { "off" }
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `proxion loadgen <host:port> [connections] [requests-per-connection]`
+pub fn loadgen(args: &[String]) -> Result<(), String> {
+    let addr: std::net::SocketAddr = args
+        .first()
+        .ok_or("loadgen needs the server address (host:port)")?
+        .parse()
+        .map_err(|_| "invalid address; expected host:port".to_owned())?;
+    let config = LoadgenConfig {
+        connections: parse_or(args.get(1), 4)?,
+        requests_per_connection: parse_or(args.get(2), 100)?,
+    };
+    let report = service_loadgen::run(addr, &config).map_err(|e| e.to_string())?;
+    println!(
+        "{} requests ({} ok, {} errors) in {:.2}s — {:.0} req/s",
+        report.ok + report.errors,
+        report.ok,
+        report.errors,
+        report.elapsed_secs,
+        report.requests_per_sec
+    );
+    Ok(())
+}
+
 fn parse_or<T: std::str::FromStr>(arg: Option<&String>, default: T) -> Result<T, String> {
     match arg {
         None => Ok(default),
@@ -347,5 +576,43 @@ mod tests {
     #[test]
     fn landscape_runs_small() {
         landscape(&["60".into(), "3".into()]).unwrap();
+        landscape(&["--json".into(), "30".into(), "3".into()]).unwrap();
+    }
+
+    #[test]
+    fn inspect_json_mode_runs() {
+        let code = templates::minimal_proxy_runtime(Address::from_low_u64(7));
+        inspect(&["--json".into(), encode_hex(&code)]).unwrap();
+    }
+
+    #[test]
+    fn serve_opts_parse_flags_and_positionals() {
+        let opts = ServeOpts::parse(&[
+            "50".into(),
+            "--port".into(),
+            "8080".into(),
+            "7".into(),
+            "--workers".into(),
+            "2".into(),
+            "--no-follow".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.contracts, 50);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.port, 8080);
+        assert_eq!(opts.workers, 2);
+        assert!(!opts.follow);
+        assert!(ServeOpts::parse(&["--port".into()]).is_err());
+        assert!(ServeOpts::parse(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn loadgen_command_drives_a_live_server() {
+        let opts = ServeOpts::parse(&["40".into(), "9".into(), "--no-follow".into()]).unwrap();
+        let (handle, _chain) = launch_server(&opts).unwrap();
+        loadgen(&[handle.local_addr().to_string(), "2".into(), "5".into()]).unwrap();
+        assert!(loadgen(&[]).is_err());
+        assert!(loadgen(&["not-an-addr".into()]).is_err());
+        handle.stop();
     }
 }

@@ -1,10 +1,12 @@
 //! `proxion` — the command-line interface.
 //!
 //! ```text
-//! proxion inspect <hex-file-or-string>   static bytecode analysis
-//! proxion landscape [N] [seed]           generate + analyze a landscape
-//! proxion accuracy [per-kind]            Table 2 accuracy comparison
-//! proxion demo <honeypot|audius>         run an attack reproduction
+//! proxion inspect [--json] <hex-file-or-string>   static bytecode analysis
+//! proxion landscape [--json] [N] [seed]           generate + analyze a landscape
+//! proxion accuracy [per-kind]                     Table 2 accuracy comparison
+//! proxion demo <honeypot|audius>                  run an attack reproduction
+//! proxion serve [N] [seed]                        run the analysis server
+//! proxion loadgen <host:port> [conns] [reqs]      drive load at a server
 //! ```
 
 use std::process::ExitCode;
@@ -22,6 +24,8 @@ fn main() -> ExitCode {
         "landscape" => commands::landscape(rest),
         "accuracy" => commands::accuracy(rest),
         "demo" => commands::demo(rest),
+        "serve" => commands::serve(rest),
+        "loadgen" => commands::loadgen(rest),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -58,6 +62,18 @@ USAGE:
     proxion demo honeypot
     proxion demo audius
         Reproduce the paper's Listing 1 / Listing 2 attacks end to end.
+
+    proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow]
+        Generate a landscape and serve the analysis over HTTP/1.1:
+        POST /rpc (JSON-RPC: proxy_check, logic_history, collisions,
+        contracts, stats, health), GET /health, GET /metrics. A bounded
+        request queue answers 503 under overload; the block follower
+        analyzes new contracts and proxy upgrades incrementally.
+
+    proxion loadgen <host:port> [connections] [requests-per-connection]
+        Drive proxy_check load at a running server and report req/s.
+
+Add --json to inspect/landscape for machine-readable output.
 "
     );
 }

@@ -9,7 +9,7 @@ use proxion_etherscan::Etherscan;
 use proxion_primitives::{encode_hex, Address};
 
 /// How a contract's selector set was obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub enum SelectorSource {
     /// From verified source (Slither-style signature listing).
     VerifiedSource,
@@ -29,8 +29,12 @@ impl fmt::Display for SelectorSource {
     }
 }
 
+/// A contract's extracted selector inventory: the raw selector set, the
+/// named subset (when source is available), and where the set came from.
+pub type SelectorInventory = (BTreeSet<[u8; 4]>, Vec<([u8; 4], String)>, SelectorSource);
+
 /// One colliding selector between a proxy and a logic contract.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct FunctionCollision {
     /// The shared 4-byte selector.
     pub selector: [u8; 4],
@@ -53,7 +57,7 @@ impl fmt::Display for FunctionCollision {
 }
 
 /// The outcome of checking one proxy/logic pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct FunctionCollisionReport {
     /// Colliding selectors.
     pub collisions: Vec<FunctionCollision>,
@@ -98,7 +102,7 @@ impl FunctionCollisionDetector {
         chain: &Chain,
         etherscan: &Etherscan,
         address: Address,
-    ) -> (BTreeSet<[u8; 4]>, Vec<([u8; 4], String)>, SelectorSource) {
+    ) -> SelectorInventory {
         if let Some(source) = etherscan.effective_source(address) {
             let named: Vec<([u8; 4], String)> = source
                 .functions

@@ -53,6 +53,7 @@
 //! assert_eq!(check.logic(), Some(logic));
 //! ```
 
+mod cache;
 mod diamond;
 mod funcsig;
 mod logic;
@@ -60,6 +61,7 @@ mod pipeline;
 mod proxy;
 mod storage;
 
+pub use cache::{AnalysisCache, AnalysisCacheStats, CacheStats, CachedVerdict, ShardedLru};
 pub use diamond::{DiamondCheck, DiamondDetector, FacetRoute};
 pub use funcsig::{
     FunctionCollision, FunctionCollisionDetector, FunctionCollisionReport, SelectorSource,

@@ -6,7 +6,7 @@ use proxion_chain::Chain;
 use proxion_primitives::{Address, U256};
 
 /// One observed implementation change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct UpgradeEvent {
     /// The first block at which the new value is visible.
     pub block: u64,
@@ -15,7 +15,7 @@ pub struct UpgradeEvent {
 }
 
 /// The full implementation history of one proxy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct LogicHistory {
     /// Every logic address ever stored, in first-appearance order
     /// (zero/empty values are filtered out).

@@ -6,12 +6,14 @@
 //! value — is then read directly) and **parallel workers**.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
 use proxion_chain::Chain;
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{Address, B256};
 
+use crate::cache::{AnalysisCache, CachedVerdict};
 use crate::funcsig::{FunctionCollisionDetector, FunctionCollisionReport};
 use crate::logic::{LogicHistory, LogicResolver};
 use crate::proxy::{ImplSource, NotProxyReason, ProxyCheck, ProxyDetector, ProxyStandard};
@@ -45,7 +47,7 @@ impl Default for PipelineConfig {
 }
 
 /// Collision reports for one (proxy, logic) pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct PairCollisions {
     /// The logic contract of the pair.
     pub logic: Address,
@@ -56,7 +58,7 @@ pub struct PairCollisions {
 }
 
 /// Everything the pipeline learned about one contract.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct ContractReport {
     /// The contract address.
     pub address: Address,
@@ -91,7 +93,7 @@ impl ContractReport {
 }
 
 /// Aggregated results over a whole chain.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct AnalysisReport {
     /// Per-contract reports, in deployment order.
     pub reports: Vec<ContractReport>,
@@ -192,14 +194,6 @@ impl AnalysisReport {
     }
 }
 
-#[derive(Clone)]
-struct CachedCheck {
-    is_proxy: bool,
-    impl_source: Option<ImplSource>,
-    standard: Option<ProxyStandard>,
-    reason: Option<NotProxyReason>,
-}
-
 /// The full-chain analysis pipeline.
 pub struct Pipeline {
     config: PipelineConfig,
@@ -207,6 +201,7 @@ pub struct Pipeline {
     resolver: LogicResolver,
     functions: FunctionCollisionDetector,
     storage: StorageCollisionDetector,
+    cache: Arc<AnalysisCache>,
 }
 
 impl Default for Pipeline {
@@ -216,15 +211,29 @@ impl Default for Pipeline {
 }
 
 impl Pipeline {
-    /// Creates a pipeline with the given configuration.
+    /// Creates a pipeline with the given configuration and a private
+    /// result cache.
     pub fn new(config: PipelineConfig) -> Self {
+        Self::with_cache(config, Arc::new(AnalysisCache::new()))
+    }
+
+    /// Creates a pipeline sharing an existing result cache — the server
+    /// path and the block follower pass the same cache here, so a warm
+    /// batch run keeps serving its verdicts to later requests.
+    pub fn with_cache(config: PipelineConfig, cache: Arc<AnalysisCache>) -> Self {
         Pipeline {
             config,
             detector: ProxyDetector::new(),
             resolver: LogicResolver::new(),
             functions: FunctionCollisionDetector::new(),
             storage: StorageCollisionDetector::new(),
+            cache,
         }
+    }
+
+    /// The shared result cache.
+    pub fn cache(&self) -> &Arc<AnalysisCache> {
+        &self.cache
     }
 
     /// Analyzes every alive contract on the chain.
@@ -238,85 +247,85 @@ impl Pipeline {
     }
 
     /// Analyzes an explicit set of addresses.
+    ///
+    /// The output is deterministic regardless of `parallelism`: workers
+    /// pull addresses from a shared atomic index (so load balances even
+    /// when per-contract cost varies wildly) but write each report into
+    /// the slot of its input position, and the final stable sort by
+    /// deployment block therefore ties equal keys by input order.
     pub fn analyze(
         &self,
         chain: &Chain,
         etherscan: &Etherscan,
         addresses: &[Address],
     ) -> AnalysisReport {
-        let check_cache: Mutex<HashMap<B256, CachedCheck>> = Mutex::new(HashMap::new());
-        let pair_cache: Mutex<
-            HashMap<(B256, B256), (FunctionCollisionReport, StorageCollisionReport)>,
-        > = Mutex::new(HashMap::new());
-
-        let workers = self.config.parallelism.max(1);
+        let workers = self.config.parallelism.max(1).min(addresses.len().max(1));
         let mut reports: Vec<ContractReport> = if workers == 1 {
             addresses
                 .iter()
-                .map(|&a| self.analyze_one(chain, etherscan, a, &check_cache, &pair_cache))
+                .map(|&a| self.analyze_one(chain, etherscan, a))
                 .collect()
         } else {
-            let chunk = addresses.len().div_ceil(workers);
-            let results: Mutex<Vec<ContractReport>> = Mutex::new(Vec::new());
+            let next = AtomicUsize::new(0);
+            let slots: Vec<OnceLock<ContractReport>> =
+                addresses.iter().map(|_| OnceLock::new()).collect();
             crossbeam::scope(|scope| {
-                for part in addresses.chunks(chunk.max(1)) {
-                    scope.spawn(|_| {
-                        let local: Vec<ContractReport> = part
-                            .iter()
-                            .map(|&a| {
-                                self.analyze_one(chain, etherscan, a, &check_cache, &pair_cache)
-                            })
-                            .collect();
-                        results.lock().extend(local);
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&address) = addresses.get(i) else {
+                            break;
+                        };
+                        let report = self.analyze_one(chain, etherscan, address);
+                        assert!(slots[i].set(report).is_ok(), "slot written once");
                     });
                 }
             })
             .expect("worker panicked");
-            results.into_inner()
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every slot filled"))
+                .collect()
         };
         reports.sort_by_key(|r| r.deploy_block);
         AnalysisReport { reports }
     }
 
-    fn analyze_one(
+    /// Analyzes a single address (the server's `proxy_check` path).
+    pub fn analyze_one(
         &self,
         chain: &Chain,
         etherscan: &Etherscan,
         address: Address,
-        check_cache: &Mutex<HashMap<B256, CachedCheck>>,
-        pair_cache: &Mutex<
-            HashMap<(B256, B256), (FunctionCollisionReport, StorageCollisionReport)>,
-        >,
     ) -> ContractReport {
         let code = chain.code_at(address);
         let code_hash = proxion_primitives::keccak256(code.as_slice());
 
         // Proxy detection is bytecode-determined (except the concrete
         // logic address); reuse cached verdicts for identical bytecode.
-        let cached = check_cache.lock().get(&code_hash).cloned();
-        let check = match cached {
-            Some(cache) => self.rehydrate(chain, address, &cache),
+        let check = match self.cache.get_check(&code_hash) {
+            Some(verdict) => self.rehydrate(chain, address, &verdict),
             None => {
                 let fresh = self.detector.check(chain, address);
-                let cache = match &fresh {
+                let verdict = match &fresh {
                     ProxyCheck::Proxy {
                         impl_source,
                         standard,
                         ..
-                    } => CachedCheck {
+                    } => CachedVerdict {
                         is_proxy: true,
                         impl_source: Some(*impl_source),
                         standard: Some(*standard),
                         reason: None,
                     },
-                    ProxyCheck::NotProxy(reason) => CachedCheck {
+                    ProxyCheck::NotProxy(reason) => CachedVerdict {
                         is_proxy: false,
                         impl_source: None,
                         standard: None,
                         reason: Some(reason.clone()),
                     },
                 };
-                check_cache.lock().insert(code_hash, cache);
+                self.cache.insert_check(code_hash, verdict);
                 fresh
             }
         };
@@ -332,25 +341,10 @@ impl Pipeline {
             _ => None,
         };
 
-        let check_pair_cached = |logic: Address| {
-            let logic_hash = proxion_primitives::keccak256(chain.code_at(logic).as_slice());
-            let key = (code_hash, logic_hash);
-            let hit = pair_cache.lock().get(&key).cloned();
-            match hit {
-                Some(pair) => pair,
-                None => {
-                    let f = self.functions.check_pair(chain, etherscan, address, logic);
-                    let s = self.storage.check_pair(chain, address, logic);
-                    pair_cache.lock().insert(key, (f.clone(), s.clone()));
-                    (f, s)
-                }
-            }
-        };
-
         let (function_collisions, storage_collisions) = match (&check, self.config.check_collisions)
         {
             (ProxyCheck::Proxy { logic, .. }, true) if !logic.is_zero() => {
-                let (f, s) = check_pair_cached(*logic);
+                let (f, s) = self.check_pair(chain, etherscan, address, *logic);
                 (Some(f), Some(s))
             }
             _ => (None, None),
@@ -365,7 +359,7 @@ impl Pipeline {
                     if Some(logic) == current || logic.is_zero() {
                         continue;
                     }
-                    let (functions, storage) = check_pair_cached(logic);
+                    let (functions, storage) = self.check_pair(chain, etherscan, address, logic);
                     historical_pairs.push(PairCollisions {
                         logic,
                         functions,
@@ -389,9 +383,33 @@ impl Pipeline {
         }
     }
 
+    /// Runs (or reuses) the collision detectors for one proxy/logic pair,
+    /// keyed by the pair's bytecode hashes. The block follower calls this
+    /// directly when an upgrade introduces a single new pair.
+    pub fn check_pair(
+        &self,
+        chain: &Chain,
+        etherscan: &Etherscan,
+        proxy: Address,
+        logic: Address,
+    ) -> (FunctionCollisionReport, StorageCollisionReport) {
+        let proxy_hash = proxion_primitives::keccak256(chain.code_at(proxy).as_slice());
+        let logic_hash = proxion_primitives::keccak256(chain.code_at(logic).as_slice());
+        let key = (proxy_hash, logic_hash);
+        match self.cache.get_pair(&key) {
+            Some(pair) => pair,
+            None => {
+                let f = self.functions.check_pair(chain, etherscan, proxy, logic);
+                let s = self.storage.check_pair(chain, proxy, logic);
+                self.cache.insert_pair(key, (f.clone(), s.clone()));
+                (f, s)
+            }
+        }
+    }
+
     /// Rebuilds a per-address verdict from a cached bytecode verdict: the
     /// concrete logic address comes from the address's own storage.
-    fn rehydrate(&self, chain: &Chain, address: Address, cache: &CachedCheck) -> ProxyCheck {
+    fn rehydrate(&self, chain: &Chain, address: Address, cache: &CachedVerdict) -> ProxyCheck {
         if !cache.is_proxy {
             return ProxyCheck::NotProxy(
                 cache

@@ -8,7 +8,7 @@ use proxion_solc::templates::parse_minimal_proxy;
 use proxion_solc::SlotSpec;
 
 /// Where a proxy keeps its logic-contract address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub enum ImplSource {
     /// Hard-coded in the bytecode (`PUSH20` constant).
     Hardcoded,
@@ -20,7 +20,7 @@ pub enum ImplSource {
 }
 
 /// The proxy standard a contract follows (paper Table 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
 pub enum ProxyStandard {
     /// EIP-1167 minimal proxy (logic address hard-coded in bytecode).
     Eip1167,
@@ -33,7 +33,7 @@ pub enum ProxyStandard {
 }
 
 /// Why a contract was rejected as a proxy.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub enum NotProxyReason {
     /// The account has no code (EOA or destroyed).
     NoCode,
@@ -52,7 +52,7 @@ pub enum NotProxyReason {
 }
 
 /// The outcome of a proxy check.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub enum ProxyCheck {
     /// The contract is a proxy.
     Proxy {

@@ -30,7 +30,7 @@ use proxion_evm::{Evm, Host, Message, RecordingInspector};
 use proxion_primitives::{Address, U256};
 
 /// Whether a region was read or written.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
 pub enum AccessKind {
     /// Observed `SLOAD`.
     Read,
@@ -39,7 +39,7 @@ pub enum AccessKind {
 }
 
 /// One storage access region recovered from bytecode.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct AccessRegion {
     /// The storage slot.
     pub slot: U256,
@@ -90,7 +90,7 @@ impl fmt::Display for AccessRegion {
 }
 
 /// One detected storage collision on a proxy/logic pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct StorageCollision {
     /// The colliding slot.
     pub slot: U256,
@@ -122,7 +122,7 @@ impl fmt::Display for StorageCollision {
 }
 
 /// Report for one proxy/logic pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct StorageCollisionReport {
     /// All collisions found (deduplicated by slot + extents).
     pub collisions: Vec<StorageCollision>,
@@ -197,7 +197,7 @@ fn decode_mask(mask: U256) -> Option<(usize, usize)> {
         return None;
     }
     let width_bits = shifted.bit_len();
-    if trailing % 8 != 0 || width_bits % 8 != 0 {
+    if !trailing.is_multiple_of(8) || !width_bits.is_multiple_of(8) {
         return None;
     }
     Some(((trailing / 8) as usize, (width_bits / 8) as usize))

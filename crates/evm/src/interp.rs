@@ -85,11 +85,12 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
         // Only plain CALLs move value between distinct accounts;
         // CALLCODE/DELEGATECALL run in the caller's own context and
         // STATICCALL carries no value.
-        if msg.kind == CallKind::Call && !msg.value.is_zero() {
-            if !self.host.transfer(msg.caller, msg.target, msg.value) {
-                self.host.rollback(snapshot);
-                return CallResult::halted(HaltReason::InsufficientBalance, 0);
-            }
+        if msg.kind == CallKind::Call
+            && !msg.value.is_zero()
+            && !self.host.transfer(msg.caller, msg.target, msg.value)
+        {
+            self.host.rollback(snapshot);
+            return CallResult::halted(HaltReason::InsufficientBalance, 0);
         }
         let code = self.host.code(msg.code_address);
         if code.is_empty() {

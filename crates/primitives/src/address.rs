@@ -20,8 +20,22 @@ use crate::U256;
 /// assert_eq!(usdt.as_bytes()[0], 0xda);
 /// # Ok::<(), proxion_primitives::ParseHexError>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Address(pub [u8; 20]);
+
+// Serialized as the canonical `0x…` hex string.
+impl Serialize for Address {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&format!("0x{}", encode_hex(self.0)))
+    }
+}
+
+impl<'de> Deserialize<'de> for Address {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
 
 impl Address {
     /// The zero address.
@@ -115,13 +129,13 @@ impl FromStr for Address {
 
 impl fmt::Debug for Address {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Address(0x{})", encode_hex(&self.0))
+        write!(f, "Address(0x{})", encode_hex(self.0.as_slice()))
     }
 }
 
 impl fmt::Display for Address {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "0x{}", encode_hex(&self.0))
+        write!(f, "0x{}", encode_hex(self.0.as_slice()))
     }
 }
 

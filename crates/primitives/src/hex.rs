@@ -93,7 +93,7 @@ pub fn decode_hex(s: &str) -> Result<Vec<u8>, ParseHexError> {
         .strip_prefix("0x")
         .or_else(|| s.strip_prefix("0X"))
         .unwrap_or(s);
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(ParseHexError::OddLength);
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -22,8 +22,28 @@ use crate::U256;
 ///     "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
 /// );
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct B256(pub [u8; 32]);
+
+// Serialized as the canonical `0x…` hex string.
+impl Serialize for B256 {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&format!("0x{}", encode_hex(self.0)))
+    }
+}
+
+impl<'de> Deserialize<'de> for B256 {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let bytes = crate::decode_hex(&s).map_err(serde::de::Error::custom)?;
+        if bytes.len() != 32 {
+            return Err(serde::de::Error::custom("expected 32 hex bytes"));
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Ok(B256(out))
+    }
+}
 
 impl B256 {
     /// The all-zero digest.
@@ -61,13 +81,13 @@ impl AsRef<[u8]> for B256 {
 
 impl fmt::Debug for B256 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "B256(0x{})", encode_hex(&self.0))
+        write!(f, "B256(0x{})", encode_hex(self.0.as_slice()))
     }
 }
 
 impl fmt::Display for B256 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "0x{}", encode_hex(&self.0))
+        write!(f, "0x{}", encode_hex(self.0.as_slice()))
     }
 }
 
@@ -116,10 +136,10 @@ fn keccak_f1600(state: &mut [[u64; 5]; 5]) {
         for (x, cx) in c.iter_mut().enumerate() {
             *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
         }
-        for x in 0..5 {
+        for (x, column) in state.iter_mut().enumerate() {
             let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
-            for y in 0..5 {
-                state[x][y] ^= d;
+            for lane in column.iter_mut() {
+                *lane ^= d;
             }
         }
         // ρ and π steps.

@@ -60,8 +60,23 @@ impl std::error::Error for ParseU256Error {}
 /// assert_eq!(x + U256::ONE, U256::from(256u64));
 /// # Ok::<(), proxion_primitives::ParseU256Error>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct U256([u64; 4]);
+
+// Serialized as a `0x…` hex string so JSON output reads like Ethereum
+// tooling expects, rather than as raw limbs.
+impl Serialize for U256 {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&format!("{self:#x}"))
+    }
+}
+
+impl<'de> Deserialize<'de> for U256 {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
 
 impl U256 {
     /// The value `0`.
@@ -195,6 +210,7 @@ impl U256 {
     }
 
     /// Wrapping addition, returning the carry flag as well.
+    #[allow(clippy::needless_range_loop)] // limb-parallel carry chain reads clearest indexed
     pub fn overflowing_add(self, rhs: Self) -> (Self, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
@@ -208,6 +224,7 @@ impl U256 {
     }
 
     /// Wrapping subtraction, returning the borrow flag as well.
+    #[allow(clippy::needless_range_loop)] // limb-parallel borrow chain reads clearest indexed
     pub fn overflowing_sub(self, rhs: Self) -> (Self, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
@@ -724,6 +741,7 @@ impl Shl<u32> for U256 {
 
 impl Shr<u32> for U256 {
     type Output = U256;
+    #[allow(clippy::needless_range_loop)] // cross-limb shift indexes two offsets at once
     fn shr(self, shift: u32) -> Self {
         if shift >= 256 {
             return U256::ZERO;

@@ -1,0 +1,216 @@
+//! Incremental block follower.
+//!
+//! A background thread that subscribes to the chain's [`HeadWatch`] and,
+//! for every committed block range, does the *minimal* incremental work:
+//!
+//! - analyzes only contracts deployed in the new blocks (the batch
+//!   pipeline's result cache makes repeated bytecode free);
+//! - tracks every known storage-slot proxy's implementation slot, and on
+//!   a change records an [`UpgradeRecord`] and re-checks collisions for
+//!   **just the new (proxy, logic) pair** — never a full re-scan.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use proxion_chain::Chain;
+use proxion_core::{ImplSource, Pipeline, ProxyCheck};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, U256};
+
+use crate::metrics::ServiceMetrics;
+
+/// One observed implementation change of a tracked proxy.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct UpgradeRecord {
+    /// Head block at which the change was observed.
+    pub block: u64,
+    /// The upgraded proxy.
+    pub proxy: Address,
+    /// Implementation before the change.
+    pub old_logic: Address,
+    /// Implementation after the change.
+    pub new_logic: Address,
+}
+
+/// Follower progress counters (also exported via `/metrics`).
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct FollowerStats {
+    /// Blocks the follower has processed.
+    pub blocks_followed: u64,
+    /// Newly deployed contracts analyzed.
+    pub contracts_analyzed: u64,
+    /// Implementation changes observed.
+    pub upgrades_observed: u64,
+    /// Single-pair collision re-checks triggered by upgrades.
+    pub pair_rechecks: u64,
+    /// Last block the follower has fully processed.
+    pub last_block: u64,
+}
+
+struct FollowerShared {
+    upgrades: Mutex<Vec<UpgradeRecord>>,
+    last_block: AtomicU64,
+}
+
+/// Handle to a running follower thread; dropping it stops the thread.
+pub struct FollowerHandle {
+    shared: Arc<FollowerShared>,
+    metrics: Arc<ServiceMetrics>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl FollowerHandle {
+    /// The upgrade event log, oldest first.
+    pub fn upgrades(&self) -> Vec<UpgradeRecord> {
+        self.shared.upgrades.lock().clone()
+    }
+
+    /// Current progress counters.
+    pub fn stats(&self) -> FollowerStats {
+        FollowerStats {
+            blocks_followed: self.metrics.follower_blocks.load(Ordering::Relaxed),
+            contracts_analyzed: self.metrics.follower_contracts.load(Ordering::Relaxed),
+            upgrades_observed: self.metrics.follower_upgrades.load(Ordering::Relaxed),
+            pair_rechecks: self.metrics.follower_pair_rechecks.load(Ordering::Relaxed),
+            last_block: self.shared.last_block.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until the follower has processed up to `block` (inclusive),
+    /// or `timeout` elapses. Returns whether the target was reached.
+    pub fn wait_for_block(&self, block: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.shared.last_block.load(Ordering::Relaxed) < block {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Stops the follower thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for FollowerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Spawns a follower thread starting after `from_block` (blocks up to and
+/// including `from_block` are considered already processed).
+pub fn start(
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    pipeline: Arc<Pipeline>,
+    metrics: Arc<ServiceMetrics>,
+    from_block: u64,
+) -> FollowerHandle {
+    let shared = Arc::new(FollowerShared {
+        upgrades: Mutex::new(Vec::new()),
+        last_block: AtomicU64::new(from_block),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let thread = {
+        let shared = Arc::clone(&shared);
+        let metrics = Arc::clone(&metrics);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            follow(
+                chain, etherscan, pipeline, metrics, shared, shutdown, from_block,
+            )
+        })
+    };
+
+    FollowerHandle {
+        shared,
+        metrics,
+        shutdown,
+        thread: Some(thread),
+    }
+}
+
+fn follow(
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    pipeline: Arc<Pipeline>,
+    metrics: Arc<ServiceMetrics>,
+    shared: Arc<FollowerShared>,
+    shutdown: Arc<AtomicBool>,
+    from_block: u64,
+) {
+    let head_watch = chain.read().head_watch();
+    let mut last_seen = from_block;
+    // Tracked storage-slot proxies: implementation slot + last seen logic.
+    let mut known: HashMap<Address, (U256, Address)> = HashMap::new();
+
+    while !shutdown.load(Ordering::SeqCst) {
+        let Some(head) = head_watch.wait_past(last_seen, Duration::from_millis(100)) else {
+            continue;
+        };
+
+        let chain = chain.read();
+        let etherscan = etherscan.read();
+
+        // 1. Analyze only contracts deployed in the new block range.
+        let deployed: Vec<(u64, Address)> = chain.deployed_between(last_seen, head).to_vec();
+        for &(_, address) in &deployed {
+            let report = pipeline.analyze_one(&chain, &etherscan, address);
+            metrics.follower_contracts.fetch_add(1, Ordering::Relaxed);
+            if let ProxyCheck::Proxy {
+                logic,
+                impl_source: ImplSource::StorageSlot(slot),
+                ..
+            } = report.check
+            {
+                known.insert(address, (slot, logic));
+            }
+        }
+
+        // 2. Detect implementation changes of tracked proxies; on a
+        //    change, re-check collisions for the single new pair only.
+        for (&proxy, (slot, last_logic)) in known.iter_mut() {
+            let current = Address::from_word(chain.storage_latest(proxy, *slot));
+            if current == *last_logic {
+                continue;
+            }
+            shared.upgrades.lock().push(UpgradeRecord {
+                block: head,
+                proxy,
+                old_logic: *last_logic,
+                new_logic: current,
+            });
+            metrics.follower_upgrades.fetch_add(1, Ordering::Relaxed);
+            *last_logic = current;
+            if !current.is_zero() {
+                let _ = pipeline.check_pair(&chain, &etherscan, proxy, current);
+                metrics
+                    .follower_pair_rechecks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        metrics
+            .follower_blocks
+            .fetch_add(head - last_seen, Ordering::Relaxed);
+        last_seen = head;
+        shared.last_block.store(head, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,284 @@
+//! Minimal HTTP/1.1 support over `std::net::TcpStream`: just enough of
+//! RFC 9112 for a loopback JSON-RPC service — request-line + headers +
+//! `Content-Length` bodies, keep-alive connections, and plain-text or
+//! JSON responses. No chunked transfer encoding, no TLS, no pipelining
+//! beyond sequential keep-alive.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on header section and body size (1 MiB each) — a loopback
+/// analysis service never needs more, and the cap keeps a stray client
+/// from ballooning memory.
+const MAX_HEADER_BYTES: usize = 1 << 20;
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream before any request byte — normal connection
+    /// close under keep-alive.
+    Closed,
+    /// Read timed out (used by workers to poll the shutdown flag).
+    TimedOut,
+    /// The bytes were not valid HTTP, or exceeded the size caps.
+    Malformed(String),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::TimedOut,
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => ReadError::Closed,
+            _ => ReadError::Io(e),
+        }
+    }
+}
+
+/// Reads one request from a buffered stream.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let request_line = read_line(reader)?;
+    if request_line.is_empty() {
+        return Err(ReadError::Closed);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".into()))?
+        .to_owned();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    // HTTP/1.0 defaults to close; 1.1 defaults to keep-alive.
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut content_length = 0usize;
+    let mut header_bytes = request_line.len();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ReadError::Malformed("header section too large".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line: {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad content-length".into()))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(ReadError::Malformed("body too large".into()));
+                }
+            }
+            "connection" => {
+                let value = value.to_ascii_lowercase();
+                if value.contains("close") {
+                    keep_alive = false;
+                } else if value.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            // A half-sent body is malformed, not a clean close.
+            match ReadError::from(e) {
+                ReadError::Closed => ReadError::Malformed("truncated body".into()),
+                other => other,
+            }
+        })?;
+    }
+
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, without the terminator.
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    line.push(byte[0]);
+                }
+                if line.len() > MAX_HEADER_BYTES {
+                    return Err(ReadError::Malformed("line too long".into()));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    String::from_utf8(line).map_err(|_| ReadError::Malformed("non-UTF-8 header".into()))
+}
+
+/// A response about to be written.
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response carrying JSON.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A 200 response carrying plain text (the `/metrics` format).
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a JSON body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: format!("{{\"error\":{}}}", crate::json::to_json(message)).into_bytes(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a full response; `keep_alive` controls the `Connection` header.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if response.status == 503 {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        drop(client);
+        let (server_side, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(server_side);
+        read_request(&mut reader)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            roundtrip(b"POST /rpc HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/rpc");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        let req = roundtrip(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        assert_eq!(req.path, "/health");
+    }
+
+    #[test]
+    fn empty_stream_reports_closed() {
+        assert!(matches!(roundtrip(b""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let result = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert!(matches!(result, Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let result = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+        assert!(matches!(result, Err(ReadError::Malformed(_))));
+    }
+}

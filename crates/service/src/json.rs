@@ -1,0 +1,948 @@
+//! JSON without external dependencies: a recursive-descent parser for
+//! request bodies and a [`serde::Serializer`] implementation that writes
+//! JSON text, so every `#[derive(Serialize)]` report type in the analysis
+//! crates serializes through [`to_json`] with serde's standard data model
+//! (externally tagged enums, arrays for fixed-size byte arrays, `null`
+//! for `None`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::ser::{
+    SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
+    SerializeTupleStruct, SerializeTupleVariant,
+};
+use serde::{Serialize, Serializer};
+
+// ---------------------------------------------------------------------
+// Value model + parser
+// ---------------------------------------------------------------------
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`; JSON has one number type).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member of an object, by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("document too deeply nested"));
+        }
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(JsonValue::Null),
+            Some(b't') if self.literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: must pair with \uDC00..DFFF.
+                                if !self.literal("\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            out.push(ch.ok_or_else(|| self.error("invalid code point"))?);
+                            // hex4 advanced past the digits; undo the +1
+                            // applied after the escape character below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.error("control character in string")),
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so a valid
+                    // char starts here.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.error("expected 4 hex digits")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer: serde -> JSON text
+// ---------------------------------------------------------------------
+
+/// Serializes any [`Serialize`] value to compact JSON text.
+pub fn to_json<T: ?Sized + Serialize>(value: &T) -> String {
+    let mut out = String::new();
+    value
+        .serialize(JsonWriter { out: &mut out })
+        .expect("JSON serialization is infallible for analysis types");
+    out
+}
+
+/// Error type of [`JsonWriter`] (string keys and finite floats are the
+/// only ways to fail, and the analysis types use neither).
+#[derive(Debug)]
+pub struct JsonWriteError(String);
+
+impl fmt::Display for JsonWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for JsonWriteError {}
+
+impl serde::ser::Error for JsonWriteError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonWriteError(msg.to_string())
+    }
+}
+
+fn push_escaped(out: &mut String, value: &str) {
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonWriter<'a> {
+    out: &'a mut String,
+}
+
+/// Compound writer for arrays and array-shaped variants.
+struct SeqWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+    close: &'static str,
+}
+
+/// Compound writer for objects and object-shaped variants.
+struct MapWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+    close: &'static str,
+}
+
+impl<'a> SeqWriter<'a> {
+    fn element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonWriteError> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonWriter { out: self.out })
+    }
+
+    fn finish(self) -> Result<(), JsonWriteError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl<'a> MapWriter<'a> {
+    fn key_str(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_escaped(self.out, key);
+        self.out.push(':');
+    }
+
+    fn finish(self) -> Result<(), JsonWriteError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for JsonWriter<'a> {
+    type Ok = ();
+    type Error = JsonWriteError;
+    type SerializeSeq = SeqWriter<'a>;
+    type SerializeTuple = SeqWriter<'a>;
+    type SerializeTupleStruct = SeqWriter<'a>;
+    type SerializeTupleVariant = SeqWriter<'a>;
+    type SerializeMap = MapWriter<'a>;
+    type SerializeStruct = MapWriter<'a>;
+    type SerializeStructVariant = MapWriter<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonWriteError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), JsonWriteError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), JsonWriteError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), JsonWriteError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), JsonWriteError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), JsonWriteError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), JsonWriteError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), JsonWriteError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), JsonWriteError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), JsonWriteError> {
+        self.serialize_f64(v as f64)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonWriteError> {
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            // JSON has no NaN/Inf; null is the conventional stand-in.
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), JsonWriteError> {
+        push_escaped(self.out, &v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonWriteError> {
+        push_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonWriteError> {
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for byte in v {
+            SerializeSeq::serialize_element(&mut seq, byte)?;
+        }
+        SerializeSeq::end(seq)
+    }
+
+    fn serialize_none(self) -> Result<(), JsonWriteError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), JsonWriteError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), JsonWriteError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonWriteError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonWriteError> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonWriteError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonWriteError> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(JsonWriter { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SeqWriter<'a>, JsonWriteError> {
+        self.out.push('[');
+        Ok(SeqWriter {
+            out: self.out,
+            first: true,
+            close: "]",
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<SeqWriter<'a>, JsonWriteError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<SeqWriter<'a>, JsonWriteError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<SeqWriter<'a>, JsonWriteError> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push_str(":[");
+        Ok(SeqWriter {
+            out: self.out,
+            first: true,
+            close: "]}",
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapWriter<'a>, JsonWriteError> {
+        self.out.push('{');
+        Ok(MapWriter {
+            out: self.out,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<MapWriter<'a>, JsonWriteError> {
+        self.serialize_map(None)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<MapWriter<'a>, JsonWriteError> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(MapWriter {
+            out: self.out,
+            first: true,
+            close: "}}",
+        })
+    }
+}
+
+impl<'a> SerializeSeq for SeqWriter<'a> {
+    type Ok = ();
+    type Error = JsonWriteError;
+    fn serialize_element<T: ?Sized + Serialize>(
+        &mut self,
+        value: &T,
+    ) -> Result<(), JsonWriteError> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), JsonWriteError> {
+        self.finish()
+    }
+}
+
+impl<'a> SerializeTuple for SeqWriter<'a> {
+    type Ok = ();
+    type Error = JsonWriteError;
+    fn serialize_element<T: ?Sized + Serialize>(
+        &mut self,
+        value: &T,
+    ) -> Result<(), JsonWriteError> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), JsonWriteError> {
+        self.finish()
+    }
+}
+
+impl<'a> SerializeTupleStruct for SeqWriter<'a> {
+    type Ok = ();
+    type Error = JsonWriteError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonWriteError> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), JsonWriteError> {
+        self.finish()
+    }
+}
+
+impl<'a> SerializeTupleVariant for SeqWriter<'a> {
+    type Ok = ();
+    type Error = JsonWriteError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonWriteError> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), JsonWriteError> {
+        self.finish()
+    }
+}
+
+impl<'a> SerializeMap for MapWriter<'a> {
+    type Ok = ();
+    type Error = JsonWriteError;
+
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), JsonWriteError> {
+        // JSON object keys must be strings: serialize the key to a
+        // fragment and re-quote it when it is not already a string.
+        let mut fragment = String::new();
+        key.serialize(JsonWriter { out: &mut fragment })?;
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        if fragment.starts_with('"') {
+            self.out.push_str(&fragment);
+        } else {
+            push_escaped(self.out, &fragment);
+        }
+        self.out.push(':');
+        Ok(())
+    }
+
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonWriteError> {
+        value.serialize(JsonWriter { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonWriteError> {
+        self.finish()
+    }
+}
+
+impl<'a> SerializeStruct for MapWriter<'a> {
+    type Ok = ();
+    type Error = JsonWriteError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonWriteError> {
+        self.key_str(key);
+        value.serialize(JsonWriter { out: self.out })
+    }
+    fn end(self) -> Result<(), JsonWriteError> {
+        self.finish()
+    }
+}
+
+impl<'a> SerializeStructVariant for MapWriter<'a> {
+    type Ok = ();
+    type Error = JsonWriteError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonWriteError> {
+        self.key_str(key);
+        value.serialize(JsonWriter { out: self.out })
+    }
+    fn end(self) -> Result<(), JsonWriteError> {
+        self.finish()
+    }
+}
+
+impl Serialize for JsonValue {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            JsonValue::Null => serializer.serialize_unit(),
+            JsonValue::Bool(b) => serializer.serialize_bool(*b),
+            JsonValue::Number(n) => serializer.serialize_f64(*n),
+            JsonValue::String(s) => serializer.serialize_str(s),
+            JsonValue::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    SerializeSeq::serialize_element(&mut seq, item)?;
+                }
+                SerializeSeq::end(seq)
+            }
+            JsonValue::Object(members) => {
+                let mut map = serializer.serialize_map(Some(members.len()))?;
+                for (key, value) in members {
+                    SerializeMap::serialize_entry(&mut map, key, value)?;
+                }
+                SerializeMap::end(map)
+            }
+        }
+    }
+}
+
+/// Convenience constructor for object literals built in handler code.
+pub fn object(members: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Number(n as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Number(n as f64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Number(n)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+/// Round-trip helper used by handlers that already built a [`JsonValue`].
+pub fn render(value: &JsonValue) -> String {
+    to_json(value)
+}
+
+/// Re-parses serialized output — handy for tests asserting on structure
+/// rather than exact text.
+pub fn reparse<T: ?Sized + Serialize>(value: &T) -> JsonValue {
+    parse(&to_json(value)).expect("writer emits valid JSON")
+}
+
+#[allow(dead_code)]
+fn _assert_hashmap_serializes(map: &HashMap<String, u64>) -> String {
+    to_json(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-12.5e1").unwrap(), JsonValue::Number(-125.0));
+        assert_eq!(
+            parse(r#""a\nbA😀""#).unwrap(),
+            JsonValue::String("a\nbA😀".to_owned())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse(r#"{"method":"proxy_check","params":{"address":"0xabc"},"id":7}"#).unwrap();
+        assert_eq!(doc.get("method").unwrap().as_str(), Some("proxy_check"));
+        assert_eq!(
+            doc.get("params").unwrap().get("address").unwrap().as_str(),
+            Some("0xabc")
+        );
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "\"unterminated", "{\"a\" 1}", "01x", "{}extra"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn writes_escaped_strings() {
+        assert_eq!(to_json("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn writer_output_reparses() {
+        let value = object(vec![
+            ("list", JsonValue::Array(vec![1u64.into(), 2u64.into()])),
+            ("flag", true.into()),
+            ("name", "x\"y".into()),
+            ("none", JsonValue::Null),
+        ]);
+        assert_eq!(parse(&to_json(&value)).unwrap(), value);
+    }
+
+    #[test]
+    fn derived_types_serialize_with_serde_model() {
+        #[derive(serde::Serialize)]
+        struct Sample {
+            count: u64,
+            label: Option<String>,
+            tag: Tag,
+        }
+        #[derive(serde::Serialize)]
+        enum Tag {
+            Unit,
+            Pair(u64, u64),
+            Named { x: u64 },
+        }
+
+        let unit = Sample {
+            count: 2,
+            label: None,
+            tag: Tag::Unit,
+        };
+        assert_eq!(to_json(&unit), r#"{"count":2,"label":null,"tag":"Unit"}"#);
+        let pair = reparse(&Sample {
+            count: 0,
+            label: Some("hi".into()),
+            tag: Tag::Pair(1, 2),
+        });
+        assert_eq!(
+            pair.get("tag")
+                .unwrap()
+                .get("Pair")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+        let named = reparse(&Sample {
+            count: 0,
+            label: None,
+            tag: Tag::Named { x: 9 },
+        });
+        assert_eq!(
+            named
+                .get("tag")
+                .unwrap()
+                .get("Named")
+                .unwrap()
+                .get("x")
+                .unwrap()
+                .as_u64(),
+            Some(9)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! `proxion-service`: the Proxion analysis pipeline as a long-running
+//! service.
+//!
+//! The batch pipeline in `proxion-core` answers "what is the proxy
+//! landscape of this chain *right now*". This crate turns the same
+//! analysis into a daemon with three pieces:
+//!
+//! 1. **HTTP/1.1 JSON-RPC server** ([`server`]) — a from-scratch
+//!    implementation over `std::net` (no async runtime, no HTTP
+//!    dependency): an accept thread feeds a *bounded* connection queue
+//!    drained by a fixed worker pool; when the queue is full the server
+//!    answers `503` immediately instead of buffering unboundedly.
+//!    Methods: `proxy_check`, `logic_history`, `collisions`,
+//!    `contracts`, `stats`, `health`, plus `GET /health` and a
+//!    Prometheus-text `GET /metrics`.
+//! 2. **Shared result cache** — the sharded LRU
+//!    [`proxion_core::AnalysisCache`], keyed by bytecode hash (proxy
+//!    verdicts) and bytecode-hash pair (collision reports). Batch runs,
+//!    RPC handlers, and the follower all share one [`Pipeline`] and thus
+//!    one cache, so a warm batch run keeps serving its verdicts to later
+//!    requests.
+//! 3. **Incremental block follower** ([`follower`]) — subscribes to the
+//!    chain's [`proxion_chain::HeadWatch`], analyzes only newly deployed
+//!    contracts per committed block, and on an implementation-slot change
+//!    of a tracked proxy records an upgrade event and re-checks
+//!    collisions for just the new pair.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use parking_lot::RwLock;
+//! use proxion_chain::Chain;
+//! use proxion_core::{Pipeline, PipelineConfig};
+//! use proxion_etherscan::Etherscan;
+//! use proxion_service::{json::JsonValue, loadgen::ClientConn, server};
+//!
+//! let chain = Arc::new(RwLock::new(Chain::new()));
+//! let etherscan = Arc::new(RwLock::new(Etherscan::new()));
+//! let pipeline = Arc::new(Pipeline::new(PipelineConfig::default()));
+//!
+//! let handle = server::start(
+//!     server::ServerConfig::default(),
+//!     Arc::clone(&chain),
+//!     Arc::clone(&etherscan),
+//!     Arc::clone(&pipeline),
+//! )
+//! .unwrap();
+//!
+//! let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+//! let health = client.rpc("health", &JsonValue::Null).unwrap();
+//! assert_eq!(
+//!     health.get("result").unwrap().get("status").unwrap().as_str(),
+//!     Some("ok")
+//! );
+//! handle.stop();
+//! ```
+
+pub mod follower;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use follower::{FollowerHandle, FollowerStats, UpgradeRecord};
+pub use loadgen::{ClientConn, LoadgenConfig, LoadgenReport};
+pub use metrics::ServiceMetrics;
+pub use server::{ServerConfig, ServerHandle};

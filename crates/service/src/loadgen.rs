@@ -1,0 +1,205 @@
+//! Load generator for the analysis server, plus the minimal HTTP/1.1
+//! client it is built on ([`ClientConn`], also used by integration tests
+//! and the throughput bench).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::json::{self, JsonValue};
+
+/// A keep-alive HTTP/1.1 client connection.
+pub struct ClientConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientConn {
+    /// Connects to the server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(ClientConn {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends a GET and returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        let head = format!("GET {path} HTTP/1.1\r\nHost: loopback\r\n\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a POST with a body and returns `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: loopback\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: a JSON-RPC call; returns the parsed response document.
+    pub fn rpc(&mut self, method: &str, params: &JsonValue) -> io::Result<JsonValue> {
+        let body = format!(
+            "{{\"method\":{},\"params\":{}}}",
+            json::to_json(method),
+            json::to_json(params)
+        );
+        let (status, text) = self.post("/rpc", &body)?;
+        if status != 200 {
+            return Err(io::Error::other(format!("HTTP {status}: {text}")));
+        }
+        json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON: {e}")))
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line: {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|text| (status, text))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    }
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// `proxy_check` requests issued per connection.
+    pub requests_per_connection: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            connections: 4,
+            requests_per_connection: 100,
+        }
+    }
+}
+
+/// What a load-generation run measured.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LoadgenReport {
+    /// Requests that returned a `result`.
+    pub ok: u64,
+    /// Requests that returned an `error` or failed at the transport.
+    pub errors: u64,
+    /// Wall-clock duration of the measured phase.
+    pub elapsed_secs: f64,
+    /// Throughput over the measured phase.
+    pub requests_per_sec: f64,
+}
+
+/// Drives `proxy_check` load against a running server: fetches the
+/// contract list once, then hammers it from `connections` keep-alive
+/// clients, each cycling through the addresses from a different offset.
+pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let mut setup = ClientConn::connect(addr)?;
+    let contracts = setup.rpc("contracts", &JsonValue::Null)?;
+    let addresses: Vec<String> = contracts
+        .get("result")
+        .and_then(JsonValue::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default();
+    if addresses.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "server reports no contracts to check",
+        ));
+    }
+    // Close the setup connection before the measured phase: an idle
+    // keep-alive connection pins a worker, which on a single-worker
+    // server would starve every measured connection.
+    drop(setup);
+
+    let connections = config.connections.max(1);
+    let per_connection = config.requests_per_connection;
+    let started = Instant::now();
+    let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                let addresses = &addresses;
+                scope.spawn(move || {
+                    let Ok(mut conn) = ClientConn::connect(addr) else {
+                        return (0u64, per_connection as u64);
+                    };
+                    let mut ok = 0u64;
+                    let mut errors = 0u64;
+                    for i in 0..per_connection {
+                        let address = &addresses[(worker + i) % addresses.len()];
+                        let params = json::object(vec![("address", address.as_str().into())]);
+                        match conn.rpc("proxy_check", &params) {
+                            Ok(doc) if doc.get("result").is_some() => ok += 1,
+                            _ => errors += 1,
+                        }
+                    }
+                    (ok, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((0, 0)))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let ok: u64 = totals.iter().map(|&(o, _)| o).sum();
+    let errors: u64 = totals.iter().map(|&(_, e)| e).sum();
+    let elapsed_secs = elapsed.as_secs_f64().max(1e-9);
+    Ok(LoadgenReport {
+        ok,
+        errors,
+        elapsed_secs,
+        requests_per_sec: (ok + errors) as f64 / elapsed_secs,
+    })
+}

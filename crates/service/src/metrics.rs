@@ -1,0 +1,258 @@
+//! Service metrics: request counters, cache statistics, and per-method
+//! latency histograms, rendered in the Prometheus text exposition format
+//! by the `/metrics` endpoint.
+//!
+//! Everything is lock-free atomics so the hot request path never contends
+//! on a metrics mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Log-spaced latency bucket bounds, in microseconds. The last implicit
+/// bucket is `+Inf`.
+pub const LATENCY_BUCKETS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000,
+];
+
+/// One method's latency histogram: cumulative-style bucket counts plus a
+/// running sum, matching Prometheus `histogram` semantics when rendered.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    /// Per-bucket observation counts (non-cumulative; cumulated at render
+    /// time). One extra slot for `+Inf`.
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    /// Total observations.
+    count: AtomicU64,
+    /// Sum of observed latencies in microseconds.
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render_into(&self, out: &mut String, metric: &str, method: &str) {
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{metric}_bucket{{method=\"{method}\",le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "{metric}_bucket{{method=\"{method}\",le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "{metric}_sum{{method=\"{method}\"}} {}\n",
+            self.sum_us.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "{metric}_count{{method=\"{method}\"}} {}\n",
+            self.count.load(Ordering::Relaxed)
+        ));
+    }
+}
+
+/// RPC method names tracked by the per-method histograms, in a fixed
+/// order so `/metrics` output is stable.
+pub const TRACKED_METHODS: [&str; 7] = [
+    "proxy_check",
+    "logic_history",
+    "collisions",
+    "contracts",
+    "stats",
+    "health",
+    "debug_sleep",
+];
+
+/// All service counters, shared by workers, the follower thread, and the
+/// `/metrics` renderer.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    /// Requests that reached a handler (any method, any outcome).
+    pub requests_total: AtomicU64,
+    /// Connections refused with 503 because the queue was full.
+    pub rejected_total: AtomicU64,
+    /// Requests that produced a JSON-RPC error response.
+    pub errors_total: AtomicU64,
+    /// Blocks processed by the follower.
+    pub follower_blocks: AtomicU64,
+    /// New contracts analyzed by the follower.
+    pub follower_contracts: AtomicU64,
+    /// Proxy upgrades observed by the follower.
+    pub follower_upgrades: AtomicU64,
+    /// Collision re-checks triggered by upgrades (one per new pair).
+    pub follower_pair_rechecks: AtomicU64,
+    latencies: [LatencyHistogram; TRACKED_METHODS.len()],
+}
+
+impl ServiceMetrics {
+    /// A fresh, zeroed metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The histogram for `method`, or `None` for untracked names.
+    pub fn latency(&self, method: &str) -> Option<&LatencyHistogram> {
+        TRACKED_METHODS
+            .iter()
+            .position(|&m| m == method)
+            .map(|i| &self.latencies[i])
+    }
+
+    /// Records a completed request: bumps the total counter and the
+    /// method's histogram.
+    pub fn record_request(&self, method: &str, elapsed: Duration, ok: bool) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(histogram) = self.latency(method) {
+            histogram.observe(elapsed);
+        }
+    }
+
+    /// Renders the Prometheus text format, appending the cache statistics
+    /// supplied by the caller (the cache keeps its own atomic counters).
+    pub fn render(&self, cache: &proxion_core::AnalysisCacheStats) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "proxion_requests_total",
+            "Requests handled by the RPC endpoint.",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_rejected_total",
+            "Connections refused with 503 due to a full queue.",
+            self.rejected_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_errors_total",
+            "Requests answered with a JSON-RPC error.",
+            self.errors_total.load(Ordering::Relaxed),
+        );
+
+        counter(
+            &mut out,
+            "proxion_cache_check_hits_total",
+            "Proxy-verdict cache hits.",
+            cache.checks.hits,
+        );
+        counter(
+            &mut out,
+            "proxion_cache_check_misses_total",
+            "Proxy-verdict cache misses.",
+            cache.checks.misses,
+        );
+        counter(
+            &mut out,
+            "proxion_cache_pair_hits_total",
+            "Collision-pair cache hits.",
+            cache.pairs.hits,
+        );
+        counter(
+            &mut out,
+            "proxion_cache_pair_misses_total",
+            "Collision-pair cache misses.",
+            cache.pairs.misses,
+        );
+        counter(
+            &mut out,
+            "proxion_cache_evictions_total",
+            "LRU evictions across both cache families.",
+            cache.checks.evictions + cache.pairs.evictions,
+        );
+
+        counter(
+            &mut out,
+            "proxion_follower_blocks_total",
+            "Blocks processed by the block follower.",
+            self.follower_blocks.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_follower_contracts_total",
+            "Newly deployed contracts analyzed by the follower.",
+            self.follower_contracts.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_follower_upgrades_total",
+            "Proxy implementation upgrades observed by the follower.",
+            self.follower_upgrades.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_follower_pair_rechecks_total",
+            "Collision re-checks triggered by observed upgrades.",
+            self.follower_pair_rechecks.load(Ordering::Relaxed),
+        );
+
+        out.push_str(
+            "# HELP proxion_request_latency_us Request latency in microseconds.\n\
+             # TYPE proxion_request_latency_us histogram\n",
+        );
+        for (i, method) in TRACKED_METHODS.iter().enumerate() {
+            self.latencies[i].render_into(&mut out, "proxion_request_latency_us", method);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let metrics = ServiceMetrics::new();
+        metrics.record_request("proxy_check", Duration::from_micros(80), true);
+        metrics.record_request("proxy_check", Duration::from_micros(900), true);
+        metrics.record_request("proxy_check", Duration::from_secs(10), false);
+
+        let stats = proxion_core::AnalysisCache::new().stats();
+        let text = metrics.render(&stats);
+        assert!(
+            text.contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"100\"} 1")
+        );
+        assert!(text
+            .contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"1000\"} 2"));
+        assert!(text
+            .contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"+Inf\"} 3"));
+        assert!(text.contains("proxion_request_latency_us_count{method=\"proxy_check\"} 3"));
+        assert!(text.contains("proxion_requests_total 3"));
+        assert!(text.contains("proxion_errors_total 1"));
+    }
+
+    #[test]
+    fn untracked_methods_count_but_do_not_panic() {
+        let metrics = ServiceMetrics::new();
+        metrics.record_request("no_such_method", Duration::from_micros(5), false);
+        assert_eq!(metrics.requests_total.load(Ordering::Relaxed), 1);
+        assert!(metrics.latency("no_such_method").is_none());
+    }
+}

@@ -1,0 +1,417 @@
+//! The analysis server: a fixed worker pool behind a bounded connection
+//! queue, with explicit backpressure.
+//!
+//! Architecture (all std::net + crossbeam, no async runtime):
+//!
+//! ```text
+//!   accept thread ──try_send──▶ bounded queue ──recv──▶ worker threads
+//!        │ (queue full)                                     │
+//!        └────────▶ 503 + close                             ├─ keep-alive
+//!                                                           │  HTTP/1.1
+//!                                                           └─ JSON-RPC
+//! ```
+//!
+//! A full queue is answered immediately with `503 Service Unavailable`
+//! (`Retry-After: 1`) instead of letting connections pile up unbounded —
+//! the client sees the overload, the server's memory stays flat.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::RwLock;
+use proxion_chain::Chain;
+use proxion_core::Pipeline;
+use proxion_etherscan::Etherscan;
+use proxion_primitives::Address;
+
+use crate::follower::{self, FollowerHandle};
+use crate::http::{self, ReadError, Request, Response};
+use crate::json::{self, JsonValue};
+use crate::metrics::ServiceMetrics;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded queue of accepted-but-unclaimed connections; when full,
+    /// new connections get an immediate 503.
+    pub queue_capacity: usize,
+    /// Whether to start the incremental block follower.
+    pub follow_chain: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            follow_chain: true,
+        }
+    }
+}
+
+/// Shared state every worker sees.
+struct ServerShared {
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    pipeline: Arc<Pipeline>,
+    metrics: Arc<ServiceMetrics>,
+    shutdown: AtomicBool,
+}
+
+/// Handle to a running server. Dropping it (or calling
+/// [`ServerHandle::stop`]) shuts the server down and joins all threads.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    follower: Option<FollowerHandle>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metric counters.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.shared.metrics
+    }
+
+    /// The follower handle, when [`ServerConfig::follow_chain`] was set.
+    pub fn follower(&self) -> Option<&FollowerHandle> {
+        self.follower.as_ref()
+    }
+
+    /// Stops accepting, drains workers, and joins every thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(follower) = self.follower.take() {
+            follower.stop();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Binds, spawns the accept thread + worker pool (+ follower), and
+/// returns immediately.
+pub fn start(
+    config: ServerConfig,
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    pipeline: Arc<Pipeline>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let metrics = Arc::new(ServiceMetrics::new());
+
+    let shared = Arc::new(ServerShared {
+        chain: Arc::clone(&chain),
+        etherscan: Arc::clone(&etherscan),
+        pipeline: Arc::clone(&pipeline),
+        metrics: Arc::clone(&metrics),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_capacity.max(1));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(rx, shared))
+        })
+        .collect();
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(listener, tx, shared))
+    };
+
+    let follower = if config.follow_chain {
+        let from_block = chain.read().head_block();
+        Some(follower::start(
+            chain,
+            etherscan,
+            pipeline,
+            Arc::clone(&metrics),
+            from_block,
+        ))
+    } else {
+        None
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers,
+        follower,
+    })
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shared: Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                shared
+                    .metrics
+                    .rejected_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let response = Response::error(503, "request queue full, retry later");
+                let _ = http::write_response(&mut stream, &response, false);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+    // The queue sender drops here, which unblocks any worker stuck in
+    // recv once all queued connections have been drained.
+}
+
+fn worker_loop(rx: Receiver<TcpStream>, shared: Arc<ServerShared>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(stream) => handle_connection(stream, &shared),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &ServerShared) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    // A finite read timeout lets keep-alive connections notice shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(request) => request,
+            Err(ReadError::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Malformed(message)) => {
+                let response = Response::error(400, &message);
+                let _ = http::write_response(&mut writer, &response, false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+        let keep_alive = request.keep_alive;
+        let response = dispatch(&request, shared);
+        if http::write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn dispatch(request: &Request, shared: &ServerShared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            let start = Instant::now();
+            let head = shared.chain.read().head_block();
+            let body = format!("{{\"status\":\"ok\",\"head\":{head}}}");
+            shared
+                .metrics
+                .record_request("health", start.elapsed(), true);
+            Response::json(body)
+        }
+        ("GET", "/metrics") => {
+            let stats = shared.pipeline.cache().stats();
+            Response::text(shared.metrics.render(&stats))
+        }
+        ("POST", "/rpc") | ("POST", "/") => dispatch_rpc(&request.body, shared),
+        ("GET", _) => Response::error(404, "unknown path"),
+        _ => Response::error(405, "use POST /rpc, GET /health, or GET /metrics"),
+    }
+}
+
+fn dispatch_rpc(body: &[u8], shared: &ServerShared) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    };
+    let Some(method) = doc.get("method").and_then(JsonValue::as_str) else {
+        return Response::error(400, "missing \"method\"");
+    };
+    let method = method.to_owned();
+    let params = doc.get("params").cloned().unwrap_or(JsonValue::Null);
+    let id = doc.get("id").cloned();
+
+    let start = Instant::now();
+    let result = handle_method(&method, &params, shared);
+    shared
+        .metrics
+        .record_request(&method, start.elapsed(), result.is_ok());
+
+    let id_fragment = match &id {
+        Some(id) => format!(",\"id\":{}", json::to_json(id)),
+        None => String::new(),
+    };
+    match result {
+        Ok(result_json) => Response::json(format!("{{\"result\":{result_json}{id_fragment}}}")),
+        Err(message) => Response::json(format!(
+            "{{\"error\":{}{id_fragment}}}",
+            json::to_json(&message)
+        )),
+    }
+}
+
+fn parse_address(params: &JsonValue, key: &str) -> Result<Address, String> {
+    let text = params
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string param {key:?}"))?;
+    text.parse()
+        .map_err(|_| format!("param {key:?} is not a valid address: {text:?}"))
+}
+
+fn handle_method(
+    method: &str,
+    params: &JsonValue,
+    shared: &ServerShared,
+) -> Result<String, String> {
+    match method {
+        "proxy_check" => {
+            let address = parse_address(params, "address")?;
+            let chain = shared.chain.read();
+            if chain.deployment(address).is_none() {
+                return Err(format!("no contract deployed at {address}"));
+            }
+            let etherscan = shared.etherscan.read();
+            let report = shared.pipeline.analyze_one(&chain, &etherscan, address);
+            Ok(json::to_json(&report))
+        }
+        "logic_history" => {
+            let address = parse_address(params, "address")?;
+            let chain = shared.chain.read();
+            if chain.deployment(address).is_none() {
+                return Err(format!("no contract deployed at {address}"));
+            }
+            let etherscan = shared.etherscan.read();
+            let report = shared.pipeline.analyze_one(&chain, &etherscan, address);
+            match report.history {
+                Some(history) => Ok(json::to_json(&history)),
+                None => Err("not a storage-slot proxy: no logic history".to_owned()),
+            }
+        }
+        "collisions" => {
+            let proxy = parse_address(params, "proxy")?;
+            let chain = shared.chain.read();
+            let etherscan = shared.etherscan.read();
+            let logic = match params.get("logic") {
+                Some(_) => parse_address(params, "logic")?,
+                None => {
+                    let report = shared.pipeline.analyze_one(&chain, &etherscan, proxy);
+                    report
+                        .check
+                        .logic()
+                        .filter(|l| !l.is_zero())
+                        .ok_or_else(|| {
+                            format!("{proxy} is not a proxy with a resolvable logic contract")
+                        })?
+                }
+            };
+            let (functions, storage) = shared.pipeline.check_pair(&chain, &etherscan, proxy, logic);
+            Ok(format!(
+                "{{\"proxy\":{},\"logic\":{},\"functions\":{},\"storage\":{}}}",
+                json::to_json(&proxy),
+                json::to_json(&logic),
+                json::to_json(&functions),
+                json::to_json(&storage)
+            ))
+        }
+        "contracts" => {
+            let chain = shared.chain.read();
+            let alive: Vec<Address> = chain
+                .contracts()
+                .into_iter()
+                .filter(|&a| chain.is_alive(a))
+                .collect();
+            Ok(json::to_json(&alive))
+        }
+        "stats" => {
+            let head = shared.chain.read().head_block();
+            let cache = shared.pipeline.cache().stats();
+            Ok(format!(
+                "{{\"head\":{head},\"cache\":{},\"requests_total\":{},\"rejected_total\":{}}}",
+                json::to_json(&cache),
+                shared.metrics.requests_total.load(Ordering::Relaxed),
+                shared.metrics.rejected_total.load(Ordering::Relaxed)
+            ))
+        }
+        "health" => {
+            let head = shared.chain.read().head_block();
+            Ok(format!("{{\"status\":\"ok\",\"head\":{head}}}"))
+        }
+        "debug_sleep" => {
+            // Test hook: occupies this worker for a bounded interval so
+            // integration tests can deterministically fill the queue.
+            let millis = params
+                .get("millis")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(100)
+                .min(10_000);
+            std::thread::sleep(Duration::from_millis(millis));
+            Ok(format!("{{\"slept_ms\":{millis}}}"))
+        }
+        other => Err(format!("unknown method {other:?}")),
+    }
+}

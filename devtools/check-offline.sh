@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Shadow-workspace compile/test check for fully offline environments.
+#
+# The real workspace declares external dependencies (serde, parking_lot,
+# crossbeam, proptest, criterion) that cannot be fetched without network
+# access. This script copies the workspace to a scratch directory, patches
+# those dependencies to the API-faithful stubs in devtools/offline-stubs/,
+# prunes the proptest-based test targets (the stubs are resolution-only for
+# proptest/criterion), and runs the build + tests offline.
+#
+# It never modifies the real workspace; shipped manifests stay pointed at
+# the real crates.
+#
+# Usage: devtools/check-offline.sh [extra cargo-test args...]
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SHADOW="${SHADOW_DIR:-/tmp/proxion-offline-shadow}"
+STUBS="$REPO/devtools/offline-stubs"
+
+rm -rf "$SHADOW"
+mkdir -p "$SHADOW"
+cp "$REPO/Cargo.toml" "$SHADOW/"
+cp -r "$REPO/crates" "$REPO/tests" "$REPO/examples" "$SHADOW/"
+if [ -d "$REPO/.github" ]; then cp -r "$REPO/.github" "$SHADOW/"; fi
+
+# Prune proptest-based targets: the proptest stub is resolution-only.
+rm -f "$SHADOW"/crates/*/tests/props.rs
+rm -f "$SHADOW"/crates/core/tests/fuzz_robustness.rs
+
+cat >> "$SHADOW/Cargo.toml" <<EOF
+
+[patch.crates-io]
+serde = { path = "$STUBS/serde" }
+parking_lot = { path = "$STUBS/parking_lot" }
+crossbeam = { path = "$STUBS/crossbeam" }
+proptest = { path = "$STUBS/proptest" }
+criterion = { path = "$STUBS/criterion" }
+EOF
+
+# A private CARGO_HOME sidesteps any user-level source replacement
+# (registry mirrors) that would force an index fetch.
+export CARGO_HOME="$SHADOW/.cargo-home"
+mkdir -p "$CARGO_HOME"
+touch "$CARGO_HOME/config.toml"
+export CARGO_NET_OFFLINE=true
+
+cd "$SHADOW"
+cargo build --release --workspace
+cargo test -q --workspace "$@"

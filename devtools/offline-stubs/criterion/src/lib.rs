@@ -1,0 +1,5 @@
+//! Resolution-only stand-in for `criterion`.
+//!
+//! Bench targets are never built by the shadow check (cargo test excludes
+//! benches by default), so this crate only needs to exist for dependency
+//! resolution — it deliberately exports nothing.

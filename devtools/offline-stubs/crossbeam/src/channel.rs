@@ -1,0 +1,212 @@
+//! A small MPMC channel mirroring `crossbeam::channel` at the call sites
+//! this workspace uses (`bounded`, `try_send`, `send`, `recv`,
+//! `recv_timeout`, clonable senders and receivers).
+//!
+//! Unlike real crossbeam, a bounded capacity of 0 is not a rendezvous
+//! channel here; callers in this workspace always use capacities >= 1.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+}
+
+/// Sending half of a channel.
+pub struct Sender<T>(Arc<Inner<T>>);
+
+/// Receiving half of a channel.
+pub struct Receiver<T>(Arc<Inner<T>>);
+
+/// Error for [`Sender::send`] on a disconnected channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error for [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// Error for [`Receiver::recv`] on an empty, disconnected channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// All senders are gone and the queue is drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Creates a channel holding at most `capacity` queued messages.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(capacity))
+}
+
+/// Creates a channel with unlimited queueing.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (Sender(Arc::clone(&inner)), Receiver(inner))
+}
+
+impl<T> Inner<T> {
+    fn is_full(&self, state: &State<T>) -> bool {
+        self.capacity.is_some_and(|cap| state.queue.len() >= cap)
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends without blocking, failing if the queue is full.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if self.0.is_full(&state) {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends, blocking while the queue is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if !self.0.is_full(&state) {
+                state.queue.push_back(value);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.0.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives, blocking until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.0.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receives with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (next, _) = self
+                .0
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.senders -= 1;
+        if state.senders == 0 {
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            self.0.not_full.notify_all();
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline stand-in for `crossbeam`, covering the API surface this
+//! workspace uses: `crossbeam::scope` (over `std::thread::scope`) and
+//! `crossbeam::channel::{bounded, unbounded}` (a small MPMC channel built
+//! on `Mutex` + `Condvar`).
+
+use std::any::Any;
+
+pub mod channel;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (unused by
+    /// this workspace, but part of crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow from the caller's
+/// stack; all threads are joined before `scope` returns (matching
+/// `crossbeam::scope`'s contract and signature).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, as re-exported by the facade crate.
+pub mod thread {
+    pub use super::{scope, Scope};
+}

@@ -1,0 +1,5 @@
+//! Resolution-only stand-in for `proptest`.
+//!
+//! The shadow check (devtools/check-offline.sh) prunes every test target
+//! that uses proptest before building, so this crate only needs to exist
+//! for dependency resolution — it deliberately exports nothing.

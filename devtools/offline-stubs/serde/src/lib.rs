@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This is **not** serde. It is a strict subset of serde 1.0's public API —
+//! the `Serialize`/`Serializer` data-model traits, the `Deserialize` entry
+//! points the workspace actually exercises, and blanket impls for the std
+//! types the workspace serializes — with signatures copied from the real
+//! crate so that source code compiling against this stub also compiles
+//! against real serde. It exists only so the workspace can be built and
+//! tested in a container with no crates.io access (see devtools/README.md);
+//! release builds use the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser;
+pub mod de;
+
+pub use ser::{Serialize, Serializer};
+pub use de::{Deserialize, Deserializer};

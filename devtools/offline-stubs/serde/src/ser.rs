@@ -1,0 +1,431 @@
+//! Serialization half of the stub: trait signatures copied from serde 1.0.
+
+use std::fmt::Display;
+
+/// Trait alias matching `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds a serializer-specific error from a message.
+    fn custom<T>(msg: T) -> Self
+    where
+        T: Display;
+}
+
+/// A data structure that can be serialized (serde's data model).
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A format that can serialize the serde data model.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Sequence sub-serializer.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple sub-serializer.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-struct sub-serializer.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-variant sub-serializer.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Map sub-serializer.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct sub-serializer.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct-variant sub-serializer.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_some<T>(self, value: &T) -> Result<Self::Ok, Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_newtype_struct<T>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn serialize_newtype_variant<T>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+    /// Provided method, as in real serde.
+    fn serialize_i128(self, _v: i128) -> Result<Self::Ok, Self::Error> {
+        Err(Error::custom("i128 is not supported"))
+    }
+
+    /// Provided method, as in real serde.
+    fn serialize_u128(self, _v: u128) -> Result<Self::Ok, Self::Error> {
+        Err(Error::custom("u128 is not supported"))
+    }
+
+    /// Provided method, as in real serde.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let iter = iter.into_iter();
+        let mut seq = self.serialize_seq(iter.size_hint().1)?;
+        for item in iter {
+            seq.serialize_element(&item)?;
+        }
+        seq.end()
+    }
+
+    /// Provided method, as in real serde.
+    fn collect_map<K, V, I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let iter = iter.into_iter();
+        let mut map = self.serialize_map(iter.size_hint().1)?;
+        for (key, value) in iter {
+            map.serialize_entry(&key, &value)?;
+        }
+        map.end()
+    }
+
+    /// Provided method, as in real serde.
+    fn collect_str<T>(self, value: &T) -> Result<Self::Ok, Self::Error>
+    where
+        T: ?Sized + Display,
+    {
+        self.serialize_str(&value.to_string())
+    }
+
+    /// Provided method, as in real serde.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Sub-serializer for sequences.
+pub trait SerializeSeq {
+    type Ok;
+    type Error: Error;
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for tuples.
+pub trait SerializeTuple {
+    type Ok;
+    type Error: Error;
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for tuple structs.
+pub trait SerializeTupleStruct {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for tuple enum variants.
+pub trait SerializeTupleVariant {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for maps.
+pub trait SerializeMap {
+    type Ok;
+    type Error: Error;
+    fn serialize_key<T>(&mut self, key: &T) -> Result<(), Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn serialize_value<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn serialize_entry<K, V>(&mut self, key: &K, value: &V) -> Result<(), Self::Error>
+    where
+        K: ?Sized + Serialize,
+        V: ?Sized + Serialize,
+    {
+        self.serialize_key(key)?;
+        self.serialize_value(value)
+    }
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for structs.
+pub trait SerializeStruct {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn skip_field(&mut self, _key: &'static str) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for struct enum variants.
+pub trait SerializeStructVariant {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+    where
+        T: ?Sized + Serialize;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A sub-serializer that can never be instantiated (mirrors
+/// `serde::ser::Impossible` for serializers without compound support).
+pub struct Impossible<Ok, Error> {
+    void: Void,
+    _marker: std::marker::PhantomData<(Ok, Error)>,
+}
+
+enum Void {}
+
+macro_rules! impossible {
+    ($($trait_:ident { $($fn_:ident $(($key:ty))?),* })*) => {
+        $(impl<Ok, E: Error> $trait_ for Impossible<Ok, E> {
+            type Ok = Ok;
+            type Error = E;
+            $(fn $fn_<T>(&mut self, $(_: $key,)? _: &T) -> Result<(), E>
+            where
+                T: ?Sized + Serialize,
+            {
+                match self.void {}
+            })*
+            fn end(self) -> Result<Ok, E> {
+                match self.void {}
+            }
+        })*
+    };
+}
+
+impossible! {
+    SerializeSeq { serialize_element }
+    SerializeTuple { serialize_element }
+    SerializeTupleStruct { serialize_field }
+    SerializeTupleVariant { serialize_field }
+    SerializeStruct { serialize_field(&'static str) }
+    SerializeStructVariant { serialize_field(&'static str) }
+}
+
+impl<Ok, E: Error> SerializeMap for Impossible<Ok, E> {
+    type Ok = Ok;
+    type Error = E;
+    fn serialize_key<T>(&mut self, _: &T) -> Result<(), E>
+    where
+        T: ?Sized + Serialize,
+    {
+        match self.void {}
+    }
+    fn serialize_value<T>(&mut self, _: &T) -> Result<(), E>
+    where
+        T: ?Sized + Serialize,
+    {
+        match self.void {}
+    }
+    fn end(self) -> Result<Ok, E> {
+        match self.void {}
+    }
+}
+
+// ---- Serialize impls for std types (the subset the workspace uses) ----
+
+macro_rules! primitive_impl {
+    ($($ty:ty => $method:ident as $as_:ty,)*) => {
+        $(impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self as $as_)
+            }
+        })*
+    };
+}
+
+primitive_impl! {
+    bool => serialize_bool as bool,
+    i8 => serialize_i8 as i8,
+    i16 => serialize_i16 as i16,
+    i32 => serialize_i32 as i32,
+    i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64,
+    u8 => serialize_u8 as u8,
+    u16 => serialize_u16 as u16,
+    u32 => serialize_u32 as u32,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+    f32 => serialize_f32 as f32,
+    f64 => serialize_f64 as f64,
+    char => serialize_char as char,
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+// Real serde serializes fixed-size arrays as tuples.
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut tuple = serializer.serialize_tuple(N)?;
+        for item in self {
+            SerializeTuple::serialize_element(&mut tuple, item)?;
+        }
+        SerializeTuple::end(tuple)
+    }
+}
+
+impl<'a, T: ?Sized + Serialize> Serialize for &'a T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'a, T: ?Sized + Serialize> Serialize for &'a mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_map(self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_map(self.iter())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident $index:tt),+) => $len:expr,)*) => {
+        $(impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tuple = serializer.serialize_tuple($len)?;
+                $(SerializeTuple::serialize_element(&mut tuple, &self.$index)?;)+
+                SerializeTuple::end(tuple)
+            }
+        })*
+    };
+}
+
+tuple_impl! {
+    (A 0) => 1,
+    (A 0, B 1) => 2,
+    (A 0, B 1, C 2) => 3,
+    (A 0, B 1, C 2, D 3) => 4,
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace uses —
+//! non-generic structs with named fields, tuple structs, and enums whose
+//! variants are unit, newtype, tuple, or struct-shaped — producing the same
+//! externally-tagged output as real serde. Parsing is done directly over
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline). Unsupported shapes fail the build loudly rather than
+//! serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (stub; supported subset only).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives `serde::Deserialize` (stub; nothing in the workspace derives
+/// it, so the generated impl simply fails at runtime if ever invoked).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, _kind, _body) = match parse_item(&tokens) {
+        Ok(parts) => parts,
+        Err(msg) => return format!("compile_error!({msg:?});").parse().unwrap(),
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {{\n\
+                 Err(serde::de::Error::custom(\"stub Deserialize derive\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+enum ItemKind {
+    Struct,
+    Enum,
+}
+
+/// Splits the item into (type name, kind, body group tokens).
+fn parse_item(tokens: &[TokenTree]) -> Result<(String, ItemKind, Vec<TokenTree>), String> {
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility/keywords until struct/enum.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break ItemKind::Struct;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break ItemKind::Enum;
+            }
+            Some(_) => i += 1,
+            None => return Err("stub serde derive: no struct/enum found".into()),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("stub serde derive: missing type name".into()),
+    };
+    i += 1;
+    // Reject generics: the workspace derives only on plain types.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "stub serde derive: generic type {name} is not supported"
+            ));
+        }
+    }
+    // Find the body: a brace group (named struct/enum) or parens + `;`
+    // (tuple struct).
+    for tree in &tokens[i..] {
+        match tree {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return Ok((name, kind, g.stream().into_iter().collect()));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut body: Vec<TokenTree> = g.stream().into_iter().collect();
+                // Mark tuple-struct bodies with a leading `()` sentinel so
+                // the caller can tell them apart from named fields.
+                body.insert(
+                    0,
+                    TokenTree::Group(proc_macro::Group::new(
+                        Delimiter::Parenthesis,
+                        TokenStream::new(),
+                    )),
+                );
+                return Ok((name, kind, body));
+            }
+            _ => {}
+        }
+    }
+    Err(format!("stub serde derive: no body found for {name}"))
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, kind, body) = parse_item(&tokens)?;
+    let serialize_body = match kind {
+        ItemKind::Struct => generate_struct(&name, &body)?,
+        ItemKind::Enum => generate_enum(&name, &body)?,
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\n\
+                 {serialize_body}\n\
+             }}\n\
+         }}"
+    ))
+}
+
+/// Field names of a named-field body (`a: T, pub b: U, ...`), skipping
+/// attributes, visibility and types (angle-bracket aware).
+fn named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        // Skip `pub` / `pub(crate)`.
+        if let Some(TokenTree::Ident(id)) = body.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let field = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!("stub serde derive: unexpected token {other}"));
+            }
+            None => break,
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("stub serde derive: expected `:` after {field}")),
+        }
+        // Skip the type: consume until a comma at angle depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tree) = body.get(i) {
+            if let TokenTree::Punct(p) = tree {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple body (`T, U, ...`).
+fn tuple_arity(body: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut saw_token = false;
+    for tree in body {
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn generate_struct(name: &str, body: &[TokenTree]) -> Result<String, String> {
+    if matches!(body.first(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+    {
+        // Tuple struct (sentinel group prepended by parse_item).
+        let arity = tuple_arity(&body[1..]);
+        if arity == 1 {
+            return Ok(format!(
+                "serializer.serialize_newtype_struct({name:?}, &self.0)"
+            ));
+        }
+        let mut out = String::new();
+        out.push_str("use serde::ser::SerializeTupleStruct as _;\n");
+        out.push_str(&format!(
+            "let mut state = serializer.serialize_tuple_struct({name:?}, {arity})?;\n"
+        ));
+        for index in 0..arity {
+            out.push_str(&format!("state.serialize_field(&self.{index})?;\n"));
+        }
+        out.push_str("state.end()");
+        return Ok(out);
+    }
+    let fields = named_fields(body)?;
+    let mut out = String::new();
+    out.push_str("use serde::ser::SerializeStruct as _;\n");
+    out.push_str(&format!(
+        "let mut state = serializer.serialize_struct({name:?}, {})?;\n",
+        fields.len()
+    ));
+    for field in &fields {
+        out.push_str(&format!(
+            "state.serialize_field({field:?}, &self.{field})?;\n"
+        ));
+    }
+    out.push_str("state.end()");
+    Ok(out)
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("stub serde derive: unexpected {other}")),
+            None => break,
+        };
+        i += 1;
+        let shape = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantShape::Tuple(tuple_arity(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantShape::Struct(named_fields(&inner)?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(tree) = body.get(i) {
+            if matches!(tree, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn generate_enum(name: &str, body: &[TokenTree]) -> Result<String, String> {
+    let variants = parse_variants(body)?;
+    if variants.is_empty() {
+        return Err(format!("stub serde derive: empty enum {name}"));
+    }
+    let mut out = String::new();
+    out.push_str("match self {\n");
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => {
+                out.push_str(&format!(
+                    "{name}::{vname} => serializer.serialize_unit_variant\
+                     ({name:?}, {index}, {vname:?}),\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                out.push_str(&format!(
+                    "{name}::{vname}(f0) => serializer.serialize_newtype_variant\
+                     ({name:?}, {index}, {vname:?}, f0),\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|j| format!("f{j}")).collect();
+                out.push_str(&format!(
+                    "{name}::{vname}({}) => {{\n\
+                         use serde::ser::SerializeTupleVariant as _;\n\
+                         let mut state = serializer.serialize_tuple_variant\
+                         ({name:?}, {index}, {vname:?}, {arity})?;\n",
+                    binders.join(", ")
+                ));
+                for binder in &binders {
+                    out.push_str(&format!("state.serialize_field({binder})?;\n"));
+                }
+                out.push_str("state.end()\n},\n");
+            }
+            VariantShape::Struct(fields) => {
+                out.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                         use serde::ser::SerializeStructVariant as _;\n\
+                         let mut state = serializer.serialize_struct_variant\
+                         ({name:?}, {index}, {vname:?}, {})?;\n",
+                    fields.join(", "),
+                    fields.len()
+                ));
+                for field in fields {
+                    out.push_str(&format!("state.serialize_field({field:?}, {field})?;\n"));
+                }
+                out.push_str("state.end()\n},\n");
+            }
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}

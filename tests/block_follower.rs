@@ -1,0 +1,168 @@
+//! The incremental block follower: analyzes only newly deployed
+//! contracts, and an injected proxy upgrade triggers exactly one
+//! single-pair collision re-check — never a full re-scan.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use proxion_chain::Chain;
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, U256};
+use proxion_service::{follower, ServiceMetrics};
+use proxion_solc::{compile, templates, SlotSpec};
+
+const WAIT: Duration = Duration::from_secs(20);
+
+struct Fixture {
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    pipeline: Arc<Pipeline>,
+    metrics: Arc<ServiceMetrics>,
+    deployer: Address,
+}
+
+fn fixture() -> Fixture {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    Fixture {
+        chain: Arc::new(RwLock::new(chain)),
+        etherscan: Arc::new(RwLock::new(Etherscan::new())),
+        pipeline: Arc::new(Pipeline::new(PipelineConfig::default())),
+        metrics: Arc::new(ServiceMetrics::new()),
+        deployer,
+    }
+}
+
+impl Fixture {
+    fn start_follower(&self) -> follower::FollowerHandle {
+        let from_block = self.chain.read().head_block();
+        follower::start(
+            Arc::clone(&self.chain),
+            Arc::clone(&self.etherscan),
+            Arc::clone(&self.pipeline),
+            Arc::clone(&self.metrics),
+            from_block,
+        )
+    }
+
+    fn install(&self, chain: &mut Chain, spec: &proxion_solc::ContractSpec) -> Address {
+        chain
+            .install_new(self.deployer, compile(spec).unwrap().runtime)
+            .unwrap()
+    }
+}
+
+#[test]
+fn upgrade_triggers_exactly_one_pair_recheck() {
+    let fx = fixture();
+    let handle = fx.start_follower();
+
+    // Phase 1: deploy logic v1 and an EIP-1967 proxy pointing at it. All
+    // mutations happen under one write lock, so the follower observes the
+    // fully wired state — the initial implementation is not an "upgrade".
+    let (l1, proxy, head1) = {
+        let mut chain = fx.chain.write();
+        let l1 = fx.install(&mut chain, &templates::simple_logic("L1"));
+        let proxy = fx.install(&mut chain, &templates::eip1967_proxy("P"));
+        chain.set_storage(
+            proxy,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(l1),
+        );
+        (l1, proxy, chain.head_block())
+    };
+    assert!(handle.wait_for_block(head1, WAIT), "follower fell behind");
+    let stats = handle.stats();
+    assert_eq!(stats.contracts_analyzed, 2, "l1 + proxy, nothing else");
+    assert_eq!(stats.upgrades_observed, 0);
+    assert_eq!(stats.pair_rechecks, 0);
+    assert!(handle.upgrades().is_empty());
+
+    // Phase 2: deploy logic v2 and switch the implementation slot.
+    let (l2, head2) = {
+        let mut chain = fx.chain.write();
+        let l2 = fx.install(&mut chain, &templates::eip1822_logic("L2"));
+        chain.set_storage(
+            proxy,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(l2),
+        );
+        (l2, chain.head_block())
+    };
+    assert!(handle.wait_for_block(head2, WAIT), "follower fell behind");
+    let stats = handle.stats();
+    assert_eq!(
+        stats.contracts_analyzed, 3,
+        "only l2 is new; the proxy must NOT be re-scanned"
+    );
+    assert_eq!(stats.upgrades_observed, 1);
+    assert_eq!(
+        stats.pair_rechecks, 1,
+        "exactly one collision re-check for the one new (proxy, l2) pair"
+    );
+
+    // The upgrade event log records the transition.
+    let upgrades = handle.upgrades();
+    assert_eq!(upgrades.len(), 1);
+    assert_eq!(upgrades[0].proxy, proxy);
+    assert_eq!(upgrades[0].old_logic, l1);
+    assert_eq!(upgrades[0].new_logic, l2);
+    assert!(upgrades[0].block > head1 - 2 && upgrades[0].block <= head2);
+
+    // The single-pair re-check landed in the shared pair cache.
+    let cache = fx.pipeline.cache().stats();
+    assert!(cache.pairs.entries >= 2, "(proxy,l1) and (proxy,l2) pairs");
+
+    handle.stop();
+}
+
+#[test]
+fn non_proxy_deployments_are_analyzed_but_not_tracked() {
+    let fx = fixture();
+    let handle = fx.start_follower();
+
+    let head = {
+        let mut chain = fx.chain.write();
+        fx.install(&mut chain, &templates::plain_token("T"));
+        fx.install(&mut chain, &templates::simple_logic("L"));
+        chain.head_block()
+    };
+    assert!(handle.wait_for_block(head, WAIT));
+    let stats = handle.stats();
+    assert_eq!(stats.contracts_analyzed, 2);
+
+    // Later storage writes to non-proxies never register as upgrades.
+    let head = {
+        let mut chain = fx.chain.write();
+        let extra = fx.install(&mut chain, &templates::plain_token("T2"));
+        chain.set_storage(extra, U256::ONE, U256::from(7u64));
+        chain.head_block()
+    };
+    assert!(handle.wait_for_block(head, WAIT));
+    let stats = handle.stats();
+    assert_eq!(stats.contracts_analyzed, 3);
+    assert_eq!(stats.upgrades_observed, 0);
+    assert_eq!(stats.pair_rechecks, 0);
+    handle.stop();
+}
+
+#[test]
+fn follower_counts_blocks_and_reports_progress() {
+    let fx = fixture();
+    let start_head = fx.chain.read().head_block();
+    let handle = fx.start_follower();
+    let head = {
+        let mut chain = fx.chain.write();
+        for i in 0..5 {
+            chain.set_storage(fx.deployer, U256::from(i as u64), U256::ONE);
+        }
+        chain.head_block()
+    };
+    assert!(handle.wait_for_block(head, WAIT));
+    let stats = handle.stats();
+    assert_eq!(stats.last_block, head);
+    assert_eq!(stats.blocks_followed, head - start_head);
+    handle.stop();
+}

@@ -1,0 +1,84 @@
+//! The shared [`AnalysisCache`] must be invisible in the results: any
+//! parallelism, any cache temperature — byte-identical reports.
+
+use std::sync::Arc;
+
+use proxion_core::{AnalysisCache, Pipeline, PipelineConfig};
+use proxion_dataset::{Landscape, LandscapeConfig};
+use proxion_service::json::to_json;
+
+fn world() -> Landscape {
+    Landscape::generate(&LandscapeConfig {
+        seed: 0xc0ffee,
+        total_contracts: 120,
+    })
+}
+
+fn config(parallelism: usize) -> PipelineConfig {
+    PipelineConfig {
+        parallelism,
+        resolve_history: true,
+        check_collisions: true,
+        check_historical_pairs: false,
+    }
+}
+
+#[test]
+fn parallelism_1_and_8_produce_identical_reports() {
+    let world = world();
+    let seq = Pipeline::new(config(1)).analyze_all(&world.chain, &world.etherscan);
+    let par = Pipeline::new(config(8)).analyze_all(&world.chain, &world.etherscan);
+    // Serialize both: a byte-level comparison catches ordering drift,
+    // cache-rehydration drift, and field-value drift all at once.
+    assert_eq!(
+        to_json(&seq),
+        to_json(&par),
+        "parallel analysis must be byte-identical to sequential"
+    );
+}
+
+#[test]
+fn second_analysis_hits_shared_cache_without_changing_results() {
+    let world = world();
+    let cache = Arc::new(AnalysisCache::new());
+
+    let first = Pipeline::with_cache(config(4), Arc::clone(&cache))
+        .analyze_all(&world.chain, &world.etherscan);
+    let cold = cache.stats();
+    assert!(cold.checks.misses > 0, "cold run must populate the cache");
+    assert!(cold.checks.entries > 0);
+
+    let second = Pipeline::with_cache(config(4), Arc::clone(&cache))
+        .analyze_all(&world.chain, &world.etherscan);
+    let warm = cache.stats();
+
+    assert!(
+        warm.checks.hits > cold.checks.hits,
+        "warm run must hit the shared verdict cache (cold hits {}, warm hits {})",
+        cold.checks.hits,
+        warm.checks.hits
+    );
+    assert_eq!(
+        warm.checks.misses, cold.checks.misses,
+        "warm run must not miss on bytecode the cold run already analyzed"
+    );
+    assert_eq!(
+        to_json(&first),
+        to_json(&second),
+        "cache hits must not change any report"
+    );
+}
+
+#[test]
+fn pair_cache_shared_across_pipelines() {
+    let world = world();
+    let cache = Arc::new(AnalysisCache::new());
+    Pipeline::with_cache(config(2), Arc::clone(&cache)).analyze_all(&world.chain, &world.etherscan);
+    let cold = cache.stats();
+    Pipeline::with_cache(config(2), Arc::clone(&cache)).analyze_all(&world.chain, &world.etherscan);
+    let warm = cache.stats();
+    assert!(
+        warm.pairs.hits > cold.pairs.hits,
+        "collision-pair reports must be reused on the warm run"
+    );
+}

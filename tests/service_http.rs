@@ -1,0 +1,240 @@
+//! End-to-end tests of the analysis server over real loopback sockets:
+//! JSON-RPC methods, warm-cache metrics, and 503 backpressure when the
+//! bounded queue fills.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use proxion_chain::Chain;
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, U256};
+use proxion_service::json::{self, JsonValue};
+use proxion_service::loadgen::ClientConn;
+use proxion_service::{server, ServerConfig};
+use proxion_solc::{compile, templates, SlotSpec};
+
+struct World {
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    proxy: Address,
+    logic: Address,
+    token: Address,
+}
+
+fn build_world() -> World {
+    let mut chain = Chain::new();
+    let mut etherscan = Etherscan::new();
+    let me = chain.new_funded_account();
+    let logic = chain
+        .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(
+        proxy,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+    let token = chain
+        .install_new(me, compile(&templates::plain_token("T")).unwrap().runtime)
+        .unwrap();
+    etherscan.register_contract(
+        logic,
+        proxion_primitives::keccak256(chain.code_at(logic).as_slice()),
+    );
+    World {
+        chain: Arc::new(RwLock::new(chain)),
+        etherscan: Arc::new(RwLock::new(etherscan)),
+        proxy,
+        logic,
+        token,
+    }
+}
+
+fn start_server(world: &World, workers: usize, queue: usize) -> proxion_service::ServerHandle {
+    server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_capacity: queue,
+            follow_chain: false,
+        },
+        Arc::clone(&world.chain),
+        Arc::clone(&world.etherscan),
+        Arc::new(Pipeline::new(PipelineConfig::default())),
+    )
+    .expect("server starts")
+}
+
+fn address_param(address: Address) -> JsonValue {
+    json::object(vec![("address", address.to_string().into())])
+}
+
+#[test]
+fn rpc_methods_answer_over_loopback() {
+    let world = build_world();
+    let handle = start_server(&world, 2, 16);
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // Plain HTTP endpoints.
+    let (status, body) = client.get("/health").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""));
+    let (status, _) = client.get("/nope").unwrap();
+    assert_eq!(status, 404);
+
+    // proxy_check: the EIP-1967 proxy resolves to its logic contract.
+    let doc = client
+        .rpc("proxy_check", &address_param(world.proxy))
+        .unwrap();
+    let check = doc.get("result").expect("result").get("check").unwrap();
+    let logic_addr = check
+        .get("Proxy")
+        .expect("classified as proxy")
+        .get("logic")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    assert_eq!(logic_addr, world.logic.to_string());
+
+    // proxy_check: a plain token is not a proxy.
+    let doc = client
+        .rpc("proxy_check", &address_param(world.token))
+        .unwrap();
+    let check = doc.get("result").unwrap().get("check").unwrap();
+    assert!(check.get("NotProxy").is_some() || check.as_str().is_some());
+
+    // logic_history: the proxy has exactly one implementation so far.
+    let doc = client
+        .rpc("logic_history", &address_param(world.proxy))
+        .unwrap();
+    let addresses = doc
+        .get("result")
+        .unwrap()
+        .get("addresses")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(addresses.len(), 1);
+    assert_eq!(
+        addresses[0].as_str(),
+        Some(world.logic.to_string().as_str())
+    );
+
+    // collisions: logic is inferred when omitted.
+    let params = json::object(vec![("proxy", world.proxy.to_string().into())]);
+    let doc = client.rpc("collisions", &params).unwrap();
+    let result = doc.get("result").unwrap();
+    assert_eq!(
+        result.get("logic").unwrap().as_str(),
+        Some(world.logic.to_string().as_str())
+    );
+    assert!(result.get("functions").is_some());
+    assert!(result.get("storage").is_some());
+
+    // contracts lists the three deployments.
+    let doc = client.rpc("contracts", &JsonValue::Null).unwrap();
+    assert_eq!(doc.get("result").unwrap().as_array().unwrap().len(), 3);
+
+    // stats exposes the cache counters.
+    let doc = client.rpc("stats", &JsonValue::Null).unwrap();
+    assert!(doc.get("result").unwrap().get("cache").is_some());
+
+    // Error paths: unknown address, unknown method, malformed JSON.
+    let doc = client
+        .rpc("proxy_check", &address_param(Address::from_low_u64(0x9999)))
+        .unwrap();
+    assert!(doc.get("error").is_some());
+    let doc = client.rpc("no_such_method", &JsonValue::Null).unwrap();
+    assert!(doc.get("error").is_some());
+    let (status, _) = client.post("/rpc", "{not json").unwrap();
+    assert_eq!(status, 400);
+
+    handle.stop();
+}
+
+#[test]
+fn warm_cache_repeat_shows_hits_in_metrics() {
+    let world = build_world();
+    let handle = start_server(&world, 2, 16);
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+
+    for _ in 0..3 {
+        let doc = client
+            .rpc("proxy_check", &address_param(world.proxy))
+            .unwrap();
+        assert!(doc.get("result").is_some());
+    }
+
+    let (status, text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    let metric = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|line| line.strip_prefix(name)?.strip_prefix(' '))
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{text}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(metric("proxion_requests_total") >= 3);
+    assert!(
+        metric("proxion_cache_check_hits_total") >= 2,
+        "repeat proxy_check must hit the verdict cache"
+    );
+    assert_eq!(metric("proxion_cache_check_misses_total"), 1);
+    assert!(
+        text.contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"+Inf\"} 3")
+    );
+    handle.stop();
+}
+
+/// Sends a request on a raw socket without waiting for the response —
+/// used to occupy the single worker and to fill the queue.
+fn fire_and_forget(addr: std::net::SocketAddr, body: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "POST /rpc HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    stream
+}
+
+#[test]
+fn full_queue_answers_503_immediately() {
+    let world = build_world();
+    // One worker, queue of one: the third concurrent connection must be
+    // rejected with 503 instead of waiting.
+    let handle = start_server(&world, 1, 1);
+    let addr = handle.local_addr();
+
+    // Occupy the only worker for 2s.
+    let _sleeper = fire_and_forget(addr, r#"{"method":"debug_sleep","params":{"millis":2000}}"#);
+    std::thread::sleep(Duration::from_millis(400));
+    // Fill the queue's single slot.
+    let _queued = fire_and_forget(addr, r#"{"method":"health"}"#);
+    std::thread::sleep(Duration::from_millis(400));
+
+    // This connection finds the queue full: immediate 503, then close.
+    let mut rejected = TcpStream::connect(addr).unwrap();
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut response = String::new();
+    rejected.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 503"),
+        "expected 503, got: {response:?}"
+    );
+    assert!(response.contains("Retry-After"));
+    assert_eq!(handle.metrics().rejected_total.load(Ordering::Relaxed), 1);
+
+    handle.stop();
+}
