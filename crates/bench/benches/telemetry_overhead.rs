@@ -1,0 +1,112 @@
+//! Telemetry overhead: the cost of the instrumentation itself.
+//!
+//! Three comparisons back the "near-zero always-on cost" claim:
+//!
+//! 1. `proxy_check/bare` vs `proxy_check/telemetry_disabled` — a detector
+//!    carrying a disabled sink must match the un-instrumented baseline
+//!    (the disabled path is one atomic load per would-be span).
+//! 2. `proxy_check/telemetry_enabled` — full recording (spans + EVM
+//!    profile + trace ring) should stay within ~5% of bare.
+//! 3. `span/*` — the raw open/close cost of a single span, disabled,
+//!    enabled-sampled and enabled-unsampled.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_chain::Chain;
+use proxion_core::ProxyDetector;
+use proxion_primitives::{Address, U256};
+use proxion_solc::{compile, templates, SlotSpec};
+use proxion_telemetry::{Stage, Telemetry, TelemetryConfig};
+
+struct Fixture {
+    chain: Chain,
+    proxy: Address,
+}
+
+fn fixture() -> Fixture {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = chain
+        .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(
+        proxy,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+    Fixture { chain, proxy }
+}
+
+fn bench_proxy_check(c: &mut Criterion) {
+    let fx = fixture();
+    let mut group = c.benchmark_group("proxy_check");
+
+    let bare = ProxyDetector::new();
+    group.bench_function("bare", |b| {
+        b.iter(|| {
+            assert!(bare.check(&fx.chain, fx.proxy).is_proxy());
+        })
+    });
+
+    // ProxyDetector::new() carries a disabled sink already; construct one
+    // explicitly so the comparison is self-describing.
+    let disabled = ProxyDetector::new().with_telemetry(Arc::new(Telemetry::disabled()));
+    group.bench_function("telemetry_disabled", |b| {
+        b.iter(|| {
+            assert!(disabled.check(&fx.chain, fx.proxy).is_proxy());
+        })
+    });
+
+    let enabled =
+        ProxyDetector::new().with_telemetry(Arc::new(Telemetry::new(TelemetryConfig::default())));
+    group.bench_function("telemetry_enabled", |b| {
+        b.iter(|| {
+            assert!(enabled.check(&fx.chain, fx.proxy).is_proxy());
+        })
+    });
+
+    // Sampling 1-in-64 keeps the aggregates exact while the trace ring
+    // sees only a fraction of the span traffic.
+    let sampled = ProxyDetector::new().with_telemetry(Arc::new(Telemetry::new(TelemetryConfig {
+        sample_every: 64,
+        ..TelemetryConfig::default()
+    })));
+    group.bench_function("telemetry_sampled_64", |b| {
+        b.iter(|| {
+            assert!(sampled.check(&fx.chain, fx.proxy).is_proxy());
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_span(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span");
+
+    let disabled = Telemetry::disabled();
+    group.bench_function("disabled", |b| {
+        b.iter(|| drop(disabled.span(Stage::Other, "bench")))
+    });
+
+    let enabled = Telemetry::new(TelemetryConfig::default());
+    group.bench_function("enabled_sampled", |b| {
+        b.iter(|| drop(enabled.span(Stage::Other, "bench")))
+    });
+
+    let sparse = Telemetry::new(TelemetryConfig {
+        sample_every: 1024,
+        ..TelemetryConfig::default()
+    });
+    group.bench_function("enabled_mostly_unsampled", |b| {
+        b.iter(|| drop(sparse.span(Stage::Other, "bench")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_proxy_check, bench_span);
+criterion_main!(benches);

@@ -23,9 +23,29 @@ fn take_flag(args: &[String], flag: &str) -> (bool, Vec<String>) {
     (present, rest)
 }
 
-/// `proxion inspect [--json] <hex-file-or-string>`
+/// Removes `flag` and its value from `args`, returning the value.
+fn take_value(args: &[String], flag: &str) -> Result<(Option<String>, Vec<String>), String> {
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            value = Some(
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))?,
+            );
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((value, rest))
+}
+
+/// `proxion inspect [--json] [--trace FILE] <hex-file-or-string>`
 pub fn inspect(args: &[String]) -> Result<(), String> {
     let (as_json, args) = take_flag(args, "--json");
+    let (trace_path, args) = take_value(&args, "--trace")?;
     let input = args
         .first()
         .ok_or("inspect needs a hex file path or hex string")?;
@@ -36,6 +56,9 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
     let code = decode_hex(&hex).map_err(|e| format!("invalid hex: {e}"))?;
     if code.is_empty() {
         return Err("empty bytecode".into());
+    }
+    if let Some(path) = trace_path {
+        traced_detection(&code, &path)?;
     }
     if as_json {
         return inspect_json(&code);
@@ -105,6 +128,56 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
 // Local alias to avoid importing the asm crate for one constant.
 fn proxion_asm_delegatecall() -> u8 {
     0xf4
+}
+
+/// Runs the full detection against the bytecode on a scratch chain with
+/// telemetry enabled, and writes the Chrome-trace JSON (plus a sibling
+/// `.folded` flamegraph input) to `path`.
+fn traced_detection(code: &[u8], path: &str) -> Result<(), String> {
+    use proxion_telemetry::{Stage, Telemetry, TelemetryConfig};
+
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    let address = chain
+        .install_new(deployer, code.to_vec())
+        .map_err(|e| e.to_string())?;
+    let detector = ProxyDetector::new().with_telemetry(Arc::clone(&telemetry));
+    let check = {
+        let _span = telemetry.span(Stage::Other, "inspect_trace");
+        detector.check(&chain, address)
+    };
+    println!(
+        "traced detection: {}",
+        if check.is_proxy() {
+            "PROXY"
+        } else {
+            "not a proxy"
+        }
+    );
+    std::fs::write(path, proxion_telemetry::chrome_trace(&telemetry))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let folded = format!("{path}.folded");
+    std::fs::write(&folded, proxion_telemetry::folded_stacks(&telemetry))
+        .map_err(|e| format!("cannot write {folded}: {e}"))?;
+    println!("trace written to {path} (load in Perfetto or chrome://tracing)");
+    println!("folded stacks written to {folded} (flamegraph.pl / inferno input)");
+    for snapshot in telemetry.stage_snapshot() {
+        if snapshot.count > 0 {
+            println!(
+                "  stage {:<20} {:>4} span(s), mean {:>8} ns, max {:>8} ns",
+                snapshot.stage.name(),
+                snapshot.count,
+                snapshot.mean_ns(),
+                snapshot.max_ns
+            );
+        }
+    }
+    let ops = telemetry.evm().total_ops();
+    if ops > 0 {
+        println!("  evm: {ops} opcodes executed during emulation");
+    }
+    Ok(())
 }
 
 /// Machine-readable `inspect` output.
@@ -396,6 +469,7 @@ struct ServeOpts {
     workers: usize,
     queue: usize,
     follow: bool,
+    telemetry: bool,
 }
 
 impl ServeOpts {
@@ -407,6 +481,7 @@ impl ServeOpts {
             workers: 4,
             queue: 64,
             follow: true,
+            telemetry: false,
         };
         let mut positional = Vec::new();
         let mut iter = args.iter();
@@ -433,6 +508,7 @@ impl ServeOpts {
                         .map_err(|_| "invalid --queue".to_owned())?
                 }
                 "--no-follow" => opts.follow = false,
+                "--telemetry" => opts.telemetry = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag {other:?}"));
                 }
@@ -456,12 +532,18 @@ fn launch_server(
     });
     let chain = Arc::new(RwLock::new(landscape.chain));
     let etherscan = Arc::new(RwLock::new(landscape.etherscan));
-    let pipeline = Arc::new(Pipeline::new(PipelineConfig {
+    let mut pipeline = Pipeline::new(PipelineConfig {
         parallelism: 1,
         resolve_history: true,
         check_collisions: true,
         check_historical_pairs: false,
-    }));
+    });
+    if opts.telemetry {
+        pipeline = pipeline.with_telemetry(Arc::new(proxion_telemetry::Telemetry::new(
+            proxion_telemetry::TelemetryConfig::default(),
+        )));
+    }
+    let pipeline = Arc::new(pipeline);
     let handle = server::start(
         ServerConfig {
             addr: format!("127.0.0.1:{}", opts.port),
@@ -477,7 +559,7 @@ fn launch_server(
     Ok((handle, chain))
 }
 
-/// `proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow]`
+/// `proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow] [--telemetry]`
 ///
 /// Generates a synthetic landscape and serves the analysis over HTTP
 /// until killed.
@@ -495,11 +577,16 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     println!("  POST /rpc       methods: proxy_check, logic_history, collisions, contracts, stats, health");
     println!("  GET  /health    liveness");
     println!("  GET  /metrics   Prometheus text format");
+    if opts.telemetry {
+        println!("  GET  /trace         Chrome-trace JSON (Perfetto)");
+        println!("  GET  /trace/folded  flamegraph folded stacks");
+    }
     println!(
-        "  workers: {}, queue: {}, follower: {}",
+        "  workers: {}, queue: {}, follower: {}, telemetry: {}",
         opts.workers,
         opts.queue,
-        if opts.follow { "on" } else { "off" }
+        if opts.follow { "on" } else { "off" },
+        if opts.telemetry { "on" } else { "off" }
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -583,6 +670,23 @@ mod tests {
     fn inspect_json_mode_runs() {
         let code = templates::minimal_proxy_runtime(Address::from_low_u64(7));
         inspect(&["--json".into(), encode_hex(&code)]).unwrap();
+    }
+
+    #[test]
+    fn inspect_trace_writes_trace_files() {
+        let code = templates::minimal_proxy_runtime(Address::from_low_u64(7));
+        let dir = std::env::temp_dir().join("proxion-inspect-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        inspect(&["--trace".into(), path_str.clone(), encode_hex(&code)]).unwrap();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"cat\":\"emulation\""));
+        assert!(std::fs::metadata(format!("{path_str}.folded")).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+        // The flag requires a value.
+        assert!(inspect(&["--trace".into()]).is_err());
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! `proxion` — the command-line interface.
 //!
 //! ```text
-//! proxion inspect [--json] <hex-file-or-string>   static bytecode analysis
+//! proxion inspect [--json] [--trace FILE] <hex>   static bytecode analysis
 //! proxion landscape [--json] [N] [seed]           generate + analyze a landscape
 //! proxion accuracy [per-kind]                     Table 2 accuracy comparison
 //! proxion demo <honeypot|audius>                  run an attack reproduction
-//! proxion serve [N] [seed]                        run the analysis server
+//! proxion serve [N] [seed] [--telemetry]          run the analysis server
 //! proxion loadgen <host:port> [conns] [reqs]      drive load at a server
 //! ```
 
@@ -46,10 +46,13 @@ fn print_help() {
         "proxion — hidden-proxy and collision analysis for EVM bytecode
 
 USAGE:
-    proxion inspect <hex-file-or-string>
+    proxion inspect [--trace FILE] <hex-file-or-string>
         Disassemble runtime bytecode and report: opcode statistics, the
         DELEGATECALL gate verdict, dispatcher selectors (vs. the naive
-        PUSH4 scan), and the recovered storage-access layout.
+        PUSH4 scan), and the recovered storage-access layout. With
+        --trace, additionally deploy the bytecode on a scratch chain, run
+        the full detection with telemetry enabled, and write a
+        Chrome-trace JSON (plus FILE.folded flamegraph stacks).
 
     proxion landscape [contracts] [seed]
         Generate a synthetic Ethereum landscape (default 1000 contracts)
@@ -63,12 +66,15 @@ USAGE:
     proxion demo audius
         Reproduce the paper's Listing 1 / Listing 2 attacks end to end.
 
-    proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow]
+    proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow] [--telemetry]
         Generate a landscape and serve the analysis over HTTP/1.1:
         POST /rpc (JSON-RPC: proxy_check, logic_history, collisions,
         contracts, stats, health), GET /health, GET /metrics. A bounded
         request queue answers 503 under overload; the block follower
-        analyzes new contracts and proxy upgrades incrementally.
+        analyzes new contracts and proxy upgrades incrementally. With
+        --telemetry, per-request span trees and EVM profiles are recorded
+        and exported at GET /trace (Chrome-trace JSON for Perfetto),
+        GET /trace/folded (flamegraph stacks) and inside GET /metrics.
 
     proxion loadgen <host:port> [connections] [requests-per-connection]
         Drive proxy_check load at a running server and report req/s.

@@ -53,6 +53,8 @@
 //! assert_eq!(check.logic(), Some(logic));
 //! ```
 
+#![deny(missing_docs)]
+
 mod cache;
 mod diamond;
 mod funcsig;

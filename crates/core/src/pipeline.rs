@@ -12,6 +12,7 @@ use std::sync::{Arc, OnceLock};
 use proxion_chain::Chain;
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{Address, B256};
+use proxion_telemetry::{Outcome, Stage, Telemetry};
 
 use crate::cache::{AnalysisCache, CachedVerdict};
 use crate::funcsig::{FunctionCollisionDetector, FunctionCollisionReport};
@@ -202,6 +203,7 @@ pub struct Pipeline {
     functions: FunctionCollisionDetector,
     storage: StorageCollisionDetector,
     cache: Arc<AnalysisCache>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Default for Pipeline {
@@ -228,7 +230,24 @@ impl Pipeline {
             functions: FunctionCollisionDetector::new(),
             storage: StorageCollisionDetector::new(),
             cache,
+            telemetry: Arc::new(Telemetry::disabled()),
         }
+    }
+
+    /// Attaches a telemetry sink: every stage of every analysis records a
+    /// span (aggregated in the sink's stage statistics and sampled into
+    /// its trace ring), and the detector's emulations feed the sink's EVM
+    /// profile. The default sink is disabled and effectively free.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.detector = self.detector.with_telemetry(Arc::clone(&telemetry));
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry sink (disabled unless
+    /// [`Pipeline::with_telemetry`] was called).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The shared result cache.
@@ -253,6 +272,32 @@ impl Pipeline {
     /// when per-contract cost varies wildly) but write each report into
     /// the slot of its input position, and the final stable sort by
     /// deployment block therefore ties equal keys by input order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxion_chain::Chain;
+    /// use proxion_core::Pipeline;
+    /// use proxion_etherscan::Etherscan;
+    /// use proxion_primitives::U256;
+    /// use proxion_solc::{compile, templates, SlotSpec};
+    ///
+    /// let mut chain = Chain::new();
+    /// let deployer = chain.new_funded_account();
+    /// let logic_code = compile(&templates::simple_logic("Logic")).unwrap();
+    /// let logic = chain.install_new(deployer, logic_code.runtime).unwrap();
+    /// let proxy_code = compile(&templates::eip1967_proxy("Proxy")).unwrap();
+    /// let proxy = chain.install_new(deployer, proxy_code.runtime).unwrap();
+    /// chain.set_storage(
+    ///     proxy,
+    ///     SlotSpec::eip1967_implementation().to_u256(),
+    ///     U256::from(logic),
+    /// );
+    ///
+    /// let report = Pipeline::default().analyze(&chain, &Etherscan::new(), &[logic, proxy]);
+    /// assert_eq!(report.total(), 2);
+    /// assert_eq!(report.proxy_count(), 1);
+    /// ```
     pub fn analyze(
         &self,
         chain: &Chain,
@@ -298,6 +343,10 @@ impl Pipeline {
         etherscan: &Etherscan,
         address: Address,
     ) -> ContractReport {
+        let mut span = self.telemetry.span(Stage::Analyze, "analyze_one");
+        if span.is_recording() {
+            span.set_detail(address.to_string());
+        }
         let code = chain.code_at(address);
         let code_hash = proxion_primitives::keccak256(code.as_slice());
 
@@ -337,7 +386,12 @@ impl Pipeline {
                     ..
                 },
                 true,
-            ) => Some(self.resolver.resolve(chain, address, *slot)),
+            ) => {
+                let _span = self
+                    .telemetry
+                    .span(Stage::HistoryResolution, "resolve_history");
+                Some(self.resolver.resolve(chain, address, *slot))
+            }
             _ => None,
         };
 
@@ -369,7 +423,7 @@ impl Pipeline {
             }
         }
 
-        ContractReport {
+        let report = ContractReport {
             address,
             code_hash,
             check,
@@ -380,7 +434,20 @@ impl Pipeline {
             function_collisions,
             storage_collisions,
             historical_pairs,
-        }
+        };
+        span.set_outcome(if report.is_hidden_proxy() {
+            Outcome::Hidden
+        } else if report.check.is_proxy() {
+            Outcome::Proxy
+        } else if matches!(
+            report.check,
+            ProxyCheck::NotProxy(NotProxyReason::EmulationError(_))
+        ) {
+            Outcome::Error
+        } else {
+            Outcome::NotProxy
+        });
+        report
     }
 
     /// Runs (or reuses) the collision detectors for one proxy/logic pair,
@@ -399,8 +466,18 @@ impl Pipeline {
         match self.cache.get_pair(&key) {
             Some(pair) => pair,
             None => {
-                let f = self.functions.check_pair(chain, etherscan, proxy, logic);
-                let s = self.storage.check_pair(chain, proxy, logic);
+                let f = {
+                    let _span = self
+                        .telemetry
+                        .span(Stage::FunctionCollisions, "function_collisions");
+                    self.functions.check_pair(chain, etherscan, proxy, logic)
+                };
+                let s = {
+                    let _span = self
+                        .telemetry
+                        .span(Stage::StorageCollisions, "storage_collisions");
+                    self.storage.check_pair(chain, proxy, logic)
+                };
                 self.cache.insert_pair(key, (f.clone(), s.clone()));
                 (f, s)
             }
@@ -671,6 +748,59 @@ mod tests {
         assert_eq!(r.historical_pairs[0].logic, colliding);
         assert!(r.historical_pairs[0].functions.has_collisions());
         assert_eq!(report.historical_collision_pair_count(), 1);
+    }
+
+    #[test]
+    fn telemetry_records_pipeline_stages() {
+        let (chain, etherscan, addresses) = build_world();
+        let telemetry = Arc::new(Telemetry::default());
+        let pipeline = Pipeline::default().with_telemetry(Arc::clone(&telemetry));
+        let report = pipeline.analyze(&chain, &etherscan, &addresses);
+        assert_eq!(report.total(), 6);
+
+        // One analyze span per address, with paper-vocabulary outcomes.
+        let analyze = telemetry.stage_snapshot_of(Stage::Analyze);
+        assert_eq!(analyze.count, 6);
+        assert_eq!(
+            analyze.outcomes.iter().sum::<u64>(),
+            6,
+            "every analyze span is labeled"
+        );
+        assert!(analyze.outcomes[Outcome::Hidden.index()] >= 1);
+
+        // The detector's sub-stages ran and nested under analyze.
+        assert!(telemetry.stage_snapshot_of(Stage::Disassembly).count >= 1);
+        assert!(telemetry.stage_snapshot_of(Stage::Emulation).count >= 1);
+        let spans = telemetry.snapshot_spans();
+        let emulation = spans
+            .iter()
+            .find(|s| s.stage == Stage::Emulation)
+            .expect("emulation span retained");
+        assert_ne!(emulation.parent, 0, "nested under the analyze span");
+
+        // The profiling inspector fed the EVM profile.
+        assert!(telemetry.evm().total_ops() > 0);
+        let delegates: u64 = telemetry
+            .evm()
+            .delegate_counts()
+            .iter()
+            .map(|&(_, count)| count)
+            .sum();
+        assert!(delegates >= 1, "proxy probes observed DELEGATECALLs");
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let (chain, etherscan, addresses) = build_world();
+        let baseline = Pipeline::default().analyze(&chain, &etherscan, &addresses);
+        let telemetry = Arc::new(Telemetry::disabled());
+        let instrumented = Pipeline::default()
+            .with_telemetry(Arc::clone(&telemetry))
+            .analyze(&chain, &etherscan, &addresses);
+        assert_eq!(baseline.proxy_count(), instrumented.proxy_count());
+        assert_eq!(telemetry.stage_snapshot_of(Stage::Analyze).count, 0);
+        assert!(telemetry.snapshot_spans().is_empty());
+        assert_eq!(telemetry.evm().total_ops(), 0);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Proxy detection: the two-step check of paper §4.1–4.2.
 
+use std::sync::Arc;
+
 use proxion_chain::{Chain, ForkDb};
 use proxion_disasm::Disassembly;
-use proxion_evm::{Evm, Message, Origin, RecordingInspector};
+use proxion_evm::{Evm, Message, Origin, ProfilingInspector, RecordingInspector};
 use proxion_primitives::{Address, DetRng, U256};
 use proxion_solc::templates::parse_minimal_proxy;
 use proxion_solc::SlotSpec;
+use proxion_telemetry::{Outcome, Stage, Telemetry};
 
 /// Where a proxy keeps its logic-contract address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -109,6 +112,9 @@ pub struct ProxyDetector {
     /// selector. A realistic call data length exercises `CALLDATACOPY`
     /// forwarding of more than 4 bytes.
     arg_bytes: usize,
+    /// Telemetry sink; disabled by default, in which case the check path
+    /// is byte-identical to an un-instrumented detector.
+    telemetry: Arc<Telemetry>,
 }
 
 impl Default for ProxyDetector {
@@ -118,12 +124,21 @@ impl Default for ProxyDetector {
 }
 
 impl ProxyDetector {
-    /// Creates a detector with the default deterministic probe seed.
+    /// Creates a detector with the default deterministic probe seed and
+    /// telemetry disabled.
     pub fn new() -> Self {
         ProxyDetector {
             seed: 0x9df4_a310_6000_0001,
             arg_bytes: 32,
+            telemetry: Arc::new(Telemetry::disabled()),
         }
+    }
+
+    /// Attaches a telemetry sink: stage spans (disassembly, dispatcher,
+    /// emulation) and an EVM execution profile are recorded per check.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Crafts probe call data for a contract: a 4-byte selector differing
@@ -176,24 +191,80 @@ impl ProxyDetector {
     /// Runs the two-step proxy check against the chain's current state.
     ///
     /// The emulation runs on a [`ForkDb`]; the chain is never mutated.
+    ///
+    /// # Examples
+    ///
+    /// End-to-end detection of an EIP-1967 proxy: deploy the proxy
+    /// bytecode on an in-memory chain, point its implementation slot at a
+    /// logic contract, and check.
+    ///
+    /// ```
+    /// use proxion_chain::Chain;
+    /// use proxion_core::{ProxyCheck, ProxyDetector, ProxyStandard};
+    /// use proxion_primitives::U256;
+    /// use proxion_solc::{compile, templates, SlotSpec};
+    ///
+    /// let mut chain = Chain::new();
+    /// let deployer = chain.new_funded_account();
+    /// let logic_code = compile(&templates::simple_logic("Logic")).unwrap();
+    /// let logic = chain.install_new(deployer, logic_code.runtime).unwrap();
+    /// let proxy_code = compile(&templates::eip1967_proxy("Proxy")).unwrap();
+    /// let proxy = chain.install_new(deployer, proxy_code.runtime).unwrap();
+    /// let slot = SlotSpec::eip1967_implementation().to_u256();
+    /// chain.set_storage(proxy, slot, U256::from(logic));
+    ///
+    /// let check = ProxyDetector::new().check(&chain, proxy);
+    /// assert!(check.is_proxy());
+    /// assert_eq!(check.logic(), Some(logic));
+    /// assert_eq!(check.standard(), Some(ProxyStandard::Eip1967));
+    /// ```
     pub fn check(&self, chain: &Chain, address: Address) -> ProxyCheck {
         let code = chain.code_at(address);
         if code.is_empty() {
             return ProxyCheck::NotProxy(NotProxyReason::NoCode);
         }
         // Step 1 (§4.1): disassemble and gate on DELEGATECALL presence.
-        let disasm = Disassembly::new(&code);
-        if !disasm.contains(proxion_asm::opcode::DELEGATECALL) {
-            return ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall);
-        }
+        let disasm = {
+            let mut span = self.telemetry.span(Stage::Disassembly, "delegatecall_gate");
+            let disasm = Disassembly::new(&code);
+            if !disasm.contains(proxion_asm::opcode::DELEGATECALL) {
+                span.set_outcome(Outcome::NotProxy);
+                return ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall);
+            }
+            span.set_outcome(Outcome::Ok);
+            disasm
+        };
         // Step 2 (§4.2): emulate with crafted call data and observe.
-        let call_data = self.craft_call_data(&disasm, address);
+        let call_data = {
+            let _span = self.telemetry.span(Stage::Dispatcher, "craft_call_data");
+            self.craft_call_data(&disasm, address)
+        };
         let mut fork = ForkDb::new(chain.db());
         let mut inspector = RecordingInspector::new();
         let probe = Address::from_low_u64(0x5eed_cafe);
         let result = {
-            let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut inspector);
-            evm.call(Message::eoa_call(probe, address, call_data.clone()))
+            let mut span = self.telemetry.span(Stage::Emulation, "probe_call");
+            let message = Message::eoa_call(probe, address, call_data.clone());
+            let result = if span.is_recording() {
+                span.set_detail(address.to_string());
+                // Compose the analysis recorder with a telemetry profiler;
+                // the disabled path below stays identical to the seed.
+                let mut both = (
+                    &mut inspector,
+                    ProfilingInspector::new(Arc::clone(&self.telemetry)),
+                );
+                let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut both);
+                evm.call(message)
+            } else {
+                let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut inspector);
+                evm.call(message)
+            };
+            span.set_outcome(if result.is_success() {
+                Outcome::Ok
+            } else {
+                Outcome::Error
+            });
+            result
         };
 
         // A proxy is a contract whose outermost frame delegate-calls with

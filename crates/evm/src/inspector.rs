@@ -93,6 +93,30 @@ pub struct NoopInspector;
 
 impl Inspector for NoopInspector {}
 
+/// Forwarding impl so a borrowed inspector can be composed (e.g. into
+/// the tuple inspector) while the caller keeps ownership.
+impl<T: Inspector + ?Sized> Inspector for &mut T {
+    fn on_step(&mut self, pc: usize, op: u8, depth: usize) {
+        (**self).on_step(pc, op, depth);
+    }
+
+    fn on_call(&mut self, record: &CallRecord) {
+        (**self).on_call(record);
+    }
+
+    fn on_call_end(&mut self, record_index: usize, result: &CallResult) {
+        (**self).on_call_end(record_index, result);
+    }
+
+    fn on_storage(&mut self, access: StorageAccess) {
+        (**self).on_storage(access);
+    }
+
+    fn on_log(&mut self, log: &Log) {
+        (**self).on_log(log);
+    }
+}
+
 /// Records the full call tree and all storage traffic.
 ///
 /// # Examples

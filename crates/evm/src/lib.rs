@@ -41,6 +41,7 @@ mod host;
 mod inspector;
 mod interp;
 mod memory;
+mod profiling;
 mod stack;
 mod types;
 
@@ -51,6 +52,7 @@ pub use inspector::{
 };
 pub use interp::Evm;
 pub use memory::Memory;
+pub use profiling::ProfilingInspector;
 pub use stack::{Origin, Stack, StackError, TaggedWord};
 pub use types::{
     BlockEnv, CallKind, CallResult, Env, HaltReason, Log, Message, TxEnv, CALL_STIPEND,

@@ -1,0 +1,238 @@
+//! Telemetry-backed execution profiling.
+//!
+//! The [`ProfilingInspector`] feeds a shared
+//! [`proxion_telemetry::EvmProfile`] with per-opcode execution counts,
+//! attributed base gas, a call-depth histogram, and `DELEGATECALL`
+//! provenance observations. The hot path (`on_step`) touches nothing but
+//! two plain array slots in the inspector itself; everything is flushed
+//! to the shared atomics once, when the inspector is dropped or
+//! explicitly flushed.
+//!
+//! Compose it with the analysis recorder through the tuple
+//! [`Inspector`](crate::Inspector) impl:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use proxion_evm::{ProfilingInspector, RecordingInspector};
+//! use proxion_telemetry::Telemetry;
+//!
+//! let telemetry = Arc::new(Telemetry::default());
+//! let mut both = (
+//!     RecordingInspector::new(),
+//!     ProfilingInspector::new(Arc::clone(&telemetry)),
+//! );
+//! // `&mut both` is itself an Inspector: pass it to Evm::with_inspector.
+//! # let _ = &mut both;
+//! ```
+
+use std::sync::Arc;
+
+use proxion_telemetry::{DelegateProvenance, Telemetry, DEPTH_BUCKETS};
+
+use crate::inspector::{CallRecord, Inspector};
+use crate::stack::Origin;
+use crate::types::CallKind;
+
+/// Maps the interpreter's provenance tag onto the telemetry vocabulary.
+fn provenance_of(origin: Origin) -> DelegateProvenance {
+    match origin {
+        Origin::CodeConstant => DelegateProvenance::CodeConstant,
+        Origin::StorageSlot(_) => DelegateProvenance::StorageSlot,
+        Origin::Calldata => DelegateProvenance::CallData,
+        Origin::Computed | Origin::Environment | Origin::MemoryLoad => DelegateProvenance::Computed,
+    }
+}
+
+/// An [`Inspector`] that accumulates an EVM execution profile locally and
+/// flushes it to a shared [`Telemetry`] instance once per execution.
+///
+/// Base gas is attributed per opcode from the static opcode table at
+/// flush time (`count × base_gas`); dynamic gas components — memory
+/// expansion, cold-access surcharges, copy costs — are intentionally
+/// excluded, so the per-step path stays a pair of array increments.
+pub struct ProfilingInspector {
+    telemetry: Arc<Telemetry>,
+    ops: Box<[u64; 256]>,
+    depth: Box<[u64; DEPTH_BUCKETS]>,
+    flushed: bool,
+}
+
+impl std::fmt::Debug for ProfilingInspector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfilingInspector")
+            .field("steps", &self.ops.iter().sum::<u64>())
+            .field("flushed", &self.flushed)
+            .finish()
+    }
+}
+
+impl ProfilingInspector {
+    /// Creates a profiler that will flush into `telemetry`.
+    pub fn new(telemetry: Arc<Telemetry>) -> Self {
+        ProfilingInspector {
+            telemetry,
+            ops: Box::new([0; 256]),
+            depth: Box::new([0; DEPTH_BUCKETS]),
+            flushed: false,
+        }
+    }
+
+    /// Pushes the locally accumulated counters into the shared profile.
+    /// Called automatically on drop; idempotent.
+    pub fn flush(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
+        if self.ops.iter().all(|&c| c == 0) && self.depth.iter().all(|&c| c == 0) {
+            return;
+        }
+        let mut gas = [0u64; 256];
+        for (op, slot) in gas.iter_mut().enumerate() {
+            if self.ops[op] != 0 {
+                if let Some(info) = proxion_asm::opcode::info(op as u8) {
+                    *slot = self.ops[op] * u64::from(info.gas);
+                }
+            }
+        }
+        self.telemetry.evm().add_opcodes(&self.ops, &gas);
+        self.telemetry.evm().add_depths(&self.depth);
+    }
+}
+
+impl Drop for ProfilingInspector {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Inspector for ProfilingInspector {
+    fn on_step(&mut self, _pc: usize, op: u8, depth: usize) {
+        self.ops[op as usize] += 1;
+        self.depth[depth.min(DEPTH_BUCKETS - 1)] += 1;
+    }
+
+    fn on_call(&mut self, record: &CallRecord) {
+        if record.kind != CallKind::DelegateCall {
+            return;
+        }
+        let provenance = provenance_of(record.target_word.origin);
+        self.telemetry.evm().record_delegate(provenance);
+        self.telemetry.emit(
+            "delegatecall",
+            vec![
+                ("proxy", record.target.to_string()),
+                ("logic", record.code_address.to_string()),
+                ("provenance", provenance.name().to_owned()),
+                ("depth", record.depth.to_string()),
+            ],
+        );
+    }
+}
+
+/// Pairs two inspectors: every callback is forwarded to `.0` first, then
+/// `.1`. This is how the proxy detector runs its [`RecordingInspector`]
+/// (analysis) and a [`ProfilingInspector`] (telemetry) in one execution.
+///
+/// [`RecordingInspector`]: crate::RecordingInspector
+impl<A: Inspector, B: Inspector> Inspector for (A, B) {
+    fn on_step(&mut self, pc: usize, op: u8, depth: usize) {
+        self.0.on_step(pc, op, depth);
+        self.1.on_step(pc, op, depth);
+    }
+
+    fn on_call(&mut self, record: &CallRecord) {
+        self.0.on_call(record);
+        self.1.on_call(record);
+    }
+
+    fn on_call_end(&mut self, record_index: usize, result: &crate::types::CallResult) {
+        self.0.on_call_end(record_index, result);
+        self.1.on_call_end(record_index, result);
+    }
+
+    fn on_storage(&mut self, access: crate::inspector::StorageAccess) {
+        self.0.on_storage(access);
+        self.1.on_storage(access);
+    }
+
+    fn on_log(&mut self, log: &crate::types::Log) {
+        self.0.on_log(log);
+        self.1.on_log(log);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspector::RecordingInspector;
+    use crate::stack::TaggedWord;
+    use proxion_primitives::{Address, U256};
+
+    fn delegate_record(origin: Origin) -> CallRecord {
+        CallRecord {
+            kind: CallKind::DelegateCall,
+            depth: 0,
+            caller: Address::from_low_u64(1),
+            target: Address::from_low_u64(2),
+            code_address: Address::from_low_u64(3),
+            target_word: TaggedWord {
+                value: U256::from(3u64),
+                origin,
+            },
+            input: vec![],
+            value: U256::ZERO,
+            success: None,
+        }
+    }
+
+    #[test]
+    fn flush_attributes_base_gas() {
+        let telemetry = Arc::new(Telemetry::default());
+        {
+            let mut profiler = ProfilingInspector::new(Arc::clone(&telemetry));
+            profiler.on_step(0, 0x01, 0); // ADD: base gas 3
+            profiler.on_step(1, 0x01, 0);
+            profiler.on_step(2, 0x54, 1); // SLOAD
+        }
+        let stats = telemetry.evm().opcode_stats();
+        let add = stats.iter().find(|s| s.op == 0x01).unwrap();
+        assert_eq!(add.count, 2);
+        assert_eq!(add.gas, 6);
+        assert_eq!(telemetry.evm().total_ops(), 3);
+        let hist = telemetry.evm().depth_histogram();
+        assert_eq!(hist[0], 2);
+        assert_eq!(hist[1], 1);
+    }
+
+    #[test]
+    fn delegate_provenance_is_mapped() {
+        let telemetry = Arc::new(Telemetry::default());
+        let mut profiler = ProfilingInspector::new(Arc::clone(&telemetry));
+        profiler.on_call(&delegate_record(Origin::StorageSlot(U256::from(7u64))));
+        profiler.on_call(&delegate_record(Origin::CodeConstant));
+        profiler.on_call(&delegate_record(Origin::MemoryLoad));
+        let counts = telemetry.evm().delegate_counts();
+        assert_eq!(counts[DelegateProvenance::StorageSlot.index()].1, 1);
+        assert_eq!(counts[DelegateProvenance::CodeConstant.index()].1, 1);
+        assert_eq!(counts[DelegateProvenance::Computed.index()].1, 1);
+        let events = telemetry.snapshot_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].arg("provenance"), Some("storage_slot"));
+    }
+
+    #[test]
+    fn tuple_inspector_forwards_to_both() {
+        let telemetry = Arc::new(Telemetry::default());
+        let mut both = (
+            RecordingInspector::new(),
+            ProfilingInspector::new(Arc::clone(&telemetry)),
+        );
+        both.on_step(0, 0x01, 0);
+        both.on_call(&delegate_record(Origin::CodeConstant));
+        assert_eq!(both.0.steps, 1);
+        assert_eq!(both.0.calls.len(), 1);
+        both.1.flush();
+        assert_eq!(telemetry.evm().total_ops(), 1);
+    }
+}

@@ -21,6 +21,8 @@
 //! assert_eq!(U256::from(addr).low_u64(), 0xbeef);
 //! ```
 
+#![deny(missing_docs)]
+
 mod address;
 mod hex;
 mod keccak;

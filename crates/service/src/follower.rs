@@ -1,6 +1,7 @@
 //! Incremental block follower.
 //!
-//! A background thread that subscribes to the chain's [`HeadWatch`] and,
+//! A background thread that subscribes to the chain's
+//! [`HeadWatch`](proxion_chain::HeadWatch) and,
 //! for every committed block range, does the *minimal* incremental work:
 //!
 //! - analyzes only contracts deployed in the new blocks (the batch
@@ -166,6 +167,12 @@ fn follow(
             continue;
         };
 
+        let telemetry = pipeline.telemetry();
+        let mut span = telemetry.span(proxion_telemetry::Stage::Follower, "catch_up");
+        if span.is_recording() {
+            span.set_detail(format!("blocks {}..={head}", last_seen + 1));
+        }
+
         let chain = chain.read();
         let etherscan = etherscan.read();
 
@@ -197,6 +204,18 @@ fn follow(
                 old_logic: *last_logic,
                 new_logic: current,
             });
+            // The same observation as a typed telemetry event: the
+            // structured upgrade stream in /trace, correlated with the
+            // catch-up span and the pair re-check that follows.
+            telemetry.emit(
+                "proxy_upgrade",
+                vec![
+                    ("block", head.to_string()),
+                    ("proxy", proxy.to_string()),
+                    ("old_logic", last_logic.to_string()),
+                    ("new_logic", current.to_string()),
+                ],
+            );
             metrics.follower_upgrades.fetch_add(1, Ordering::Relaxed);
             *last_logic = current;
             if !current.is_zero() {
@@ -212,5 +231,6 @@ fn follow(
             .fetch_add(head - last_seen, Ordering::Relaxed);
         last_seen = head;
         shared.last_block.store(head, Ordering::Relaxed);
+        span.set_outcome(proxion_telemetry::Outcome::Ok);
     }
 }

@@ -352,7 +352,7 @@ pub fn to_json<T: ?Sized + Serialize>(value: &T) -> String {
     out
 }
 
-/// Error type of [`JsonWriter`] (string keys and finite floats are the
+/// Error type of the JSON serializer (string keys and finite floats are the
 /// only ways to fail, and the analysis types use neither).
 #[derive(Debug)]
 pub struct JsonWriteError(String);

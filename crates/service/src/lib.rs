@@ -16,7 +16,8 @@
 //! 2. **Shared result cache** — the sharded LRU
 //!    [`proxion_core::AnalysisCache`], keyed by bytecode hash (proxy
 //!    verdicts) and bytecode-hash pair (collision reports). Batch runs,
-//!    RPC handlers, and the follower all share one [`Pipeline`] and thus
+//!    RPC handlers, and the follower all share one
+//!    [`Pipeline`](proxion_core::Pipeline) and thus
 //!    one cache, so a warm batch run keeps serving its verdicts to later
 //!    requests.
 //! 3. **Incremental block follower** ([`follower`]) — subscribes to the

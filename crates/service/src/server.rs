@@ -272,11 +272,38 @@ fn dispatch(request: &Request, shared: &ServerShared) -> Response {
         }
         ("GET", "/metrics") => {
             let stats = shared.pipeline.cache().stats();
-            Response::text(shared.metrics.render(&stats))
+            let mut body = shared.metrics.render(&stats);
+            let telemetry = shared.pipeline.telemetry();
+            if telemetry.is_enabled() {
+                body.push_str(&proxion_telemetry::prometheus(telemetry, &|op| {
+                    proxion_asm::opcode::info(op).map(|info| info.name)
+                }));
+            }
+            Response::text(body)
+        }
+        // Chrome-trace-format JSON of the sampled span trees; load the
+        // body in Perfetto or chrome://tracing.
+        ("GET", "/trace") => {
+            let telemetry = shared.pipeline.telemetry();
+            if !telemetry.is_enabled() {
+                return Response::error(404, "telemetry disabled; start with --telemetry");
+            }
+            Response::json(proxion_telemetry::chrome_trace(telemetry))
+        }
+        // Folded stacks (`inferno`/`flamegraph.pl` input) of the same spans.
+        ("GET", "/trace/folded") => {
+            let telemetry = shared.pipeline.telemetry();
+            if !telemetry.is_enabled() {
+                return Response::error(404, "telemetry disabled; start with --telemetry");
+            }
+            Response::text(proxion_telemetry::folded_stacks(telemetry))
         }
         ("POST", "/rpc") | ("POST", "/") => dispatch_rpc(&request.body, shared),
         ("GET", _) => Response::error(404, "unknown path"),
-        _ => Response::error(405, "use POST /rpc, GET /health, or GET /metrics"),
+        _ => Response::error(
+            405,
+            "use POST /rpc, GET /health, GET /metrics, or GET /trace",
+        ),
     }
 }
 
@@ -296,7 +323,24 @@ fn dispatch_rpc(body: &[u8], shared: &ServerShared) -> Response {
     let id = doc.get("id").cloned();
 
     let start = Instant::now();
-    let result = handle_method(&method, &params, shared);
+    let result = {
+        // The request span is the root of this worker's span tree: the
+        // pipeline stages triggered below nest under it in /trace.
+        let mut span = shared
+            .pipeline
+            .telemetry()
+            .span(proxion_telemetry::Stage::Request, "rpc");
+        if span.is_recording() {
+            span.set_detail(method.clone());
+        }
+        let result = handle_method(&method, &params, shared);
+        span.set_outcome(if result.is_ok() {
+            proxion_telemetry::Outcome::Ok
+        } else {
+            proxion_telemetry::Outcome::Error
+        });
+        result
+    };
     shared
         .metrics
         .record_request(&method, start.elapsed(), result.is_ok());

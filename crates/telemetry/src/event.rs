@@ -1,0 +1,50 @@
+//! Typed point-in-time events.
+//!
+//! Where a span measures a *duration*, an event marks an *instant* with
+//! structured payload — a proxy upgrade observed by the block follower,
+//! a `DELEGATECALL` provenance observation, a cache eviction burst.
+//! Events are retained in their own ring buffer and exported as Chrome
+//! "instant" events alongside the span tree.
+
+/// One structured instant event.
+#[derive(Debug, Clone)]
+pub struct TelemetryEvent {
+    /// Static event name (e.g. `"proxy_upgrade"`).
+    pub name: &'static str,
+    /// Nanoseconds since the telemetry clock's origin.
+    pub at_ns: u64,
+    /// Telemetry-assigned number of the emitting thread.
+    pub thread: u64,
+    /// Id of the span that was open when the event fired, or 0.
+    pub span: u64,
+    /// Structured payload: ordered key/value pairs.
+    pub args: Vec<(&'static str, String)>,
+}
+
+impl TelemetryEvent {
+    /// Looks up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_lookup() {
+        let event = TelemetryEvent {
+            name: "proxy_upgrade",
+            at_ns: 42,
+            thread: 1,
+            span: 0,
+            args: vec![("proxy", "0xabc".to_owned()), ("block", "7".to_owned())],
+        };
+        assert_eq!(event.arg("block"), Some("7"));
+        assert_eq!(event.arg("missing"), None);
+    }
+}

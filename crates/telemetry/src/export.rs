@@ -1,0 +1,327 @@
+//! Trace and metric exporters.
+//!
+//! Three formats, all plain text, all dependency-free:
+//!
+//! * **Chrome trace** ([`chrome_trace`]) — the JSON event format loaded
+//!   by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//!   complete (`"ph":"X"`) events for spans, instant (`"ph":"i"`)
+//!   events for typed telemetry events.
+//! * **Folded stacks** ([`folded_stacks`]) — `parent;child;leaf weight`
+//!   lines consumable by `flamegraph.pl` / `inferno-flamegraph`, with
+//!   *self* time in microseconds as the weight.
+//! * **Prometheus** ([`prometheus`]) — the text exposition format for
+//!   the stage aggregates and the EVM profile, designed to be appended
+//!   to an existing `/metrics` body.
+
+use std::collections::HashMap;
+
+use crate::profile::DEPTH_BUCKETS;
+use crate::span::SpanRecord;
+use crate::Telemetry;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders nanoseconds as fractional microseconds (Chrome traces use µs).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Serializes the retained spans and events as a Chrome-trace-format
+/// JSON document, loadable in `chrome://tracing` and Perfetto.
+pub fn chrome_trace(telemetry: &Telemetry) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for span in telemetry.snapshot_spans() {
+        let display = span.detail.as_deref().unwrap_or(span.name);
+        let mut args = format!("\"span\":\"{}\"", escape_json(span.name));
+        if let Some(outcome) = span.outcome {
+            args.push_str(&format!(",\"outcome\":\"{}\"", outcome.name()));
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            escape_json(display),
+            span.stage.name(),
+            us(span.start_ns),
+            us(span.duration_ns()),
+            span.thread,
+            args,
+        ));
+    }
+    for event in telemetry.snapshot_events() {
+        let args: Vec<String> = event
+            .args
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+            .collect();
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            escape_json(event.name),
+            us(event.at_ns),
+            event.thread,
+            args.join(","),
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        events.join(",\n")
+    )
+}
+
+/// Serializes the retained spans as folded stacks (`a;b;c weight`), the
+/// input format of `flamegraph.pl`. The weight is the span's *self* time
+/// (duration minus child durations) in microseconds, so a rendered
+/// flamegraph's widths are proportional to exclusive wall time.
+pub fn folded_stacks(telemetry: &Telemetry) -> String {
+    let spans = telemetry.snapshot_spans();
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for span in &spans {
+        if span.parent != 0 && by_id.contains_key(&span.parent) {
+            *child_ns.entry(span.parent).or_insert(0) += span.duration_ns();
+        }
+    }
+    let mut folded: HashMap<String, u64> = HashMap::new();
+    for span in &spans {
+        // Stack path: walk parent links up to the root (or to a span that
+        // the ring has already evicted). Static names only, so stack
+        // cardinality stays bounded by the instrumentation points.
+        let mut path = vec![span.name];
+        let mut cursor = span.parent;
+        while cursor != 0 {
+            let Some(parent) = by_id.get(&cursor) else {
+                break;
+            };
+            path.push(parent.name);
+            cursor = parent.parent;
+        }
+        path.reverse();
+        let self_ns = span
+            .duration_ns()
+            .saturating_sub(child_ns.get(&span.id).copied().unwrap_or(0));
+        *folded.entry(path.join(";")).or_insert(0) += self_ns / 1_000;
+    }
+    let mut lines: Vec<String> = folded
+        .into_iter()
+        .map(|(stack, weight_us)| format!("{stack} {weight_us}"))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the stage aggregates and EVM profile in the Prometheus text
+/// exposition format. `op_name` maps an opcode byte to its mnemonic
+/// (fall back to hex is applied for `None`); pass the `proxion-asm`
+/// opcode table's lookup when available.
+pub fn prometheus(telemetry: &Telemetry, op_name: &dyn Fn(u8) -> Option<&'static str>) -> String {
+    let mut out = String::new();
+
+    out.push_str(
+        "# HELP proxion_stage_spans_total Completed telemetry spans per pipeline stage.\n\
+         # TYPE proxion_stage_spans_total counter\n",
+    );
+    let snapshots = telemetry.stage_snapshot();
+    for snap in &snapshots {
+        out.push_str(&format!(
+            "proxion_stage_spans_total{{stage=\"{}\"}} {}\n",
+            snap.stage.name(),
+            snap.count
+        ));
+    }
+    out.push_str(
+        "# HELP proxion_stage_ns_total Total wall time per pipeline stage, nanoseconds.\n\
+         # TYPE proxion_stage_ns_total counter\n",
+    );
+    for snap in &snapshots {
+        out.push_str(&format!(
+            "proxion_stage_ns_total{{stage=\"{}\"}} {}\n",
+            snap.stage.name(),
+            snap.total_ns
+        ));
+    }
+    out.push_str(
+        "# HELP proxion_stage_max_ns Longest single span per pipeline stage, nanoseconds.\n\
+         # TYPE proxion_stage_max_ns gauge\n",
+    );
+    for snap in &snapshots {
+        out.push_str(&format!(
+            "proxion_stage_max_ns{{stage=\"{}\"}} {}\n",
+            snap.stage.name(),
+            snap.max_ns
+        ));
+    }
+    out.push_str(
+        "# HELP proxion_stage_outcome_total Span outcomes per pipeline stage.\n\
+         # TYPE proxion_stage_outcome_total counter\n",
+    );
+    for snap in &snapshots {
+        for (outcome, &count) in crate::Outcome::ALL.iter().zip(snap.outcomes.iter()) {
+            if count != 0 {
+                out.push_str(&format!(
+                    "proxion_stage_outcome_total{{stage=\"{}\",outcome=\"{}\"}} {}\n",
+                    snap.stage.name(),
+                    outcome.name(),
+                    count
+                ));
+            }
+        }
+    }
+
+    let profile = telemetry.evm();
+    let stats = profile.opcode_stats();
+    out.push_str(
+        "# HELP proxion_evm_opcode_executions_total Opcodes executed during emulation.\n\
+         # TYPE proxion_evm_opcode_executions_total counter\n",
+    );
+    for stat in &stats {
+        let label = op_name(stat.op)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("0x{:02x}", stat.op));
+        out.push_str(&format!(
+            "proxion_evm_opcode_executions_total{{op=\"{label}\"}} {}\n",
+            stat.count
+        ));
+    }
+    out.push_str(
+        "# HELP proxion_evm_opcode_gas_total Base gas attributed per opcode during emulation.\n\
+         # TYPE proxion_evm_opcode_gas_total counter\n",
+    );
+    for stat in &stats {
+        let label = op_name(stat.op)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("0x{:02x}", stat.op));
+        out.push_str(&format!(
+            "proxion_evm_opcode_gas_total{{op=\"{label}\"}} {}\n",
+            stat.gas
+        ));
+    }
+
+    out.push_str(
+        "# HELP proxion_evm_call_depth_steps_total Opcodes executed per call depth.\n\
+         # TYPE proxion_evm_call_depth_steps_total counter\n",
+    );
+    for (depth, &count) in profile.depth_histogram().iter().enumerate() {
+        if count != 0 {
+            let label = if depth == DEPTH_BUCKETS - 1 {
+                format!("{depth}+")
+            } else {
+                depth.to_string()
+            };
+            out.push_str(&format!(
+                "proxion_evm_call_depth_steps_total{{depth=\"{label}\"}} {count}\n"
+            ));
+        }
+    }
+    out.push_str(
+        "# HELP proxion_evm_delegatecall_provenance_total DELEGATECALLs by target provenance.\n\
+         # TYPE proxion_evm_delegatecall_provenance_total counter\n",
+    );
+    for (provenance, count) in profile.delegate_counts() {
+        out.push_str(&format!(
+            "proxion_evm_delegatecall_provenance_total{{provenance=\"{}\"}} {count}\n",
+            provenance.name()
+        ));
+    }
+
+    out.push_str(&format!(
+        "# HELP proxion_trace_spans_dropped_total Spans evicted from the trace ring buffer.\n\
+         # TYPE proxion_trace_spans_dropped_total counter\n\
+         proxion_trace_spans_dropped_total {}\n\
+         # HELP proxion_trace_events_dropped_total Events evicted from the event ring buffer.\n\
+         # TYPE proxion_trace_events_dropped_total counter\n\
+         proxion_trace_events_dropped_total {}\n",
+        telemetry.spans_dropped(),
+        telemetry.events_dropped(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Outcome, Stage, TelemetryConfig};
+
+    fn sample_telemetry() -> Telemetry {
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        {
+            let mut root = telemetry.span(Stage::Analyze, "analyze_one");
+            root.set_detail("0x1234");
+            root.set_outcome(Outcome::Proxy);
+            {
+                let mut child = telemetry.span(Stage::Emulation, "emulate");
+                child.set_outcome(Outcome::Ok);
+            }
+            telemetry.emit(
+                "proxy_upgrade",
+                vec![("proxy", "0x1234".to_owned()), ("block", "7".to_owned())],
+            );
+        }
+        let mut counts = [0u64; 256];
+        let mut gas = [0u64; 256];
+        counts[0xf4] = 1;
+        gas[0xf4] = 100;
+        telemetry.evm().add_opcodes(&counts, &gas);
+        telemetry
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let text = chrome_trace(&sample_telemetry());
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.ends_with("]}"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"name\":\"0x1234\""));
+        assert!(text.contains("\"outcome\":\"proxy\""));
+        assert!(text.contains("\"cat\":\"emulation\""));
+        assert!(text.contains("\"block\":\"7\""));
+    }
+
+    #[test]
+    fn folded_stacks_nest_and_weight() {
+        let text = folded_stacks(&sample_telemetry());
+        assert!(text.contains("analyze_one;emulate "));
+        assert!(text.lines().any(|l| l.starts_with("analyze_one ")));
+        for line in text.lines() {
+            let (_, weight) = line.rsplit_once(' ').expect("stack weight");
+            weight.parse::<u64>().expect("integer weight");
+        }
+    }
+
+    #[test]
+    fn prometheus_renders_stages_and_opcodes() {
+        let text = prometheus(&sample_telemetry(), &|op| {
+            (op == 0xf4).then_some("DELEGATECALL")
+        });
+        assert!(text.contains("proxion_stage_spans_total{stage=\"analyze\"} 1"));
+        assert!(text.contains("proxion_stage_outcome_total{stage=\"analyze\",outcome=\"proxy\"} 1"));
+        assert!(text.contains("proxion_evm_opcode_executions_total{op=\"DELEGATECALL\"} 1"));
+        assert!(text.contains("proxion_evm_opcode_gas_total{op=\"DELEGATECALL\"} 100"));
+        assert!(text.contains("proxion_trace_spans_dropped_total 0"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{01}"), "\\u0001");
+    }
+}

@@ -1,0 +1,206 @@
+//! EVM execution profiles.
+//!
+//! During proxy-detection emulation the interpreter's inspector can feed
+//! an [`EvmProfile`]: per-opcode execution counts, base gas attributed
+//! per opcode, a call-depth histogram, and `DELEGATECALL` provenance
+//! counts (where the callee address came from — the signal at the heart
+//! of the paper's proxy classification). Producers accumulate in plain
+//! local arrays and flush once per execution, so the per-opcode hot path
+//! never touches an atomic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of call-depth buckets; the last bucket is "this deep or
+/// deeper".
+pub const DEPTH_BUCKETS: usize = 33;
+
+/// Where a `DELEGATECALL`'s target address was loaded from, as reported
+/// by the interpreter's provenance-tagged stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DelegateProvenance {
+    /// A constant embedded in the bytecode (minimal-proxy pattern).
+    CodeConstant,
+    /// A storage slot (upgradeable-proxy pattern).
+    StorageSlot,
+    /// The transaction call data.
+    CallData,
+    /// Anything the tags could not attribute (memory round-trips,
+    /// arithmetic).
+    Computed,
+}
+
+impl DelegateProvenance {
+    /// Every provenance, in rendering order.
+    pub const ALL: [DelegateProvenance; 4] = [
+        DelegateProvenance::CodeConstant,
+        DelegateProvenance::StorageSlot,
+        DelegateProvenance::CallData,
+        DelegateProvenance::Computed,
+    ];
+
+    /// Stable label used in metric exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DelegateProvenance::CodeConstant => "code_constant",
+            DelegateProvenance::StorageSlot => "storage_slot",
+            DelegateProvenance::CallData => "call_data",
+            DelegateProvenance::Computed => "computed",
+        }
+    }
+
+    /// Index into per-provenance aggregate arrays (dense, `ALL` order).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&p| p == self).expect("in ALL")
+    }
+}
+
+/// One opcode's aggregated execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpcodeStat {
+    /// The opcode byte.
+    pub op: u8,
+    /// Times executed.
+    pub count: u64,
+    /// Total base gas attributed (dynamic gas components excluded).
+    pub gas: u64,
+}
+
+/// Aggregated EVM execution profile, shared across emulation runs.
+pub struct EvmProfile {
+    ops: [AtomicU64; 256],
+    gas: [AtomicU64; 256],
+    depth: [AtomicU64; DEPTH_BUCKETS],
+    delegates: [AtomicU64; DelegateProvenance::ALL.len()],
+}
+
+impl Default for EvmProfile {
+    fn default() -> Self {
+        EvmProfile {
+            ops: std::array::from_fn(|_| AtomicU64::new(0)),
+            gas: std::array::from_fn(|_| AtomicU64::new(0)),
+            depth: std::array::from_fn(|_| AtomicU64::new(0)),
+            delegates: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl EvmProfile {
+    /// A zeroed profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-adds per-opcode execution counts and attributed base gas
+    /// (one flush per emulation, not per step).
+    pub fn add_opcodes(&self, counts: &[u64; 256], gas: &[u64; 256]) {
+        for op in 0..256 {
+            if counts[op] != 0 {
+                self.ops[op].fetch_add(counts[op], Ordering::Relaxed);
+                self.gas[op].fetch_add(gas[op], Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Bulk-adds a call-depth histogram (steps executed per call depth;
+    /// the last bucket aggregates everything at `DEPTH_BUCKETS - 1` or
+    /// deeper).
+    pub fn add_depths(&self, histogram: &[u64; DEPTH_BUCKETS]) {
+        for (bucket, &count) in histogram.iter().enumerate() {
+            if count != 0 {
+                self.depth[bucket].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Counts one observed `DELEGATECALL` by target-address provenance.
+    pub fn record_delegate(&self, provenance: DelegateProvenance) {
+        self.delegates[provenance.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Executed opcodes with non-zero counts, ascending by opcode byte.
+    pub fn opcode_stats(&self) -> Vec<OpcodeStat> {
+        (0..256)
+            .filter_map(|op| {
+                let count = self.ops[op].load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                Some(OpcodeStat {
+                    op: op as u8,
+                    count,
+                    gas: self.gas[op].load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+
+    /// The call-depth histogram (steps executed per depth bucket).
+    pub fn depth_histogram(&self) -> [u64; DEPTH_BUCKETS] {
+        std::array::from_fn(|i| self.depth[i].load(Ordering::Relaxed))
+    }
+
+    /// `DELEGATECALL` counts per provenance, in [`DelegateProvenance::ALL`]
+    /// order.
+    pub fn delegate_counts(&self) -> [(DelegateProvenance, u64); 4] {
+        std::array::from_fn(|i| {
+            (
+                DelegateProvenance::ALL[i],
+                self.delegates[i].load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// Total opcodes executed across all emulations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_add_and_snapshot() {
+        let profile = EvmProfile::new();
+        let mut counts = [0u64; 256];
+        let mut gas = [0u64; 256];
+        counts[0x01] = 10; // ADD
+        gas[0x01] = 30;
+        counts[0xf4] = 1; // DELEGATECALL
+        gas[0xf4] = 100;
+        profile.add_opcodes(&counts, &gas);
+        profile.add_opcodes(&counts, &gas);
+
+        let stats = profile.opcode_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(
+            stats[0],
+            OpcodeStat {
+                op: 0x01,
+                count: 20,
+                gas: 60
+            }
+        );
+        assert_eq!(stats[1].op, 0xf4);
+        assert_eq!(profile.total_ops(), 22);
+    }
+
+    #[test]
+    fn depth_and_delegate_counters() {
+        let profile = EvmProfile::new();
+        let mut hist = [0u64; DEPTH_BUCKETS];
+        hist[0] = 5;
+        hist[DEPTH_BUCKETS - 1] = 2;
+        profile.add_depths(&hist);
+        assert_eq!(profile.depth_histogram()[0], 5);
+        assert_eq!(profile.depth_histogram()[DEPTH_BUCKETS - 1], 2);
+
+        profile.record_delegate(DelegateProvenance::StorageSlot);
+        profile.record_delegate(DelegateProvenance::StorageSlot);
+        profile.record_delegate(DelegateProvenance::CodeConstant);
+        let counts = profile.delegate_counts();
+        assert_eq!(counts[DelegateProvenance::StorageSlot.index()].1, 2);
+        assert_eq!(counts[DelegateProvenance::CodeConstant.index()].1, 1);
+    }
+}

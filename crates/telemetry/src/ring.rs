@@ -1,0 +1,151 @@
+//! A bounded, overwrite-oldest ring buffer.
+//!
+//! The telemetry sinks must never grow without bound under sustained
+//! load, so completed spans and events land in a fixed-capacity ring: a
+//! full ring silently overwrites its oldest entry and counts the drop.
+//! A coarse `Mutex` is sufficient because pushes happen once per *span*
+//! (per pipeline stage / per request), not per opcode.
+
+use std::sync::Mutex;
+
+struct RingInner<T> {
+    slots: Vec<Option<T>>,
+    /// Next slot to write (wraps at capacity).
+    head: usize,
+    /// Total number of pushes ever.
+    written: u64,
+    /// Entries currently occupied (`clear` resets this, not `written`).
+    retained: usize,
+}
+
+/// Fixed-capacity ring buffer that overwrites its oldest entry when full.
+pub struct RingBuffer<T> {
+    inner: Mutex<RingInner<T>>,
+    capacity: usize,
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// Creates a ring with room for `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            inner: Mutex::new(RingInner {
+                slots: (0..capacity).map(|_| None).collect(),
+                head: 0,
+                written: 0,
+                retained: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an entry, overwriting the oldest if the ring is full.
+    pub fn push(&self, value: T) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let head = inner.head;
+        if inner.slots[head].is_none() {
+            inner.retained += 1;
+        }
+        inner.slots[head] = Some(value);
+        inner.head = (head + 1) % self.capacity;
+        inner.written += 1;
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.retained
+    }
+
+    /// Whether nothing has been retained.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries lost to overwriting (total pushes minus retained).
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.written.saturating_sub(self.capacity as u64)
+    }
+
+    /// Copies the retained entries out, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity((inner.written as usize).min(self.capacity));
+        // Oldest entry sits at `head` once the ring has wrapped; before
+        // that, it is slot 0.
+        for i in 0..self.capacity {
+            let idx = (inner.head + i) % self.capacity;
+            if let Some(value) = &inner.slots[idx] {
+                out.push(value.clone());
+            }
+        }
+        out
+    }
+
+    /// Clears the ring (capacity and drop counter are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in inner.slots.iter_mut() {
+            *slot = None;
+        }
+        inner.head = 0;
+        inner.retained = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_snapshot_in_order() {
+        let ring = RingBuffer::new(4);
+        for i in 0..3 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![0, 1, 2]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let ring = RingBuffer::new(3);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![2, 3, 4]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let ring = RingBuffer::new(0);
+        ring.push(7);
+        ring.push(8);
+        assert_eq!(ring.snapshot(), vec![8]);
+        assert_eq!(ring.capacity(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counting() {
+        let ring = RingBuffer::new(2);
+        ring.push(1);
+        ring.push(2);
+        ring.push(3);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+        ring.push(9);
+        assert_eq!(ring.snapshot(), vec![9]);
+    }
+}

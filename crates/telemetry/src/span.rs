@@ -1,0 +1,312 @@
+//! The span model: stages, outcomes, records and the RAII guard.
+//!
+//! A *span* is one timed region of work attributed to a [`Stage`]. Spans
+//! form trees: each thread keeps a stack of open spans, and a span opened
+//! while another is open becomes its child. The tree is reconstructed at
+//! export time from the recorded parent links — nothing is allocated per
+//! span beyond the record itself.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Telemetry;
+
+/// The instrumented stages of the Proxion analysis, service, and
+/// follower. Each span is attributed to exactly one stage; the stage
+/// aggregates in [`crate::StageStats`] are keyed by this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Whole-contract analysis (`Pipeline::analyze_one`): the parent span
+    /// of everything below.
+    Analyze,
+    /// Bytecode disassembly and the `DELEGATECALL` gate (paper §4.1).
+    Disassembly,
+    /// Dispatcher-selector extraction / probe-selector crafting.
+    Dispatcher,
+    /// EVM emulation with crafted call data (paper §4.2).
+    Emulation,
+    /// Logic-history binary search over archived storage (Algorithm 1).
+    HistoryResolution,
+    /// Function-collision check for one proxy/logic pair (§5.1).
+    FunctionCollisions,
+    /// Storage-collision check for one proxy/logic pair (§5.2).
+    StorageCollisions,
+    /// One service RPC request (the method name is in the span detail).
+    Request,
+    /// One block-follower catch-up iteration.
+    Follower,
+    /// Anything else (CLI phases, benchmarks, tests).
+    Other,
+}
+
+impl Stage {
+    /// Every stage, in rendering order.
+    pub const ALL: [Stage; 10] = [
+        Stage::Analyze,
+        Stage::Disassembly,
+        Stage::Dispatcher,
+        Stage::Emulation,
+        Stage::HistoryResolution,
+        Stage::FunctionCollisions,
+        Stage::StorageCollisions,
+        Stage::Request,
+        Stage::Follower,
+        Stage::Other,
+    ];
+
+    /// Stable snake_case label used in metric and trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Analyze => "analyze",
+            Stage::Disassembly => "disassembly",
+            Stage::Dispatcher => "dispatcher",
+            Stage::Emulation => "emulation",
+            Stage::HistoryResolution => "history_resolution",
+            Stage::FunctionCollisions => "function_collisions",
+            Stage::StorageCollisions => "storage_collisions",
+            Stage::Request => "request",
+            Stage::Follower => "follower",
+            Stage::Other => "other",
+        }
+    }
+
+    /// Index into per-stage aggregate arrays (dense, `Stage::ALL` order).
+    pub fn index(self) -> usize {
+        Stage::ALL.iter().position(|&s| s == self).expect("in ALL")
+    }
+}
+
+/// How a span ended. Pipeline spans use the paper's verdict vocabulary
+/// (proxy / not-proxy / hidden / error); request spans use `Ok`/`Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The work completed normally (generic success).
+    Ok,
+    /// The contract was identified as a proxy.
+    Proxy,
+    /// The contract was identified as a *hidden* proxy (no source, no
+    /// transactions).
+    Hidden,
+    /// The contract is not a proxy.
+    NotProxy,
+    /// The work failed (emulation error, RPC error, …).
+    Error,
+}
+
+impl Outcome {
+    /// Every outcome, in rendering order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Ok,
+        Outcome::Proxy,
+        Outcome::Hidden,
+        Outcome::NotProxy,
+        Outcome::Error,
+    ];
+
+    /// Stable label used in metric and trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Proxy => "proxy",
+            Outcome::Hidden => "hidden",
+            Outcome::NotProxy => "not_proxy",
+            Outcome::Error => "error",
+        }
+    }
+
+    /// Index into per-outcome aggregate arrays (dense, `Outcome::ALL`
+    /// order).
+    pub fn index(self) -> usize {
+        Outcome::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("in ALL")
+    }
+}
+
+/// One completed span, as retained in the trace ring buffer.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root.
+    pub parent: u64,
+    /// Telemetry-assigned thread number (stable per OS thread).
+    pub thread: u64,
+    /// The stage this span is attributed to.
+    pub stage: Stage,
+    /// Static span name (e.g. `"analyze_one"`).
+    pub name: &'static str,
+    /// Optional dynamic detail (an address, an RPC method name, …);
+    /// exported as the display name when present.
+    pub detail: Option<String>,
+    /// Start, nanoseconds since the telemetry clock's origin.
+    pub start_ns: u64,
+    /// End, nanoseconds since the telemetry clock's origin.
+    pub end_ns: u64,
+    /// How the span ended, when the caller labeled it.
+    pub outcome: Option<Outcome>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of (span id, sampled?) for open spans on this thread.
+    static SPAN_STACK: RefCell<Vec<(u64, bool)>> = const { RefCell::new(Vec::new()) };
+    /// Small dense thread number for trace exports (ThreadId's integer
+    /// form is unstable; this is stable and compact).
+    static THREAD_NUM: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The telemetry-assigned number of the calling thread.
+pub(crate) fn current_thread_num() -> u64 {
+    THREAD_NUM.with(|&n| n)
+}
+
+/// The (id, sampled) pair of the innermost open span on this thread, if
+/// any.
+pub(crate) fn current_span() -> Option<(u64, bool)> {
+    SPAN_STACK.with(|stack| stack.borrow().last().copied())
+}
+
+fn push_span(id: u64, sampled: bool) {
+    SPAN_STACK.with(|stack| stack.borrow_mut().push((id, sampled)));
+}
+
+fn pop_span(id: u64) {
+    SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        // Guards drop in LIFO order under normal control flow; be
+        // defensive about leaked guards anyway.
+        if let Some(pos) = stack.iter().rposition(|&(open, _)| open == id) {
+            stack.truncate(pos);
+        }
+    });
+}
+
+/// RAII guard for an open span: created by [`Telemetry::span`], records
+/// the span on drop. When telemetry is disabled the guard is inert and
+/// costs one atomic load at creation.
+pub struct SpanGuard<'t> {
+    telemetry: &'t Telemetry,
+    /// `None` when telemetry was disabled at span start.
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    sampled: bool,
+    stage: Stage,
+    name: &'static str,
+    detail: Option<String>,
+    start_ns: u64,
+    outcome: Option<Outcome>,
+}
+
+impl<'t> SpanGuard<'t> {
+    pub(crate) fn new_disabled(telemetry: &'t Telemetry) -> Self {
+        SpanGuard {
+            telemetry,
+            open: None,
+        }
+    }
+
+    pub(crate) fn new(telemetry: &'t Telemetry, stage: Stage, name: &'static str) -> Self {
+        let id = telemetry.next_span_id();
+        // A child span inherits its parent's sampling decision so trace
+        // trees are captured whole; a root span rolls the sampling dice.
+        let (parent, sampled) = match current_span() {
+            Some((parent, sampled)) => (parent, sampled),
+            None => (0, telemetry.admit_root_span()),
+        };
+        push_span(id, sampled);
+        SpanGuard {
+            telemetry,
+            open: Some(OpenSpan {
+                id,
+                parent,
+                sampled,
+                stage,
+                name,
+                detail: None,
+                start_ns: telemetry.now_ns(),
+                outcome: None,
+            }),
+        }
+    }
+
+    /// Whether this guard is actually recording (telemetry enabled at
+    /// span start).
+    pub fn is_recording(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Attaches a dynamic detail string (an address, an RPC method…).
+    /// Shown as the span's display name in trace exports.
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        if let Some(open) = &mut self.open {
+            open.detail = Some(detail.into());
+        }
+    }
+
+    /// Labels how the span ended.
+    pub fn set_outcome(&mut self, outcome: Outcome) {
+        if let Some(open) = &mut self.open {
+            open.outcome = Some(outcome);
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        pop_span(open.id);
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            thread: current_thread_num(),
+            stage: open.stage,
+            name: open.name,
+            detail: open.detail,
+            start_ns: open.start_ns,
+            end_ns: self.telemetry.now_ns(),
+            outcome: open.outcome,
+        };
+        self.telemetry.finish_span(record, open.sampled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_are_dense_and_stable() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+        for (i, outcome) in Outcome::ALL.iter().enumerate() {
+            assert_eq!(outcome.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_snake_case() {
+        for stage in Stage::ALL {
+            assert!(stage
+                .name()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Always-on per-stage aggregates.
+//!
+//! Whatever the sampling rate drops from the trace ring, these counters
+//! see every span: per stage, the span count, total and maximum wall
+//! time, and a count per [`Outcome`] label. Everything is a relaxed
+//! atomic — the hot path is a handful of uncontended `fetch_add`s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::span::{Outcome, Stage};
+
+#[derive(Default)]
+struct StageCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    outcomes: [AtomicU64; Outcome::ALL.len()],
+}
+
+/// Lock-free per-stage aggregates, updated on every span completion.
+#[derive(Default)]
+pub struct StageStats {
+    cells: [StageCell; Stage::ALL.len()],
+}
+
+/// A point-in-time copy of one stage's aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// The stage.
+    pub stage: Stage,
+    /// Completed spans attributed to the stage.
+    pub count: u64,
+    /// Sum of span durations, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+    /// Span count per [`Outcome`], indexed like [`Outcome::ALL`].
+    pub outcomes: [u64; Outcome::ALL.len()],
+}
+
+impl StageSnapshot {
+    /// Mean span duration in nanoseconds (0 when no spans completed).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+impl StageStats {
+    /// Records one completed span.
+    pub fn record(&self, stage: Stage, duration_ns: u64, outcome: Option<Outcome>) {
+        let cell = &self.cells[stage.index()];
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.total_ns.fetch_add(duration_ns, Ordering::Relaxed);
+        cell.max_ns.fetch_max(duration_ns, Ordering::Relaxed);
+        if let Some(outcome) = outcome {
+            cell.outcomes[outcome.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies one stage's aggregates out.
+    pub fn snapshot_of(&self, stage: Stage) -> StageSnapshot {
+        let cell = &self.cells[stage.index()];
+        let mut outcomes = [0u64; Outcome::ALL.len()];
+        for (slot, counter) in outcomes.iter_mut().zip(cell.outcomes.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        StageSnapshot {
+            stage,
+            count: cell.count.load(Ordering::Relaxed),
+            total_ns: cell.total_ns.load(Ordering::Relaxed),
+            max_ns: cell.max_ns.load(Ordering::Relaxed),
+            outcomes,
+        }
+    }
+
+    /// Copies every stage's aggregates out, in [`Stage::ALL`] order.
+    pub fn snapshot(&self) -> Vec<StageSnapshot> {
+        Stage::ALL.iter().map(|&s| self.snapshot_of(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_tracks_max() {
+        let stats = StageStats::default();
+        stats.record(Stage::Emulation, 100, Some(Outcome::Proxy));
+        stats.record(Stage::Emulation, 300, Some(Outcome::NotProxy));
+        stats.record(Stage::Emulation, 200, None);
+        let snap = stats.snapshot_of(Stage::Emulation);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.total_ns, 600);
+        assert_eq!(snap.max_ns, 300);
+        assert_eq!(snap.mean_ns(), 200);
+        assert_eq!(snap.outcomes[Outcome::Proxy.index()], 1);
+        assert_eq!(snap.outcomes[Outcome::NotProxy.index()], 1);
+        assert_eq!(snap.outcomes[Outcome::Ok.index()], 0);
+    }
+
+    #[test]
+    fn snapshot_covers_all_stages() {
+        let stats = StageStats::default();
+        let all = stats.snapshot();
+        assert_eq!(all.len(), Stage::ALL.len());
+        assert!(all.iter().all(|s| s.count == 0 && s.mean_ns() == 0));
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end telemetry: a server started with an instrumented pipeline
+//! records per-request span trees and EVM profiles, and exports them over
+//! HTTP as a Chrome trace, flamegraph folded stacks, and Prometheus
+//! metrics. A server without telemetry keeps the export endpoints dark.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use proxion_chain::Chain;
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, U256};
+use proxion_service::json::{self, JsonValue};
+use proxion_service::loadgen::ClientConn;
+use proxion_service::{server, ServerConfig};
+use proxion_solc::{compile, templates, SlotSpec};
+use proxion_telemetry::{Telemetry, TelemetryConfig};
+
+struct World {
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    proxy: Address,
+    token: Address,
+}
+
+fn build_world() -> World {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = chain
+        .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(
+        proxy,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+    let token = chain
+        .install_new(me, compile(&templates::plain_token("T")).unwrap().runtime)
+        .unwrap();
+    World {
+        chain: Arc::new(RwLock::new(chain)),
+        etherscan: Arc::new(RwLock::new(Etherscan::new())),
+        proxy,
+        token,
+    }
+}
+
+fn start_server(world: &World, pipeline: Pipeline) -> proxion_service::ServerHandle {
+    server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            follow_chain: false,
+        },
+        Arc::clone(&world.chain),
+        Arc::clone(&world.etherscan),
+        Arc::new(pipeline),
+    )
+    .expect("server starts")
+}
+
+fn address_param(address: Address) -> JsonValue {
+    json::object(vec![("address", address.to_string().into())])
+}
+
+/// Extract the value of a labeled Prometheus sample, e.g.
+/// `metric(&body, "proxion_stage_spans_total{stage=\"analyze\"}")`.
+fn metric(body: &str, name: &str) -> Option<u64> {
+    body.lines()
+        .find(|line| line.starts_with(name))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|value| value.parse().ok())
+}
+
+#[test]
+fn instrumented_server_exports_traces_and_metrics() {
+    let world = build_world();
+    let pipeline = Pipeline::new(PipelineConfig::default())
+        .with_telemetry(Arc::new(Telemetry::new(TelemetryConfig::default())));
+    let handle = start_server(&world, pipeline);
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // Drive a few requests so there is something to trace: one proxy,
+    // one plain contract.
+    for address in [world.proxy, world.token, world.proxy] {
+        let doc = client
+            .rpc("proxy_check", &address_param(address))
+            .expect("rpc answers");
+        assert!(doc.get("result").is_some(), "rpc succeeded: {doc:?}");
+    }
+
+    // Chrome trace: every RPC shows up as a `request` span, and the
+    // proxy check underneath it reaches the EVM emulation stage.
+    let (status, body) = client.get("/trace").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"traceEvents\""), "chrome trace envelope");
+    assert!(
+        body.contains("\"cat\":\"request\""),
+        "rpc request spans: {body}"
+    );
+    assert!(body.contains("\"cat\":\"analyze\""), "pipeline root spans");
+    assert!(body.contains("\"cat\":\"emulation\""), "EVM probe spans");
+    assert!(body.contains("proxy_check"), "span detail names the method");
+
+    // Folded stacks: the parent chain `rpc;analyze_one;...` is intact.
+    let (status, folded) = client.get("/trace/folded").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        folded
+            .lines()
+            .any(|line| line.starts_with("rpc;analyze_one")),
+        "folded stacks carry the parent chain: {folded}"
+    );
+
+    // Prometheus: stage aggregates and the EVM opcode profile are there.
+    let (status, metrics) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    let analyzed = metric(&metrics, "proxion_stage_spans_total{stage=\"analyze\"}")
+        .expect("analyze stage counter present");
+    assert_eq!(analyzed, 3, "one analyze span per RPC");
+    let requests = metric(&metrics, "proxion_stage_spans_total{stage=\"request\"}")
+        .expect("request stage counter present");
+    assert_eq!(requests, 3);
+    // The world's proxy is unverified and transaction-less, so analysis
+    // labels it `hidden` (a plain `proxy` would need either); either way
+    // a proxy-positive outcome must be on the books.
+    let proxyish = metric(
+        &metrics,
+        "proxion_stage_outcome_total{stage=\"analyze\",outcome=\"proxy\"}",
+    )
+    .unwrap_or(0)
+        + metric(
+            &metrics,
+            "proxion_stage_outcome_total{stage=\"analyze\",outcome=\"hidden\"}",
+        )
+        .unwrap_or(0);
+    assert!(proxyish >= 1, "proxy-positive outcome recorded: {metrics}");
+    assert!(
+        metrics.contains("proxion_evm_opcode_executions_total{op=\"DELEGATECALL\"}"),
+        "opcode profile names opcodes: {metrics}"
+    );
+    assert!(
+        metrics.contains("proxion_evm_delegatecall_provenance_total"),
+        "provenance counters exported"
+    );
+
+    handle.stop();
+}
+
+#[test]
+fn plain_server_keeps_trace_endpoints_dark() {
+    let world = build_world();
+    let handle = start_server(&world, Pipeline::new(PipelineConfig::default()));
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // RPCs still work without telemetry…
+    let doc = client
+        .rpc("proxy_check", &address_param(world.proxy))
+        .unwrap();
+    assert!(doc.get("result").is_some());
+
+    // …but the trace exports answer 404, and /metrics carries no
+    // telemetry series.
+    let (status, body) = client.get("/trace").unwrap();
+    assert_eq!(status, 404, "trace disabled: {body}");
+    let (status, _) = client.get("/trace/folded").unwrap();
+    assert_eq!(status, 404);
+    let (status, metrics) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        !metrics.contains("proxion_stage_spans_total"),
+        "no telemetry series when disabled"
+    );
+
+    handle.stop();
+}
