@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use proxion_chain::Chain;
+use proxion_chain::{ChainSource, SourceResult};
 use proxion_core::{StorageCollisionDetector, StorageCollisionReport};
 use proxion_evm::CallKind;
 use proxion_primitives::Address;
@@ -35,43 +35,70 @@ impl CrushLike {
     /// Discovers proxy/logic pairs from the chain's recorded transaction
     /// traces. Every observed `DELEGATECALL` yields a pair, library calls
     /// included.
-    pub fn discover_pairs(&self, chain: &Chain) -> BTreeSet<(Address, Address)> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure of the trace query.
+    pub fn discover_pairs<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+    ) -> SourceResult<BTreeSet<(Address, Address)>> {
         let mut pairs = BTreeSet::new();
-        for tx in chain.transactions() {
+        for tx in chain.transactions()? {
             for call in &tx.internal_calls {
                 if call.kind == CallKind::DelegateCall {
                     pairs.insert((call.from, call.code_address));
                 }
             }
         }
-        pairs
+        Ok(pairs)
     }
 
     /// The "proxies" CRUSH would report: the caller side of every
     /// delegatecall ever traced.
-    pub fn detect_proxies(&self, chain: &Chain) -> BTreeSet<Address> {
-        self.discover_pairs(chain)
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure of the trace query.
+    pub fn detect_proxies<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+    ) -> SourceResult<BTreeSet<Address>> {
+        Ok(self
+            .discover_pairs(chain)?
             .into_iter()
             .map(|(proxy, _)| proxy)
-            .collect()
+            .collect())
     }
 
     /// Whether a specific contract would be flagged (requires history).
-    pub fn detect_proxy(&self, chain: &Chain, address: Address) -> bool {
-        chain.transactions_of(address).iter().any(|tx| {
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure of the history query.
+    pub fn detect_proxy<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+    ) -> SourceResult<bool> {
+        Ok(chain.transactions_of(address)?.iter().any(|tx| {
             tx.internal_calls
                 .iter()
                 .any(|c| c.kind == CallKind::DelegateCall && c.from == address)
-        })
+        }))
     }
 
     /// Runs the storage-collision engine on one discovered pair.
-    pub fn storage_collisions(
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend failure.
+    pub fn storage_collisions<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         proxy: Address,
         logic: Address,
-    ) -> StorageCollisionReport {
+    ) -> SourceResult<StorageCollisionReport> {
         self.detector.check_pair(chain, proxy, logic)
     }
 }
@@ -79,6 +106,7 @@ impl CrushLike {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_primitives::{selector, U256};
     use proxion_solc::{compile, templates};
 
@@ -114,7 +142,7 @@ mod tests {
     fn discovers_pairs_from_traces_only() {
         let (chain, logic, active, hidden, lib_user) = world();
         let tool = CrushLike::new();
-        let pairs = tool.discover_pairs(&chain);
+        let pairs = tool.discover_pairs(&chain).unwrap();
         assert!(pairs.contains(&(active, logic)));
         assert!(
             pairs.contains(&(lib_user, logic)),
@@ -124,9 +152,9 @@ mod tests {
             !pairs.iter().any(|&(p, _)| p == hidden),
             "hidden proxies are invisible to trace-based discovery"
         );
-        assert!(tool.detect_proxy(&chain, active));
-        assert!(!tool.detect_proxy(&chain, hidden));
-        assert!(tool.detect_proxy(&chain, lib_user));
+        assert!(tool.detect_proxy(&chain, active).unwrap());
+        assert!(!tool.detect_proxy(&chain, hidden).unwrap());
+        assert!(tool.detect_proxy(&chain, lib_user).unwrap());
     }
 
     #[test]
@@ -144,7 +172,9 @@ mod tests {
         owner[9] = 0x01;
         chain.set_storage(proxy, U256::ZERO, U256::from(Address::from(owner)));
         chain.set_storage(proxy, U256::ONE, U256::from(logic));
-        let report = CrushLike::new().storage_collisions(&chain, proxy, logic);
+        let report = CrushLike::new()
+            .storage_collisions(&chain, proxy, logic)
+            .unwrap();
         assert!(report.has_exploitable());
     }
 }

@@ -1,7 +1,7 @@
 //! The Etherscan proxy-verification heuristic.
 
 use proxion_asm::opcode;
-use proxion_chain::Chain;
+use proxion_chain::{ChainSource, SourceResult};
 use proxion_disasm::Disassembly;
 use proxion_primitives::Address;
 
@@ -19,18 +19,27 @@ impl EtherscanHeuristic {
     }
 
     /// Returns `true` if the contract would be flagged as a proxy.
-    pub fn detect_proxy(&self, chain: &Chain, address: Address) -> bool {
-        let code = chain.code_at(address);
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure of the bytecode fetch.
+    pub fn detect_proxy<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+    ) -> SourceResult<bool> {
+        let code = chain.code_at(address)?;
         if code.is_empty() {
-            return false;
+            return Ok(false);
         }
-        Disassembly::new(&code).contains(opcode::DELEGATECALL)
+        Ok(Disassembly::new(&code).contains(opcode::DELEGATECALL))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_solc::{compile, templates};
 
     #[test]
@@ -54,12 +63,14 @@ mod tests {
             .unwrap();
 
         let tool = EtherscanHeuristic::new();
-        assert!(tool.detect_proxy(&chain, proxy));
+        assert!(tool.detect_proxy(&chain, proxy).unwrap());
         assert!(
-            tool.detect_proxy(&chain, user),
+            tool.detect_proxy(&chain, user).unwrap(),
             "library user is a (documented) false positive"
         );
-        assert!(!tool.detect_proxy(&chain, token));
-        assert!(!tool.detect_proxy(&chain, Address::from_low_u64(0xeeee)));
+        assert!(!tool.detect_proxy(&chain, token).unwrap());
+        assert!(!tool
+            .detect_proxy(&chain, Address::from_low_u64(0xeeee))
+            .unwrap());
     }
 }

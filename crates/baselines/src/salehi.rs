@@ -1,6 +1,6 @@
 //! A Salehi-et-al.-style baseline: transaction replay for upgradeability.
 
-use proxion_chain::Chain;
+use proxion_chain::{ChainSource, SourceResult};
 use proxion_core::{ImplSource, ProxyCheck, ProxyDetector};
 use proxion_evm::CallKind;
 use proxion_primitives::Address;
@@ -24,37 +24,54 @@ impl SalehiReplay {
     /// Proxy verdict by replay: `None` when the contract has no
     /// transaction history (not analyzable), otherwise whether any
     /// historical trace shows it delegate-calling.
-    pub fn detect_proxy(&self, chain: &Chain, address: Address) -> Option<bool> {
-        let txs = chain.transactions_of(address);
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure of the history query.
+    pub fn detect_proxy<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+    ) -> SourceResult<Option<bool>> {
+        let txs = chain.transactions_of(address)?;
         if txs.is_empty() {
-            return None;
+            return Ok(None);
         }
-        Some(txs.iter().any(|tx| {
+        Ok(Some(txs.iter().any(|tx| {
             tx.internal_calls
                 .iter()
                 .any(|c| c.kind == CallKind::DelegateCall && c.from == address)
-        }))
+        })))
     }
 
     /// Upgradeability verdict: for contracts with history that are
     /// proxies, reports whether the implementation address lives in
     /// mutable storage (upgradeable) rather than bytecode.
-    pub fn is_upgradeable(&self, chain: &Chain, address: Address) -> Option<bool> {
-        if self.detect_proxy(chain, address) != Some(true) {
-            return None;
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend failure.
+    pub fn is_upgradeable<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+    ) -> SourceResult<Option<bool>> {
+        if self.detect_proxy(chain, address)? != Some(true) {
+            return Ok(None);
         }
-        match self.detector.check(chain, address) {
+        Ok(match self.detector.try_check(chain, address)? {
             ProxyCheck::Proxy { impl_source, .. } => {
                 Some(matches!(impl_source, ImplSource::StorageSlot(_)))
             }
             ProxyCheck::NotProxy(_) => Some(false),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_primitives::U256;
     use proxion_solc::{compile, templates, SlotSpec};
 
@@ -68,8 +85,14 @@ mod tests {
         let silent = chain
             .install_new(me, templates::minimal_proxy_runtime(logic))
             .unwrap();
-        assert_eq!(SalehiReplay::new().detect_proxy(&chain, silent), None);
-        assert_eq!(SalehiReplay::new().is_upgradeable(&chain, silent), None);
+        assert_eq!(
+            SalehiReplay::new().detect_proxy(&chain, silent).unwrap(),
+            None
+        );
+        assert_eq!(
+            SalehiReplay::new().is_upgradeable(&chain, silent).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -95,10 +118,13 @@ mod tests {
         chain.transact(me, upgradeable, vec![1, 2, 3, 4], U256::ZERO);
 
         let tool = SalehiReplay::new();
-        assert_eq!(tool.detect_proxy(&chain, minimal), Some(true));
-        assert_eq!(tool.is_upgradeable(&chain, minimal), Some(false));
-        assert_eq!(tool.detect_proxy(&chain, upgradeable), Some(true));
-        assert_eq!(tool.is_upgradeable(&chain, upgradeable), Some(true));
+        assert_eq!(tool.detect_proxy(&chain, minimal).unwrap(), Some(true));
+        assert_eq!(tool.is_upgradeable(&chain, minimal).unwrap(), Some(false));
+        assert_eq!(tool.detect_proxy(&chain, upgradeable).unwrap(), Some(true));
+        assert_eq!(
+            tool.is_upgradeable(&chain, upgradeable).unwrap(),
+            Some(true)
+        );
     }
 
     #[test]
@@ -109,6 +135,9 @@ mod tests {
             .install_new(me, compile(&templates::plain_token("T")).unwrap().runtime)
             .unwrap();
         chain.transact(me, token, vec![0, 0, 0, 0], U256::ZERO);
-        assert_eq!(SalehiReplay::new().detect_proxy(&chain, token), Some(false));
+        assert_eq!(
+            SalehiReplay::new().detect_proxy(&chain, token).unwrap(),
+            Some(false)
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use proxion_chain::Chain;
+use proxion_chain::ChainSource;
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{Address, U256};
 
@@ -76,9 +76,9 @@ impl UschuntLike {
     }
 
     /// Proxy detection (source keyword search).
-    pub fn detect_proxy(
+    pub fn detect_proxy<S: ChainSource + ?Sized>(
         &self,
-        _chain: &Chain,
+        _chain: &S,
         etherscan: &Etherscan,
         address: Address,
     ) -> UschuntOutcome<bool> {
@@ -144,6 +144,7 @@ impl UschuntLike {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_primitives::keccak256;
     use proxion_solc::{compile, templates, ContractSpec, StorageVar, VarType};
 

@@ -40,6 +40,7 @@ fn bench_dedup(c: &mut Criterion) {
             resolve_history: false,
             check_collisions: false,
             check_historical_pairs: false,
+            ..PipelineConfig::default()
         });
         b.iter(|| {
             std::hint::black_box(pipeline.analyze_all(&landscape.chain, &landscape.etherscan))

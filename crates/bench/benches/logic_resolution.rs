@@ -67,7 +67,9 @@ fn bench_api_calls_report(c: &mut Criterion) {
     for blocks in [8192u64] {
         let (chain, proxy) = chain_with_history(blocks);
         let resolver = LogicResolver::new();
-        let history = resolver.resolve(&chain, proxy, U256::ZERO);
+        let history = resolver
+            .resolve(&chain, proxy, U256::ZERO)
+            .expect("in-memory chain reads are infallible");
         println!(
             "[logic_resolution] {} blocks: {} getStorageAt calls (binary search) vs {} (linear)",
             blocks,

@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the provider layer: the same full-landscape
+//! analysis driven through each [`ChainSource`] backend — the bare
+//! in-memory [`Chain`], an O(1) copy-on-write [`ChainSnapshot`], and a
+//! [`CachedSource`] with codehash-keyed bytecode interning — so snapshot
+//! and caching overhead (or win) is visible next to the baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_bench::standard_landscape;
+use proxion_chain::{CachedSource, ChainSource};
+use proxion_core::{Pipeline, PipelineConfig};
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        parallelism: 1,
+        resolve_history: false,
+        check_collisions: true,
+        check_historical_pairs: false,
+        ..PipelineConfig::default()
+    })
+}
+
+fn bench_source_backends(c: &mut Criterion) {
+    let landscape = standard_landscape();
+    let mut group = c.benchmark_group("source_backends");
+    group.sample_size(10);
+
+    // Baseline: analysis reads the in-memory chain directly.
+    group.bench_function("bare_chain", |b| {
+        b.iter(|| {
+            let pipeline = pipeline();
+            std::hint::black_box(
+                pipeline
+                    .analyze_all(&landscape.chain, &landscape.etherscan)
+                    .expect("in-memory chain reads are infallible"),
+            )
+        })
+    });
+
+    // The service's read path: an O(1) copy-on-write snapshot taken per
+    // request, analyzed without any lock on the live chain.
+    group.bench_function("snapshot", |b| {
+        b.iter(|| {
+            let pipeline = pipeline();
+            let snapshot = landscape.chain.snapshot();
+            std::hint::black_box(
+                pipeline
+                    .analyze_all(&snapshot, &landscape.etherscan)
+                    .expect("snapshot reads are infallible"),
+            )
+        })
+    });
+
+    // Snapshot plus the shared source cache: bytecode interned by
+    // codehash, storage probes memoized.
+    group.bench_function("snapshot_cached", |b| {
+        b.iter(|| {
+            let pipeline = pipeline();
+            let cached = CachedSource::new(landscape.chain.snapshot());
+            std::hint::black_box(
+                pipeline
+                    .analyze_all(&cached, &landscape.etherscan)
+                    .expect("cached snapshot reads are infallible"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_reads(c: &mut Criterion) {
+    // Microbenchmark of one hot read per backend, isolating per-call
+    // decorator overhead from whole-pipeline effects.
+    let landscape = standard_landscape();
+    let address = landscape.contracts[0].address;
+    let mut group = c.benchmark_group("source_backend_code_at");
+
+    group.bench_function("bare_chain", |b| {
+        b.iter(|| std::hint::black_box(ChainSource::code_at(&landscape.chain, address)))
+    });
+    let snapshot = landscape.chain.snapshot();
+    group.bench_function("snapshot", |b| {
+        b.iter(|| std::hint::black_box(snapshot.code_at(address)))
+    });
+    let cached = CachedSource::new(landscape.chain.snapshot());
+    group.bench_function("snapshot_cached", |b| {
+        b.iter(|| std::hint::black_box(cached.code_at(address)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_source_backends, bench_single_reads);
+criterion_main!(benches);

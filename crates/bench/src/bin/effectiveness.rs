@@ -83,14 +83,19 @@ fn main() {
     // ---------------------------------------------------------------
     header("§6.2(b) CRUSH-like whole-chain corpus: trace-based vs Proxion");
     let crush = CrushLike::new();
-    let crush_proxies = crush.detect_proxies(&landscape.chain);
+    let crush_proxies = crush
+        .detect_proxies(&landscape.chain)
+        .expect("in-memory chain reads are infallible");
     let pipeline = Pipeline::new(PipelineConfig {
         parallelism: 8,
         resolve_history: false,
         check_collisions: true,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+    let report = pipeline
+        .analyze_all(&landscape.chain, &landscape.etherscan)
+        .expect("in-memory chain reads are infallible");
     let proxion_proxies: BTreeSet<_> = report.proxies().map(|r| r.address).collect();
 
     let crush_only: Vec<_> = crush_proxies.difference(&proxion_proxies).collect();

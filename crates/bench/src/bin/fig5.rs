@@ -44,8 +44,11 @@ fn main() {
         resolve_history: false,
         check_collisions: false,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+    let report = pipeline
+        .analyze_all(&landscape.chain, &landscape.etherscan)
+        .expect("in-memory chain reads are infallible");
 
     let mut proxy_hashes: HashMap<B256, usize> = HashMap::new();
     let mut logic_hashes: HashMap<B256, usize> = HashMap::new();

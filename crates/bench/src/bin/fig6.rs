@@ -16,8 +16,11 @@ fn main() {
         resolve_history: true,
         check_collisions: false,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+    let report = pipeline
+        .analyze_all(&landscape.chain, &landscape.etherscan)
+        .expect("in-memory chain reads are infallible");
 
     let mut histogram: Vec<(usize, usize)> = Vec::new();
     let mut upgraded = 0usize;

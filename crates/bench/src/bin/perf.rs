@@ -5,6 +5,7 @@
 use std::time::Instant;
 
 use proxion_bench::{header, standard_landscape};
+use proxion_chain::CountingSource;
 use proxion_core::{
     FunctionCollisionDetector, ImplSource, LogicResolver, Pipeline, PipelineConfig, ProxyCheck,
     ProxyDetector, StorageCollisionDetector,
@@ -38,8 +39,10 @@ fn main() {
     println!("                    (paper: 6.4 ms/contract, 156.3 contracts/s)");
 
     // ---- logic resolution: getStorageAt calls per proxy ----
+    // The provider-layer decorator counts the backend reads Algorithm 1
+    // actually issues (the paper's getStorageAt budget, §6.1).
     let resolver = LogicResolver::new();
-    landscape.chain.reset_api_calls();
+    let counted = CountingSource::new(&landscape.chain);
     let slot_proxies: Vec<_> = proxies
         .iter()
         .filter_map(|(address, _, impl_source)| match impl_source {
@@ -49,11 +52,11 @@ fn main() {
         .collect();
     let start = Instant::now();
     for &(address, slot) in &slot_proxies {
-        let _ = resolver.resolve(&landscape.chain, address, slot);
+        let _ = resolver.resolve(&counted, address, slot);
     }
     let resolve_elapsed = start.elapsed();
     if !slot_proxies.is_empty() {
-        let calls = landscape.chain.api_call_count();
+        let calls = counted.counts().storage_at;
         println!(
             "logic resolution:   {:>10.1} getStorageAt calls/proxy over {} blocks ({} slot proxies, {:.3} ms each)",
             calls as f64 / slot_proxies.len() as f64,
@@ -101,8 +104,10 @@ fn main() {
         resolve_history: false,
         check_collisions: true,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     })
-    .analyze_all(&landscape.chain, &landscape.etherscan);
+    .analyze_all(&landscape.chain, &landscape.etherscan)
+    .expect("in-memory chain reads are infallible");
     let dedup_time = start.elapsed();
     println!(
         "full pipeline:      {:>10.2} s with bytecode-hash dedup ({} contracts, {} proxies)",

@@ -39,6 +39,7 @@ fn main() {
             workers,
             queue_capacity: 256,
             follow_chain: false,
+            ..ServerConfig::default()
         },
         chain,
         etherscan,

@@ -62,6 +62,7 @@ fn main() {
         // CRUSH: analyzes any delegatecalling pair (library users too).
         let crush_flag = crush
             .storage_collisions(&corpus.chain, pair.proxy, pair.logic)
+            .expect("in-memory chain reads are infallible")
             .has_exploitable();
         crush_storage.push(crush_flag);
 
@@ -70,10 +71,12 @@ fn main() {
         let px_st = is_proxy
             && proxion_storage
                 .check_pair(&corpus.chain, pair.proxy, pair.logic)
+                .expect("in-memory chain reads are infallible")
                 .has_exploitable();
         let px_fn = is_proxy
             && proxion_functions
                 .check_pair(&corpus.chain, &corpus.etherscan, pair.proxy, pair.logic)
+                .expect("in-memory chain reads are infallible")
                 .has_collisions();
         proxion_storage_flags.push(px_st);
         proxion_function_flags.push(px_fn);

@@ -20,8 +20,11 @@ fn main() {
         resolve_history: false,
         check_collisions: true,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+    let report = pipeline
+        .analyze_all(&landscape.chain, &landscape.etherscan)
+        .expect("in-memory chain reads are infallible");
 
     let year_of: HashMap<Address, u16> = landscape
         .contracts

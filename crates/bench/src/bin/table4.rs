@@ -19,8 +19,11 @@ fn main() {
         resolve_history: false,
         check_collisions: false,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+    let report = pipeline
+        .analyze_all(&landscape.chain, &landscape.etherscan)
+        .expect("in-memory chain reads are infallible");
     let detected = report.standard_distribution();
     let proxy_count = report.proxy_count();
 

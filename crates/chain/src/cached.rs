@@ -1,0 +1,291 @@
+//! Codehash-keyed caching decorator.
+//!
+//! Large-scale proxy studies dedupe work by bytecode hash — most deployed
+//! contracts share one of a few thousand distinct bytecodes — so the
+//! dominant backend cost is fetching the *same* bytes again and again.
+//! [`CachedSource`] interns bytecode by `keccak256` (one [`Arc`] per
+//! distinct code, shared across addresses), keeps a negative cache for
+//! empty accounts (interning the empty code is the negative entry), and
+//! memoizes historical `storage_at` reads, which are immutable facts.
+//!
+//! The cache tables ([`SourceCache`]) are shared behind an `Arc` so every
+//! per-request snapshot wrapper in the service hits one warm cache.
+//! Correctness across snapshots at different heights is by key design:
+//! address→codehash entries are keyed by `(address, head)`, and storage
+//! entries by `(address, slot, block)` — both immutable once observed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proxion_primitives::{keccak256, Address, B256, U256};
+
+use crate::lru::{CacheStats, ShardedLru};
+use crate::node::{DeploymentInfo, TxRecord};
+use crate::source::{ChainSource, SourceResult};
+
+/// Aggregated hit/miss statistics of a [`SourceCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct SourceCacheStats {
+    /// The address→codehash table (bytecode fetch avoidance).
+    pub code: CacheStats,
+    /// The historical storage-read table.
+    pub storage: CacheStats,
+    /// Distinct bytecodes interned (including the empty code).
+    pub interned_codes: usize,
+}
+
+/// The shared tables behind one or more [`CachedSource`] wrappers.
+pub struct SourceCache {
+    /// codehash → interned bytecode. Immutable facts; never evicted.
+    intern: Mutex<HashMap<B256, Arc<Vec<u8>>>>,
+    /// (address, head) → codehash of that address at that height.
+    code_map: ShardedLru<(Address, u64), B256>,
+    /// (address, slot, block) → historical value. Immutable facts.
+    storage: ShardedLru<(Address, U256, u64), U256>,
+}
+
+impl SourceCache {
+    /// Default capacity (entries) of each bounded table.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates cache tables bounded at roughly `capacity` entries each.
+    pub fn new(capacity: usize) -> Self {
+        SourceCache {
+            intern: Mutex::new(HashMap::new()),
+            code_map: ShardedLru::new(capacity),
+            storage: ShardedLru::new(capacity),
+        }
+    }
+
+    /// Returns the canonical interned `Arc` for `code`, interning it if
+    /// new. All addresses sharing a bytecode share one allocation.
+    fn intern(&self, code: Arc<Vec<u8>>) -> (B256, Arc<Vec<u8>>) {
+        let hash = keccak256(code.as_slice());
+        let mut pool = self.intern.lock();
+        let canonical = pool.entry(hash).or_insert(code);
+        (hash, Arc::clone(canonical))
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SourceCacheStats {
+        SourceCacheStats {
+            code: self.code_map.stats(),
+            storage: self.storage.stats(),
+            interned_codes: self.intern.lock().len(),
+        }
+    }
+}
+
+impl Default for SourceCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+/// A [`ChainSource`] decorator that answers repeated reads from a shared
+/// [`SourceCache`] instead of the backend.
+pub struct CachedSource<S> {
+    inner: S,
+    cache: Arc<SourceCache>,
+}
+
+impl<S: ChainSource> CachedSource<S> {
+    /// Wraps `inner` with a private cache.
+    pub fn new(inner: S) -> Self {
+        Self::with_cache(inner, Arc::new(SourceCache::default()))
+    }
+
+    /// Wraps `inner` over an existing (possibly shared) cache.
+    pub fn with_cache(inner: S, cache: Arc<SourceCache>) -> Self {
+        CachedSource { inner, cache }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The cache tables (for stats export).
+    pub fn cache(&self) -> &Arc<SourceCache> {
+        &self.cache
+    }
+
+    /// The interned bytecode for `address` at the source head, resolving
+    /// and interning on miss.
+    fn lookup_code(&self, address: Address) -> SourceResult<(B256, Arc<Vec<u8>>)> {
+        let head = self.inner.head_block()?;
+        if let Some(hash) = self.cache.code_map.get(&(address, head)) {
+            let pool = self.cache.intern.lock();
+            if let Some(code) = pool.get(&hash) {
+                return Ok((hash, Arc::clone(code)));
+            }
+        }
+        let fetched = self.inner.code_at(address)?;
+        let (hash, canonical) = self.cache.intern(fetched);
+        self.cache.code_map.insert((address, head), hash);
+        Ok((hash, canonical))
+    }
+}
+
+impl<S: ChainSource> ChainSource for CachedSource<S> {
+    fn head_block(&self) -> SourceResult<u64> {
+        self.inner.head_block()
+    }
+    fn code_at(&self, address: Address) -> SourceResult<Arc<Vec<u8>>> {
+        Ok(self.lookup_code(address)?.1)
+    }
+    fn code_hash_at(&self, address: Address) -> SourceResult<B256> {
+        Ok(self.lookup_code(address)?.0)
+    }
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> SourceResult<U256> {
+        let key = (address, slot, block);
+        if let Some(value) = self.cache.storage.get(&key) {
+            return Ok(value);
+        }
+        let value = self.inner.storage_at(address, slot, block)?;
+        self.cache.storage.insert(key, value);
+        Ok(value)
+    }
+    fn storage_latest(&self, address: Address, slot: U256) -> SourceResult<U256> {
+        // Memoized via the historical table at the current head: a head
+        // value *is* the value as of the end of the head block.
+        let head = self.inner.head_block()?;
+        self.storage_at(address, slot, head)
+    }
+    fn balance_of(&self, address: Address) -> SourceResult<U256> {
+        self.inner.balance_of(address)
+    }
+    fn nonce_of(&self, address: Address) -> SourceResult<u64> {
+        self.inner.nonce_of(address)
+    }
+    fn block_hash(&self, number: u64) -> SourceResult<B256> {
+        self.inner.block_hash(number)
+    }
+    fn deployment(&self, address: Address) -> SourceResult<Option<DeploymentInfo>> {
+        self.inner.deployment(address)
+    }
+    fn deployed_between(&self, after: u64, up_to: u64) -> SourceResult<Vec<(u64, Address)>> {
+        self.inner.deployed_between(after, up_to)
+    }
+    fn contracts(&self) -> SourceResult<Vec<Address>> {
+        self.inner.contracts()
+    }
+    fn is_alive(&self, address: Address) -> SourceResult<bool> {
+        self.inner.is_alive(address)
+    }
+    fn transactions(&self) -> SourceResult<Vec<TxRecord>> {
+        self.inner.transactions()
+    }
+    fn transactions_of(&self, address: Address) -> SourceResult<Vec<TxRecord>> {
+        self.inner.transactions_of(address)
+    }
+    fn has_transactions(&self, address: Address) -> SourceResult<bool> {
+        self.inner.has_transactions(address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chain, CountingSource};
+
+    #[test]
+    fn bytecode_interned_and_backend_spared() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        // Two addresses sharing one bytecode, one distinct.
+        let code = vec![0x60, 0x00, 0x00];
+        let a = chain.install_new(me, code.clone()).unwrap();
+        let b = chain.install_new(me, code.clone()).unwrap();
+        let c = chain.install_new(me, vec![0x00]).unwrap();
+
+        let counted = CountingSource::new(&chain);
+        let cached = CachedSource::new(&counted);
+
+        let code_a = cached.code_at(a).unwrap();
+        let code_b = cached.code_at(b).unwrap();
+        let _ = cached.code_at(c).unwrap();
+        // a and b share one interned allocation.
+        assert!(Arc::ptr_eq(&code_a, &code_b));
+        assert_eq!(cached.cache().stats().interned_codes, 2);
+
+        // Re-reads hit the cache: the backend sees no further code fetches.
+        let before = counted.counts().code_at;
+        for _ in 0..5 {
+            let _ = cached.code_at(a).unwrap();
+            let _ = cached.code_hash_at(b).unwrap();
+        }
+        assert_eq!(counted.counts().code_at, before);
+        assert!(cached.cache().stats().code.hits >= 10);
+    }
+
+    #[test]
+    fn empty_accounts_negatively_cached() {
+        let chain = Chain::new();
+        let counted = CountingSource::new(&chain);
+        let cached = CachedSource::new(&counted);
+        let ghost = Address::from_low_u64(0xdead);
+
+        assert!(cached.code_at(ghost).unwrap().is_empty());
+        let fetches = counted.counts().code_at;
+        for _ in 0..4 {
+            assert!(cached.code_at(ghost).unwrap().is_empty());
+        }
+        assert_eq!(
+            counted.counts().code_at,
+            fetches,
+            "empty account answered from the negative cache"
+        );
+        // The empty code is interned exactly once.
+        assert_eq!(cached.cache().stats().interned_codes, 1);
+    }
+
+    #[test]
+    fn storage_reads_memoized() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![0x00]).unwrap();
+        chain.set_storage(a, U256::ZERO, U256::from(7u64));
+        let b = chain.head_block();
+
+        let counted = CountingSource::new(&chain);
+        let cached = CachedSource::new(&counted);
+        for _ in 0..6 {
+            assert_eq!(
+                cached.storage_at(a, U256::ZERO, b).unwrap(),
+                U256::from(7u64)
+            );
+        }
+        assert_eq!(counted.counts().storage_at, 1);
+        assert_eq!(cached.cache().stats().storage.hits, 5);
+    }
+
+    #[test]
+    fn shared_cache_stays_correct_across_heads() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![0x01]).unwrap();
+
+        let cache = Arc::new(SourceCache::default());
+
+        // Snapshot at height 1; read the code through the shared cache.
+        let snap_old = chain.snapshot();
+        let at_old = CachedSource::with_cache(&snap_old, Arc::clone(&cache));
+        let old_hash = at_old.code_hash_at(a).unwrap();
+
+        // The contract self-destructs... simulated by reinstalling fresh
+        // code at a new address and comparing across snapshot heights: the
+        // (address, head) key must not leak values across heights.
+        let b = chain.install_new(me, vec![0x02]).unwrap();
+        let snap_new = chain.snapshot();
+        let at_new = CachedSource::with_cache(&snap_new, Arc::clone(&cache));
+
+        // `b` is empty at the old snapshot height but present at the new:
+        assert!(at_old.code_at(b).unwrap().is_empty());
+        assert_eq!(*at_new.code_at(b).unwrap(), vec![0x02]);
+        // and reading through one wrapper never corrupted the other.
+        assert!(at_old.code_at(b).unwrap().is_empty());
+        assert_eq!(at_new.code_hash_at(a).unwrap(), old_hash);
+    }
+}

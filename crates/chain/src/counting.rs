@@ -1,0 +1,153 @@
+//! Per-source API-call accounting.
+//!
+//! The paper's performance evaluation (§6.1) reports "API calls per
+//! proxy" — chiefly `eth_getStorageAt`, which dominates Algorithm 1's
+//! binary search over a proxy's block range. Accounting used to be a
+//! global counter baked into [`Chain`](crate::Chain); it is now a
+//! decorator, so each experiment (or each concurrent request) counts its
+//! own reads, over any backend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proxion_primitives::{Address, B256, U256};
+
+use crate::node::{DeploymentInfo, TxRecord};
+use crate::source::{ChainSource, SourceResult};
+
+/// A snapshot of per-method call counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct SourceCounts {
+    /// `code_at` + `code_hash_at` calls (one bytecode fetch each).
+    pub code_at: u64,
+    /// Historical `storage_at` calls — the paper's headline cost metric.
+    pub storage_at: u64,
+    /// Head-value `storage_latest` calls.
+    pub storage_latest: u64,
+    /// Transaction-history queries (`transactions*`, `has_transactions`).
+    pub tx_queries: u64,
+    /// Everything else (head, balances, nonces, deployments, liveness).
+    pub other: u64,
+}
+
+impl SourceCounts {
+    /// Total calls across all methods.
+    pub fn total(&self) -> u64 {
+        self.code_at + self.storage_at + self.storage_latest + self.tx_queries + self.other
+    }
+}
+
+/// A [`ChainSource`] decorator that counts every read it forwards.
+pub struct CountingSource<S> {
+    inner: S,
+    code_at: AtomicU64,
+    storage_at: AtomicU64,
+    storage_latest: AtomicU64,
+    tx_queries: AtomicU64,
+    other: AtomicU64,
+}
+
+impl<S: ChainSource> CountingSource<S> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: S) -> Self {
+        CountingSource {
+            inner,
+            code_at: AtomicU64::new(0),
+            storage_at: AtomicU64::new(0),
+            storage_latest: AtomicU64::new(0),
+            tx_queries: AtomicU64::new(0),
+            other: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Current per-method counts.
+    pub fn counts(&self) -> SourceCounts {
+        SourceCounts {
+            code_at: self.code_at.load(Ordering::Relaxed),
+            storage_at: self.storage_at.load(Ordering::Relaxed),
+            storage_latest: self.storage_latest.load(Ordering::Relaxed),
+            tx_queries: self.tx_queries.load(Ordering::Relaxed),
+            other: self.other.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters (between experiments).
+    pub fn reset(&self) {
+        self.code_at.store(0, Ordering::Relaxed);
+        self.storage_at.store(0, Ordering::Relaxed);
+        self.storage_latest.store(0, Ordering::Relaxed);
+        self.tx_queries.store(0, Ordering::Relaxed);
+        self.other.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<S: ChainSource> ChainSource for CountingSource<S> {
+    fn head_block(&self) -> SourceResult<u64> {
+        self.other.fetch_add(1, Ordering::Relaxed);
+        self.inner.head_block()
+    }
+    fn code_at(&self, address: Address) -> SourceResult<std::sync::Arc<Vec<u8>>> {
+        self.code_at.fetch_add(1, Ordering::Relaxed);
+        self.inner.code_at(address)
+    }
+    fn code_hash_at(&self, address: Address) -> SourceResult<B256> {
+        self.code_at.fetch_add(1, Ordering::Relaxed);
+        self.inner.code_hash_at(address)
+    }
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> SourceResult<U256> {
+        self.storage_at.fetch_add(1, Ordering::Relaxed);
+        self.inner.storage_at(address, slot, block)
+    }
+    fn storage_latest(&self, address: Address, slot: U256) -> SourceResult<U256> {
+        self.storage_latest.fetch_add(1, Ordering::Relaxed);
+        self.inner.storage_latest(address, slot)
+    }
+    fn balance_of(&self, address: Address) -> SourceResult<U256> {
+        self.other.fetch_add(1, Ordering::Relaxed);
+        self.inner.balance_of(address)
+    }
+    fn nonce_of(&self, address: Address) -> SourceResult<u64> {
+        self.other.fetch_add(1, Ordering::Relaxed);
+        self.inner.nonce_of(address)
+    }
+    fn block_hash(&self, number: u64) -> SourceResult<B256> {
+        self.other.fetch_add(1, Ordering::Relaxed);
+        self.inner.block_hash(number)
+    }
+    fn deployment(&self, address: Address) -> SourceResult<Option<DeploymentInfo>> {
+        self.other.fetch_add(1, Ordering::Relaxed);
+        self.inner.deployment(address)
+    }
+    fn deployed_between(&self, after: u64, up_to: u64) -> SourceResult<Vec<(u64, Address)>> {
+        self.other.fetch_add(1, Ordering::Relaxed);
+        self.inner.deployed_between(after, up_to)
+    }
+    fn contracts(&self) -> SourceResult<Vec<Address>> {
+        self.other.fetch_add(1, Ordering::Relaxed);
+        self.inner.contracts()
+    }
+    fn is_alive(&self, address: Address) -> SourceResult<bool> {
+        self.other.fetch_add(1, Ordering::Relaxed);
+        self.inner.is_alive(address)
+    }
+    fn transactions(&self) -> SourceResult<Vec<TxRecord>> {
+        self.tx_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.transactions()
+    }
+    fn transactions_of(&self, address: Address) -> SourceResult<Vec<TxRecord>> {
+        self.tx_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.transactions_of(address)
+    }
+    fn has_transactions(&self, address: Address) -> SourceResult<bool> {
+        self.tx_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.has_transactions(address)
+    }
+    fn env(&self) -> SourceResult<proxion_evm::Env> {
+        // Not an API call: derived locally from the head height.
+        self.inner.env()
+    }
+}

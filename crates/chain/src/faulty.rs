@@ -1,0 +1,191 @@
+//! Deterministic fault injection for backend-robustness testing.
+//!
+//! Real archive-node access is unreliable: rate limits, timeouts, flaky
+//! gateways. [`FaultySource`] wraps any backend and injects configurable
+//! latency and *transient* errors, seeded through the deterministic
+//! `proxion-primitives` RNG so a failing run replays exactly. Paired with
+//! the pipeline's retry-with-backoff policy it lets tests prove analyses
+//! degrade to typed [`SourceError`](crate::SourceError) outcomes instead
+//! of panicking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use proxion_primitives::{Address, DetRng, B256, U256};
+
+use crate::node::{DeploymentInfo, TxRecord};
+use crate::source::{ChainSource, SourceError, SourceResult};
+
+/// Injection parameters for a [`FaultySource`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Added to every read (simulated network round-trip).
+    pub latency: Duration,
+    /// Probability in `[0, 1]` that a read fails with a transient error.
+    pub failure_rate: f64,
+    /// RNG seed: identical seeds inject identical fault sequences.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            latency: Duration::ZERO,
+            failure_rate: 0.0,
+            seed: 0xfa11,
+        }
+    }
+}
+
+/// A [`ChainSource`] decorator injecting deterministic latency and
+/// transient failures into every forwarded read.
+pub struct FaultySource<S> {
+    inner: S,
+    config: FaultConfig,
+    rng: Mutex<DetRng>,
+    injected: AtomicU64,
+}
+
+impl<S: ChainSource> FaultySource<S> {
+    /// Wraps `inner` with the given injection parameters.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        FaultySource {
+            inner,
+            rng: Mutex::new(DetRng::new(config.seed)),
+            config,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of transient errors injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Sleeps the configured latency, then rolls the die: `Err` on a hit.
+    fn toll(&self, what: &str) -> SourceResult<()> {
+        if !self.config.latency.is_zero() {
+            std::thread::sleep(self.config.latency);
+        }
+        if self.config.failure_rate > 0.0 && self.rng.lock().next_bool(self.config.failure_rate) {
+            let n = self.injected.fetch_add(1, Ordering::Relaxed) + 1;
+            return Err(SourceError::Transient(format!(
+                "injected fault #{n} during {what}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl<S: ChainSource> ChainSource for FaultySource<S> {
+    fn head_block(&self) -> SourceResult<u64> {
+        self.toll("head_block")?;
+        self.inner.head_block()
+    }
+    fn code_at(&self, address: Address) -> SourceResult<std::sync::Arc<Vec<u8>>> {
+        self.toll("code_at")?;
+        self.inner.code_at(address)
+    }
+    fn code_hash_at(&self, address: Address) -> SourceResult<B256> {
+        self.toll("code_hash_at")?;
+        self.inner.code_hash_at(address)
+    }
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> SourceResult<U256> {
+        self.toll("storage_at")?;
+        self.inner.storage_at(address, slot, block)
+    }
+    fn storage_latest(&self, address: Address, slot: U256) -> SourceResult<U256> {
+        self.toll("storage_latest")?;
+        self.inner.storage_latest(address, slot)
+    }
+    fn balance_of(&self, address: Address) -> SourceResult<U256> {
+        self.toll("balance_of")?;
+        self.inner.balance_of(address)
+    }
+    fn nonce_of(&self, address: Address) -> SourceResult<u64> {
+        self.toll("nonce_of")?;
+        self.inner.nonce_of(address)
+    }
+    fn block_hash(&self, number: u64) -> SourceResult<B256> {
+        self.toll("block_hash")?;
+        self.inner.block_hash(number)
+    }
+    fn deployment(&self, address: Address) -> SourceResult<Option<DeploymentInfo>> {
+        self.toll("deployment")?;
+        self.inner.deployment(address)
+    }
+    fn deployed_between(&self, after: u64, up_to: u64) -> SourceResult<Vec<(u64, Address)>> {
+        self.toll("deployed_between")?;
+        self.inner.deployed_between(after, up_to)
+    }
+    fn contracts(&self) -> SourceResult<Vec<Address>> {
+        self.toll("contracts")?;
+        self.inner.contracts()
+    }
+    fn is_alive(&self, address: Address) -> SourceResult<bool> {
+        self.toll("is_alive")?;
+        self.inner.is_alive(address)
+    }
+    fn transactions(&self) -> SourceResult<Vec<TxRecord>> {
+        self.toll("transactions")?;
+        self.inner.transactions()
+    }
+    fn transactions_of(&self, address: Address) -> SourceResult<Vec<TxRecord>> {
+        self.toll("transactions_of")?;
+        self.inner.transactions_of(address)
+    }
+    fn has_transactions(&self, address: Address) -> SourceResult<bool> {
+        self.toll("has_transactions")?;
+        self.inner.has_transactions(address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Chain;
+
+    #[test]
+    fn same_seed_injects_same_fault_sequence() {
+        let chain = Chain::new();
+        let cfg = FaultConfig {
+            failure_rate: 0.5,
+            seed: 42,
+            ..FaultConfig::default()
+        };
+        let ghost = Address::from_low_u64(0x1);
+        let run = |f: &FaultySource<&Chain>| -> Vec<bool> {
+            (0..32).map(|_| f.code_at(ghost).is_err()).collect()
+        };
+        let a = run(&FaultySource::new(&chain, cfg));
+        let b = run(&FaultySource::new(&chain, cfg));
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&e| e), "some faults injected");
+        assert!(a.iter().any(|&e| !e), "some reads survive");
+    }
+
+    #[test]
+    fn zero_rate_never_fails_and_errors_are_transient() {
+        let chain = Chain::new();
+        let clean = FaultySource::new(&chain, FaultConfig::default());
+        for _ in 0..16 {
+            assert!(clean.head_block().is_ok());
+        }
+        let dirty = FaultySource::new(
+            &chain,
+            FaultConfig {
+                failure_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        let err = dirty.head_block().unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(dirty.injected_faults(), 1);
+    }
+}

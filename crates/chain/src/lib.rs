@@ -7,17 +7,24 @@
 //! exactly that interface over an in-memory chain whose blocks are produced
 //! by executing real transactions through the `proxion-evm` interpreter.
 //!
-//! Two pieces matter to the analyses:
+//! The crate is split into a concrete node and a provider layer:
 //!
-//! * [`Chain`] — the node: executes transactions block by block, maintains
-//!   a per-slot change history so historical storage queries answer exactly
-//!   as a real archive node would, and counts `getStorageAt` API calls so
-//!   the paper's efficiency claim (≈26 calls per proxy, §6.1) can be
-//!   measured.
-//! * [`ForkDb`] — a copy-on-write overlay over the chain state. Proxion's
-//!   dynamic proxy detection *emulates* contracts with crafted call data;
-//!   running that emulation on a fork guarantees the probe never perturbs
-//!   the chain.
+//! * [`Chain`] — the node: executes transactions block by block and
+//!   maintains a per-slot change history so historical storage queries
+//!   answer exactly as a real archive node would.
+//! * [`ChainSource`] — the read API the analyses consume, as a trait, so
+//!   backends can be swapped and decorated. [`Chain`] implements it; so
+//!   does [`ChainSnapshot`] (a cheap copy-on-write read view at a fixed
+//!   height — writers never block readers), [`CachedSource`] (codehash
+//!   interning, negative cache for empty accounts, memoized storage
+//!   reads), [`FaultySource`] (deterministic latency/transient-error
+//!   injection), and [`CountingSource`] (the paper's "API calls per
+//!   proxy" accounting, ≈26 `getStorageAt` calls per proxy, §6.1).
+//! * [`ForkDb`] / [`SourceHost`] — copy-on-write emulation overlays.
+//!   Proxion's dynamic proxy detection *emulates* contracts with crafted
+//!   call data; running that emulation on an overlay guarantees the probe
+//!   never perturbs the chain. `ForkDb` forks the concrete state db;
+//!   `SourceHost` forks any [`ChainSource`].
 //!
 //! # Examples
 //!
@@ -33,10 +40,22 @@
 //! assert!(!chain.code_at(addr).is_empty());
 //! ```
 
+mod cached;
+mod counting;
+mod faulty;
 mod fork;
+mod lru;
 mod node;
+mod source;
 mod trace;
 
+pub use cached::{CachedSource, SourceCache, SourceCacheStats};
+pub use counting::{CountingSource, SourceCounts};
+pub use faulty::{FaultConfig, FaultySource};
 pub use fork::ForkDb;
-pub use node::{Chain, ChainError, DeploymentInfo, HeadWatch, InternalCall, TxRecord};
+pub use lru::{CacheStats, ShardedLru};
+pub use node::{
+    Chain, ChainError, ChainSnapshot, DeploymentInfo, HeadWatch, InternalCall, TxRecord,
+};
+pub use source::{env_for_head, ChainSource, SourceError, SourceHost, SourceResult};
 pub use trace::{TraceBuilder, TraceFrame, TxTrace};

@@ -1,0 +1,241 @@
+//! A concurrent sharded LRU map.
+//!
+//! Lives in `proxion-chain` because both layers of the stack memoize on
+//! content hashes: the analysis-result cache in `proxion-core` (proxy
+//! verdicts and collision reports keyed by bytecode hash) and the
+//! [`CachedSource`](crate::CachedSource) provider decorator (codehash
+//! interning and storage-read memoization). Keeping one implementation
+//! here lets the provider layer use it without a dependency cycle.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Counters of one cache table (monotonic except `entries`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent map sharded over independently locked LRU segments.
+///
+/// Lookups and insertions lock only the shard the key hashes to; recency
+/// is a per-shard logical tick bumped on every touch, and an insertion
+/// into a full shard evicts that shard's least recently used entry.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Shard<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    tick: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+const SHARDS: usize = 16;
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache holding roughly `capacity` entries in total.
+    pub fn new(capacity: usize) -> Self {
+        ShardedLru {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// The index of the shard `key` routes to (stable across calls; used
+    /// by tests to construct colliding key sets).
+    pub fn shard_index(&self, key: &K) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % SHARDS
+    }
+
+    /// Number of shards (fixed) — `shard_index` is always below this.
+    pub fn shard_count(&self) -> usize {
+        SHARDS
+    }
+
+    /// Per-shard entry bound: an insertion into a shard already holding
+    /// this many entries evicts that shard's least recently used one.
+    pub fn per_shard_capacity(&self) -> usize {
+        self.per_shard_capacity
+    }
+
+    /// Returns a clone of the cached value, refreshing its recency.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut shard = self.shard(key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, evicting the shard's least recently used entry if
+    /// the shard is at capacity. Concurrent computes of the same key are
+    /// allowed (last write wins) — the lock is never held while computing.
+    pub fn insert(&self, key: K, value: V) {
+        let mut shard = self.shard(&key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&key) {
+            // O(shard len) scan; shards stay small and insertions are rare
+            // next to the analysis work whose result is being stored.
+            let oldest = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(oldest) = oldest {
+                shard.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().entries.len()).sum(),
+        }
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().entries.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_miss_then_hit() {
+        let cache: ShardedLru<u64, String> = ShardedLru::new(64);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, "one".to_owned());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    /// The first `n` keys from `1..` that hash into the same shard as 0.
+    fn shard_mates<V: Clone>(cache: &ShardedLru<u64, V>, n: usize) -> Vec<u64> {
+        (1u64..)
+            .filter(|k| cache.shard_index(k) == cache.shard_index(&0))
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        // Capacity 16 over 16 shards → each shard holds exactly one entry,
+        // so two keys in the same shard force an eviction of the older.
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(16);
+        let second = shard_mates(&cache, 1)[0];
+
+        cache.insert(0, 10);
+        cache.insert(second, 20);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(cache.get(&0), None, "older entry evicted");
+        assert_eq!(cache.get(&second), Some(20));
+    }
+
+    #[test]
+    fn recency_refresh_protects_hot_entries() {
+        // 32 entries over 16 shards → 2 per shard. With three keys in one
+        // shard, refreshing the first makes the second the LRU victim.
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(32);
+        let mates = shard_mates(&cache, 2);
+        let (b, c) = (mates[0], mates[1]);
+        cache.insert(0, 1);
+        cache.insert(b, 2);
+        assert_eq!(cache.get(&0), Some(1)); // refresh key 0
+        cache.insert(c, 3); // shard full: evicts `b`, not 0
+        assert_eq!(cache.get(&0), Some(1));
+        assert_eq!(cache.get(&b), None);
+        assert_eq!(cache.get(&c), Some(3));
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(64);
+        cache.insert(1, 1);
+        assert_eq!(cache.get(&1), Some(1));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.get(&1), None);
+    }
+}

@@ -2,16 +2,16 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use proxion_evm::{
-    BlockEnv, CallKind, CallResult, Env, Evm, Host, Inspector, MemoryDb, Message,
-    RecordingInspector,
+    CallKind, CallResult, Env, Evm, Host, Inspector, MemoryDb, Message, RecordingInspector,
 };
-use proxion_primitives::{Address, DetRng, U256};
+use proxion_primitives::{Address, DetRng, B256, U256};
+
+use crate::source::{env_for_head, ChainSource, SourceResult};
 
 /// Error returned by chain operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,28 +147,101 @@ pub struct TxRecord {
     pub internal_calls: Vec<InternalCall>,
 }
 
-/// The simulated archive node: current state plus full history.
-///
-/// Every transaction occupies its own block (sufficient for the analyses,
-/// which only need a total order of state changes). Storage writes are
-/// recorded per block, so [`Chain::storage_at`] answers historical queries
-/// exactly like `eth_getStorageAt` against an archive node — and counts
-/// how many times it is called, which the performance evaluation (§6.1)
-/// reports as "API calls per proxy".
-pub struct Chain {
+/// The complete queryable state of the node: current accounts plus full
+/// history. Kept behind an `Arc` so [`Chain::snapshot`] is O(1): readers
+/// clone the `Arc`, and the first mutation after a snapshot pays one
+/// copy-on-write clone ([`Arc::make_mut`]) — writers never block readers.
+#[derive(Clone)]
+struct ChainState {
     db: MemoryDb,
-    head: u64,
     /// (address, slot) → change list [(block, new value)] in block order.
     storage_history: HashMap<(Address, U256), Vec<(u64, U256)>>,
     deployments: HashMap<Address, DeploymentInfo>,
     /// `(block, address)` for every deployment, in chain order — the feed
     /// incremental followers consume to analyze only what is new.
     deploy_log: Vec<(u64, Address)>,
-    head_watch: HeadWatch,
     txs: Vec<TxRecord>,
     /// Per-address indexes into `txs` (as target or internal participant).
     tx_index: HashMap<Address, Vec<usize>>,
-    api_calls: AtomicU64,
+}
+
+impl ChainState {
+    fn new() -> Self {
+        ChainState {
+            db: MemoryDb::new(),
+            storage_history: HashMap::new(),
+            deployments: HashMap::new(),
+            deploy_log: Vec::new(),
+            txs: Vec::new(),
+            tx_index: HashMap::new(),
+        }
+    }
+
+    // ---- query helpers shared by `Chain` and `ChainSnapshot` ----
+
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> U256 {
+        match self.storage_history.get(&(address, slot)) {
+            Some(history) => {
+                // Last change at height <= block.
+                match history.partition_point(|&(b, _)| b <= block) {
+                    0 => U256::ZERO,
+                    n => history[n - 1].1,
+                }
+            }
+            None => U256::ZERO,
+        }
+    }
+
+    fn deployed_between(&self, after: u64, up_to: u64) -> &[(u64, Address)] {
+        let lo = self.deploy_log.partition_point(|&(b, _)| b <= after);
+        let hi = self.deploy_log.partition_point(|&(b, _)| b <= up_to);
+        &self.deploy_log[lo..hi]
+    }
+
+    fn contracts(&self) -> Vec<Address> {
+        let mut all: Vec<(u64, Address)> = self
+            .deployments
+            .iter()
+            .map(|(&a, info)| (info.block, a))
+            .collect();
+        all.sort_unstable();
+        all.into_iter().map(|(_, a)| a).collect()
+    }
+
+    fn is_alive(&self, address: Address) -> bool {
+        self.deployments.contains_key(&address) && !self.db.is_destroyed(address)
+    }
+
+    fn transactions_of(&self, address: Address) -> Vec<&TxRecord> {
+        self.tx_index
+            .get(&address)
+            .map(|indexes| indexes.iter().map(|&i| &self.txs[i]).collect())
+            .unwrap_or_default()
+    }
+
+    fn has_transactions(&self, address: Address) -> bool {
+        self.tx_index.get(&address).is_some_and(|v| !v.is_empty())
+    }
+}
+
+/// The simulated archive node: current state plus full history.
+///
+/// Every transaction occupies its own block (sufficient for the analyses,
+/// which only need a total order of state changes). Storage writes are
+/// recorded per block, so [`Chain::storage_at`] answers historical queries
+/// exactly like `eth_getStorageAt` against an archive node. The paper's
+/// "API calls per proxy" accounting (§6.1) lives in the provider layer:
+/// wrap any [`ChainSource`] in a
+/// [`CountingSource`](crate::CountingSource).
+///
+/// The read side is exposed twice: as inherent methods (for owners of the
+/// concrete chain, e.g. dataset builders between mutations) and through the
+/// [`ChainSource`] trait (for the generic analyses). [`Chain::snapshot`]
+/// captures an immutable [`ChainSnapshot`] in O(1) for lock-free readers.
+pub struct Chain {
+    state: Arc<ChainState>,
+    head: u64,
+    head_watch: HeadWatch,
     rng: DetRng,
 }
 
@@ -185,15 +258,9 @@ impl Chain {
     /// Creates a chain with an empty genesis state.
     pub fn new() -> Self {
         Chain {
-            db: MemoryDb::new(),
+            state: Arc::new(ChainState::new()),
             head: Self::GENESIS,
-            storage_history: HashMap::new(),
-            deployments: HashMap::new(),
-            deploy_log: Vec::new(),
             head_watch: HeadWatch::new(Self::GENESIS),
-            txs: Vec::new(),
-            tx_index: HashMap::new(),
-            api_calls: AtomicU64::new(0),
             rng: DetRng::new(0x10ad),
         }
     }
@@ -205,26 +272,37 @@ impl Chain {
 
     /// The execution environment for the current head.
     pub fn env(&self) -> Env {
-        Env {
-            block: BlockEnv {
-                number: self.head,
-                timestamp: 1_438_269_973 + self.head * 12,
-                ..BlockEnv::default()
-            },
-            ..Env::default()
-        }
+        env_for_head(self.head)
     }
 
     /// Read-only access to the underlying state database (for forks).
     pub fn db(&self) -> &MemoryDb {
-        &self.db
+        &self.state.db
+    }
+
+    /// Captures an immutable read view of the chain at its current head.
+    ///
+    /// O(1): clones the state `Arc`. The snapshot keeps answering queries
+    /// for the captured height no matter how far the live chain advances;
+    /// the first mutation after a capture pays one copy-on-write clone of
+    /// the state, and writers never block snapshot readers.
+    pub fn snapshot(&self) -> ChainSnapshot {
+        ChainSnapshot {
+            state: Arc::clone(&self.state),
+            head: self.head,
+        }
+    }
+
+    fn state_mut(&mut self) -> &mut ChainState {
+        Arc::make_mut(&mut self.state)
     }
 
     /// Creates a fresh EOA funded with 2^96 wei.
     pub fn new_funded_account(&mut self) -> Address {
         let address = self.rng.next_address();
-        self.db.set_balance(address, U256::ONE << 96u32);
-        self.db.commit();
+        let state = self.state_mut();
+        state.db.set_balance(address, U256::ONE << 96u32);
+        state.db.commit();
         address
     }
 
@@ -241,34 +319,38 @@ impl Chain {
     }
 
     fn record_deployment(&mut self, block: u64, address: Address, deployer: Address) {
-        self.deployments
+        let state = self.state_mut();
+        state
+            .deployments
             .insert(address, DeploymentInfo { block, deployer });
-        self.deploy_log.push((block, address));
+        state.deploy_log.push((block, address));
     }
 
     fn record_state_changes(&mut self, block: u64) {
-        for (address, slot) in self.db.journal_storage_keys() {
-            let value = self.db.storage(address, slot);
-            let history = self.storage_history.entry((address, slot)).or_default();
+        let state = self.state_mut();
+        for (address, slot) in state.db.journal_storage_keys() {
+            let value = state.db.storage(address, slot);
+            let history = state.storage_history.entry((address, slot)).or_default();
             if history.last().map(|&(_, v)| v) != Some(value) {
                 history.push((block, value));
             }
         }
-        self.db.commit();
+        state.db.commit();
     }
 
     fn record_tx(&mut self, record: TxRecord) {
-        let index = self.txs.len();
-        self.tx_index.entry(record.to).or_default().push(index);
+        let state = self.state_mut();
+        let index = state.txs.len();
+        state.tx_index.entry(record.to).or_default().push(index);
         for call in &record.internal_calls {
             for participant in [call.from, call.code_address] {
-                let entries = self.tx_index.entry(participant).or_default();
+                let entries = state.tx_index.entry(participant).or_default();
                 if entries.last() != Some(&index) {
                     entries.push(index);
                 }
             }
         }
-        self.txs.push(record);
+        state.txs.push(record);
     }
 
     /// Deploys a contract by executing its init code in a new block.
@@ -282,12 +364,14 @@ impl Chain {
         let env = self.env();
         let mut inspector = RecordingInspector::new();
         let result = {
-            let mut evm = Evm::with_inspector(&mut self.db, env, &mut inspector);
+            let state = self.state_mut();
+            let mut evm = Evm::with_inspector(&mut state.db, env, &mut inspector);
             evm.call(Message::create(deployer, init_code, U256::ZERO))
         };
         if !result.is_success() {
-            self.db.rollback(proxion_evm::Snapshot::new(0));
-            self.db.commit();
+            let state = self.state_mut();
+            state.db.rollback(proxion_evm::Snapshot::new(0));
+            state.db.commit();
             self.head -= 1;
             return Err(ChainError::DeploymentFailed(result.halt.to_string()));
         }
@@ -312,13 +396,14 @@ impl Chain {
         address: Address,
         runtime_code: Vec<u8>,
     ) -> Result<(), ChainError> {
-        if !self.db.code(address).is_empty() {
+        if !self.state.db.code(address).is_empty() {
             return Err(ChainError::AddressOccupied(address));
         }
         let block = self.begin_block();
-        self.db.set_code(address, runtime_code);
-        self.db.inc_nonce(address);
-        self.db.commit();
+        let state = self.state_mut();
+        state.db.set_code(address, runtime_code);
+        state.db.inc_nonce(address);
+        state.db.commit();
         self.record_deployment(block, address, deployer);
         self.commit_block();
         Ok(())
@@ -343,7 +428,7 @@ impl Chain {
     /// Writes a storage slot directly (dataset setup), recording history.
     pub fn set_storage(&mut self, address: Address, slot: U256, value: U256) {
         let block = self.begin_block();
-        self.db.set_storage(address, slot, value);
+        self.state_mut().db.set_storage(address, slot, value);
         self.record_state_changes(block);
         self.commit_block();
     }
@@ -361,7 +446,8 @@ impl Chain {
         let mut inspector = RecordingInspector::new();
         let input_selector = selector_of(&input);
         let result = {
-            let mut evm = Evm::with_inspector(&mut self.db, env, &mut inspector);
+            let state = self.state_mut();
+            let mut evm = Evm::with_inspector(&mut state.db, env, &mut inspector);
             evm.call(Message::eoa_call(from, to, input).with_value(value))
         };
         self.finish_tx(block, from, to, input_selector, &result, &inspector);
@@ -382,7 +468,8 @@ impl Chain {
         let env = self.env();
         let input_selector = selector_of(&input);
         let result = {
-            let mut evm = Evm::with_inspector(&mut self.db, env, inspector);
+            let state = self.state_mut();
+            let mut evm = Evm::with_inspector(&mut state.db, env, inspector);
             evm.call(Message::eoa_call(from, to, input))
         };
         let record = TxRecord {
@@ -433,44 +520,23 @@ impl Chain {
 
     /// Runtime bytecode at the head block.
     pub fn code_at(&self, address: Address) -> Arc<Vec<u8>> {
-        self.db.code(address)
+        self.state.db.code(address)
     }
 
     /// `eth_getStorageAt(address, slot, block)`: the slot value as of the
-    /// *end* of `block`. Every call increments the API-call counter.
+    /// *end* of `block`.
     pub fn storage_at(&self, address: Address, slot: U256, block: u64) -> U256 {
-        self.api_calls.fetch_add(1, Ordering::Relaxed);
-        match self.storage_history.get(&(address, slot)) {
-            Some(history) => {
-                // Last change at height <= block.
-                match history.partition_point(|&(b, _)| b <= block) {
-                    0 => U256::ZERO,
-                    n => history[n - 1].1,
-                }
-            }
-            None => U256::ZERO,
-        }
+        self.state.storage_at(address, slot, block)
     }
 
-    /// Current (head) value of a storage slot, without counting as an API
-    /// call.
+    /// Current (head) value of a storage slot.
     pub fn storage_latest(&self, address: Address, slot: U256) -> U256 {
-        self.db.storage(address, slot)
-    }
-
-    /// Number of `storage_at` calls made so far.
-    pub fn api_call_count(&self) -> u64 {
-        self.api_calls.load(Ordering::Relaxed)
-    }
-
-    /// Resets the API-call counter (between experiments).
-    pub fn reset_api_calls(&self) {
-        self.api_calls.store(0, Ordering::Relaxed);
+        self.state.db.storage(address, slot)
     }
 
     /// Deployment metadata for a contract.
     pub fn deployment(&self, address: Address) -> Option<&DeploymentInfo> {
-        self.deployments.get(&address)
+        self.state.deployments.get(&address)
     }
 
     /// A clonable handle for waiting on head-block advancement.
@@ -482,51 +548,41 @@ impl Chain {
     /// the incremental feed a block follower consumes after waking from
     /// [`HeadWatch::wait_past`].
     pub fn deployed_between(&self, after: u64, up_to: u64) -> &[(u64, Address)] {
-        let lo = self.deploy_log.partition_point(|&(b, _)| b <= after);
-        let hi = self.deploy_log.partition_point(|&(b, _)| b <= up_to);
-        &self.deploy_log[lo..hi]
+        self.state.deployed_between(after, up_to)
     }
 
     /// All contract addresses ever deployed, in deployment order.
     pub fn contracts(&self) -> Vec<Address> {
-        let mut all: Vec<(u64, Address)> = self
-            .deployments
-            .iter()
-            .map(|(&a, info)| (info.block, a))
-            .collect();
-        all.sort_unstable();
-        all.into_iter().map(|(_, a)| a).collect()
+        self.state.contracts()
     }
 
     /// Whether the contract is alive (deployed and not destroyed).
     pub fn is_alive(&self, address: Address) -> bool {
-        self.deployments.contains_key(&address) && !self.db.is_destroyed(address)
+        self.state.is_alive(address)
     }
 
     /// All recorded transactions.
     pub fn transactions(&self) -> &[TxRecord] {
-        &self.txs
+        &self.state.txs
     }
 
     /// The transactions a contract participated in (as external target or
     /// internal caller/callee).
     pub fn transactions_of(&self, address: Address) -> Vec<&TxRecord> {
-        self.tx_index
-            .get(&address)
-            .map(|indexes| indexes.iter().map(|&i| &self.txs[i]).collect())
-            .unwrap_or_default()
+        self.state.transactions_of(address)
     }
 
     /// Whether the contract appears in any transaction — the availability
     /// criterion that transaction-replay tools (CRUSH, Salehi et al.)
     /// require and hidden contracts lack.
     pub fn has_transactions(&self, address: Address) -> bool {
-        self.tx_index.get(&address).is_some_and(|v| !v.is_empty())
+        self.state.has_transactions(address)
     }
 
     /// The full storage change history of one slot: `(block, value)` pairs.
     pub fn storage_history_of(&self, address: Address, slot: U256) -> Vec<(u64, U256)> {
-        self.storage_history
+        self.state
+            .storage_history
             .get(&(address, slot))
             .cloned()
             .unwrap_or_default()
@@ -547,15 +603,154 @@ impl fmt::Debug for Chain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Chain")
             .field("head", &self.head)
-            .field("contracts", &self.deployments.len())
-            .field("txs", &self.txs.len())
+            .field("contracts", &self.state.deployments.len())
+            .field("txs", &self.state.txs.len())
             .finish()
+    }
+}
+
+impl ChainSource for Chain {
+    fn head_block(&self) -> SourceResult<u64> {
+        Ok(self.head)
+    }
+    fn code_at(&self, address: Address) -> SourceResult<Arc<Vec<u8>>> {
+        Ok(Chain::code_at(self, address))
+    }
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> SourceResult<U256> {
+        Ok(self.state.storage_at(address, slot, block))
+    }
+    fn storage_latest(&self, address: Address, slot: U256) -> SourceResult<U256> {
+        Ok(Chain::storage_latest(self, address, slot))
+    }
+    fn balance_of(&self, address: Address) -> SourceResult<U256> {
+        Ok(self.state.db.balance(address))
+    }
+    fn nonce_of(&self, address: Address) -> SourceResult<u64> {
+        Ok(self.state.db.nonce(address))
+    }
+    fn block_hash(&self, number: u64) -> SourceResult<B256> {
+        Ok(self.state.db.block_hash(number))
+    }
+    fn deployment(&self, address: Address) -> SourceResult<Option<DeploymentInfo>> {
+        Ok(self.state.deployments.get(&address).cloned())
+    }
+    fn deployed_between(&self, after: u64, up_to: u64) -> SourceResult<Vec<(u64, Address)>> {
+        Ok(self.state.deployed_between(after, up_to).to_vec())
+    }
+    fn contracts(&self) -> SourceResult<Vec<Address>> {
+        Ok(self.state.contracts())
+    }
+    fn is_alive(&self, address: Address) -> SourceResult<bool> {
+        Ok(self.state.is_alive(address))
+    }
+    fn transactions(&self) -> SourceResult<Vec<TxRecord>> {
+        Ok(self.state.txs.clone())
+    }
+    fn transactions_of(&self, address: Address) -> SourceResult<Vec<TxRecord>> {
+        Ok(self
+            .state
+            .transactions_of(address)
+            .into_iter()
+            .cloned()
+            .collect())
+    }
+    fn has_transactions(&self, address: Address) -> SourceResult<bool> {
+        Ok(self.state.has_transactions(address))
+    }
+}
+
+/// An immutable read view of a [`Chain`] at a fixed block height.
+///
+/// Captured in O(1) by [`Chain::snapshot`]; shares the chain's state via
+/// copy-on-write, so holding a snapshot never blocks the writer (and the
+/// writer never mutates what a snapshot observes). Queries about heights
+/// past the captured head are answered as of the captured head, exactly
+/// like asking an archive node about the future.
+#[derive(Clone)]
+pub struct ChainSnapshot {
+    state: Arc<ChainState>,
+    head: u64,
+}
+
+impl ChainSnapshot {
+    /// The block height this snapshot was captured at.
+    pub fn head_block(&self) -> u64 {
+        self.head
+    }
+
+    /// Read-only access to the captured state database (for forks).
+    pub fn db(&self) -> &MemoryDb {
+        &self.state.db
+    }
+}
+
+impl fmt::Debug for ChainSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChainSnapshot")
+            .field("head", &self.head)
+            .field("contracts", &self.state.deployments.len())
+            .finish()
+    }
+}
+
+impl ChainSource for ChainSnapshot {
+    fn head_block(&self) -> SourceResult<u64> {
+        Ok(self.head)
+    }
+    fn code_at(&self, address: Address) -> SourceResult<Arc<Vec<u8>>> {
+        Ok(self.state.db.code(address))
+    }
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> SourceResult<U256> {
+        // Clamp to the captured height: the snapshot knows nothing later.
+        Ok(self.state.storage_at(address, slot, block.min(self.head)))
+    }
+    fn storage_latest(&self, address: Address, slot: U256) -> SourceResult<U256> {
+        Ok(self.state.db.storage(address, slot))
+    }
+    fn balance_of(&self, address: Address) -> SourceResult<U256> {
+        Ok(self.state.db.balance(address))
+    }
+    fn nonce_of(&self, address: Address) -> SourceResult<u64> {
+        Ok(self.state.db.nonce(address))
+    }
+    fn block_hash(&self, number: u64) -> SourceResult<B256> {
+        Ok(self.state.db.block_hash(number))
+    }
+    fn deployment(&self, address: Address) -> SourceResult<Option<DeploymentInfo>> {
+        Ok(self.state.deployments.get(&address).cloned())
+    }
+    fn deployed_between(&self, after: u64, up_to: u64) -> SourceResult<Vec<(u64, Address)>> {
+        Ok(self
+            .state
+            .deployed_between(after, up_to.min(self.head))
+            .to_vec())
+    }
+    fn contracts(&self) -> SourceResult<Vec<Address>> {
+        Ok(self.state.contracts())
+    }
+    fn is_alive(&self, address: Address) -> SourceResult<bool> {
+        Ok(self.state.is_alive(address))
+    }
+    fn transactions(&self) -> SourceResult<Vec<TxRecord>> {
+        Ok(self.state.txs.clone())
+    }
+    fn transactions_of(&self, address: Address) -> SourceResult<Vec<TxRecord>> {
+        Ok(self
+            .state
+            .transactions_of(address)
+            .into_iter()
+            .cloned()
+            .collect())
+    }
+    fn has_transactions(&self, address: Address) -> SourceResult<bool> {
+        Ok(self.state.has_transactions(address))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CountingSource;
     use proxion_asm::{opcode as op, Assembler};
 
     /// Init code that deploys `runtime` via CODECOPY.
@@ -687,14 +882,23 @@ mod tests {
         chain.set_storage(a, slot, U256::from(2u64));
         let b2 = chain.head_block();
 
-        assert_eq!(chain.storage_at(a, slot, 0), U256::ZERO);
-        assert_eq!(chain.storage_at(a, slot, b1), U256::from(1u64));
-        assert_eq!(chain.storage_at(a, slot, b2 - 1), U256::from(1u64));
-        assert_eq!(chain.storage_at(a, slot, b2), U256::from(2u64));
-        assert_eq!(chain.storage_at(a, slot, b2 + 100), U256::from(2u64));
-        assert_eq!(chain.api_call_count(), 5);
-        chain.reset_api_calls();
-        assert_eq!(chain.api_call_count(), 0);
+        // API-call accounting is a provider-layer concern now: route the
+        // historical queries through a counting decorator.
+        let counted = CountingSource::new(&chain);
+        assert_eq!(counted.storage_at(a, slot, 0).unwrap(), U256::ZERO);
+        assert_eq!(counted.storage_at(a, slot, b1).unwrap(), U256::from(1u64));
+        assert_eq!(
+            counted.storage_at(a, slot, b2 - 1).unwrap(),
+            U256::from(1u64)
+        );
+        assert_eq!(counted.storage_at(a, slot, b2).unwrap(), U256::from(2u64));
+        assert_eq!(
+            counted.storage_at(a, slot, b2 + 100).unwrap(),
+            U256::from(2u64)
+        );
+        assert_eq!(counted.counts().storage_at, 5);
+        counted.reset();
+        assert_eq!(counted.counts().storage_at, 0);
         assert_eq!(chain.storage_history_of(a, slot).len(), 2);
     }
 
@@ -794,5 +998,54 @@ mod tests {
         chain.transact(me, a, vec![], U256::ZERO);
         assert_eq!(chain.head_block(), start + 3);
         assert_eq!(chain.transactions().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+        chain.set_storage(a, U256::ZERO, U256::from(1u64));
+
+        let snap = chain.snapshot();
+        let frozen_head = snap.head_block();
+
+        // Advance the live chain well past the capture point.
+        chain.set_storage(a, U256::ZERO, U256::from(2u64));
+        let b = chain.install_new(me, vec![op::STOP]).unwrap();
+
+        // The snapshot still answers as of its captured head.
+        assert_eq!(snap.head_block(), frozen_head);
+        assert_eq!(
+            snap.storage_latest(a, U256::ZERO).unwrap(),
+            U256::from(1u64)
+        );
+        // A query "past" the snapshot head clamps to the captured state.
+        assert_eq!(
+            snap.storage_at(a, U256::ZERO, frozen_head + 100).unwrap(),
+            U256::from(1u64)
+        );
+        assert!(snap.code_at(b).unwrap().is_empty(), "b postdates snapshot");
+        assert!(!snap.contracts().unwrap().contains(&b));
+
+        // The live chain sees the new state.
+        assert_eq!(chain.storage_latest(a, U256::ZERO), U256::from(2u64));
+        assert!(chain.contracts().contains(&b));
+    }
+
+    #[test]
+    fn snapshot_capture_is_cheap_and_writers_proceed() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+
+        // Hold many snapshots; the writer still advances (copy-on-write
+        // clones at most once per outstanding snapshot epoch).
+        let snaps: Vec<ChainSnapshot> = (0..8).map(|_| chain.snapshot()).collect();
+        chain.set_storage(a, U256::ZERO, U256::from(7u64));
+        for snap in &snaps {
+            assert_eq!(snap.storage_latest(a, U256::ZERO).unwrap(), U256::ZERO);
+        }
+        assert_eq!(chain.storage_latest(a, U256::ZERO), U256::from(7u64));
     }
 }

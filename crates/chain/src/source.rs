@@ -1,0 +1,372 @@
+//! The provider layer: [`ChainSource`], the narrow read interface every
+//! analysis consumes, and [`SourceHost`], the adapter that lets the EVM
+//! emulate against any source.
+//!
+//! Proxion's node dependency is small — runtime bytecode, historical
+//! `getStorageAt`, deployment metadata, and transaction records (paper §4,
+//! Algorithm 1). Everything on the read side (`ProxyDetector`,
+//! `LogicResolver`, the collision detectors, the baselines, the service)
+//! is generic over this trait, so the in-memory [`Chain`](crate::Chain),
+//! a lock-free [`ChainSnapshot`](crate::ChainSnapshot), a caching
+//! decorator, or a fault-injected backend are interchangeable. Every
+//! method returns a [`SourceResult`] because real backends (archive RPC,
+//! remote indexes) fail; the in-memory implementations are infallible and
+//! always return `Ok`.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use proxion_evm::{BlockEnv, Env, Host, Snapshot};
+use proxion_primitives::{keccak256, Address, B256, U256};
+
+use crate::node::{DeploymentInfo, TxRecord};
+
+/// A typed failure of a chain backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// A transient failure (timeout, rate limit, connection reset) that a
+    /// retry with backoff may resolve.
+    Transient(String),
+    /// A permanent failure (malformed response, unsupported query) that
+    /// retrying cannot fix.
+    Permanent(String),
+}
+
+impl SourceError {
+    /// Whether a retry with backoff is worthwhile.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SourceError::Transient(_))
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Transient(m) => write!(f, "transient source error: {m}"),
+            SourceError::Permanent(m) => write!(f, "permanent source error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Result alias for [`ChainSource`] reads.
+pub type SourceResult<T> = Result<T, SourceError>;
+
+/// The read API Proxion consumes from an (archive) node, as a trait so
+/// backends can be swapped and decorated.
+///
+/// The mutation API stays on the concrete [`Chain`](crate::Chain): the
+/// analyses never write, and keeping writers concrete is what makes the
+/// cheap copy-on-write [`ChainSnapshot`](crate::ChainSnapshot) sound.
+pub trait ChainSource: Sync {
+    /// Highest committed block height this source answers for.
+    fn head_block(&self) -> SourceResult<u64>;
+
+    /// Runtime bytecode at the source's head block.
+    fn code_at(&self, address: Address) -> SourceResult<Arc<Vec<u8>>>;
+
+    /// `keccak256` of the runtime bytecode at the head block.
+    fn code_hash_at(&self, address: Address) -> SourceResult<B256> {
+        Ok(keccak256(self.code_at(address)?.as_slice()))
+    }
+
+    /// `eth_getStorageAt(address, slot, block)`: the slot value as of the
+    /// *end* of `block`.
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> SourceResult<U256>;
+
+    /// Current (head) value of a storage slot.
+    fn storage_latest(&self, address: Address, slot: U256) -> SourceResult<U256>;
+
+    /// Account balance at the head block (consumed by EVM emulation).
+    fn balance_of(&self, address: Address) -> SourceResult<U256>;
+
+    /// Account nonce at the head block (consumed by EVM emulation).
+    fn nonce_of(&self, address: Address) -> SourceResult<u64>;
+
+    /// Hash for the `BLOCKHASH` opcode during emulation.
+    fn block_hash(&self, number: u64) -> SourceResult<B256>;
+
+    /// Deployment metadata for a contract.
+    fn deployment(&self, address: Address) -> SourceResult<Option<DeploymentInfo>>;
+
+    /// Deployments with block height in `(after, up_to]`, in chain order.
+    fn deployed_between(&self, after: u64, up_to: u64) -> SourceResult<Vec<(u64, Address)>>;
+
+    /// All contract addresses ever deployed, in deployment order.
+    fn contracts(&self) -> SourceResult<Vec<Address>>;
+
+    /// Whether the contract is alive (deployed and not destroyed).
+    fn is_alive(&self, address: Address) -> SourceResult<bool>;
+
+    /// All recorded transactions.
+    fn transactions(&self) -> SourceResult<Vec<TxRecord>>;
+
+    /// The transactions a contract participated in.
+    fn transactions_of(&self, address: Address) -> SourceResult<Vec<TxRecord>>;
+
+    /// Whether the contract appears in any transaction — the availability
+    /// criterion trace-replay tools require and hidden contracts lack.
+    fn has_transactions(&self, address: Address) -> SourceResult<bool> {
+        Ok(!self.transactions_of(address)?.is_empty())
+    }
+
+    /// The execution environment for this source's head block.
+    fn env(&self) -> SourceResult<Env> {
+        Ok(env_for_head(self.head_block()?))
+    }
+}
+
+/// The canonical execution environment for a head height (block number and
+/// the 12-second mainnet cadence from the genesis timestamp).
+pub fn env_for_head(head: u64) -> Env {
+    Env {
+        block: BlockEnv {
+            number: head,
+            timestamp: 1_438_269_973 + head * 12,
+            ..BlockEnv::default()
+        },
+        ..Env::default()
+    }
+}
+
+/// Forwarding impl so generic analyses compose over references.
+impl<S: ChainSource + ?Sized> ChainSource for &S {
+    fn head_block(&self) -> SourceResult<u64> {
+        (**self).head_block()
+    }
+    fn code_at(&self, address: Address) -> SourceResult<Arc<Vec<u8>>> {
+        (**self).code_at(address)
+    }
+    fn code_hash_at(&self, address: Address) -> SourceResult<B256> {
+        (**self).code_hash_at(address)
+    }
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> SourceResult<U256> {
+        (**self).storage_at(address, slot, block)
+    }
+    fn storage_latest(&self, address: Address, slot: U256) -> SourceResult<U256> {
+        (**self).storage_latest(address, slot)
+    }
+    fn balance_of(&self, address: Address) -> SourceResult<U256> {
+        (**self).balance_of(address)
+    }
+    fn nonce_of(&self, address: Address) -> SourceResult<u64> {
+        (**self).nonce_of(address)
+    }
+    fn block_hash(&self, number: u64) -> SourceResult<B256> {
+        (**self).block_hash(number)
+    }
+    fn deployment(&self, address: Address) -> SourceResult<Option<DeploymentInfo>> {
+        (**self).deployment(address)
+    }
+    fn deployed_between(&self, after: u64, up_to: u64) -> SourceResult<Vec<(u64, Address)>> {
+        (**self).deployed_between(after, up_to)
+    }
+    fn contracts(&self) -> SourceResult<Vec<Address>> {
+        (**self).contracts()
+    }
+    fn is_alive(&self, address: Address) -> SourceResult<bool> {
+        (**self).is_alive(address)
+    }
+    fn transactions(&self) -> SourceResult<Vec<TxRecord>> {
+        (**self).transactions()
+    }
+    fn transactions_of(&self, address: Address) -> SourceResult<Vec<TxRecord>> {
+        (**self).transactions_of(address)
+    }
+    fn has_transactions(&self, address: Address) -> SourceResult<bool> {
+        (**self).has_transactions(address)
+    }
+    fn env(&self) -> SourceResult<Env> {
+        (**self).env()
+    }
+}
+
+/// A journaled copy-on-write [`Host`] over any [`ChainSource`], the
+/// emulation twin of [`ForkDb`](crate::ForkDb).
+///
+/// The EVM's [`Host`] interface is infallible — the interpreter cannot
+/// surface I/O errors mid-execution — so a failed source read is recorded
+/// as a *poison* (first error wins) and answered with the empty default.
+/// Callers must check [`SourceHost::take_error`] after the execution and
+/// discard the result if a read failed; the proxy detector turns a
+/// poisoned run into a typed `SourceError` outcome instead of a verdict.
+pub struct SourceHost<'a, S: ?Sized> {
+    source: &'a S,
+    storage: HashMap<(Address, U256), U256>,
+    balances: HashMap<Address, U256>,
+    nonces: HashMap<Address, u64>,
+    codes: HashMap<Address, Arc<Vec<u8>>>,
+    destroyed: HashSet<Address>,
+    journal: Vec<JournalEntry>,
+    error: RefCell<Option<SourceError>>,
+}
+
+enum JournalEntry {
+    Storage(Address, U256, Option<U256>),
+    Balance(Address, Option<U256>),
+    Nonce(Address, Option<u64>),
+    Code(Address, Option<Arc<Vec<u8>>>),
+    Destroyed(Address, bool),
+}
+
+impl<'a, S: ChainSource + ?Sized> SourceHost<'a, S> {
+    /// Creates an overlay host over `source`.
+    pub fn new(source: &'a S) -> Self {
+        SourceHost {
+            source,
+            storage: HashMap::new(),
+            balances: HashMap::new(),
+            nonces: HashMap::new(),
+            codes: HashMap::new(),
+            destroyed: HashSet::new(),
+            journal: Vec::new(),
+            error: RefCell::new(None),
+        }
+    }
+
+    /// The first source error observed during execution, if any. Taking it
+    /// resets the poison.
+    pub fn take_error(&self) -> Option<SourceError> {
+        self.error.borrow_mut().take()
+    }
+
+    fn read<T: Default>(&self, result: SourceResult<T>) -> T {
+        match result {
+            Ok(value) => value,
+            Err(error) => {
+                let mut slot = self.error.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(error);
+                }
+                T::default()
+            }
+        }
+    }
+}
+
+impl<S: ChainSource + ?Sized> Host for SourceHost<'_, S> {
+    fn exists(&self, address: Address) -> bool {
+        !self.balance(address).is_zero()
+            || self.nonce(address) > 0
+            || !self.code(address).is_empty()
+    }
+
+    fn balance(&self, address: Address) -> U256 {
+        self.balances
+            .get(&address)
+            .copied()
+            .unwrap_or_else(|| self.read(self.source.balance_of(address)))
+    }
+
+    fn nonce(&self, address: Address) -> u64 {
+        self.nonces
+            .get(&address)
+            .copied()
+            .unwrap_or_else(|| self.read(self.source.nonce_of(address)))
+    }
+
+    fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.codes
+            .get(&address)
+            .cloned()
+            .unwrap_or_else(|| self.read(self.source.code_at(address)))
+    }
+
+    fn code_hash(&self, address: Address) -> B256 {
+        match self.codes.get(&address) {
+            Some(code) => keccak256(code.as_slice()),
+            None => self.read(self.source.code_hash_at(address)),
+        }
+    }
+
+    fn storage(&self, address: Address, slot: U256) -> U256 {
+        self.storage
+            .get(&(address, slot))
+            .copied()
+            .unwrap_or_else(|| self.read(self.source.storage_latest(address, slot)))
+    }
+
+    fn set_storage(&mut self, address: Address, slot: U256, value: U256) {
+        let prev = self.storage.insert((address, slot), value);
+        self.journal
+            .push(JournalEntry::Storage(address, slot, prev));
+    }
+
+    fn set_balance(&mut self, address: Address, balance: U256) {
+        let prev = self.balances.insert(address, balance);
+        self.journal.push(JournalEntry::Balance(address, prev));
+    }
+
+    fn inc_nonce(&mut self, address: Address) -> u64 {
+        let current = self.nonce(address);
+        let prev = self.nonces.insert(address, current + 1);
+        self.journal.push(JournalEntry::Nonce(address, prev));
+        current
+    }
+
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        let prev = self.codes.insert(address, Arc::new(code));
+        self.journal.push(JournalEntry::Code(address, prev));
+    }
+
+    fn mark_destroyed(&mut self, address: Address) {
+        let was = !self.destroyed.insert(address);
+        self.journal.push(JournalEntry::Destroyed(address, was));
+    }
+
+    fn block_hash(&self, number: u64) -> B256 {
+        self.read(self.source.block_hash(number))
+    }
+
+    fn snapshot(&mut self) -> Snapshot {
+        Snapshot::new(self.journal.len())
+    }
+
+    fn rollback(&mut self, snapshot: Snapshot) {
+        let target = snapshot.index();
+        while self.journal.len() > target {
+            match self.journal.pop().expect("length checked") {
+                JournalEntry::Storage(a, s, prev) => match prev {
+                    Some(v) => {
+                        self.storage.insert((a, s), v);
+                    }
+                    None => {
+                        self.storage.remove(&(a, s));
+                    }
+                },
+                JournalEntry::Balance(a, prev) => match prev {
+                    Some(v) => {
+                        self.balances.insert(a, v);
+                    }
+                    None => {
+                        self.balances.remove(&a);
+                    }
+                },
+                JournalEntry::Nonce(a, prev) => match prev {
+                    Some(v) => {
+                        self.nonces.insert(a, v);
+                    }
+                    None => {
+                        self.nonces.remove(&a);
+                    }
+                },
+                JournalEntry::Code(a, prev) => match prev {
+                    Some(v) => {
+                        self.codes.insert(a, v);
+                    }
+                    None => {
+                        self.codes.remove(&a);
+                    }
+                },
+                JournalEntry::Destroyed(a, was) => {
+                    if !was {
+                        self.destroyed.remove(&a);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -233,8 +233,10 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         resolve_history: true,
         check_collisions: true,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     })
-    .analyze_all(&landscape.chain, &landscape.etherscan);
+    .analyze_all(&landscape.chain, &landscape.etherscan)
+    .expect("in-memory chain reads are infallible");
     if as_json {
         let standards = report.standard_distribution();
         let standard_members: Vec<(&str, JsonValue)> = [
@@ -261,6 +263,7 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
             ),
             ("upgraded_proxies", report.upgraded_proxy_count().into()),
             ("upgrade_events", report.total_upgrade_events().into()),
+            ("source_errors", report.source_error_count().into()),
             (
                 "reports",
                 json::parse(&json::to_json(&report.reports)).expect("valid JSON"),
@@ -328,11 +331,13 @@ pub fn accuracy(args: &[String]) -> Result<(), String> {
             .unwrap_or(false);
         let crush_st = crush
             .storage_collisions(&corpus.chain, pair.proxy, pair.logic)
+            .expect("in-memory chain reads are infallible")
             .has_exploitable();
         let is_proxy = detector.check(&corpus.chain, pair.proxy).is_proxy();
         let px_st = is_proxy
             && proxion_st
                 .check_pair(&corpus.chain, pair.proxy, pair.logic)
+                .expect("in-memory chain reads are infallible")
                 .has_exploitable();
         let us_fn = uschunt
             .function_collisions(&corpus.etherscan, pair.proxy, pair.logic)
@@ -342,6 +347,7 @@ pub fn accuracy(args: &[String]) -> Result<(), String> {
         let px_fn = is_proxy
             && proxion_fn
                 .check_pair(&corpus.chain, &corpus.etherscan, pair.proxy, pair.logic)
+                .expect("in-memory chain reads are infallible")
                 .has_collisions();
         for (row, (truth, flagged)) in rows.iter_mut().zip([
             (pair.truth_storage, us_st),
@@ -404,12 +410,9 @@ fn demo_honeypot() -> Result<(), String> {
         "proxy detection: {}",
         if check.is_proxy() { "PROXY" } else { "no" }
     );
-    let report = FunctionCollisionDetector::new().check_pair(
-        &chain,
-        &proxion_etherscan::Etherscan::new(),
-        proxy,
-        logic,
-    );
+    let report = FunctionCollisionDetector::new()
+        .check_pair(&chain, &proxion_etherscan::Etherscan::new(), proxy, logic)
+        .expect("in-memory chain reads are infallible");
     for collision in &report.collisions {
         println!("FUNCTION COLLISION: {collision}");
     }
@@ -436,7 +439,9 @@ fn demo_audius() -> Result<(), String> {
     chain.set_storage(proxy, U256::ZERO, U256::from(Address::from(admin)));
     chain.set_storage(proxy, U256::ONE, U256::from(logic));
 
-    let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+    let report = StorageCollisionDetector::new()
+        .check_pair(&chain, proxy, logic)
+        .expect("in-memory chain reads are infallible");
     for collision in &report.collisions {
         println!("STORAGE COLLISION: {collision}");
     }
@@ -537,6 +542,7 @@ fn launch_server(
         resolve_history: true,
         check_collisions: true,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
     if opts.telemetry {
         pipeline = pipeline.with_telemetry(Arc::new(proxion_telemetry::Telemetry::new(
@@ -550,6 +556,7 @@ fn launch_server(
             workers: opts.workers,
             queue_capacity: opts.queue,
             follow_chain: opts.follow,
+            ..ServerConfig::default()
         },
         Arc::clone(&chain),
         etherscan,

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use proxion_chain::{Chain, ForkDb};
+use proxion_chain::{ChainSource, SourceHost, SourceResult};
 use proxion_disasm::Disassembly;
 use proxion_evm::{Evm, Message, Origin, RecordingInspector};
 use proxion_primitives::{Address, U256};
@@ -67,9 +67,17 @@ impl DiamondDetector {
 
     /// Harvests the 4-byte selectors a contract has historically been
     /// called with (external transactions only).
-    pub fn harvest_selectors(&self, chain: &Chain, address: Address) -> BTreeSet<[u8; 4]> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure of the transaction-history query.
+    pub fn harvest_selectors<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+    ) -> SourceResult<BTreeSet<[u8; 4]>> {
         let mut selectors = BTreeSet::new();
-        for tx in chain.transactions_of(address) {
+        for tx in chain.transactions_of(address)? {
             if tx.to == address && tx.success {
                 // The chain keeps inputs only implicitly (via storage
                 // history); selectors are harvested from the recorded
@@ -79,44 +87,56 @@ impl DiamondDetector {
                 }
             }
         }
-        selectors
+        Ok(selectors)
     }
 
     /// Runs the extended check.
-    pub fn check(&self, chain: &Chain, address: Address) -> DiamondCheck {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend failure.
+    pub fn check<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+    ) -> SourceResult<DiamondCheck> {
         // If the ordinary two-step check already accepts the contract,
         // it is not a diamond-specific case.
-        let base = self.base.check(chain, address);
+        let base = self.base.try_check(chain, address)?;
         match &base {
-            ProxyCheck::Proxy { .. } => return DiamondCheck::OrdinaryProxy(base),
+            ProxyCheck::Proxy { .. } => return Ok(DiamondCheck::OrdinaryProxy(base)),
             ProxyCheck::NotProxy(NotProxyReason::NoCode)
             | ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall) => {
-                return DiamondCheck::NotDiamond
+                return Ok(DiamondCheck::NotDiamond)
             }
             ProxyCheck::NotProxy(_) => {}
         }
-        let selectors = self.harvest_selectors(chain, address);
+        let selectors = self.harvest_selectors(chain, address)?;
         if selectors.is_empty() {
-            return DiamondCheck::NoHistory;
+            return Ok(DiamondCheck::NoHistory);
         }
-        let code = chain.code_at(address);
+        let code = chain.code_at(address)?;
         let disasm = Disassembly::new(&code);
         // Reuse the detector's padding so forwarded-input comparison uses
         // realistic call-data lengths.
         let template = self.base.craft_call_data(&disasm, address);
+        let env = chain.env()?;
         let mut routes = Vec::new();
         for selector in selectors {
             let mut call_data = template.clone();
             call_data[..4].copy_from_slice(&selector);
-            let mut fork = ForkDb::new(chain.db());
+            let mut fork = SourceHost::new(chain);
             let mut inspector = RecordingInspector::new();
             {
-                let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut inspector);
+                let mut evm = Evm::with_inspector(&mut fork, env.clone(), &mut inspector);
                 let _ = evm.call(Message::eoa_call(
                     Address::from_low_u64(0xd1a),
                     address,
                     call_data.clone(),
                 ));
+            }
+            if let Some(error) = fork.take_error() {
+                return Err(error);
             }
             let delegate = inspector
                 .delegate_calls()
@@ -132,36 +152,41 @@ impl DiamondDetector {
                 });
             }
         }
-        if routes.is_empty() {
+        Ok(if routes.is_empty() {
             DiamondCheck::NotDiamond
         } else {
             DiamondCheck::Diamond { routes }
-        }
+        })
     }
 
     /// Convenience: the facet registered for `selector` in our diamond
     /// template's storage layout, read from the chain (no execution).
-    pub fn registered_facet(
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure of the storage read.
+    pub fn registered_facet<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         diamond: Address,
         selector: [u8; 4],
-    ) -> Option<Address> {
+    ) -> SourceResult<Option<Address>> {
         let slot = proxion_solc::templates::diamond_facet_slot(selector);
-        let value = chain.storage_latest(diamond, slot);
-        if value.is_zero() {
+        let value = chain.storage_latest(diamond, slot)?;
+        Ok(if value.is_zero() {
             None
         } else {
             Some(Address::from_word(
                 value & ((U256::ONE << 160u32) - U256::ONE),
             ))
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_primitives::selector;
     use proxion_solc::{compile, templates};
 
@@ -201,7 +226,7 @@ mod tests {
         chain.transact(user, diamond, selector("value()").to_vec(), U256::ZERO);
 
         let detector = DiamondDetector::new();
-        let check = detector.check(&chain, diamond);
+        let check = detector.check(&chain, diamond).unwrap();
         match check {
             DiamondCheck::Diamond { routes } => {
                 assert!(!routes.is_empty());
@@ -216,7 +241,7 @@ mod tests {
         // Without history the extension cannot help — faithful to the
         // trace-seeded design.
         let (chain, diamond, _) = setup();
-        let check = DiamondDetector::new().check(&chain, diamond);
+        let check = DiamondDetector::new().check(&chain, diamond).unwrap();
         assert!(matches!(check, DiamondCheck::NoHistory));
     }
 
@@ -230,7 +255,7 @@ mod tests {
         let proxy = chain
             .install_new(me, templates::minimal_proxy_runtime(logic))
             .unwrap();
-        let check = DiamondDetector::new().check(&chain, proxy);
+        let check = DiamondDetector::new().check(&chain, proxy).unwrap();
         assert!(matches!(check, DiamondCheck::OrdinaryProxy(c) if c.is_proxy()));
     }
 
@@ -251,7 +276,7 @@ mod tests {
             )
             .unwrap();
         chain.transact(me, user, selector("increment()").to_vec(), U256::ZERO);
-        let check = DiamondDetector::new().check(&chain, user);
+        let check = DiamondDetector::new().check(&chain, user).unwrap();
         assert!(matches!(check, DiamondCheck::NotDiamond));
     }
 
@@ -260,11 +285,15 @@ mod tests {
         let (chain, diamond, facet) = setup();
         let detector = DiamondDetector::new();
         assert_eq!(
-            detector.registered_facet(&chain, diamond, selector("value()")),
+            detector
+                .registered_facet(&chain, diamond, selector("value()"))
+                .unwrap(),
             Some(facet)
         );
         assert_eq!(
-            detector.registered_facet(&chain, diamond, [9, 9, 9, 9]),
+            detector
+                .registered_facet(&chain, diamond, [9, 9, 9, 9])
+                .unwrap(),
             None
         );
     }

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use proxion_chain::Chain;
+use proxion_chain::{ChainSource, SourceResult};
 use proxion_disasm::{extract_dispatcher_selectors, Disassembly};
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{encode_hex, Address};
@@ -97,12 +97,16 @@ impl FunctionCollisionDetector {
 
     /// Extracts a contract's selector set and names (names only when
     /// source is available).
-    pub fn selectors_of(
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure on the bytecode read.
+    pub fn selectors_of<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         etherscan: &Etherscan,
         address: Address,
-    ) -> SelectorInventory {
+    ) -> SourceResult<SelectorInventory> {
         if let Some(source) = etherscan.effective_source(address) {
             let named: Vec<([u8; 4], String)> = source
                 .functions
@@ -110,27 +114,31 @@ impl FunctionCollisionDetector {
                 .map(|f| (f.selector, f.name.clone()))
                 .collect();
             let set = named.iter().map(|(s, _)| *s).collect();
-            return (set, named, SelectorSource::VerifiedSource);
+            return Ok((set, named, SelectorSource::VerifiedSource));
         }
-        let code = chain.code_at(address);
+        let code = chain.code_at(address)?;
         if code.is_empty() {
-            return (BTreeSet::new(), Vec::new(), SelectorSource::NoCode);
+            return Ok((BTreeSet::new(), Vec::new(), SelectorSource::NoCode));
         }
         let disasm = Disassembly::new(&code);
         let info = extract_dispatcher_selectors(&disasm);
-        (info.selectors, Vec::new(), SelectorSource::Bytecode)
+        Ok((info.selectors, Vec::new(), SelectorSource::Bytecode))
     }
 
     /// Checks one proxy/logic pair.
-    pub fn check_pair(
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend failure on either bytecode read.
+    pub fn check_pair<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         etherscan: &Etherscan,
         proxy: Address,
         logic: Address,
-    ) -> FunctionCollisionReport {
-        let (proxy_set, proxy_names, proxy_source) = self.selectors_of(chain, etherscan, proxy);
-        let (logic_set, logic_names, logic_source) = self.selectors_of(chain, etherscan, logic);
+    ) -> SourceResult<FunctionCollisionReport> {
+        let (proxy_set, proxy_names, proxy_source) = self.selectors_of(chain, etherscan, proxy)?;
+        let (logic_set, logic_names, logic_source) = self.selectors_of(chain, etherscan, logic)?;
         let name_of = |names: &[([u8; 4], String)], sel: [u8; 4]| {
             names
                 .iter()
@@ -145,19 +153,20 @@ impl FunctionCollisionDetector {
                 logic_function: name_of(&logic_names, selector),
             })
             .collect();
-        FunctionCollisionReport {
+        Ok(FunctionCollisionReport {
             collisions,
             proxy_source,
             logic_source,
             proxy_selector_count: proxy_set.len(),
             logic_selector_count: logic_set.len(),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_primitives::keccak256;
     use proxion_solc::{compile, templates};
 
@@ -198,8 +207,9 @@ mod tests {
         let (proxy_spec, logic_spec) = templates::honeypot_pair(Address::from_low_u64(9));
         let proxy = fx.install(&proxy_spec, false);
         let logic = fx.install(&logic_spec, false);
-        let report =
-            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, proxy, logic);
+        let report = FunctionCollisionDetector::new()
+            .check_pair(&fx.chain, &fx.etherscan, proxy, logic)
+            .unwrap();
         assert!(report.has_collisions());
         assert_eq!(report.proxy_source, SelectorSource::Bytecode);
         assert_eq!(report.logic_source, SelectorSource::Bytecode);
@@ -212,8 +222,9 @@ mod tests {
         let mut fx = Fixture::new();
         let proxy = fx.install(&templates::ownable_delegate_proxy("P"), true);
         let logic = fx.install(&templates::wyvern_logic("L"), true);
-        let report =
-            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, proxy, logic);
+        let report = FunctionCollisionDetector::new()
+            .check_pair(&fx.chain, &fx.etherscan, proxy, logic)
+            .unwrap();
         assert_eq!(report.collisions.len(), 3);
         assert_eq!(report.proxy_source, SelectorSource::VerifiedSource);
         let names: Vec<String> = report
@@ -231,8 +242,9 @@ mod tests {
         let mut fx = Fixture::new();
         let proxy = fx.install(&templates::ownable_delegate_proxy("P"), true);
         let logic = fx.install(&templates::wyvern_logic("L"), false);
-        let report =
-            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, proxy, logic);
+        let report = FunctionCollisionDetector::new()
+            .check_pair(&fx.chain, &fx.etherscan, proxy, logic)
+            .unwrap();
         assert_eq!(report.proxy_source, SelectorSource::VerifiedSource);
         assert_eq!(report.logic_source, SelectorSource::Bytecode);
         assert_eq!(report.collisions.len(), 3);
@@ -252,8 +264,9 @@ mod tests {
         );
         let token = fx.install(&templates::plain_token("T"), false);
         let logic = fx.install(&logic_spec, false);
-        let report =
-            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, token, logic);
+        let report = FunctionCollisionDetector::new()
+            .check_pair(&fx.chain, &fx.etherscan, token, logic)
+            .unwrap();
         assert!(
             !report.has_collisions(),
             "junk PUSH4 constant must not count as a dispatcher selector"
@@ -265,7 +278,9 @@ mod tests {
         let mut fx = Fixture::new();
         let a = fx.install(&templates::plain_token("A"), false);
         let b = fx.install(&templates::simple_logic("B"), false);
-        let report = FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, a, b);
+        let report = FunctionCollisionDetector::new()
+            .check_pair(&fx.chain, &fx.etherscan, a, b)
+            .unwrap();
         assert!(!report.has_collisions());
         assert!(report.proxy_selector_count > 0);
         assert!(report.logic_selector_count > 0);
@@ -279,8 +294,9 @@ mod tests {
             .chain
             .install_new(fx.me, templates::minimal_proxy_runtime(logic))
             .unwrap();
-        let report =
-            FunctionCollisionDetector::new().check_pair(&fx.chain, &fx.etherscan, proxy, logic);
+        let report = FunctionCollisionDetector::new()
+            .check_pair(&fx.chain, &fx.etherscan, proxy, logic)
+            .unwrap();
         assert_eq!(report.proxy_selector_count, 0);
         assert!(!report.has_collisions());
     }
@@ -302,7 +318,9 @@ mod tests {
         fx.etherscan.register_verified(first, compiled.source);
 
         let detector = FunctionCollisionDetector::new();
-        let (_, _, source) = detector.selectors_of(&fx.chain, &fx.etherscan, second);
+        let (_, _, source) = detector
+            .selectors_of(&fx.chain, &fx.etherscan, second)
+            .unwrap();
         assert_eq!(source, SelectorSource::VerifiedSource);
     }
 

@@ -69,7 +69,9 @@ pub use funcsig::{
     FunctionCollision, FunctionCollisionDetector, FunctionCollisionReport, SelectorSource,
 };
 pub use logic::{LogicHistory, LogicResolver, UpgradeEvent};
-pub use pipeline::{AnalysisReport, ContractReport, PairCollisions, Pipeline, PipelineConfig};
+pub use pipeline::{
+    AnalysisReport, ContractReport, PairCollisions, Pipeline, PipelineConfig, RetryPolicy,
+};
 pub use proxy::{ImplSource, NotProxyReason, ProxyCheck, ProxyDetector, ProxyStandard};
 pub use storage::{
     AccessKind, AccessRegion, StorageCollision, StorageCollisionDetector, StorageCollisionReport,

@@ -8,8 +8,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
-use proxion_chain::Chain;
+use proxion_chain::{ChainSource, SourceError, SourceResult};
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{Address, B256};
 use proxion_telemetry::{Outcome, Stage, Telemetry};
@@ -19,6 +20,46 @@ use crate::funcsig::{FunctionCollisionDetector, FunctionCollisionReport};
 use crate::logic::{LogicHistory, LogicResolver};
 use crate::proxy::{ImplSource, NotProxyReason, ProxyCheck, ProxyDetector, ProxyStandard};
 use crate::storage::{StorageCollisionDetector, StorageCollisionReport};
+
+/// Retry policy for transient provider-layer failures. A
+/// [`SourceError::Transient`] aborts the in-flight analysis; the pipeline
+/// re-runs it after an exponentially growing backoff, up to `max_retries`
+/// times, before degrading the contract's report to a typed
+/// `SourceError` outcome. Permanent errors are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Number of re-attempts after the first failure (0 = degrade
+    /// immediately).
+    pub max_retries: u32,
+    /// Backoff slept before the first retry; doubles on each further one.
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// Never retry (in-memory backends cannot fail transiently).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff slept before retry number `attempt` (zero-based):
+    /// `base_backoff * 2^attempt`, saturating.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.base_backoff
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(5),
+        }
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +75,9 @@ pub struct PipelineConfig {
     /// analysis does), not just the current pair. Requires
     /// `resolve_history`.
     pub check_historical_pairs: bool,
+    /// How transient backend failures are retried before a contract's
+    /// report degrades to a `SourceError` outcome.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +87,7 @@ impl Default for PipelineConfig {
             resolve_history: true,
             check_collisions: true,
             check_historical_pairs: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -170,6 +215,23 @@ impl AnalysisReport {
             .count()
     }
 
+    /// Number of contracts whose backend reads kept failing after the
+    /// configured retries (the `--json` outputs export this as
+    /// `source_errors`). Disjoint from [`Self::emulation_error_count`]:
+    /// emulation errors are verdicts about the *contract*, source errors
+    /// are failures of the *backend*.
+    pub fn source_error_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.check,
+                    ProxyCheck::NotProxy(NotProxyReason::SourceError(_))
+                )
+            })
+            .count()
+    }
+
     /// Proxies that upgraded at least once.
     pub fn upgraded_proxy_count(&self) -> usize {
         self.proxies()
@@ -256,13 +318,24 @@ impl Pipeline {
     }
 
     /// Analyzes every alive contract on the chain.
-    pub fn analyze_all(&self, chain: &Chain, etherscan: &Etherscan) -> AnalysisReport {
-        let addresses: Vec<Address> = chain
-            .contracts()
-            .into_iter()
-            .filter(|&a| chain.is_alive(a))
-            .collect();
-        self.analyze(chain, etherscan, &addresses)
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backend cannot *enumerate* the contract set; failures
+    /// during the per-contract analyses degrade to per-report
+    /// `SourceError` outcomes instead (see [`Pipeline::analyze_one`]).
+    pub fn analyze_all<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        etherscan: &Etherscan,
+    ) -> SourceResult<AnalysisReport> {
+        let mut addresses = Vec::new();
+        for address in chain.contracts()? {
+            if chain.is_alive(address)? {
+                addresses.push(address);
+            }
+        }
+        Ok(self.analyze(chain, etherscan, &addresses))
     }
 
     /// Analyzes an explicit set of addresses.
@@ -298,9 +371,9 @@ impl Pipeline {
     /// assert_eq!(report.total(), 2);
     /// assert_eq!(report.proxy_count(), 1);
     /// ```
-    pub fn analyze(
+    pub fn analyze<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         etherscan: &Etherscan,
         addresses: &[Address],
     ) -> AnalysisReport {
@@ -337,9 +410,14 @@ impl Pipeline {
     }
 
     /// Analyzes a single address (the server's `proxy_check` path).
-    pub fn analyze_one(
+    ///
+    /// Never panics on a failing backend: transient failures are retried
+    /// per the configured [`RetryPolicy`], and a contract whose reads keep
+    /// failing gets a report whose check is
+    /// [`NotProxyReason::SourceError`].
+    pub fn analyze_one<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         etherscan: &Etherscan,
         address: Address,
     ) -> ContractReport {
@@ -347,15 +425,68 @@ impl Pipeline {
         if span.is_recording() {
             span.set_detail(address.to_string());
         }
-        let code = chain.code_at(address);
+        let mut attempt = 0u32;
+        let report = loop {
+            match self.try_analyze_one(chain, etherscan, address) {
+                Ok(report) => break report,
+                Err(error) if error.is_transient() && attempt < self.config.retry.max_retries => {
+                    let backoff = self.config.retry.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+                Err(error) => break Self::source_error_report(address, &error),
+            }
+        };
+        span.set_outcome(if report.is_hidden_proxy() {
+            Outcome::Hidden
+        } else if report.check.is_proxy() {
+            Outcome::Proxy
+        } else if matches!(
+            report.check,
+            ProxyCheck::NotProxy(NotProxyReason::EmulationError(_))
+                | ProxyCheck::NotProxy(NotProxyReason::SourceError(_))
+        ) {
+            Outcome::Error
+        } else {
+            Outcome::NotProxy
+        });
+        report
+    }
+
+    /// The degraded report of a contract whose backend reads failed.
+    fn source_error_report(address: Address, error: &SourceError) -> ContractReport {
+        ContractReport {
+            address,
+            code_hash: B256::ZERO,
+            check: ProxyCheck::NotProxy(NotProxyReason::SourceError(error.to_string())),
+            has_source: false,
+            has_transactions: false,
+            deploy_block: 0,
+            history: None,
+            function_collisions: None,
+            storage_collisions: None,
+            historical_pairs: Vec::new(),
+        }
+    }
+
+    /// One analysis attempt; the first backend failure aborts it.
+    fn try_analyze_one<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        etherscan: &Etherscan,
+        address: Address,
+    ) -> SourceResult<ContractReport> {
+        let code = chain.code_at(address)?;
         let code_hash = proxion_primitives::keccak256(code.as_slice());
 
         // Proxy detection is bytecode-determined (except the concrete
         // logic address); reuse cached verdicts for identical bytecode.
         let check = match self.cache.get_check(&code_hash) {
-            Some(verdict) => self.rehydrate(chain, address, &verdict),
+            Some(verdict) => self.rehydrate(chain, address, &verdict)?,
             None => {
-                let fresh = self.detector.check(chain, address);
+                let fresh = self.detector.try_check(chain, address)?;
                 let verdict = match &fresh {
                     ProxyCheck::Proxy {
                         impl_source,
@@ -390,7 +521,7 @@ impl Pipeline {
                 let _span = self
                     .telemetry
                     .span(Stage::HistoryResolution, "resolve_history");
-                Some(self.resolver.resolve(chain, address, *slot))
+                Some(self.resolver.resolve(chain, address, *slot)?)
             }
             _ => None,
         };
@@ -398,7 +529,7 @@ impl Pipeline {
         let (function_collisions, storage_collisions) = match (&check, self.config.check_collisions)
         {
             (ProxyCheck::Proxy { logic, .. }, true) if !logic.is_zero() => {
-                let (f, s) = self.check_pair(chain, etherscan, address, *logic);
+                let (f, s) = self.check_pair(chain, etherscan, address, *logic)?;
                 (Some(f), Some(s))
             }
             _ => (None, None),
@@ -413,7 +544,7 @@ impl Pipeline {
                     if Some(logic) == current || logic.is_zero() {
                         continue;
                     }
-                    let (functions, storage) = self.check_pair(chain, etherscan, address, logic);
+                    let (functions, storage) = self.check_pair(chain, etherscan, address, logic)?;
                     historical_pairs.push(PairCollisions {
                         logic,
                         functions,
@@ -423,94 +554,89 @@ impl Pipeline {
             }
         }
 
-        let report = ContractReport {
+        Ok(ContractReport {
             address,
             code_hash,
             check,
             has_source: etherscan.effective_source(address).is_some(),
-            has_transactions: chain.has_transactions(address),
-            deploy_block: chain.deployment(address).map(|d| d.block).unwrap_or(0),
+            has_transactions: chain.has_transactions(address)?,
+            deploy_block: chain.deployment(address)?.map(|d| d.block).unwrap_or(0),
             history,
             function_collisions,
             storage_collisions,
             historical_pairs,
-        };
-        span.set_outcome(if report.is_hidden_proxy() {
-            Outcome::Hidden
-        } else if report.check.is_proxy() {
-            Outcome::Proxy
-        } else if matches!(
-            report.check,
-            ProxyCheck::NotProxy(NotProxyReason::EmulationError(_))
-        ) {
-            Outcome::Error
-        } else {
-            Outcome::NotProxy
-        });
-        report
+        })
     }
 
     /// Runs (or reuses) the collision detectors for one proxy/logic pair,
     /// keyed by the pair's bytecode hashes. The block follower calls this
     /// directly when an upgrade introduces a single new pair.
-    pub fn check_pair(
+    /// # Errors
+    ///
+    /// Propagates the first backend failure (nothing is cached then).
+    pub fn check_pair<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         etherscan: &Etherscan,
         proxy: Address,
         logic: Address,
-    ) -> (FunctionCollisionReport, StorageCollisionReport) {
-        let proxy_hash = proxion_primitives::keccak256(chain.code_at(proxy).as_slice());
-        let logic_hash = proxion_primitives::keccak256(chain.code_at(logic).as_slice());
+    ) -> SourceResult<(FunctionCollisionReport, StorageCollisionReport)> {
+        let proxy_hash = chain.code_hash_at(proxy)?;
+        let logic_hash = chain.code_hash_at(logic)?;
         let key = (proxy_hash, logic_hash);
-        match self.cache.get_pair(&key) {
+        Ok(match self.cache.get_pair(&key) {
             Some(pair) => pair,
             None => {
                 let f = {
                     let _span = self
                         .telemetry
                         .span(Stage::FunctionCollisions, "function_collisions");
-                    self.functions.check_pair(chain, etherscan, proxy, logic)
+                    self.functions.check_pair(chain, etherscan, proxy, logic)?
                 };
                 let s = {
                     let _span = self
                         .telemetry
                         .span(Stage::StorageCollisions, "storage_collisions");
-                    self.storage.check_pair(chain, proxy, logic)
+                    self.storage.check_pair(chain, proxy, logic)?
                 };
                 self.cache.insert_pair(key, (f.clone(), s.clone()));
                 (f, s)
             }
-        }
+        })
     }
 
     /// Rebuilds a per-address verdict from a cached bytecode verdict: the
     /// concrete logic address comes from the address's own storage.
-    fn rehydrate(&self, chain: &Chain, address: Address, cache: &CachedVerdict) -> ProxyCheck {
+    fn rehydrate<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+        cache: &CachedVerdict,
+    ) -> SourceResult<ProxyCheck> {
         if !cache.is_proxy {
-            return ProxyCheck::NotProxy(
+            return Ok(ProxyCheck::NotProxy(
                 cache
                     .reason
                     .clone()
                     .unwrap_or(NotProxyReason::DelegateNotReached),
-            );
+            ));
         }
         let impl_source = cache.impl_source.expect("proxy cache has impl source");
         let logic = match impl_source {
             ImplSource::StorageSlot(slot) => {
-                Address::from_word(chain.storage_latest(address, slot))
+                Address::from_word(chain.storage_latest(address, slot)?)
             }
             ImplSource::Hardcoded | ImplSource::Computed => {
                 // Hard-coded addresses require reading the bytecode; rerun
                 // the cheap emulation path for exactness.
-                return self.detector.check(chain, address);
+                return self.detector.try_check(chain, address);
             }
         };
-        ProxyCheck::Proxy {
+        Ok(ProxyCheck::Proxy {
             logic,
             impl_source,
             standard: cache.standard.expect("proxy cache has standard"),
-        }
+        })
     }
 }
 
@@ -526,6 +652,7 @@ pub(crate) fn _percentage(part: usize, total: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_primitives::U256;
     use proxion_solc::{compile, templates, SlotSpec};
 
@@ -738,6 +865,7 @@ mod tests {
             resolve_history: true,
             check_collisions: true,
             check_historical_pairs: true,
+            ..PipelineConfig::default()
         })
         .analyze(&chain, &etherscan, &[proxy]);
         let r = &report.reports[0];
@@ -811,6 +939,7 @@ mod tests {
             resolve_history: false,
             check_collisions: false,
             check_historical_pairs: false,
+            ..PipelineConfig::default()
         })
         .analyze(&chain, &etherscan, &addresses);
         assert!(report.reports.iter().all(|r| r.history.is_none()));

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use proxion_chain::{Chain, ForkDb};
+use proxion_chain::{ChainSource, SourceHost, SourceResult};
 use proxion_disasm::Disassembly;
 use proxion_evm::{Evm, Message, Origin, ProfilingInspector, RecordingInspector};
 use proxion_primitives::{Address, DetRng, U256};
@@ -52,6 +52,10 @@ pub enum NotProxyReason {
     /// The emulation failed with a runtime error before any delegate call
     /// (the paper reports ~4.9% of contracts, §7.1).
     EmulationError(String),
+    /// The chain backend failed while answering a read the check needed
+    /// (retries exhausted). Not a verdict about the bytecode: the same
+    /// contract may check fine against a healthy source.
+    SourceError(String),
 }
 
 /// The outcome of a proxy check.
@@ -168,9 +172,9 @@ impl ProxyDetector {
     /// Nested proxies are common on mainnet (e.g. a minimal proxy cloning
     /// an EIP-1967 proxy); a pair analysis against the *intermediate* hop
     /// would miss collisions with the terminal logic.
-    pub fn resolve_terminal(
+    pub fn resolve_terminal<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         address: Address,
         max_hops: usize,
     ) -> Vec<Address> {
@@ -188,9 +192,13 @@ impl ProxyDetector {
         hops
     }
 
-    /// Runs the two-step proxy check against the chain's current state.
+    /// Runs the two-step proxy check against any [`ChainSource`] backend.
     ///
-    /// The emulation runs on a [`ForkDb`]; the chain is never mutated.
+    /// The emulation runs on a [`SourceHost`] overlay; the backend is
+    /// never mutated. A backend read failure (retries are the pipeline's
+    /// job) is folded into the verdict as
+    /// [`NotProxyReason::SourceError`]; use [`ProxyDetector::try_check`]
+    /// to observe the typed [`proxion_chain::SourceError`] instead.
     ///
     /// # Examples
     ///
@@ -218,10 +226,30 @@ impl ProxyDetector {
     /// assert_eq!(check.logic(), Some(logic));
     /// assert_eq!(check.standard(), Some(ProxyStandard::Eip1967));
     /// ```
-    pub fn check(&self, chain: &Chain, address: Address) -> ProxyCheck {
-        let code = chain.code_at(address);
+    pub fn check<S: ChainSource + ?Sized>(&self, chain: &S, address: Address) -> ProxyCheck {
+        match self.try_check(chain, address) {
+            Ok(check) => check,
+            Err(error) => ProxyCheck::NotProxy(NotProxyReason::SourceError(error.to_string())),
+        }
+    }
+
+    /// [`ProxyDetector::check`], but backend read failures surface as a
+    /// typed `Err` so callers (the pipeline's retry policy) can
+    /// distinguish transient from permanent source trouble.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`proxion_chain::SourceError`] the backend
+    /// produced, whether on the direct `code_at` read or on any read the
+    /// EVM emulation made through the [`SourceHost`] overlay.
+    pub fn try_check<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+    ) -> SourceResult<ProxyCheck> {
+        let code = chain.code_at(address)?;
         if code.is_empty() {
-            return ProxyCheck::NotProxy(NotProxyReason::NoCode);
+            return Ok(ProxyCheck::NotProxy(NotProxyReason::NoCode));
         }
         // Step 1 (§4.1): disassemble and gate on DELEGATECALL presence.
         let disasm = {
@@ -229,7 +257,7 @@ impl ProxyDetector {
             let disasm = Disassembly::new(&code);
             if !disasm.contains(proxion_asm::opcode::DELEGATECALL) {
                 span.set_outcome(Outcome::NotProxy);
-                return ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall);
+                return Ok(ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall));
             }
             span.set_outcome(Outcome::Ok);
             disasm
@@ -239,7 +267,8 @@ impl ProxyDetector {
             let _span = self.telemetry.span(Stage::Dispatcher, "craft_call_data");
             self.craft_call_data(&disasm, address)
         };
-        let mut fork = ForkDb::new(chain.db());
+        let env = chain.env()?;
+        let mut fork = SourceHost::new(chain);
         let mut inspector = RecordingInspector::new();
         let probe = Address::from_low_u64(0x5eed_cafe);
         let result = {
@@ -253,10 +282,10 @@ impl ProxyDetector {
                     &mut inspector,
                     ProfilingInspector::new(Arc::clone(&self.telemetry)),
                 );
-                let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut both);
+                let mut evm = Evm::with_inspector(&mut fork, env, &mut both);
                 evm.call(message)
             } else {
-                let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut inspector);
+                let mut evm = Evm::with_inspector(&mut fork, env, &mut inspector);
                 evm.call(message)
             };
             span.set_outcome(if result.is_success() {
@@ -266,13 +295,19 @@ impl ProxyDetector {
             });
             result
         };
+        // The Host interface is infallible, so a backend failure during
+        // emulation poisons the overlay instead; a poisoned run proves
+        // nothing about the bytecode and must not become a verdict.
+        if let Some(error) = fork.take_error() {
+            return Err(error);
+        }
 
         // A proxy is a contract whose outermost frame delegate-calls with
         // the full call data forwarded.
         let delegate = inspector
             .delegate_calls()
             .find(|d| d.depth == 0 && d.proxy == address);
-        match delegate {
+        Ok(match delegate {
             Some(obs) if obs.forwarded_input == call_data => {
                 let impl_source = match obs.target_word.origin {
                     Origin::CodeConstant => ImplSource::Hardcoded,
@@ -302,7 +337,7 @@ impl ProxyDetector {
                     }
                 }
             }
-        }
+        })
     }
 }
 
@@ -331,6 +366,7 @@ fn classify(code: &[u8], impl_source: ImplSource) -> ProxyStandard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_primitives::U256;
     use proxion_solc::{compile, templates, ContractSpec};
 

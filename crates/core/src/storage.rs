@@ -24,7 +24,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use proxion_chain::{Chain, ForkDb};
+use proxion_chain::{ChainSource, SourceHost, SourceResult};
 use proxion_disasm::{extract_dispatcher_selectors, Cfg, Disassembly};
 use proxion_evm::{Evm, Host, Message, RecordingInspector};
 use proxion_primitives::{Address, U256};
@@ -561,14 +561,19 @@ impl StorageCollisionDetector {
     /// Checks one proxy/logic pair: recovers both layouts, compares
     /// pairwise, and validates guard-touching candidates by concrete
     /// execution through the proxy on a fork.
-    pub fn check_pair(
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend failure — a partial layout would make
+    /// the pairwise comparison silently incomplete.
+    pub fn check_pair<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         proxy: Address,
         logic: Address,
-    ) -> StorageCollisionReport {
-        let proxy_code = chain.code_at(proxy);
-        let logic_code = chain.code_at(logic);
+    ) -> SourceResult<StorageCollisionReport> {
+        let proxy_code = chain.code_at(proxy)?;
+        let logic_code = chain.code_at(logic)?;
         let proxy_regions = self.layout_of(&proxy_code);
         let logic_regions = self.layout_of(&logic_code);
 
@@ -597,7 +602,7 @@ impl StorageCollisionDetector {
         // Concrete validation pass (CRUSH's exploit generation): run every
         // logic function through the proxy on a fork and watch the writes.
         if collisions.iter().any(|c| c.exploitable) {
-            let writes = self.probe_writes_through_proxy(chain, proxy, &logic_code);
+            let writes = self.probe_writes_through_proxy(chain, proxy, &logic_code)?;
             for collision in &mut collisions {
                 if !collision.exploitable {
                     continue;
@@ -619,36 +624,40 @@ impl StorageCollisionDetector {
             }
         }
 
-        StorageCollisionReport {
+        Ok(StorageCollisionReport {
             collisions,
             proxy_regions,
             logic_regions,
-        }
+        })
     }
 
     /// Executes every logic dispatcher function *through the proxy* on a
     /// fork and returns the storage write regions that landed in the
     /// proxy's storage.
-    fn probe_writes_through_proxy(
+    fn probe_writes_through_proxy<S: ChainSource + ?Sized>(
         &self,
-        chain: &Chain,
+        chain: &S,
         proxy: Address,
         logic_code: &[u8],
-    ) -> Vec<AccessRegion> {
+    ) -> SourceResult<Vec<AccessRegion>> {
         let disasm = Disassembly::new(logic_code);
         let selectors = extract_dispatcher_selectors(&disasm).selectors;
+        let env = chain.env()?;
         let mut writes = Vec::new();
         let probe = Address::from_low_u64(0xfeed_5700); // zero low byte
         for selector in selectors {
-            let mut fork = ForkDb::new(chain.db());
+            let mut fork = SourceHost::new(chain);
             // Make sure the probe "succeeds" where balance checks matter.
             fork.set_balance(probe, U256::ONE << 96u32);
             let mut inspector = RecordingInspector::new();
             let mut call_data = selector.to_vec();
             call_data.extend_from_slice(&[0x11; 32]);
             {
-                let mut evm = Evm::with_inspector(&mut fork, chain.env(), &mut inspector);
+                let mut evm = Evm::with_inspector(&mut fork, env.clone(), &mut inspector);
                 let _ = evm.call(Message::eoa_call(probe, proxy, call_data));
+            }
+            if let Some(error) = fork.take_error() {
+                return Err(error);
             }
             for access in inspector.storage {
                 if access.is_write && access.address == proxy {
@@ -663,7 +672,7 @@ impl StorageCollisionDetector {
                 }
             }
         }
-        writes
+        Ok(writes)
     }
 }
 
@@ -704,6 +713,7 @@ fn dedupe_collisions(collisions: &mut Vec<StorageCollision>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proxion_chain::Chain;
     use proxion_solc::{compile, templates, ContractSpec, FnBody, Function, StorageVar, VarType};
 
     fn layout(spec: &ContractSpec) -> Vec<AccessRegion> {
@@ -833,7 +843,9 @@ mod tests {
         chain.set_storage(proxy, U256::ZERO, U256::from(Address::from(owner)));
         chain.set_storage(proxy, U256::ONE, U256::from(logic));
 
-        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        let report = StorageCollisionDetector::new()
+            .check_pair(&chain, proxy, logic)
+            .unwrap();
         assert!(report.has_collisions(), "no collisions: {report:?}");
         assert!(report.has_exploitable(), "not exploitable: {report:?}");
         assert!(
@@ -856,7 +868,9 @@ mod tests {
             .install_new(me, compile(&proxy_spec).unwrap().runtime)
             .unwrap();
         chain.set_storage(proxy, U256::from(5u64), U256::from(logic));
-        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        let report = StorageCollisionDetector::new()
+            .check_pair(&chain, proxy, logic)
+            .unwrap();
         assert!(
             !report.has_collisions(),
             "false positive: {:?}",
@@ -879,7 +893,9 @@ mod tests {
             .install_new(me, compile(&proxy_spec).unwrap().runtime)
             .unwrap();
         chain.set_storage(proxy, U256::ONE, U256::from(logic));
-        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        let report = StorageCollisionDetector::new()
+            .check_pair(&chain, proxy, logic)
+            .unwrap();
         assert!(
             !report.has_collisions(),
             "same-extent regions must not collide: {:?}",
@@ -907,7 +923,9 @@ mod tests {
             .install_new(me, compile(&proxy_spec).unwrap().runtime)
             .unwrap();
         chain.set_storage(proxy, U256::ONE, U256::from(logic));
-        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        let report = StorageCollisionDetector::new()
+            .check_pair(&chain, proxy, logic)
+            .unwrap();
         assert!(report.has_collisions());
         assert!(!report.has_exploitable());
     }
@@ -950,7 +968,9 @@ mod tests {
             .install_new(me, compile(&proxy_spec).unwrap().runtime)
             .unwrap();
         chain.set_storage(proxy, U256::ONE, U256::from(logic));
-        let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+        let report = StorageCollisionDetector::new()
+            .check_pair(&chain, proxy, logic)
+            .unwrap();
         assert!(
             report
                 .collisions

@@ -17,8 +17,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
-use proxion_chain::Chain;
-use proxion_core::{ImplSource, Pipeline, ProxyCheck};
+use proxion_chain::{Chain, ChainSource, FaultConfig, FaultySource};
+use proxion_core::{ImplSource, NotProxyReason, Pipeline, ProxyCheck};
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{Address, U256};
 
@@ -48,6 +48,8 @@ pub struct FollowerStats {
     pub upgrades_observed: u64,
     /// Single-pair collision re-checks triggered by upgrades.
     pub pair_rechecks: u64,
+    /// Backend read failures survived (skipped rounds or contracts).
+    pub source_errors: u64,
     /// Last block the follower has fully processed.
     pub last_block: u64,
 }
@@ -78,6 +80,7 @@ impl FollowerHandle {
             contracts_analyzed: self.metrics.follower_contracts.load(Ordering::Relaxed),
             upgrades_observed: self.metrics.follower_upgrades.load(Ordering::Relaxed),
             pair_rechecks: self.metrics.follower_pair_rechecks.load(Ordering::Relaxed),
+            source_errors: self.metrics.follower_source_errors.load(Ordering::Relaxed),
             last_block: self.shared.last_block.load(Ordering::Relaxed),
         }
     }
@@ -122,6 +125,7 @@ pub fn start(
     pipeline: Arc<Pipeline>,
     metrics: Arc<ServiceMetrics>,
     from_block: u64,
+    fault: Option<FaultConfig>,
 ) -> FollowerHandle {
     let shared = Arc::new(FollowerShared {
         upgrades: Mutex::new(Vec::new()),
@@ -135,7 +139,7 @@ pub fn start(
         let shutdown = Arc::clone(&shutdown);
         std::thread::spawn(move || {
             follow(
-                chain, etherscan, pipeline, metrics, shared, shutdown, from_block,
+                chain, etherscan, pipeline, metrics, shared, shutdown, from_block, fault,
             )
         })
     };
@@ -148,6 +152,7 @@ pub fn start(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn follow(
     chain: Arc<RwLock<Chain>>,
     etherscan: Arc<RwLock<Etherscan>>,
@@ -156,6 +161,7 @@ fn follow(
     shared: Arc<FollowerShared>,
     shutdown: Arc<AtomicBool>,
     from_block: u64,
+    fault: Option<FaultConfig>,
 ) {
     let head_watch = chain.read().head_watch();
     let mut last_seen = from_block;
@@ -173,13 +179,46 @@ fn follow(
             span.set_detail(format!("blocks {}..={head}", last_seen + 1));
         }
 
-        let chain = chain.read();
+        // Analyze against an O(1) copy-on-write snapshot: the global lock
+        // is held only long enough to clone the `Arc`, so in-flight RPC
+        // handlers and block ingestion never wait on the follower.
+        let source: Box<dyn ChainSource> = {
+            let snapshot = chain.read().snapshot();
+            match fault {
+                Some(config) => Box::new(FaultySource::new(snapshot, config)),
+                None => Box::new(snapshot),
+            }
+        };
         let etherscan = etherscan.read();
 
         // 1. Analyze only contracts deployed in the new block range.
-        let deployed: Vec<(u64, Address)> = chain.deployed_between(last_seen, head).to_vec();
+        let deployed: Vec<(u64, Address)> = match source.deployed_between(last_seen, head) {
+            Ok(deployed) => deployed,
+            Err(_) => {
+                // A failed round is skipped, not fatal: count it, advance
+                // past the block, and keep following.
+                metrics
+                    .follower_source_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .follower_blocks
+                    .fetch_add(head - last_seen, Ordering::Relaxed);
+                last_seen = head;
+                shared.last_block.store(head, Ordering::Relaxed);
+                span.set_outcome(proxion_telemetry::Outcome::Error);
+                continue;
+            }
+        };
         for &(_, address) in &deployed {
-            let report = pipeline.analyze_one(&chain, &etherscan, address);
+            let report = pipeline.analyze_one(&*source, &etherscan, address);
+            if matches!(
+                report.check,
+                ProxyCheck::NotProxy(NotProxyReason::SourceError(_))
+            ) {
+                metrics
+                    .follower_source_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             metrics.follower_contracts.fetch_add(1, Ordering::Relaxed);
             if let ProxyCheck::Proxy {
                 logic,
@@ -194,7 +233,17 @@ fn follow(
         // 2. Detect implementation changes of tracked proxies; on a
         //    change, re-check collisions for the single new pair only.
         for (&proxy, (slot, last_logic)) in known.iter_mut() {
-            let current = Address::from_word(chain.storage_latest(proxy, *slot));
+            let current = match source.storage_latest(proxy, *slot) {
+                Ok(value) => Address::from_word(value),
+                Err(_) => {
+                    // Skip this proxy for the round; it is re-probed on
+                    // the next head advance.
+                    metrics
+                        .follower_source_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
             if current == *last_logic {
                 continue;
             }
@@ -219,10 +268,18 @@ fn follow(
             metrics.follower_upgrades.fetch_add(1, Ordering::Relaxed);
             *last_logic = current;
             if !current.is_zero() {
-                let _ = pipeline.check_pair(&chain, &etherscan, proxy, current);
-                metrics
-                    .follower_pair_rechecks
-                    .fetch_add(1, Ordering::Relaxed);
+                match pipeline.check_pair(&*source, &etherscan, proxy, current) {
+                    Ok(_) => {
+                        metrics
+                            .follower_pair_rechecks
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        metrics
+                            .follower_source_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
 

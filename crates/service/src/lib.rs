@@ -13,18 +13,26 @@
 //!    Methods: `proxy_check`, `logic_history`, `collisions`,
 //!    `contracts`, `stats`, `health`, plus `GET /health` and a
 //!    Prometheus-text `GET /metrics`.
-//! 2. **Shared result cache** — the sharded LRU
+//! 2. **Snapshot read path** — every handler and follower round analyzes
+//!    an O(1) copy-on-write [`proxion_chain::ChainSnapshot`] wrapped in a
+//!    shared [`proxion_chain::CachedSource`]; the global chain lock is
+//!    held only for the `Arc` clone, so long analyses never block block
+//!    ingestion (nor vice versa). An optional
+//!    [`proxion_chain::FaultConfig`] on [`ServerConfig`] injects
+//!    deterministic latency/errors for resilience drills.
+//! 3. **Shared result cache** — the sharded LRU
 //!    [`proxion_core::AnalysisCache`], keyed by bytecode hash (proxy
 //!    verdicts) and bytecode-hash pair (collision reports). Batch runs,
 //!    RPC handlers, and the follower all share one
 //!    [`Pipeline`](proxion_core::Pipeline) and thus
 //!    one cache, so a warm batch run keeps serving its verdicts to later
 //!    requests.
-//! 3. **Incremental block follower** ([`follower`]) — subscribes to the
+//! 4. **Incremental block follower** ([`follower`]) — subscribes to the
 //!    chain's [`proxion_chain::HeadWatch`], analyzes only newly deployed
 //!    contracts per committed block, and on an implementation-slot change
 //!    of a tracked proxy records an upgrade event and re-checks
-//!    collisions for just the new pair.
+//!    collisions for just the new pair; backend failures are counted and
+//!    skipped, never fatal.
 //!
 //! # Example
 //!

@@ -99,6 +99,9 @@ pub struct ServiceMetrics {
     pub follower_upgrades: AtomicU64,
     /// Collision re-checks triggered by upgrades (one per new pair).
     pub follower_pair_rechecks: AtomicU64,
+    /// Backend read failures the follower survived (failed rounds and
+    /// skipped contracts under fault injection or RPC trouble).
+    pub follower_source_errors: AtomicU64,
     latencies: [LatencyHistogram; TRACKED_METHODS.len()],
 }
 
@@ -128,9 +131,14 @@ impl ServiceMetrics {
         }
     }
 
-    /// Renders the Prometheus text format, appending the cache statistics
-    /// supplied by the caller (the cache keeps its own atomic counters).
-    pub fn render(&self, cache: &proxion_core::AnalysisCacheStats) -> String {
+    /// Renders the Prometheus text format, appending the analysis-cache
+    /// and provider-layer cache statistics supplied by the caller (each
+    /// cache keeps its own atomic counters).
+    pub fn render(
+        &self,
+        cache: &proxion_core::AnalysisCacheStats,
+        source: &proxion_chain::SourceCacheStats,
+    ) -> String {
         let mut out = String::new();
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
             out.push_str(&format!(
@@ -189,6 +197,37 @@ impl ServiceMetrics {
 
         counter(
             &mut out,
+            "proxion_source_cache_code_hits_total",
+            "Provider-layer bytecode cache hits.",
+            source.code.hits,
+        );
+        counter(
+            &mut out,
+            "proxion_source_cache_code_misses_total",
+            "Provider-layer bytecode cache misses.",
+            source.code.misses,
+        );
+        counter(
+            &mut out,
+            "proxion_source_cache_storage_hits_total",
+            "Provider-layer storage-read cache hits.",
+            source.storage.hits,
+        );
+        counter(
+            &mut out,
+            "proxion_source_cache_storage_misses_total",
+            "Provider-layer storage-read cache misses.",
+            source.storage.misses,
+        );
+        counter(
+            &mut out,
+            "proxion_source_cache_interned_codes",
+            "Distinct bytecodes interned by the provider layer.",
+            source.interned_codes as u64,
+        );
+
+        counter(
+            &mut out,
             "proxion_follower_blocks_total",
             "Blocks processed by the block follower.",
             self.follower_blocks.load(Ordering::Relaxed),
@@ -210,6 +249,12 @@ impl ServiceMetrics {
             "proxion_follower_pair_rechecks_total",
             "Collision re-checks triggered by observed upgrades.",
             self.follower_pair_rechecks.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_follower_source_errors_total",
+            "Backend read failures the follower survived.",
+            self.follower_source_errors.load(Ordering::Relaxed),
         );
 
         out.push_str(
@@ -235,7 +280,10 @@ mod tests {
         metrics.record_request("proxy_check", Duration::from_secs(10), false);
 
         let stats = proxion_core::AnalysisCache::new().stats();
-        let text = metrics.render(&stats);
+        let source = proxion_chain::SourceCache::default().stats();
+        let text = metrics.render(&stats, &source);
+        assert!(text.contains("proxion_source_cache_code_hits_total 0"));
+        assert!(text.contains("proxion_follower_source_errors_total 0"));
         assert!(
             text.contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"100\"} 1")
         );

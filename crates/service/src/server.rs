@@ -24,7 +24,9 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::RwLock;
-use proxion_chain::Chain;
+use proxion_chain::{
+    CachedSource, Chain, ChainSource, FaultConfig, FaultySource, SourceCache, SourceError,
+};
 use proxion_core::Pipeline;
 use proxion_etherscan::Etherscan;
 use proxion_primitives::Address;
@@ -47,6 +49,10 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Whether to start the incremental block follower.
     pub follow_chain: bool,
+    /// Optional deterministic fault injection on every worker's and the
+    /// follower's chain reads (tests and resilience drills); `None` reads
+    /// the snapshot directly.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +62,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             follow_chain: true,
+            fault: None,
         }
     }
 }
@@ -66,7 +73,31 @@ struct ServerShared {
     etherscan: Arc<RwLock<Etherscan>>,
     pipeline: Arc<Pipeline>,
     metrics: Arc<ServiceMetrics>,
+    /// Provider-layer cache shared by every request: bytecode interning
+    /// keyed by codehash plus memoized storage reads (see `CachedSource`).
+    source_cache: Arc<SourceCache>,
+    fault: Option<FaultConfig>,
     shutdown: AtomicBool,
+}
+
+impl ServerShared {
+    /// The read view a handler analyzes against: an O(1) copy-on-write
+    /// snapshot of the chain — the global `RwLock` is held only for the
+    /// duration of the `Arc` clone, never for the analysis — wrapped in
+    /// the shared source cache and, when configured, fault injection.
+    fn analysis_source(&self) -> Box<dyn ChainSource> {
+        let snapshot = self.chain.read().snapshot();
+        let cached = CachedSource::with_cache(snapshot, Arc::clone(&self.source_cache));
+        match self.fault {
+            Some(config) => Box::new(FaultySource::new(cached, config)),
+            None => Box::new(cached),
+        }
+    }
+}
+
+/// Renders a backend failure as a JSON-RPC error message.
+fn source_error(error: &SourceError) -> String {
+    format!("backend read failed: {error}")
 }
 
 /// Handle to a running server. Dropping it (or calling
@@ -141,6 +172,8 @@ pub fn start(
         etherscan: Arc::clone(&etherscan),
         pipeline: Arc::clone(&pipeline),
         metrics: Arc::clone(&metrics),
+        source_cache: Arc::new(SourceCache::new(SourceCache::DEFAULT_CAPACITY)),
+        fault: config.fault,
         shutdown: AtomicBool::new(false),
     });
 
@@ -167,6 +200,7 @@ pub fn start(
             pipeline,
             Arc::clone(&metrics),
             from_block,
+            config.fault,
         ))
     } else {
         None
@@ -272,7 +306,7 @@ fn dispatch(request: &Request, shared: &ServerShared) -> Response {
         }
         ("GET", "/metrics") => {
             let stats = shared.pipeline.cache().stats();
-            let mut body = shared.metrics.render(&stats);
+            let mut body = shared.metrics.render(&stats, &shared.source_cache.stats());
             let telemetry = shared.pipeline.telemetry();
             if telemetry.is_enabled() {
                 body.push_str(&proxion_telemetry::prometheus(telemetry, &|op| {
@@ -375,22 +409,30 @@ fn handle_method(
     match method {
         "proxy_check" => {
             let address = parse_address(params, "address")?;
-            let chain = shared.chain.read();
-            if chain.deployment(address).is_none() {
+            let source = shared.analysis_source();
+            if source
+                .deployment(address)
+                .map_err(|e| source_error(&e))?
+                .is_none()
+            {
                 return Err(format!("no contract deployed at {address}"));
             }
             let etherscan = shared.etherscan.read();
-            let report = shared.pipeline.analyze_one(&chain, &etherscan, address);
+            let report = shared.pipeline.analyze_one(&*source, &etherscan, address);
             Ok(json::to_json(&report))
         }
         "logic_history" => {
             let address = parse_address(params, "address")?;
-            let chain = shared.chain.read();
-            if chain.deployment(address).is_none() {
+            let source = shared.analysis_source();
+            if source
+                .deployment(address)
+                .map_err(|e| source_error(&e))?
+                .is_none()
+            {
                 return Err(format!("no contract deployed at {address}"));
             }
             let etherscan = shared.etherscan.read();
-            let report = shared.pipeline.analyze_one(&chain, &etherscan, address);
+            let report = shared.pipeline.analyze_one(&*source, &etherscan, address);
             match report.history {
                 Some(history) => Ok(json::to_json(&history)),
                 None => Err("not a storage-slot proxy: no logic history".to_owned()),
@@ -398,12 +440,12 @@ fn handle_method(
         }
         "collisions" => {
             let proxy = parse_address(params, "proxy")?;
-            let chain = shared.chain.read();
+            let source = shared.analysis_source();
             let etherscan = shared.etherscan.read();
             let logic = match params.get("logic") {
                 Some(_) => parse_address(params, "logic")?,
                 None => {
-                    let report = shared.pipeline.analyze_one(&chain, &etherscan, proxy);
+                    let report = shared.pipeline.analyze_one(&*source, &etherscan, proxy);
                     report
                         .check
                         .logic()
@@ -413,7 +455,10 @@ fn handle_method(
                         })?
                 }
             };
-            let (functions, storage) = shared.pipeline.check_pair(&chain, &etherscan, proxy, logic);
+            let (functions, storage) = shared
+                .pipeline
+                .check_pair(&*source, &etherscan, proxy, logic)
+                .map_err(|e| source_error(&e))?;
             Ok(format!(
                 "{{\"proxy\":{},\"logic\":{},\"functions\":{},\"storage\":{}}}",
                 json::to_json(&proxy),
@@ -423,20 +468,23 @@ fn handle_method(
             ))
         }
         "contracts" => {
-            let chain = shared.chain.read();
-            let alive: Vec<Address> = chain
-                .contracts()
-                .into_iter()
-                .filter(|&a| chain.is_alive(a))
-                .collect();
+            let source = shared.analysis_source();
+            let mut alive = Vec::new();
+            for address in source.contracts().map_err(|e| source_error(&e))? {
+                if source.is_alive(address).map_err(|e| source_error(&e))? {
+                    alive.push(address);
+                }
+            }
             Ok(json::to_json(&alive))
         }
         "stats" => {
             let head = shared.chain.read().head_block();
             let cache = shared.pipeline.cache().stats();
+            let source_cache = shared.source_cache.stats();
             Ok(format!(
-                "{{\"head\":{head},\"cache\":{},\"requests_total\":{},\"rejected_total\":{}}}",
+                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"requests_total\":{},\"rejected_total\":{}}}",
                 json::to_json(&cache),
+                json::to_json(&source_cache),
                 shared.metrics.requests_total.load(Ordering::Relaxed),
                 shared.metrics.rejected_total.load(Ordering::Relaxed)
             ))

@@ -72,12 +72,14 @@ fn main() {
             "not a proxy"
         }
     );
-    let report = FunctionCollisionDetector::new().check_pair(
-        &chain,
-        &etherscan,
-        proxy,
-        check.logic().expect("logic resolved"),
-    );
+    let report = FunctionCollisionDetector::new()
+        .check_pair(
+            &chain,
+            &etherscan,
+            proxy,
+            check.logic().expect("logic resolved"),
+        )
+        .expect("in-memory chain reads are infallible");
     println!(
         "  selector sources: proxy = {}, logic = {}",
         report.proxy_source, report.logic_source

@@ -38,8 +38,11 @@ fn main() {
         resolve_history: true,
         check_collisions: true,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&landscape.chain, &landscape.etherscan);
+    let report = pipeline
+        .analyze_all(&landscape.chain, &landscape.etherscan)
+        .expect("in-memory chain reads are infallible");
     let elapsed = started.elapsed();
 
     let analyzed = report.total();

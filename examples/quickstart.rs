@@ -58,7 +58,9 @@ fn main() {
     }
 
     // 3. Recover the full implementation history with Algorithm 1.
-    let history = LogicResolver::new().resolve(&chain, proxy_addr, slot);
+    let history = LogicResolver::new()
+        .resolve(&chain, proxy_addr, slot)
+        .expect("in-memory chain reads are infallible");
     println!(
         "\nimplementation history ({} API calls):",
         history.api_calls
@@ -69,9 +71,12 @@ fn main() {
 
     // 4. Collision checks on the current pair.
     let logic = check.logic().expect("proxy has logic");
-    let functions =
-        FunctionCollisionDetector::new().check_pair(&chain, &etherscan, proxy_addr, logic);
-    let storage = StorageCollisionDetector::new().check_pair(&chain, proxy_addr, logic);
+    let functions = FunctionCollisionDetector::new()
+        .check_pair(&chain, &etherscan, proxy_addr, logic)
+        .expect("in-memory chain reads are infallible");
+    let storage = StorageCollisionDetector::new()
+        .check_pair(&chain, proxy_addr, logic)
+        .expect("in-memory chain reads are infallible");
     println!("\nfunction collisions: {}", functions.collisions.len());
     for c in &functions.collisions {
         println!("  {c}");

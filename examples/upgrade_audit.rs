@@ -58,7 +58,9 @@ fn main() {
     println!("{proxy}: proxy, implementation slot {slot:#x}");
 
     println!("\n== step 2: recover the upgrade timeline (Algorithm 1) ==");
-    let history = LogicResolver::new().resolve(&chain, proxy, slot);
+    let history = LogicResolver::new()
+        .resolve(&chain, proxy, slot)
+        .expect("in-memory chain reads are infallible");
     for event in &history.events {
         let tag = if event.new_logic == v2 {
             "  <- vulnerable version"
@@ -78,7 +80,9 @@ fn main() {
 
     println!("\n== step 3: storage collision check on the live pair ==");
     let logic = check.logic().expect("logic installed");
-    let report = StorageCollisionDetector::new().check_pair(&chain, proxy, logic);
+    let report = StorageCollisionDetector::new()
+        .check_pair(&chain, proxy, logic)
+        .expect("in-memory chain reads are infallible");
     for collision in &report.collisions {
         println!("  {collision}");
     }

@@ -44,6 +44,7 @@ impl Fixture {
             Arc::clone(&self.pipeline),
             Arc::clone(&self.metrics),
             from_block,
+            None,
         )
     }
 

@@ -20,14 +20,19 @@ fn config(parallelism: usize) -> PipelineConfig {
         resolve_history: true,
         check_collisions: true,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     }
 }
 
 #[test]
 fn parallelism_1_and_8_produce_identical_reports() {
     let world = world();
-    let seq = Pipeline::new(config(1)).analyze_all(&world.chain, &world.etherscan);
-    let par = Pipeline::new(config(8)).analyze_all(&world.chain, &world.etherscan);
+    let seq = Pipeline::new(config(1))
+        .analyze_all(&world.chain, &world.etherscan)
+        .expect("in-memory chain reads are infallible");
+    let par = Pipeline::new(config(8))
+        .analyze_all(&world.chain, &world.etherscan)
+        .expect("in-memory chain reads are infallible");
     // Serialize both: a byte-level comparison catches ordering drift,
     // cache-rehydration drift, and field-value drift all at once.
     assert_eq!(
@@ -43,13 +48,15 @@ fn second_analysis_hits_shared_cache_without_changing_results() {
     let cache = Arc::new(AnalysisCache::new());
 
     let first = Pipeline::with_cache(config(4), Arc::clone(&cache))
-        .analyze_all(&world.chain, &world.etherscan);
+        .analyze_all(&world.chain, &world.etherscan)
+        .expect("in-memory chain reads are infallible");
     let cold = cache.stats();
     assert!(cold.checks.misses > 0, "cold run must populate the cache");
     assert!(cold.checks.entries > 0);
 
     let second = Pipeline::with_cache(config(4), Arc::clone(&cache))
-        .analyze_all(&world.chain, &world.etherscan);
+        .analyze_all(&world.chain, &world.etherscan)
+        .expect("in-memory chain reads are infallible");
     let warm = cache.stats();
 
     assert!(
@@ -73,9 +80,13 @@ fn second_analysis_hits_shared_cache_without_changing_results() {
 fn pair_cache_shared_across_pipelines() {
     let world = world();
     let cache = Arc::new(AnalysisCache::new());
-    Pipeline::with_cache(config(2), Arc::clone(&cache)).analyze_all(&world.chain, &world.etherscan);
+    Pipeline::with_cache(config(2), Arc::clone(&cache))
+        .analyze_all(&world.chain, &world.etherscan)
+        .expect("in-memory chain reads are infallible");
     let cold = cache.stats();
-    Pipeline::with_cache(config(2), Arc::clone(&cache)).analyze_all(&world.chain, &world.etherscan);
+    Pipeline::with_cache(config(2), Arc::clone(&cache))
+        .analyze_all(&world.chain, &world.etherscan)
+        .expect("in-memory chain reads are infallible");
     let warm = cache.stats();
     assert!(
         warm.pairs.hits > cold.pairs.hits,

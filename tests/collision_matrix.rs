@@ -23,6 +23,7 @@ fn proxion_function_verdicts_per_kind() {
         let flagged = is_proxy
             && functions
                 .check_pair(&corpus.chain, &corpus.etherscan, pair.proxy, pair.logic)
+                .expect("in-memory chain reads are infallible")
                 .has_collisions();
         assert_eq!(
             flagged, pair.truth_function,
@@ -42,6 +43,7 @@ fn proxion_storage_verdicts_per_kind() {
         let flagged = is_proxy
             && storage
                 .check_pair(&corpus.chain, pair.proxy, pair.logic)
+                .expect("in-memory chain reads are infallible")
                 .has_exploitable();
         let expected = match pair.kind {
             // The two documented Proxion error modes:
@@ -68,6 +70,7 @@ fn crush_includes_library_pairs_proxion_excludes_them() {
         assert!(
             crush
                 .storage_collisions(&corpus.chain, pair.proxy, pair.logic)
+                .expect("in-memory chain reads are infallible")
                 .has_exploitable(),
             "CRUSH must flag the library pair"
         );
@@ -78,7 +81,9 @@ fn crush_includes_library_pairs_proxion_excludes_them() {
         );
         // And CRUSH's own pair discovery did find it in the traces.
         assert!(
-            crush.detect_proxy(&corpus.chain, pair.proxy),
+            crush
+                .detect_proxy(&corpus.chain, pair.proxy)
+                .expect("in-memory chain reads are infallible"),
             "the library pair must be trace-visible to CRUSH"
         );
     }
@@ -130,7 +135,9 @@ fn proxion_finds_mined_honeypots_from_bytecode() {
     let corpus = corpus();
     let functions = FunctionCollisionDetector::new();
     for pair in pairs_of(&corpus, PairKind::MinedHoneypot) {
-        let report = functions.check_pair(&corpus.chain, &corpus.etherscan, pair.proxy, pair.logic);
+        let report = functions
+            .check_pair(&corpus.chain, &corpus.etherscan, pair.proxy, pair.logic)
+            .expect("in-memory chain reads are infallible");
         assert!(
             report
                 .collisions
@@ -146,7 +153,9 @@ fn junk_push4_pairs_never_flagged_by_proxion() {
     let corpus = corpus();
     let functions = FunctionCollisionDetector::new();
     for pair in pairs_of(&corpus, PairKind::JunkPush4Negative) {
-        let report = functions.check_pair(&corpus.chain, &corpus.etherscan, pair.proxy, pair.logic);
+        let report = functions
+            .check_pair(&corpus.chain, &corpus.etherscan, pair.proxy, pair.logic)
+            .expect("in-memory chain reads are infallible");
         assert!(
             !report.has_collisions(),
             "junk PUSH4 constants must not produce collisions"
@@ -159,7 +168,9 @@ fn width_mismatch_without_guard_not_exploitable() {
     let corpus = corpus();
     let storage = StorageCollisionDetector::new();
     for pair in pairs_of(&corpus, PairKind::WidthMismatchBenign) {
-        let report = storage.check_pair(&corpus.chain, pair.proxy, pair.logic);
+        let report = storage
+            .check_pair(&corpus.chain, pair.proxy, pair.logic)
+            .expect("in-memory chain reads are infallible");
         assert!(report.has_collisions(), "the mismatch itself is real");
         assert!(
             !report.has_exploitable(),
@@ -173,7 +184,9 @@ fn audius_pairs_validated_by_concrete_execution() {
     let corpus = corpus();
     let storage = StorageCollisionDetector::new();
     for pair in pairs_of(&corpus, PairKind::AudiusExploit) {
-        let report = storage.check_pair(&corpus.chain, pair.proxy, pair.logic);
+        let report = storage
+            .check_pair(&corpus.chain, pair.proxy, pair.logic)
+            .expect("in-memory chain reads are infallible");
         assert!(report.has_exploitable());
         assert!(
             report.collisions.iter().any(|c| c.validated),

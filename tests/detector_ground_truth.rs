@@ -23,8 +23,11 @@ fn detection_matches_ground_truth_except_diamonds() {
         resolve_history: false,
         check_collisions: false,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let report = pipeline
+        .analyze_all(&l.chain, &l.etherscan)
+        .expect("in-memory chain reads are infallible");
     let verdicts: HashMap<Address, bool> = report
         .reports
         .iter()
@@ -68,8 +71,11 @@ fn standards_match_ground_truth() {
         resolve_history: false,
         check_collisions: false,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let report = pipeline
+        .analyze_all(&l.chain, &l.etherscan)
+        .expect("in-memory chain reads are infallible");
     let by_address: HashMap<Address, Option<ProxyStandard>> = report
         .reports
         .iter()
@@ -102,8 +108,11 @@ fn current_logic_matches_ground_truth() {
         resolve_history: false,
         check_collisions: false,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let report = pipeline
+        .analyze_all(&l.chain, &l.etherscan)
+        .expect("in-memory chain reads are infallible");
     let logic_of: HashMap<Address, Option<Address>> = report
         .reports
         .iter()
@@ -132,8 +141,11 @@ fn hidden_proxy_accounting_matches_truth() {
         resolve_history: false,
         check_collisions: false,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let report = pipeline
+        .analyze_all(&l.chain, &l.etherscan)
+        .expect("in-memory chain reads are infallible");
     let truth_hidden = l
         .contracts
         .iter()
@@ -158,8 +170,11 @@ fn upgrade_histories_match_generator() {
         resolve_history: true,
         check_collisions: false,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let report = pipeline
+        .analyze_all(&l.chain, &l.etherscan)
+        .expect("in-memory chain reads are infallible");
     let truth: HashMap<Address, usize> = l
         .contracts
         .iter()
@@ -191,8 +206,11 @@ fn collision_flags_match_generated_attack_pairs() {
         resolve_history: false,
         check_collisions: true,
         check_historical_pairs: false,
+        ..PipelineConfig::default()
     });
-    let report = pipeline.analyze_all(&l.chain, &l.etherscan);
+    let report = pipeline
+        .analyze_all(&l.chain, &l.etherscan)
+        .expect("in-memory chain reads are infallible");
     let by_address: HashMap<Address, &proxion_core::ContractReport> =
         report.reports.iter().map(|r| (r.address, r)).collect();
 

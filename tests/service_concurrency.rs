@@ -1,0 +1,173 @@
+//! The snapshot read path under concurrency: an in-flight `proxy_check`
+//! analyzes a copy-on-write snapshot, so it neither blocks block
+//! ingestion (the writer acquires the chain lock immediately) nor is
+//! blocked by it (ingestion proceeds while the analysis runs).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use proxion_chain::{Chain, FaultConfig};
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, U256};
+use proxion_service::json::{self, JsonValue};
+use proxion_service::loadgen::ClientConn;
+use proxion_service::{server, ServerConfig};
+use proxion_solc::{compile, templates, SlotSpec};
+
+struct World {
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    deployer: Address,
+    proxy: Address,
+}
+
+fn build_world() -> World {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    let logic = chain
+        .install_new(
+            deployer,
+            compile(&templates::simple_logic("L")).unwrap().runtime,
+        )
+        .unwrap();
+    let proxy = chain
+        .install_new(
+            deployer,
+            compile(&templates::eip1967_proxy("P")).unwrap().runtime,
+        )
+        .unwrap();
+    chain.set_storage(
+        proxy,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+    World {
+        chain: Arc::new(RwLock::new(chain)),
+        etherscan: Arc::new(RwLock::new(Etherscan::new())),
+        deployer,
+        proxy,
+    }
+}
+
+fn address_param(address: Address) -> JsonValue {
+    json::object(vec![("address", address.to_string().into())])
+}
+
+#[test]
+fn in_flight_proxy_check_and_block_ingestion_do_not_block_each_other() {
+    let world = build_world();
+    // 25ms of injected latency per backend read makes the analysis slow
+    // enough (dozens of reads) that ingestion provably overlaps it.
+    let handle = server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            follow_chain: false,
+            fault: Some(FaultConfig {
+                latency: Duration::from_millis(25),
+                failure_rate: 0.0,
+                seed: 1,
+            }),
+        },
+        Arc::clone(&world.chain),
+        Arc::clone(&world.etherscan),
+        Arc::new(Pipeline::new(PipelineConfig::default())),
+    )
+    .expect("server starts");
+
+    // Fire the slow request from a background thread.
+    let addr = handle.local_addr();
+    let proxy = world.proxy;
+    let request = std::thread::spawn(move || {
+        let mut client = ClientConn::connect(addr).unwrap();
+        let started = Instant::now();
+        let doc = client.rpc("proxy_check", &address_param(proxy)).unwrap();
+        (doc, started.elapsed())
+    });
+
+    // Give the worker time to take its snapshot and start analyzing.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Ingest blocks while the request is in flight. Before the snapshot
+    // refactor the handler held the chain read lock for the whole
+    // analysis, so this writer would stall for the request's full
+    // duration; now each write must acquire the lock immediately.
+    let mut ingested = 0u32;
+    let mut slowest_acquire = Duration::ZERO;
+    for _ in 0..5 {
+        let started = Instant::now();
+        let mut chain = world.chain.write();
+        slowest_acquire = slowest_acquire.max(started.elapsed());
+        chain
+            .install_new(
+                world.deployer,
+                compile(&templates::plain_token("T")).unwrap().runtime,
+            )
+            .unwrap();
+        drop(chain);
+        ingested += 1;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (doc, request_elapsed) = request.join().expect("request thread");
+    let check = doc.get("result").expect("result").get("check").unwrap();
+    assert!(check.get("Proxy").is_some(), "the proxy is still detected");
+
+    assert_eq!(ingested, 5);
+    assert!(
+        request_elapsed >= Duration::from_millis(200),
+        "the latency-injected request should have been slow (took {request_elapsed:?})"
+    );
+    assert!(
+        slowest_acquire < request_elapsed / 2,
+        "ingestion must not wait for the in-flight analysis \
+         (slowest write-lock acquisition {slowest_acquire:?} vs request {request_elapsed:?})"
+    );
+
+    handle.stop();
+}
+
+#[test]
+fn analysis_snapshot_is_isolated_from_concurrent_writes() {
+    // A handler's verdict must come from the snapshot taken at request
+    // start: contracts deployed mid-analysis are invisible to it, but
+    // visible to the next request.
+    let world = build_world();
+    let handle = server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            follow_chain: false,
+            fault: None,
+        },
+        Arc::clone(&world.chain),
+        Arc::clone(&world.etherscan),
+        Arc::new(Pipeline::new(PipelineConfig::default())),
+    )
+    .expect("server starts");
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+
+    let count_contracts = |client: &mut ClientConn| -> usize {
+        let doc = client.rpc("contracts", &JsonValue::Null).unwrap();
+        doc.get("result").unwrap().as_array().unwrap().len()
+    };
+
+    let before = count_contracts(&mut client);
+    {
+        let mut chain = world.chain.write();
+        chain
+            .install_new(
+                world.deployer,
+                compile(&templates::plain_token("N")).unwrap().runtime,
+            )
+            .unwrap();
+    }
+    let after = count_contracts(&mut client);
+    assert_eq!(after, before + 1, "a fresh snapshot sees the new contract");
+
+    handle.stop();
+}

@@ -64,6 +64,7 @@ fn start_server(world: &World, workers: usize, queue: usize) -> proxion_service:
             workers,
             queue_capacity: queue,
             follow_chain: false,
+            ..ServerConfig::default()
         },
         Arc::clone(&world.chain),
         Arc::clone(&world.etherscan),

@@ -1,0 +1,271 @@
+//! Fault-injection tests for the provider layer: transient backend
+//! failures are retried with backoff, exhausted retries degrade a
+//! contract's report to a typed `SourceError` outcome (never a panic),
+//! and the block follower keeps following past failed blocks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use proxion_chain::{
+    Chain, ChainSource, DeploymentInfo, FaultConfig, FaultySource, SourceError, SourceResult,
+    TxRecord,
+};
+use proxion_core::{NotProxyReason, Pipeline, PipelineConfig, ProxyCheck, RetryPolicy};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, B256, U256};
+use proxion_service::{follower, ServiceMetrics};
+use proxion_solc::{compile, templates, SlotSpec};
+
+/// A backend that fails the first `remaining` reads with a transient
+/// error, then behaves perfectly — the shape of a rate-limit burst.
+struct FlakyFirst<'a> {
+    inner: &'a Chain,
+    remaining: AtomicU64,
+}
+
+impl<'a> FlakyFirst<'a> {
+    fn new(inner: &'a Chain, failures: u64) -> Self {
+        FlakyFirst {
+            inner,
+            remaining: AtomicU64::new(failures),
+        }
+    }
+
+    fn toll(&self) -> SourceResult<()> {
+        let mut left = self.remaining.load(Ordering::Relaxed);
+        while left > 0 {
+            match self.remaining.compare_exchange(
+                left,
+                left - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Err(SourceError::Transient(format!("flaky: {left} left"))),
+                Err(now) => left = now,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ChainSource for FlakyFirst<'_> {
+    fn head_block(&self) -> SourceResult<u64> {
+        self.toll()?;
+        ChainSource::head_block(self.inner)
+    }
+    fn code_at(&self, address: Address) -> SourceResult<Arc<Vec<u8>>> {
+        self.toll()?;
+        ChainSource::code_at(self.inner, address)
+    }
+    fn storage_at(&self, address: Address, slot: U256, block: u64) -> SourceResult<U256> {
+        self.toll()?;
+        ChainSource::storage_at(self.inner, address, slot, block)
+    }
+    fn storage_latest(&self, address: Address, slot: U256) -> SourceResult<U256> {
+        self.toll()?;
+        ChainSource::storage_latest(self.inner, address, slot)
+    }
+    fn balance_of(&self, address: Address) -> SourceResult<U256> {
+        self.toll()?;
+        ChainSource::balance_of(self.inner, address)
+    }
+    fn nonce_of(&self, address: Address) -> SourceResult<u64> {
+        self.toll()?;
+        ChainSource::nonce_of(self.inner, address)
+    }
+    fn block_hash(&self, number: u64) -> SourceResult<B256> {
+        self.toll()?;
+        ChainSource::block_hash(self.inner, number)
+    }
+    fn deployment(&self, address: Address) -> SourceResult<Option<DeploymentInfo>> {
+        self.toll()?;
+        ChainSource::deployment(self.inner, address)
+    }
+    fn deployed_between(&self, after: u64, up_to: u64) -> SourceResult<Vec<(u64, Address)>> {
+        self.toll()?;
+        ChainSource::deployed_between(self.inner, after, up_to)
+    }
+    fn contracts(&self) -> SourceResult<Vec<Address>> {
+        self.toll()?;
+        ChainSource::contracts(self.inner)
+    }
+    fn is_alive(&self, address: Address) -> SourceResult<bool> {
+        self.toll()?;
+        ChainSource::is_alive(self.inner, address)
+    }
+    fn transactions(&self) -> SourceResult<Vec<TxRecord>> {
+        self.toll()?;
+        ChainSource::transactions(self.inner)
+    }
+    fn transactions_of(&self, address: Address) -> SourceResult<Vec<TxRecord>> {
+        self.toll()?;
+        ChainSource::transactions_of(self.inner, address)
+    }
+}
+
+/// A chain holding one EIP-1967 proxy wired to a logic contract, plus a
+/// plain token.
+fn world() -> (Chain, Address, Address, Address) {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = chain
+        .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(
+        proxy,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+    let token = chain
+        .install_new(me, compile(&templates::plain_token("T")).unwrap().runtime)
+        .unwrap();
+    (chain, proxy, logic, token)
+}
+
+#[test]
+fn transient_failure_is_retried_and_analysis_succeeds() {
+    let (chain, proxy, logic, _) = world();
+    let flaky = FlakyFirst::new(&chain, 1);
+    let pipeline = Pipeline::new(PipelineConfig {
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+        },
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.analyze_one(&flaky, &Etherscan::new(), proxy);
+    assert!(
+        report.check.is_proxy(),
+        "one transient failure must be absorbed by a retry, got {:?}",
+        report.check
+    );
+    assert_eq!(report.check.logic(), Some(logic));
+    assert_eq!(flaky.remaining.load(Ordering::Relaxed), 0, "fault consumed");
+}
+
+#[test]
+fn retries_sleep_exponential_backoff() {
+    let (chain, proxy, _, _) = world();
+    // Two injected failures: attempt 0 fails (sleep 40ms), attempt 1
+    // fails (sleep 80ms), attempt 2 succeeds — at least 120ms total.
+    let flaky = FlakyFirst::new(&chain, 2);
+    let base = Duration::from_millis(40);
+    let pipeline = Pipeline::new(PipelineConfig {
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_backoff: base,
+        },
+        ..PipelineConfig::default()
+    });
+    let started = Instant::now();
+    let report = pipeline.analyze_one(&flaky, &Etherscan::new(), proxy);
+    let elapsed = started.elapsed();
+    assert!(report.check.is_proxy(), "got {:?}", report.check);
+    assert!(
+        elapsed >= base + base * 2,
+        "backoff must sleep base*2^attempt between retries, finished in {elapsed:?}"
+    );
+}
+
+#[test]
+fn exhausted_retries_degrade_to_source_error_outcome() {
+    let (chain, proxy, _, token) = world();
+    let always_down = FaultySource::new(
+        &chain,
+        FaultConfig {
+            failure_rate: 1.0,
+            ..FaultConfig::default()
+        },
+    );
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    // Never panics: each contract degrades to a typed outcome.
+    let report = pipeline.analyze(&always_down, &Etherscan::new(), &[proxy, token]);
+    assert_eq!(report.total(), 2);
+    assert_eq!(
+        report.source_error_count(),
+        2,
+        "every report must carry the SourceError outcome"
+    );
+    for r in &report.reports {
+        assert!(
+            matches!(
+                r.check,
+                ProxyCheck::NotProxy(NotProxyReason::SourceError(_))
+            ),
+            "expected SourceError outcome, got {:?}",
+            r.check
+        );
+        assert!(!r.check.is_proxy());
+    }
+    // The report still serializes (the service returns these over RPC).
+    let json = proxion_service::json::to_json(&report.reports);
+    assert!(json.contains("SourceError"));
+}
+
+#[test]
+fn analyze_all_propagates_enumeration_failure() {
+    let (chain, _, _, _) = world();
+    let always_down = FaultySource::new(
+        &chain,
+        FaultConfig {
+            failure_rate: 1.0,
+            ..FaultConfig::default()
+        },
+    );
+    let error = Pipeline::new(PipelineConfig::default())
+        .analyze_all(&always_down, &Etherscan::new())
+        .expect_err("cannot enumerate contracts over a dead backend");
+    assert!(error.is_transient());
+}
+
+#[test]
+fn follower_continues_past_failed_blocks() {
+    let (mut chain, _, _, _) = world();
+    let deployer = chain.new_funded_account();
+    let chain = Arc::new(RwLock::new(chain));
+    let etherscan = Arc::new(RwLock::new(Etherscan::new()));
+    let pipeline = Arc::new(Pipeline::new(PipelineConfig::default()));
+    let metrics = Arc::new(ServiceMetrics::new());
+    let from_block = chain.read().head_block();
+
+    // Every backend read fails: each follower round degrades, but the
+    // follower must keep advancing instead of wedging or dying.
+    let handle = follower::start(
+        Arc::clone(&chain),
+        Arc::clone(&etherscan),
+        pipeline,
+        metrics,
+        from_block,
+        Some(FaultConfig {
+            failure_rate: 1.0,
+            ..FaultConfig::default()
+        }),
+    );
+
+    for _ in 0..3 {
+        let mut chain = chain.write();
+        chain
+            .install_new(
+                deployer,
+                compile(&templates::plain_token("X")).unwrap().runtime,
+            )
+            .unwrap();
+    }
+    let head = chain.read().head_block();
+    assert!(
+        handle.wait_for_block(head, Duration::from_secs(20)),
+        "follower must advance past blocks whose reads failed"
+    );
+    let stats = handle.stats();
+    assert!(stats.source_errors >= 1, "failed rounds must be counted");
+    assert_eq!(
+        stats.contracts_analyzed, 0,
+        "nothing was analyzable through a dead backend"
+    );
+    handle.stop();
+}

@@ -55,6 +55,7 @@ fn start_server(world: &World, pipeline: Pipeline) -> proxion_service::ServerHan
             workers: 2,
             queue_capacity: 16,
             follow_chain: false,
+            ..ServerConfig::default()
         },
         Arc::clone(&world.chain),
         Arc::clone(&world.etherscan),

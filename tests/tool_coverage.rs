@@ -37,15 +37,24 @@ fn hidden_honeypot_is_invisible_to_every_baseline() {
     );
 
     // CRUSH: no transactions — trace-based discovery never sees it.
-    assert!(!CrushLike::new().detect_proxy(&chain, proxy));
+    assert!(!CrushLike::new()
+        .detect_proxy(&chain, proxy)
+        .expect("in-memory chain reads are infallible"));
 
     // Salehi et al.: nothing to replay.
-    assert_eq!(SalehiReplay::new().detect_proxy(&chain, proxy), None);
+    assert_eq!(
+        SalehiReplay::new()
+            .detect_proxy(&chain, proxy)
+            .expect("in-memory chain reads are infallible"),
+        None
+    );
 
     // Etherscan's heuristic DOES fire (the bytecode has DELEGATECALL) but
     // it cannot say anything about collisions — and it fires on library
     // users just the same, so the signal is weak by the paper's account.
-    assert!(EtherscanHeuristic::new().detect_proxy(&chain, proxy));
+    assert!(EtherscanHeuristic::new()
+        .detect_proxy(&chain, proxy)
+        .expect("in-memory chain reads are infallible"));
 }
 
 #[test]
@@ -56,7 +65,9 @@ fn proxion_finds_the_hidden_honeypot_and_its_collision() {
     assert!(check.is_proxy(), "hidden proxy must be identified");
     assert_eq!(check.logic(), Some(logic), "and its logic resolved");
 
-    let report = FunctionCollisionDetector::new().check_pair(&chain, &etherscan, proxy, logic);
+    let report = FunctionCollisionDetector::new()
+        .check_pair(&chain, &etherscan, proxy, logic)
+        .expect("in-memory chain reads are infallible");
     assert!(
         report
             .collisions
@@ -90,7 +101,9 @@ fn diamond_extension_closes_the_gap_for_trafficked_diamonds() {
         !ProxyDetector::new().check(&chain, diamond).is_proxy(),
         "base detector must miss the diamond (the paper's §8.1 limitation)"
     );
-    let check = DiamondDetector::new().check(&chain, diamond);
+    let check = DiamondDetector::new()
+        .check(&chain, diamond)
+        .expect("in-memory chain reads are infallible");
     match check {
         DiamondCheck::Diamond { routes } => {
             assert_eq!(routes.len(), 1);
@@ -107,6 +120,13 @@ fn driving_a_single_transaction_flips_trace_based_tools() {
     let (mut chain, _, proxy, _) = hidden_honeypot();
     let victim = chain.new_funded_account();
     chain.transact(victim, proxy, vec![0xff; 4], U256::ZERO);
-    assert!(CrushLike::new().detect_proxy(&chain, proxy));
-    assert_eq!(SalehiReplay::new().detect_proxy(&chain, proxy), Some(true));
+    assert!(CrushLike::new()
+        .detect_proxy(&chain, proxy)
+        .expect("in-memory chain reads are infallible"));
+    assert_eq!(
+        SalehiReplay::new()
+            .detect_proxy(&chain, proxy)
+            .expect("in-memory chain reads are infallible"),
+        Some(true)
+    );
 }
