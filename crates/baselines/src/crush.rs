@@ -2,9 +2,10 @@
 //! storage-collision engine.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use proxion_chain::{ChainSource, SourceResult};
-use proxion_core::{StorageCollisionDetector, StorageCollisionReport};
+use proxion_core::{ArtifactStore, StorageCollisionDetector, StorageCollisionReport};
 use proxion_evm::CallKind;
 use proxion_primitives::Address;
 
@@ -30,6 +31,13 @@ impl CrushLike {
     /// Creates the analyzer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Shares an artifact store with the inner storage-collision engine
+    /// (layout recovery then reuses per-codehash artifacts).
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactStore>) -> Self {
+        self.detector = self.detector.with_artifacts(artifacts);
+        self
     }
 
     /// Discovers proxy/logic pairs from the chain's recorded transaction

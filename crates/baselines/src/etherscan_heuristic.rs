@@ -1,21 +1,31 @@
 //! The Etherscan proxy-verification heuristic.
 
-use proxion_asm::opcode;
+use std::sync::Arc;
+
 use proxion_chain::{ChainSource, SourceResult};
-use proxion_disasm::Disassembly;
+use proxion_core::ArtifactStore;
 use proxion_primitives::Address;
 
 /// Etherscan's integrated proxy check: a contract is flagged as a proxy
 /// iff its bytecode contains the `DELEGATECALL` opcode. Etherscan
 /// documents that this over-approximates (library users are flagged too);
 /// Proxion's §4.1 uses the same check *only* as a first-stage gate.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct EtherscanHeuristic;
+#[derive(Debug, Clone, Default)]
+pub struct EtherscanHeuristic {
+    artifacts: Arc<ArtifactStore>,
+}
 
 impl EtherscanHeuristic {
-    /// Creates the heuristic.
+    /// Creates the heuristic with its own private artifact store.
     pub fn new() -> Self {
-        EtherscanHeuristic
+        EtherscanHeuristic::default()
+    }
+
+    /// Replaces the artifact store (so a comparison run shares one store
+    /// with the Proxion pipeline instead of re-deriving disassemblies).
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactStore>) -> Self {
+        self.artifacts = artifacts;
+        self
     }
 
     /// Returns `true` if the contract would be flagged as a proxy.
@@ -32,7 +42,7 @@ impl EtherscanHeuristic {
         if code.is_empty() {
             return Ok(false);
         }
-        Ok(Disassembly::new(&code).contains(opcode::DELEGATECALL))
+        Ok(self.artifacts.intern(code).has_delegatecall())
     }
 }
 
@@ -72,5 +82,8 @@ mod tests {
         assert!(!tool
             .detect_proxy(&chain, Address::from_low_u64(0xeeee))
             .unwrap());
+        // Repeat lookups of the same bytecode reuse interned artifacts.
+        assert!(tool.detect_proxy(&chain, proxy).unwrap());
+        assert!(tool.artifacts.stats().hits >= 1);
     }
 }

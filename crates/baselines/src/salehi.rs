@@ -1,7 +1,9 @@
 //! A Salehi-et-al.-style baseline: transaction replay for upgradeability.
 
+use std::sync::Arc;
+
 use proxion_chain::{ChainSource, SourceResult};
-use proxion_core::{ImplSource, ProxyCheck, ProxyDetector};
+use proxion_core::{ArtifactStore, ImplSource, ProxyCheck, ProxyDetector};
 use proxion_evm::CallKind;
 use proxion_primitives::Address;
 
@@ -19,6 +21,12 @@ impl SalehiReplay {
     /// Creates the analyzer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Shares an artifact store with the inner proxy detector.
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactStore>) -> Self {
+        self.detector = self.detector.with_artifacts(artifacts);
+        self
     }
 
     /// Proxy verdict by replay: `None` when the contract has no

@@ -7,20 +7,21 @@
 //! * provenance-tagged emulation vs. the plain disassembly gate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use proxion_core::{Pipeline, PipelineConfig, ProxyDetector};
+use proxion_core::{ArtifactStore, Pipeline, PipelineConfig, ProxyDetector};
 use proxion_dataset::{Landscape, LandscapeConfig};
-use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Disassembly};
+use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Cfg, Disassembly};
 use proxion_solc::{compile, templates};
 
 fn bench_selector_extraction(c: &mut Criterion) {
     let compiled = compile(&templates::plain_token("T")).unwrap();
     let disasm = Disassembly::new(&compiled.runtime);
+    let cfg = Cfg::new(&disasm);
     let mut group = c.benchmark_group("ablation_selector_extraction");
     group.bench_function("dispatcher_walk", |b| {
         b.iter(|| std::hint::black_box(extract_dispatcher_selectors(&disasm)))
     });
     group.bench_function("naive_push4", |b| {
-        b.iter(|| std::hint::black_box(naive_push4_selectors(&disasm)))
+        b.iter(|| std::hint::black_box(naive_push4_selectors(&disasm, &cfg)))
     });
     group.finish();
 }
@@ -72,13 +73,15 @@ fn bench_gate_vs_emulation(c: &mut Criterion) {
     let detector = ProxyDetector::new();
     let mut group = c.benchmark_group("ablation_detection_stages");
     group.sample_size(20);
+    // A pass-through store derives the artifacts fresh on every lookup,
+    // so this measures the raw per-contract disassembly gate.
+    let store = ArtifactStore::passthrough();
     group.bench_function("stage1_disasm_gate_only", |b| {
         b.iter(|| {
             let mut hits = 0usize;
             for contract in &landscape.contracts {
                 let code = landscape.chain.code_at(contract.address);
-                let disasm = Disassembly::new(&code);
-                if disasm.contains(proxion_asm::opcode::DELEGATECALL) {
+                if !code.is_empty() && store.intern(code).has_delegatecall() {
                     hits += 1;
                 }
             }

@@ -1,0 +1,103 @@
+//! Benchmark for the per-codehash artifact store (DESIGN.md "Artifact
+//! layer"): a many-proxies/few-logics population where most contracts
+//! share one of a handful of bytecodes, analyzed with the interning
+//! store enabled vs. a pass-through store that re-derives disassembly,
+//! CFG, dispatcher, and storage-layout artifacts for every address.
+//!
+//! Before timing anything the harness asserts the store's accounting:
+//! every contract interns exactly once, so over a full `analyze_all`
+//! `hits == N_contracts - N_unique_codehashes` and
+//! `misses == N_unique_codehashes`.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_chain::Chain;
+use proxion_core::{ArtifactStore, Pipeline, PipelineConfig};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::keccak256;
+use proxion_solc::{compile, templates};
+
+/// Distinct logic contracts; everything else is a proxy to one of them.
+const LOGICS: usize = 4;
+/// Minimal proxies, round-robined over the logics. Proxies that share a
+/// logic share their runtime bytecode verbatim.
+const PROXIES: usize = 300;
+
+fn build_world() -> (Chain, Etherscan) {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    let logics: Vec<_> = (0..LOGICS)
+        .map(|i| {
+            let spec = templates::simple_logic(&format!("Logic{i}"));
+            chain
+                .install_new(deployer, compile(&spec).unwrap().runtime)
+                .unwrap()
+        })
+        .collect();
+    for i in 0..PROXIES {
+        chain
+            .install_new(
+                deployer,
+                templates::minimal_proxy_runtime(logics[i % LOGICS]),
+            )
+            .unwrap();
+    }
+    (chain, Etherscan::new())
+}
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        parallelism: 1,
+        resolve_history: false,
+        check_collisions: false,
+        check_historical_pairs: false,
+        ..PipelineConfig::default()
+    }
+}
+
+fn bench_artifact_reuse(c: &mut Criterion) {
+    let (chain, etherscan) = build_world();
+
+    // Accounting check (the acceptance criterion for the store): one
+    // intern per analyzed contract, one miss per distinct codehash.
+    let pipeline = Pipeline::new(config());
+    let report = pipeline.analyze_all(&chain, &etherscan).unwrap();
+    let unique: BTreeSet<_> = chain
+        .contracts()
+        .into_iter()
+        .map(|address| keccak256(chain.code_at(address).as_slice()))
+        .collect();
+    let stats = pipeline.artifacts().stats();
+    assert_eq!(
+        stats.misses,
+        unique.len() as u64,
+        "one artifact-store miss per distinct codehash"
+    );
+    assert_eq!(
+        stats.hits,
+        (report.total() - unique.len()) as u64,
+        "every repeated codehash must hit the artifact store"
+    );
+
+    let mut group = c.benchmark_group("artifact_reuse");
+    group.sample_size(10);
+    group.bench_function("store_enabled", |b| {
+        b.iter(|| {
+            let pipeline = Pipeline::new(config());
+            std::hint::black_box(pipeline.analyze_all(&chain, &etherscan).unwrap())
+        })
+    });
+    group.bench_function("store_passthrough", |b| {
+        b.iter(|| {
+            let pipeline =
+                Pipeline::new(config()).with_artifacts(Arc::new(ArtifactStore::passthrough()));
+            std::hint::black_box(pipeline.analyze_all(&chain, &etherscan).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_artifact_reuse);
+criterion_main!(benches);

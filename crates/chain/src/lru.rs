@@ -154,6 +154,46 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         );
     }
 
+    /// Returns the cached value for `key`, or inserts the one produced by
+    /// `make` and returns it. Unlike [`get`](Self::get) + [`insert`](Self::insert),
+    /// the shard lock **is** held while `make` runs, so concurrent callers
+    /// for the same key observe exactly one call to `make` and all receive
+    /// clones of the same stored value — which is what lets an interning
+    /// cache guarantee pointer-identical `Arc`s per key. Only use this with
+    /// cheap constructors; expensive computations should go through the
+    /// unlocked `get`/`insert` pair instead.
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V {
+        let mut shard = self.shard(&key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(entry) = shard.entries.get_mut(&key) {
+            entry.last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.value.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if shard.entries.len() >= self.per_shard_capacity {
+            let oldest = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(oldest) = oldest {
+                shard.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let value = make();
+        shard.entries.insert(
+            key,
+            Entry {
+                value: value.clone(),
+                last_used: tick,
+            },
+        );
+        value
+    }
+
     /// Current counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -226,6 +266,28 @@ mod tests {
         assert_eq!(cache.get(&0), Some(1));
         assert_eq!(cache.get(&b), None);
         assert_eq!(cache.get(&c), Some(3));
+    }
+
+    #[test]
+    fn get_or_insert_with_runs_make_once_per_key() {
+        let cache: ShardedLru<u64, std::sync::Arc<u64>> = ShardedLru::new(64);
+        let first = cache.get_or_insert_with(7, || std::sync::Arc::new(70));
+        let second = cache.get_or_insert_with(7, || std::sync::Arc::new(71));
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        assert_eq!(*second, 70, "second make closure never ran");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn get_or_insert_with_evicts_at_capacity() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(16);
+        let second = shard_mates(&cache, 1)[0];
+        cache.get_or_insert_with(0, || 10);
+        cache.get_or_insert_with(second, || 20);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(&0), None, "older entry evicted");
+        assert_eq!(cache.get(&second), Some(20));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use proxion_core::{
     StorageCollisionDetector,
 };
 use proxion_dataset::{CollisionCorpus, Landscape, LandscapeConfig};
-use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Disassembly};
+use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Cfg, Disassembly};
 use proxion_primitives::{decode_hex, encode_hex, selector, Address, U256};
 use proxion_service::json::{self, JsonValue};
 use proxion_service::{loadgen as service_loadgen, server, LoadgenConfig, ServerConfig};
@@ -92,7 +92,7 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
     for s in &info.selectors {
         println!("  0x{}", encode_hex(s));
     }
-    let naive = naive_push4_selectors(&disasm);
+    let naive = naive_push4_selectors(&disasm, &Cfg::new(&disasm));
     let junk: Vec<_> = naive.difference(&info.selectors).collect();
     if !junk.is_empty() {
         println!(
@@ -184,7 +184,7 @@ fn traced_detection(code: &[u8], path: &str) -> Result<(), String> {
 fn inspect_json(code: &[u8]) -> Result<(), String> {
     let disasm = Disassembly::new(code);
     let info = extract_dispatcher_selectors(&disasm);
-    let naive = naive_push4_selectors(&disasm);
+    let naive = naive_push4_selectors(&disasm, &Cfg::new(&disasm));
     let junk: Vec<JsonValue> = naive
         .difference(&info.selectors)
         .map(|s| format!("0x{}", encode_hex(s)).into())
@@ -228,15 +228,17 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         total_contracts: contracts,
     });
     let started = std::time::Instant::now();
-    let report = Pipeline::new(PipelineConfig {
+    let pipeline = Pipeline::new(PipelineConfig {
         parallelism: 8,
         resolve_history: true,
         check_collisions: true,
         check_historical_pairs: false,
         ..PipelineConfig::default()
-    })
-    .analyze_all(&landscape.chain, &landscape.etherscan)
-    .expect("in-memory chain reads are infallible");
+    });
+    let report = pipeline
+        .analyze_all(&landscape.chain, &landscape.etherscan)
+        .expect("in-memory chain reads are infallible");
+    let artifact_stats = pipeline.artifacts().stats();
     if as_json {
         let standards = report.standard_distribution();
         let standard_members: Vec<(&str, JsonValue)> = [
@@ -264,6 +266,11 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
             ("upgraded_proxies", report.upgraded_proxy_count().into()),
             ("upgrade_events", report.total_upgrade_events().into()),
             ("source_errors", report.source_error_count().into()),
+            ("unique_codehashes", artifact_stats.entries.into()),
+            (
+                "artifact_cache",
+                json::parse(&json::to_json(&artifact_stats)).expect("valid JSON"),
+            ),
             (
                 "reports",
                 json::parse(&json::to_json(&report.reports)).expect("valid JSON"),
@@ -300,6 +307,11 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         "upgrades: {} proxies upgraded ({} events)",
         report.upgraded_proxy_count(),
         report.total_upgrade_events()
+    );
+    println!(
+        "artifacts: {} unique codehashes, {:.0}% cache reuse",
+        artifact_stats.entries,
+        100.0 * artifact_stats.hit_rate()
     );
     Ok(())
 }

@@ -1,0 +1,457 @@
+//! Per-codehash program-analysis artifacts.
+//!
+//! The paper's measurement (and our dataset generator) show a small set
+//! of logic implementations shared by huge numbers of proxies: identical
+//! bytecode reaches the analyzers thousands of times. Every derived
+//! program-analysis product — the disassembly, the CFG, the dispatcher
+//! selector table, the storage access-region summary — is a pure function
+//! of the bytecode, and a contract's bytecode is immutable under its
+//! codehash (`keccak256(code)`): an account can only change code by
+//! self-destructing or via CREATE2 redeployment, both of which change the
+//! *account*, never the meaning of a hash already seen. That makes the
+//! codehash a perfect cache key with no invalidation story at all.
+//!
+//! [`CodeArtifacts`] bundles the derived products for one bytecode,
+//! each computed lazily (via [`OnceLock`]) the first time any consumer
+//! asks for it. [`ArtifactStore`] interns artifacts once per codehash in
+//! a sharded, size-bounded LRU and hands out `Arc<CodeArtifacts>`, so a
+//! proxy checked by the detector, then re-checked by the follower, then
+//! layout-compared by the storage detector pays for disassembly and CFG
+//! construction exactly once.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use proxion_asm::opcode;
+use proxion_chain::ShardedLru;
+use proxion_disasm::{
+    extract_dispatcher_selectors, naive_push4_selectors, Cfg, Disassembly, DispatcherInfo,
+};
+use proxion_primitives::{keccak256, B256};
+
+use crate::storage::{self, AccessRegion};
+
+/// The derived program-analysis products of one bytecode, keyed by its
+/// codehash and computed lazily on first use.
+///
+/// Every field is a pure function of `code`, so a `CodeArtifacts` is
+/// immutable once constructed and safe to share across threads behind an
+/// [`Arc`] — concurrent first accesses of the same lazy field race
+/// benignly inside [`OnceLock`].
+#[derive(Debug)]
+pub struct CodeArtifacts {
+    /// Shared with the provider layer's bytecode interning — wrapping the
+    /// `Arc` the backend already hands out makes interning zero-copy.
+    code: Arc<Vec<u8>>,
+    code_hash: B256,
+    disassembly: OnceLock<Disassembly>,
+    cfg: OnceLock<Cfg>,
+    dispatcher: OnceLock<DispatcherInfo>,
+    push4_immediates: OnceLock<Vec<[u8; 4]>>,
+    reachable_push4: OnceLock<BTreeSet<[u8; 4]>>,
+    /// `(has DELEGATECALL, has SLOAD)`.
+    opcode_flags: OnceLock<(bool, bool)>,
+    access_regions: OnceLock<Vec<AccessRegion>>,
+}
+
+impl CodeArtifacts {
+    /// Wraps a bytecode, computing its codehash.
+    pub fn new(code: Arc<Vec<u8>>) -> Self {
+        let code_hash = keccak256(code.as_slice());
+        CodeArtifacts::with_hash(code_hash, code)
+    }
+
+    /// Wraps a bytecode whose codehash the caller already knows.
+    ///
+    /// The hash is trusted, not re-verified — pass only a hash actually
+    /// computed from `code` (interning under a wrong key would serve
+    /// these artifacts to every contract sharing that key).
+    pub fn with_hash(code_hash: B256, code: Arc<Vec<u8>>) -> Self {
+        CodeArtifacts {
+            code,
+            code_hash,
+            disassembly: OnceLock::new(),
+            cfg: OnceLock::new(),
+            dispatcher: OnceLock::new(),
+            push4_immediates: OnceLock::new(),
+            reachable_push4: OnceLock::new(),
+            opcode_flags: OnceLock::new(),
+            access_regions: OnceLock::new(),
+        }
+    }
+
+    /// The raw runtime bytecode.
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// `keccak256` of the bytecode — the interning key.
+    pub fn code_hash(&self) -> B256 {
+        self.code_hash
+    }
+
+    /// Whether the bytecode is empty (EOA or self-destructed account).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The linear disassembly (paper §4.1), built on first access.
+    pub fn disassembly(&self) -> &Disassembly {
+        self.disassembly
+            .get_or_init(|| Disassembly::new(&self.code))
+    }
+
+    /// Offsets of every `JUMPDEST` in the bytecode.
+    pub fn jumpdests(&self) -> &BTreeSet<usize> {
+        self.disassembly().jumpdests()
+    }
+
+    /// The control-flow graph over the disassembly.
+    pub fn cfg(&self) -> &Cfg {
+        self.cfg.get_or_init(|| Cfg::new(self.disassembly()))
+    }
+
+    /// The dispatcher selector table (paper §5.1): `PUSH4` immediates
+    /// that participate in a dispatcher comparison.
+    pub fn dispatcher(&self) -> &DispatcherInfo {
+        self.dispatcher
+            .get_or_init(|| extract_dispatcher_selectors(self.disassembly()))
+    }
+
+    /// Every well-formed `PUSH4` immediate, in code order (including
+    /// unreachable and embedded-payload ones — see
+    /// [`reachable_push4`](Self::reachable_push4) for the filtered set).
+    pub fn push4_immediates(&self) -> &[[u8; 4]] {
+        self.push4_immediates
+            .get_or_init(|| self.disassembly().push4_immediates())
+    }
+
+    /// `PUSH4` immediates restricted to CFG-reachable blocks — the
+    /// candidate set `craft_call_data` must avoid, and the naive baseline
+    /// of the paper's §3.1 ablation.
+    pub fn reachable_push4(&self) -> &BTreeSet<[u8; 4]> {
+        self.reachable_push4
+            .get_or_init(|| naive_push4_selectors(self.disassembly(), self.cfg()))
+    }
+
+    /// Whether the bytecode contains a `DELEGATECALL` opcode (the paper's
+    /// §4.1 gate).
+    pub fn has_delegatecall(&self) -> bool {
+        self.opcode_flags().0
+    }
+
+    /// Whether the bytecode contains an `SLOAD` opcode.
+    pub fn has_sload(&self) -> bool {
+        self.opcode_flags().1
+    }
+
+    fn opcode_flags(&self) -> (bool, bool) {
+        *self.opcode_flags.get_or_init(|| {
+            let disasm = self.disassembly();
+            (
+                disasm.contains(opcode::DELEGATECALL),
+                disasm.contains(opcode::SLOAD),
+            )
+        })
+    }
+
+    /// The storage access-region summary (paper §5.2): the result of the
+    /// CRUSH-style abstract interpretation over the CFG.
+    pub fn access_regions(&self) -> &[AccessRegion] {
+        self.access_regions
+            .get_or_init(|| storage::infer_regions(self.disassembly()))
+    }
+}
+
+/// Counters of an [`ArtifactStore`].
+///
+/// `hits`/`misses`/`evictions`/`interned_bytes` are monotonic;
+/// `entries` is the current resident count (which doubles as the number
+/// of unique codehashes currently cached). `interned_bytes` sums the raw
+/// bytecode length of every artifact ever constructed — it is *not*
+/// decremented on eviction, so it measures total construction work, not
+/// resident memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ArtifactStoreStats {
+    /// Interns that found an existing artifact for the codehash.
+    pub hits: u64,
+    /// Interns that had to construct a fresh artifact.
+    pub misses: u64,
+    /// Artifacts evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Artifacts currently resident (unique codehashes cached).
+    pub entries: usize,
+    /// Total bytecode bytes ever interned (monotonic).
+    pub interned_bytes: u64,
+}
+
+impl ArtifactStoreStats {
+    /// Hit rate in `[0, 1]`; zero when no interns happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, size-bounded interning cache of [`CodeArtifacts`] keyed by
+/// codehash.
+///
+/// [`intern`](Self::intern) returns `Arc<CodeArtifacts>`; two concurrent
+/// interns of the same codehash observe exactly one construction and
+/// share one `Arc` (the underlying [`ShardedLru::get_or_insert_with`]
+/// holds the shard lock across the — cheap, lazy-field-free —
+/// constructor). The [`passthrough`](Self::passthrough) variant caches
+/// nothing and constructs fresh artifacts on every intern; it exists so
+/// benchmarks and ablations can measure exactly what the store saves.
+pub struct ArtifactStore {
+    /// `None` in passthrough mode.
+    cache: Option<ShardedLru<B256, Arc<CodeArtifacts>>>,
+    interned_bytes: AtomicU64,
+    /// Intern count in passthrough mode (reported as misses).
+    passthrough_misses: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Default capacity in artifacts (matches the analysis-result cache;
+    /// the paper's full-chain run sees far fewer *unique* codehashes than
+    /// contracts).
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a store with the default capacity.
+    pub fn new() -> Self {
+        ArtifactStore::with_capacity(ArtifactStore::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a store holding roughly `capacity` artifacts in total.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ArtifactStore {
+            cache: Some(ShardedLru::new(capacity)),
+            interned_bytes: AtomicU64::new(0),
+            passthrough_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a store that never caches: every intern constructs fresh
+    /// artifacts (and counts as a miss). The baseline arm of the
+    /// `artifact_reuse` bench.
+    pub fn passthrough() -> Self {
+        ArtifactStore {
+            cache: None,
+            interned_bytes: AtomicU64::new(0),
+            passthrough_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this store was built with [`passthrough`](Self::passthrough).
+    pub fn is_passthrough(&self) -> bool {
+        self.cache.is_none()
+    }
+
+    /// Interns a bytecode, computing its codehash. Takes the `Arc` the
+    /// [`proxion_chain::ChainSource`] backends hand out, so a cache hit
+    /// copies nothing.
+    pub fn intern(&self, code: Arc<Vec<u8>>) -> Arc<CodeArtifacts> {
+        let code_hash = keccak256(code.as_slice());
+        self.intern_with_hash(code_hash, code)
+    }
+
+    /// Interns an owned bytecode (tests, CLI input): convenience wrapper
+    /// around [`intern`](Self::intern).
+    pub fn intern_bytes(&self, code: Vec<u8>) -> Arc<CodeArtifacts> {
+        self.intern(Arc::new(code))
+    }
+
+    /// Interns a bytecode under a codehash the caller already computed.
+    ///
+    /// As with [`CodeArtifacts::with_hash`], the hash is trusted — a
+    /// wrong key would serve these artifacts to other contracts.
+    pub fn intern_with_hash(&self, code_hash: B256, code: Arc<Vec<u8>>) -> Arc<CodeArtifacts> {
+        match &self.cache {
+            Some(cache) => cache.get_or_insert_with(code_hash, || {
+                self.interned_bytes
+                    .fetch_add(code.len() as u64, Ordering::Relaxed);
+                Arc::new(CodeArtifacts::with_hash(code_hash, code))
+            }),
+            None => {
+                self.passthrough_misses.fetch_add(1, Ordering::Relaxed);
+                self.interned_bytes
+                    .fetch_add(code.len() as u64, Ordering::Relaxed);
+                Arc::new(CodeArtifacts::with_hash(code_hash, code))
+            }
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ArtifactStoreStats {
+        let interned_bytes = self.interned_bytes.load(Ordering::Relaxed);
+        match &self.cache {
+            Some(cache) => {
+                let inner = cache.stats();
+                ArtifactStoreStats {
+                    hits: inner.hits,
+                    misses: inner.misses,
+                    evictions: inner.evictions,
+                    entries: inner.entries,
+                    interned_bytes,
+                }
+            }
+            None => ArtifactStoreStats {
+                hits: 0,
+                misses: self.passthrough_misses.load(Ordering::Relaxed),
+                evictions: 0,
+                entries: 0,
+                interned_bytes,
+            },
+        }
+    }
+}
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        ArtifactStore::new()
+    }
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("passthrough", &self.is_passthrough())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_asm::opcode as op;
+
+    fn sample_code() -> Vec<u8> {
+        // DUP1 PUSH4 0xdf4a3106 EQ PUSH2 0x0010 JUMPI STOP ... JUMPDEST
+        // SLOAD DELEGATECALL-shaped body (opcodes only; never executed).
+        vec![
+            op::DUP1,
+            op::PUSH4,
+            0xdf,
+            0x4a,
+            0x31,
+            0x06,
+            op::EQ,
+            op::PUSH2,
+            0x00,
+            0x10,
+            op::JUMPI,
+            op::STOP,
+            op::STOP,
+            op::STOP,
+            op::STOP,
+            op::STOP,
+            op::JUMPDEST,
+            op::SLOAD,
+            op::DELEGATECALL,
+            op::STOP,
+        ]
+    }
+
+    #[test]
+    fn lazy_fields_match_direct_computation() {
+        let code = sample_code();
+        let artifacts = CodeArtifacts::new(Arc::new(code.clone()));
+        assert_eq!(artifacts.code_hash(), keccak256(&code));
+        let disasm = Disassembly::new(&code);
+        assert_eq!(
+            artifacts.dispatcher().selectors,
+            extract_dispatcher_selectors(&disasm).selectors
+        );
+        assert_eq!(
+            artifacts.reachable_push4(),
+            &naive_push4_selectors(&disasm, &Cfg::new(&disasm))
+        );
+        assert_eq!(artifacts.push4_immediates(), disasm.push4_immediates());
+        assert_eq!(artifacts.jumpdests(), disasm.jumpdests());
+        assert!(artifacts.has_delegatecall());
+        assert!(artifacts.has_sload());
+        assert_eq!(
+            artifacts.cfg().blocks().len(),
+            Cfg::new(&disasm).blocks().len()
+        );
+    }
+
+    #[test]
+    fn intern_shares_one_arc_per_codehash() {
+        let store = ArtifactStore::new();
+        let first = store.intern_bytes(sample_code());
+        let second = store.intern_bytes(sample_code());
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.interned_bytes, sample_code().len() as u64);
+    }
+
+    #[test]
+    fn passthrough_never_shares() {
+        let store = ArtifactStore::passthrough();
+        assert!(store.is_passthrough());
+        let first = store.intern_bytes(sample_code());
+        let second = store.intern_bytes(sample_code());
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(first.code_hash(), second.code_hash());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 0));
+        assert_eq!(stats.interned_bytes, 2 * sample_code().len() as u64);
+    }
+
+    #[test]
+    fn concurrent_interns_of_one_codehash_share_one_arc() {
+        let store = Arc::new(ArtifactStore::new());
+        let code = Arc::new(sample_code());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let code = Arc::clone(&code);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store.intern(code)
+                })
+            })
+            .collect();
+        let artifacts: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for other in &artifacts[1..] {
+            assert!(
+                Arc::ptr_eq(&artifacts[0], other),
+                "all workers must share the single interned artifact"
+            );
+        }
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1, "exactly one construction");
+        assert_eq!(stats.hits, 7);
+        assert_eq!(stats.interned_bytes, sample_code().len() as u64);
+    }
+
+    #[test]
+    fn empty_code_artifacts_are_well_formed() {
+        let artifacts = CodeArtifacts::new(Arc::new(Vec::new()));
+        assert!(artifacts.is_empty());
+        assert!(!artifacts.has_delegatecall());
+        assert!(artifacts.dispatcher().selectors.is_empty());
+        assert!(artifacts.access_regions().is_empty());
+    }
+
+    #[test]
+    fn hit_rate_reports_reuse() {
+        let store = ArtifactStore::new();
+        for _ in 0..4 {
+            store.intern_bytes(sample_code());
+        }
+        let stats = store.stats();
+        assert_eq!(stats.hits, 3);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

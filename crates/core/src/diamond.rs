@@ -10,11 +10,13 @@
 
 use std::collections::BTreeSet;
 
+use std::sync::Arc;
+
 use proxion_chain::{ChainSource, SourceHost, SourceResult};
-use proxion_disasm::Disassembly;
 use proxion_evm::{Evm, Message, Origin, RecordingInspector};
 use proxion_primitives::{Address, U256};
 
+use crate::artifacts::ArtifactStore;
 use crate::proxy::{NotProxyReason, ProxyCheck, ProxyDetector};
 
 /// A facet routing discovered for one selector.
@@ -63,6 +65,13 @@ impl DiamondDetector {
     /// Creates the detector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Replaces the inner detector's artifact store — the pipeline uses
+    /// this to share one store across every analysis stage.
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactStore>) -> Self {
+        self.base = self.base.with_artifacts(artifacts);
+        self
     }
 
     /// Harvests the 4-byte selectors a contract has historically been
@@ -115,11 +124,10 @@ impl DiamondDetector {
         if selectors.is_empty() {
             return Ok(DiamondCheck::NoHistory);
         }
-        let code = chain.code_at(address)?;
-        let disasm = Disassembly::new(&code);
+        let artifacts = self.base.artifacts().intern(chain.code_at(address)?);
         // Reuse the detector's padding so forwarded-input comparison uses
         // realistic call-data lengths.
-        let template = self.base.craft_call_data(&disasm, address);
+        let template = self.base.craft_call_data(&artifacts, address);
         let env = chain.env()?;
         let mut routes = Vec::new();
         for selector in selectors {

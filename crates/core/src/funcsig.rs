@@ -2,11 +2,13 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use proxion_chain::{ChainSource, SourceResult};
-use proxion_disasm::{extract_dispatcher_selectors, Disassembly};
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{encode_hex, Address};
+
+use crate::artifacts::ArtifactStore;
 
 /// How a contract's selector set was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -87,12 +89,21 @@ impl FunctionCollisionReport {
 /// comparison count, which is what keeps the false-positive rate near
 /// zero (Table 2: 99.5% accuracy, no false positives).
 #[derive(Debug, Clone, Default)]
-pub struct FunctionCollisionDetector;
+pub struct FunctionCollisionDetector {
+    artifacts: Arc<ArtifactStore>,
+}
 
 impl FunctionCollisionDetector {
-    /// Creates a detector.
+    /// Creates a detector with its own private artifact store.
     pub fn new() -> Self {
-        FunctionCollisionDetector
+        FunctionCollisionDetector::default()
+    }
+
+    /// Replaces the artifact store — the pipeline uses this to share one
+    /// store across every analysis stage.
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactStore>) -> Self {
+        self.artifacts = artifacts;
+        self
     }
 
     /// Extracts a contract's selector set and names (names only when
@@ -120,9 +131,9 @@ impl FunctionCollisionDetector {
         if code.is_empty() {
             return Ok((BTreeSet::new(), Vec::new(), SelectorSource::NoCode));
         }
-        let disasm = Disassembly::new(&code);
-        let info = extract_dispatcher_selectors(&disasm);
-        Ok((info.selectors, Vec::new(), SelectorSource::Bytecode))
+        let artifacts = self.artifacts.intern(code);
+        let selectors = artifacts.dispatcher().selectors.clone();
+        Ok((selectors, Vec::new(), SelectorSource::Bytecode))
     }
 
     /// Checks one proxy/logic pair.

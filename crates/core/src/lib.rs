@@ -55,6 +55,7 @@
 
 #![deny(missing_docs)]
 
+mod artifacts;
 mod cache;
 mod diamond;
 mod funcsig;
@@ -63,6 +64,7 @@ mod pipeline;
 mod proxy;
 mod storage;
 
+pub use artifacts::{ArtifactStore, ArtifactStoreStats, CodeArtifacts};
 pub use cache::{AnalysisCache, AnalysisCacheStats, CacheStats, CachedVerdict, ShardedLru};
 pub use diamond::{DiamondCheck, DiamondDetector, FacetRoute};
 pub use funcsig::{

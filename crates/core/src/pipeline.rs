@@ -15,6 +15,7 @@ use proxion_etherscan::Etherscan;
 use proxion_primitives::{Address, B256};
 use proxion_telemetry::{Outcome, Stage, Telemetry};
 
+use crate::artifacts::{ArtifactStore, CodeArtifacts};
 use crate::cache::{AnalysisCache, CachedVerdict};
 use crate::funcsig::{FunctionCollisionDetector, FunctionCollisionReport};
 use crate::logic::{LogicHistory, LogicResolver};
@@ -266,6 +267,10 @@ pub struct Pipeline {
     storage: StorageCollisionDetector,
     cache: Arc<AnalysisCache>,
     telemetry: Arc<Telemetry>,
+    /// One artifact store shared by every stage (and, through
+    /// [`Pipeline::artifacts`], by the service workers and follower):
+    /// disassembly/CFG/selector work happens once per unique codehash.
+    artifacts: Arc<ArtifactStore>,
 }
 
 impl Default for Pipeline {
@@ -285,15 +290,34 @@ impl Pipeline {
     /// path and the block follower pass the same cache here, so a warm
     /// batch run keeps serving its verdicts to later requests.
     pub fn with_cache(config: PipelineConfig, cache: Arc<AnalysisCache>) -> Self {
+        let artifacts = Arc::new(ArtifactStore::new());
         Pipeline {
             config,
-            detector: ProxyDetector::new(),
+            detector: ProxyDetector::new().with_artifacts(Arc::clone(&artifacts)),
             resolver: LogicResolver::new(),
-            functions: FunctionCollisionDetector::new(),
-            storage: StorageCollisionDetector::new(),
+            functions: FunctionCollisionDetector::new().with_artifacts(Arc::clone(&artifacts)),
+            storage: StorageCollisionDetector::new().with_artifacts(Arc::clone(&artifacts)),
             cache,
             telemetry: Arc::new(Telemetry::disabled()),
+            artifacts,
         }
+    }
+
+    /// Replaces the shared artifact store (and rewires every stage to
+    /// it). Benchmarks pass [`ArtifactStore::passthrough`] here to measure
+    /// what interning saves.
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactStore>) -> Self {
+        self.detector = self.detector.with_artifacts(Arc::clone(&artifacts));
+        self.functions = self.functions.with_artifacts(Arc::clone(&artifacts));
+        self.storage = self.storage.with_artifacts(Arc::clone(&artifacts));
+        self.artifacts = artifacts;
+        self
+    }
+
+    /// The shared per-codehash artifact store (its stats feed the `stats`
+    /// RPC and `/metrics`).
+    pub fn artifacts(&self) -> &Arc<ArtifactStore> {
+        &self.artifacts
     }
 
     /// Attaches a telemetry sink: every stage of every analysis records a
@@ -479,14 +503,22 @@ impl Pipeline {
         address: Address,
     ) -> SourceResult<ContractReport> {
         let code = chain.code_at(address)?;
-        let code_hash = proxion_primitives::keccak256(code.as_slice());
+        let artifacts = {
+            let _span = self
+                .telemetry
+                .span(Stage::ArtifactStore, "intern_artifacts");
+            self.artifacts.intern(code)
+        };
+        let code_hash = artifacts.code_hash();
 
         // Proxy detection is bytecode-determined (except the concrete
         // logic address); reuse cached verdicts for identical bytecode.
         let check = match self.cache.get_check(&code_hash) {
-            Some(verdict) => self.rehydrate(chain, address, &verdict)?,
+            Some(verdict) => self.rehydrate(chain, address, &artifacts, &verdict)?,
             None => {
-                let fresh = self.detector.try_check(chain, address)?;
+                let fresh = self
+                    .detector
+                    .try_check_artifacts(chain, address, &artifacts)?;
                 let verdict = match &fresh {
                     ProxyCheck::Proxy {
                         impl_source,
@@ -611,6 +643,7 @@ impl Pipeline {
         &self,
         chain: &S,
         address: Address,
+        artifacts: &CodeArtifacts,
         cache: &CachedVerdict,
     ) -> SourceResult<ProxyCheck> {
         if !cache.is_proxy {
@@ -628,8 +661,9 @@ impl Pipeline {
             }
             ImplSource::Hardcoded | ImplSource::Computed => {
                 // Hard-coded addresses require reading the bytecode; rerun
-                // the cheap emulation path for exactness.
-                return self.detector.try_check(chain, address);
+                // the cheap emulation path for exactness (against the
+                // already-interned artifacts — no re-disassembly).
+                return self.detector.try_check_artifacts(chain, address, artifacts);
             }
         };
         Ok(ProxyCheck::Proxy {

@@ -3,12 +3,13 @@
 use std::sync::Arc;
 
 use proxion_chain::{ChainSource, SourceHost, SourceResult};
-use proxion_disasm::Disassembly;
 use proxion_evm::{Evm, Message, Origin, ProfilingInspector, RecordingInspector};
 use proxion_primitives::{Address, DetRng, U256};
 use proxion_solc::templates::parse_minimal_proxy;
 use proxion_solc::SlotSpec;
 use proxion_telemetry::{Outcome, Stage, Telemetry};
+
+use crate::artifacts::{ArtifactStore, CodeArtifacts};
 
 /// Where a proxy keeps its logic-contract address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -119,6 +120,9 @@ pub struct ProxyDetector {
     /// Telemetry sink; disabled by default, in which case the check path
     /// is byte-identical to an un-instrumented detector.
     telemetry: Arc<Telemetry>,
+    /// Per-codehash artifact store: disassembly, CFG and selector tables
+    /// are computed once per unique bytecode and reused across checks.
+    artifacts: Arc<ArtifactStore>,
 }
 
 impl Default for ProxyDetector {
@@ -128,13 +132,14 @@ impl Default for ProxyDetector {
 }
 
 impl ProxyDetector {
-    /// Creates a detector with the default deterministic probe seed and
-    /// telemetry disabled.
+    /// Creates a detector with the default deterministic probe seed,
+    /// telemetry disabled, and a private artifact store.
     pub fn new() -> Self {
         ProxyDetector {
             seed: 0x9df4_a310_6000_0001,
             arg_bytes: 32,
             telemetry: Arc::new(Telemetry::disabled()),
+            artifacts: Arc::new(ArtifactStore::new()),
         }
     }
 
@@ -145,11 +150,26 @@ impl ProxyDetector {
         self
     }
 
+    /// Replaces the artifact store — the pipeline uses this to share one
+    /// store across every analysis stage.
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactStore>) -> Self {
+        self.artifacts = artifacts;
+        self
+    }
+
+    /// The detector's artifact store (shared with composed detectors such
+    /// as [`crate::DiamondDetector`]).
+    pub fn artifacts(&self) -> &Arc<ArtifactStore> {
+        &self.artifacts
+    }
+
     /// Crafts probe call data for a contract: a 4-byte selector differing
-    /// from every `PUSH4` immediate in the bytecode (so it cannot match
-    /// any dispatcher entry), plus 32 bytes of argument padding.
-    pub fn craft_call_data(&self, disasm: &Disassembly, address: Address) -> Vec<u8> {
-        let known: Vec<[u8; 4]> = disasm.push4_immediates();
+    /// from every *reachable* `PUSH4` immediate in the bytecode (so it
+    /// cannot match any dispatcher entry — immediates inside embedded
+    /// CREATE payloads are data, not dispatcher candidates), plus 32 bytes
+    /// of argument padding.
+    pub fn craft_call_data(&self, artifacts: &CodeArtifacts, address: Address) -> Vec<u8> {
+        let known = artifacts.reachable_push4();
         let mut rng = DetRng::new(self.seed ^ U256::from(address).low_u64());
         let selector = loop {
             let candidate = rng.next_selector();
@@ -251,21 +271,47 @@ impl ProxyDetector {
         if code.is_empty() {
             return Ok(ProxyCheck::NotProxy(NotProxyReason::NoCode));
         }
-        // Step 1 (§4.1): disassemble and gate on DELEGATECALL presence.
-        let disasm = {
+        let artifacts = {
+            let _span = self
+                .telemetry
+                .span(Stage::ArtifactStore, "intern_artifacts");
+            self.artifacts.intern(code)
+        };
+        self.try_check_artifacts(chain, address, &artifacts)
+    }
+
+    /// The two-step check against artifacts the caller already interned
+    /// (the pipeline does this once per contract and reuses the handle
+    /// across detection, rehydration, and collision checks).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ProxyDetector::try_check`]: the first backend
+    /// failure the emulation's [`SourceHost`] overlay observed.
+    pub fn try_check_artifacts<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+        artifacts: &CodeArtifacts,
+    ) -> SourceResult<ProxyCheck> {
+        if artifacts.is_empty() {
+            return Ok(ProxyCheck::NotProxy(NotProxyReason::NoCode));
+        }
+        // Step 1 (§4.1): the DELEGATECALL disassembly gate (memoized in
+        // the artifacts; the span still attributes the first, real
+        // disassembly of each unique bytecode to this stage).
+        {
             let mut span = self.telemetry.span(Stage::Disassembly, "delegatecall_gate");
-            let disasm = Disassembly::new(&code);
-            if !disasm.contains(proxion_asm::opcode::DELEGATECALL) {
+            if !artifacts.has_delegatecall() {
                 span.set_outcome(Outcome::NotProxy);
                 return Ok(ProxyCheck::NotProxy(NotProxyReason::NoDelegatecall));
             }
             span.set_outcome(Outcome::Ok);
-            disasm
-        };
+        }
         // Step 2 (§4.2): emulate with crafted call data and observe.
         let call_data = {
             let _span = self.telemetry.span(Stage::Dispatcher, "craft_call_data");
-            self.craft_call_data(&disasm, address)
+            self.craft_call_data(artifacts, address)
         };
         let env = chain.env()?;
         let mut fork = SourceHost::new(chain);
@@ -314,7 +360,7 @@ impl ProxyDetector {
                     Origin::StorageSlot(slot) => ImplSource::StorageSlot(slot),
                     _ => ImplSource::Computed,
                 };
-                let standard = classify(&code, impl_source);
+                let standard = classify(artifacts.code(), impl_source);
                 ProxyCheck::Proxy {
                     logic: obs.logic,
                     impl_source,
@@ -552,12 +598,12 @@ mod tests {
         let proxy = fx.install_spec(&proxy_spec);
         fx.chain.set_storage(proxy, U256::ONE, U256::from(logic));
         let code = fx.chain.code_at(proxy);
-        let disasm = Disassembly::new(&code);
         let detector = ProxyDetector::new();
-        let data = detector.craft_call_data(&disasm, proxy);
+        let artifacts = detector.artifacts().intern(code);
+        let data = detector.craft_call_data(&artifacts, proxy);
         let mut probe_sel = [0u8; 4];
         probe_sel.copy_from_slice(&data[..4]);
-        assert!(!disasm.push4_immediates().contains(&probe_sel));
+        assert!(!artifacts.reachable_push4().contains(&probe_sel));
         // And the full check still identifies the proxy.
         assert!(fx.check(proxy).is_proxy());
     }

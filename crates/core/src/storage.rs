@@ -23,11 +23,14 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use proxion_chain::{ChainSource, SourceHost, SourceResult};
-use proxion_disasm::{extract_dispatcher_selectors, Cfg, Disassembly};
+use proxion_disasm::{Cfg, Disassembly};
 use proxion_evm::{Evm, Host, Message, RecordingInspector};
 use proxion_primitives::{Address, U256};
+
+use crate::artifacts::{ArtifactStore, CodeArtifacts};
 
 /// Whether a region was read or written.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
@@ -201,6 +204,13 @@ fn decode_mask(mask: U256) -> Option<(usize, usize)> {
         return None;
     }
     Some(((trailing / 8) as usize, (width_bits / 8) as usize))
+}
+
+/// Crate-internal hook for the artifact layer: recovers the access-region
+/// summary from an existing disassembly (the body of
+/// [`CodeArtifacts::access_regions`](crate::CodeArtifacts::access_regions)).
+pub(crate) fn infer_regions(disasm: &Disassembly) -> Vec<AccessRegion> {
+    AbstractInterpreter::new().run(disasm)
 }
 
 struct AbstractInterpreter {
@@ -541,21 +551,38 @@ impl AbstractInterpreter {
 
 /// The storage-collision detector.
 #[derive(Debug, Clone, Default)]
-pub struct StorageCollisionDetector;
+pub struct StorageCollisionDetector {
+    artifacts: Arc<ArtifactStore>,
+}
 
 impl StorageCollisionDetector {
-    /// Creates a detector.
+    /// Creates a detector with its own private artifact store.
     pub fn new() -> Self {
-        StorageCollisionDetector
+        StorageCollisionDetector::default()
     }
 
-    /// Recovers the access-region layout of a contract from its bytecode.
+    /// Replaces the artifact store — the pipeline uses this to share one
+    /// store across every analysis stage.
+    pub fn with_artifacts(mut self, artifacts: Arc<ArtifactStore>) -> Self {
+        self.artifacts = artifacts;
+        self
+    }
+
+    /// Recovers the access-region layout of a contract from its bytecode,
+    /// interning (and reusing) the per-codehash artifacts.
     pub fn layout_of(&self, code: &[u8]) -> Vec<AccessRegion> {
         if code.is_empty() {
             return Vec::new();
         }
-        let disasm = Disassembly::new(code);
-        AbstractInterpreter::new().run(&disasm)
+        self.artifacts
+            .intern_bytes(code.to_vec())
+            .access_regions()
+            .to_vec()
+    }
+
+    /// Recovers the access-region layout from already-interned artifacts.
+    pub fn layout_of_artifacts(&self, artifacts: &CodeArtifacts) -> Vec<AccessRegion> {
+        artifacts.access_regions().to_vec()
     }
 
     /// Checks one proxy/logic pair: recovers both layouts, compares
@@ -572,10 +599,10 @@ impl StorageCollisionDetector {
         proxy: Address,
         logic: Address,
     ) -> SourceResult<StorageCollisionReport> {
-        let proxy_code = chain.code_at(proxy)?;
-        let logic_code = chain.code_at(logic)?;
-        let proxy_regions = self.layout_of(&proxy_code);
-        let logic_regions = self.layout_of(&logic_code);
+        let proxy_artifacts = self.artifacts.intern(chain.code_at(proxy)?);
+        let logic_artifacts = self.artifacts.intern(chain.code_at(logic)?);
+        let proxy_regions = proxy_artifacts.access_regions().to_vec();
+        let logic_regions = logic_artifacts.access_regions().to_vec();
 
         let mut collisions = Vec::new();
         for pr in &proxy_regions {
@@ -602,7 +629,7 @@ impl StorageCollisionDetector {
         // Concrete validation pass (CRUSH's exploit generation): run every
         // logic function through the proxy on a fork and watch the writes.
         if collisions.iter().any(|c| c.exploitable) {
-            let writes = self.probe_writes_through_proxy(chain, proxy, &logic_code)?;
+            let writes = self.probe_writes_through_proxy(chain, proxy, &logic_artifacts)?;
             for collision in &mut collisions {
                 if !collision.exploitable {
                     continue;
@@ -638,10 +665,9 @@ impl StorageCollisionDetector {
         &self,
         chain: &S,
         proxy: Address,
-        logic_code: &[u8],
+        logic_artifacts: &CodeArtifacts,
     ) -> SourceResult<Vec<AccessRegion>> {
-        let disasm = Disassembly::new(logic_code);
-        let selectors = extract_dispatcher_selectors(&disasm).selectors;
+        let selectors = logic_artifacts.dispatcher().selectors.clone();
         let env = chain.env()?;
         let mut writes = Vec::new();
         let probe = Address::from_low_u64(0xfeed_5700); // zero low byte

@@ -1,0 +1,82 @@
+//! Property-based tests for the artifact layer: interning must be
+//! semantically invisible. For any bytecode the dataset generator can
+//! produce, the artifacts handed out by an [`ArtifactStore`] must be
+//! byte-for-byte identical to artifacts derived fresh from the same
+//! code — interning may only change *when* work happens, never *what*
+//! the analyzers see.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proxion_core::{ArtifactStore, CodeArtifacts};
+use proxion_dataset::{Landscape, LandscapeConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_artifacts_match_fresh_derivation(
+        seed in any::<u64>(),
+        contracts in 4usize..24,
+    ) {
+        let landscape = Landscape::generate(&LandscapeConfig {
+            seed,
+            total_contracts: contracts,
+        });
+        let store = ArtifactStore::new();
+        for contract in &landscape.contracts {
+            let code = landscape.chain.code_at(contract.address);
+            let fresh = CodeArtifacts::new(Arc::clone(&code));
+            let interned = store.intern(code);
+
+            prop_assert_eq!(fresh.code_hash(), interned.code_hash());
+            prop_assert_eq!(fresh.code(), interned.code());
+            prop_assert_eq!(
+                &fresh.dispatcher().selectors,
+                &interned.dispatcher().selectors
+            );
+            prop_assert_eq!(
+                fresh.dispatcher().has_calldata_prelude,
+                interned.dispatcher().has_calldata_prelude
+            );
+            prop_assert_eq!(fresh.reachable_push4(), interned.reachable_push4());
+            prop_assert_eq!(fresh.push4_immediates(), interned.push4_immediates());
+            prop_assert_eq!(fresh.access_regions(), interned.access_regions());
+            prop_assert_eq!(fresh.has_delegatecall(), interned.has_delegatecall());
+            prop_assert_eq!(fresh.has_sload(), interned.has_sload());
+            let fresh_blocks: Vec<usize> =
+                fresh.cfg().blocks().iter().map(|b| b.start_offset).collect();
+            let interned_blocks: Vec<usize> =
+                interned.cfg().blocks().iter().map(|b| b.start_offset).collect();
+            prop_assert_eq!(fresh_blocks, interned_blocks);
+        }
+        // Re-interning the whole landscape is pure cache hits.
+        let misses_before = store.stats().misses;
+        for contract in &landscape.contracts {
+            store.intern(landscape.chain.code_at(contract.address));
+        }
+        prop_assert_eq!(store.stats().misses, misses_before);
+    }
+
+    #[test]
+    fn passthrough_store_is_also_invisible(seed in any::<u64>()) {
+        let landscape = Landscape::generate(&LandscapeConfig {
+            seed,
+            total_contracts: 6,
+        });
+        let store = ArtifactStore::new();
+        let passthrough = ArtifactStore::passthrough();
+        for contract in &landscape.contracts {
+            let code = landscape.chain.code_at(contract.address);
+            let cached = store.intern(Arc::clone(&code));
+            let fresh = passthrough.intern(code);
+            prop_assert_eq!(cached.code_hash(), fresh.code_hash());
+            prop_assert_eq!(
+                &cached.dispatcher().selectors,
+                &fresh.dispatcher().selectors
+            );
+            prop_assert_eq!(cached.access_regions(), fresh.access_regions());
+        }
+        prop_assert_eq!(passthrough.stats().hits, 0);
+    }
+}

@@ -12,6 +12,7 @@ use std::collections::BTreeSet;
 
 use proxion_asm::opcode;
 
+use crate::cfg::Cfg;
 use crate::insn::Disassembly;
 
 /// The dispatcher structure recovered from a contract.
@@ -132,12 +133,32 @@ fn selector_feeds_dispatch(instructions: &[crate::insn::Instruction], i: usize) 
     false
 }
 
-/// The naive selector extraction: every well-formed `PUSH4` immediate.
-/// This is the flawed method the paper describes (§3.1) and what the
-/// Etherscan-style baseline uses; Proxion's ablation benchmark compares it
-/// against [`extract_dispatcher_selectors`].
-pub fn naive_push4_selectors(disasm: &Disassembly) -> BTreeSet<[u8; 4]> {
-    disasm.push4_immediates().into_iter().collect()
+/// The naive selector extraction: every well-formed `PUSH4` immediate in a
+/// *statically reachable* basic block. This is the flawed method the paper
+/// describes (§3.1) — reachable `abi.encodeWithSignature` constants are
+/// still included, which is what Proxion's ablation benchmark measures
+/// against [`extract_dispatcher_selectors`] — but restricting the sweep to
+/// [`Cfg::reachable_offsets`] keeps `PUSH4`-shaped bytes inside embedded
+/// `CREATE` init/runtime payloads (factory contracts) out of the set: the
+/// linear sweep decodes those data bytes as instructions, yet no static
+/// edge ever enters them.
+pub fn naive_push4_selectors(disasm: &Disassembly, cfg: &Cfg) -> BTreeSet<[u8; 4]> {
+    let reachable = cfg.reachable_offsets();
+    let instructions = disasm.instructions();
+    let mut out = BTreeSet::new();
+    for block in cfg.blocks() {
+        if !reachable.contains(&block.start_offset) {
+            continue;
+        }
+        for insn in &instructions[block.first..=block.last] {
+            if insn.opcode == opcode::PUSH4 && insn.immediate.len() == 4 {
+                let mut sel = [0u8; 4];
+                sel.copy_from_slice(&insn.immediate);
+                out.insert(sel);
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -313,11 +334,53 @@ mod tests {
             op::POP,
         ];
         let d = Disassembly::new(&code);
-        let naive = naive_push4_selectors(&d);
+        let naive = naive_push4_selectors(&d, &Cfg::new(&d));
         let precise = extract_dispatcher_selectors(&d).selectors;
         assert_eq!(naive.len(), 2);
         assert_eq!(precise.len(), 1);
         assert!(naive.is_superset(&precise));
+    }
+
+    #[test]
+    fn factory_embedded_payload_push4_excluded_from_naive() {
+        // A factory-style contract: a reachable dispatcher entry returns,
+        // and the bytes after it are an embedded child init/runtime
+        // payload (what CODECOPY + CREATE would deploy). The payload
+        // contains PUSH4-shaped data that the linear sweep decodes but
+        // that no static edge ever reaches.
+        use proxion_asm::Assembler;
+        let embedded_payload = [
+            op::PUSH4,
+            0xba,
+            0xdc,
+            0x0f,
+            0xfe,
+            op::POP,
+            op::PUSH0,
+            op::PUSH0,
+            op::RETURN,
+        ];
+        let mut asm = Assembler::new();
+        let body = asm.new_label();
+        asm.op(op::DUP1)
+            .push_bytes(&SEL)
+            .op(op::EQ)
+            .jumpi_to(body)
+            .op(op::STOP)
+            .label(body)
+            .op(op::STOP)
+            .raw(&embedded_payload);
+        let code = asm.assemble().unwrap();
+        let d = Disassembly::new(&code);
+        let naive = naive_push4_selectors(&d, &Cfg::new(&d));
+        assert!(naive.contains(&SEL), "reachable dispatcher PUSH4 kept");
+        assert!(
+            !naive.contains(&[0xba, 0xdc, 0x0f, 0xfe]),
+            "PUSH4 inside the embedded payload must be excluded"
+        );
+        // The unrestricted immediate sweep *does* see the payload bytes —
+        // that is exactly the §3.1 false positive being regression-tested.
+        assert!(d.push4_immediates().contains(&[0xba, 0xdc, 0x0f, 0xfe]));
     }
 
     #[test]

@@ -131,13 +131,14 @@ impl ServiceMetrics {
         }
     }
 
-    /// Renders the Prometheus text format, appending the analysis-cache
-    /// and provider-layer cache statistics supplied by the caller (each
-    /// cache keeps its own atomic counters).
+    /// Renders the Prometheus text format, appending the analysis-cache,
+    /// provider-layer cache, and artifact-store statistics supplied by
+    /// the caller (each cache keeps its own atomic counters).
     pub fn render(
         &self,
         cache: &proxion_core::AnalysisCacheStats,
         source: &proxion_chain::SourceCacheStats,
+        artifacts: &proxion_core::ArtifactStoreStats,
     ) -> String {
         let mut out = String::new();
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
@@ -228,6 +229,37 @@ impl ServiceMetrics {
 
         counter(
             &mut out,
+            "proxion_artifact_cache_hits_total",
+            "Per-codehash artifact-store hits (analysis artifacts reused).",
+            artifacts.hits,
+        );
+        counter(
+            &mut out,
+            "proxion_artifact_cache_misses_total",
+            "Per-codehash artifact-store misses (artifacts derived fresh).",
+            artifacts.misses,
+        );
+        counter(
+            &mut out,
+            "proxion_artifact_cache_evictions_total",
+            "Artifact-store LRU evictions.",
+            artifacts.evictions,
+        );
+        counter(
+            &mut out,
+            "proxion_artifact_cache_entries",
+            "Distinct codehashes currently interned by the artifact store.",
+            artifacts.entries as u64,
+        );
+        counter(
+            &mut out,
+            "proxion_artifact_cache_interned_bytes",
+            "Total runtime-bytecode bytes held by interned artifacts.",
+            artifacts.interned_bytes,
+        );
+
+        counter(
+            &mut out,
             "proxion_follower_blocks_total",
             "Blocks processed by the block follower.",
             self.follower_blocks.load(Ordering::Relaxed),
@@ -281,8 +313,11 @@ mod tests {
 
         let stats = proxion_core::AnalysisCache::new().stats();
         let source = proxion_chain::SourceCache::default().stats();
-        let text = metrics.render(&stats, &source);
+        let artifacts = proxion_core::ArtifactStore::new().stats();
+        let text = metrics.render(&stats, &source, &artifacts);
         assert!(text.contains("proxion_source_cache_code_hits_total 0"));
+        assert!(text.contains("proxion_artifact_cache_hits_total 0"));
+        assert!(text.contains("proxion_artifact_cache_entries 0"));
         assert!(text.contains("proxion_follower_source_errors_total 0"));
         assert!(
             text.contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"100\"} 1")

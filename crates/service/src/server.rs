@@ -306,7 +306,11 @@ fn dispatch(request: &Request, shared: &ServerShared) -> Response {
         }
         ("GET", "/metrics") => {
             let stats = shared.pipeline.cache().stats();
-            let mut body = shared.metrics.render(&stats, &shared.source_cache.stats());
+            let mut body = shared.metrics.render(
+                &stats,
+                &shared.source_cache.stats(),
+                &shared.pipeline.artifacts().stats(),
+            );
             let telemetry = shared.pipeline.telemetry();
             if telemetry.is_enabled() {
                 body.push_str(&proxion_telemetry::prometheus(telemetry, &|op| {
@@ -481,10 +485,13 @@ fn handle_method(
             let head = shared.chain.read().head_block();
             let cache = shared.pipeline.cache().stats();
             let source_cache = shared.source_cache.stats();
+            let artifact_cache = shared.pipeline.artifacts().stats();
             Ok(format!(
-                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"requests_total\":{},\"rejected_total\":{}}}",
+                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"artifact_cache\":{},\"unique_codehashes\":{},\"requests_total\":{},\"rejected_total\":{}}}",
                 json::to_json(&cache),
                 json::to_json(&source_cache),
+                json::to_json(&artifact_cache),
+                artifact_cache.entries,
                 shared.metrics.requests_total.load(Ordering::Relaxed),
                 shared.metrics.rejected_total.load(Ordering::Relaxed)
             ))

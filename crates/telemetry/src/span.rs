@@ -35,13 +35,17 @@ pub enum Stage {
     Request,
     /// One block-follower catch-up iteration.
     Follower,
+    /// Per-codehash artifact interning (`ArtifactStore::intern`): covers
+    /// the cache lookup plus, on a miss, construction of the artifact
+    /// shell (lazy fields are attributed to the stage that forces them).
+    ArtifactStore,
     /// Anything else (CLI phases, benchmarks, tests).
     Other,
 }
 
 impl Stage {
     /// Every stage, in rendering order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Analyze,
         Stage::Disassembly,
         Stage::Dispatcher,
@@ -51,6 +55,7 @@ impl Stage {
         Stage::StorageCollisions,
         Stage::Request,
         Stage::Follower,
+        Stage::ArtifactStore,
         Stage::Other,
     ];
 
@@ -66,6 +71,7 @@ impl Stage {
             Stage::StorageCollisions => "storage_collisions",
             Stage::Request => "request",
             Stage::Follower => "follower",
+            Stage::ArtifactStore => "artifact_store",
             Stage::Other => "other",
         }
     }

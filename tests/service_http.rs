@@ -144,9 +144,17 @@ fn rpc_methods_answer_over_loopback() {
     let doc = client.rpc("contracts", &JsonValue::Null).unwrap();
     assert_eq!(doc.get("result").unwrap().as_array().unwrap().len(), 3);
 
-    // stats exposes the cache counters.
+    // stats exposes the cache counters, including the artifact store.
     let doc = client.rpc("stats", &JsonValue::Null).unwrap();
-    assert!(doc.get("result").unwrap().get("cache").is_some());
+    let result = doc.get("result").unwrap();
+    assert!(result.get("cache").is_some());
+    let artifact_cache = result.get("artifact_cache").unwrap();
+    assert!(artifact_cache.get("hits").is_some());
+    assert!(artifact_cache.get("interned_bytes").is_some());
+    assert!(
+        result.get("unique_codehashes").unwrap().as_u64().unwrap() >= 2,
+        "proxy and logic bytecode should both be interned by now"
+    );
 
     // Error paths: unknown address, unknown method, malformed JSON.
     let doc = client
@@ -189,6 +197,12 @@ fn warm_cache_repeat_shows_hits_in_metrics() {
         "repeat proxy_check must hit the verdict cache"
     );
     assert_eq!(metric("proxion_cache_check_misses_total"), 1);
+    assert!(
+        metric("proxion_artifact_cache_hits_total") >= 2,
+        "repeat proxy_check must reuse the interned artifacts"
+    );
+    assert!(metric("proxion_artifact_cache_entries") >= 1);
+    assert!(metric("proxion_artifact_cache_interned_bytes") >= 1);
     assert!(
         text.contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"+Inf\"} 3")
     );
