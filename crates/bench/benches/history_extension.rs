@@ -1,0 +1,110 @@
+//! Criterion benchmarks for the incremental history engine: as the head
+//! advances, extending a resident [`SlotTimeline`] (2 probes when the
+//! slot is unchanged) versus re-running the full-range binary search
+//! from genesis every time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proxion_chain::Chain;
+use proxion_core::{HistoryIndex, LogicResolver, SlotTimeline};
+use proxion_primitives::{Address, U256};
+
+/// Builds a chain where the implementation slot changed 3 times across
+/// `blocks` blocks of unrelated traffic.
+fn chain_with_history(blocks: u64) -> (Chain, Address) {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let proxy = chain.install_new(me, vec![0x00]).unwrap();
+    let per_segment = blocks / 4;
+    for (i, logic) in (1..=3u64).enumerate() {
+        chain.set_storage(
+            proxy,
+            U256::ZERO,
+            U256::from(Address::from_low_u64(logic * 7)),
+        );
+        for _ in 0..per_segment {
+            chain.set_storage(proxy, U256::ONE, U256::from(i as u64 + 1));
+        }
+    }
+    (chain, proxy)
+}
+
+/// Grows the chain by `delta` blocks of traffic that never touches the
+/// implementation slot.
+fn grow_quiet(chain: &mut Chain, proxy: Address, delta: u64) {
+    for _ in 0..delta {
+        chain.set_storage(proxy, U256::ONE, U256::from(9u64));
+    }
+}
+
+/// The service's steady state: the head advanced by `delta` quiet blocks
+/// since the last poll. Compare answering with a timeline extension
+/// against a from-scratch full-range resolution.
+fn bench_head_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_extension");
+    for delta in [16u64, 256, 4096] {
+        let (mut chain, proxy) = chain_with_history(2048);
+        let resolver = LogicResolver::new();
+        // Warm timeline resolved to the pre-growth head.
+        let mut warm = SlotTimeline::new(proxy, U256::ZERO);
+        resolver
+            .extend(&chain, &mut warm, chain.head_block())
+            .expect("in-memory reads are infallible");
+        grow_quiet(&mut chain, proxy, delta);
+        let head = chain.head_block();
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_extend", delta),
+            &delta,
+            |b, _| {
+                b.iter(|| {
+                    // Clone so every iteration extends the same suffix
+                    // instead of short-circuiting on a covered head.
+                    let mut timeline = warm.clone();
+                    resolver.extend(&chain, &mut timeline, head).unwrap();
+                    std::hint::black_box(timeline.history_at(head))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("full_reresolve", delta), &delta, |b, _| {
+            b.iter(|| std::hint::black_box(resolver.resolve(&chain, proxy, U256::ZERO)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe_count_report(c: &mut Criterion) {
+    // Not a timing benchmark per se: report the probe-count advantage so
+    // `cargo bench` output carries the 2-probes-per-poll observation, and
+    // exercise the shared index end to end.
+    let mut group = c.benchmark_group("history_extension_probes");
+    group.sample_size(10);
+    let delta = 4096u64;
+    let (mut chain, proxy) = chain_with_history(2048);
+    let index = HistoryIndex::default();
+    index
+        .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+        .expect("in-memory reads are infallible");
+    let cold_probes = index.stats().probes_issued;
+    grow_quiet(&mut chain, proxy, delta);
+    index
+        .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+        .expect("in-memory reads are infallible");
+    let extend_probes = index.stats().probes_issued - cold_probes;
+    let resolver = LogicResolver::new();
+    let full = resolver
+        .resolve(&chain, proxy, U256::ZERO)
+        .expect("in-memory reads are infallible");
+    println!(
+        "[history_extension] +{delta} quiet blocks: {extend_probes} probes \
+         (incremental extend) vs {} (full re-resolve)",
+        full.api_calls
+    );
+    let head = chain.head_block();
+    group.bench_function(BenchmarkId::new("index_extend_to", delta), |b| {
+        b.iter(|| std::hint::black_box(index.extend_to(&chain, proxy, U256::ZERO, head)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_head_advance, bench_probe_count_report);
+criterion_main!(benches);

@@ -239,6 +239,7 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         .analyze_all(&landscape.chain, &landscape.etherscan)
         .expect("in-memory chain reads are infallible");
     let artifact_stats = pipeline.artifacts().stats();
+    let history_stats = pipeline.history_index().stats();
     if as_json {
         let standards = report.standard_distribution();
         let standard_members: Vec<(&str, JsonValue)> = [
@@ -270,6 +271,10 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
             (
                 "artifact_cache",
                 json::parse(&json::to_json(&artifact_stats)).expect("valid JSON"),
+            ),
+            (
+                "history_index",
+                json::parse(&json::to_json(&history_stats)).expect("valid JSON"),
             ),
             (
                 "reports",
@@ -312,6 +317,10 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         "artifacts: {} unique codehashes, {:.0}% cache reuse",
         artifact_stats.entries,
         100.0 * artifact_stats.hit_rate()
+    );
+    println!(
+        "history: {} slot timelines, {} probes issued, {} saved",
+        history_stats.entries, history_stats.probes_issued, history_stats.probes_saved
     );
     Ok(())
 }

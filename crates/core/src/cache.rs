@@ -7,9 +7,20 @@
 //! lets one cache serve both the batch pipeline and a long-running server
 //! without either unbounded growth or a single contended lock.
 //!
+//! Verdicts are *block-versioned*: every entry records the head it was
+//! computed at (`as_of_block`), and a lookup states the head it wants.
+//! A hit at an older block is still a hit — the bytecode-determined part
+//! of the verdict cannot change — but it is counted as a *revalidation*:
+//! the caller must refresh the address-level state (the implementation
+//! slot value, via the shared timeline index) rather than trust the old
+//! snapshot, and never needs a full re-analysis when the codehash is
+//! unchanged.
+//!
 //! The sharded LRU itself lives in `proxion-chain` (the provider layer's
 //! [`CachedSource`](proxion_chain::CachedSource) memoizes on the same
 //! structure); it is re-exported here for API stability.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use proxion_primitives::B256;
 
@@ -32,6 +43,10 @@ pub struct CachedVerdict {
     pub standard: Option<ProxyStandard>,
     /// Rejection reason of a non-proxy.
     pub reason: Option<NotProxyReason>,
+    /// Head block the verdict was computed at. The bytecode-level part is
+    /// valid at any block; address-level state read alongside it is only
+    /// current up to here.
+    pub as_of_block: u64,
 }
 
 /// Function- and storage-collision reports for one bytecode pair.
@@ -44,6 +59,7 @@ pub type PairReports = (FunctionCollisionReport, StorageCollisionReport);
 pub struct AnalysisCache {
     checks: ShardedLru<B256, CachedVerdict>,
     pairs: ShardedLru<(B256, B256), PairReports>,
+    revalidations: AtomicU64,
 }
 
 /// Counter snapshots of both tables of an [`AnalysisCache`].
@@ -53,6 +69,10 @@ pub struct AnalysisCacheStats {
     pub checks: CacheStats,
     /// The collision-pair table.
     pub pairs: CacheStats,
+    /// Verdict hits whose `as_of_block` was older than the requested head
+    /// — served, but with address-level state refreshed by the caller
+    /// instead of a full re-analysis.
+    pub revalidations: u64,
 }
 
 impl AnalysisCache {
@@ -69,12 +89,22 @@ impl AnalysisCache {
         AnalysisCache {
             checks: ShardedLru::new(check_capacity),
             pairs: ShardedLru::new(pair_capacity),
+            revalidations: AtomicU64::new(0),
         }
     }
 
-    /// Cached proxy verdict for a bytecode hash.
-    pub fn get_check(&self, code_hash: &B256) -> Option<CachedVerdict> {
-        self.checks.get(code_hash)
+    /// Cached proxy verdict for a bytecode hash, as seen from `head`.
+    ///
+    /// An entry computed at an older block is returned (the verdict is
+    /// bytecode-determined) but counted as a revalidation — the caller is
+    /// expected to re-read the address-level slot state and extend the
+    /// timeline instead of re-running detection.
+    pub fn get_check(&self, code_hash: &B256, head: u64) -> Option<CachedVerdict> {
+        let verdict = self.checks.get(code_hash)?;
+        if verdict.as_of_block < head {
+            self.revalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(verdict)
     }
 
     /// Stores a proxy verdict.
@@ -97,6 +127,7 @@ impl AnalysisCache {
         AnalysisCacheStats {
             checks: self.checks.stats(),
             pairs: self.pairs.stats(),
+            revalidations: self.revalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -121,7 +152,7 @@ mod tests {
     fn analysis_cache_round_trips_verdicts() {
         let cache = AnalysisCache::new();
         let hash = proxion_primitives::keccak256(b"code");
-        assert!(cache.get_check(&hash).is_none());
+        assert!(cache.get_check(&hash, 10).is_none());
         cache.insert_check(
             hash,
             CachedVerdict {
@@ -129,11 +160,39 @@ mod tests {
                 impl_source: None,
                 standard: None,
                 reason: Some(NotProxyReason::NoDelegatecall),
+                as_of_block: 10,
             },
         );
-        let verdict = cache.get_check(&hash).expect("cached");
+        let verdict = cache.get_check(&hash, 10).expect("cached");
         assert!(!verdict.is_proxy);
         assert_eq!(cache.stats().checks.hits, 1);
         assert_eq!(cache.stats().checks.misses, 1);
+        assert_eq!(cache.stats().revalidations, 0);
+    }
+
+    #[test]
+    fn stale_hits_count_as_revalidations() {
+        let cache = AnalysisCache::new();
+        let hash = proxion_primitives::keccak256(b"proxy code");
+        cache.insert_check(
+            hash,
+            CachedVerdict {
+                is_proxy: true,
+                impl_source: None,
+                standard: None,
+                reason: None,
+                as_of_block: 50,
+            },
+        );
+        // Same head: plain hit.
+        assert!(cache.get_check(&hash, 50).is_some());
+        assert_eq!(cache.stats().revalidations, 0);
+        // Newer head: still a hit (bytecode verdicts do not expire), but
+        // flagged for address-level revalidation.
+        assert!(cache.get_check(&hash, 80).is_some());
+        assert_eq!(cache.stats().revalidations, 1);
+        // Older head (a snapshot behind the entry) needs no revalidation.
+        assert!(cache.get_check(&hash, 40).is_some());
+        assert_eq!(cache.stats().revalidations, 1);
     }
 }

@@ -1,0 +1,467 @@
+//! The block-versioned incremental analysis engine: [`SlotTimeline`] and
+//! the shared [`HistoryIndex`].
+//!
+//! Algorithm 1 makes *one* resolution cheap (O(U log B) probes), but a
+//! long-running service answers the same `(proxy, slot)` question over and
+//! over as the chain grows. The index amortizes across requests the way
+//! the `ArtifactStore` amortizes across codehashes: it keeps the resolved
+//! change points per `(proxy, slot)` together with the block height they
+//! are valid up to, and serving a request means *extending* the timeline
+//! over the still-unresolved suffix — exactly 2 `storage_at` probes when
+//! the slot did not change, O(log Δ) otherwise, and 0 when the timeline
+//! already covers the requested head.
+//!
+//! Soundness leans on the paper's never-reinstall assumption exactly as
+//! the in-range binary search does: the value recorded at `resolved_to`
+//! is trusted as the lower endpoint of the next search, so a value that
+//! was swapped out and back *between* two extensions is missed — the same
+//! blind spot a single full-range resolution has between two probes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proxion_chain::{ChainSource, ShardedLru, SourceResult};
+use proxion_primitives::{Address, U256};
+
+use crate::logic::{LogicHistory, LogicResolver, UpgradeEvent};
+
+/// The resolved value history of one storage slot, incrementally
+/// extensible toward the chain head.
+///
+/// Invariants:
+/// - `points` holds the raw change points in strictly increasing block
+///   order, consecutive values distinct; the zero epoch (slot never set
+///   yet) is kept raw and only filtered when rendering a
+///   [`LogicHistory`].
+/// - `resolved_to` is the block up to which `points` is exact; `None`
+///   until the first successful extension.
+/// - `probes` is the total number of distinct `storage_at` probes ever
+///   invested in this timeline (monotonic).
+#[derive(Debug, Clone)]
+pub struct SlotTimeline {
+    proxy: Address,
+    slot: U256,
+    points: Vec<(u64, U256)>,
+    resolved_to: Option<u64>,
+    probes: u64,
+}
+
+impl SlotTimeline {
+    /// Creates an empty, unresolved timeline for `slot` of `proxy`.
+    pub fn new(proxy: Address, slot: U256) -> Self {
+        SlotTimeline {
+            proxy,
+            slot,
+            points: Vec::new(),
+            resolved_to: None,
+            probes: 0,
+        }
+    }
+
+    /// The proxy this timeline tracks.
+    pub fn proxy(&self) -> Address {
+        self.proxy
+    }
+
+    /// The storage slot this timeline tracks.
+    pub fn slot(&self) -> U256 {
+        self.slot
+    }
+
+    /// The block up to which the timeline is resolved, `None` if never
+    /// extended.
+    pub fn resolved_to(&self) -> Option<u64> {
+        self.resolved_to
+    }
+
+    /// Total `storage_at` probes ever invested in this timeline.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// The slot value at `resolved_to` (zero if never extended or never
+    /// set).
+    pub fn last_value(&self) -> U256 {
+        self.points.last().map(|&(_, v)| v).unwrap_or(U256::ZERO)
+    }
+
+    /// The raw change points, `(first_block, value)` in block order,
+    /// zero epoch included.
+    pub fn points(&self) -> &[(u64, U256)] {
+        &self.points
+    }
+
+    /// Merges freshly partitioned `points` covering
+    /// `[resolved_to, new_head]` into the timeline. The first new point
+    /// re-observes the standing value at the old boundary and is dropped
+    /// by value-dedup; genuinely new values are appended.
+    pub(crate) fn absorb(&mut self, points: Vec<(u64, U256)>, new_head: u64, probes: u64) {
+        for (block, value) in points {
+            if self.points.last().map(|&(_, v)| v) != Some(value) {
+                self.points.push((block, value));
+            }
+        }
+        self.resolved_to = Some(new_head);
+        self.probes += probes;
+    }
+
+    /// Renders the timeline as a [`LogicHistory`] as of `head`: zero
+    /// values filtered, change points past `head` excluded (snapshot
+    /// isolation when a shared timeline is already resolved further than
+    /// the requesting snapshot's height).
+    ///
+    /// `api_calls` reports the *total* probes invested in the timeline,
+    /// so repeated requests at the same head see a constant figure.
+    pub fn history_at(&self, head: u64) -> LogicHistory {
+        let mut addresses = Vec::new();
+        let mut events = Vec::new();
+        for &(block, value) in &self.points {
+            if block > head || value.is_zero() {
+                continue;
+            }
+            let address = Address::from_word(value);
+            if !addresses.contains(&address) {
+                addresses.push(address);
+            }
+            // Timelines always resolve from genesis, so every event has
+            // exact installation attribution — never a boundary
+            // observation.
+            events.push(UpgradeEvent {
+                block,
+                new_logic: address,
+                boundary: false,
+            });
+        }
+        LogicHistory {
+            addresses,
+            events,
+            api_calls: self.probes,
+            resolved_to: self.resolved_to.unwrap_or(0).min(head),
+        }
+    }
+}
+
+/// Counter snapshot of a [`HistoryIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct HistoryIndexStats {
+    /// Timelines currently resident.
+    pub entries: usize,
+    /// Lookups that found an existing timeline.
+    pub hits: u64,
+    /// Lookups that created a fresh timeline.
+    pub misses: u64,
+    /// Timelines evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Extensions that actually ran the binary search (the requested head
+    /// was past `resolved_to`).
+    pub extensions: u64,
+    /// `storage_at` probes issued by extensions.
+    pub probes_issued: u64,
+    /// Probes that resolving from genesis would have re-spent but the
+    /// resident timeline prefix made unnecessary.
+    pub probes_saved: u64,
+}
+
+/// A sharded, size-bounded store of [`SlotTimeline`]s keyed by
+/// `(proxy, slot)`, shared by the pipeline, the service workers and the
+/// block follower.
+///
+/// The index owns its [`LogicResolver`] so every consumer goes through
+/// the incremental path; concurrent requests for the same timeline
+/// serialize on a per-timeline mutex (the slow probing work happens at
+/// most once per suffix).
+pub struct HistoryIndex {
+    resolver: LogicResolver,
+    timelines: ShardedLru<(Address, U256), Arc<Mutex<SlotTimeline>>>,
+    extensions: AtomicU64,
+    probes_issued: AtomicU64,
+    probes_saved: AtomicU64,
+}
+
+impl HistoryIndex {
+    /// Default timeline capacity, matching the analysis cache.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates an index bounded to `capacity` resident timelines.
+    pub fn new(capacity: usize) -> Self {
+        HistoryIndex {
+            resolver: LogicResolver::new(),
+            timelines: ShardedLru::new(capacity),
+            extensions: AtomicU64::new(0),
+            probes_issued: AtomicU64::new(0),
+            probes_saved: AtomicU64::new(0),
+        }
+    }
+
+    /// Ensures the timeline for `(proxy, slot)` is resolved up to `head`
+    /// and returns its history as of that block.
+    ///
+    /// Cost: 0 probes when the timeline already covers `head`; exactly 2
+    /// when the slot did not change across the new suffix; O(log Δ) per
+    /// change point otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend failure; the resident timeline keeps
+    /// its pre-call state.
+    pub fn extend_to<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        proxy: Address,
+        slot: U256,
+        head: u64,
+    ) -> SourceResult<LogicHistory> {
+        let entry = self.timelines.get_or_insert_with((proxy, slot), || {
+            Arc::new(Mutex::new(SlotTimeline::new(proxy, slot)))
+        });
+        let mut timeline = entry.lock();
+        let prior = timeline.probes();
+        if timeline.resolved_to().is_some_and(|r| r >= head) {
+            // Fully served from the index: a from-scratch resolution
+            // would have re-spent the whole prefix.
+            self.probes_saved.fetch_add(prior, Ordering::Relaxed);
+            return Ok(timeline.history_at(head));
+        }
+        let spent = self.resolver.extend(chain, &mut timeline, head)?;
+        self.extensions.fetch_add(1, Ordering::Relaxed);
+        self.probes_issued.fetch_add(spent, Ordering::Relaxed);
+        self.probes_saved.fetch_add(prior, Ordering::Relaxed);
+        Ok(timeline.history_at(head))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> HistoryIndexStats {
+        let lru = self.timelines.stats();
+        HistoryIndexStats {
+            entries: lru.entries,
+            hits: lru.hits,
+            misses: lru.misses,
+            evictions: lru.evictions,
+            extensions: self.extensions.load(Ordering::Relaxed),
+            probes_issued: self.probes_issued.load(Ordering::Relaxed),
+            probes_saved: self.probes_saved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every resident timeline (counters keep their totals).
+    pub fn clear(&self) {
+        self.timelines.clear();
+    }
+}
+
+impl Default for HistoryIndex {
+    fn default() -> Self {
+        HistoryIndex::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_asm::opcode as op;
+    use proxion_chain::{Chain, CountingSource};
+
+    fn setup() -> (Chain, Address) {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let proxy = chain.install_new(me, vec![op::STOP]).unwrap();
+        (chain, proxy)
+    }
+
+    #[test]
+    fn unchanged_slot_extension_costs_exactly_two_probes() {
+        // The headline acceptance criterion: advancing the head by Δ
+        // blocks with an unchanged slot costs exactly 2 storage_at probes
+        // (the two endpoints of the suffix search) — independent of Δ and
+        // of total chain length — versus O(log B) for full re-resolution.
+        let (mut chain, proxy) = setup();
+        chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(0xaa)));
+        for _ in 0..500 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+
+        let index = HistoryIndex::default();
+        let head1 = chain.head_block();
+        let first = index.extend_to(&chain, proxy, U256::ZERO, head1).unwrap();
+        assert_eq!(first.addresses.len(), 1);
+        let invested = index.stats().probes_issued;
+        assert!(invested > 2, "initial resolution does real probing");
+
+        // Grow the chain by Δ unrelated blocks; the slot does not change.
+        for _ in 0..300 {
+            chain.set_storage(proxy, U256::from(7u64), U256::from(2u64));
+        }
+        let head2 = chain.head_block();
+        let counted = CountingSource::new(&chain);
+        let second = index.extend_to(&counted, proxy, U256::ZERO, head2).unwrap();
+        assert_eq!(
+            counted.counts().storage_at,
+            2,
+            "unchanged-slot extension must cost exactly 2 probes"
+        );
+        assert_eq!(second.addresses, first.addresses);
+        assert_eq!(second.events, first.events);
+        assert_eq!(second.resolved_to, head2);
+        assert_eq!(index.stats().extensions, 2);
+    }
+
+    #[test]
+    fn covered_head_is_served_without_probes() {
+        let (mut chain, proxy) = setup();
+        chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(0xbb)));
+        for _ in 0..50 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+        let head = chain.head_block();
+        let index = HistoryIndex::default();
+        index.extend_to(&chain, proxy, U256::ZERO, head).unwrap();
+        let issued = index.stats().probes_issued;
+
+        let counted = CountingSource::new(&chain);
+        let again = index.extend_to(&counted, proxy, U256::ZERO, head).unwrap();
+        assert_eq!(counted.counts().total(), 0, "covered head needs no reads");
+        assert_eq!(index.stats().probes_issued, issued);
+        assert!(index.stats().probes_saved >= issued);
+        // Warm responses report the same total probe investment.
+        assert_eq!(again.api_calls, issued);
+    }
+
+    #[test]
+    fn extension_finds_new_upgrades_with_exact_attribution() {
+        let (mut chain, proxy) = setup();
+        let l1 = Address::from_low_u64(0x111);
+        let l2 = Address::from_low_u64(0x222);
+        chain.set_storage(proxy, U256::ZERO, U256::from(l1));
+        for _ in 0..120 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+        let index = HistoryIndex::default();
+        index
+            .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+            .unwrap();
+
+        for _ in 0..80 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+        chain.set_storage(proxy, U256::ZERO, U256::from(l2));
+        let upgrade_block = chain.head_block();
+        for _ in 0..40 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+
+        let history = index
+            .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+            .unwrap();
+        assert_eq!(history.addresses, vec![l1, l2]);
+        assert_eq!(history.upgrade_count(), 1);
+        assert_eq!(
+            history.events[1].block, upgrade_block,
+            "incremental extension attributes the upgrade to its exact block"
+        );
+        assert!(history.events.iter().all(|e| !e.boundary));
+    }
+
+    #[test]
+    fn incremental_equals_full_resolution() {
+        // Many small extensions and one full resolve agree event-for-event.
+        let (mut chain, proxy) = setup();
+        let index = HistoryIndex::default();
+        for step in 1..=5u64 {
+            chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(step)));
+            for _ in 0..step * 13 {
+                chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+            }
+            index
+                .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+                .unwrap();
+        }
+        let incremental = index
+            .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+            .unwrap();
+        let full = LogicResolver::new()
+            .resolve(&chain, proxy, U256::ZERO)
+            .unwrap();
+        assert_eq!(incremental.addresses, full.addresses);
+        assert_eq!(incremental.events, full.events);
+    }
+
+    #[test]
+    fn history_at_respects_snapshot_head() {
+        // A timeline resolved past a snapshot's height must not leak
+        // future events into that snapshot's answer.
+        let (mut chain, proxy) = setup();
+        chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(1)));
+        for _ in 0..30 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+        let early_head = chain.head_block();
+        chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(2)));
+
+        let index = HistoryIndex::default();
+        index
+            .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+            .unwrap();
+        let early = index
+            .extend_to(&chain, proxy, U256::ZERO, early_head)
+            .unwrap();
+        assert_eq!(early.addresses, vec![Address::from_low_u64(1)]);
+        assert_eq!(early.resolved_to, early_head);
+    }
+
+    #[test]
+    fn failed_extension_leaves_timeline_intact() {
+        use proxion_chain::{FaultConfig, FaultySource};
+
+        let (mut chain, proxy) = setup();
+        chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(0xcc)));
+        for _ in 0..60 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+        let head1 = chain.head_block();
+        let index = HistoryIndex::default();
+        index.extend_to(&chain, proxy, U256::ZERO, head1).unwrap();
+        let before = index.stats();
+
+        for _ in 0..20 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+        let head2 = chain.head_block();
+        let faulty = FaultySource::new(
+            &chain,
+            FaultConfig {
+                failure_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(index.extend_to(&faulty, proxy, U256::ZERO, head2).is_err());
+        assert_eq!(index.stats().probes_issued, before.probes_issued);
+
+        // The timeline still extends cleanly once the backend recovers.
+        let history = index.extend_to(&chain, proxy, U256::ZERO, head2).unwrap();
+        assert_eq!(history.resolved_to, head2);
+        assert_eq!(history.addresses.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_entries_and_reuse() {
+        let (mut chain, proxy) = setup();
+        chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(1)));
+        for _ in 0..20 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+        let head = chain.head_block();
+        let index = HistoryIndex::new(16);
+        index.extend_to(&chain, proxy, U256::ZERO, head).unwrap();
+        index.extend_to(&chain, proxy, U256::ZERO, head).unwrap();
+        let stats = index.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hits >= 1);
+        assert_eq!(stats.extensions, 1);
+        assert!(stats.probes_saved >= stats.probes_issued);
+
+        index.clear();
+        assert_eq!(index.stats().entries, 0);
+    }
+}

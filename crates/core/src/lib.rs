@@ -16,7 +16,10 @@
 //! 2. **Logic resolution** ([`LogicResolver`], §4.3, Algorithm 1) — a
 //!    binary search over archived storage that recovers every logic
 //!    contract ever installed in a proxy's implementation slot using
-//!    ~log₂(blocks) `getStorageAt` calls instead of millions.
+//!    ~log₂(blocks) `getStorageAt` calls instead of millions. The shared
+//!    [`HistoryIndex`] keeps the resolved [`SlotTimeline`]s and extends
+//!    them incrementally as the chain grows — 2 probes per unchanged
+//!    slot, regardless of chain length.
 //! 3. **Function collision detection** ([`FunctionCollisionDetector`],
 //!    §5.1) — signature-list intersection from verified source when
 //!    available, and dispatcher-pattern selector extraction from raw
@@ -59,6 +62,7 @@ mod artifacts;
 mod cache;
 mod diamond;
 mod funcsig;
+mod history;
 mod logic;
 mod pipeline;
 mod proxy;
@@ -70,6 +74,7 @@ pub use diamond::{DiamondCheck, DiamondDetector, FacetRoute};
 pub use funcsig::{
     FunctionCollision, FunctionCollisionDetector, FunctionCollisionReport, SelectorSource,
 };
+pub use history::{HistoryIndex, HistoryIndexStats, SlotTimeline};
 pub use logic::{LogicHistory, LogicResolver, UpgradeEvent};
 pub use pipeline::{
     AnalysisReport, ContractReport, PairCollisions, Pipeline, PipelineConfig, RetryPolicy,

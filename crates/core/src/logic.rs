@@ -1,9 +1,18 @@
 //! Logic-contract resolution: Algorithm 1 of the paper (§4.3).
+//!
+//! The primitive is [`LogicResolver::extend`], which advances a
+//! [`SlotTimeline`](crate::SlotTimeline) to a new head by binary-searching
+//! only the still-unresolved suffix of the block range. The historical
+//! entry points [`LogicResolver::resolve`] and
+//! [`LogicResolver::resolve_range`] are thin wrappers over the same
+//! partitioning.
 
 use std::collections::HashMap;
 
 use proxion_chain::{Chain, ChainSource, SourceResult};
 use proxion_primitives::{Address, U256};
+
+use crate::history::SlotTimeline;
 
 /// One observed implementation change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -12,6 +21,13 @@ pub struct UpgradeEvent {
     pub block: u64,
     /// The new logic address.
     pub new_logic: Address,
+    /// `true` for a *range-boundary observation*: the value was already
+    /// installed when the resolved range began, so `block` is the range's
+    /// lower bound — the block the value was first *observed* at, not the
+    /// block it was installed at. Only ever set on the first event of a
+    /// [`LogicResolver::resolve_range`] call whose lower bound is past
+    /// genesis; full-history resolution never produces one.
+    pub boundary: bool,
 }
 
 /// The full implementation history of one proxy.
@@ -21,17 +37,34 @@ pub struct LogicHistory {
     /// (zero/empty values are filtered out).
     pub addresses: Vec<Address>,
     /// The changes, in block order. The first event is the initial
-    /// installation.
+    /// installation — or, for a range resolution that began after the
+    /// installation, a boundary observation (see
+    /// [`UpgradeEvent::boundary`]).
     pub events: Vec<UpgradeEvent>,
     /// Number of *distinct* `getStorageAt` queries issued (the paper
     /// reports ≈26 per proxy versus millions for a linear scan, §6.1).
+    /// For a timeline served from the [`HistoryIndex`](crate::HistoryIndex)
+    /// this is the *total* invested in the timeline — constant across
+    /// repeated requests at the same head.
     pub api_calls: u64,
+    /// The block up to which this history is resolved: events after it, if
+    /// any, are not reflected here.
+    pub resolved_to: u64,
 }
 
 impl LogicHistory {
-    /// Number of upgrades (changes after the initial installation).
+    /// Number of upgrades: changes after the initial installation.
+    /// Boundary observations are not installations — a history whose
+    /// first event is a boundary observation counts every *subsequent*
+    /// (non-boundary) event as an upgrade, so re-resolving a suffix range
+    /// never inflates the count.
     pub fn upgrade_count(&self) -> usize {
-        self.events.len().saturating_sub(1)
+        let non_boundary = self.events.iter().filter(|e| !e.boundary).count();
+        if self.events.first().is_some_and(|e| e.boundary) {
+            non_boundary
+        } else {
+            non_boundary.saturating_sub(1)
+        }
     }
 }
 
@@ -41,7 +74,10 @@ impl LogicHistory {
 ///
 /// The search assumes — as the paper does — that a proxy never reinstalls
 /// an old implementation: if the slot holds the same value at two heights,
-/// it held that value in between.
+/// it held that value in between. [`LogicResolver::extend`] leans on the
+/// same assumption across calls: the value a timeline recorded at its
+/// `resolved_to` block is trusted as the lower endpoint of the next
+/// search, so an unchanged slot costs two probes per extension.
 #[derive(Debug, Clone, Default)]
 pub struct LogicResolver;
 
@@ -64,10 +100,17 @@ impl LogicResolver {
         proxy: Address,
         slot: U256,
     ) -> SourceResult<LogicHistory> {
-        self.resolve_range(chain, proxy, slot, Chain::GENESIS, chain.head_block()?)
+        let head = chain.head_block()?;
+        let mut timeline = SlotTimeline::new(proxy, slot);
+        self.extend(chain, &mut timeline, head)?;
+        Ok(timeline.history_at(head))
     }
 
     /// Resolves within an explicit block range.
+    ///
+    /// A value already installed when `lower` began is reported as a
+    /// boundary observation at block `lower` (see
+    /// [`UpgradeEvent::boundary`]), not as an installation.
     ///
     /// # Errors
     ///
@@ -80,51 +123,10 @@ impl LogicResolver {
         lower: u64,
         upper: u64,
     ) -> SourceResult<LogicHistory> {
-        let mut cache: HashMap<u64, U256> = HashMap::new();
-        let mut api_calls = 0u64;
-        let mut query = |block: u64| -> SourceResult<U256> {
-            if let Some(&v) = cache.get(&block) {
-                return Ok(v);
-            }
-            let v = chain.storage_at(proxy, slot, block)?;
-            api_calls += 1;
-            cache.insert(block, v);
-            Ok(v)
-        };
-
-        // Recursive partitioning, implemented with an explicit stack so
-        // deep histories cannot overflow the native stack.
-        let mut events: Vec<(u64, U256)> = Vec::new();
-        let mut work = vec![(lower, upper)];
-        let mut segments: Vec<(u64, U256)> = Vec::new();
-        while let Some((lo, hi)) = work.pop() {
-            let v_lo = query(lo)?;
-            let v_hi = query(hi)?;
-            if v_lo == v_hi {
-                segments.push((lo, v_lo));
-                continue;
-            }
-            if lo + 1 == hi {
-                segments.push((lo, v_lo));
-                segments.push((hi, v_hi));
-                continue;
-            }
-            let mid = (lo + hi) / 2;
-            // Push upper half first so the lower half is processed first
-            // (keeps segments roughly ordered; we sort afterwards anyway).
-            work.push((mid + 1, hi));
-            work.push((lo, mid));
-        }
-        segments.sort_unstable_by_key(|&(block, _)| block);
-        for (block, value) in segments {
-            if events.last().map(|&(_, v)| v) != Some(value) {
-                events.push((block, value));
-            }
-        }
-
+        let (points, api_calls) = partition(chain, proxy, slot, lower, upper)?;
         let mut addresses = Vec::new();
-        let mut out_events = Vec::new();
-        for &(block, value) in &events {
+        let mut events = Vec::new();
+        for (i, &(block, value)) in points.iter().enumerate() {
             if value.is_zero() {
                 continue;
             }
@@ -132,17 +134,110 @@ impl LogicResolver {
             if !addresses.contains(&address) {
                 addresses.push(address);
             }
-            out_events.push(UpgradeEvent {
+            // The first partition point sits at `lower` by construction;
+            // past genesis its installation block is unknowable from this
+            // range alone.
+            let boundary = i == 0 && block == lower && lower != Chain::GENESIS;
+            events.push(UpgradeEvent {
                 block,
                 new_logic: address,
+                boundary,
             });
         }
         Ok(LogicHistory {
             addresses,
-            events: out_events,
+            events,
             api_calls,
+            resolved_to: upper,
         })
     }
+
+    /// Advances `timeline` to `new_head`, binary-searching only the
+    /// still-unresolved `(resolved_to, new_head]` suffix. When the slot
+    /// did not change across the suffix this costs exactly 2 `storage_at`
+    /// probes (the two endpoints); otherwise O(log Δ) per change point. A
+    /// `new_head` at or below `resolved_to` is a no-op (0 probes).
+    ///
+    /// Returns the number of probes spent by this call (also accumulated
+    /// into the timeline's own accounting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend failure; the timeline is left exactly
+    /// as it was (probes spent on the failed attempt are not recorded).
+    pub fn extend<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        timeline: &mut SlotTimeline,
+        new_head: u64,
+    ) -> SourceResult<u64> {
+        let lower = match timeline.resolved_to() {
+            Some(resolved_to) if new_head <= resolved_to => return Ok(0),
+            Some(resolved_to) => resolved_to,
+            None => Chain::GENESIS,
+        };
+        let (points, probes) =
+            partition(chain, timeline.proxy(), timeline.slot(), lower, new_head)?;
+        timeline.absorb(points, new_head, probes);
+        Ok(probes)
+    }
+}
+
+/// The binary-search partitioning at the heart of Algorithm 1: returns
+/// the change points of `slot` over `[lower, upper]` as `(block, value)`
+/// pairs — first entry at `lower`, consecutive values distinct — plus the
+/// number of distinct `storage_at` probes issued.
+fn partition<S: ChainSource + ?Sized>(
+    chain: &S,
+    proxy: Address,
+    slot: U256,
+    lower: u64,
+    upper: u64,
+) -> SourceResult<(Vec<(u64, U256)>, u64)> {
+    let mut cache: HashMap<u64, U256> = HashMap::new();
+    let mut api_calls = 0u64;
+    let mut query = |block: u64| -> SourceResult<U256> {
+        if let Some(&v) = cache.get(&block) {
+            return Ok(v);
+        }
+        let v = chain.storage_at(proxy, slot, block)?;
+        api_calls += 1;
+        cache.insert(block, v);
+        Ok(v)
+    };
+
+    // Recursive partitioning, implemented with an explicit stack so
+    // deep histories cannot overflow the native stack.
+    let mut work = vec![(lower, upper)];
+    let mut segments: Vec<(u64, U256)> = Vec::new();
+    while let Some((lo, hi)) = work.pop() {
+        let v_lo = query(lo)?;
+        let v_hi = query(hi)?;
+        if v_lo == v_hi {
+            segments.push((lo, v_lo));
+            continue;
+        }
+        if lo + 1 == hi {
+            segments.push((lo, v_lo));
+            segments.push((hi, v_hi));
+            continue;
+        }
+        // Overflow-safe midpoint: `(lo + hi) / 2` wraps once both bounds
+        // near u64::MAX.
+        let mid = lo + (hi - lo) / 2;
+        // Push upper half first so the lower half is processed first
+        // (keeps segments roughly ordered; we sort afterwards anyway).
+        work.push((mid + 1, hi));
+        work.push((lo, mid));
+    }
+    segments.sort_unstable_by_key(|&(block, _)| block);
+    let mut points: Vec<(u64, U256)> = Vec::new();
+    for (block, value) in segments {
+        if points.last().map(|&(_, v)| v) != Some(value) {
+            points.push((block, value));
+        }
+    }
+    Ok((points, api_calls))
 }
 
 #[cfg(test)]
@@ -172,6 +267,8 @@ mod tests {
         assert_eq!(history.addresses, vec![logic]);
         assert_eq!(history.upgrade_count(), 0);
         assert_eq!(history.events.len(), 1);
+        assert!(!history.events[0].boundary);
+        assert_eq!(history.resolved_to, chain.head_block());
     }
 
     #[test]
@@ -293,5 +390,144 @@ mod tests {
             .resolve_range(&chain, proxy, U256::ZERO, Chain::GENESIS, mid)
             .unwrap();
         assert_eq!(history.addresses, vec![Address::from_low_u64(1)]);
+    }
+
+    #[test]
+    fn range_boundary_observation_not_counted_as_upgrade() {
+        // Regression (satellite): a value installed BEFORE the range's
+        // lower bound used to be reported as a plain UpgradeEvent at
+        // `lower`, so summing upgrade counts over consecutive windows
+        // inflated the total — every window re-counted the standing value.
+        let (mut chain, _, proxy) = setup();
+        let v1 = Address::from_low_u64(0x111);
+        let v2 = Address::from_low_u64(0x222);
+        chain.set_storage(proxy, U256::ZERO, U256::from(v1));
+        let install_block = chain.head_block();
+        for _ in 0..30 {
+            chain.set_storage(proxy, U256::from(9u64), U256::ONE);
+        }
+        let window_start = chain.head_block();
+        for _ in 0..10 {
+            chain.set_storage(proxy, U256::from(9u64), U256::from(2u64));
+        }
+        chain.set_storage(proxy, U256::ZERO, U256::from(v2));
+        let change_block = chain.head_block();
+
+        let resolver = LogicResolver::new();
+
+        // A window that begins after the install: the standing value is a
+        // boundary observation, the in-range change is the only upgrade.
+        let window = resolver
+            .resolve_range(&chain, proxy, U256::ZERO, window_start, change_block)
+            .unwrap();
+        assert_eq!(window.events.len(), 2);
+        assert!(window.events[0].boundary, "standing value marked boundary");
+        assert_eq!(window.events[0].block, window_start);
+        assert_eq!(window.events[0].new_logic, v1);
+        assert!(!window.events[1].boundary);
+        assert_eq!(window.events[1].block, change_block);
+        assert_eq!(
+            window.upgrade_count(),
+            1,
+            "one real upgrade in the window; the boundary observation must not inflate it"
+        );
+
+        // A window holding only the standing value has zero upgrades.
+        let quiet = resolver
+            .resolve_range(&chain, proxy, U256::ZERO, window_start, change_block - 1)
+            .unwrap();
+        assert_eq!(quiet.events.len(), 1);
+        assert!(quiet.events[0].boundary);
+        assert_eq!(quiet.upgrade_count(), 0);
+
+        // Full-history resolution agrees on the upgrade count and never
+        // emits boundary events.
+        let full = resolver.resolve(&chain, proxy, U256::ZERO).unwrap();
+        assert!(full.events.iter().all(|e| !e.boundary));
+        assert_eq!(full.upgrade_count(), 1);
+        assert_eq!(full.events[0].block, install_block);
+    }
+
+    /// A synthetic archive near the top of the u64 block range: `value`
+    /// appears at `install_at`, zero before. Only the methods Algorithm 1
+    /// touches are live.
+    struct ExtremeRangeSource {
+        install_at: u64,
+        value: U256,
+        head: u64,
+    }
+
+    impl ChainSource for ExtremeRangeSource {
+        fn head_block(&self) -> SourceResult<u64> {
+            Ok(self.head)
+        }
+        fn code_at(&self, _: Address) -> SourceResult<std::sync::Arc<Vec<u8>>> {
+            unreachable!("not used by the resolver")
+        }
+        fn storage_at(&self, _: Address, _: U256, block: u64) -> SourceResult<U256> {
+            Ok(if block >= self.install_at {
+                self.value
+            } else {
+                U256::ZERO
+            })
+        }
+        fn storage_latest(&self, _: Address, _: U256) -> SourceResult<U256> {
+            Ok(self.value)
+        }
+        fn balance_of(&self, _: Address) -> SourceResult<U256> {
+            unreachable!("not used by the resolver")
+        }
+        fn nonce_of(&self, _: Address) -> SourceResult<u64> {
+            unreachable!("not used by the resolver")
+        }
+        fn block_hash(&self, _: u64) -> SourceResult<proxion_primitives::B256> {
+            unreachable!("not used by the resolver")
+        }
+        fn deployment(&self, _: Address) -> SourceResult<Option<proxion_chain::DeploymentInfo>> {
+            unreachable!("not used by the resolver")
+        }
+        fn deployed_between(&self, _: u64, _: u64) -> SourceResult<Vec<(u64, Address)>> {
+            unreachable!("not used by the resolver")
+        }
+        fn contracts(&self) -> SourceResult<Vec<Address>> {
+            unreachable!("not used by the resolver")
+        }
+        fn is_alive(&self, _: Address) -> SourceResult<bool> {
+            unreachable!("not used by the resolver")
+        }
+        fn transactions(&self) -> SourceResult<Vec<proxion_chain::TxRecord>> {
+            unreachable!("not used by the resolver")
+        }
+        fn transactions_of(&self, _: Address) -> SourceResult<Vec<proxion_chain::TxRecord>> {
+            unreachable!("not used by the resolver")
+        }
+    }
+
+    #[test]
+    fn extreme_block_ranges_do_not_overflow_midpoint() {
+        // Regression (satellite): `(lo + hi) / 2` wraps once both bounds
+        // exceed u64::MAX / 2; the fixed `lo + (hi - lo) / 2` cannot.
+        let value = U256::from(Address::from_low_u64(0xfee));
+        let source = ExtremeRangeSource {
+            install_at: u64::MAX - 500,
+            value,
+            head: u64::MAX - 3,
+        };
+        let proxy = Address::from_low_u64(1);
+        let resolver = LogicResolver::new();
+
+        // The whole suffix lies above u64::MAX / 2, so every midpoint of
+        // the old formula would have wrapped.
+        let history = resolver
+            .resolve_range(&source, proxy, U256::ZERO, u64::MAX - 100_000, u64::MAX - 3)
+            .unwrap();
+        assert_eq!(history.events.len(), 1);
+        assert_eq!(history.events[0].block, u64::MAX - 500);
+        assert!(!history.events[0].boundary);
+
+        // Full resolution across the entire u64 range also stays exact.
+        let full = resolver.resolve(&source, proxy, U256::ZERO).unwrap();
+        assert_eq!(full.events.len(), 1);
+        assert_eq!(full.events[0].block, u64::MAX - 500);
     }
 }

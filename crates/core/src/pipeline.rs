@@ -18,7 +18,8 @@ use proxion_telemetry::{Outcome, Stage, Telemetry};
 use crate::artifacts::{ArtifactStore, CodeArtifacts};
 use crate::cache::{AnalysisCache, CachedVerdict};
 use crate::funcsig::{FunctionCollisionDetector, FunctionCollisionReport};
-use crate::logic::{LogicHistory, LogicResolver};
+use crate::history::HistoryIndex;
+use crate::logic::LogicHistory;
 use crate::proxy::{ImplSource, NotProxyReason, ProxyCheck, ProxyDetector, ProxyStandard};
 use crate::storage::{StorageCollisionDetector, StorageCollisionReport};
 
@@ -119,6 +120,10 @@ pub struct ContractReport {
     pub has_transactions: bool,
     /// Deployment block.
     pub deploy_block: u64,
+    /// Head block the analysis ran at: every per-address read (slot
+    /// values, transactions, history) reflects the chain as of this
+    /// height. `0` for degraded `SourceError` reports.
+    pub as_of_block: u64,
     /// Full implementation history (storage-based proxies only).
     pub history: Option<LogicHistory>,
     /// Function-collision report for the current proxy/logic pair.
@@ -262,7 +267,6 @@ impl AnalysisReport {
 pub struct Pipeline {
     config: PipelineConfig,
     detector: ProxyDetector,
-    resolver: LogicResolver,
     functions: FunctionCollisionDetector,
     storage: StorageCollisionDetector,
     cache: Arc<AnalysisCache>,
@@ -271,6 +275,11 @@ pub struct Pipeline {
     /// [`Pipeline::artifacts`], by the service workers and follower):
     /// disassembly/CFG/selector work happens once per unique codehash.
     artifacts: Arc<ArtifactStore>,
+    /// One timeline index shared by every history consumer (and, through
+    /// [`Pipeline::history_index`], by the service workers and the block
+    /// follower): Algorithm 1 probing happens once per `(proxy, slot)`
+    /// suffix, then extends incrementally as the head advances.
+    history: Arc<HistoryIndex>,
 }
 
 impl Default for Pipeline {
@@ -294,12 +303,12 @@ impl Pipeline {
         Pipeline {
             config,
             detector: ProxyDetector::new().with_artifacts(Arc::clone(&artifacts)),
-            resolver: LogicResolver::new(),
             functions: FunctionCollisionDetector::new().with_artifacts(Arc::clone(&artifacts)),
             storage: StorageCollisionDetector::new().with_artifacts(Arc::clone(&artifacts)),
             cache,
             telemetry: Arc::new(Telemetry::disabled()),
             artifacts,
+            history: Arc::new(HistoryIndex::default()),
         }
     }
 
@@ -318,6 +327,20 @@ impl Pipeline {
     /// RPC and `/metrics`).
     pub fn artifacts(&self) -> &Arc<ArtifactStore> {
         &self.artifacts
+    }
+
+    /// Replaces the shared timeline index — the server path and the block
+    /// follower pass one index here so every history consumer extends the
+    /// same timelines.
+    pub fn with_history(mut self, history: Arc<HistoryIndex>) -> Self {
+        self.history = history;
+        self
+    }
+
+    /// The shared slot-timeline index (its stats feed the `stats` RPC and
+    /// `/metrics`).
+    pub fn history_index(&self) -> &Arc<HistoryIndex> {
+        &self.history
     }
 
     /// Attaches a telemetry sink: every stage of every analysis records a
@@ -488,6 +511,7 @@ impl Pipeline {
             has_source: false,
             has_transactions: false,
             deploy_block: 0,
+            as_of_block: 0,
             history: None,
             function_collisions: None,
             storage_collisions: None,
@@ -502,6 +526,7 @@ impl Pipeline {
         etherscan: &Etherscan,
         address: Address,
     ) -> SourceResult<ContractReport> {
+        let head = chain.head_block()?;
         let code = chain.code_at(address)?;
         let artifacts = {
             let _span = self
@@ -512,9 +537,24 @@ impl Pipeline {
         let code_hash = artifacts.code_hash();
 
         // Proxy detection is bytecode-determined (except the concrete
-        // logic address); reuse cached verdicts for identical bytecode.
-        let check = match self.cache.get_check(&code_hash) {
-            Some(verdict) => self.rehydrate(chain, address, &artifacts, &verdict)?,
+        // logic address); reuse cached verdicts for identical bytecode. A
+        // verdict computed at an older head is *revalidated*, not
+        // recomputed: rehydration re-reads the address-level slot state
+        // at the current head, and the refreshed stamp is written back.
+        let check = match self.cache.get_check(&code_hash, head) {
+            Some(verdict) => {
+                let check = self.rehydrate(chain, address, &artifacts, &verdict)?;
+                if verdict.as_of_block < head {
+                    self.cache.insert_check(
+                        code_hash,
+                        CachedVerdict {
+                            as_of_block: head,
+                            ..verdict
+                        },
+                    );
+                }
+                check
+            }
             None => {
                 let fresh = self
                     .detector
@@ -529,12 +569,14 @@ impl Pipeline {
                         impl_source: Some(*impl_source),
                         standard: Some(*standard),
                         reason: None,
+                        as_of_block: head,
                     },
                     ProxyCheck::NotProxy(reason) => CachedVerdict {
                         is_proxy: false,
                         impl_source: None,
                         standard: None,
                         reason: Some(reason.clone()),
+                        as_of_block: head,
                     },
                 };
                 self.cache.insert_check(code_hash, verdict);
@@ -553,7 +595,7 @@ impl Pipeline {
                 let _span = self
                     .telemetry
                     .span(Stage::HistoryResolution, "resolve_history");
-                Some(self.resolver.resolve(chain, address, *slot)?)
+                Some(self.history.extend_to(chain, address, *slot, head)?)
             }
             _ => None,
         };
@@ -593,6 +635,7 @@ impl Pipeline {
             has_source: etherscan.effective_source(address).is_some(),
             has_transactions: chain.has_transactions(address)?,
             deploy_block: chain.deployment(address)?.map(|d| d.block).unwrap_or(0),
+            as_of_block: head,
             history,
             function_collisions,
             storage_collisions,
@@ -859,6 +902,49 @@ mod tests {
         assert_eq!(history.addresses, vec![l1, l2]);
         assert_eq!(report.upgraded_proxy_count(), 1);
         assert_eq!(report.total_upgrade_events(), 1);
+    }
+
+    #[test]
+    fn repeat_analysis_extends_timelines_instead_of_reresolving() {
+        let mut chain = Chain::new();
+        let etherscan = Etherscan::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+            .unwrap();
+        let proxy = chain
+            .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+            .unwrap();
+        let slot = SlotSpec::eip1967_implementation().to_u256();
+        chain.set_storage(proxy, slot, U256::from(logic));
+        for _ in 0..200 {
+            chain.set_storage(proxy, U256::from(50u64), U256::ONE);
+        }
+
+        let pipeline = Pipeline::default();
+        let first = pipeline.analyze_one(&chain, &etherscan, proxy);
+        assert_eq!(first.as_of_block, chain.head_block());
+        let after_first = pipeline.history_index().stats().probes_issued;
+        assert!(after_first > 2, "cold resolution does real probing");
+
+        // The chain grows with unrelated traffic; re-analysis extends the
+        // resident timeline — exactly 2 probes — and revalidates the
+        // cached verdict instead of re-running detection.
+        for _ in 0..100 {
+            chain.set_storage(proxy, U256::from(50u64), U256::ONE);
+        }
+        let second = pipeline.analyze_one(&chain, &etherscan, proxy);
+        assert_eq!(second.as_of_block, chain.head_block());
+        assert_eq!(
+            pipeline.history_index().stats().probes_issued,
+            after_first + 2,
+            "unchanged-slot re-analysis costs exactly 2 history probes"
+        );
+        assert_eq!(
+            second.history.as_ref().unwrap().events,
+            first.history.as_ref().unwrap().events
+        );
+        assert!(pipeline.cache().stats().revalidations >= 1);
     }
 
     #[test]

@@ -1,15 +1,22 @@
-//! Property-based tests for the artifact layer: interning must be
-//! semantically invisible. For any bytecode the dataset generator can
-//! produce, the artifacts handed out by an [`ArtifactStore`] must be
-//! byte-for-byte identical to artifacts derived fresh from the same
-//! code — interning may only change *when* work happens, never *what*
-//! the analyzers see.
+//! Property-based tests for the artifact layer and the incremental
+//! history engine.
+//!
+//! Interning must be semantically invisible: for any bytecode the
+//! dataset generator can produce, the artifacts handed out by an
+//! [`ArtifactStore`] must be byte-for-byte identical to artifacts
+//! derived fresh from the same code — interning may only change *when*
+//! work happens, never *what* the analyzers see. Likewise, extending a
+//! [`SlotTimeline`] step by step must recover exactly the history a
+//! single full-range resolution finds, with probe cost bounded by
+//! O(U log B).
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use proxion_core::{ArtifactStore, CodeArtifacts};
+use proxion_chain::{Chain, CountingSource};
+use proxion_core::{ArtifactStore, CodeArtifacts, LogicResolver, SlotTimeline};
 use proxion_dataset::{Landscape, LandscapeConfig};
+use proxion_primitives::{Address, U256};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -78,5 +85,67 @@ proptest! {
             prop_assert_eq!(cached.access_regions(), fresh.access_regions());
         }
         prop_assert_eq!(passthrough.stats().hits, 0);
+    }
+
+    /// Extending a timeline through an arbitrary write schedule — one
+    /// small `extend` per step — recovers exactly the events a single
+    /// full-range `resolve` over the finished chain finds, and the total
+    /// incremental probe count stays within the O(U log B) budget (U
+    /// distinct slot values, B blocks).
+    #[test]
+    fn timeline_extension_matches_full_resolution(
+        steps in prop::collection::vec((0u64..20, any::<bool>()), 1..12),
+    ) {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let proxy = chain
+            .install_new(me, vec![0x00 /* STOP */])
+            .unwrap();
+        let slot = U256::ZERO;
+
+        let resolver = LogicResolver::new();
+        let mut timeline = SlotTimeline::new(proxy, slot);
+        let mut installs = 0u64;
+        let mut counted_probes = 0u64;
+        for &(gap, change) in &steps {
+            for _ in 0..gap {
+                chain.set_storage(me, U256::MAX, U256::ONE);
+            }
+            if change {
+                installs += 1;
+                chain.set_storage(
+                    proxy,
+                    slot,
+                    U256::from(Address::from_low_u64(0x1000 + installs)),
+                );
+            }
+            let head = chain.head_block();
+            let counted = CountingSource::new(&chain);
+            resolver.extend(&counted, &mut timeline, head).unwrap();
+            counted_probes += counted.counts().storage_at;
+        }
+
+        // Identical history, however the schedule sliced the resolution.
+        let full = resolver.resolve(&chain, proxy, slot).unwrap();
+        let head = chain.head_block();
+        let incremental = timeline.history_at(head);
+        prop_assert_eq!(&incremental.events, &full.events);
+        prop_assert_eq!(&incremental.addresses, &full.addresses);
+        prop_assert_eq!(incremental.resolved_to, head);
+
+        // The timeline's own probe ledger is truthful...
+        prop_assert_eq!(timeline.probes(), counted_probes);
+        // ...and bounded: 2 endpoint probes per extension plus O(log B)
+        // per distinct value (installs + the zero epoch), never O(B).
+        let blocks = head.max(2);
+        let log_b = u64::from(64 - blocks.leading_zeros()) + 2;
+        let bound = 2 * steps.len() as u64 + 2 * (installs + 2) * log_b + 4;
+        prop_assert!(
+            timeline.probes() <= bound,
+            "{} probes exceeds the O(U log B) budget {} \
+             (U={installs}, B={blocks})",
+            timeline.probes(),
+            bound
+        );
     }
 }

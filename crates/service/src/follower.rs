@@ -6,9 +6,19 @@
 //!
 //! - analyzes only contracts deployed in the new blocks (the batch
 //!   pipeline's result cache makes repeated bytecode free);
-//! - tracks every known storage-slot proxy's implementation slot, and on
-//!   a change records an [`UpgradeRecord`] and re-checks collisions for
-//!   **just the new (proxy, logic) pair** — never a full re-scan.
+//! - tracks every known storage-slot proxy by *extending its shared
+//!   [`SlotTimeline`](proxion_core::SlotTimeline)* through the pipeline's
+//!   [`HistoryIndex`](proxion_core::HistoryIndex) — 2 probes per proxy per
+//!   poll when nothing changed, independent of total chain length — and
+//!   on a change records an [`UpgradeRecord`] with **exact block
+//!   attribution** (the timeline's binary search pins the installation
+//!   block, not merely the head the poll happened to observe it at) and
+//!   re-checks collisions for **just the new (proxy, logic) pair** —
+//!   never a full re-scan.
+//!
+//! Because timelines filter uninstalls (a slot set to zero), a transition
+//! *to* the zero address is not surfaced as an upgrade record; the next
+//! real installation is.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,7 +37,8 @@ use crate::metrics::ServiceMetrics;
 /// One observed implementation change of a tracked proxy.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct UpgradeRecord {
-    /// Head block at which the change was observed.
+    /// The exact block the new implementation was installed at (recovered
+    /// from the proxy's slot timeline, not the polling head).
     pub block: u64,
     /// The upgraded proxy.
     pub proxy: Address,
@@ -165,8 +176,17 @@ fn follow(
 ) {
     let head_watch = chain.read().head_watch();
     let mut last_seen = from_block;
-    // Tracked storage-slot proxies: implementation slot + last seen logic.
-    let mut known: HashMap<Address, (U256, Address)> = HashMap::new();
+    // Tracked storage-slot proxies. Change detection goes through the
+    // pipeline's shared HistoryIndex, so the per-proxy state here is only
+    // what the *reporting* needs: the slot, the implementation last
+    // reported, and the block up to which events have been reported
+    // (events at or before it were part of the discovery analysis).
+    struct TrackedProxy {
+        slot: U256,
+        last_logic: Address,
+        reported_to: u64,
+    }
+    let mut known: HashMap<Address, TrackedProxy> = HashMap::new();
 
     while !shutdown.load(Ordering::SeqCst) {
         let Some(head) = head_watch.wait_past(last_seen, Duration::from_millis(100)) else {
@@ -205,6 +225,7 @@ fn follow(
                     .fetch_add(head - last_seen, Ordering::Relaxed);
                 last_seen = head;
                 shared.last_block.store(head, Ordering::Relaxed);
+                metrics.follower_last_block.store(head, Ordering::Relaxed);
                 span.set_outcome(proxion_telemetry::Outcome::Error);
                 continue;
             }
@@ -226,61 +247,81 @@ fn follow(
                 ..
             } = report.check
             {
-                known.insert(address, (slot, logic));
+                known.insert(
+                    address,
+                    TrackedProxy {
+                        slot,
+                        last_logic: logic,
+                        reported_to: report.as_of_block,
+                    },
+                );
             }
         }
 
-        // 2. Detect implementation changes of tracked proxies; on a
-        //    change, re-check collisions for the single new pair only.
-        for (&proxy, (slot, last_logic)) in known.iter_mut() {
-            let current = match source.storage_latest(proxy, *slot) {
-                Ok(value) => Address::from_word(value),
-                Err(_) => {
-                    // Skip this proxy for the round; it is re-probed on
-                    // the next head advance.
-                    metrics
-                        .follower_source_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-            };
-            if current == *last_logic {
-                continue;
-            }
-            shared.upgrades.lock().push(UpgradeRecord {
-                block: head,
-                proxy,
-                old_logic: *last_logic,
-                new_logic: current,
-            });
-            // The same observation as a typed telemetry event: the
-            // structured upgrade stream in /trace, correlated with the
-            // catch-up span and the pair re-check that follows.
-            telemetry.emit(
-                "proxy_upgrade",
-                vec![
-                    ("block", head.to_string()),
-                    ("proxy", proxy.to_string()),
-                    ("old_logic", last_logic.to_string()),
-                    ("new_logic", current.to_string()),
-                ],
-            );
-            metrics.follower_upgrades.fetch_add(1, Ordering::Relaxed);
-            *last_logic = current;
-            if !current.is_zero() {
-                match pipeline.check_pair(&*source, &etherscan, proxy, current) {
-                    Ok(_) => {
-                        metrics
-                            .follower_pair_rechecks
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
+        // 2. Detect implementation changes of tracked proxies by extending
+        //    each one's shared slot timeline to the new head: 2 probes per
+        //    unchanged proxy regardless of chain length, and every change
+        //    surfaces with the exact installation block the binary search
+        //    recovered. On a change, re-check collisions for the single
+        //    new pair only.
+        let index = pipeline.history_index();
+        for (&proxy, tracked) in known.iter_mut() {
+            let history = {
+                let _span = telemetry.span(proxion_telemetry::Stage::HistoryIndex, "extend");
+                match index.extend_to(&*source, proxy, tracked.slot, head) {
+                    Ok(history) => history,
                     Err(_) => {
+                        // Skip this proxy for the round; the timeline is
+                        // untouched and is re-extended on the next head
+                        // advance.
                         metrics
                             .follower_source_errors
                             .fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            };
+            for event in history
+                .events
+                .iter()
+                .filter(|e| e.block > tracked.reported_to)
+            {
+                shared.upgrades.lock().push(UpgradeRecord {
+                    block: event.block,
+                    proxy,
+                    old_logic: tracked.last_logic,
+                    new_logic: event.new_logic,
+                });
+                // The same observation as a typed telemetry event: the
+                // structured upgrade stream in /trace, correlated with the
+                // catch-up span and the pair re-check that follows.
+                telemetry.emit(
+                    "proxy_upgrade",
+                    vec![
+                        ("block", event.block.to_string()),
+                        ("proxy", proxy.to_string()),
+                        ("old_logic", tracked.last_logic.to_string()),
+                        ("new_logic", event.new_logic.to_string()),
+                    ],
+                );
+                metrics.follower_upgrades.fetch_add(1, Ordering::Relaxed);
+                tracked.last_logic = event.new_logic;
+                if !event.new_logic.is_zero() {
+                    match pipeline.check_pair(&*source, &etherscan, proxy, event.new_logic) {
+                        Ok(_) => {
+                            metrics
+                                .follower_pair_rechecks
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            metrics
+                                .follower_source_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }
+            tracked.reported_to = head;
         }
 
         metrics
@@ -288,6 +329,7 @@ fn follow(
             .fetch_add(head - last_seen, Ordering::Relaxed);
         last_seen = head;
         shared.last_block.store(head, Ordering::Relaxed);
+        metrics.follower_last_block.store(head, Ordering::Relaxed);
         span.set_outcome(proxion_telemetry::Outcome::Ok);
     }
 }

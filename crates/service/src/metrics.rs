@@ -102,6 +102,10 @@ pub struct ServiceMetrics {
     /// Backend read failures the follower survived (failed rounds and
     /// skipped contracts under fault injection or RPC trouble).
     pub follower_source_errors: AtomicU64,
+    /// Highest block the follower has fully processed (gauge; `0` until
+    /// the first completed round). `/metrics` derives the follower lag
+    /// from it.
+    pub follower_last_block: AtomicU64,
     latencies: [LatencyHistogram; TRACKED_METHODS.len()],
 }
 
@@ -132,18 +136,27 @@ impl ServiceMetrics {
     }
 
     /// Renders the Prometheus text format, appending the analysis-cache,
-    /// provider-layer cache, and artifact-store statistics supplied by
-    /// the caller (each cache keeps its own atomic counters).
+    /// provider-layer cache, artifact-store, and history-index statistics
+    /// supplied by the caller (each cache keeps its own atomic counters).
+    /// `head` is the chain head at render time, used for the follower lag
+    /// gauge.
     pub fn render(
         &self,
         cache: &proxion_core::AnalysisCacheStats,
         source: &proxion_chain::SourceCacheStats,
         artifacts: &proxion_core::ArtifactStoreStats,
+        history: &proxion_core::HistoryIndexStats,
+        head: u64,
     ) -> String {
         let mut out = String::new();
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
             ));
         };
         counter(
@@ -194,6 +207,13 @@ impl ServiceMetrics {
             "proxion_cache_evictions_total",
             "LRU evictions across both cache families.",
             cache.checks.evictions + cache.pairs.evictions,
+        );
+        counter(
+            &mut out,
+            "proxion_cache_revalidations_total",
+            "Verdict hits older than the requested head (address-level \
+             state refreshed instead of full re-analysis).",
+            cache.revalidations,
         );
 
         counter(
@@ -260,6 +280,50 @@ impl ServiceMetrics {
 
         counter(
             &mut out,
+            "proxion_history_index_hits_total",
+            "Timeline lookups served from a resident SlotTimeline.",
+            history.hits,
+        );
+        counter(
+            &mut out,
+            "proxion_history_index_misses_total",
+            "Timeline lookups that created a fresh SlotTimeline.",
+            history.misses,
+        );
+        counter(
+            &mut out,
+            "proxion_history_index_evictions_total",
+            "SlotTimelines evicted from the history index.",
+            history.evictions,
+        );
+        counter(
+            &mut out,
+            "proxion_history_index_entries",
+            "SlotTimelines currently resident in the history index.",
+            history.entries as u64,
+        );
+        counter(
+            &mut out,
+            "proxion_history_index_extensions_total",
+            "Timeline extensions that ran the incremental binary search.",
+            history.extensions,
+        );
+        counter(
+            &mut out,
+            "proxion_history_index_probes_issued_total",
+            "storage_at probes issued by timeline extensions.",
+            history.probes_issued,
+        );
+        counter(
+            &mut out,
+            "proxion_history_index_probes_saved_total",
+            "storage_at probes a from-genesis re-resolution would have \
+             re-spent but the resident timeline prefix avoided.",
+            history.probes_saved,
+        );
+
+        counter(
+            &mut out,
             "proxion_follower_blocks_total",
             "Blocks processed by the block follower.",
             self.follower_blocks.load(Ordering::Relaxed),
@@ -288,6 +352,18 @@ impl ServiceMetrics {
             "Backend read failures the follower survived.",
             self.follower_source_errors.load(Ordering::Relaxed),
         );
+        let last = self.follower_last_block.load(Ordering::Relaxed);
+        gauge(
+            &mut out,
+            "proxion_follower_lag_blocks",
+            "Blocks between the chain head and the last fully processed \
+             follower round (0 before the first round).",
+            if last == 0 {
+                0
+            } else {
+                head.saturating_sub(last)
+            },
+        );
 
         out.push_str(
             "# HELP proxion_request_latency_us Request latency in microseconds.\n\
@@ -314,11 +390,19 @@ mod tests {
         let stats = proxion_core::AnalysisCache::new().stats();
         let source = proxion_chain::SourceCache::default().stats();
         let artifacts = proxion_core::ArtifactStore::new().stats();
-        let text = metrics.render(&stats, &source, &artifacts);
+        let history = proxion_core::HistoryIndex::default().stats();
+        let text = metrics.render(&stats, &source, &artifacts, &history, 42);
         assert!(text.contains("proxion_source_cache_code_hits_total 0"));
         assert!(text.contains("proxion_artifact_cache_hits_total 0"));
         assert!(text.contains("proxion_artifact_cache_entries 0"));
+        assert!(text.contains("proxion_cache_revalidations_total 0"));
+        assert!(text.contains("proxion_history_index_entries 0"));
+        assert!(text.contains("proxion_history_index_probes_issued_total 0"));
+        assert!(text.contains("proxion_history_index_probes_saved_total 0"));
         assert!(text.contains("proxion_follower_source_errors_total 0"));
+        // No completed follower round yet: the lag gauge reports 0, not
+        // the full distance to the head.
+        assert!(text.contains("proxion_follower_lag_blocks 0"));
         assert!(
             text.contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"100\"} 1")
         );
@@ -329,6 +413,21 @@ mod tests {
         assert!(text.contains("proxion_request_latency_us_count{method=\"proxy_check\"} 3"));
         assert!(text.contains("proxion_requests_total 3"));
         assert!(text.contains("proxion_errors_total 1"));
+    }
+
+    #[test]
+    fn follower_lag_gauge_tracks_distance_to_head() {
+        let metrics = ServiceMetrics::new();
+        metrics.follower_last_block.store(40, Ordering::Relaxed);
+        let stats = proxion_core::AnalysisCache::new().stats();
+        let source = proxion_chain::SourceCache::default().stats();
+        let artifacts = proxion_core::ArtifactStore::new().stats();
+        let history = proxion_core::HistoryIndex::default().stats();
+        let text = metrics.render(&stats, &source, &artifacts, &history, 42);
+        assert!(text.contains("proxion_follower_lag_blocks 2"));
+        // A head behind the follower (stale render input) must not wrap.
+        let text = metrics.render(&stats, &source, &artifacts, &history, 39);
+        assert!(text.contains("proxion_follower_lag_blocks 0"));
     }
 
     #[test]

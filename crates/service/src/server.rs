@@ -306,10 +306,13 @@ fn dispatch(request: &Request, shared: &ServerShared) -> Response {
         }
         ("GET", "/metrics") => {
             let stats = shared.pipeline.cache().stats();
+            let head = shared.chain.read().head_block();
             let mut body = shared.metrics.render(
                 &stats,
                 &shared.source_cache.stats(),
                 &shared.pipeline.artifacts().stats(),
+                &shared.pipeline.history_index().stats(),
+                head,
             );
             let telemetry = shared.pipeline.telemetry();
             if telemetry.is_enabled() {
@@ -459,12 +462,13 @@ fn handle_method(
                         })?
                 }
             };
+            let as_of_block = source.head_block().map_err(|e| source_error(&e))?;
             let (functions, storage) = shared
                 .pipeline
                 .check_pair(&*source, &etherscan, proxy, logic)
                 .map_err(|e| source_error(&e))?;
             Ok(format!(
-                "{{\"proxy\":{},\"logic\":{},\"functions\":{},\"storage\":{}}}",
+                "{{\"proxy\":{},\"logic\":{},\"as_of_block\":{as_of_block},\"functions\":{},\"storage\":{}}}",
                 json::to_json(&proxy),
                 json::to_json(&logic),
                 json::to_json(&functions),
@@ -486,11 +490,13 @@ fn handle_method(
             let cache = shared.pipeline.cache().stats();
             let source_cache = shared.source_cache.stats();
             let artifact_cache = shared.pipeline.artifacts().stats();
+            let history_index = shared.pipeline.history_index().stats();
             Ok(format!(
-                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"artifact_cache\":{},\"unique_codehashes\":{},\"requests_total\":{},\"rejected_total\":{}}}",
+                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"artifact_cache\":{},\"history_index\":{},\"unique_codehashes\":{},\"requests_total\":{},\"rejected_total\":{}}}",
                 json::to_json(&cache),
                 json::to_json(&source_cache),
                 json::to_json(&artifact_cache),
+                json::to_json(&history_index),
                 artifact_cache.entries,
                 shared.metrics.requests_total.load(Ordering::Relaxed),
                 shared.metrics.rejected_total.load(Ordering::Relaxed)

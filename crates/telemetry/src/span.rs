@@ -27,6 +27,10 @@ pub enum Stage {
     Emulation,
     /// Logic-history binary search over archived storage (Algorithm 1).
     HistoryResolution,
+    /// Shared slot-timeline maintenance (`HistoryIndex::extend_to`): the
+    /// incremental suffix search run by the service workers and the block
+    /// follower's per-poll recheck.
+    HistoryIndex,
     /// Function-collision check for one proxy/logic pair (§5.1).
     FunctionCollisions,
     /// Storage-collision check for one proxy/logic pair (§5.2).
@@ -45,12 +49,13 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in rendering order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Analyze,
         Stage::Disassembly,
         Stage::Dispatcher,
         Stage::Emulation,
         Stage::HistoryResolution,
+        Stage::HistoryIndex,
         Stage::FunctionCollisions,
         Stage::StorageCollisions,
         Stage::Request,
@@ -67,6 +72,7 @@ impl Stage {
             Stage::Dispatcher => "dispatcher",
             Stage::Emulation => "emulation",
             Stage::HistoryResolution => "history_resolution",
+            Stage::HistoryIndex => "history_index",
             Stage::FunctionCollisions => "function_collisions",
             Stage::StorageCollisions => "storage_collisions",
             Stage::Request => "request",

@@ -19,6 +19,15 @@ REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SHADOW="${SHADOW_DIR:-/tmp/proxion-offline-shadow}"
 STUBS="$REPO/devtools/offline-stubs"
 
+# Layering invariant: the service must consume histories through the
+# shared HistoryIndex (incremental timeline extension), never by calling
+# the raw full-range LogicResolver — a raw resolve re-pays O(U log B)
+# probes on every poll and loses the per-(proxy, slot) probe accounting.
+if grep -rn "LogicResolver" "$REPO/crates/service/src"; then
+    echo "error: proxion-service must use HistoryIndex, not LogicResolver" >&2
+    exit 1
+fi
+
 rm -rf "$SHADOW"
 mkdir -p "$SHADOW"
 cp "$REPO/Cargo.toml" "$SHADOW/"

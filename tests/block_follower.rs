@@ -150,6 +150,53 @@ fn non_proxy_deployments_are_analyzed_but_not_tracked() {
 }
 
 #[test]
+fn per_poll_probe_cost_is_independent_of_chain_length() {
+    let fx = fixture();
+    let handle = fx.start_follower();
+
+    // Discovery: one tracked proxy whose timeline gets resolved once.
+    let head = {
+        let mut chain = fx.chain.write();
+        let logic = fx.install(&mut chain, &templates::simple_logic("L"));
+        let proxy = fx.install(&mut chain, &templates::eip1967_proxy("P"));
+        chain.set_storage(
+            proxy,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(logic),
+        );
+        chain.head_block()
+    };
+    assert!(handle.wait_for_block(head, WAIT), "follower fell behind");
+
+    // Two quiet growth phases of wildly different lengths. The follower
+    // re-checks the tracked proxy by *extending* its slot timeline, so
+    // each poll costs 2 probes no matter how many blocks elapsed — a
+    // from-scratch binary search would pay O(log Δ) over the whole range
+    // again, growing with the second phase's 2000 blocks.
+    for blocks in [10u64, 2000] {
+        let before = fx.pipeline.history_index().stats().probes_issued;
+        let head = {
+            let mut chain = fx.chain.write();
+            for _ in 0..blocks {
+                chain.set_storage(fx.deployer, U256::MAX, U256::ONE);
+            }
+            chain.head_block()
+        };
+        assert!(handle.wait_for_block(head, WAIT), "follower fell behind");
+        let delta = fx.pipeline.history_index().stats().probes_issued - before;
+        assert!(
+            delta <= 6,
+            "{blocks}-block quiet phase cost {delta} probes; \
+             expected 2 per poll, independent of chain growth"
+        );
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.upgrades_observed, 0, "quiet growth is not an upgrade");
+    handle.stop();
+}
+
+#[test]
 fn follower_counts_blocks_and_reports_progress() {
     let fx = fixture();
     let start_head = fx.chain.read().head_block();

@@ -155,6 +155,21 @@ fn rpc_methods_answer_over_loopback() {
         result.get("unique_codehashes").unwrap().as_u64().unwrap() >= 2,
         "proxy and logic bytecode should both be interned by now"
     );
+    // ...and the history index: the proxy_check calls above resolved the
+    // proxy's timeline through it.
+    let history_index = result.get("history_index").unwrap();
+    assert_eq!(history_index.get("entries").unwrap().as_u64(), Some(1));
+    assert!(
+        history_index
+            .get("probes_issued")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 2,
+        "resolving the proxy's timeline issues storage probes"
+    );
+    assert!(history_index.get("probes_saved").is_some());
+    assert!(history_index.get("hits").is_some());
 
     // Error paths: unknown address, unknown method, malformed JSON.
     let doc = client
@@ -203,6 +218,22 @@ fn warm_cache_repeat_shows_hits_in_metrics() {
     );
     assert!(metric("proxion_artifact_cache_entries") >= 1);
     assert!(metric("proxion_artifact_cache_interned_bytes") >= 1);
+    assert_eq!(
+        metric("proxion_history_index_entries"),
+        1,
+        "one slot timeline for the single tracked proxy"
+    );
+    assert!(
+        metric("proxion_history_index_probes_issued_total") >= 2,
+        "the first resolution issues real probes"
+    );
+    assert!(
+        metric("proxion_history_index_probes_saved_total")
+            >= metric("proxion_history_index_probes_issued_total"),
+        "two warm repeats at the same head each save the full prefix"
+    );
+    assert_eq!(metric("proxion_history_index_extensions_total"), 1);
+    assert_eq!(metric("proxion_follower_lag_blocks"), 0);
     assert!(
         text.contains("proxion_request_latency_us_bucket{method=\"proxy_check\",le=\"+Inf\"} 3")
     );
