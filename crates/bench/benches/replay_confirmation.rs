@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the replay engine: what execution-backed
+//! confirmation costs per pair, against the static verdict it upgrades.
+//!
+//! The workload is the six-case ground-truth exploit corpus; each
+//! benchmark answers "what does one flagged pair cost to confirm?" for a
+//! different probe mix, so the static-vs-confirmed gap (Table 4's
+//! execution budget) is measured on the same pairs the accuracy tests
+//! use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_core::{FunctionCollisionDetector, ImplSource, StorageCollisionDetector};
+use proxion_dataset::ExploitCorpus;
+use proxion_replay::ReplayEngine;
+
+fn replay_confirmation(c: &mut Criterion) {
+    let corpus = ExploitCorpus::generate(0xbe9c);
+    let snapshot = corpus.chain.snapshot();
+    let engine = ReplayEngine::new();
+
+    // The full confirmation pass: all three probes over all six cases.
+    c.bench_function("replay_confirm_corpus", |b| {
+        b.iter(|| {
+            let mut confirmed = 0;
+            for case in &corpus.cases {
+                let verdict = engine
+                    .confirm_pair(
+                        &snapshot,
+                        case.proxy,
+                        case.logic,
+                        Some(ImplSource::StorageSlot(case.impl_slot)),
+                        &case.collided_selectors,
+                    )
+                    .unwrap();
+                if verdict.confirmed {
+                    confirmed += 1;
+                }
+            }
+            assert_eq!(confirmed, 3);
+            confirmed
+        })
+    });
+
+    // The static verdict on the same pairs — the baseline the replay
+    // engine's cost is compared against.
+    let functions = FunctionCollisionDetector::new();
+    let storage = StorageCollisionDetector::new();
+    c.bench_function("static_verdict_corpus", |b| {
+        b.iter(|| {
+            let mut flagged = 0;
+            for case in &corpus.cases {
+                let f = functions
+                    .check_pair(&snapshot, &corpus.etherscan, case.proxy, case.logic)
+                    .unwrap();
+                let s = storage
+                    .check_pair(&snapshot, case.proxy, case.logic)
+                    .unwrap();
+                if f.has_collisions() || s.has_exploitable() {
+                    flagged += 1;
+                }
+            }
+            flagged
+        })
+    });
+
+    // Individual probes, one exploitable case each.
+    let uninit = &corpus.cases[0];
+    c.bench_function("probe_uninitialized", |b| {
+        b.iter(|| engine.probe_uninitialized(&snapshot, uninit.proxy).unwrap())
+    });
+    let upgrade = &corpus.cases[2];
+    c.bench_function("regression_replay", |b| {
+        b.iter(|| {
+            engine
+                .regression_replay(&snapshot, upgrade.proxy, upgrade.logic)
+                .unwrap()
+        })
+    });
+    let honeypot = &corpus.cases[4];
+    c.bench_function("check_fake_proxy", |b| {
+        b.iter(|| {
+            engine
+                .check_fake_proxy(
+                    &snapshot,
+                    honeypot.proxy,
+                    honeypot.logic,
+                    Some(ImplSource::StorageSlot(honeypot.impl_slot)),
+                    &honeypot.collided_selectors,
+                )
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, replay_confirmation);
+criterion_main!(benches);

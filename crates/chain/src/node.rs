@@ -143,6 +143,11 @@ pub struct TxRecord {
     /// The first four bytes of the call data, when present — the function
     /// selector the caller used (what trace-seeded analyses harvest).
     pub input_selector: Option<[u8; 4]>,
+    /// Full call data, verbatim — what the replay engine re-executes.
+    /// Empty for deployments (init code is not a replayable message call).
+    pub input: Vec<u8>,
+    /// Wei transferred with the call.
+    pub value: U256,
     /// Internal calls made during execution.
     pub internal_calls: Vec<InternalCall>,
 }
@@ -376,7 +381,15 @@ impl Chain {
             return Err(ChainError::DeploymentFailed(result.halt.to_string()));
         }
         let address = result.created.expect("successful create has an address");
-        self.finish_tx(block, deployer, address, None, &result, &inspector);
+        self.finish_tx(
+            block,
+            deployer,
+            address,
+            Vec::new(),
+            U256::ZERO,
+            &result,
+            &inspector,
+        );
         self.record_deployment(block, address, deployer);
         self.commit_block();
         Ok(address)
@@ -444,13 +457,12 @@ impl Chain {
         let block = self.begin_block();
         let env = self.env();
         let mut inspector = RecordingInspector::new();
-        let input_selector = selector_of(&input);
         let result = {
             let state = self.state_mut();
             let mut evm = Evm::with_inspector(&mut state.db, env, &mut inspector);
-            evm.call(Message::eoa_call(from, to, input).with_value(value))
+            evm.call(Message::eoa_call(from, to, input.clone()).with_value(value))
         };
-        self.finish_tx(block, from, to, input_selector, &result, &inspector);
+        self.finish_tx(block, from, to, input, value, &result, &inspector);
         self.commit_block();
         result
     }
@@ -470,7 +482,7 @@ impl Chain {
         let result = {
             let state = self.state_mut();
             let mut evm = Evm::with_inspector(&mut state.db, env, inspector);
-            evm.call(Message::eoa_call(from, to, input))
+            evm.call(Message::eoa_call(from, to, input.clone()))
         };
         let record = TxRecord {
             block,
@@ -478,6 +490,8 @@ impl Chain {
             to,
             success: result.is_success(),
             input_selector,
+            input,
+            value: U256::ZERO,
             internal_calls: Vec::new(),
         };
         self.record_state_changes(block);
@@ -486,12 +500,14 @@ impl Chain {
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_tx(
         &mut self,
         block: u64,
         from: Address,
         to: Address,
-        input_selector: Option<[u8; 4]>,
+        input: Vec<u8>,
+        value: U256,
         result: &CallResult,
         inspector: &RecordingInspector,
     ) {
@@ -511,7 +527,9 @@ impl Chain {
             from,
             to,
             success: result.is_success(),
-            input_selector,
+            input_selector: selector_of(&input),
+            input,
+            value,
             internal_calls,
         });
     }

@@ -9,9 +9,10 @@ use proxion_core::{
     FunctionCollisionDetector, Pipeline, PipelineConfig, ProxyDetector, ProxyStandard,
     StorageCollisionDetector,
 };
-use proxion_dataset::{CollisionCorpus, Landscape, LandscapeConfig};
+use proxion_dataset::{CollisionCorpus, ExploitCorpus, Landscape, LandscapeConfig};
 use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Cfg, Disassembly};
 use proxion_primitives::{decode_hex, encode_hex, selector, Address, U256};
+use proxion_replay::ReplayEngine;
 use proxion_service::json::{self, JsonValue};
 use proxion_service::{loadgen as service_loadgen, server, LoadgenConfig, ServerConfig};
 use proxion_solc::{compile, templates};
@@ -240,6 +241,42 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         .expect("in-memory chain reads are infallible");
     let artifact_stats = pipeline.artifacts().stats();
     let history_stats = pipeline.history_index().stats();
+    // Execution-backed confirmation of every flagged collision pair: the
+    // replay engine re-checks each one against an immutable snapshot.
+    let verdicts = {
+        let snapshot = landscape.chain.snapshot();
+        let engine = ReplayEngine::new();
+        report
+            .reports
+            .iter()
+            .filter(|r| {
+                r.function_collisions
+                    .as_ref()
+                    .is_some_and(|f| f.has_collisions())
+                    || r.storage_collisions
+                        .as_ref()
+                        .is_some_and(|s| s.has_collisions())
+            })
+            .filter_map(|r| {
+                let logic = r.check.logic().filter(|l| !l.is_zero())?;
+                let selectors: Vec<[u8; 4]> = r
+                    .function_collisions
+                    .as_ref()
+                    .map(|f| f.collisions.iter().map(|c| c.selector).collect())
+                    .unwrap_or_default();
+                engine
+                    .confirm_pair(
+                        &snapshot,
+                        r.address,
+                        logic,
+                        r.check.impl_source(),
+                        &selectors,
+                    )
+                    .ok()
+            })
+            .collect::<Vec<_>>()
+    };
+    let confirmed = verdicts.iter().filter(|v| v.confirmed).count();
     if as_json {
         let standards = report.standard_distribution();
         let standard_members: Vec<(&str, JsonValue)> = [
@@ -275,6 +312,11 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
             (
                 "history_index",
                 json::parse(&json::to_json(&history_stats)).expect("valid JSON"),
+            ),
+            ("replay_confirmed_pairs", confirmed.into()),
+            (
+                "replay",
+                json::parse(&json::to_json(&verdicts)).expect("valid JSON"),
             ),
             (
                 "reports",
@@ -322,6 +364,74 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         "history: {} slot timelines, {} probes issued, {} saved",
         history_stats.entries, history_stats.probes_issued, history_stats.probes_saved
     );
+    println!(
+        "replay: {} flagged pairs re-executed, {} confirmed exploitable",
+        verdicts.len(),
+        confirmed
+    );
+    Ok(())
+}
+
+/// `proxion replay [--json] [seed]`
+///
+/// Generates the ground-truth exploit corpus (an exploitable and a
+/// benign twin per scenario) and runs the replay engine's confirmation
+/// pass over every case — the execution-backed severity measurement
+/// behind the paper's Table 4.
+pub fn replay(args: &[String]) -> Result<(), String> {
+    let (as_json, args) = take_flag(args, "--json");
+    let seed: u64 = parse_or(args.first(), 0x5eed)?;
+    let corpus = ExploitCorpus::generate(seed);
+    let snapshot = corpus.chain.snapshot();
+    let engine = ReplayEngine::new();
+
+    let mut rows = Vec::new();
+    for case in &corpus.cases {
+        let verdict = engine
+            .confirm_pair(
+                &snapshot,
+                case.proxy,
+                case.logic,
+                Some(proxion_core::ImplSource::StorageSlot(case.impl_slot)),
+                &case.collided_selectors,
+            )
+            .map_err(|e| format!("replay failed for `{}`: {e}", case.name))?;
+        rows.push((case, verdict));
+    }
+
+    if as_json {
+        let cases: Vec<JsonValue> = rows
+            .iter()
+            .map(|(case, verdict)| {
+                json::object(vec![
+                    ("name", case.name.into()),
+                    ("exploitable", case.exploitable.into()),
+                    (
+                        "verdict",
+                        json::parse(&json::to_json(verdict)).expect("valid JSON"),
+                    ),
+                ])
+            })
+            .collect();
+        println!("{}", json::to_json(&JsonValue::Array(cases)));
+        return Ok(());
+    }
+
+    println!("case                       exploitable  confirmed evidence");
+    let mut correct = 0;
+    for (case, verdict) in &rows {
+        if verdict.confirmed == case.exploitable {
+            correct += 1;
+        }
+        println!(
+            "{:<26} {:>11} {:>10} {}",
+            case.name,
+            case.exploitable,
+            verdict.confirmed,
+            verdict.kinds().join(",")
+        );
+    }
+    println!("agreement with ground truth: {correct}/{}", rows.len());
     Ok(())
 }
 
@@ -602,7 +712,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "proxion-service listening on http://{}",
         handle.local_addr()
     );
-    println!("  POST /rpc       methods: proxy_check, logic_history, collisions, contracts, stats, health");
+    println!("  POST /rpc       methods: proxy_check, logic_history, collisions, replay, contracts, stats, health");
     println!("  GET  /health    liveness");
     println!("  GET  /metrics   Prometheus text format");
     if opts.telemetry {
@@ -686,6 +796,12 @@ mod tests {
     #[test]
     fn accuracy_runs_on_tiny_corpus() {
         accuracy(&["1".into()]).unwrap();
+    }
+
+    #[test]
+    fn replay_runs_on_exploit_corpus() {
+        replay(&[]).unwrap();
+        replay(&["--json".into(), "7".into()]).unwrap();
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! proxion inspect [--json] [--trace FILE] <hex>   static bytecode analysis
 //! proxion landscape [--json] [N] [seed]           generate + analyze a landscape
 //! proxion accuracy [per-kind]                     Table 2 accuracy comparison
+//! proxion replay [--json] [seed]                  Table 4 replay confirmation
 //! proxion demo <honeypot|audius>                  run an attack reproduction
 //! proxion serve [N] [seed] [--telemetry]          run the analysis server
 //! proxion loadgen <host:port> [conns] [reqs]      drive load at a server
@@ -23,6 +24,7 @@ fn main() -> ExitCode {
         "inspect" => commands::inspect(rest),
         "landscape" => commands::landscape(rest),
         "accuracy" => commands::accuracy(rest),
+        "replay" => commands::replay(rest),
         "demo" => commands::demo(rest),
         "serve" => commands::serve(rest),
         "loadgen" => commands::loadgen(rest),
@@ -62,6 +64,12 @@ USAGE:
         Generate the labeled collision corpus and print the Table 2
         accuracy comparison (Proxion vs USCHunt vs CRUSH).
 
+    proxion replay [--json] [seed]
+        Generate the ground-truth exploit corpus (uninitialized proxy,
+        storage-collision upgrade, mined honeypot — each with a benign
+        twin) and run the replay engine's execution-backed confirmation
+        over every case (the Table 4 severity measurement).
+
     proxion demo honeypot
     proxion demo audius
         Reproduce the paper's Listing 1 / Listing 2 attacks end to end.
@@ -69,7 +77,7 @@ USAGE:
     proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow] [--telemetry]
         Generate a landscape and serve the analysis over HTTP/1.1:
         POST /rpc (JSON-RPC: proxy_check, logic_history, collisions,
-        contracts, stats, health), GET /health, GET /metrics. A bounded
+        replay, contracts, stats, health), GET /health, GET /metrics. A bounded
         request queue answers 503 under overload; the block follower
         analyzes new contracts and proxy upgrades incrementally. With
         --telemetry, per-request span trees and EVM profiles are recorded

@@ -100,6 +100,7 @@ impl CollisionCorpus {
         let mut chain = Chain::new();
         let mut etherscan = Etherscan::new();
         let deployer = chain.new_funded_account();
+        let probe = chain.new_funded_account();
         let mut rng = DetRng::new(seed);
         let mut pairs = Vec::new();
         let mut counter = 0u64;
@@ -115,6 +116,7 @@ impl CollisionCorpus {
                     kind,
                     counter,
                 );
+                drive_replay_probe(&mut chain, probe, &pair, counter);
                 pairs.push(pair);
             }
         }
@@ -124,6 +126,29 @@ impl CollisionCorpus {
             pairs,
         }
     }
+}
+
+/// Drives one external transaction through the pair's proxy so every
+/// corpus contract carries replayable history (calldata, sender, block)
+/// for the replay engine. The probe calls the pair's unique
+/// `corpusMarker` function, which executes locally on the proxy: it
+/// neither delegates (so trace-based baselines see exactly the same
+/// pairs as before) nor writes storage (so static ground truth is
+/// untouched).
+fn drive_replay_probe(chain: &mut Chain, probe: Address, pair: &LabeledPair, counter: u64) {
+    if !pair.is_proxy_pair {
+        // The library caller already drives `increment()` during
+        // construction — trace-based tools need that transaction.
+        return;
+    }
+    let marker_counter = match pair.kind {
+        // These kinds install the proxy from the `counter + 10_000`
+        // variation; everything else varies the proxy with `counter`.
+        PairKind::MinedHoneypot | PairKind::AudiusExploit => counter + 10_000,
+        _ => counter,
+    };
+    let input = proxion_primitives::selector(&format!("corpusMarker{marker_counter}()")).to_vec();
+    chain.transact(probe, pair.proxy, input, U256::ZERO);
 }
 
 fn install(
@@ -532,6 +557,39 @@ mod tests {
         for pair in &corpus.pairs {
             assert!(corpus.etherscan.is_verified(pair.proxy));
             assert!(corpus.etherscan.is_verified(pair.logic));
+        }
+    }
+
+    #[test]
+    fn every_proxy_has_a_replayable_transaction() {
+        let corpus = CollisionCorpus::generate(5, 2);
+        for pair in &corpus.pairs {
+            let replayable = corpus
+                .chain
+                .transactions_of(pair.proxy)
+                .iter()
+                .any(|tx| tx.to == pair.proxy && !tx.input.is_empty());
+            assert!(
+                replayable,
+                "{:?} proxy lacks a recorded external transaction with calldata",
+                pair.kind
+            );
+        }
+    }
+
+    #[test]
+    fn probe_transactions_do_not_delegate() {
+        // The coverage probe must not make trace-based baselines see new
+        // delegate pairs — it executes entirely on the proxy.
+        let corpus = CollisionCorpus::generate(6, 1);
+        for pair in corpus.pairs.iter().filter(|p| p.is_proxy_pair) {
+            for tx in corpus.chain.transactions_of(pair.proxy) {
+                assert!(
+                    tx.internal_calls.is_empty(),
+                    "{:?} probe tx must stay on the proxy frame",
+                    pair.kind
+                );
+            }
         }
     }
 

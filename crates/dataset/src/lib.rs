@@ -28,10 +28,12 @@
 //! ```
 
 mod corpus;
+mod exploits;
 mod landscape;
 pub mod params;
 
 pub use corpus::{CollisionCorpus, LabeledPair, PairKind};
+pub use exploits::{ExploitCase, ExploitCorpus, ExploitKind};
 pub use landscape::{
     GeneratedContract, GroundTruth, Landscape, LandscapeConfig, TemplateId, TrueStandard,
 };

@@ -1,0 +1,633 @@
+//! [`ReplayEngine`]: the three execution probes that turn a statically
+//! flagged collision into a confirmed (or cleared) one.
+//!
+//! Every probe runs on a fresh [`ReplayHost`] overlay, so nothing a
+//! replay does can leak into the backing source. The probes are:
+//!
+//! 1. **Regression replay** ([`ReplayEngine::regression_replay`]): each
+//!    recorded external transaction of the proxy is re-executed at its
+//!    original block, once against the logic that was live then and once
+//!    with the candidate logic's code substituted in. Any difference in
+//!    revert status, return data or storage writes is an
+//!    upgrade-induced behavioral divergence — the execution witness of a
+//!    storage-collision upgrade.
+//! 2. **Uninitialized-proxy probe**
+//!    ([`ReplayEngine::probe_uninitialized`]): crafted
+//!    `initialize()`-family calls from an attacker address; if a
+//!    successful call writes the attacker's address into the proxy's
+//!    storage, ownership was captured.
+//! 3. **Fake-proxy check** ([`ReplayEngine::check_fake_proxy`]): the
+//!    `DELEGATECALL` observed during execution is compared — target
+//!    address and provenance — against the advertised implementation
+//!    slot, and collided selectors that execute proxy-local code issuing
+//!    an external `CALL` are flagged as honeypot bait.
+
+use std::sync::Arc;
+
+use proxion_chain::{env_for_head, ChainSource, SourceResult};
+use proxion_core::ImplSource;
+use proxion_evm::{CallKind, Evm, Message, Origin, RecordingInspector};
+use proxion_primitives::{selector, Address, U256};
+use proxion_telemetry::{Outcome, Stage, Telemetry};
+use serde::Serialize;
+
+use crate::host::ReplayHost;
+
+/// Execution counters for one engine invocation; the service accumulates
+/// these into the `proxion_replay_*` Prometheus counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ReplayStats {
+    /// EVM executions performed.
+    pub executions: u64,
+    /// Executions that reverted or halted abnormally.
+    pub reverted: u64,
+}
+
+impl ReplayStats {
+    fn absorb(&mut self, success: bool) {
+        self.executions += 1;
+        if !success {
+            self.reverted += 1;
+        }
+    }
+
+    fn merge(&mut self, other: ReplayStats) {
+        self.executions += other.executions;
+        self.reverted += other.reverted;
+    }
+}
+
+/// Evidence that an `initialize()`-style call from the attacker captured
+/// a proxy storage slot.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaptureEvidence {
+    /// The selector that succeeded.
+    pub selector: [u8; 4],
+    /// The proxy storage slot the attacker's address was written to.
+    pub slot: U256,
+    /// The attacker address used for the probe.
+    pub attacker: Address,
+    /// The full 256-bit value written (the attacker's 20 bytes may be
+    /// packed alongside initializer flags, as in the Audius layout).
+    pub written: U256,
+}
+
+/// How a fake/honeypot proxy betrayed itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FakeProxyKind {
+    /// A collided selector executed proxy-local code that issued an
+    /// external `CALL` instead of delegating — the honeypot bait shape:
+    /// the advertised source promises one behavior, the proxy serves
+    /// another.
+    HoneypotBait,
+    /// The observed `DELEGATECALL` target differs from the address in
+    /// the advertised implementation slot.
+    TargetMismatch,
+    /// The delegate target was loaded from a different storage slot than
+    /// the advertised one.
+    ProvenanceMismatch,
+}
+
+/// Evidence that the proxy's advertised implementation is not what
+/// executes.
+#[derive(Debug, Clone, Serialize)]
+pub struct FakeProxyEvidence {
+    /// The discriminating observation.
+    pub kind: FakeProxyKind,
+    /// The selector whose execution produced the evidence.
+    pub selector: [u8; 4],
+    /// The implementation the proxy advertises.
+    pub advertised: Address,
+    /// The delegate target actually observed (zero when the call never
+    /// delegated).
+    pub observed: Address,
+}
+
+/// One recorded transaction whose replay under the candidate logic
+/// behaved differently than under the originally live logic.
+#[derive(Debug, Clone, Serialize)]
+pub struct TxDivergence {
+    /// Block height of the original transaction.
+    pub block: u64,
+    /// Function selector of the original call data, when present.
+    pub selector: Option<[u8; 4]>,
+    /// The replay's revert status flipped.
+    pub success_changed: bool,
+    /// The replay returned different bytes.
+    pub output_changed: bool,
+    /// The replay performed different storage writes.
+    pub writes_changed: bool,
+}
+
+/// The engine's verdict for one proxy/logic pair: `confirmed` plus the
+/// evidence behind it. Serialized into the `collisions` RPC response and
+/// `landscape --json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayVerdict {
+    /// The proxy contract.
+    pub proxy: Address,
+    /// The logic contract the pair was checked against.
+    pub logic: Address,
+    /// Whether any execution probe confirmed exploitability.
+    pub confirmed: bool,
+    /// Ownership capture by the uninitialized-proxy probe, if any.
+    pub capture: Option<CaptureEvidence>,
+    /// Transactions whose replay diverged under the candidate logic.
+    pub divergences: Vec<TxDivergence>,
+    /// Fake/honeypot proxy evidence, if any.
+    pub fake: Option<FakeProxyEvidence>,
+    /// Execution counters for this confirmation pass.
+    pub stats: ReplayStats,
+}
+
+impl ReplayVerdict {
+    /// Stable labels for the confirmation kinds present in this verdict.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.capture.is_some() {
+            out.push("uninitialized_capture");
+        }
+        if !self.divergences.is_empty() {
+            out.push("upgrade_divergence");
+        }
+        if self.fake.is_some() {
+            out.push("fake_proxy");
+        }
+        out
+    }
+}
+
+/// The `initialize()`-family prototypes the uninitialized probe crafts,
+/// with whether an address argument (the attacker) is appended.
+const INIT_PROTOTYPES: [(&str, bool); 4] = [
+    ("initialize()", false),
+    ("init()", false),
+    ("initialize(address)", true),
+    ("init(address)", true),
+];
+
+/// The unmatched selector used for the fallback-routing probe — no
+/// generated or template function uses it, so it always reaches the
+/// proxy's fallback.
+const FALLBACK_PROBE: [u8; 4] = [0xff, 0xff, 0xff, 0xff];
+
+/// What one EVM execution of a probe observed.
+struct RunOutcome {
+    success: bool,
+    output: Vec<u8>,
+    writes: Vec<WriteRecord>,
+    delegates: Vec<DelegateLite>,
+    /// Whether the target contract's own frame issued a plain `CALL`.
+    calls_out: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WriteRecord {
+    address: Address,
+    slot: U256,
+    value: U256,
+}
+
+struct DelegateLite {
+    proxy: Address,
+    logic: Address,
+    origin: Origin,
+}
+
+/// The transaction-replay engine. Stateless apart from configuration;
+/// cheap to construct per request.
+pub struct ReplayEngine {
+    attacker: Address,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Default for ReplayEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplayEngine {
+    /// Creates an engine with the default attacker address and disabled
+    /// telemetry.
+    pub fn new() -> Self {
+        ReplayEngine {
+            attacker: Address::from_low_u64(0xa77a_c4e2_0001),
+            telemetry: Arc::new(Telemetry::disabled()),
+        }
+    }
+
+    /// Shares a telemetry instance; probes record under
+    /// [`Stage::Replay`].
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Overrides the attacker address used by the probes.
+    pub fn with_attacker(mut self, attacker: Address) -> Self {
+        self.attacker = attacker;
+        self
+    }
+
+    /// The attacker address the probes impersonate.
+    pub fn attacker(&self) -> Address {
+        self.attacker
+    }
+
+    /// Runs all three probes for one proxy/logic pair and combines the
+    /// evidence into a [`ReplayVerdict`].
+    ///
+    /// `impl_source` is the detector's classification of where the proxy
+    /// loads its implementation from (pass
+    /// `report.check.impl_source()`); `collided_selectors` are the
+    /// function-collision selectors to bait-scan (pass the selectors of
+    /// `FunctionCollisionReport.collisions`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`proxion_chain::SourceError`] a probe's
+    /// state read hits.
+    pub fn confirm_pair<S: ChainSource + ?Sized>(
+        &self,
+        source: &S,
+        proxy: Address,
+        logic: Address,
+        impl_source: Option<ImplSource>,
+        collided_selectors: &[[u8; 4]],
+    ) -> SourceResult<ReplayVerdict> {
+        let mut span = self.telemetry.span(Stage::Replay, "confirm_pair");
+        if span.is_recording() {
+            span.set_detail(format!("{proxy}"));
+        }
+        let mut stats = ReplayStats::default();
+        let (capture, s) = self.probe_uninitialized(source, proxy)?;
+        stats.merge(s);
+        let (fake, s) =
+            self.check_fake_proxy(source, proxy, logic, impl_source, collided_selectors)?;
+        stats.merge(s);
+        let (divergences, s) = self.regression_replay(source, proxy, logic)?;
+        stats.merge(s);
+        let confirmed = capture.is_some() || fake.is_some() || !divergences.is_empty();
+        span.set_outcome(Outcome::Ok);
+        Ok(ReplayVerdict {
+            proxy,
+            logic,
+            confirmed,
+            capture,
+            divergences,
+            fake,
+            stats,
+        })
+    }
+
+    /// Probes whether an attacker can capture the proxy through an
+    /// unguarded `initialize()`-family call: each crafted call runs at
+    /// the head block, and a successful execution that writes the
+    /// attacker's address into the proxy's own storage is a capture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first source error a state read hits.
+    pub fn probe_uninitialized<S: ChainSource + ?Sized>(
+        &self,
+        source: &S,
+        proxy: Address,
+    ) -> SourceResult<(Option<CaptureEvidence>, ReplayStats)> {
+        let mut span = self.telemetry.span(Stage::Replay, "probe_uninitialized");
+        let head = source.head_block()?;
+        let mut stats = ReplayStats::default();
+        for (prototype, takes_address) in INIT_PROTOTYPES {
+            let sel = selector(prototype);
+            let mut input = sel.to_vec();
+            if takes_address {
+                let mut word = [0u8; 32];
+                word[12..].copy_from_slice(self.attacker.as_bytes());
+                input.extend_from_slice(&word);
+            }
+            let run = self.execute(source, head, self.attacker, proxy, input, U256::ZERO, &[])?;
+            stats.absorb(run.success);
+            if !run.success {
+                continue;
+            }
+            for write in &run.writes {
+                if write.address == proxy && value_embeds_address(write.value, self.attacker) {
+                    span.set_outcome(Outcome::Ok);
+                    return Ok((
+                        Some(CaptureEvidence {
+                            selector: sel,
+                            slot: write.slot,
+                            attacker: self.attacker,
+                            written: write.value,
+                        }),
+                        stats,
+                    ));
+                }
+            }
+        }
+        span.set_outcome(Outcome::Ok);
+        Ok((None, stats))
+    }
+
+    /// Checks whether the proxy's observable delegation matches what it
+    /// advertises: a fallback-routed probe must delegate to the address
+    /// in the advertised implementation slot (loaded *from* that slot),
+    /// and collided selectors must not be served by proxy-local code
+    /// that issues external calls (honeypot bait).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first source error a state read hits.
+    pub fn check_fake_proxy<S: ChainSource + ?Sized>(
+        &self,
+        source: &S,
+        proxy: Address,
+        logic: Address,
+        impl_source: Option<ImplSource>,
+        collided_selectors: &[[u8; 4]],
+    ) -> SourceResult<(Option<FakeProxyEvidence>, ReplayStats)> {
+        let mut span = self.telemetry.span(Stage::Replay, "check_fake_proxy");
+        let head = source.head_block()?;
+        let mut stats = ReplayStats::default();
+        let advertised_slot = match impl_source {
+            Some(ImplSource::StorageSlot(slot)) => Some(slot),
+            _ => None,
+        };
+        let advertised = match advertised_slot {
+            Some(slot) => Address::from_word(source.storage_latest(proxy, slot)?),
+            None => logic,
+        };
+
+        let run = self.execute(
+            source,
+            head,
+            self.attacker,
+            proxy,
+            FALLBACK_PROBE.to_vec(),
+            U256::ZERO,
+            &[],
+        )?;
+        stats.absorb(run.success);
+        if let Some(delegate) = run.delegates.iter().find(|d| d.proxy == proxy) {
+            if !advertised.is_zero() && delegate.logic != advertised {
+                span.set_outcome(Outcome::Ok);
+                return Ok((
+                    Some(FakeProxyEvidence {
+                        kind: FakeProxyKind::TargetMismatch,
+                        selector: FALLBACK_PROBE,
+                        advertised,
+                        observed: delegate.logic,
+                    }),
+                    stats,
+                ));
+            }
+            if let (Some(slot), Origin::StorageSlot(seen)) = (advertised_slot, delegate.origin) {
+                if seen != slot {
+                    span.set_outcome(Outcome::Ok);
+                    return Ok((
+                        Some(FakeProxyEvidence {
+                            kind: FakeProxyKind::ProvenanceMismatch,
+                            selector: FALLBACK_PROBE,
+                            advertised,
+                            observed: delegate.logic,
+                        }),
+                        stats,
+                    ));
+                }
+            }
+        }
+
+        for &sel in collided_selectors {
+            let mut input = sel.to_vec();
+            input.extend_from_slice(&[0x11; 32]);
+            let run = self.execute(source, head, self.attacker, proxy, input, U256::ZERO, &[])?;
+            stats.absorb(run.success);
+            let delegated = run.delegates.iter().any(|d| d.proxy == proxy);
+            if run.success && !delegated && run.calls_out {
+                span.set_outcome(Outcome::Ok);
+                return Ok((
+                    Some(FakeProxyEvidence {
+                        kind: FakeProxyKind::HoneypotBait,
+                        selector: sel,
+                        advertised,
+                        observed: Address::ZERO,
+                    }),
+                    stats,
+                ));
+            }
+        }
+        span.set_outcome(Outcome::Ok);
+        Ok((None, stats))
+    }
+
+    /// Re-executes every recorded external transaction of `proxy` at its
+    /// original block, then again with `candidate`'s code substituted
+    /// for the logic that was live at that block, and reports the
+    /// transactions whose behavior diverged.
+    ///
+    /// Transactions that never reached a delegate (pure proxy-local
+    /// calls) and pairs where the live logic already *is* the candidate
+    /// are skipped — there is nothing to diff.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first source error a state read hits.
+    pub fn regression_replay<S: ChainSource + ?Sized>(
+        &self,
+        source: &S,
+        proxy: Address,
+        candidate: Address,
+    ) -> SourceResult<(Vec<TxDivergence>, ReplayStats)> {
+        let mut span = self.telemetry.span(Stage::Replay, "regression_replay");
+        let mut stats = ReplayStats::default();
+        let mut divergences = Vec::new();
+        let deploy_block = source.deployment(proxy)?.map(|d| d.block);
+        let candidate_code = source.code_at(candidate)?;
+        for tx in source.transactions_of(proxy)? {
+            if tx.to != proxy || Some(tx.block) == deploy_block {
+                continue;
+            }
+            // The transaction at block b executed against the world as of
+            // the end of b-1.
+            let state_block = tx.block.saturating_sub(1);
+            let baseline = self.execute_at(
+                source,
+                state_block,
+                tx.block,
+                tx.from,
+                proxy,
+                tx.input.clone(),
+                tx.value,
+                &[],
+            )?;
+            stats.absorb(baseline.success);
+            let Some(delegate) = baseline.delegates.iter().find(|d| d.proxy == proxy) else {
+                continue;
+            };
+            let live = delegate.logic;
+            if live == candidate || candidate_code.is_empty() {
+                continue;
+            }
+            let replayed = self.execute_at(
+                source,
+                state_block,
+                tx.block,
+                tx.from,
+                proxy,
+                tx.input.clone(),
+                tx.value,
+                &[(live, Arc::clone(&candidate_code))],
+            )?;
+            stats.absorb(replayed.success);
+            let success_changed = baseline.success != replayed.success;
+            let output_changed = baseline.output != replayed.output;
+            let writes_changed = baseline.writes != replayed.writes;
+            if success_changed || output_changed || writes_changed {
+                divergences.push(TxDivergence {
+                    block: tx.block,
+                    selector: tx.input_selector,
+                    success_changed,
+                    output_changed,
+                    writes_changed,
+                });
+            }
+        }
+        span.set_outcome(Outcome::Ok);
+        Ok((divergences, stats))
+    }
+
+    /// Executes one probe call at the head block.
+    #[allow(clippy::too_many_arguments)]
+    fn execute<S: ChainSource + ?Sized>(
+        &self,
+        source: &S,
+        block: u64,
+        from: Address,
+        to: Address,
+        input: Vec<u8>,
+        value: U256,
+        overrides: &[(Address, Arc<Vec<u8>>)],
+    ) -> SourceResult<RunOutcome> {
+        self.execute_at(source, block, block, from, to, input, value, overrides)
+    }
+
+    /// Executes one call against state as of `state_block` with the
+    /// block environment of `env_block`, entirely inside a
+    /// [`ReplayHost`] overlay.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_at<S: ChainSource + ?Sized>(
+        &self,
+        source: &S,
+        state_block: u64,
+        env_block: u64,
+        from: Address,
+        to: Address,
+        input: Vec<u8>,
+        value: U256,
+        overrides: &[(Address, Arc<Vec<u8>>)],
+    ) -> SourceResult<RunOutcome> {
+        let mut host = ReplayHost::at_block(source, state_block);
+        for (address, code) in overrides {
+            host.override_code(*address, Arc::clone(code));
+        }
+        // Fund the sender in the overlay so value transfers replay even
+        // though the archive keeps no historical balances.
+        use proxion_evm::Host as _;
+        host.set_balance(from, U256::ONE << 120u32);
+        let env = env_for_head(env_block);
+        let mut inspector = RecordingInspector::new();
+        let result = {
+            let mut evm = Evm::with_inspector(&mut host, env, &mut inspector);
+            evm.call(Message::eoa_call(from, to, input).with_value(value))
+        };
+        if let Some(error) = host.take_error() {
+            return Err(error);
+        }
+        let writes = inspector
+            .storage
+            .iter()
+            .filter(|a| a.is_write)
+            .map(|a| WriteRecord {
+                address: a.address,
+                slot: a.slot,
+                value: a.value,
+            })
+            .collect();
+        let delegates = inspector
+            .delegate_calls()
+            .map(|d| DelegateLite {
+                proxy: d.proxy,
+                logic: d.logic,
+                origin: d.target_word.origin,
+            })
+            .collect();
+        let calls_out = inspector
+            .calls
+            .iter()
+            .any(|c| c.kind == CallKind::Call && c.caller == to);
+        Ok(RunOutcome {
+            success: result.is_success(),
+            output: result.output,
+            writes,
+            delegates,
+            calls_out,
+        })
+    }
+}
+
+/// Whether the 20 bytes of `address` appear byte-aligned anywhere inside
+/// the 256-bit `value` — how a packed Solidity layout stores an address
+/// next to smaller fields (the Audius slot packs it above two booleans).
+fn value_embeds_address(value: U256, address: Address) -> bool {
+    if address.is_zero() {
+        return false;
+    }
+    let target = U256::from(address);
+    let mask = (U256::ONE << 160u32) - U256::ONE;
+    (0..=12u32).any(|byte_shift| (value >> (byte_shift * 8)) & mask == target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeds_address_at_any_byte_offset() {
+        let attacker = Address::from_low_u64(0xdead_beef);
+        let direct = U256::from(attacker);
+        assert!(value_embeds_address(direct, attacker));
+        // Audius packing: owner << 16 | initializing << 8 | initialized.
+        let packed = (direct << 16u32) | U256::ONE;
+        assert!(value_embeds_address(packed, attacker));
+        assert!(!value_embeds_address(U256::from(7u64), attacker));
+        assert!(!value_embeds_address(U256::ZERO, Address::ZERO));
+    }
+
+    #[test]
+    fn verdict_kinds_label_evidence() {
+        let verdict = ReplayVerdict {
+            proxy: Address::from_low_u64(1),
+            logic: Address::from_low_u64(2),
+            confirmed: true,
+            capture: Some(CaptureEvidence {
+                selector: [0; 4],
+                slot: U256::ZERO,
+                attacker: Address::from_low_u64(3),
+                written: U256::ONE,
+            }),
+            divergences: vec![TxDivergence {
+                block: 1,
+                selector: None,
+                success_changed: true,
+                output_changed: false,
+                writes_changed: false,
+            }],
+            fake: None,
+            stats: ReplayStats::default(),
+        };
+        assert_eq!(
+            verdict.kinds(),
+            vec!["uninitialized_capture", "upgrade_divergence"]
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! [`ReplayHost`]: a journaled EVM host pinned to a historical block.
+//!
+//! The emulation twin of
+//! [`SourceHost`](proxion_chain::SourceHost), with two differences that
+//! make *replay* (as opposed to head-state probing) possible:
+//!
+//! * storage reads resolve **as of a fixed historical block** via
+//!   `ChainSource::storage_at`, so a transaction recorded at height `b`
+//!   can be re-executed against the world it originally saw;
+//! * callers can **override the code** of selected accounts before the
+//!   run — how the regression replay substitutes a candidate logic
+//!   contract for the one that was live at the time.
+//!
+//! All writes land in an overlay journal; the backing source is never
+//! mutated. Balances, nonces and code default to head state — the
+//! in-memory archive keeps those unversioned (code is immutable per
+//! address and the analyses never depend on historical balances); the
+//! replay engine funds senders explicitly so value transfers succeed.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proxion_chain::{ChainSource, SourceError, SourceResult};
+use proxion_evm::{Host, Snapshot};
+use proxion_primitives::{keccak256, Address, B256, U256};
+
+/// A journaled copy-on-write [`Host`] whose storage reads are pinned to a
+/// historical block of the backing [`ChainSource`].
+///
+/// Like `SourceHost`, the infallible `Host` interface records the first
+/// source failure as a *poison* and answers with the empty default;
+/// callers must check [`ReplayHost::take_error`] after execution and
+/// discard the result if a read failed.
+pub struct ReplayHost<'a, S: ?Sized> {
+    source: &'a S,
+    /// Storage reads resolve as of the *end* of this block.
+    block: u64,
+    storage: HashMap<(Address, U256), U256>,
+    balances: HashMap<Address, U256>,
+    nonces: HashMap<Address, u64>,
+    codes: HashMap<Address, Arc<Vec<u8>>>,
+    destroyed: HashSet<Address>,
+    journal: Vec<JournalEntry>,
+    error: RefCell<Option<SourceError>>,
+}
+
+enum JournalEntry {
+    Storage(Address, U256, Option<U256>),
+    Balance(Address, Option<U256>),
+    Nonce(Address, Option<u64>),
+    Code(Address, Option<Arc<Vec<u8>>>),
+    Destroyed(Address, bool),
+}
+
+impl<'a, S: ChainSource + ?Sized> ReplayHost<'a, S> {
+    /// Creates an overlay host whose storage reads are pinned to the end
+    /// of `block`.
+    pub fn at_block(source: &'a S, block: u64) -> Self {
+        ReplayHost {
+            source,
+            block,
+            storage: HashMap::new(),
+            balances: HashMap::new(),
+            nonces: HashMap::new(),
+            codes: HashMap::new(),
+            destroyed: HashSet::new(),
+            journal: Vec::new(),
+            error: RefCell::new(None),
+        }
+    }
+
+    /// The block height storage reads are pinned to.
+    pub fn block(&self) -> u64 {
+        self.block
+    }
+
+    /// Replaces the code of `address` for this replay only (candidate
+    /// logic substitution). Unjournaled on purpose: overrides are part of
+    /// the replay's premise, not of its execution, so a mid-run rollback
+    /// must not undo them.
+    pub fn override_code(&mut self, address: Address, code: Arc<Vec<u8>>) {
+        self.codes.insert(address, code);
+    }
+
+    /// The first source error observed during execution, if any. Taking
+    /// it resets the poison.
+    pub fn take_error(&self) -> Option<SourceError> {
+        self.error.borrow_mut().take()
+    }
+
+    fn read<T: Default>(&self, result: SourceResult<T>) -> T {
+        match result {
+            Ok(value) => value,
+            Err(error) => {
+                let mut slot = self.error.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(error);
+                }
+                T::default()
+            }
+        }
+    }
+}
+
+impl<S: ChainSource + ?Sized> Host for ReplayHost<'_, S> {
+    fn exists(&self, address: Address) -> bool {
+        !self.balance(address).is_zero()
+            || self.nonce(address) > 0
+            || !self.code(address).is_empty()
+    }
+
+    fn balance(&self, address: Address) -> U256 {
+        self.balances
+            .get(&address)
+            .copied()
+            .unwrap_or_else(|| self.read(self.source.balance_of(address)))
+    }
+
+    fn nonce(&self, address: Address) -> u64 {
+        self.nonces
+            .get(&address)
+            .copied()
+            .unwrap_or_else(|| self.read(self.source.nonce_of(address)))
+    }
+
+    fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.codes
+            .get(&address)
+            .cloned()
+            .unwrap_or_else(|| self.read(self.source.code_at(address)))
+    }
+
+    fn code_hash(&self, address: Address) -> B256 {
+        match self.codes.get(&address) {
+            Some(code) => keccak256(code.as_slice()),
+            None => self.read(self.source.code_hash_at(address)),
+        }
+    }
+
+    fn storage(&self, address: Address, slot: U256) -> U256 {
+        self.storage
+            .get(&(address, slot))
+            .copied()
+            .unwrap_or_else(|| self.read(self.source.storage_at(address, slot, self.block)))
+    }
+
+    fn set_storage(&mut self, address: Address, slot: U256, value: U256) {
+        let prev = self.storage.insert((address, slot), value);
+        self.journal
+            .push(JournalEntry::Storage(address, slot, prev));
+    }
+
+    fn set_balance(&mut self, address: Address, balance: U256) {
+        let prev = self.balances.insert(address, balance);
+        self.journal.push(JournalEntry::Balance(address, prev));
+    }
+
+    fn inc_nonce(&mut self, address: Address) -> u64 {
+        let current = self.nonce(address);
+        let prev = self.nonces.insert(address, current + 1);
+        self.journal.push(JournalEntry::Nonce(address, prev));
+        current
+    }
+
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        let prev = self.codes.insert(address, Arc::new(code));
+        self.journal.push(JournalEntry::Code(address, prev));
+    }
+
+    fn mark_destroyed(&mut self, address: Address) {
+        let was = !self.destroyed.insert(address);
+        self.journal.push(JournalEntry::Destroyed(address, was));
+    }
+
+    fn block_hash(&self, number: u64) -> B256 {
+        self.read(self.source.block_hash(number))
+    }
+
+    fn snapshot(&mut self) -> Snapshot {
+        Snapshot::new(self.journal.len())
+    }
+
+    fn rollback(&mut self, snapshot: Snapshot) {
+        let target = snapshot.index();
+        while self.journal.len() > target {
+            match self.journal.pop().expect("length checked") {
+                JournalEntry::Storage(a, s, prev) => match prev {
+                    Some(v) => {
+                        self.storage.insert((a, s), v);
+                    }
+                    None => {
+                        self.storage.remove(&(a, s));
+                    }
+                },
+                JournalEntry::Balance(a, prev) => match prev {
+                    Some(v) => {
+                        self.balances.insert(a, v);
+                    }
+                    None => {
+                        self.balances.remove(&a);
+                    }
+                },
+                JournalEntry::Nonce(a, prev) => match prev {
+                    Some(v) => {
+                        self.nonces.insert(a, v);
+                    }
+                    None => {
+                        self.nonces.remove(&a);
+                    }
+                },
+                JournalEntry::Code(a, prev) => match prev {
+                    Some(v) => {
+                        self.codes.insert(a, v);
+                    }
+                    None => {
+                        self.codes.remove(&a);
+                    }
+                },
+                JournalEntry::Destroyed(a, was) => {
+                    if !was {
+                        self.destroyed.remove(&a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxion_chain::Chain;
+
+    #[test]
+    fn storage_reads_are_pinned_to_the_block() {
+        let mut chain = Chain::new();
+        let target = Address::from_low_u64(0xaa);
+        chain.set_storage(target, U256::ZERO, U256::from(1u64));
+        let first = chain.head_block();
+        chain.set_storage(target, U256::ZERO, U256::from(2u64));
+
+        let snap = chain.snapshot();
+        let early = ReplayHost::at_block(&snap, first);
+        assert_eq!(early.storage(target, U256::ZERO), U256::from(1u64));
+        let late = ReplayHost::at_block(&snap, chain.head_block());
+        assert_eq!(late.storage(target, U256::ZERO), U256::from(2u64));
+    }
+
+    #[test]
+    fn writes_stay_in_the_overlay() {
+        let mut chain = Chain::new();
+        let target = Address::from_low_u64(0xbb);
+        chain.set_storage(target, U256::ZERO, U256::from(7u64));
+        let snap = chain.snapshot();
+
+        let mut host = ReplayHost::at_block(&snap, chain.head_block());
+        host.set_storage(target, U256::ZERO, U256::from(9u64));
+        assert_eq!(host.storage(target, U256::ZERO), U256::from(9u64));
+        // The backing chain is untouched.
+        assert_eq!(
+            chain.storage_at(target, U256::ZERO, chain.head_block()),
+            U256::from(7u64)
+        );
+    }
+
+    #[test]
+    fn rollback_restores_overlay_state() {
+        let chain = Chain::new();
+        let snap = chain.snapshot();
+        let a = Address::from_low_u64(1);
+
+        let mut host = ReplayHost::at_block(&snap, 0);
+        let mark = host.snapshot();
+        host.set_storage(a, U256::ZERO, U256::ONE);
+        host.set_balance(a, U256::from(5u64));
+        host.inc_nonce(a);
+        host.set_code(a, vec![0x60]);
+        host.mark_destroyed(a);
+        host.rollback(mark);
+
+        assert_eq!(host.storage(a, U256::ZERO), U256::ZERO);
+        assert_eq!(host.balance(a), U256::ZERO);
+        assert_eq!(host.nonce(a), 0);
+        assert!(host.code(a).is_empty());
+    }
+
+    #[test]
+    fn code_overrides_survive_rollback() {
+        let chain = Chain::new();
+        let snap = chain.snapshot();
+        let a = Address::from_low_u64(2);
+
+        let mut host = ReplayHost::at_block(&snap, 0);
+        host.override_code(a, Arc::new(vec![0xfe]));
+        let mark = host.snapshot();
+        host.set_storage(a, U256::ZERO, U256::ONE);
+        host.rollback(mark);
+        assert_eq!(*host.code(a), vec![0xfe]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Transaction-replay engine: execution-backed confirmation of flagged
+//! collisions.
+//!
+//! The static pipeline (`proxion-core`) *flags* function and storage
+//! collisions; the paper's severity story (Table 4) rests on which of
+//! those are actually exploitable. This crate closes that gap by
+//! re-executing history on `proxion-evm`:
+//!
+//! * [`ReplayHost`] bridges [`ChainSource`](proxion_chain::ChainSource)
+//!   state-at-block reads into the EVM [`Host`](proxion_evm::Host) trait,
+//!   with a write-journal overlay so replays never mutate the chain.
+//! * [`ReplayEngine`] runs three execution probes per proxy/logic pair:
+//!   **regression replay** (re-run recorded transactions against the
+//!   original and a candidate logic, diff outputs/writes/revert status),
+//!   the **uninitialized-proxy probe** (crafted `initialize()`-style
+//!   calls from an attacker address, watching for ownership capture) and
+//!   the **fake-proxy check** (`DELEGATECALL` target provenance vs. the
+//!   advertised implementation slot, plus honeypot bait detection).
+//! * [`ReplayVerdict`] is the serializable result the service and CLI
+//!   attach to each collision report (`confirmed: bool` + evidence).
+//!
+//! Replays always run against an immutable source — in production the
+//! service hands the engine a [`ChainSnapshot`](proxion_chain::ChainSnapshot),
+//! never the live `RwLock`-held chain (enforced by a grep invariant in
+//! `devtools/check-offline.sh`).
+
+#![deny(missing_docs)]
+
+mod engine;
+mod host;
+
+pub use engine::{
+    CaptureEvidence, FakeProxyEvidence, FakeProxyKind, ReplayEngine, ReplayStats, ReplayVerdict,
+    TxDivergence,
+};
+pub use host::ReplayHost;

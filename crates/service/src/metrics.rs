@@ -71,10 +71,11 @@ impl LatencyHistogram {
 
 /// RPC method names tracked by the per-method histograms, in a fixed
 /// order so `/metrics` output is stable.
-pub const TRACKED_METHODS: [&str; 7] = [
+pub const TRACKED_METHODS: [&str; 8] = [
     "proxy_check",
     "logic_history",
     "collisions",
+    "replay",
     "contracts",
     "stats",
     "health",
@@ -106,6 +107,12 @@ pub struct ServiceMetrics {
     /// the first completed round). `/metrics` derives the follower lag
     /// from it.
     pub follower_last_block: AtomicU64,
+    /// EVM executions performed by the replay engine.
+    pub replay_executions_total: AtomicU64,
+    /// Proxy/logic pairs the replay engine confirmed as exploitable.
+    pub replay_confirmed_total: AtomicU64,
+    /// Replay executions that reverted.
+    pub replay_reverted_total: AtomicU64,
     latencies: [LatencyHistogram; TRACKED_METHODS.len()],
 }
 
@@ -132,6 +139,17 @@ impl ServiceMetrics {
         }
         if let Some(histogram) = self.latency(method) {
             histogram.observe(elapsed);
+        }
+    }
+
+    /// Accumulates the counters of one replay-engine confirmation pass.
+    pub fn record_replay(&self, executions: u64, reverted: u64, confirmed: bool) {
+        self.replay_executions_total
+            .fetch_add(executions, Ordering::Relaxed);
+        self.replay_reverted_total
+            .fetch_add(reverted, Ordering::Relaxed);
+        if confirmed {
+            self.replay_confirmed_total.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -176,6 +194,25 @@ impl ServiceMetrics {
             "proxion_errors_total",
             "Requests answered with a JSON-RPC error.",
             self.errors_total.load(Ordering::Relaxed),
+        );
+
+        counter(
+            &mut out,
+            "proxion_replay_executions_total",
+            "EVM executions performed by the replay engine.",
+            self.replay_executions_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_replay_confirmed_total",
+            "Pairs the replay engine confirmed as exploitable.",
+            self.replay_confirmed_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_replay_reverted_total",
+            "Replay executions that reverted.",
+            self.replay_reverted_total.load(Ordering::Relaxed),
         );
 
         counter(

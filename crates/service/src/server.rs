@@ -399,6 +399,57 @@ fn dispatch_rpc(body: &[u8], shared: &ServerShared) -> Response {
     }
 }
 
+/// Runs the replay engine's confirmation pass for one proxy/logic pair
+/// against an immutable analysis snapshot, recording the execution
+/// counters into the service metrics.
+///
+/// `functions` supplies the collided selectors the honeypot bait scan
+/// probes.
+fn replay_confirm(
+    shared: &ServerShared,
+    source: &dyn ChainSource,
+    etherscan: &Etherscan,
+    proxy: Address,
+    logic: Address,
+    functions: &proxion_core::FunctionCollisionReport,
+) -> Result<proxion_replay::ReplayVerdict, String> {
+    let report = shared.pipeline.analyze_one(source, etherscan, proxy);
+    let selectors: Vec<[u8; 4]> = functions.collisions.iter().map(|c| c.selector).collect();
+    let engine =
+        proxion_replay::ReplayEngine::new().with_telemetry(Arc::clone(shared.pipeline.telemetry()));
+    let verdict = engine
+        .confirm_pair(source, proxy, logic, report.check.impl_source(), &selectors)
+        .map_err(|e| source_error(&e))?;
+    shared.metrics.record_replay(
+        verdict.stats.executions,
+        verdict.stats.reverted,
+        verdict.confirmed,
+    );
+    Ok(verdict)
+}
+
+/// Resolves the logic contract for a pair-wise method: the explicit
+/// `logic` param when given, otherwise the proxy detector's resolution.
+fn resolve_logic(
+    shared: &ServerShared,
+    source: &dyn ChainSource,
+    etherscan: &Etherscan,
+    params: &JsonValue,
+    proxy: Address,
+) -> Result<Address, String> {
+    match params.get("logic") {
+        Some(_) => parse_address(params, "logic"),
+        None => {
+            let report = shared.pipeline.analyze_one(source, etherscan, proxy);
+            report
+                .check
+                .logic()
+                .filter(|l| !l.is_zero())
+                .ok_or_else(|| format!("{proxy} is not a proxy with a resolvable logic contract"))
+        }
+    }
+}
+
 fn parse_address(params: &JsonValue, key: &str) -> Result<Address, String> {
     let text = params
         .get(key)
@@ -449,31 +500,41 @@ fn handle_method(
             let proxy = parse_address(params, "proxy")?;
             let source = shared.analysis_source();
             let etherscan = shared.etherscan.read();
-            let logic = match params.get("logic") {
-                Some(_) => parse_address(params, "logic")?,
-                None => {
-                    let report = shared.pipeline.analyze_one(&*source, &etherscan, proxy);
-                    report
-                        .check
-                        .logic()
-                        .filter(|l| !l.is_zero())
-                        .ok_or_else(|| {
-                            format!("{proxy} is not a proxy with a resolvable logic contract")
-                        })?
-                }
-            };
+            let logic = resolve_logic(shared, &*source, &etherscan, params, proxy)?;
             let as_of_block = source.head_block().map_err(|e| source_error(&e))?;
             let (functions, storage) = shared
                 .pipeline
                 .check_pair(&*source, &etherscan, proxy, logic)
                 .map_err(|e| source_error(&e))?;
+            let verdict = replay_confirm(shared, &*source, &etherscan, proxy, logic, &functions)?;
             Ok(format!(
-                "{{\"proxy\":{},\"logic\":{},\"as_of_block\":{as_of_block},\"functions\":{},\"storage\":{}}}",
+                "{{\"proxy\":{},\"logic\":{},\"as_of_block\":{as_of_block},\"functions\":{},\"storage\":{},\"confirmed\":{},\"replay\":{}}}",
                 json::to_json(&proxy),
                 json::to_json(&logic),
                 json::to_json(&functions),
-                json::to_json(&storage)
+                json::to_json(&storage),
+                verdict.confirmed,
+                json::to_json(&verdict)
             ))
+        }
+        "replay" => {
+            let proxy = parse_address(params, "proxy")?;
+            let source = shared.analysis_source();
+            if source
+                .deployment(proxy)
+                .map_err(|e| source_error(&e))?
+                .is_none()
+            {
+                return Err(format!("no contract deployed at {proxy}"));
+            }
+            let etherscan = shared.etherscan.read();
+            let logic = resolve_logic(shared, &*source, &etherscan, params, proxy)?;
+            let (functions, _) = shared
+                .pipeline
+                .check_pair(&*source, &etherscan, proxy, logic)
+                .map_err(|e| source_error(&e))?;
+            let verdict = replay_confirm(shared, &*source, &etherscan, proxy, logic, &functions)?;
+            Ok(json::to_json(&verdict))
         }
         "contracts" => {
             let source = shared.analysis_source();

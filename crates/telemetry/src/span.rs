@@ -35,6 +35,10 @@ pub enum Stage {
     FunctionCollisions,
     /// Storage-collision check for one proxy/logic pair (§5.2).
     StorageCollisions,
+    /// Execution-backed collision confirmation: one replay-engine pass
+    /// over a proxy/logic pair (regression replay, uninitialized-proxy
+    /// probe, fake-proxy check).
+    Replay,
     /// One service RPC request (the method name is in the span detail).
     Request,
     /// One block-follower catch-up iteration.
@@ -49,7 +53,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in rendering order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Analyze,
         Stage::Disassembly,
         Stage::Dispatcher,
@@ -58,6 +62,7 @@ impl Stage {
         Stage::HistoryIndex,
         Stage::FunctionCollisions,
         Stage::StorageCollisions,
+        Stage::Replay,
         Stage::Request,
         Stage::Follower,
         Stage::ArtifactStore,
@@ -75,6 +80,7 @@ impl Stage {
             Stage::HistoryIndex => "history_index",
             Stage::FunctionCollisions => "function_collisions",
             Stage::StorageCollisions => "storage_collisions",
+            Stage::Replay => "replay",
             Stage::Request => "request",
             Stage::Follower => "follower",
             Stage::ArtifactStore => "artifact_store",

@@ -28,6 +28,23 @@ if grep -rn "LogicResolver" "$REPO/crates/service/src"; then
     exit 1
 fi
 
+# Replay isolation invariant: the service confirms collisions only
+# against immutable ChainSnapshot sources (ServerShared::analysis_source),
+# never by driving the replay EVM while holding the live chain's RwLock —
+# an EVM run inside the lock would stall the block follower and every
+# concurrent request for its duration. Constructing a ReplayHost directly
+# (instead of going through ReplayEngine over an analysis source) or
+# calling into the engine with a lock guard on the same line are the two
+# grep-visible ways to break this.
+if grep -rn "ReplayHost" "$REPO/crates/service/src"; then
+    echo "error: proxion-service must replay via ReplayEngine over analysis_source(), never a raw ReplayHost" >&2
+    exit 1
+fi
+if grep -rn "confirm_pair\|ReplayEngine" "$REPO/crates/service/src" | grep -n "\.read()\|\.write()"; then
+    echo "error: proxion-service must not drive the replay engine while holding the chain lock" >&2
+    exit 1
+fi
+
 rm -rf "$SHADOW"
 mkdir -p "$SHADOW"
 cp "$REPO/Cargo.toml" "$SHADOW/"
