@@ -1,0 +1,135 @@
+//! Benchmark for the persistent state store (DESIGN.md "Persistence
+//! layer"): restart cost with and without a warm `--state-dir`.
+//!
+//! The workload is a population of upgradeable proxies whose timelines
+//! were resolved and checkpointed before the "restart". The cold path
+//! rebuilds artifacts and re-runs the Algorithm 1 bisection for every
+//! proxy from genesis; the warm path replays the segment files into
+//! fresh in-memory stores and pays only the 2-probe suffix extension
+//! per timeline (the chain moved a few blocks while we were down).
+//!
+//! Before timing anything the harness asserts the acceptance criterion
+//! pinned by `crates/store/tests/crash_safety.rs`: the warm reload must
+//! answer the same queries with >= 10x fewer `ChainSource` probes than
+//! the cold start.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_asm::opcode as op;
+use proxion_chain::{Chain, ChainSource, CountingSource};
+use proxion_core::{ArtifactStore, HistoryIndex};
+use proxion_primitives::{Address, U256};
+use proxion_store::StateStore;
+
+/// Upgradeable proxies in the population.
+const PROXIES: usize = 16;
+/// Implementation-slot changes per proxy.
+const UPGRADES: u64 = 3;
+/// Unrelated filler blocks between upgrade rounds.
+const QUIET: u64 = 300;
+/// Blocks committed while the service was "down".
+const DOWNTIME_BLOCKS: u64 = 5;
+
+fn build_chain() -> (Chain, Vec<Address>) {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let mut addrs = Vec::new();
+    for _ in 0..PROXIES {
+        addrs.push(chain.install_new(me, vec![op::STOP]).unwrap());
+    }
+    for round in 1..=UPGRADES {
+        for &proxy in &addrs {
+            chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(round)));
+        }
+        for _ in 0..QUIET {
+            chain.set_storage(addrs[0], U256::from(7u64), U256::from(round));
+        }
+    }
+    (chain, addrs)
+}
+
+/// Cold start: intern every bytecode and resolve every timeline from
+/// genesis. Returns the probe count.
+fn cold_start(chain: &Chain, addrs: &[Address]) -> u64 {
+    let counted = CountingSource::new(chain);
+    let head = chain.head_block();
+    let artifacts = ArtifactStore::new();
+    let history = HistoryIndex::default();
+    for &proxy in addrs {
+        artifacts.intern(ChainSource::code_at(&counted, proxy).unwrap());
+        history
+            .extend_to(&counted, proxy, U256::ZERO, head)
+            .unwrap();
+    }
+    counted.counts().total()
+}
+
+/// Warm restart: replay the state directory into fresh stores, then
+/// extend every timeline to the current head. Returns the probe count.
+fn warm_restart(dir: &PathBuf, chain: &Chain, addrs: &[Address]) -> u64 {
+    let artifacts = ArtifactStore::new();
+    let history = HistoryIndex::default();
+    let store = StateStore::open(dir).unwrap();
+    let loaded = store.load(&artifacts, &history).unwrap();
+    assert_eq!(loaded.records_skipped, 0);
+    let counted = CountingSource::new(chain);
+    let head = chain.head_block();
+    for &proxy in addrs {
+        history
+            .extend_to(&counted, proxy, U256::ZERO, head)
+            .unwrap();
+    }
+    counted.counts().total()
+}
+
+fn bench_warm_restart(c: &mut Criterion) {
+    let (mut chain, addrs) = build_chain();
+
+    // Resolve everything once and checkpoint it — the state a service
+    // following this chain would have on disk when killed.
+    let dir = std::env::temp_dir().join(format!("proxion-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let artifacts = ArtifactStore::new();
+        let history = HistoryIndex::default();
+        let head = chain.head_block();
+        for &proxy in &addrs {
+            artifacts.intern(chain.code_at(proxy));
+            history.extend_to(&chain, proxy, U256::ZERO, head).unwrap();
+        }
+        let store = StateStore::open(&dir).unwrap();
+        let report = store.checkpoint(&artifacts, &history).unwrap();
+        assert_eq!(report.timelines_written, PROXIES as u64);
+    }
+
+    // The chain moves on while the service is down, so the warm path
+    // still has real (but suffix-only) work to do.
+    for _ in 0..DOWNTIME_BLOCKS {
+        chain.set_storage(addrs[0], U256::from(7u64), U256::from(99u64));
+    }
+
+    // Acceptance criterion before timing: >= 10x fewer probes warm.
+    let cold_probes = cold_start(&chain, &addrs);
+    let warm_probes = warm_restart(&dir, &chain, &addrs);
+    assert!(warm_probes > 0, "the head moved, extensions are not free");
+    assert!(
+        cold_probes >= 10 * warm_probes,
+        "cold {cold_probes} vs warm {warm_probes}: expected >= 10x probe saving"
+    );
+
+    let mut group = c.benchmark_group("warm_restart");
+    group.sample_size(10);
+    group.bench_function("cold_start", |b| {
+        b.iter(|| std::hint::black_box(cold_start(&chain, &addrs)))
+    });
+    group.bench_function("warm_restart", |b| {
+        b.iter(|| std::hint::black_box(warm_restart(&dir, &chain, &addrs)))
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_warm_restart);
+criterion_main!(benches);

@@ -194,6 +194,27 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         value
     }
 
+    /// Clones every resident `(key, value)` pair, shard by shard.
+    ///
+    /// The snapshot is *per-shard* consistent (each shard is locked while
+    /// it is copied), not globally consistent — entries inserted or
+    /// evicted concurrently may or may not appear. Recency and the
+    /// hit/miss counters are untouched, so persisting a snapshot never
+    /// perturbs cache behaviour.
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            out.extend(
+                shard
+                    .entries
+                    .iter()
+                    .map(|(k, entry)| (k.clone(), entry.value.clone())),
+            );
+        }
+        out
+    }
+
     /// Current counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -288,6 +309,20 @@ mod tests {
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.get(&0), None, "older entry evicted");
         assert_eq!(cache.get(&second), Some(20));
+    }
+
+    #[test]
+    fn snapshot_returns_all_entries_without_touching_counters() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(64);
+        for k in 0..10u64 {
+            cache.insert(k, k * 2);
+        }
+        let before = cache.stats();
+        let mut snapshot = cache.snapshot();
+        snapshot.sort_unstable();
+        assert_eq!(snapshot, (0..10u64).map(|k| (k, k * 2)).collect::<Vec<_>>());
+        let after = cache.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
     }
 
     #[test]

@@ -606,6 +606,8 @@ struct ServeOpts {
     queue: usize,
     follow: bool,
     telemetry: bool,
+    state_dir: Option<std::path::PathBuf>,
+    checkpoint_blocks: u64,
 }
 
 impl ServeOpts {
@@ -618,6 +620,8 @@ impl ServeOpts {
             queue: 64,
             follow: true,
             telemetry: false,
+            state_dir: None,
+            checkpoint_blocks: 64,
         };
         let mut positional = Vec::new();
         let mut iter = args.iter();
@@ -645,6 +649,14 @@ impl ServeOpts {
                 }
                 "--no-follow" => opts.follow = false,
                 "--telemetry" => opts.telemetry = true,
+                "--state-dir" => {
+                    opts.state_dir = Some(flag_value("--state-dir")?.into());
+                }
+                "--checkpoint-blocks" => {
+                    opts.checkpoint_blocks = flag_value("--checkpoint-blocks")?
+                        .parse()
+                        .map_err(|_| "invalid --checkpoint-blocks".to_owned())?
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag {other:?}"));
                 }
@@ -687,6 +699,8 @@ fn launch_server(
             workers: opts.workers,
             queue_capacity: opts.queue,
             follow_chain: opts.follow,
+            state_dir: opts.state_dir.clone(),
+            checkpoint_every_blocks: opts.checkpoint_blocks,
             ..ServerConfig::default()
         },
         Arc::clone(&chain),
@@ -697,10 +711,14 @@ fn launch_server(
     Ok((handle, chain))
 }
 
-/// `proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow] [--telemetry]`
+/// `proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N]
+/// [--no-follow] [--telemetry] [--state-dir DIR] [--checkpoint-blocks N]`
 ///
 /// Generates a synthetic landscape and serves the analysis over HTTP
-/// until killed.
+/// until SIGINT/SIGTERM (Ctrl-C stops it gracefully). With
+/// `--state-dir`, warm analysis state is reloaded on boot, checkpointed
+/// to disk as the follower advances, and checkpointed once more during
+/// the graceful shutdown.
 pub fn serve(args: &[String]) -> Result<(), String> {
     let opts = ServeOpts::parse(args)?;
     println!(
@@ -726,8 +744,129 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         if opts.follow { "on" } else { "off" },
         if opts.telemetry { "on" } else { "off" }
     );
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    match &opts.state_dir {
+        Some(dir) => println!(
+            "  persistent state: {} (checkpoint every {} blocks)",
+            dir.display(),
+            opts.checkpoint_blocks.max(1)
+        ),
+        None => println!("  persistent state: off (ephemeral; pass --state-dir DIR to enable)"),
+    }
+    // Park until SIGINT/SIGTERM, then stop the server gracefully so the
+    // final state checkpoint runs (docs/OPERATIONS.md "Clean restart").
+    // std has no signal API and the no-new-deps rule rules out the
+    // `ctrlc` crate, so this registers a libc handler directly; the
+    // handler only stores an atomic flag, which is async-signal-safe.
+    static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    extern "C" fn request_shutdown(_signum: i32) {
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: `signal` is the POSIX libc call; the handler it installs
+    // touches nothing but an atomic flag.
+    unsafe {
+        signal(2, request_shutdown); // SIGINT (Ctrl-C)
+        signal(15, request_shutdown); // SIGTERM
+    }
+    while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    match opts.state_dir {
+        Some(_) => println!("shutting down (final checkpoint)..."),
+        None => println!("shutting down..."),
+    }
+    handle.stop();
+    Ok(())
+}
+
+/// `proxion state <info|compact> <dir> [--json]`
+///
+/// Offline maintenance for a `proxion-store` state directory. `info`
+/// scans every sealed segment and reports per-segment health plus the
+/// live entry counts a reload would produce; `compact` rewrites the
+/// directory as one deduplicated segment. Run `compact` only while no
+/// server is using the directory.
+pub fn state(args: &[String]) -> Result<(), String> {
+    let (as_json, args) = take_flag(args, "--json");
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or("state needs a subcommand: info or compact")?;
+    let dir = std::path::PathBuf::from(args.get(1).ok_or("state needs the state directory path")?);
+    match sub {
+        "info" => {
+            let info = proxion_store::info(&dir)
+                .map_err(|e| format!("cannot read state directory: {e}"))?;
+            if as_json {
+                println!("{}", json::to_json(&info));
+                return Ok(());
+            }
+            println!("state directory: {}", dir.display());
+            println!(
+                "segments: {} ({} bytes total)",
+                info.segments.len(),
+                info.bytes_total
+            );
+            for seg in &info.segments {
+                let mut health = String::new();
+                if seg.skipped > 0 {
+                    health.push_str(&format!(", {} damaged record(s) skipped", seg.skipped));
+                }
+                if seg.truncated {
+                    health.push_str(", truncated tail");
+                }
+                println!(
+                    "  {}  {} bytes, {} records{}",
+                    seg.name, seg.bytes, seg.records, health
+                );
+            }
+            println!(
+                "records: {} artifact, {} timeline (including superseded duplicates)",
+                info.artifact_records, info.timeline_records
+            );
+            println!(
+                "live after replay: {} artifacts, {} timelines",
+                info.live_artifacts, info.live_timelines
+            );
+            println!(
+                "index: {}",
+                if info.index_consistent {
+                    "consistent"
+                } else {
+                    "drifted (expected after a crash; next checkpoint rewrites it)"
+                }
+            );
+            Ok(())
+        }
+        "compact" => {
+            let report =
+                proxion_store::compact(&dir).map_err(|e| format!("compaction failed: {e}"))?;
+            if as_json {
+                println!("{}", json::to_json(&report));
+                return Ok(());
+            }
+            if report.segments_before == 0 {
+                println!(
+                    "nothing to compact: no sealed segments in {}",
+                    dir.display()
+                );
+                return Ok(());
+            }
+            println!(
+                "compacted {} segment(s) -> 1: {} records ({} bytes) -> {} records ({} bytes)",
+                report.segments_before,
+                report.records_before,
+                report.bytes_before,
+                report.records_after,
+                report.bytes_after
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown state subcommand {other:?}; expected info or compact"
+        )),
     }
 }
 
@@ -852,6 +991,63 @@ mod tests {
         assert!(!opts.follow);
         assert!(ServeOpts::parse(&["--port".into()]).is_err());
         assert!(ServeOpts::parse(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_opts_parse_state_flags() {
+        let opts = ServeOpts::parse(&[
+            "--state-dir".into(),
+            "/tmp/proxion-state".into(),
+            "--checkpoint-blocks".into(),
+            "16".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.state_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/proxion-state"))
+        );
+        assert_eq!(opts.checkpoint_blocks, 16);
+        assert!(ServeOpts::parse(&["--state-dir".into()]).is_err());
+        assert!(ServeOpts::parse(&["--checkpoint-blocks".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn state_command_reports_and_compacts_a_store() {
+        let dir = std::env::temp_dir().join(format!("proxion-cli-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_str().unwrap().to_owned();
+
+        // A missing directory is an error (likely a typo'd path)...
+        assert!(state(&["info".into(), dir_arg.clone()]).is_err());
+
+        // ...but an empty one is healthy, and compaction is a no-op.
+        std::fs::create_dir_all(&dir).unwrap();
+        state(&["info".into(), dir_arg.clone()]).unwrap();
+        state(&["compact".into(), dir_arg.clone()]).unwrap();
+
+        // Seal two segments by checkpointing two artifacts separately,
+        // then info and compact see them.
+        let store = proxion_store::StateStore::open(&dir).unwrap();
+        let artifacts = proxion_core::ArtifactStore::new();
+        let history = proxion_core::HistoryIndex::new(64);
+        artifacts.intern(Arc::new(vec![0x00]));
+        store.checkpoint(&artifacts, &history).unwrap();
+        artifacts.intern(Arc::new(vec![0x60, 0x00]));
+        store.checkpoint(&artifacts, &history).unwrap();
+
+        state(&["info".into(), dir_arg.clone()]).unwrap();
+        state(&["--json".into(), "info".into(), dir_arg.clone()]).unwrap();
+        state(&["compact".into(), dir_arg.clone()]).unwrap();
+        state(&["--json".into(), "compact".into(), dir_arg.clone()]).unwrap();
+        let info = proxion_store::info(&dir).unwrap();
+        assert_eq!(info.segments.len(), 1);
+        assert_eq!(info.live_artifacts, 2);
+
+        // Bad invocations fail cleanly.
+        assert!(state(&[]).is_err());
+        assert!(state(&["info".into()]).is_err());
+        assert!(state(&["frobnicate".into(), dir_arg]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

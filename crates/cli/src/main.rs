@@ -7,6 +7,7 @@
 //! proxion replay [--json] [seed]                  Table 4 replay confirmation
 //! proxion demo <honeypot|audius>                  run an attack reproduction
 //! proxion serve [N] [seed] [--telemetry]          run the analysis server
+//! proxion state <info|compact> <dir>              inspect/compact a state dir
 //! proxion loadgen <host:port> [conns] [reqs]      drive load at a server
 //! ```
 
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         "replay" => commands::replay(rest),
         "demo" => commands::demo(rest),
         "serve" => commands::serve(rest),
+        "state" => commands::state(rest),
         "loadgen" => commands::loadgen(rest),
         "help" | "--help" | "-h" => {
             print_help();
@@ -75,6 +77,7 @@ USAGE:
         Reproduce the paper's Listing 1 / Listing 2 attacks end to end.
 
     proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow] [--telemetry]
+                  [--state-dir DIR] [--checkpoint-blocks N]
         Generate a landscape and serve the analysis over HTTP/1.1:
         POST /rpc (JSON-RPC: proxy_check, logic_history, collisions,
         replay, contracts, stats, health), GET /health, GET /metrics. A bounded
@@ -83,6 +86,17 @@ USAGE:
         --telemetry, per-request span trees and EVM profiles are recorded
         and exported at GET /trace (Chrome-trace JSON for Perfetto),
         GET /trace/folded (flamegraph stacks) and inside GET /metrics.
+        With --state-dir, warm state (code artifacts + upgrade timelines)
+        is reloaded on boot and checkpointed every N blocks (default 64),
+        so a restart skips re-detection and re-bisection.
+
+    proxion state info <dir> [--json]
+    proxion state compact <dir> [--json]
+        Offline maintenance for a --state-dir directory: `info` reports
+        per-segment health (bytes, records, damage, truncation) and the
+        live entry counts a reload would produce; `compact` rewrites the
+        directory as a single deduplicated segment. Only run compact
+        while no server is using the directory.
 
     proxion loadgen <host:port> [connections] [requests-per-connection]
         Drive proxy_check load at a running server and report req/s.

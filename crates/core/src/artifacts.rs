@@ -86,6 +86,12 @@ impl CodeArtifacts {
         &self.code
     }
 
+    /// The bytecode as the shared `Arc` the store interned — what the
+    /// persistence layer serializes (cloning the `Arc`, never the bytes).
+    pub fn code_arc(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.code)
+    }
+
     /// `keccak256` of the bytecode — the interning key.
     pub fn code_hash(&self) -> B256 {
         self.code_hash
@@ -286,6 +292,24 @@ impl ArtifactStore {
         }
     }
 
+    /// Clones every resident `(codehash, bytecode)` pair — the inputs the
+    /// persistence layer needs to rebuild the store on the next boot (the
+    /// derived products are lazy pure functions of the code and are
+    /// recomputed on first use, so only the bytes travel to disk).
+    ///
+    /// Per-shard consistent, counter-neutral (see
+    /// [`ShardedLru::snapshot`]); empty in passthrough mode.
+    pub fn snapshot_codes(&self) -> Vec<(B256, Arc<Vec<u8>>)> {
+        match &self.cache {
+            Some(cache) => cache
+                .snapshot()
+                .into_iter()
+                .map(|(hash, artifacts)| (hash, artifacts.code_arc()))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Current counter snapshot.
     pub fn stats(&self) -> ArtifactStoreStats {
         let interned_bytes = self.interned_bytes.load(Ordering::Relaxed);
@@ -433,6 +457,30 @@ mod tests {
         assert_eq!(stats.misses, 1, "exactly one construction");
         assert_eq!(stats.hits, 7);
         assert_eq!(stats.interned_bytes, sample_code().len() as u64);
+    }
+
+    #[test]
+    fn snapshot_codes_round_trips_through_a_fresh_store() {
+        let store = ArtifactStore::new();
+        let first = store.intern_bytes(sample_code());
+        store.intern_bytes(vec![op::STOP]);
+        let mut snapshot = store.snapshot_codes();
+        assert_eq!(snapshot.len(), 2);
+        snapshot.sort_by_key(|(hash, _)| *hash);
+
+        // Re-interning the snapshot into a fresh store reproduces the
+        // same keys, sharing the code Arcs instead of copying bytes.
+        let restored = ArtifactStore::new();
+        for (hash, code) in &snapshot {
+            let artifacts = restored.intern_with_hash(*hash, Arc::clone(code));
+            assert_eq!(artifacts.code_hash(), *hash);
+        }
+        assert_eq!(restored.stats().entries, 2);
+        let again = restored.intern_bytes(sample_code());
+        assert_eq!(again.code_hash(), first.code_hash());
+        assert_eq!(restored.stats().hits, 1, "warm store serves the intern");
+
+        assert!(ArtifactStore::passthrough().snapshot_codes().is_empty());
     }
 
     #[test]

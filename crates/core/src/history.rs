@@ -59,6 +59,44 @@ impl SlotTimeline {
         }
     }
 
+    /// Rebuilds a timeline from persisted parts, re-validating the struct
+    /// invariants a serialized record cannot be trusted to uphold.
+    ///
+    /// # Errors
+    ///
+    /// Rejects (with a static description, so the persistence layer can
+    /// count the record as corrupt) change points that are not strictly
+    /// increasing in block, consecutive duplicate values, and a
+    /// `resolved_to` watermark behind the last change point.
+    pub fn from_parts(
+        proxy: Address,
+        slot: U256,
+        points: Vec<(u64, U256)>,
+        resolved_to: Option<u64>,
+        probes: u64,
+    ) -> Result<Self, &'static str> {
+        for pair in points.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err("change points not strictly increasing in block");
+            }
+            if pair[1].1 == pair[0].1 {
+                return Err("consecutive change points with equal values");
+            }
+        }
+        if let Some(&(last_block, _)) = points.last() {
+            if resolved_to.is_none_or(|r| r < last_block) {
+                return Err("resolved_to watermark behind the last change point");
+            }
+        }
+        Ok(SlotTimeline {
+            proxy,
+            slot,
+            points,
+            resolved_to,
+            probes,
+        })
+    }
+
     /// The proxy this timeline tracks.
     pub fn proxy(&self) -> Address {
         self.proxy
@@ -228,6 +266,43 @@ impl HistoryIndex {
         self.probes_issued.fetch_add(spent, Ordering::Relaxed);
         self.probes_saved.fetch_add(prior, Ordering::Relaxed);
         Ok(timeline.history_at(head))
+    }
+
+    /// Clones every resident timeline (per-shard consistent,
+    /// counter-neutral) — what the persistence layer checkpoints.
+    pub fn snapshot_timelines(&self) -> Vec<SlotTimeline> {
+        self.timelines
+            .snapshot()
+            .into_iter()
+            .map(|(_, entry)| entry.lock().clone())
+            .collect()
+    }
+
+    /// Installs a persisted timeline into the index.
+    ///
+    /// A resident timeline already resolved at least as far keeps its
+    /// place (live state can only be fresher than what reached disk);
+    /// otherwise the restored one replaces it — which is also what makes
+    /// replaying append-only segments idempotent: later, further-resolved
+    /// records win. Returns whether the timeline was installed. Restores
+    /// never touch the extension or probe counters, so those keep
+    /// describing live traffic only.
+    pub fn restore(&self, timeline: SlotTimeline) -> bool {
+        let key = (timeline.proxy(), timeline.slot());
+        let mut installed = false;
+        let entry = self.timelines.get_or_insert_with(key, || {
+            installed = true;
+            Arc::new(Mutex::new(timeline.clone()))
+        });
+        if installed {
+            return true;
+        }
+        let mut resident = entry.lock();
+        if resident.resolved_to() < timeline.resolved_to() {
+            *resident = timeline;
+            installed = true;
+        }
+        installed
     }
 
     /// Counter snapshot.
@@ -441,6 +516,108 @@ mod tests {
         let history = index.extend_to(&chain, proxy, U256::ZERO, head2).unwrap();
         assert_eq!(history.resolved_to, head2);
         assert_eq!(history.addresses.len(), 1);
+    }
+
+    #[test]
+    fn from_parts_validates_invariants() {
+        let proxy = Address::from_low_u64(1);
+        let ok = SlotTimeline::from_parts(
+            proxy,
+            U256::ZERO,
+            vec![(0, U256::ZERO), (5, U256::ONE), (9, U256::from(2u64))],
+            Some(20),
+            7,
+        )
+        .unwrap();
+        assert_eq!(ok.resolved_to(), Some(20));
+        assert_eq!(ok.probes(), 7);
+        assert_eq!(ok.last_value(), U256::from(2u64));
+
+        // Non-increasing blocks.
+        assert!(SlotTimeline::from_parts(
+            proxy,
+            U256::ZERO,
+            vec![(5, U256::ONE), (5, U256::from(2u64))],
+            Some(9),
+            0,
+        )
+        .is_err());
+        // Consecutive duplicate values.
+        assert!(SlotTimeline::from_parts(
+            proxy,
+            U256::ZERO,
+            vec![(1, U256::ONE), (2, U256::ONE)],
+            Some(9),
+            0,
+        )
+        .is_err());
+        // Watermark behind the last point.
+        assert!(SlotTimeline::from_parts(
+            proxy,
+            U256::ZERO,
+            vec![(1, U256::ONE), (8, U256::from(2u64))],
+            Some(4),
+            0,
+        )
+        .is_err());
+        // Empty, unresolved timelines are fine.
+        assert!(SlotTimeline::from_parts(proxy, U256::ZERO, Vec::new(), None, 0).is_ok());
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip_without_probes() {
+        let (mut chain, proxy) = setup();
+        chain.set_storage(proxy, U256::ZERO, U256::from(Address::from_low_u64(0xaa)));
+        for _ in 0..60 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+        let head = chain.head_block();
+        let index = HistoryIndex::default();
+        let original = index.extend_to(&chain, proxy, U256::ZERO, head).unwrap();
+
+        let snapshot = index.snapshot_timelines();
+        assert_eq!(snapshot.len(), 1);
+
+        // A fresh index warmed from the snapshot answers the same query
+        // with zero probes.
+        let warm = HistoryIndex::default();
+        for timeline in snapshot {
+            assert!(warm.restore(timeline));
+        }
+        let counted = CountingSource::new(&chain);
+        let restored = warm.extend_to(&counted, proxy, U256::ZERO, head).unwrap();
+        assert_eq!(counted.counts().total(), 0, "warm answer needs no reads");
+        assert_eq!(restored.addresses, original.addresses);
+        assert_eq!(restored.events, original.events);
+        assert_eq!(restored.api_calls, original.api_calls);
+    }
+
+    #[test]
+    fn restore_keeps_the_fresher_timeline() {
+        let proxy = Address::from_low_u64(3);
+        let stale =
+            SlotTimeline::from_parts(proxy, U256::ZERO, vec![(2, U256::ONE)], Some(10), 4).unwrap();
+        let fresh = SlotTimeline::from_parts(
+            proxy,
+            U256::ZERO,
+            vec![(2, U256::ONE), (15, U256::from(2u64))],
+            Some(20),
+            9,
+        )
+        .unwrap();
+
+        // Replay order stale → fresh: the later record supersedes.
+        let index = HistoryIndex::default();
+        assert!(index.restore(stale.clone()));
+        assert!(index.restore(fresh.clone()));
+        assert_eq!(index.snapshot_timelines()[0].resolved_to(), Some(20));
+
+        // Replay order fresh → stale: the stale record is ignored.
+        let index = HistoryIndex::default();
+        assert!(index.restore(fresh));
+        assert!(!index.restore(stale));
+        assert_eq!(index.snapshot_timelines()[0].resolved_to(), Some(20));
+        assert_eq!(index.stats().extensions, 0, "restores are not extensions");
     }
 
     #[test]

@@ -130,6 +130,12 @@ impl Drop for FollowerHandle {
 
 /// Spawns a follower thread starting after `from_block` (blocks up to and
 /// including `from_block` are considered already processed).
+///
+/// When `store` is given, the follower checkpoints the pipeline's warm
+/// state every `checkpoint_every_blocks` processed blocks and once more
+/// on shutdown, so a crash loses at most one cadence window of timeline
+/// progress (artifacts and earlier timelines are already sealed).
+#[allow(clippy::too_many_arguments)]
 pub fn start(
     chain: Arc<RwLock<Chain>>,
     etherscan: Arc<RwLock<Etherscan>>,
@@ -137,6 +143,8 @@ pub fn start(
     metrics: Arc<ServiceMetrics>,
     from_block: u64,
     fault: Option<FaultConfig>,
+    store: Option<Arc<proxion_store::StateStore>>,
+    checkpoint_every_blocks: u64,
 ) -> FollowerHandle {
     let shared = Arc::new(FollowerShared {
         upgrades: Mutex::new(Vec::new()),
@@ -150,7 +158,16 @@ pub fn start(
         let shutdown = Arc::clone(&shutdown);
         std::thread::spawn(move || {
             follow(
-                chain, etherscan, pipeline, metrics, shared, shutdown, from_block, fault,
+                chain,
+                etherscan,
+                pipeline,
+                metrics,
+                shared,
+                shutdown,
+                from_block,
+                fault,
+                store,
+                checkpoint_every_blocks,
             )
         })
     };
@@ -173,9 +190,12 @@ fn follow(
     shutdown: Arc<AtomicBool>,
     from_block: u64,
     fault: Option<FaultConfig>,
+    store: Option<Arc<proxion_store::StateStore>>,
+    checkpoint_every_blocks: u64,
 ) {
     let head_watch = chain.read().head_watch();
     let mut last_seen = from_block;
+    let mut last_checkpoint = from_block;
     // Tracked storage-slot proxies. Change detection goes through the
     // pipeline's shared HistoryIndex, so the per-proxy state here is only
     // what the *reporting* needs: the slot, the implementation last
@@ -331,5 +351,25 @@ fn follow(
         shared.last_block.store(head, Ordering::Relaxed);
         metrics.follower_last_block.store(head, Ordering::Relaxed);
         span.set_outcome(proxion_telemetry::Outcome::Ok);
+
+        // 3. Checkpoint warm state on cadence. Incremental (only new
+        //    artifacts and fresher timelines reach disk) and crash-safe,
+        //    so a failed or interrupted checkpoint never damages earlier
+        //    segments; a failed attempt retries at the next cadence hit.
+        if let Some(store) = &store {
+            if head.saturating_sub(last_checkpoint) >= checkpoint_every_blocks
+                && store
+                    .checkpoint(pipeline.artifacts(), pipeline.history_index())
+                    .is_ok()
+            {
+                last_checkpoint = head;
+            }
+        }
+    }
+
+    // Shutdown: one last checkpoint so the cadence window in flight is
+    // not lost on a clean exit.
+    if let Some(store) = &store {
+        let _ = store.checkpoint(pipeline.artifacts(), pipeline.history_index());
     }
 }

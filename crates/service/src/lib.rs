@@ -33,6 +33,15 @@
 //!    of a tracked proxy records an upgrade event and re-checks
 //!    collisions for just the new pair; backend failures are counted and
 //!    skipped, never fatal.
+//! 5. **Persistent warm state** — with
+//!    [`ServerConfig::state_dir`](server::ServerConfig::state_dir) set,
+//!    the server replays the `proxion-store` segment files into the
+//!    shared artifact store and history index before serving, and the
+//!    follower checkpoints new state on a block cadence (plus a final
+//!    checkpoint on shutdown). A restart then answers warm: no re-paid
+//!    detection passes, no re-paid timeline bisections. All disk I/O
+//!    lives in `proxion-store`; this crate never opens state files
+//!    itself (a `devtools/check-offline.sh` grep invariant enforces it).
 //!
 //! # Example
 //!

@@ -154,16 +154,20 @@ impl ServiceMetrics {
     }
 
     /// Renders the Prometheus text format, appending the analysis-cache,
-    /// provider-layer cache, artifact-store, and history-index statistics
-    /// supplied by the caller (each cache keeps its own atomic counters).
-    /// `head` is the chain head at render time, used for the follower lag
-    /// gauge.
+    /// provider-layer cache, artifact-store, history-index, and
+    /// persistent-store statistics supplied by the caller (each keeps its
+    /// own atomic counters). `head` is the chain head at render time,
+    /// used for the follower lag gauge. A server running without
+    /// `--state-dir` passes `StoreStats::default()`, so the
+    /// `proxion_store_*` series exist (at zero) either way — dashboards
+    /// never have to special-case ephemeral deployments.
     pub fn render(
         &self,
         cache: &proxion_core::AnalysisCacheStats,
         source: &proxion_chain::SourceCacheStats,
         artifacts: &proxion_core::ArtifactStoreStats,
         history: &proxion_core::HistoryIndexStats,
+        store: &proxion_store::StoreStats,
         head: u64,
     ) -> String {
         let mut out = String::new();
@@ -359,6 +363,32 @@ impl ServiceMetrics {
             history.probes_saved,
         );
 
+        gauge(
+            &mut out,
+            "proxion_store_loaded_entries",
+            "Entries (artifacts + timelines) loaded from the state \
+             directory at boot.",
+            store.loaded_entries,
+        );
+        counter(
+            &mut out,
+            "proxion_store_checkpoints_total",
+            "Checkpoints that sealed a segment in the state directory.",
+            store.checkpoints_total,
+        );
+        counter(
+            &mut out,
+            "proxion_store_load_errors_total",
+            "Damaged records skipped while loading persisted state.",
+            store.load_errors_total,
+        );
+        gauge(
+            &mut out,
+            "proxion_store_bytes_on_disk",
+            "Bytes across sealed segments in the state directory.",
+            store.bytes_on_disk,
+        );
+
         counter(
             &mut out,
             "proxion_follower_blocks_total",
@@ -428,8 +458,13 @@ mod tests {
         let source = proxion_chain::SourceCache::default().stats();
         let artifacts = proxion_core::ArtifactStore::new().stats();
         let history = proxion_core::HistoryIndex::default().stats();
-        let text = metrics.render(&stats, &source, &artifacts, &history, 42);
+        let store = proxion_store::StoreStats::default();
+        let text = metrics.render(&stats, &source, &artifacts, &history, &store, 42);
         assert!(text.contains("proxion_source_cache_code_hits_total 0"));
+        assert!(text.contains("proxion_store_loaded_entries 0"));
+        assert!(text.contains("proxion_store_checkpoints_total 0"));
+        assert!(text.contains("proxion_store_load_errors_total 0"));
+        assert!(text.contains("proxion_store_bytes_on_disk 0"));
         assert!(text.contains("proxion_artifact_cache_hits_total 0"));
         assert!(text.contains("proxion_artifact_cache_entries 0"));
         assert!(text.contains("proxion_cache_revalidations_total 0"));
@@ -460,10 +495,11 @@ mod tests {
         let source = proxion_chain::SourceCache::default().stats();
         let artifacts = proxion_core::ArtifactStore::new().stats();
         let history = proxion_core::HistoryIndex::default().stats();
-        let text = metrics.render(&stats, &source, &artifacts, &history, 42);
+        let store = proxion_store::StoreStats::default();
+        let text = metrics.render(&stats, &source, &artifacts, &history, &store, 42);
         assert!(text.contains("proxion_follower_lag_blocks 2"));
         // A head behind the follower (stale render input) must not wrap.
-        let text = metrics.render(&stats, &source, &artifacts, &history, 39);
+        let text = metrics.render(&stats, &source, &artifacts, &history, &store, 39);
         assert!(text.contains("proxion_follower_lag_blocks 0"));
     }
 

@@ -17,6 +17,7 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,6 +31,7 @@ use proxion_chain::{
 use proxion_core::Pipeline;
 use proxion_etherscan::Etherscan;
 use proxion_primitives::Address;
+use proxion_store::StateStore;
 
 use crate::follower::{self, FollowerHandle};
 use crate::http::{self, ReadError, Request, Response};
@@ -53,9 +55,21 @@ pub struct ServerConfig {
     /// follower's chain reads (tests and resilience drills); `None` reads
     /// the snapshot directly.
     pub fault: Option<FaultConfig>,
+    /// Optional state directory for persistent warm state. When set, the
+    /// server loads artifacts and slot timelines from it before serving
+    /// and checkpoints new state while running (see
+    /// [`Self::checkpoint_every_blocks`]); when `None`, state lives and
+    /// dies with the process.
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoint cadence for the block follower: a checkpoint is taken
+    /// once at least this many blocks have been processed since the last
+    /// one. Ignored without [`Self::state_dir`]. A final checkpoint is
+    /// always taken on shutdown regardless of cadence.
+    pub checkpoint_every_blocks: u64,
 }
 
 impl Default for ServerConfig {
+    /// Defaults: ephemeral (no state directory), checkpoint cadence 64.
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
@@ -63,6 +77,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             follow_chain: true,
             fault: None,
+            state_dir: None,
+            checkpoint_every_blocks: 64,
         }
     }
 }
@@ -76,11 +92,20 @@ struct ServerShared {
     /// Provider-layer cache shared by every request: bytecode interning
     /// keyed by codehash plus memoized storage reads (see `CachedSource`).
     source_cache: Arc<SourceCache>,
+    /// Persistent warm-state store, when the server runs with a state
+    /// directory. All disk I/O goes through it — this crate never opens
+    /// state files itself (`devtools/check-offline.sh` enforces it).
+    store: Option<Arc<StateStore>>,
     fault: Option<FaultConfig>,
     shutdown: AtomicBool,
 }
 
 impl ServerShared {
+    /// The persistent store's counters, or zeros when running ephemeral.
+    fn store_stats(&self) -> proxion_store::StoreStats {
+        self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
     /// The read view a handler analyzes against: an O(1) copy-on-write
     /// snapshot of the chain — the global `RwLock` is held only for the
     /// duration of the `Arc` clone, never for the analysis — wrapped in
@@ -126,6 +151,12 @@ impl ServerHandle {
         self.follower.as_ref()
     }
 
+    /// The persistent state store, when [`ServerConfig::state_dir`] was
+    /// set.
+    pub fn store(&self) -> Option<&Arc<StateStore>> {
+        self.shared.store.as_ref()
+    }
+
     /// Stops accepting, drains workers, and joins every thread.
     pub fn stop(mut self) {
         self.stop_inner();
@@ -145,6 +176,16 @@ impl ServerHandle {
         }
         if let Some(follower) = self.follower.take() {
             follower.stop();
+        }
+        // Final checkpoint: whatever the follower's cadence left in
+        // memory reaches disk before the process exits. Incremental, so
+        // this is a no-op when the cadence already caught everything —
+        // and it also covers servers running without a follower.
+        if let Some(store) = &self.shared.store {
+            let _ = store.checkpoint(
+                self.shared.pipeline.artifacts(),
+                self.shared.pipeline.history_index(),
+            );
         }
     }
 }
@@ -167,12 +208,27 @@ pub fn start(
     let local_addr = listener.local_addr()?;
     let metrics = Arc::new(ServiceMetrics::new());
 
+    // Warm restart: open the state directory and replay persisted
+    // artifacts + slot timelines into the shared in-memory stores
+    // *before* any worker or the follower starts. Damaged records are
+    // skipped and counted (`proxion_store_load_errors_total`), never
+    // fatal; only a directory-level I/O failure aborts startup.
+    let store = match &config.state_dir {
+        Some(dir) => {
+            let store = StateStore::open(dir)?;
+            store.load(pipeline.artifacts(), pipeline.history_index())?;
+            Some(store)
+        }
+        None => None,
+    };
+
     let shared = Arc::new(ServerShared {
         chain: Arc::clone(&chain),
         etherscan: Arc::clone(&etherscan),
         pipeline: Arc::clone(&pipeline),
         metrics: Arc::clone(&metrics),
         source_cache: Arc::new(SourceCache::new(SourceCache::DEFAULT_CAPACITY)),
+        store: store.clone(),
         fault: config.fault,
         shutdown: AtomicBool::new(false),
     });
@@ -201,6 +257,8 @@ pub fn start(
             Arc::clone(&metrics),
             from_block,
             config.fault,
+            store,
+            config.checkpoint_every_blocks.max(1),
         ))
     } else {
         None
@@ -312,6 +370,7 @@ fn dispatch(request: &Request, shared: &ServerShared) -> Response {
                 &shared.source_cache.stats(),
                 &shared.pipeline.artifacts().stats(),
                 &shared.pipeline.history_index().stats(),
+                &shared.store_stats(),
                 head,
             );
             let telemetry = shared.pipeline.telemetry();
@@ -552,12 +611,16 @@ fn handle_method(
             let source_cache = shared.source_cache.stats();
             let artifact_cache = shared.pipeline.artifacts().stats();
             let history_index = shared.pipeline.history_index().stats();
+            // `store` reports zeros when running without --state-dir, so
+            // clients can rely on the field's presence.
+            let store = shared.store_stats();
             Ok(format!(
-                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"artifact_cache\":{},\"history_index\":{},\"unique_codehashes\":{},\"requests_total\":{},\"rejected_total\":{}}}",
+                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"artifact_cache\":{},\"history_index\":{},\"store\":{},\"unique_codehashes\":{},\"requests_total\":{},\"rejected_total\":{}}}",
                 json::to_json(&cache),
                 json::to_json(&source_cache),
                 json::to_json(&artifact_cache),
                 json::to_json(&history_index),
+                json::to_json(&store),
                 artifact_cache.entries,
                 shared.metrics.requests_total.load(Ordering::Relaxed),
                 shared.metrics.rejected_total.load(Ordering::Relaxed)

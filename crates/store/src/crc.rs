@@ -1,0 +1,72 @@
+//! CRC-32 (IEEE 802.3 / ISO-HDLC polynomial), implemented from scratch
+//! so the store adds no runtime dependency.
+//!
+//! Every record in a segment file carries the CRC of its payload; a
+//! mismatch on load marks the record corrupt (it is skipped and counted,
+//! never trusted). CRC-32 is an error-*detection* code, not a MAC: it
+//! catches disk rot and torn writes, not an adversary — which matches
+//! the threat model of a local state directory.
+
+/// The reflected polynomial of CRC-32/ISO-HDLC (zlib, Ethernet, PNG).
+const POLYNOMIAL: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLYNOMIAL
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC-32 checksum of `data` (init `0xFFFFFFFF`, reflected, final
+/// XOR `0xFFFFFFFF` — the common zlib/`cksum -o 3` convention).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The CRC catalogue's check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_are_detected() {
+        let data = b"proxion persistent state".to_vec();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Byte-level segment format: header, record framing, payload codecs.
+//!
+//! The normative description of this format lives in
+//! `docs/STATE_FORMAT.md`; this module is its executable counterpart.
+//! Keep the two in sync — the format is versioned, and readers reject
+//! segments whose major version they do not understand.
+//!
+//! Layout summary (all integers little-endian):
+//!
+//! ```text
+//! segment   := header record*
+//! header    := magic "PXST" (4) ‖ version u16 (=1) ‖ reserved u16 (=0)
+//! record    := kind u8 ‖ payload_len u32 ‖ crc32 u32 ‖ payload
+//! artifact  := codehash [32] ‖ code bytes (payload_len - 32)
+//! timeline  := proxy [20] ‖ slot [32] ‖ flags u8 ‖ resolved_to u64
+//!              ‖ probes u64 ‖ point_count u32 ‖ (block u64 ‖ value [32])*
+//! ```
+
+use proxion_primitives::{Address, B256, U256};
+
+/// Segment magic: ASCII `PXST` ("ProXion STate").
+pub const MAGIC: [u8; 4] = *b"PXST";
+
+/// Current format version. Bump on any incompatible layout change.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Size in bytes of the segment header (`magic ‖ version ‖ reserved`).
+pub const HEADER_LEN: usize = 8;
+
+/// Size in bytes of a record frame before its payload
+/// (`kind u8 ‖ payload_len u32 ‖ crc32 u32`).
+pub const FRAME_LEN: usize = 9;
+
+/// Record kind tag for an interned code artifact.
+pub const KIND_ARTIFACT: u8 = 0x01;
+
+/// Record kind tag for a slot timeline.
+pub const KIND_TIMELINE: u8 = 0x02;
+
+/// Timeline flag bit: the `resolved_to` field is present (the timeline
+/// has a resolution watermark). A cleared bit means the watermark is
+/// `None` and the on-disk `resolved_to` field must be zero.
+pub const TIMELINE_FLAG_RESOLVED: u8 = 0x01;
+
+/// A fully decoded record payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Contract bytecode keyed by its claimed keccak256 hash. The hash
+    /// is re-verified against the bytes on load; the CRC alone is not
+    /// trusted for content addressing.
+    Artifact {
+        /// Claimed keccak256 of `code`.
+        code_hash: B256,
+        /// The raw runtime bytecode.
+        code: Vec<u8>,
+    },
+    /// One `(proxy, slot)` storage timeline with its change points and
+    /// resolution watermark.
+    Timeline {
+        /// The proxy contract whose storage slot this timeline tracks.
+        proxy: Address,
+        /// The storage slot.
+        slot: U256,
+        /// Highest block the timeline is resolved through, if any.
+        resolved_to: Option<u64>,
+        /// Probe ledger carried for accounting continuity.
+        probes: u64,
+        /// Strictly block-increasing `(block, value)` change points.
+        points: Vec<(u64, U256)>,
+    },
+}
+
+/// Writes the 8-byte segment header into `buf`.
+pub fn write_header(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u16.to_le_bytes());
+}
+
+/// Checks a segment header. Returns the format version on success.
+pub fn check_header(buf: &[u8]) -> Result<u16, HeaderError> {
+    if buf.len() < HEADER_LEN {
+        return Err(HeaderError::TooShort);
+    }
+    if buf[..4] != MAGIC {
+        return Err(HeaderError::BadMagic);
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != FORMAT_VERSION {
+        return Err(HeaderError::UnsupportedVersion(version));
+    }
+    Ok(version)
+}
+
+/// Why a segment header was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Fewer than [`HEADER_LEN`] bytes in the file.
+    TooShort,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic,
+    /// The version field names a format this reader does not speak.
+    UnsupportedVersion(u16),
+}
+
+/// Appends one framed record (`kind ‖ len ‖ crc ‖ payload`) to `buf`.
+pub fn write_record(buf: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crate::crc::crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Encodes an artifact payload: `codehash [32] ‖ code`.
+pub fn encode_artifact(code_hash: B256, code: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 + code.len());
+    payload.extend_from_slice(code_hash.as_bytes());
+    payload.extend_from_slice(code);
+    payload
+}
+
+/// Encodes a timeline payload (see module docs for the layout).
+pub fn encode_timeline(
+    proxy: Address,
+    slot: U256,
+    resolved_to: Option<u64>,
+    probes: u64,
+    points: &[(u64, U256)],
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(20 + 32 + 1 + 8 + 8 + 4 + points.len() * 40);
+    payload.extend_from_slice(proxy.as_bytes());
+    payload.extend_from_slice(&slot.to_be_bytes());
+    let flags = if resolved_to.is_some() {
+        TIMELINE_FLAG_RESOLVED
+    } else {
+        0
+    };
+    payload.push(flags);
+    payload.extend_from_slice(&resolved_to.unwrap_or(0).to_le_bytes());
+    payload.extend_from_slice(&probes.to_le_bytes());
+    payload.extend_from_slice(&(points.len() as u32).to_le_bytes());
+    for &(block, value) in points {
+        payload.extend_from_slice(&block.to_le_bytes());
+        payload.extend_from_slice(&value.to_be_bytes());
+    }
+    payload
+}
+
+/// Decodes a payload whose CRC has already been verified.
+///
+/// Unknown kinds return `Ok(None)` so future record kinds degrade to a
+/// skip rather than an error on old readers (forward compatibility
+/// within a format version).
+pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Option<Record>, DecodeError> {
+    match kind {
+        KIND_ARTIFACT => decode_artifact(payload).map(Some),
+        KIND_TIMELINE => decode_timeline(payload).map(Some),
+        _ => Ok(None),
+    }
+}
+
+fn decode_artifact(payload: &[u8]) -> Result<Record, DecodeError> {
+    if payload.len() < 32 {
+        return Err(DecodeError::Short(
+            "artifact payload shorter than a codehash",
+        ));
+    }
+    let mut hash = [0u8; 32];
+    hash.copy_from_slice(&payload[..32]);
+    Ok(Record::Artifact {
+        code_hash: B256(hash),
+        code: payload[32..].to_vec(),
+    })
+}
+
+fn decode_timeline(payload: &[u8]) -> Result<Record, DecodeError> {
+    // Fixed prefix: proxy 20 + slot 32 + flags 1 + resolved 8 + probes 8 + count 4.
+    const PREFIX: usize = 20 + 32 + 1 + 8 + 8 + 4;
+    if payload.len() < PREFIX {
+        return Err(DecodeError::Short(
+            "timeline payload shorter than its fixed prefix",
+        ));
+    }
+    let mut proxy = [0u8; 20];
+    proxy.copy_from_slice(&payload[..20]);
+    let slot = U256::from_be_slice(&payload[20..52]);
+    let flags = payload[52];
+    if flags & !TIMELINE_FLAG_RESOLVED != 0 {
+        return Err(DecodeError::Malformed("unknown timeline flag bits set"));
+    }
+    let raw_resolved = u64::from_le_bytes(payload[53..61].try_into().expect("8 bytes"));
+    let resolved_to = if flags & TIMELINE_FLAG_RESOLVED != 0 {
+        Some(raw_resolved)
+    } else if raw_resolved != 0 {
+        return Err(DecodeError::Malformed(
+            "resolved_to nonzero but flag cleared",
+        ));
+    } else {
+        None
+    };
+    let probes = u64::from_le_bytes(payload[61..69].try_into().expect("8 bytes"));
+    let count = u32::from_le_bytes(payload[69..73].try_into().expect("4 bytes")) as usize;
+    let body = &payload[PREFIX..];
+    if body.len() != count * 40 {
+        return Err(DecodeError::Malformed(
+            "timeline point count disagrees with payload length",
+        ));
+    }
+    let mut points = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(40) {
+        let block = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+        let value = U256::from_be_slice(&chunk[8..40]);
+        points.push((block, value));
+    }
+    Ok(Record::Timeline {
+        proxy: Address(proxy),
+        slot,
+        resolved_to,
+        probes,
+        points,
+    })
+}
+
+/// Why a CRC-valid payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Payload too short for its fixed-size fields.
+    Short(&'static str),
+    /// Fields are internally inconsistent.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Short(msg) | DecodeError::Malformed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_round_trip() {
+        let code = vec![0x60, 0x80, 0x60, 0x40, 0x52];
+        let hash = proxion_primitives::keccak256(&code);
+        let payload = encode_artifact(hash, &code);
+        let decoded = decode_payload(KIND_ARTIFACT, &payload).unwrap().unwrap();
+        assert_eq!(
+            decoded,
+            Record::Artifact {
+                code_hash: hash,
+                code
+            }
+        );
+    }
+
+    #[test]
+    fn timeline_round_trip() {
+        let proxy = Address::from_low_u64(7);
+        let slot = U256::from(0x360894u64);
+        let points = vec![(10, U256::from(1u64)), (42, U256::from(2u64))];
+        let payload = encode_timeline(proxy, slot, Some(100), 6, &points);
+        let decoded = decode_payload(KIND_TIMELINE, &payload).unwrap().unwrap();
+        assert_eq!(
+            decoded,
+            Record::Timeline {
+                proxy,
+                slot,
+                resolved_to: Some(100),
+                probes: 6,
+                points
+            }
+        );
+    }
+
+    #[test]
+    fn unresolved_timeline_round_trips_with_cleared_flag() {
+        let payload = encode_timeline(Address::ZERO, U256::ZERO, None, 0, &[]);
+        assert_eq!(payload[52], 0, "flag byte must be clear");
+        let decoded = decode_payload(KIND_TIMELINE, &payload).unwrap().unwrap();
+        match decoded {
+            Record::Timeline { resolved_to, .. } => assert_eq!(resolved_to, None),
+            other => panic!("unexpected record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_skipped_not_fatal() {
+        assert_eq!(decode_payload(0x7F, b"future payload").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(decode_payload(KIND_ARTIFACT, &[0u8; 31]).is_err());
+        // Point count claims more points than bytes present.
+        let mut payload = encode_timeline(Address::ZERO, U256::ZERO, Some(5), 0, &[]);
+        payload[69] = 3;
+        assert!(decode_payload(KIND_TIMELINE, &payload).is_err());
+        // Nonzero resolved_to with the flag cleared is inconsistent.
+        let mut payload = encode_timeline(Address::ZERO, U256::ZERO, None, 0, &[]);
+        payload[53] = 9;
+        assert!(decode_payload(KIND_TIMELINE, &payload).is_err());
+    }
+
+    #[test]
+    fn header_round_trip_and_rejection() {
+        let mut buf = Vec::new();
+        write_header(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(check_header(&buf), Ok(FORMAT_VERSION));
+        assert_eq!(check_header(&buf[..4]), Err(HeaderError::TooShort));
+        let mut bad = buf.clone();
+        bad[0] = b'Q';
+        assert_eq!(check_header(&bad), Err(HeaderError::BadMagic));
+        let mut newer = buf.clone();
+        newer[4] = 0xFF;
+        assert_eq!(
+            check_header(&newer),
+            Err(HeaderError::UnsupportedVersion(0x00FF))
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Persistent warm state for the Proxion service.
+//!
+//! Analysing a proxy cold costs dozens of `ChainSource` probes: the
+//! bytecode fetch, the detection pass over it, and — dominating
+//! everything on long chains — the bisection probes that rebuild each
+//! `(proxy, slot)` storage timeline. All of that state already lives in
+//! memory (`ArtifactStore` keys artifacts by codehash; `HistoryIndex`
+//! keys timelines by `(proxy, slot)` with a `resolved_to` watermark),
+//! but dies with the process. This crate makes it survive restarts.
+//!
+//! # Design
+//!
+//! State is persisted as **append-only segment files** in a state
+//! directory (`state-<id>.seg`), each a magic/versioned header followed
+//! by length-prefixed, CRC-checked records. Two record kinds exist
+//! today: interned bytecode (keyed by codehash, re-verified with
+//! keccak256 on load) and slot timelines (change points plus the
+//! resolution watermark). The full byte-level layout is specified in
+//! `docs/STATE_FORMAT.md`.
+//!
+//! Three properties drive the format:
+//!
+//! - **Crash safety.** Segments become visible only via
+//!   write-tmp → fsync → rename → fsync-dir. A crash mid-checkpoint
+//!   loses at most the in-flight segment.
+//! - **Corruption tolerance.** Load skips and counts damaged records
+//!   (bad CRC, truncated tail, hash mismatch, invariant violation) and
+//!   keeps everything around them. It never panics on bad input.
+//! - **Idempotent replay.** Segments replay oldest-first, last record
+//!   wins, and `HistoryIndex::restore` keeps whichever timeline is
+//!   fresher — so duplicated records (e.g. from an interrupted
+//!   [`compact`]) are harmless.
+//!
+//! # Use
+//!
+//! ```no_run
+//! use proxion_core::{ArtifactStore, HistoryIndex};
+//! use proxion_store::StateStore;
+//!
+//! let artifacts = ArtifactStore::new();
+//! let history = HistoryIndex::new(1024);
+//! let store = StateStore::open("state")?;
+//! let report = store.load(&artifacts, &history)?;
+//! println!("warm: {} artifacts, {} timelines", report.artifacts_loaded, report.timelines_loaded);
+//! // ... analyse ...
+//! store.checkpoint(&artifacts, &history)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod crc;
+pub mod format;
+pub mod segment;
+mod store;
+
+pub use store::{
+    compact, info, write_index, CheckpointReport, CompactReport, LoadReport, SegmentInfo,
+    StateStore, StoreInfo, StoreStats, INDEX_FILE, INDEX_HEADER,
+};

@@ -1,0 +1,250 @@
+//! Segment files on disk: tolerant scanning and crash-safe sealing.
+//!
+//! A segment is immutable once sealed. Sealing goes through
+//! `<name>.tmp` → `fsync(file)` → `rename` → `fsync(dir)`, so a crash
+//! at any point leaves either no segment (only a `.tmp`, which loaders
+//! ignore) or a complete one — never a half-visible segment under its
+//! final name. Scanning is the dual: it must make progress past any
+//! damage a crash or disk fault can leave behind, counting what it
+//! skips instead of failing the load.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::format::{self, Record, FRAME_LEN, HEADER_LEN};
+
+/// Suffix of sealed segment files.
+pub const SEGMENT_SUFFIX: &str = ".seg";
+
+/// Prefix of sealed segment files.
+pub const SEGMENT_PREFIX: &str = "state-";
+
+/// Suffix of in-flight (not yet durable) segment writes. Loaders skip
+/// these; `open` deletes leftovers from interrupted checkpoints.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Builds the file name of segment `id`: `state-0000000042.seg`.
+pub fn segment_name(id: u64) -> String {
+    format!("{SEGMENT_PREFIX}{id:010}{SEGMENT_SUFFIX}")
+}
+
+/// Parses a segment id back out of a file name produced by
+/// [`segment_name`]. Returns `None` for anything else.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name
+        .strip_prefix(SEGMENT_PREFIX)?
+        .strip_suffix(SEGMENT_SUFFIX)?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Lists sealed segments in `dir`, sorted ascending by id. Returns
+/// `(id, path)` pairs; non-segment files are ignored.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = parse_segment_name(name) {
+            out.push((id, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(id, _)| id);
+    Ok(out)
+}
+
+/// Outcome of scanning one segment file.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Records whose frame and CRC checked out and whose payload decoded.
+    pub records: Vec<Record>,
+    /// Records (or tails) skipped because of damage: bad CRC, malformed
+    /// payload, truncated frame, or an unreadable header.
+    pub skipped: u64,
+    /// Records skipped because their kind tag is unknown to this reader
+    /// (forward compatibility, not damage).
+    pub unknown: u64,
+    /// True if the scan stopped before the end of the file because the
+    /// remaining bytes could not be framed (truncated or garbled tail).
+    pub truncated: bool,
+}
+
+/// Scans a segment buffer, collecting every decodable record.
+///
+/// Damage handling:
+/// - unreadable header → everything skipped, one error;
+/// - CRC or payload-decode failure with an in-bounds length → that
+///   record is skipped and the scan continues at the next frame;
+/// - a length that points past the end of the buffer → truncated tail,
+///   the scan stops (one error covers the whole tail).
+pub fn scan_segment(buf: &[u8]) -> ScanResult {
+    let mut result = ScanResult::default();
+    if format::check_header(buf).is_err() {
+        result.skipped = 1;
+        result.truncated = true;
+        return result;
+    }
+    let mut offset = HEADER_LEN;
+    while offset < buf.len() {
+        if buf.len() - offset < FRAME_LEN {
+            result.skipped += 1;
+            result.truncated = true;
+            break;
+        }
+        let kind = buf[offset];
+        let payload_len =
+            u32::from_le_bytes(buf[offset + 1..offset + 5].try_into().expect("4 bytes")) as usize;
+        let stored_crc =
+            u32::from_le_bytes(buf[offset + 5..offset + 9].try_into().expect("4 bytes"));
+        let payload_start = offset + FRAME_LEN;
+        let Some(payload_end) = payload_start.checked_add(payload_len) else {
+            result.skipped += 1;
+            result.truncated = true;
+            break;
+        };
+        if payload_end > buf.len() {
+            result.skipped += 1;
+            result.truncated = true;
+            break;
+        }
+        let payload = &buf[payload_start..payload_end];
+        if crc32(payload) != stored_crc {
+            result.skipped += 1;
+        } else {
+            match format::decode_payload(kind, payload) {
+                Ok(Some(record)) => result.records.push(record),
+                Ok(None) => result.unknown += 1,
+                Err(_) => result.skipped += 1,
+            }
+        }
+        offset = payload_end;
+    }
+    result
+}
+
+/// Reads and scans the segment at `path`.
+pub fn read_segment(path: &Path) -> io::Result<ScanResult> {
+    let buf = fs::read(path)?;
+    Ok(scan_segment(&buf))
+}
+
+/// Seals `buf` (a complete segment image, header included) as segment
+/// `id` in `dir`, crash-safely. Returns the number of bytes written.
+pub fn seal_segment(dir: &Path, id: u64, buf: &[u8]) -> io::Result<u64> {
+    let final_path = dir.join(segment_name(id));
+    let tmp_path = dir.join(format!("{}{TMP_SUFFIX}", segment_name(id)));
+    {
+        let mut file = File::create(&tmp_path)?;
+        file.write_all(buf)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    fsync_dir(dir)?;
+    Ok(buf.len() as u64)
+}
+
+/// Fsyncs a directory so a preceding rename is durable. On platforms
+/// where directories cannot be opened for sync this is a no-op.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(handle) => handle.sync_all().or(Ok(())),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Deletes leftover `*.tmp` files from interrupted checkpoints.
+/// Returns how many were removed.
+pub fn sweep_tmp_files(dir: &Path) -> io::Result<u64> {
+    let mut removed = 0;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(TMP_SUFFIX) {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{encode_artifact, write_header, write_record, KIND_ARTIFACT};
+    use proxion_primitives::keccak256;
+
+    fn segment_with_codes(codes: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_header(&mut buf);
+        for code in codes {
+            let payload = encode_artifact(keccak256(code), code);
+            write_record(&mut buf, KIND_ARTIFACT, &payload);
+        }
+        buf
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(segment_name(42), "state-0000000042.seg");
+        assert_eq!(parse_segment_name("state-0000000042.seg"), Some(42));
+        assert_eq!(parse_segment_name("state-0000000042.seg.tmp"), None);
+        assert_eq!(parse_segment_name("state-42.seg"), None);
+        assert_eq!(parse_segment_name("INDEX"), None);
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let buf = segment_with_codes(&[b"\x60\x00", b"\x60\x01\x50"]);
+        let result = scan_segment(&buf);
+        assert_eq!(result.records.len(), 2);
+        assert_eq!(result.skipped, 0);
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    fn bit_flip_skips_one_record_and_keeps_the_rest() {
+        let mut buf = segment_with_codes(&[b"\x60\x00", b"\x60\x01\x50"]);
+        // Flip a byte inside the first record's payload.
+        let victim = HEADER_LEN + FRAME_LEN + 5;
+        buf[victim] ^= 0x40;
+        let result = scan_segment(&buf);
+        assert_eq!(result.records.len(), 1, "second record must survive");
+        assert_eq!(result.skipped, 1);
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    fn truncated_tail_keeps_complete_records() {
+        let buf = segment_with_codes(&[b"\x60\x00", b"\x60\x01\x50"]);
+        let cut = buf.len() - 3;
+        let result = scan_segment(&buf[..cut]);
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.skipped, 1);
+        assert!(result.truncated);
+    }
+
+    #[test]
+    fn bad_header_is_one_error_not_a_panic() {
+        let result = scan_segment(b"not a segment at all");
+        assert!(result.records.is_empty());
+        assert_eq!(result.skipped, 1);
+    }
+
+    #[test]
+    fn length_field_past_eof_is_a_truncated_tail() {
+        let mut buf = segment_with_codes(&[b"\x60\x00"]);
+        // Inflate the length field far beyond the file.
+        buf[HEADER_LEN + 1] = 0xFF;
+        buf[HEADER_LEN + 2] = 0xFF;
+        let result = scan_segment(&buf);
+        assert!(result.records.is_empty());
+        assert_eq!(result.skipped, 1);
+        assert!(result.truncated);
+    }
+}

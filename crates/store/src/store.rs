@@ -1,0 +1,521 @@
+//! The [`StateStore`]: loading warm state on boot and checkpointing it
+//! incrementally while the service runs.
+//!
+//! One store owns one state directory. Checkpoints are *incremental*:
+//! the store remembers what it has already persisted (artifact
+//! codehashes; timeline resolution watermarks) and each checkpoint
+//! seals a new segment containing only entries that are new or fresher
+//! since the last one. Load replays segments oldest-first with
+//! last-wins semantics, so duplicate records — e.g. from a compaction
+//! interrupted before it could delete old segments — are harmless.
+
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proxion_core::{ArtifactStore, HistoryIndex, SlotTimeline};
+use proxion_primitives::{keccak256, Address, B256, U256};
+use serde::Serialize;
+
+use crate::format::{self, Record, KIND_ARTIFACT, KIND_TIMELINE};
+use crate::segment::{
+    self, list_segments, read_segment, seal_segment, segment_name, sweep_tmp_files,
+};
+
+/// Name of the advisory index file kept next to the segments.
+pub const INDEX_FILE: &str = "INDEX";
+
+/// First line of the index file.
+pub const INDEX_HEADER: &str = "pxst-index v1";
+
+/// Counters exposed over the stats RPC and `/metrics`.
+///
+/// All counters are monotonic for the lifetime of the store except
+/// `bytes_on_disk`, which is a gauge (compaction shrinks it).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StoreStats {
+    /// Entries (artifacts + timelines) installed into the in-memory
+    /// stores by [`StateStore::load`].
+    pub loaded_entries: u64,
+    /// Checkpoints that sealed a segment. No-op checkpoints (nothing
+    /// new to persist) are not counted.
+    pub checkpoints_total: u64,
+    /// Records skipped during load because they were damaged
+    /// (CRC mismatch, truncated tail, codehash mismatch, invariant
+    /// violation) plus segments that could not be read at all.
+    pub load_errors_total: u64,
+    /// Total bytes across sealed segments in the state directory.
+    pub bytes_on_disk: u64,
+}
+
+/// What one [`StateStore::load`] call did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Artifact records installed (after keccak verification).
+    pub artifacts_loaded: u64,
+    /// Timeline records installed (after invariant validation).
+    pub timelines_loaded: u64,
+    /// Damaged records / unreadable segments skipped.
+    pub records_skipped: u64,
+    /// Records with an unknown kind tag, skipped for forward
+    /// compatibility (not counted as errors).
+    pub records_unknown: u64,
+    /// Sealed segments visited.
+    pub segments: u64,
+}
+
+/// What one [`StateStore::checkpoint`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointReport {
+    /// New artifact records written.
+    pub artifacts_written: u64,
+    /// New or fresher timeline records written.
+    pub timelines_written: u64,
+    /// Bytes in the sealed segment (0 for a no-op checkpoint).
+    pub bytes_written: u64,
+    /// File name of the sealed segment, or `None` if there was nothing
+    /// new to persist and no file was created.
+    pub segment: Option<String>,
+}
+
+struct StoreInner {
+    next_segment_id: u64,
+    persisted_artifacts: HashSet<B256>,
+    /// Highest persisted resolution watermark per timeline key.
+    /// `Option` ordering (`None < Some(0)`) decides freshness.
+    persisted_timelines: HashMap<(Address, U256), Option<u64>>,
+}
+
+/// A handle on one state directory. Cheap to clone behind an [`Arc`];
+/// load and checkpoint serialize on an internal lock.
+pub struct StateStore {
+    dir: PathBuf,
+    inner: Mutex<StoreInner>,
+    loaded_entries: AtomicU64,
+    checkpoints_total: AtomicU64,
+    load_errors_total: AtomicU64,
+    bytes_on_disk: AtomicU64,
+}
+
+impl StateStore {
+    /// Opens (creating if needed) the state directory at `dir`.
+    ///
+    /// Leftover `*.tmp` files from interrupted checkpoints are swept;
+    /// sealed segments are left untouched until [`Self::load`].
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Arc<Self>> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        sweep_tmp_files(&dir)?;
+        let segments = list_segments(&dir)?;
+        let next_segment_id = segments.last().map(|&(id, _)| id + 1).unwrap_or(1);
+        let mut bytes = 0u64;
+        for (_, path) in &segments {
+            bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        }
+        let store = StateStore {
+            dir,
+            inner: Mutex::new(StoreInner {
+                next_segment_id,
+                persisted_artifacts: HashSet::new(),
+                persisted_timelines: HashMap::new(),
+            }),
+            loaded_entries: AtomicU64::new(0),
+            checkpoints_total: AtomicU64::new(0),
+            load_errors_total: AtomicU64::new(0),
+            bytes_on_disk: AtomicU64::new(bytes),
+        };
+        Ok(Arc::new(store))
+    }
+
+    /// The state directory this store owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Replays every sealed segment into `artifacts` and `history`,
+    /// oldest segment first, last record wins.
+    ///
+    /// Damage never panics and never aborts the load: each damaged
+    /// record (or unreadable segment) is skipped and counted in
+    /// `records_skipped` / `load_errors_total`, and everything
+    /// loadable around it still lands. Artifact records are
+    /// re-verified against `keccak256(code)` — a record whose hash
+    /// does not match its bytes counts as damage.
+    pub fn load(
+        &self,
+        artifacts: &ArtifactStore,
+        history: &HistoryIndex,
+    ) -> io::Result<LoadReport> {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        let mut report = LoadReport::default();
+        for (_, path) in list_segments(&self.dir)? {
+            report.segments += 1;
+            let scan = match read_segment(&path) {
+                Ok(scan) => scan,
+                Err(_) => {
+                    report.records_skipped += 1;
+                    continue;
+                }
+            };
+            report.records_skipped += scan.skipped;
+            report.records_unknown += scan.unknown;
+            for record in scan.records {
+                match record {
+                    Record::Artifact { code_hash, code } => {
+                        if keccak256(&code) != code_hash {
+                            report.records_skipped += 1;
+                            continue;
+                        }
+                        artifacts.intern_with_hash(code_hash, Arc::new(code));
+                        inner.persisted_artifacts.insert(code_hash);
+                        report.artifacts_loaded += 1;
+                    }
+                    Record::Timeline {
+                        proxy,
+                        slot,
+                        resolved_to,
+                        probes,
+                        points,
+                    } => match SlotTimeline::from_parts(proxy, slot, points, resolved_to, probes) {
+                        Ok(timeline) => {
+                            history.restore(timeline);
+                            let watermark = inner
+                                .persisted_timelines
+                                .entry((proxy, slot))
+                                .or_insert(None);
+                            *watermark = (*watermark).max(resolved_to);
+                            report.timelines_loaded += 1;
+                        }
+                        Err(_) => report.records_skipped += 1,
+                    },
+                }
+            }
+        }
+        self.loaded_entries.fetch_add(
+            report.artifacts_loaded + report.timelines_loaded,
+            Ordering::Relaxed,
+        );
+        self.load_errors_total
+            .fetch_add(report.records_skipped, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Seals a new segment with everything new since the last
+    /// checkpoint (or load): artifact codes whose hash has not been
+    /// persisted yet, and timelines whose resolution watermark is
+    /// fresher than the persisted one. Unresolved timelines carry no
+    /// coverage and are not persisted.
+    ///
+    /// If nothing is new, no file is created and the returned report
+    /// has `segment: None`. The write is crash-safe (tmp + fsync +
+    /// rename + dir fsync); a crash mid-checkpoint loses at most the
+    /// in-flight segment, never previously sealed ones.
+    pub fn checkpoint(
+        &self,
+        artifacts: &ArtifactStore,
+        history: &HistoryIndex,
+    ) -> io::Result<CheckpointReport> {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        let mut report = CheckpointReport::default();
+
+        let new_codes: Vec<(B256, Arc<Vec<u8>>)> = artifacts
+            .snapshot_codes()
+            .into_iter()
+            .filter(|(hash, _)| !inner.persisted_artifacts.contains(hash))
+            .collect();
+        let new_timelines: Vec<SlotTimeline> = history
+            .snapshot_timelines()
+            .into_iter()
+            .filter(|t| {
+                t.resolved_to().is_some()
+                    && t.resolved_to()
+                        > inner
+                            .persisted_timelines
+                            .get(&(t.proxy(), t.slot()))
+                            .copied()
+                            .flatten()
+            })
+            .collect();
+        if new_codes.is_empty() && new_timelines.is_empty() {
+            return Ok(report);
+        }
+
+        let mut buf = Vec::new();
+        format::write_header(&mut buf);
+        for (hash, code) in &new_codes {
+            let payload = format::encode_artifact(*hash, code);
+            format::write_record(&mut buf, KIND_ARTIFACT, &payload);
+        }
+        for timeline in &new_timelines {
+            let payload = format::encode_timeline(
+                timeline.proxy(),
+                timeline.slot(),
+                timeline.resolved_to(),
+                timeline.probes(),
+                timeline.points(),
+            );
+            format::write_record(&mut buf, KIND_TIMELINE, &payload);
+        }
+
+        let id = inner.next_segment_id;
+        let bytes = seal_segment(&self.dir, id, &buf)?;
+        inner.next_segment_id = id + 1;
+        for (hash, _) in &new_codes {
+            inner.persisted_artifacts.insert(*hash);
+        }
+        for timeline in &new_timelines {
+            inner
+                .persisted_timelines
+                .insert((timeline.proxy(), timeline.slot()), timeline.resolved_to());
+        }
+        drop(inner);
+
+        report.artifacts_written = new_codes.len() as u64;
+        report.timelines_written = new_timelines.len() as u64;
+        report.bytes_written = bytes;
+        report.segment = Some(segment_name(id));
+        self.checkpoints_total.fetch_add(1, Ordering::Relaxed);
+        self.bytes_on_disk.fetch_add(bytes, Ordering::Relaxed);
+        let _ = write_index(&self.dir);
+        Ok(report)
+    }
+
+    /// Current counter values for metrics and the stats RPC.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            loaded_entries: self.loaded_entries.load(Ordering::Relaxed),
+            checkpoints_total: self.checkpoints_total.load(Ordering::Relaxed),
+            load_errors_total: self.load_errors_total.load(Ordering::Relaxed),
+            bytes_on_disk: self.bytes_on_disk.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Rewrites the advisory `INDEX` file from the directory listing
+/// (tmp + rename, like segments). The index accelerates nothing — it
+/// exists so `proxion state info` can detect drift between what a
+/// checkpoint last saw and what is on disk now.
+pub fn write_index(dir: &Path) -> io::Result<()> {
+    let mut body = String::from(INDEX_HEADER);
+    body.push('\n');
+    for (_, path) in list_segments(dir)? {
+        let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        body.push_str(&format!("{name} {bytes}\n"));
+    }
+    let tmp = dir.join(format!("{INDEX_FILE}{}", segment::TMP_SUFFIX));
+    fs::write(&tmp, body.as_bytes())?;
+    fs::rename(&tmp, dir.join(INDEX_FILE))?;
+    segment::fsync_dir(dir)
+}
+
+/// Per-segment findings from [`info`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SegmentInfo {
+    /// Segment file name.
+    pub name: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Decodable records.
+    pub records: u64,
+    /// Damaged records skipped while scanning.
+    pub skipped: u64,
+    /// True if the segment ends in an unframeable tail.
+    pub truncated: bool,
+}
+
+/// What [`info`] reports about a state directory.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StoreInfo {
+    /// Every sealed segment, ascending by id.
+    pub segments: Vec<SegmentInfo>,
+    /// Artifact records across all segments (including duplicates).
+    pub artifact_records: u64,
+    /// Timeline records across all segments (including duplicates).
+    pub timeline_records: u64,
+    /// Distinct codehashes after last-wins replay.
+    pub live_artifacts: u64,
+    /// Distinct `(proxy, slot)` keys after last-wins replay.
+    pub live_timelines: u64,
+    /// Total bytes across sealed segments.
+    pub bytes_total: u64,
+    /// True if the `INDEX` file matches the directory listing.
+    /// Drift is expected after a crash and is not an error.
+    pub index_consistent: bool,
+}
+
+/// Scans a state directory without mutating it: per-segment health,
+/// record totals, live-entry counts, and index consistency.
+pub fn info(dir: &Path) -> io::Result<StoreInfo> {
+    let mut out = StoreInfo::default();
+    let mut live_artifacts: HashSet<B256> = HashSet::new();
+    let mut live_timelines: HashSet<(Address, U256)> = HashSet::new();
+    let mut index_body = String::from(INDEX_HEADER);
+    index_body.push('\n');
+    for (_, path) in list_segments(dir)? {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let scan = match read_segment(&path) {
+            Ok(scan) => scan,
+            Err(_) => {
+                out.segments.push(SegmentInfo {
+                    name,
+                    bytes,
+                    records: 0,
+                    skipped: 1,
+                    truncated: true,
+                });
+                continue;
+            }
+        };
+        for record in &scan.records {
+            match record {
+                Record::Artifact { code_hash, .. } => {
+                    out.artifact_records += 1;
+                    live_artifacts.insert(*code_hash);
+                }
+                Record::Timeline { proxy, slot, .. } => {
+                    out.timeline_records += 1;
+                    live_timelines.insert((*proxy, *slot));
+                }
+            }
+        }
+        index_body.push_str(&format!("{name} {bytes}\n"));
+        out.bytes_total += bytes;
+        out.segments.push(SegmentInfo {
+            name,
+            bytes,
+            records: scan.records.len() as u64,
+            skipped: scan.skipped,
+            truncated: scan.truncated,
+        });
+    }
+    out.live_artifacts = live_artifacts.len() as u64;
+    out.live_timelines = live_timelines.len() as u64;
+    out.index_consistent = fs::read_to_string(dir.join(INDEX_FILE))
+        .map(|body| body == index_body)
+        .unwrap_or(out.segments.is_empty());
+    Ok(out)
+}
+
+/// What [`compact`] did.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CompactReport {
+    /// Segments before compaction.
+    pub segments_before: u64,
+    /// Records before compaction (decodable ones).
+    pub records_before: u64,
+    /// Records in the single compacted segment.
+    pub records_after: u64,
+    /// Bytes before compaction.
+    pub bytes_before: u64,
+    /// Bytes after compaction.
+    pub bytes_after: u64,
+}
+
+/// Rewrites a state directory as one deduplicated segment.
+///
+/// Replays every segment with the same last-wins semantics as load,
+/// seals the survivors as a single new segment (id = max + 1), then
+/// deletes the old segments. Crash-safe: a crash after the seal but
+/// before the deletes leaves duplicates, which last-wins replay
+/// tolerates; a crash before the seal leaves everything untouched.
+/// Run it offline — compacting under a live service races with its
+/// checkpoints.
+pub fn compact(dir: &Path) -> io::Result<CompactReport> {
+    let segments = list_segments(dir)?;
+    let mut report = CompactReport {
+        segments_before: segments.len() as u64,
+        ..Default::default()
+    };
+    if segments.is_empty() {
+        return Ok(report);
+    }
+    let mut artifacts: HashMap<B256, Vec<u8>> = HashMap::new();
+    let mut timelines: HashMap<(Address, U256), SlotTimeline> = HashMap::new();
+    for (_, path) in &segments {
+        report.bytes_before += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let Ok(scan) = read_segment(path) else {
+            continue;
+        };
+        for record in scan.records {
+            report.records_before += 1;
+            match record {
+                Record::Artifact { code_hash, code } => {
+                    if keccak256(&code) == code_hash {
+                        artifacts.insert(code_hash, code);
+                    }
+                }
+                Record::Timeline {
+                    proxy,
+                    slot,
+                    resolved_to,
+                    probes,
+                    points,
+                } => {
+                    if let Ok(timeline) =
+                        SlotTimeline::from_parts(proxy, slot, points, resolved_to, probes)
+                    {
+                        match timelines.entry((proxy, slot)) {
+                            std::collections::hash_map::Entry::Occupied(mut slot_entry) => {
+                                if timeline.resolved_to() >= slot_entry.get().resolved_to() {
+                                    slot_entry.insert(timeline);
+                                }
+                            }
+                            std::collections::hash_map::Entry::Vacant(slot_entry) => {
+                                slot_entry.insert(timeline);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Deterministic output order: artifacts by hash, timelines by key.
+    let mut artifact_list: Vec<_> = artifacts.into_iter().collect();
+    artifact_list.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+    let mut timeline_list: Vec<_> = timelines.into_values().collect();
+    timeline_list.sort_by_key(|t| (t.proxy(), t.slot()));
+
+    let mut buf = Vec::new();
+    format::write_header(&mut buf);
+    for (hash, code) in &artifact_list {
+        format::write_record(
+            &mut buf,
+            KIND_ARTIFACT,
+            &format::encode_artifact(*hash, code),
+        );
+    }
+    for timeline in &timeline_list {
+        let payload = format::encode_timeline(
+            timeline.proxy(),
+            timeline.slot(),
+            timeline.resolved_to(),
+            timeline.probes(),
+            timeline.points(),
+        );
+        format::write_record(&mut buf, KIND_TIMELINE, &payload);
+    }
+    report.records_after = (artifact_list.len() + timeline_list.len()) as u64;
+
+    let new_id = segments.last().map(|&(id, _)| id + 1).expect("non-empty");
+    report.bytes_after = seal_segment(dir, new_id, &buf)?;
+    for (_, path) in &segments {
+        fs::remove_file(path)?;
+    }
+    segment::fsync_dir(dir)?;
+    write_index(dir)?;
+    Ok(report)
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the state store: encode/decode round-trips
+//! and scan robustness under arbitrary corruption.
+
+use proptest::prelude::*;
+use proxion_primitives::{keccak256, Address, B256, U256};
+use proxion_store::format::{
+    self, decode_payload, encode_artifact, encode_timeline, write_header, write_record, Record,
+    KIND_ARTIFACT, KIND_TIMELINE,
+};
+use proxion_store::segment::scan_segment;
+
+/// Arbitrary bytecode blobs (empty allowed — empty code is legal).
+fn code_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..200)
+}
+
+/// Arbitrary *valid* timelines: strictly increasing blocks, consecutive
+/// values distinct, watermark at or past the last point.
+fn timeline_strategy() -> impl Strategy<Value = (Address, U256, Option<u64>, u64, Vec<(u64, U256)>)>
+{
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec((1u64..1000, any::<u8>()), 0..12),
+        0u64..1000,
+        any::<u64>(),
+    )
+        .prop_map(|(proxy_seed, slot_seed, raw_points, slack, probes)| {
+            let mut block = 0u64;
+            let mut points: Vec<(u64, U256)> = Vec::new();
+            for (step, value) in raw_points {
+                block += step;
+                let value = U256::from(value as u64);
+                if points.last().map(|&(_, v)| v) == Some(value) {
+                    continue;
+                }
+                points.push((block, value));
+            }
+            let resolved_to = points.last().map(|&(b, _)| b + slack);
+            (
+                Address::from_low_u64(proxy_seed),
+                U256::from(slot_seed),
+                resolved_to,
+                probes,
+                points,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn artifact_payloads_round_trip(code in code_strategy()) {
+        let hash = keccak256(&code);
+        let payload = encode_artifact(hash, &code);
+        let decoded = decode_payload(KIND_ARTIFACT, &payload).unwrap().unwrap();
+        prop_assert_eq!(decoded, Record::Artifact { code_hash: hash, code });
+    }
+
+    #[test]
+    fn timeline_payloads_round_trip(
+        (proxy, slot, resolved_to, probes, points) in timeline_strategy()
+    ) {
+        let payload = encode_timeline(proxy, slot, resolved_to, probes, &points);
+        let decoded = decode_payload(KIND_TIMELINE, &payload).unwrap().unwrap();
+        prop_assert_eq!(decoded, Record::Timeline { proxy, slot, resolved_to, probes, points });
+    }
+
+    #[test]
+    fn scan_never_panics_and_never_invents_records(
+        codes in proptest::collection::vec(code_strategy(), 0..6),
+        corrupt_at in any::<prop::sample::Index>(),
+        corrupt_mask in 1u8..=255,
+        truncate_to in any::<prop::sample::Index>(),
+    ) {
+        // Build a clean segment, then corrupt one byte and truncate it at
+        // an arbitrary point. The scan must terminate, never panic, and
+        // return at most the records that were written.
+        let mut buf = Vec::new();
+        write_header(&mut buf);
+        for code in &codes {
+            let payload = encode_artifact(keccak256(code), code);
+            write_record(&mut buf, KIND_ARTIFACT, &payload);
+        }
+        let written = codes.len();
+
+        if !buf.is_empty() {
+            let at = corrupt_at.index(buf.len());
+            buf[at] ^= corrupt_mask;
+            let keep = truncate_to.index(buf.len() + 1);
+            buf.truncate(keep);
+        }
+        let result = scan_segment(&buf);
+        prop_assert!(result.records.len() <= written);
+        // Every surviving record still passes content verification.
+        for record in &result.records {
+            if let Record::Artifact { code_hash, code } = record {
+                // CRC collisions are possible in principle; hash check is
+                // the authoritative gate, mirroring what load() enforces.
+                if keccak256(code) != *code_hash {
+                    prop_assert!(format::check_header(&buf).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_of_mixed_records_replays_in_order(
+        codes in proptest::collection::vec(code_strategy(), 1..4),
+        timelines in proptest::collection::vec(timeline_strategy(), 1..4),
+    ) {
+        let mut buf = Vec::new();
+        write_header(&mut buf);
+        for code in &codes {
+            write_record(&mut buf, KIND_ARTIFACT, &encode_artifact(keccak256(code), code));
+        }
+        for (proxy, slot, resolved_to, probes, points) in &timelines {
+            let payload = encode_timeline(*proxy, *slot, *resolved_to, *probes, points);
+            write_record(&mut buf, KIND_TIMELINE, &payload);
+        }
+        let result = scan_segment(&buf);
+        prop_assert_eq!(result.skipped, 0);
+        prop_assert_eq!(result.records.len(), codes.len() + timelines.len());
+        // Order is preserved: artifacts first, then timelines.
+        for (i, record) in result.records.iter().enumerate() {
+            match record {
+                Record::Artifact { .. } => prop_assert!(i < codes.len()),
+                Record::Timeline { .. } => prop_assert!(i >= codes.len()),
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Link check for the repository's Markdown documentation.
+#
+# Verifies that every relative Markdown link target — `[text](path)` and
+# `[text](path#anchor)` — in the top-level docs and docs/ resolves to a
+# file or directory in the working tree. External links (http/https/
+# mailto) are not fetched; this check is offline by design.
+#
+# Usage: devtools/check-doc-links.sh
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+failures=0
+
+for doc in "$REPO"/*.md "$REPO"/docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir="$(dirname "$doc")"
+    # Pull out inline link targets, one per line. Skip externals,
+    # pure in-page anchors, and bare autolinks.
+    targets=$(grep -oE '\]\([^)[:space:]]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//' || true)
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$REPO/$path" ]; then
+            echo "broken link in ${doc#"$REPO"/}: $target" >&2
+            failures=$((failures + 1))
+        fi
+    done <<< "$targets"
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "error: $failures broken Markdown link(s)" >&2
+    exit 1
+fi
+echo "doc links ok"

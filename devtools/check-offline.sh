@@ -45,6 +45,16 @@ if grep -rn "confirm_pair\|ReplayEngine" "$REPO/crates/service/src" | grep -n "\
     exit 1
 fi
 
+# Persistence invariant: every byte that reaches the state directory goes
+# through proxion-store (header + CRC framing, tmp-then-rename sealing).
+# A direct std::fs call in the service would bypass that framing and can
+# leave files the tolerant loader misreads as damage. The store crate and
+# the tests own their own I/O; the service must not.
+if grep -rn "std::fs" "$REPO/crates/service/src"; then
+    echo "error: proxion-service must not touch the filesystem directly; state I/O belongs in proxion-store" >&2
+    exit 1
+fi
+
 rm -rf "$SHADOW"
 mkdir -p "$SHADOW"
 cp "$REPO/Cargo.toml" "$SHADOW/"

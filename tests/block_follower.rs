@@ -45,6 +45,8 @@ impl Fixture {
             Arc::clone(&self.metrics),
             from_block,
             None,
+            None,
+            64,
         )
     }
 

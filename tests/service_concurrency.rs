@@ -71,6 +71,7 @@ fn in_flight_proxy_check_and_block_ingestion_do_not_block_each_other() {
                 failure_rate: 0.0,
                 seed: 1,
             }),
+            ..ServerConfig::default()
         },
         Arc::clone(&world.chain),
         Arc::clone(&world.etherscan),
@@ -143,6 +144,7 @@ fn analysis_snapshot_is_isolated_from_concurrent_writes() {
             queue_capacity: 16,
             follow_chain: false,
             fault: None,
+            ..ServerConfig::default()
         },
         Arc::clone(&world.chain),
         Arc::clone(&world.etherscan),

@@ -1,0 +1,128 @@
+//! End-to-end persistent warm state: a server started with a state
+//! directory checkpoints while following the chain, and a second server
+//! over the same directory boots warm — loaded entries visible in the
+//! store handle, the stats RPC, and `/metrics`.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use proxion_chain::Chain;
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, U256};
+use proxion_service::json::{self, JsonValue};
+use proxion_service::loadgen::ClientConn;
+use proxion_service::{server, ServerConfig};
+use proxion_solc::{compile, templates, SlotSpec};
+
+fn build_world() -> (Arc<RwLock<Chain>>, Arc<RwLock<Etherscan>>, Address) {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = chain
+        .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(
+        proxy,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+    (
+        Arc::new(RwLock::new(chain)),
+        Arc::new(RwLock::new(Etherscan::new())),
+        proxy,
+    )
+}
+
+#[test]
+fn server_restarts_warm_from_state_dir() {
+    let state_dir = std::env::temp_dir().join(format!(
+        "proxion-service-persistence-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let (chain, etherscan, proxy) = build_world();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_capacity: 16,
+        follow_chain: true,
+        state_dir: Some(state_dir.clone()),
+        checkpoint_every_blocks: 4,
+        ..ServerConfig::default()
+    };
+
+    // First life: analyze the proxy (warms artifacts + its timeline),
+    // then let the follower process enough blocks to cross the cadence.
+    let handle = server::start(
+        config.clone(),
+        Arc::clone(&chain),
+        Arc::clone(&etherscan),
+        Arc::new(Pipeline::new(PipelineConfig::default())),
+    )
+    .unwrap();
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+    let params = json::object(vec![("address", proxy.to_string().into())]);
+    let doc = client.rpc("proxy_check", &params).unwrap();
+    assert!(doc.get("result").is_some());
+
+    let head = {
+        let mut chain = chain.write();
+        for i in 0..8u64 {
+            chain.set_storage(proxy, U256::from(7u64), U256::from(i + 1));
+        }
+        chain.head_block()
+    };
+    assert!(handle
+        .follower()
+        .unwrap()
+        .wait_for_block(head, std::time::Duration::from_secs(5)));
+    handle.stop();
+
+    let sealed = std::fs::read_dir(&state_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        .count();
+    assert!(
+        sealed >= 1,
+        "stopping the server sealed at least one segment"
+    );
+
+    // Second life: a fresh pipeline over the same directory boots warm.
+    let handle = server::start(
+        config,
+        Arc::clone(&chain),
+        etherscan,
+        Arc::new(Pipeline::new(PipelineConfig::default())),
+    )
+    .unwrap();
+    let stats = handle.store().expect("store is configured").stats();
+    assert!(stats.loaded_entries >= 1, "warm state was reloaded");
+    assert_eq!(stats.load_errors_total, 0);
+    assert!(stats.bytes_on_disk > 0);
+
+    // The stats RPC exposes the store block...
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+    let doc = client.rpc("stats", &JsonValue::Null).unwrap();
+    let store = doc
+        .get("result")
+        .unwrap()
+        .get("store")
+        .expect("store stats");
+    assert!(store.get("loaded_entries").unwrap().as_u64().unwrap() >= 1);
+
+    // ...and /metrics exposes the proxion_store_* series.
+    let (status, body) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("proxion_store_loaded_entries"));
+    assert!(body.contains("proxion_store_checkpoints_total"));
+    assert!(body.contains("proxion_store_load_errors_total 0"));
+    assert!(body.contains("proxion_store_bytes_on_disk"));
+    handle.stop();
+
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

@@ -245,6 +245,8 @@ fn follower_continues_past_failed_blocks() {
             failure_rate: 1.0,
             ..FaultConfig::default()
         }),
+        None,
+        64,
     );
 
     for _ in 0..3 {
