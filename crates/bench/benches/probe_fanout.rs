@@ -1,0 +1,122 @@
+//! Criterion benchmark for the checkpointed probe session: what a
+//! 16-probe calldata fan-out costs through one warm [`ProbeSession`]
+//! versus sixteen fresh host/interpreter pairs.
+//!
+//! This is the execution shape of every multi-probe analysis in the
+//! pipeline — the detector's crafted-calldata gate, the diamond prober's
+//! selector loop, the replay engine's probe sets — so the session-vs-
+//! fresh gap here is the per-probe setup cost the session refactor
+//! amortizes. Two workloads bound the range:
+//!
+//! * `small` — an exploit-corpus proxy with compact template bytecode,
+//!   where probe *execution* dominates and the session saves only the
+//!   per-probe host/interpreter setup.
+//! * `maxcode` — an EIP-1967 proxy delegating to a 24 576-byte logic
+//!   (the mainnet `EIP-170` ceiling), where the fresh path re-pays
+//!   jumpdest analysis of the full code on every probe while the
+//!   session's cache pays it once.
+//!
+//! Headline numbers are recorded in `BENCH_probes.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_chain::{Chain, ChainSnapshot, ChainSource, SourceHost};
+use proxion_dataset::ExploitCorpus;
+use proxion_evm::{Evm, Message, ProbeSession, RecordingInspector};
+use proxion_primitives::{Address, U256};
+use proxion_solc::{compile, templates, SlotSpec};
+
+const FANOUT: usize = 16;
+/// The EIP-170 runtime code ceiling enforced on mainnet.
+const MAX_CODE_SIZE: usize = 24_576;
+
+/// Sixteen calldata variants: distinct selectors, realistic 32-byte
+/// argument padding — the same shape the detector and prober craft.
+fn probe_inputs() -> Vec<Vec<u8>> {
+    (0..FANOUT as u8)
+        .map(|i| {
+            let mut data = vec![0xfe, 0xed, i, 0x01];
+            data.extend_from_slice(&[i; 32]);
+            data
+        })
+        .collect()
+}
+
+/// An EIP-1967 proxy whose logic runtime is padded to the mainnet code
+/// ceiling — the dispatcher rejects crafted selectors quickly, but every
+/// fresh interpreter must still jumpdest-scan all 24 KiB first.
+fn max_code_deployment() -> (Chain, Address) {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    let logic = compile(&templates::simple_logic("BigLogic")).expect("template compiles");
+    let mut runtime = logic.runtime;
+    runtime.resize(MAX_CODE_SIZE, 0x00);
+    let logic_addr = chain.install_new(deployer, runtime).expect("installs");
+    let proxy = compile(&templates::eip1967_proxy("BigProxy")).expect("template compiles");
+    let proxy_addr = chain
+        .install_new(deployer, proxy.runtime)
+        .expect("installs");
+    chain.set_storage(
+        proxy_addr,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic_addr),
+    );
+    (chain, proxy_addr)
+}
+
+fn bench_pair(c: &mut Criterion, label: &str, snapshot: &ChainSnapshot, target: Address) {
+    let caller = Address::from_low_u64(0xbe7c_0001);
+    let inputs = probe_inputs();
+
+    // One warm session: host overlay, frame-scratch pool and jumpdest
+    // cache are set up once; every probe rolls back to the checkpoint.
+    c.bench_function(&format!("probe_fanout_16_session_{label}"), |b| {
+        b.iter(|| {
+            let env = snapshot.env().unwrap();
+            let mut fork = SourceHost::new(snapshot);
+            let mut session = ProbeSession::new(&mut fork, env);
+            let mut delegated = 0usize;
+            for input in &inputs {
+                let mut inspector = RecordingInspector::new();
+                let _ = session.run_probe_with(
+                    Message::eoa_call(caller, target, input.clone()),
+                    &mut inspector,
+                );
+                delegated += usize::from(inspector.delegate_calls().next().is_some());
+            }
+            delegated
+        })
+    });
+
+    // The pre-session shape: a brand-new overlay and interpreter per
+    // probe — every probe re-pays host setup, code fetch, jumpdest
+    // analysis and stack/memory allocation.
+    c.bench_function(&format!("probe_fanout_16_fresh_{label}"), |b| {
+        b.iter(|| {
+            let mut delegated = 0usize;
+            for input in &inputs {
+                let env = snapshot.env().unwrap();
+                let mut fork = SourceHost::new(snapshot);
+                let mut inspector = RecordingInspector::new();
+                let _ = {
+                    let mut evm = Evm::with_inspector(&mut fork, env, &mut inspector);
+                    evm.call(Message::eoa_call(caller, target, input.clone()))
+                };
+                delegated += usize::from(inspector.delegate_calls().next().is_some());
+            }
+            delegated
+        })
+    });
+}
+
+fn probe_fanout(c: &mut Criterion) {
+    let corpus = ExploitCorpus::generate(0xbe9c);
+    let snapshot = corpus.chain.snapshot();
+    bench_pair(c, "small", &snapshot, corpus.cases[0].proxy);
+
+    let (chain, proxy) = max_code_deployment();
+    let snapshot = chain.snapshot();
+    bench_pair(c, "maxcode", &snapshot, proxy);
+}
+
+criterion_group!(benches, probe_fanout);
+criterion_main!(benches);

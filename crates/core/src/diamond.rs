@@ -13,8 +13,9 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use proxion_chain::{ChainSource, SourceHost, SourceResult};
-use proxion_evm::{Evm, Message, Origin, RecordingInspector};
+use proxion_evm::{Message, Origin, ProbeSession, RecordingInspector};
 use proxion_primitives::{Address, U256};
+use proxion_telemetry::Stage;
 
 use crate::artifacts::ArtifactStore;
 use crate::proxy::{NotProxyReason, ProxyCheck, ProxyDetector};
@@ -130,20 +131,24 @@ impl DiamondDetector {
         let template = self.base.craft_call_data(&artifacts, address);
         let env = chain.env()?;
         let mut routes = Vec::new();
+        // One warmed session serves the whole selector loop: the host
+        // overlay, frame-scratch pool and jumpdest cache are shared, and
+        // the rollback after each probe keeps selectors mutually blind.
+        let mut span = self
+            .base
+            .telemetry()
+            .span(Stage::ProbeSession, "diamond_selector_probes");
+        let mut fork = SourceHost::new(chain);
+        let mut session = ProbeSession::new(&mut fork, env);
         for selector in selectors {
             let mut call_data = template.clone();
             call_data[..4].copy_from_slice(&selector);
-            let mut fork = SourceHost::new(chain);
             let mut inspector = RecordingInspector::new();
-            {
-                let mut evm = Evm::with_inspector(&mut fork, env.clone(), &mut inspector);
-                let _ = evm.call(Message::eoa_call(
-                    Address::from_low_u64(0xd1a),
-                    address,
-                    call_data.clone(),
-                ));
-            }
-            if let Some(error) = fork.take_error() {
+            let _ = session.run_probe_with(
+                Message::eoa_call(Address::from_low_u64(0xd1a), address, call_data.clone()),
+                &mut inspector,
+            );
+            if let Some(error) = session.host_mut().take_error() {
                 return Err(error);
             }
             let delegate = inspector
@@ -160,6 +165,7 @@ impl DiamondDetector {
                 });
             }
         }
+        span.set_detail(format!("{address} probes={}", session.probes()));
         Ok(if routes.is_empty() {
             DiamondCheck::NotDiamond
         } else {

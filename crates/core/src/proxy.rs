@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use proxion_chain::{ChainSource, SourceHost, SourceResult};
-use proxion_evm::{Evm, Message, Origin, ProfilingInspector, RecordingInspector};
+use proxion_evm::{Message, Origin, ProbeSession, ProfilingInspector, RecordingInspector};
 use proxion_primitives::{Address, DetRng, U256};
 use proxion_solc::templates::parse_minimal_proxy;
 use proxion_solc::SlotSpec;
@@ -163,6 +163,12 @@ impl ProxyDetector {
         &self.artifacts
     }
 
+    /// The detector's telemetry sink (shared with composed detectors so
+    /// their probe sessions land in the same trace).
+    pub(crate) fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     /// Crafts probe call data for a contract: a 4-byte selector differing
     /// from every *reachable* `PUSH4` immediate in the bytecode (so it
     /// cannot match any dispatcher entry — immediates inside embedded
@@ -318,6 +324,8 @@ impl ProxyDetector {
         let mut inspector = RecordingInspector::new();
         let probe = Address::from_low_u64(0x5eed_cafe);
         let result = {
+            let _session_span = self.telemetry.span(Stage::ProbeSession, "detector_session");
+            let mut session = ProbeSession::new(&mut fork, env);
             let mut span = self.telemetry.span(Stage::Emulation, "probe_call");
             let message = Message::eoa_call(probe, address, call_data.clone());
             let result = if span.is_recording() {
@@ -328,11 +336,9 @@ impl ProxyDetector {
                     &mut inspector,
                     ProfilingInspector::new(Arc::clone(&self.telemetry)),
                 );
-                let mut evm = Evm::with_inspector(&mut fork, env, &mut both);
-                evm.call(message)
+                session.run_probe_with(message, &mut both)
             } else {
-                let mut evm = Evm::with_inspector(&mut fork, env, &mut inspector);
-                evm.call(message)
+                session.run_probe_with(message, &mut inspector)
             };
             span.set_outcome(if result.is_success() {
                 Outcome::Ok

@@ -6,7 +6,7 @@ use proxion_asm::opcode as op;
 use proxion_primitives::{Address, B256, U256};
 
 use crate::gas::Gas;
-use crate::host::Host;
+use crate::host::{Host, Snapshot};
 use crate::inspector::{CallRecord, Inspector, StorageAccess};
 use crate::memory::Memory;
 use crate::stack::{Origin, Stack, TaggedWord};
@@ -16,6 +16,42 @@ use crate::types::{
 
 /// EIP-170 deployed-code size limit.
 const MAX_CODE_SIZE: usize = 24_576;
+
+/// Cap on distinct bytecodes whose jump-destination maps are cached per
+/// EVM instance; the cache is dropped wholesale when it fills (probe
+/// sessions touch a handful of codes, so eviction policy is irrelevant).
+const JUMPDEST_CACHE_LIMIT: usize = 256;
+
+/// A mark of the EVM's complete mutable execution state — the host's
+/// journal position plus the transient-storage journal position —
+/// returned by [`Evm::checkpoint`] and consumed by [`Evm::revert_to`].
+///
+/// Unlike a raw host [`Snapshot`], a `Checkpoint` also covers EIP-1153
+/// transient storage, so rolling back to it restores everything a probe
+/// could have perturbed. Reverting to the same checkpoint repeatedly is
+/// valid (rollback truncates the journals to the saved positions), which
+/// is what lets a [`crate::ProbeSession`] reuse one checkpoint across an
+/// arbitrary number of probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    host: Snapshot,
+    transient: usize,
+}
+
+impl Checkpoint {
+    /// The host-journal snapshot this checkpoint wraps.
+    pub fn host_snapshot(self) -> Snapshot {
+        self.host
+    }
+}
+
+/// Reusable per-frame scratch (operand stack + memory). Pooled on the
+/// EVM so nested frames and repeated probes reuse the same allocations.
+#[derive(Default)]
+struct FrameScratch {
+    stack: Stack,
+    memory: Memory,
+}
 
 /// The EVM: executes [`Message`]s against a [`Host`].
 ///
@@ -30,7 +66,19 @@ pub struct Evm<'h, 'i, H: Host> {
     /// frames.
     transient: std::collections::HashMap<(Address, U256), U256>,
     transient_journal: Vec<((Address, U256), U256)>,
+    /// Pool of cleared frame scratches, reused across frames and calls so
+    /// the steady-state probe loop performs no stack/memory allocations.
+    frames: Vec<FrameScratch>,
+    /// Jump-destination maps keyed by `(code pointer, code length)`. The
+    /// cached `Arc<Vec<u8>>` keeps the bytecode allocation alive, so a
+    /// pointer can never be reused by a different code blob while its
+    /// entry is resident.
+    jumpdest_cache: std::collections::HashMap<(usize, usize), CachedJumpdests>,
 }
+
+/// A cached jumpdest analysis: the bytecode `Arc` anchoring the cache
+/// key's pointer identity, plus the valid-destination bitmap.
+type CachedJumpdests = (Arc<Vec<u8>>, Arc<Vec<bool>>);
 
 impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
     /// Creates an EVM without an inspector.
@@ -42,6 +90,8 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
             call_records: 0,
             transient: std::collections::HashMap::new(),
             transient_journal: Vec::new(),
+            frames: Vec::new(),
+            jumpdest_cache: std::collections::HashMap::new(),
         }
     }
 
@@ -54,7 +104,33 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
             call_records: 0,
             transient: std::collections::HashMap::new(),
             transient_journal: Vec::new(),
+            frames: Vec::new(),
+            jumpdest_cache: std::collections::HashMap::new(),
         }
+    }
+
+    /// The host this EVM executes against. Probe sessions use this to
+    /// apply deliberately unjournaled setup (e.g. replay code overrides)
+    /// between probes.
+    pub fn host_mut(&mut self) -> &mut H {
+        self.host
+    }
+
+    /// Marks the complete mutable execution state: the host journal plus
+    /// the transient-storage journal. [`Evm::revert_to`] restores it.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        Checkpoint {
+            host: self.host.snapshot(),
+            transient: self.transient_journal.len(),
+        }
+    }
+
+    /// Rolls back every journaled mutation — host state and transient
+    /// storage — made after `checkpoint` was taken. The checkpoint stays
+    /// valid: reverting to it again after further execution works.
+    pub fn revert_to(&mut self, checkpoint: Checkpoint) {
+        self.host.rollback(checkpoint.host);
+        self.rollback_transient(checkpoint.transient);
     }
 
     /// Executes a top-level message call and returns its outcome. State
@@ -65,21 +141,44 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
         // Transient storage lives for exactly one transaction.
         self.transient.clear();
         self.transient_journal.clear();
-        self.execute_message(msg, 0)
+        let mut inspector = self.inspector.take();
+        let result = self.execute_message(msg, 0, inspector.as_deref_mut());
+        self.inspector = inspector;
+        result
     }
 
-    fn execute_message(&mut self, msg: Message, depth: usize) -> CallResult {
+    /// [`Evm::call`] with a per-call inspector: the stored inspector (if
+    /// any) is bypassed for this call. Probe sessions use this to attach
+    /// a fresh recorder to each probe while keeping one EVM — and its
+    /// warm caches — alive across the whole probe set.
+    pub fn call_with(&mut self, msg: Message, inspector: &mut dyn Inspector) -> CallResult {
+        self.transient.clear();
+        self.transient_journal.clear();
+        self.execute_message(msg, 0, Some(inspector))
+    }
+
+    fn execute_message(
+        &mut self,
+        msg: Message,
+        depth: usize,
+        insp: Option<&mut (dyn Inspector + '_)>,
+    ) -> CallResult {
         if depth > MAX_CALL_DEPTH {
             return CallResult::halted(HaltReason::CallDepthExceeded, 0);
         }
         if msg.kind.is_create() {
-            self.execute_create(msg, depth)
+            self.execute_create(msg, depth, insp)
         } else {
-            self.execute_call(msg, depth)
+            self.execute_call(msg, depth, insp)
         }
     }
 
-    fn execute_call(&mut self, msg: Message, depth: usize) -> CallResult {
+    fn execute_call(
+        &mut self,
+        msg: Message,
+        depth: usize,
+        insp: Option<&mut (dyn Inspector + '_)>,
+    ) -> CallResult {
         let snapshot = self.host.snapshot();
         let transient_mark = self.transient_journal.len();
         // Only plain CALLs move value between distinct accounts;
@@ -103,7 +202,7 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
             };
         }
         let mut gas = Gas::new(msg.gas_limit);
-        let (halt, output, mut logs) = self.run_frame(&msg, &code, &mut gas, depth);
+        let (halt, output, mut logs) = self.run_frame(&msg, &code, &mut gas, depth, insp);
         if !halt.is_success() {
             self.host.rollback(snapshot);
             self.rollback_transient(transient_mark);
@@ -118,7 +217,12 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
         }
     }
 
-    fn execute_create(&mut self, msg: Message, depth: usize) -> CallResult {
+    fn execute_create(
+        &mut self,
+        msg: Message,
+        depth: usize,
+        insp: Option<&mut (dyn Inspector + '_)>,
+    ) -> CallResult {
         let snapshot = self.host.snapshot();
         let transient_mark = self.transient_journal.len();
         let target = msg.target;
@@ -138,7 +242,7 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
             ..msg.clone()
         };
         let mut gas = Gas::new(msg.gas_limit);
-        let (halt, output, logs) = self.run_frame(&frame_msg, &init_code, &mut gas, depth);
+        let (halt, output, logs) = self.run_frame(&frame_msg, &init_code, &mut gas, depth, insp);
         if !halt.is_success() {
             self.host.rollback(snapshot);
             self.rollback_transient(transient_mark);
@@ -169,20 +273,63 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
         }
     }
 
+    /// Looks up (or computes and caches) the jump-destination map for a
+    /// bytecode blob. Keyed by allocation identity: the same `Arc` seen
+    /// again — the steady state of a probe session — costs one hash
+    /// lookup instead of an O(code) scan plus allocation.
+    fn jumpdests_for(&mut self, code: &Arc<Vec<u8>>) -> Arc<Vec<bool>> {
+        let key = (Arc::as_ptr(code) as *const u8 as usize, code.len());
+        if let Some((cached_code, dests)) = self.jumpdest_cache.get(&key) {
+            if Arc::ptr_eq(cached_code, code) {
+                return Arc::clone(dests);
+            }
+        }
+        if self.jumpdest_cache.len() >= JUMPDEST_CACHE_LIMIT {
+            self.jumpdest_cache.clear();
+        }
+        let dests = Arc::new(analyze_jumpdests(code));
+        self.jumpdest_cache
+            .insert(key, (Arc::clone(code), Arc::clone(&dests)));
+        dests
+    }
+
     /// Runs one frame to completion. Returns the halt reason, the output
     /// bytes and the logs emitted by this frame and its successful
     /// children.
-    #[allow(clippy::too_many_lines)]
+    ///
+    /// Stack and memory come from the frame pool; the cleared scratch is
+    /// returned to the pool afterwards so repeated frames (nested calls,
+    /// session probes) reuse the same allocations.
     fn run_frame(
         &mut self,
         msg: &Message,
-        code: &[u8],
+        code: &Arc<Vec<u8>>,
         gas: &mut Gas,
         depth: usize,
+        insp: Option<&mut (dyn Inspector + '_)>,
     ) -> (HaltReason, Vec<u8>, Vec<Log>) {
-        let valid_jumpdests = analyze_jumpdests(code);
-        let mut stack = Stack::new();
-        let mut memory = Memory::new();
+        let valid_jumpdests = self.jumpdests_for(code);
+        let mut scratch = self.frames.pop().unwrap_or_default();
+        let out = self.run_frame_inner(msg, code, &valid_jumpdests, gas, depth, insp, &mut scratch);
+        scratch.stack.clear();
+        scratch.memory.clear();
+        self.frames.push(scratch);
+        out
+    }
+
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn run_frame_inner(
+        &mut self,
+        msg: &Message,
+        code: &Arc<Vec<u8>>,
+        valid_jumpdests: &[bool],
+        gas: &mut Gas,
+        depth: usize,
+        mut insp: Option<&mut (dyn Inspector + '_)>,
+        scratch: &mut FrameScratch,
+    ) -> (HaltReason, Vec<u8>, Vec<Log>) {
+        let stack = &mut scratch.stack;
+        let memory = &mut scratch.memory;
         let mut return_data: Vec<u8> = Vec::new();
         let mut logs: Vec<Log> = Vec::new();
         let mut pc = 0usize;
@@ -245,7 +392,7 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
             let Some(info) = op::info(opcode) else {
                 halt!(HaltReason::InvalidOpcode(opcode));
             };
-            if let Some(inspector) = self.inspector.as_deref_mut() {
+            if let Some(inspector) = insp.as_deref_mut() {
                 inspector.on_step(pc, opcode, depth);
             }
             charge!(info.gas as u64);
@@ -515,7 +662,7 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
                 op::SLOAD => {
                     let slot = pop!();
                     let value = self.host.storage(msg.target, slot.value);
-                    if let Some(inspector) = self.inspector.as_deref_mut() {
+                    if let Some(inspector) = insp.as_deref_mut() {
                         inspector.on_storage(StorageAccess {
                             address: msg.target,
                             slot: slot.value,
@@ -532,7 +679,7 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
                     let (slot, value) = (pop!(), pop!());
                     charge!(5000);
                     self.host.set_storage(msg.target, slot.value, value.value);
-                    if let Some(inspector) = self.inspector.as_deref_mut() {
+                    if let Some(inspector) = insp.as_deref_mut() {
                         inspector.on_storage(StorageAccess {
                             address: msg.target,
                             slot: slot.value,
@@ -655,7 +802,7 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
                         topics,
                         data: memory.read(off, len),
                     };
-                    if let Some(inspector) = self.inspector.as_deref_mut() {
+                    if let Some(inspector) = insp.as_deref_mut() {
                         inspector.on_log(&log);
                     }
                     logs.push(log);
@@ -712,9 +859,10 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
                         &child,
                         TaggedWord::computed(U256::from(new_address)),
                         depth,
+                        insp.as_deref_mut(),
                     );
-                    let result = self.execute_message(child, depth + 1);
-                    self.finish_call(record_index, &result);
+                    let result = self.execute_message(child, depth + 1, insp.as_deref_mut());
+                    self.finish_call(record_index, &result, insp.as_deref_mut());
                     gas.reclaim(child_gas.saturating_sub(result.gas_used));
                     return_data = if result.halt == HaltReason::Revert {
                         result.output.clone()
@@ -798,9 +946,10 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
                         is_static: child_static,
                         salt: None,
                     };
-                    let record_index = self.record_call(&child, addr_word, depth);
-                    let result = self.execute_message(child, depth + 1);
-                    self.finish_call(record_index, &result);
+                    let record_index =
+                        self.record_call(&child, addr_word, depth, insp.as_deref_mut());
+                    let result = self.execute_message(child, depth + 1, insp.as_deref_mut());
+                    self.finish_call(record_index, &result, insp.as_deref_mut());
                     gas.reclaim(child_gas.saturating_sub(result.gas_used));
                     return_data = result.output.clone();
                     if out_len > 0 {
@@ -860,10 +1009,16 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
         }
     }
 
-    fn record_call(&mut self, child: &Message, target_word: TaggedWord, depth: usize) -> usize {
+    fn record_call(
+        &mut self,
+        child: &Message,
+        target_word: TaggedWord,
+        depth: usize,
+        insp: Option<&mut (dyn Inspector + '_)>,
+    ) -> usize {
         let index = self.call_records;
         self.call_records += 1;
-        if let Some(inspector) = self.inspector.as_deref_mut() {
+        if let Some(inspector) = insp {
             inspector.on_call(&CallRecord {
                 kind: child.kind,
                 depth,
@@ -879,8 +1034,13 @@ impl<'h, 'i, H: Host> Evm<'h, 'i, H> {
         index
     }
 
-    fn finish_call(&mut self, record_index: usize, result: &CallResult) {
-        if let Some(inspector) = self.inspector.as_deref_mut() {
+    fn finish_call(
+        &mut self,
+        record_index: usize,
+        result: &CallResult,
+        insp: Option<&mut (dyn Inspector + '_)>,
+    ) {
+        if let Some(inspector) = insp {
             inspector.on_call_end(record_index, result);
         }
     }

@@ -17,6 +17,12 @@
 //!   access and log, letting analyses observe execution without modifying
 //!   the interpreter.
 //!
+//! Multi-probe analyses (one warm-up, N calldata-varying executions over
+//! the same state) run through a [`ProbeSession`], which amortizes host
+//! and interpreter setup across the probe set and guarantees rollback to
+//! a [`Checkpoint`] between probes; see the [`session`](self) module
+//! documentation for an example.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +48,7 @@ mod inspector;
 mod interp;
 mod memory;
 mod profiling;
+mod session;
 mod stack;
 mod types;
 
@@ -50,9 +57,10 @@ pub use host::{AccountInfo, Host, MemoryDb, Snapshot};
 pub use inspector::{
     CallRecord, DelegateObservation, Inspector, NoopInspector, RecordingInspector, StorageAccess,
 };
-pub use interp::Evm;
+pub use interp::{Checkpoint, Evm};
 pub use memory::Memory;
 pub use profiling::ProfilingInspector;
+pub use session::{session_totals, ProbeSession};
 pub use stack::{Origin, Stack, StackError, TaggedWord};
 pub use types::{
     BlockEnv, CallKind, CallResult, Env, HaltReason, Log, Message, TxEnv, CALL_STIPEND,

@@ -17,6 +17,13 @@ impl Memory {
         Memory { bytes: Vec::new() }
     }
 
+    /// Resets to the untouched state, keeping the allocation. Subsequent
+    /// expansion re-zeroes every byte (`Vec::resize` fills with zero), so
+    /// a pooled memory is indistinguishable from a fresh one.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+
     /// Current size in bytes (always a multiple of 32).
     pub fn len(&self) -> usize {
         self.bytes.len()

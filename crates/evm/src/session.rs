@@ -1,0 +1,207 @@
+//! Checkpointed probe sessions: one warm-up, N isolated probes.
+//!
+//! Every multi-probe analysis in Proxion — the crafted-calldata gate, the
+//! diamond prober's per-selector loop, the replay engine's three probes —
+//! executes many messages against the *same* (code, state) pair with only
+//! the calldata varying. A [`ProbeSession`] amortizes the per-probe setup:
+//! the host overlay, the EVM (with its frame-scratch pool and
+//! jump-destination cache) and the base [`Checkpoint`] are created once,
+//! and every [`ProbeSession::run_probe`] is followed by a guaranteed
+//! rollback to that checkpoint, so probes are mutually invisible —
+//! journaled state writes *and* EIP-1153 transient storage included —
+//! while the warm allocations carry over.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxion_evm::{Env, Host, MemoryDb, Message, ProbeSession};
+//! use proxion_primitives::{Address, U256};
+//!
+//! // SLOAD slot 0, store it to memory, SSTORE 1 into slot 0, return the
+//! // loaded word: each probe sees the pre-session value again.
+//! let code = vec![
+//!     0x5f, 0x54, 0x5f, 0x52, // PUSH0 SLOAD PUSH0 MSTORE
+//!     0x60, 0x01, 0x5f, 0x55, // PUSH1 1 PUSH0 SSTORE
+//!     0x60, 0x20, 0x5f, 0xf3, // PUSH1 32 PUSH0 RETURN
+//! ];
+//! let target = Address::from_low_u64(0xc0de);
+//! let mut db = MemoryDb::new();
+//! db.set_code(target, code);
+//!
+//! let mut session = ProbeSession::new(&mut db, Env::default());
+//! for _ in 0..3 {
+//!     let result = session.run_probe(Message::eoa_call(
+//!         Address::from_low_u64(1),
+//!         target,
+//!         vec![],
+//!     ));
+//!     // The SSTORE of the previous probe was rolled back.
+//!     assert_eq!(U256::from_be_slice(&result.output), U256::ZERO);
+//! }
+//! assert_eq!(session.probes(), 3);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::host::Host;
+use crate::inspector::Inspector;
+use crate::interp::{Checkpoint, Evm};
+use crate::types::{CallResult, Env, Message};
+
+/// Process-wide count of probes executed through [`ProbeSession`]s.
+static PROBES_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of checkpoint rollbacks those probes triggered.
+static ROLLBACKS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(probes, checkpoint rollbacks)` executed through probe
+/// sessions since startup. The service exports these as the
+/// `proxion_evm_probes_total` / `proxion_evm_checkpoint_rollbacks_total`
+/// Prometheus counters.
+pub fn session_totals() -> (u64, u64) {
+    (
+        PROBES_TOTAL.load(Ordering::Relaxed),
+        ROLLBACKS_TOTAL.load(Ordering::Relaxed),
+    )
+}
+
+/// A checkpointed multi-probe execution session over one host.
+///
+/// Construction takes the base [`Checkpoint`]; every probe runs a
+/// top-level call and then reverts to that checkpoint, so each probe
+/// observes the exact state the session started with. Deliberate
+/// cross-probe setup (funding the sender, replay code overrides) must
+/// happen *before* the session is created — or through
+/// [`ProbeSession::host_mut`] for host mutations that are unjournaled by
+/// design.
+///
+/// See the module documentation for an example.
+pub struct ProbeSession<'h, H: Host> {
+    evm: Evm<'h, 'static, H>,
+    checkpoint: Checkpoint,
+    probes: u64,
+}
+
+impl<'h, H: Host> ProbeSession<'h, H> {
+    /// Opens a session: takes the base checkpoint of `host` as it is
+    /// right now and warms up a dedicated EVM.
+    pub fn new(host: &'h mut H, env: Env) -> Self {
+        let mut evm = Evm::new(host, env);
+        let checkpoint = evm.checkpoint();
+        ProbeSession {
+            evm,
+            checkpoint,
+            probes: 0,
+        }
+    }
+
+    /// Executes one probe and rolls every journaled mutation — state and
+    /// transient storage — back to the session checkpoint before
+    /// returning, whatever the probe's outcome.
+    pub fn run_probe(&mut self, msg: Message) -> CallResult {
+        let result = self.evm.call(msg);
+        self.finish_probe();
+        result
+    }
+
+    /// [`ProbeSession::run_probe`] with a per-probe inspector (a fresh
+    /// recorder per probe is the common pattern: observations must not
+    /// leak between probes any more than state does).
+    pub fn run_probe_with(&mut self, msg: Message, inspector: &mut dyn Inspector) -> CallResult {
+        let result = self.evm.call_with(msg, inspector);
+        self.finish_probe();
+        result
+    }
+
+    fn finish_probe(&mut self) {
+        self.evm.revert_to(self.checkpoint);
+        self.probes += 1;
+        PROBES_TOTAL.fetch_add(1, Ordering::Relaxed);
+        ROLLBACKS_TOTAL.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Probes executed by this session.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// The session's host. Mutations made through journaling setters will
+    /// be undone at the next probe's rollback; hosts with unjournaled
+    /// setup channels (e.g. `ReplayHost::override_code`) keep those
+    /// across probes — exactly the premise/execution split replay needs.
+    pub fn host_mut(&mut self) -> &mut H {
+        self.evm.host_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::MemoryDb;
+    use crate::inspector::RecordingInspector;
+    use proxion_primitives::{Address, U256};
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    /// SSTORE(0, CALLDATALOAD(0)); return SLOAD(0).
+    fn store_and_echo() -> Vec<u8> {
+        vec![
+            0x5f, 0x35, 0x5f, 0x55, // PUSH0 CALLDATALOAD PUSH0 SSTORE
+            0x5f, 0x54, 0x5f, 0x52, // PUSH0 SLOAD PUSH0 MSTORE
+            0x60, 0x20, 0x5f, 0xf3, // PUSH1 32 PUSH0 RETURN
+        ]
+    }
+
+    #[test]
+    fn probes_roll_back_to_the_session_base() {
+        let target = addr(0xc0de);
+        let mut db = MemoryDb::new();
+        db.set_code(target, store_and_echo());
+        db.set_storage(target, U256::ZERO, U256::from(7u64));
+        db.commit();
+
+        let mut session = ProbeSession::new(&mut db, Env::default());
+        for round in 1u64..=4 {
+            let word = U256::from(round * 100).to_be_bytes().to_vec();
+            let result = session.run_probe(Message::eoa_call(addr(1), target, word));
+            assert!(result.is_success());
+            // The probe sees its own write...
+            assert_eq!(U256::from_be_slice(&result.output), U256::from(round * 100));
+        }
+        assert_eq!(session.probes(), 4);
+        drop(session);
+        // ...but the host is back at the pre-session state.
+        assert_eq!(db.storage(target, U256::ZERO), U256::from(7u64));
+    }
+
+    #[test]
+    fn per_probe_inspectors_do_not_leak_observations() {
+        let target = addr(0xc0de);
+        let mut db = MemoryDb::new();
+        db.set_code(target, store_and_echo());
+        let mut session = ProbeSession::new(&mut db, Env::default());
+        for _ in 0..2 {
+            let mut inspector = RecordingInspector::new();
+            session.run_probe_with(
+                Message::eoa_call(addr(1), target, vec![1; 32]),
+                &mut inspector,
+            );
+            let writes = inspector.storage.iter().filter(|a| a.is_write).count();
+            assert_eq!(writes, 1, "each probe records exactly its own write");
+        }
+    }
+
+    #[test]
+    fn session_totals_are_monotonic() {
+        let (probes_before, rollbacks_before) = session_totals();
+        let target = addr(0xc0de);
+        let mut db = MemoryDb::new();
+        db.set_code(target, vec![0x00]);
+        let mut session = ProbeSession::new(&mut db, Env::default());
+        session.run_probe(Message::eoa_call(addr(1), target, vec![]));
+        let (probes_after, rollbacks_after) = session_totals();
+        assert!(probes_after > probes_before);
+        assert!(rollbacks_after > rollbacks_before);
+    }
+}

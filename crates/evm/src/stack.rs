@@ -108,6 +108,11 @@ impl Stack {
         }
     }
 
+    /// Empties the stack, keeping its allocation (frame-pool reuse).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
     /// Number of words currently on the stack.
     pub fn len(&self) -> usize {
         self.words.len()

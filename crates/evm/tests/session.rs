@@ -1,0 +1,211 @@
+//! Pinned integration tests for checkpointed probe sessions.
+//!
+//! Two properties are nailed down here (the seed-range differential
+//! proptest suite in the carrier package generalizes both):
+//!
+//! * **Probe isolation** — journaled storage writes *and* EIP-1153
+//!   transient storage from probe *k* must be invisible to probe *k+1*.
+//! * **Profiling parity** — a batch of probes through one session must
+//!   produce exactly the opcode/depth profile that the same probes
+//!   produce on fresh per-probe hosts and interpreters.
+
+use std::sync::Arc;
+
+use proxion_asm::{opcode as op, Assembler};
+use proxion_evm::{
+    session_totals, Env, Evm, Host, MemoryDb, Message, ProbeSession, ProfilingInspector,
+    RecordingInspector,
+};
+use proxion_primitives::{Address, U256};
+use proxion_telemetry::Telemetry;
+
+fn addr(n: u64) -> Address {
+    Address::from_low_u64(n)
+}
+
+/// `mem[0] = TLOAD(0); mem[32] = SLOAD(0); TSTORE(0, 1); SSTORE(0, 1);
+/// return mem[0..64]` — each probe reports what the *previous* probe
+/// would have leaked into persistent and transient storage.
+fn leak_detector_code() -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.op(op::PUSH0)
+        .op(op::TLOAD)
+        .op(op::PUSH0)
+        .op(op::MSTORE)
+        .op(op::PUSH0)
+        .op(op::SLOAD)
+        .push(U256::from(32u64))
+        .op(op::MSTORE)
+        .push(U256::ONE)
+        .op(op::PUSH0)
+        .op(op::TSTORE)
+        .push(U256::ONE)
+        .op(op::PUSH0)
+        .op(op::SSTORE)
+        .push(U256::from(64u64))
+        .op(op::PUSH0)
+        .op(op::RETURN);
+    asm.assemble().unwrap()
+}
+
+#[test]
+fn journaled_and_transient_writes_are_invisible_to_the_next_probe() {
+    let target = addr(0xc0de);
+    let mut db = MemoryDb::new();
+    db.set_code(target, leak_detector_code());
+    db.commit();
+
+    let (probes_before, rollbacks_before) = session_totals();
+    let mut session = ProbeSession::new(&mut db, Env::default());
+    for k in 0..4 {
+        let result = session.run_probe(Message::eoa_call(addr(1), target, vec![]));
+        assert!(result.is_success(), "probe {k}: {}", result.halt);
+        let transient_seen = U256::from_be_slice(&result.output[..32]);
+        let storage_seen = U256::from_be_slice(&result.output[32..64]);
+        assert_eq!(transient_seen, U256::ZERO, "probe {k} saw leaked TSTORE");
+        assert_eq!(storage_seen, U256::ZERO, "probe {k} saw leaked SSTORE");
+    }
+    assert_eq!(session.probes(), 4);
+    drop(session);
+    // The host itself is back at the pre-session state.
+    assert_eq!(db.storage(target, U256::ZERO), U256::ZERO);
+    // The process-wide counters the service exports advanced with us.
+    let (probes_after, rollbacks_after) = session_totals();
+    assert!(probes_after >= probes_before + 4);
+    assert!(rollbacks_after >= rollbacks_before + 4);
+}
+
+/// A contract whose *control flow* depends on storage slot 0: the
+/// zero-state path stores 1 and runs a distinctive tail, the dirty-state
+/// path runs a different (longer) tail. If a session failed to roll back
+/// between probes, probe 2 would take the dirty path and the opcode
+/// profile, write-set and output would all shift — which is exactly what
+/// the parity test below would catch.
+fn branching_code() -> Vec<u8> {
+    let mut asm = Assembler::new();
+    let dirty = asm.new_label();
+    asm.op(op::PUSH0).op(op::SLOAD).jumpi_to(dirty);
+    // Zero-state path: SSTORE(0, 1), return the word 1.
+    asm.push(U256::ONE)
+        .op(op::PUSH0)
+        .op(op::SSTORE)
+        .push(U256::ONE)
+        .op(op::PUSH0)
+        .op(op::MSTORE)
+        .push(U256::from(32u64))
+        .op(op::PUSH0)
+        .op(op::RETURN);
+    // Dirty path: a longer, differently-shaped tail.
+    asm.label(dirty)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::ADD)
+        .op(op::PUSH0)
+        .op(op::ADD)
+        .op(op::PUSH0)
+        .op(op::MSTORE)
+        .push(U256::from(64u64))
+        .op(op::PUSH0)
+        .op(op::RETURN);
+    asm.assemble().unwrap()
+}
+
+/// One probe's full observable surface.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    success: bool,
+    output: Vec<u8>,
+    gas_used: u64,
+    writes: Vec<(Address, U256, U256)>,
+}
+
+/// The profile a [`Telemetry`] accumulated, flattened for comparison.
+#[derive(Debug, PartialEq)]
+struct Profile {
+    total_ops: u64,
+    opcodes: Vec<(u8, u64, u64)>,
+    depths: Vec<u64>,
+}
+
+fn profile_of(telemetry: &Telemetry) -> Profile {
+    Profile {
+        total_ops: telemetry.evm().total_ops(),
+        opcodes: telemetry
+            .evm()
+            .opcode_stats()
+            .iter()
+            .map(|s| (s.op, s.count, s.gas))
+            .collect(),
+        depths: telemetry.evm().depth_histogram().to_vec(),
+    }
+}
+
+fn observation(result: proxion_evm::CallResult, recorder: &RecordingInspector) -> Observation {
+    Observation {
+        success: result.is_success(),
+        output: result.output,
+        gas_used: result.gas_used,
+        writes: recorder
+            .storage
+            .iter()
+            .filter(|a| a.is_write)
+            .map(|a| (a.address, a.slot, a.value))
+            .collect(),
+    }
+}
+
+#[test]
+fn batched_probes_match_fresh_execution_including_profiles() {
+    let target = addr(0xbeef);
+    let code = branching_code();
+    let probes = 5;
+
+    // Batched: one session, a fresh recorder + profiler per probe.
+    let session_telemetry = Arc::new(Telemetry::default());
+    let mut session_observed = Vec::new();
+    {
+        let mut db = MemoryDb::new();
+        db.set_code(target, code.clone());
+        db.commit();
+        let mut session = ProbeSession::new(&mut db, Env::default());
+        for _ in 0..probes {
+            let mut recorder = RecordingInspector::new();
+            let result = {
+                let mut both = (
+                    &mut recorder,
+                    ProfilingInspector::new(Arc::clone(&session_telemetry)),
+                );
+                session.run_probe_with(Message::eoa_call(addr(1), target, vec![]), &mut both)
+            };
+            session_observed.push(observation(result, &recorder));
+        }
+    }
+
+    // Fresh: a brand-new host and interpreter per probe.
+    let fresh_telemetry = Arc::new(Telemetry::default());
+    let mut fresh_observed = Vec::new();
+    for _ in 0..probes {
+        let mut db = MemoryDb::new();
+        db.set_code(target, code.clone());
+        db.commit();
+        let mut recorder = RecordingInspector::new();
+        let result = {
+            let mut both = (
+                &mut recorder,
+                ProfilingInspector::new(Arc::clone(&fresh_telemetry)),
+            );
+            let mut evm = Evm::with_inspector(&mut db, Env::default(), &mut both);
+            evm.call(Message::eoa_call(addr(1), target, vec![]))
+        };
+        fresh_observed.push(observation(result, &recorder));
+    }
+
+    assert_eq!(session_observed, fresh_observed);
+    // Every probe took the zero-state path: rollback worked each time.
+    for obs in &session_observed {
+        assert!(obs.success);
+        assert_eq!(U256::from_be_slice(&obs.output), U256::ONE);
+        assert_eq!(obs.writes, vec![(target, U256::ZERO, U256::ONE)]);
+    }
+    assert_eq!(profile_of(&session_telemetry), profile_of(&fresh_telemetry));
+}

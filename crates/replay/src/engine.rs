@@ -1,8 +1,14 @@
 //! [`ReplayEngine`]: the three execution probes that turn a statically
 //! flagged collision into a confirmed (or cleared) one.
 //!
-//! Every probe runs on a fresh [`ReplayHost`] overlay, so nothing a
-//! replay does can leak into the backing source. The probes are:
+//! Probes run on [`ReplayHost`] overlays, so nothing a replay does can
+//! leak into the backing source. Probes that share a state block also
+//! share one block-pinned overlay through a checkpointed
+//! [`ProbeSession`]: the head-block probes (uninitialized + fake-proxy)
+//! run in one session per pair, and each transaction replay runs its
+//! baseline and candidate executions in one session per transaction —
+//! the session's rollback keeps every probe state-isolated while the
+//! warmed host and interpreter allocations carry over. The probes are:
 //!
 //! 1. **Regression replay** ([`ReplayEngine::regression_replay`]): each
 //!    recorded external transaction of the proxy is re-executed at its
@@ -26,7 +32,7 @@ use std::sync::Arc;
 
 use proxion_chain::{env_for_head, ChainSource, SourceResult};
 use proxion_core::ImplSource;
-use proxion_evm::{CallKind, Evm, Message, Origin, RecordingInspector};
+use proxion_evm::{CallKind, Host as _, Message, Origin, ProbeSession, RecordingInspector};
 use proxion_primitives::{selector, Address, U256};
 use proxion_telemetry::{Outcome, Stage, Telemetry};
 use serde::Serialize;
@@ -261,11 +267,31 @@ impl ReplayEngine {
             span.set_detail(format!("{proxy}"));
         }
         let mut stats = ReplayStats::default();
-        let (capture, s) = self.probe_uninitialized(source, proxy)?;
-        stats.merge(s);
-        let (fake, s) =
-            self.check_fake_proxy(source, proxy, logic, impl_source, collided_selectors)?;
-        stats.merge(s);
+        // The two head-block probes share one block-pinned session: one
+        // overlay warm-up serves both probe sets, rollback in between.
+        let (capture, fake) = {
+            let mut session_span = self
+                .telemetry
+                .span(Stage::ProbeSession, "head_probe_session");
+            let head = source.head_block()?;
+            let mut host = ReplayHost::at_block(source, head);
+            let mut session = Self::open_session(&mut host, head, self.attacker);
+            let (capture, s) = self.probe_uninitialized_in(&mut session, proxy)?;
+            stats.merge(s);
+            let (fake, s) = self.check_fake_proxy_in(
+                source,
+                &mut session,
+                proxy,
+                logic,
+                impl_source,
+                collided_selectors,
+            )?;
+            stats.merge(s);
+            if session_span.is_recording() {
+                session_span.set_detail(format!("{proxy} probes={}", session.probes()));
+            }
+            (capture, fake)
+        };
         let (divergences, s) = self.regression_replay(source, proxy, logic)?;
         stats.merge(s);
         let confirmed = capture.is_some() || fake.is_some() || !divergences.is_empty();
@@ -294,8 +320,21 @@ impl ReplayEngine {
         source: &S,
         proxy: Address,
     ) -> SourceResult<(Option<CaptureEvidence>, ReplayStats)> {
-        let mut span = self.telemetry.span(Stage::Replay, "probe_uninitialized");
         let head = source.head_block()?;
+        let mut host = ReplayHost::at_block(source, head);
+        let mut session = Self::open_session(&mut host, head, self.attacker);
+        self.probe_uninitialized_in(&mut session, proxy)
+    }
+
+    /// [`ReplayEngine::probe_uninitialized`] against a caller-provided
+    /// session (so the pair confirmation shares one warm overlay across
+    /// probe sets).
+    fn probe_uninitialized_in<S: ChainSource + ?Sized>(
+        &self,
+        session: &mut ProbeSession<'_, ReplayHost<'_, S>>,
+        proxy: Address,
+    ) -> SourceResult<(Option<CaptureEvidence>, ReplayStats)> {
+        let mut span = self.telemetry.span(Stage::Replay, "probe_uninitialized");
         let mut stats = ReplayStats::default();
         for (prototype, takes_address) in INIT_PROTOTYPES {
             let sel = selector(prototype);
@@ -305,7 +344,7 @@ impl ReplayEngine {
                 word[12..].copy_from_slice(self.attacker.as_bytes());
                 input.extend_from_slice(&word);
             }
-            let run = self.execute(source, head, self.attacker, proxy, input, U256::ZERO, &[])?;
+            let run = Self::run_probe(session, self.attacker, proxy, input, U256::ZERO)?;
             stats.absorb(run.success);
             if !run.success {
                 continue;
@@ -346,8 +385,32 @@ impl ReplayEngine {
         impl_source: Option<ImplSource>,
         collided_selectors: &[[u8; 4]],
     ) -> SourceResult<(Option<FakeProxyEvidence>, ReplayStats)> {
-        let mut span = self.telemetry.span(Stage::Replay, "check_fake_proxy");
         let head = source.head_block()?;
+        let mut host = ReplayHost::at_block(source, head);
+        let mut session = Self::open_session(&mut host, head, self.attacker);
+        self.check_fake_proxy_in(
+            source,
+            &mut session,
+            proxy,
+            logic,
+            impl_source,
+            collided_selectors,
+        )
+    }
+
+    /// [`ReplayEngine::check_fake_proxy`] against a caller-provided
+    /// session. `source` is still needed for the advertised-slot read,
+    /// which must not go through the session's journaled overlay.
+    fn check_fake_proxy_in<S: ChainSource + ?Sized>(
+        &self,
+        source: &S,
+        session: &mut ProbeSession<'_, ReplayHost<'_, S>>,
+        proxy: Address,
+        logic: Address,
+        impl_source: Option<ImplSource>,
+        collided_selectors: &[[u8; 4]],
+    ) -> SourceResult<(Option<FakeProxyEvidence>, ReplayStats)> {
+        let mut span = self.telemetry.span(Stage::Replay, "check_fake_proxy");
         let mut stats = ReplayStats::default();
         let advertised_slot = match impl_source {
             Some(ImplSource::StorageSlot(slot)) => Some(slot),
@@ -358,14 +421,12 @@ impl ReplayEngine {
             None => logic,
         };
 
-        let run = self.execute(
-            source,
-            head,
+        let run = Self::run_probe(
+            session,
             self.attacker,
             proxy,
             FALLBACK_PROBE.to_vec(),
             U256::ZERO,
-            &[],
         )?;
         stats.absorb(run.success);
         if let Some(delegate) = run.delegates.iter().find(|d| d.proxy == proxy) {
@@ -400,7 +461,7 @@ impl ReplayEngine {
         for &sel in collided_selectors {
             let mut input = sel.to_vec();
             input.extend_from_slice(&[0x11; 32]);
-            let run = self.execute(source, head, self.attacker, proxy, input, U256::ZERO, &[])?;
+            let run = Self::run_probe(session, self.attacker, proxy, input, U256::ZERO)?;
             stats.absorb(run.success);
             let delegated = run.delegates.iter().any(|d| d.proxy == proxy);
             if run.success && !delegated && run.calls_out {
@@ -448,18 +509,22 @@ impl ReplayEngine {
                 continue;
             }
             // The transaction at block b executed against the world as of
-            // the end of b-1.
+            // the end of b-1. One block-pinned session serves both the
+            // baseline and the candidate execution: the baseline's writes
+            // roll back at the checkpoint, and the candidate code comes in
+            // through the overlay's *unjournaled* override channel, which
+            // rollback deliberately leaves alone.
             let state_block = tx.block.saturating_sub(1);
-            let baseline = self.execute_at(
-                source,
-                state_block,
-                tx.block,
-                tx.from,
-                proxy,
-                tx.input.clone(),
-                tx.value,
-                &[],
-            )?;
+            let mut session_span = self
+                .telemetry
+                .span(Stage::ProbeSession, "tx_replay_session");
+            if session_span.is_recording() {
+                session_span.set_detail(format!("{proxy} block={}", tx.block));
+            }
+            let mut host = ReplayHost::at_block(source, state_block);
+            let mut session = Self::open_session(&mut host, tx.block, tx.from);
+            let baseline =
+                Self::run_probe(&mut session, tx.from, proxy, tx.input.clone(), tx.value)?;
             stats.absorb(baseline.success);
             let Some(delegate) = baseline.delegates.iter().find(|d| d.proxy == proxy) else {
                 continue;
@@ -468,16 +533,11 @@ impl ReplayEngine {
             if live == candidate || candidate_code.is_empty() {
                 continue;
             }
-            let replayed = self.execute_at(
-                source,
-                state_block,
-                tx.block,
-                tx.from,
-                proxy,
-                tx.input.clone(),
-                tx.value,
-                &[(live, Arc::clone(&candidate_code))],
-            )?;
+            session
+                .host_mut()
+                .override_code(live, Arc::clone(&candidate_code));
+            let replayed =
+                Self::run_probe(&mut session, tx.from, proxy, tx.input.clone(), tx.value)?;
             stats.absorb(replayed.success);
             let success_changed = baseline.success != replayed.success;
             let output_changed = baseline.output != replayed.output;
@@ -496,51 +556,36 @@ impl ReplayEngine {
         Ok((divergences, stats))
     }
 
-    /// Executes one probe call at the head block.
-    #[allow(clippy::too_many_arguments)]
-    fn execute<S: ChainSource + ?Sized>(
-        &self,
-        source: &S,
-        block: u64,
-        from: Address,
-        to: Address,
-        input: Vec<u8>,
-        value: U256,
-        overrides: &[(Address, Arc<Vec<u8>>)],
-    ) -> SourceResult<RunOutcome> {
-        self.execute_at(source, block, block, from, to, input, value, overrides)
+    /// Opens a checkpointed probe session over a block-pinned overlay.
+    ///
+    /// The sender is funded in the overlay *before* the session takes its
+    /// base checkpoint — the archive keeps no historical balances, and
+    /// funding through the journaled setter after the checkpoint would be
+    /// rolled back with the first probe.
+    fn open_session<'h, 's, S: ChainSource + ?Sized>(
+        host: &'h mut ReplayHost<'s, S>,
+        env_block: u64,
+        sender: Address,
+    ) -> ProbeSession<'h, ReplayHost<'s, S>> {
+        host.set_balance(sender, U256::ONE << 120u32);
+        ProbeSession::new(host, env_for_head(env_block))
     }
 
-    /// Executes one call against state as of `state_block` with the
-    /// block environment of `env_block`, entirely inside a
-    /// [`ReplayHost`] overlay.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_at<S: ChainSource + ?Sized>(
-        &self,
-        source: &S,
-        state_block: u64,
-        env_block: u64,
+    /// Runs one probe inside `session` — a fresh recorder per probe, a
+    /// guaranteed rollback after — and distills what the recorder saw.
+    fn run_probe<S: ChainSource + ?Sized>(
+        session: &mut ProbeSession<'_, ReplayHost<'_, S>>,
         from: Address,
         to: Address,
         input: Vec<u8>,
         value: U256,
-        overrides: &[(Address, Arc<Vec<u8>>)],
     ) -> SourceResult<RunOutcome> {
-        let mut host = ReplayHost::at_block(source, state_block);
-        for (address, code) in overrides {
-            host.override_code(*address, Arc::clone(code));
-        }
-        // Fund the sender in the overlay so value transfers replay even
-        // though the archive keeps no historical balances.
-        use proxion_evm::Host as _;
-        host.set_balance(from, U256::ONE << 120u32);
-        let env = env_for_head(env_block);
         let mut inspector = RecordingInspector::new();
-        let result = {
-            let mut evm = Evm::with_inspector(&mut host, env, &mut inspector);
-            evm.call(Message::eoa_call(from, to, input).with_value(value))
-        };
-        if let Some(error) = host.take_error() {
+        let result = session.run_probe_with(
+            Message::eoa_call(from, to, input).with_value(value),
+            &mut inspector,
+        );
+        if let Some(error) = session.host_mut().take_error() {
             return Err(error);
         }
         let writes = inspector

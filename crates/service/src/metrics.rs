@@ -219,6 +219,21 @@ impl ServiceMetrics {
             self.replay_reverted_total.load(Ordering::Relaxed),
         );
 
+        let (evm_probes, evm_rollbacks) = proxion_evm::session_totals();
+        counter(
+            &mut out,
+            "proxion_evm_probes_total",
+            "EVM probes executed through checkpointed probe sessions \
+             (detector, diamond prober, replay engine).",
+            evm_probes,
+        );
+        counter(
+            &mut out,
+            "proxion_evm_checkpoint_rollbacks_total",
+            "Per-probe checkpoint rollbacks performed by probe sessions.",
+            evm_rollbacks,
+        );
+
         counter(
             &mut out,
             "proxion_cache_check_hits_total",
@@ -472,6 +487,10 @@ mod tests {
         assert!(text.contains("proxion_history_index_probes_issued_total 0"));
         assert!(text.contains("proxion_history_index_probes_saved_total 0"));
         assert!(text.contains("proxion_follower_source_errors_total 0"));
+        // The probe-session counters are process-wide (other tests may
+        // have run probes), so assert presence rather than a value.
+        assert!(text.contains("# TYPE proxion_evm_probes_total counter"));
+        assert!(text.contains("# TYPE proxion_evm_checkpoint_rollbacks_total counter"));
         // No completed follower round yet: the lag gauge reports 0, not
         // the full distance to the head.
         assert!(text.contains("proxion_follower_lag_blocks 0"));

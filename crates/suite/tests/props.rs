@@ -1,0 +1,213 @@
+//! Differential property suite for checkpointed probe sessions.
+//!
+//! A [`ProbeSession`] must be *observationally identical* to fresh
+//! per-probe execution: same [`CallResult`]s, same write-sets, same
+//! delegate observations, and the same accumulated
+//! [`ProfilingInspector`] profile — over the dataset generator's whole
+//! bytecode population, exploit corpus included. Any divergence means a
+//! probe leaked state (or a warm allocation leaked behavior) across the
+//! checkpoint rollback.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proxion_chain::{Chain, SourceHost};
+use proxion_dataset::{ExploitCorpus, Landscape, LandscapeConfig};
+use proxion_evm::{CallResult, Evm, Message, ProbeSession, ProfilingInspector, RecordingInspector};
+use proxion_primitives::{selector, Address, U256};
+use proxion_telemetry::Telemetry;
+
+/// One probe's full observable surface: the call result plus everything
+/// a recording inspector saw.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    success: bool,
+    output: Vec<u8>,
+    gas_used: u64,
+    writes: Vec<(Address, U256, U256)>,
+    accesses: usize,
+    delegates: Vec<(usize, Address, Address, Vec<u8>)>,
+}
+
+fn observation(result: CallResult, recorder: &RecordingInspector) -> Observation {
+    Observation {
+        success: result.is_success(),
+        output: result.output,
+        gas_used: result.gas_used,
+        writes: recorder
+            .storage
+            .iter()
+            .filter(|a| a.is_write)
+            .map(|a| (a.address, a.slot, a.value))
+            .collect(),
+        accesses: recorder.storage.len(),
+        delegates: recorder
+            .delegate_calls()
+            .map(|d| (d.depth, d.proxy, d.logic, d.forwarded_input.clone()))
+            .collect(),
+    }
+}
+
+/// The profile a [`Telemetry`] accumulated, flattened for comparison.
+#[derive(Debug, PartialEq)]
+struct Profile {
+    total_ops: u64,
+    opcodes: Vec<(u8, u64, u64)>,
+    depths: Vec<u64>,
+}
+
+fn profile_of(telemetry: &Telemetry) -> Profile {
+    Profile {
+        total_ops: telemetry.evm().total_ops(),
+        opcodes: telemetry
+            .evm()
+            .opcode_stats()
+            .iter()
+            .map(|s| (s.op, s.count, s.gas))
+            .collect(),
+        depths: telemetry.evm().depth_histogram().to_vec(),
+    }
+}
+
+/// A deterministic calldata set per probe seed: `initialize()`-family
+/// calls (state-changing on capturable proxies), the unmatched fallback
+/// probe, and two seed-derived selectors with argument padding.
+fn probe_inputs(seed: u64) -> Vec<Vec<u8>> {
+    let bytes = seed.to_be_bytes();
+    let mut crafted_a = vec![bytes[0], bytes[1], bytes[2], bytes[3]];
+    crafted_a.extend_from_slice(&[0x11; 32]);
+    let mut crafted_b = vec![bytes[4], bytes[5], bytes[6], bytes[7]];
+    crafted_b.extend_from_slice(&bytes);
+    vec![
+        selector("initialize()").to_vec(),
+        selector("initialize(address)")
+            .iter()
+            .copied()
+            .chain([0u8; 32])
+            .collect(),
+        vec![0xff, 0xff, 0xff, 0xff],
+        crafted_a,
+        crafted_b,
+    ]
+}
+
+fn caller() -> Address {
+    Address::from_low_u64(0xd1ff_5eed)
+}
+
+/// Runs every (target × input) probe through ONE warm session.
+fn run_batched(
+    chain: &Chain,
+    targets: &[Address],
+    inputs: &[Vec<u8>],
+) -> (Vec<Observation>, Profile) {
+    let telemetry = Arc::new(Telemetry::default());
+    let env = chain.env();
+    let mut fork = SourceHost::new(chain);
+    let mut session = ProbeSession::new(&mut fork, env);
+    let mut observed = Vec::new();
+    for &target in targets {
+        for input in inputs {
+            let mut recorder = RecordingInspector::new();
+            let result = {
+                let mut both = (
+                    &mut recorder,
+                    ProfilingInspector::new(Arc::clone(&telemetry)),
+                );
+                session.run_probe_with(
+                    Message::eoa_call(caller(), target, input.clone()),
+                    &mut both,
+                )
+            };
+            observed.push(observation(result, &recorder));
+        }
+    }
+    drop(session);
+    (observed, profile_of(&telemetry))
+}
+
+/// Runs the same probes, each on a brand-new host and interpreter.
+fn run_fresh(
+    chain: &Chain,
+    targets: &[Address],
+    inputs: &[Vec<u8>],
+) -> (Vec<Observation>, Profile) {
+    let telemetry = Arc::new(Telemetry::default());
+    let mut observed = Vec::new();
+    for &target in targets {
+        for input in inputs {
+            let env = chain.env();
+            let mut fork = SourceHost::new(chain);
+            let mut recorder = RecordingInspector::new();
+            let result = {
+                let mut both = (
+                    &mut recorder,
+                    ProfilingInspector::new(Arc::clone(&telemetry)),
+                );
+                let mut evm = Evm::with_inspector(&mut fork, env, &mut both);
+                evm.call(Message::eoa_call(caller(), target, input.clone()))
+            };
+            observed.push(observation(result, &recorder));
+        }
+    }
+    (observed, profile_of(&telemetry))
+}
+
+fn assert_no_divergence(chain: &Chain, targets: &[Address], probe_seed: u64) {
+    let inputs = probe_inputs(probe_seed);
+    let (batched, batched_profile) = run_batched(chain, targets, &inputs);
+    let (fresh, fresh_profile) = run_fresh(chain, targets, &inputs);
+    assert_eq!(batched.len(), fresh.len());
+    for (i, (b, f)) in batched.iter().zip(fresh.iter()).enumerate() {
+        assert_eq!(b, f, "probe {i} diverged between batched and fresh");
+    }
+    assert_eq!(
+        batched_profile, fresh_profile,
+        "opcode/depth profiles diverged between batched and fresh"
+    );
+}
+
+/// The exploit corpus is the adversarial end of the population: probes
+/// that *do* capture storage (uninitialized proxies), honeypot baits
+/// that issue external calls, and collision upgrades — exactly the
+/// probes where a leaked write would flip the next verdict.
+#[test]
+fn exploit_corpus_probes_identical_batched_and_fresh() {
+    let corpus = ExploitCorpus::generate(0xE4);
+    let targets: Vec<Address> = corpus
+        .cases
+        .iter()
+        .flat_map(|case| [case.proxy, case.logic])
+        .collect();
+    assert_no_divergence(&corpus.chain, &targets, 0x5eed_cafe);
+}
+
+#[test]
+fn landscape_probes_identical_batched_and_fresh() {
+    let landscape = Landscape::generate(&LandscapeConfig {
+        seed: 0x1a4d,
+        total_contracts: 24,
+    });
+    let targets: Vec<Address> = landscape.contracts.iter().map(|c| c.address).collect();
+    assert_no_divergence(&landscape.chain, &targets, 0xfee1_600d);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seed-ranging generalization: any generated landscape, any probe
+    /// calldata seed — zero divergences.
+    #[test]
+    fn sessions_match_fresh_over_generated_landscapes(
+        seed in any::<u32>(),
+        probe_seed in any::<u64>(),
+    ) {
+        let landscape = Landscape::generate(&LandscapeConfig {
+            seed: u64::from(seed),
+            total_contracts: 12,
+        });
+        let targets: Vec<Address> =
+            landscape.contracts.iter().map(|c| c.address).collect();
+        assert_no_divergence(&landscape.chain, &targets, probe_seed);
+    }
+}

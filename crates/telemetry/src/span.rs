@@ -39,6 +39,11 @@ pub enum Stage {
     /// over a proxy/logic pair (regression replay, uninitialized-proxy
     /// probe, fake-proxy check).
     Replay,
+    /// One checkpointed EVM probe session: a batch of calldata-varying
+    /// probes sharing one warmed host/interpreter with rollback between
+    /// probes (the detector's emulation probe, the diamond prober's
+    /// selector loop, each replay host's probe set).
+    ProbeSession,
     /// One service RPC request (the method name is in the span detail).
     Request,
     /// One block-follower catch-up iteration.
@@ -53,7 +58,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in rendering order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 14] = [
         Stage::Analyze,
         Stage::Disassembly,
         Stage::Dispatcher,
@@ -63,6 +68,7 @@ impl Stage {
         Stage::FunctionCollisions,
         Stage::StorageCollisions,
         Stage::Replay,
+        Stage::ProbeSession,
         Stage::Request,
         Stage::Follower,
         Stage::ArtifactStore,
@@ -81,6 +87,7 @@ impl Stage {
             Stage::FunctionCollisions => "function_collisions",
             Stage::StorageCollisions => "storage_collisions",
             Stage::Replay => "replay",
+            Stage::ProbeSession => "probe_session",
             Stage::Request => "request",
             Stage::Follower => "follower",
             Stage::ArtifactStore => "artifact_store",

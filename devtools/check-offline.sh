@@ -45,6 +45,22 @@ if grep -rn "confirm_pair\|ReplayEngine" "$REPO/crates/service/src" | grep -n "\
     exit 1
 fi
 
+# Probe-session invariant: every multi-probe consumer (the detector's
+# crafted-calldata gate, the diamond selector prober, the replay engine)
+# executes probes through a checkpointed ProbeSession, never by
+# constructing a raw Evm per probe — a fresh interpreter per probe
+# re-pays host setup, stack/memory allocation and jumpdest analysis, and
+# sidesteps the rollback guarantee plus the probe/rollback counters the
+# service exports. Raw Evm construction belongs in proxion-evm (and in
+# single-shot consumers such as the chain's transact path).
+if grep -rn "Evm::" \
+    "$REPO/crates/core/src/proxy.rs" \
+    "$REPO/crates/core/src/diamond.rs" \
+    "$REPO/crates/replay/src"; then
+    echo "error: detector/replay probe paths must run probes through ProbeSession, not a raw Evm" >&2
+    exit 1
+fi
+
 # Persistence invariant: every byte that reaches the state directory goes
 # through proxion-store (header + CRC framing, tmp-then-rename sealing).
 # A direct std::fs call in the service would bypass that framing and can
