@@ -1,11 +1,20 @@
 //! Serve-mode throughput harness: starts the analysis server over a
-//! deterministic landscape on loopback, drives `proxy_check` load with
-//! the bundled load generator, and reports requests/second plus cache
-//! hit rate — cold cache vs. warm cache.
+//! deterministic landscape on loopback and drives *open-loop* load at a
+//! ladder of concurrent connection counts, reporting checks/second and
+//! p50/p99/p99.9 latency at each rung — the gate for the reactor is an
+//! order-of-magnitude connection-count increase at flat p99, not a
+//! single mean-throughput number.
 //!
-//! Scale with `PROXION_SCALE` (landscape size), `PROXION_CONNS`
-//! (client connections, default 4), and `PROXION_REQS` (requests per
-//! connection, default 200).
+//! Passes:
+//!   1. warm-up (primes verdict/artifact caches so the ladder measures
+//!      the connection engine, not first-touch analysis),
+//!   2. connection ladder at fixed pipeline depth,
+//!   3. one batched rung (`proxy_check_batch`) showing round-trip
+//!      amortization.
+//!
+//! Scale with `PROXION_SCALE` (landscape size), `PROXION_TOTAL`
+//! (checks per rung, default 4000), `PROXION_DEPTH` (pipeline depth,
+//! default 4), and `PROXION_MAX_CONNS` (ladder ceiling, default 256).
 
 use std::sync::Arc;
 
@@ -21,10 +30,19 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+struct Rung {
+    label: &'static str,
+    connections: usize,
+    pipeline_depth: usize,
+    batch_size: usize,
+}
+
 fn main() {
     let landscape = standard_landscape();
-    let total = landscape.contracts.len();
-    header(&format!("serve-mode throughput ({total} contracts)"));
+    let total_contracts = landscape.contracts.len();
+    header(&format!(
+        "serve-mode throughput ({total_contracts} contracts)"
+    ));
 
     let chain = Arc::new(RwLock::new(landscape.chain));
     let etherscan = Arc::new(RwLock::new(landscape.etherscan));
@@ -37,7 +55,8 @@ fn main() {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers,
-            queue_capacity: 256,
+            queue_capacity: 1024,
+            max_connections: 8192,
             follow_chain: false,
             ..ServerConfig::default()
         },
@@ -46,53 +65,120 @@ fn main() {
         Arc::clone(&pipeline),
     )
     .expect("server starts");
-    let config = LoadgenConfig {
-        connections: env_usize("PROXION_CONNS", 4),
-        requests_per_connection: env_usize("PROXION_REQS", 200),
+
+    let total_checks = env_usize("PROXION_TOTAL", 4000);
+    let depth = env_usize("PROXION_DEPTH", 4);
+    let max_conns = env_usize("PROXION_MAX_CONNS", 256);
+    println!(
+        "server: {workers} workers, queue 1024; {total_checks} checks per rung, pipeline depth {depth}"
+    );
+
+    // Warm-up: prime every cache layer so the ladder isolates the
+    // connection engine from first-touch analysis cost.
+    let warmup = LoadgenConfig {
+        connections: 4,
+        requests_per_connection: (total_checks / 4).max(1),
+        pipeline_depth: 1,
+        batch_size: 1,
     };
+    loadgen::run(handle.local_addr(), &warmup).expect("warm-up run");
     println!(
-        "server: {} workers, queue 256, {} connections x {} requests",
-        workers, config.connections, config.requests_per_connection
+        "warm-up done (verdict cache hit rate {:.1}%)\n",
+        100.0 * pipeline.cache().stats().checks.hit_rate()
     );
 
-    // Cold pass: every distinct bytecode is a verdict-cache miss.
-    let cold = loadgen::run(handle.local_addr(), &config).expect("cold load run");
-    let cold_stats = pipeline.cache().stats();
-    println!(
-        "cold cache:  {:>10.0} req/s   ({} ok, {} errors, hit rate {:.1}%)",
-        cold.requests_per_sec,
-        cold.ok,
-        cold.errors,
-        100.0 * cold_stats.checks.hit_rate()
-    );
+    let mut rungs: Vec<Rung> = Vec::new();
+    for &connections in &[4usize, 16, 64, 256] {
+        if connections > max_conns {
+            break;
+        }
+        rungs.push(Rung {
+            label: "pipelined",
+            connections,
+            pipeline_depth: depth,
+            batch_size: 1,
+        });
+    }
+    // Iso-load ladder: total outstanding requests (connections × depth)
+    // held constant while the connection count scales 64×. Flat p99
+    // across these rungs shows connection count itself is free to the
+    // reactor — queueing delay tracks outstanding work (Little's law),
+    // not how many sockets carry it.
+    for &(connections, depth) in &[(4usize, 64usize), (16, 16), (64, 4), (256, 1)] {
+        if connections > max_conns {
+            break;
+        }
+        rungs.push(Rung {
+            label: "iso-load",
+            connections,
+            pipeline_depth: depth,
+            batch_size: 1,
+        });
+    }
+    rungs.push(Rung {
+        label: "batched",
+        connections: 16.min(max_conns),
+        pipeline_depth: 2,
+        batch_size: 32,
+    });
 
-    // Warm pass: same addresses again — verdicts come from the cache.
-    let warm = loadgen::run(handle.local_addr(), &config).expect("warm load run");
-    let warm_stats = pipeline.cache().stats();
-    let warm_hits = warm_stats.checks.hits - cold_stats.checks.hits;
-    let warm_misses = warm_stats.checks.misses - cold_stats.checks.misses;
-    let warm_rate = if warm_hits + warm_misses > 0 {
-        100.0 * warm_hits as f64 / (warm_hits + warm_misses) as f64
-    } else {
-        0.0
-    };
     println!(
-        "warm cache:  {:>10.0} req/s   ({} ok, {} errors, hit rate {:.1}%)",
-        warm.requests_per_sec, warm.ok, warm.errors, warm_rate
+        "{:>10} {:>7} {:>6} {:>6} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "mode", "conns", "depth", "batch", "checks/s", "p50 µs", "p99 µs", "p99.9 µs", "errors"
     );
-    println!(
-        "speedup:     {:>10.2}x   (cache entries: {} verdicts, {} pairs)",
-        warm.requests_per_sec / cold.requests_per_sec.max(1e-9),
-        warm_stats.checks.entries,
-        warm_stats.pairs.entries
-    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for rung in &rungs {
+        let wire_requests = (total_checks / rung.batch_size).max(1);
+        let config = LoadgenConfig {
+            connections: rung.connections,
+            requests_per_connection: (wire_requests / rung.connections).max(1),
+            pipeline_depth: rung.pipeline_depth,
+            batch_size: rung.batch_size,
+        };
+        let report = loadgen::run(handle.local_addr(), &config).expect("ladder run");
+        println!(
+            "{:>10} {:>7} {:>6} {:>6} {:>12.0} {:>10} {:>10} {:>10} {:>8}",
+            rung.label,
+            rung.connections,
+            rung.pipeline_depth,
+            rung.batch_size,
+            report.requests_per_sec,
+            report.p50_us,
+            report.p99_us,
+            report.p999_us,
+            report.errors
+        );
+        json_rows.push(format!(
+            "{{\"mode\":\"{}\",\"connections\":{},\"pipeline_depth\":{},\"batch_size\":{},\"checks_per_sec\":{:.0},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"ok\":{},\"errors\":{}}}",
+            rung.label,
+            rung.connections,
+            rung.pipeline_depth,
+            rung.batch_size,
+            report.requests_per_sec,
+            report.p50_us,
+            report.p99_us,
+            report.p999_us,
+            report.ok,
+            report.errors
+        ));
+    }
 
-    let rejected = handle
-        .metrics()
+    let metrics = handle.metrics();
+    let pipelined = metrics
+        .requests_pipelined_total
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let batched = metrics
+        .batch_requests_total
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let rejected = metrics
         .rejected_total
         .load(std::sync::atomic::Ordering::Relaxed);
-    if rejected > 0 {
-        println!("backpressure: {rejected} connections answered 503");
+    println!(
+        "\nserver counters: {pipelined} pipelined requests, {batched} batch calls, {rejected} rejected (503)"
+    );
+    println!("\nJSON rows (for BENCH_serve.json):");
+    for row in &json_rows {
+        println!("  {row}");
     }
     handle.stop();
 }

@@ -604,6 +604,7 @@ struct ServeOpts {
     port: u16,
     workers: usize,
     queue: usize,
+    max_conns: usize,
     follow: bool,
     telemetry: bool,
     state_dir: Option<std::path::PathBuf>,
@@ -618,6 +619,7 @@ impl ServeOpts {
             port: 0,
             workers: 4,
             queue: 64,
+            max_conns: 4096,
             follow: true,
             telemetry: false,
             state_dir: None,
@@ -646,6 +648,11 @@ impl ServeOpts {
                     opts.queue = flag_value("--queue")?
                         .parse()
                         .map_err(|_| "invalid --queue".to_owned())?
+                }
+                "--max-conns" => {
+                    opts.max_conns = flag_value("--max-conns")?
+                        .parse()
+                        .map_err(|_| "invalid --max-conns".to_owned())?
                 }
                 "--no-follow" => opts.follow = false,
                 "--telemetry" => opts.telemetry = true,
@@ -698,6 +705,7 @@ fn launch_server(
             addr: format!("127.0.0.1:{}", opts.port),
             workers: opts.workers,
             queue_capacity: opts.queue,
+            max_connections: opts.max_conns,
             follow_chain: opts.follow,
             state_dir: opts.state_dir.clone(),
             checkpoint_every_blocks: opts.checkpoint_blocks,
@@ -712,7 +720,8 @@ fn launch_server(
 }
 
 /// `proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N]
-/// [--no-follow] [--telemetry] [--state-dir DIR] [--checkpoint-blocks N]`
+/// [--max-conns N] [--no-follow] [--telemetry] [--state-dir DIR]
+/// [--checkpoint-blocks N]`
 ///
 /// Generates a synthetic landscape and serves the analysis over HTTP
 /// until SIGINT/SIGTERM (Ctrl-C stops it gracefully). With
@@ -730,7 +739,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "proxion-service listening on http://{}",
         handle.local_addr()
     );
-    println!("  POST /rpc       methods: proxy_check, logic_history, collisions, replay, contracts, stats, health");
+    println!("  POST /rpc       methods: proxy_check, proxy_check_batch, logic_history, collisions, replay, contracts, stats, health");
     println!("  GET  /health    liveness");
     println!("  GET  /metrics   Prometheus text format");
     if opts.telemetry {
@@ -738,9 +747,10 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         println!("  GET  /trace/folded  flamegraph folded stacks");
     }
     println!(
-        "  workers: {}, queue: {}, follower: {}, telemetry: {}",
+        "  workers: {}, queue: {}, max conns: {}, follower: {}, telemetry: {}",
         opts.workers,
         opts.queue,
+        opts.max_conns,
         if opts.follow { "on" } else { "off" },
         if opts.telemetry { "on" } else { "off" }
     );
@@ -870,25 +880,66 @@ pub fn state(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `proxion loadgen <host:port> [connections] [requests-per-connection]`
+/// `proxion loadgen <host:port> [connections] [requests-per-connection]
+/// [--pipeline DEPTH] [--batch N]`
+///
+/// Open-loop load: every connection keeps `--pipeline` requests in
+/// flight (HTTP/1.1 pipelining); `--batch` packs N addresses into each
+/// wire request via `proxy_check_batch`.
 pub fn loadgen(args: &[String]) -> Result<(), String> {
-    let addr: std::net::SocketAddr = args
+    let mut pipeline_depth = 1usize;
+    let mut batch_size = 1usize;
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut flag_value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--pipeline" => {
+                pipeline_depth = flag_value("--pipeline")?
+                    .parse()
+                    .map_err(|_| "invalid --pipeline".to_owned())?
+            }
+            "--batch" => {
+                batch_size = flag_value("--batch")?
+                    .parse()
+                    .map_err(|_| "invalid --batch".to_owned())?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let addr: std::net::SocketAddr = positional
         .first()
         .ok_or("loadgen needs the server address (host:port)")?
         .parse()
         .map_err(|_| "invalid address; expected host:port".to_owned())?;
     let config = LoadgenConfig {
-        connections: parse_or(args.get(1), 4)?,
-        requests_per_connection: parse_or(args.get(2), 100)?,
+        connections: parse_or(positional.get(1), 4)?,
+        requests_per_connection: parse_or(positional.get(2), 100)?,
+        pipeline_depth: pipeline_depth.max(1),
+        batch_size: batch_size.max(1),
     };
     let report = service_loadgen::run(addr, &config).map_err(|e| e.to_string())?;
     println!(
-        "{} requests ({} ok, {} errors) in {:.2}s — {:.0} req/s",
+        "{} checks ({} ok, {} errors) in {:.2}s — {:.0} checks/s",
         report.ok + report.errors,
         report.ok,
         report.errors,
         report.elapsed_secs,
         report.requests_per_sec
+    );
+    println!(
+        "latency: p50 {}µs, p99 {}µs, p99.9 {}µs ({} conns × depth {} × batch {})",
+        report.p50_us,
+        report.p99_us,
+        report.p999_us,
+        config.connections,
+        config.pipeline_depth,
+        config.batch_size
     );
     Ok(())
 }
@@ -981,6 +1032,8 @@ mod tests {
             "7".into(),
             "--workers".into(),
             "2".into(),
+            "--max-conns".into(),
+            "128".into(),
             "--no-follow".into(),
         ])
         .unwrap();
@@ -988,8 +1041,10 @@ mod tests {
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.port, 8080);
         assert_eq!(opts.workers, 2);
+        assert_eq!(opts.max_conns, 128);
         assert!(!opts.follow);
         assert!(ServeOpts::parse(&["--port".into()]).is_err());
+        assert!(ServeOpts::parse(&["--max-conns".into()]).is_err());
         assert!(ServeOpts::parse(&["--bogus".into()]).is_err());
     }
 
@@ -1055,8 +1110,21 @@ mod tests {
         let opts = ServeOpts::parse(&["40".into(), "9".into(), "--no-follow".into()]).unwrap();
         let (handle, _chain) = launch_server(&opts).unwrap();
         loadgen(&[handle.local_addr().to_string(), "2".into(), "5".into()]).unwrap();
+        // Pipelined + batched open-loop mode against the same server.
+        loadgen(&[
+            handle.local_addr().to_string(),
+            "2".into(),
+            "4".into(),
+            "--pipeline".into(),
+            "3".into(),
+            "--batch".into(),
+            "2".into(),
+        ])
+        .unwrap();
         assert!(loadgen(&[]).is_err());
         assert!(loadgen(&["not-an-addr".into()]).is_err());
+        assert!(loadgen(&["127.0.0.1:1".into(), "--pipeline".into()]).is_err());
+        assert!(loadgen(&["127.0.0.1:1".into(), "--frob".into()]).is_err());
         handle.stop();
     }
 }

@@ -8,7 +8,8 @@
 //! proxion demo <honeypot|audius>                  run an attack reproduction
 //! proxion serve [N] [seed] [--telemetry]          run the analysis server
 //! proxion state <info|compact> <dir>              inspect/compact a state dir
-//! proxion loadgen <host:port> [conns] [reqs]      drive load at a server
+//! proxion loadgen <host:port> [conns] [reqs] [--pipeline D] [--batch N]
+//!                                                 drive load at a server
 //! ```
 
 use std::process::ExitCode;
@@ -76,11 +77,13 @@ USAGE:
     proxion demo audius
         Reproduce the paper's Listing 1 / Listing 2 attacks end to end.
 
-    proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--no-follow] [--telemetry]
-                  [--state-dir DIR] [--checkpoint-blocks N]
-        Generate a landscape and serve the analysis over HTTP/1.1:
-        POST /rpc (JSON-RPC: proxy_check, logic_history, collisions,
-        replay, contracts, stats, health), GET /health, GET /metrics. A bounded
+    proxion serve [contracts] [seed] [--port P] [--workers N] [--queue N] [--max-conns N]
+                  [--no-follow] [--telemetry] [--state-dir DIR] [--checkpoint-blocks N]
+        Generate a landscape and serve the analysis over HTTP/1.1 from an
+        epoll reactor (keep-alive multiplexing + request pipelining):
+        POST /rpc (JSON-RPC: proxy_check, proxy_check_batch, logic_history,
+        collisions, replay, contracts, stats, health), GET /health,
+        GET /metrics. A bounded
         request queue answers 503 under overload; the block follower
         analyzes new contracts and proxy upgrades incrementally. With
         --telemetry, per-request span trees and EVM profiles are recorded
@@ -98,8 +101,11 @@ USAGE:
         directory as a single deduplicated segment. Only run compact
         while no server is using the directory.
 
-    proxion loadgen <host:port> [connections] [requests-per-connection]
-        Drive proxy_check load at a running server and report req/s.
+    proxion loadgen <host:port> [connections] [requests-per-connection] [--pipeline DEPTH] [--batch N]
+        Drive open-loop proxy_check load at a running server: each
+        connection keeps DEPTH pipelined requests in flight, --batch
+        packs N addresses per request (proxy_check_batch). Reports
+        checks/s and p50/p99/p99.9 latency.
 
 Add --json to inspect/landscape for machine-readable output.
 "

@@ -1,17 +1,23 @@
-//! Minimal HTTP/1.1 support over `std::net::TcpStream`: just enough of
-//! RFC 9112 for a loopback JSON-RPC service — request-line + headers +
-//! `Content-Length` bodies, keep-alive connections, and plain-text or
-//! JSON responses. No chunked transfer encoding, no TLS, no pipelining
-//! beyond sequential keep-alive.
+//! Minimal HTTP/1.1 support for the loopback JSON-RPC service: just
+//! enough of RFC 9112 — request-line + headers + `Content-Length`
+//! bodies, keep-alive connections, and HTTP/1.1 pipelining.
+//!
+//! The parser is **incremental and resumable**: the reactor feeds it
+//! whatever bytes a readiness event produced (possibly a torn request
+//! line, possibly several pipelined requests in one TCP segment) and
+//! asks for as many complete requests as the buffer holds. No blocking
+//! read-to-completion anywhere. No chunked transfer encoding, no TLS.
 
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, Write};
 use std::net::TcpStream;
 
-/// Upper bound on header section and body size (1 MiB each) — a loopback
-/// analysis service never needs more, and the cap keeps a stray client
-/// from ballooning memory.
-const MAX_HEADER_BYTES: usize = 1 << 20;
-const MAX_BODY_BYTES: usize = 1 << 20;
+/// Upper bound on the header section and body size (1 MiB each) — a
+/// loopback analysis service never needs more, and the cap keeps a
+/// stray client from ballooning memory. An oversized header section is
+/// answered with `431 Request Header Fields Too Large`.
+pub const MAX_HEADER_BYTES: usize = 1 << 20;
+/// Upper bound on a declared `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -26,65 +32,187 @@ pub struct Request {
     pub keep_alive: bool,
 }
 
-/// Why reading a request failed.
+/// Why the byte stream stopped being parseable HTTP. Unlike transient
+/// "need more bytes" (which [`RequestParser::next_request`] reports as
+/// `Ok(None)`), a `ParseError` is fatal for the connection: the server
+/// answers with the matching status and closes.
 #[derive(Debug)]
-pub enum ReadError {
-    /// Clean end of stream before any request byte — normal connection
-    /// close under keep-alive.
-    Closed,
-    /// Read timed out (used by workers to poll the shutdown flag).
-    TimedOut,
-    /// The bytes were not valid HTTP, or exceeded the size caps.
+pub enum ParseError {
+    /// The header section exceeded [`MAX_HEADER_BYTES`] → `431`.
+    HeadersTooLarge,
+    /// The declared `Content-Length` exceeded [`MAX_BODY_BYTES`] → `400`.
+    BodyTooLarge,
+    /// The bytes were not valid HTTP → `400`.
     Malformed(String),
-    /// Transport error.
-    Io(io::Error),
 }
 
-impl From<io::Error> for ReadError {
-    fn from(e: io::Error) -> Self {
-        match e.kind() {
-            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::TimedOut,
-            io::ErrorKind::UnexpectedEof
-            | io::ErrorKind::ConnectionReset
-            | io::ErrorKind::ConnectionAborted
-            | io::ErrorKind::BrokenPipe => ReadError::Closed,
-            _ => ReadError::Io(e),
+impl ParseError {
+    /// The error response this condition is answered with.
+    pub fn response(&self) -> Response {
+        match self {
+            ParseError::HeadersTooLarge => Response::error(431, "request header section too large"),
+            ParseError::BodyTooLarge => Response::error(400, "body too large"),
+            ParseError::Malformed(message) => Response::error(400, message),
         }
     }
 }
 
-/// Reads one request from a buffered stream.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let request_line = read_line(reader)?;
-    if request_line.is_empty() {
-        return Err(ReadError::Closed);
+/// A fully parsed header section waiting for its body bytes.
+#[derive(Debug)]
+struct PendingHead {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    content_length: usize,
+    /// Bytes of `buf` the header section occupies (incl. terminator).
+    header_len: usize,
+}
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// Feed it raw bytes as they arrive ([`RequestParser::feed`]), then pull
+/// complete requests ([`RequestParser::next_request`]) until it reports
+/// `Ok(None)` ("need more bytes"). State survives across calls at any
+/// byte granularity — a request line torn anywhere, a header split
+/// mid-name, a body trickling in one byte at a time all resume cleanly —
+/// and several back-to-back pipelined requests in one feed are returned
+/// one per call.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    /// Unconsumed bytes.
+    buf: Vec<u8>,
+    /// Prefix of `buf` already scanned for the header terminator, so a
+    /// byte-at-a-time trickle is O(n), not O(n²).
+    scanned: usize,
+    /// Parsed header section awaiting `content_length` body bytes.
+    head: Option<PendingHead>,
+}
+
+impl RequestParser {
+    /// A fresh parser with empty state.
+    pub fn new() -> Self {
+        RequestParser::default()
     }
+
+    /// Appends newly received bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed by a request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer holds a partially received request — used to
+    /// distinguish a clean connection close from a truncated one.
+    pub fn mid_request(&self) -> bool {
+        self.head.is_some() || !self.buf.is_empty()
+    }
+
+    /// Pulls the next complete request out of the buffer.
+    ///
+    /// `Ok(None)` means "incomplete — feed more bytes"; an error is
+    /// fatal for the stream (the caller answers and closes).
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        loop {
+            if let Some(head) = &self.head {
+                let total = head.header_len + head.content_length;
+                if self.buf.len() < total {
+                    return Ok(None);
+                }
+                let head = self.head.take().expect("checked above");
+                let body = self.buf[head.header_len..total].to_vec();
+                self.buf.drain(..total);
+                self.scanned = 0;
+                return Ok(Some(Request {
+                    method: head.method,
+                    path: head.path,
+                    body,
+                    keep_alive: head.keep_alive,
+                }));
+            }
+
+            // RFC 9112 §2.2 robustness: skip blank line(s) before the
+            // request line (clients are allowed a stray CRLF after a
+            // body).
+            let blank = self.buf.iter().take_while(|&&b| b == b'\r' || b == b'\n');
+            let lead = blank.count();
+            if lead == self.buf.len() {
+                self.buf.clear();
+                self.scanned = 0;
+                return Ok(None);
+            }
+            if lead > 0 {
+                self.buf.drain(..lead);
+                self.scanned = 0;
+            }
+
+            let Some(header_len) = self.find_header_end() else {
+                if self.buf.len() > MAX_HEADER_BYTES {
+                    return Err(ParseError::HeadersTooLarge);
+                }
+                return Ok(None);
+            };
+            if header_len > MAX_HEADER_BYTES {
+                return Err(ParseError::HeadersTooLarge);
+            }
+            self.head = Some(parse_head(&self.buf[..header_len], header_len)?);
+            // Loop back around: the body may already be buffered.
+        }
+    }
+
+    /// Finds the end of the header section (the byte after the blank
+    /// line), resuming the scan where the previous attempt stopped.
+    fn find_header_end(&mut self) -> Option<usize> {
+        // A terminator spans up to 4 bytes; rewind the resume point so a
+        // terminator torn across two feeds is still seen.
+        let mut i = self.scanned.saturating_sub(3);
+        while i < self.buf.len() {
+            if self.buf[i] == b'\n' {
+                if self.buf[i..].starts_with(b"\n\r\n") {
+                    return Some(i + 3);
+                }
+                if self.buf[i..].starts_with(b"\n\n") {
+                    return Some(i + 2);
+                }
+            }
+            i += 1;
+        }
+        self.scanned = self.buf.len();
+        None
+    }
+}
+
+/// Parses a complete header section (request line + header lines).
+fn parse_head(section: &[u8], header_len: usize) -> Result<PendingHead, ParseError> {
+    let text = std::str::from_utf8(section)
+        .map_err(|_| ParseError::Malformed("non-UTF-8 header".into()))?;
+    let mut lines = text.split('\n').map(|line| line.trim_end_matches('\r'));
+
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ParseError::Malformed("empty request line".into()))?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .ok_or_else(|| ParseError::Malformed("empty request line".into()))?
         .to_owned();
     let path = parts
         .next()
-        .ok_or_else(|| ReadError::Malformed("missing request target".into()))?
+        .ok_or_else(|| ParseError::Malformed("missing request target".into()))?
         .to_owned();
     let version = parts.next().unwrap_or("HTTP/1.1");
     // HTTP/1.0 defaults to close; 1.1 defaults to keep-alive.
     let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length = 0usize;
-    let mut header_bytes = request_line.len();
-    loop {
-        let line = read_line(reader)?;
+    for line in lines {
         if line.is_empty() {
-            break;
-        }
-        header_bytes += line.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(ReadError::Malformed("header section too large".into()));
+            continue; // the terminating blank line
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Malformed(format!("bad header line: {line:?}")));
+            return Err(ParseError::Malformed(format!("bad header line: {line:?}")));
         };
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim();
@@ -92,9 +220,9 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
             "content-length" => {
                 content_length = value
                     .parse()
-                    .map_err(|_| ReadError::Malformed("bad content-length".into()))?;
+                    .map_err(|_| ParseError::Malformed("bad content-length".into()))?;
                 if content_length > MAX_BODY_BYTES {
-                    return Err(ReadError::Malformed("body too large".into()));
+                    return Err(ParseError::BodyTooLarge);
                 }
             }
             "connection" => {
@@ -109,53 +237,13 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         }
     }
 
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body).map_err(|e| {
-            // A half-sent body is malformed, not a clean close.
-            match ReadError::from(e) {
-                ReadError::Closed => ReadError::Malformed("truncated body".into()),
-                other => other,
-            }
-        })?;
-    }
-
-    Ok(Request {
+    Ok(PendingHead {
         method,
         path,
-        body,
         keep_alive,
+        content_length,
+        header_len,
     })
-}
-
-/// Reads one CRLF- (or LF-) terminated line, without the terminator.
-fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ReadError> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Err(ReadError::Closed);
-                }
-                break;
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                if byte[0] != b'\r' {
-                    line.push(byte[0]);
-                }
-                if line.len() > MAX_HEADER_BYTES {
-                    return Err(ReadError::Malformed("line too long".into()));
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    String::from_utf8(line).map_err(|_| ReadError::Malformed("non-UTF-8 header".into()))
 }
 
 /// A response about to be written.
@@ -195,6 +283,27 @@ impl Response {
             body: format!("{{\"error\":{}}}", crate::json::to_json(message)).into_bytes(),
         }
     }
+
+    /// Serializes the full response (status line, headers, body) into
+    /// one buffer — the wire form the reactor appends to a connection's
+    /// output buffer. `keep_alive` controls the `Connection` header.
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        if self.status == 503 {
+            head.push_str("Retry-After: 1\r\n");
+        }
+        head.push_str("\r\n");
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        wire
+    }
 }
 
 fn reason(status: u16) -> &'static str {
@@ -203,82 +312,188 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Writes a full response; `keep_alive` controls the `Connection` header.
+/// Writes a full response to a blocking stream; `keep_alive` controls
+/// the `Connection` header. Used for the synchronous at-accept `503`
+/// (the only response ever written outside the reactor's buffers).
 pub fn write_response(
     stream: &mut TcpStream,
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
-        response.status,
-        reason(response.status),
-        response.content_type,
-        response.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    if response.status == 503 {
-        head.push_str("Retry-After: 1\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    stream.write_all(&response.encode(keep_alive))?;
     stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::{TcpListener, TcpStream};
 
-    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut client = TcpStream::connect(addr).unwrap();
-        client.write_all(raw).unwrap();
-        drop(client);
-        let (server_side, _) = listener.accept().unwrap();
-        let mut reader = BufReader::new(server_side);
-        read_request(&mut reader)
+    fn parse_all(parser: &mut RequestParser) -> Vec<Request> {
+        let mut out = Vec::new();
+        while let Some(request) = parser.next_request().expect("valid HTTP") {
+            out.push(request);
+        }
+        out
     }
+
+    const POST: &[u8] = b"POST /rpc HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
 
     #[test]
     fn parses_post_with_body() {
-        let req =
-            roundtrip(b"POST /rpc HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/rpc");
-        assert_eq!(req.body, b"abcd");
-        assert!(req.keep_alive);
+        let mut parser = RequestParser::new();
+        parser.feed(POST);
+        let requests = parse_all(&mut parser);
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].method, "POST");
+        assert_eq!(requests[0].path, "/rpc");
+        assert_eq!(requests[0].body, b"abcd");
+        assert!(requests[0].keep_alive);
+        assert!(!parser.mid_request());
     }
 
     #[test]
-    fn connection_close_honored() {
-        let req = roundtrip(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
-        assert!(!req.keep_alive);
-        assert_eq!(req.path, "/health");
+    fn connection_close_and_http10_honored() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
+        parser.feed(b"GET /health HTTP/1.0\r\n\r\n");
+        let requests = parse_all(&mut parser);
+        assert_eq!(requests.len(), 2);
+        assert!(!requests[0].keep_alive);
+        assert!(!requests[1].keep_alive);
     }
 
     #[test]
-    fn empty_stream_reports_closed() {
-        assert!(matches!(roundtrip(b""), Err(ReadError::Closed)));
+    fn byte_at_a_time_feed_resumes() {
+        let mut parser = RequestParser::new();
+        for (i, &byte) in POST.iter().enumerate() {
+            parser.feed(&[byte]);
+            let complete = parser.next_request().expect("valid HTTP");
+            if i + 1 < POST.len() {
+                assert!(complete.is_none(), "complete after only {} bytes", i + 1);
+                assert!(parser.mid_request());
+            } else {
+                let request = complete.expect("complete at final byte");
+                assert_eq!(request.body, b"abcd");
+            }
+        }
     }
 
     #[test]
-    fn truncated_body_is_malformed() {
-        let result = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
-        assert!(matches!(result, Err(ReadError::Malformed(_))));
+    fn torn_request_at_every_split_point() {
+        for split in 0..=POST.len() {
+            let mut parser = RequestParser::new();
+            parser.feed(&POST[..split]);
+            if split < POST.len() {
+                assert!(parser.next_request().expect("valid HTTP").is_none());
+            }
+            parser.feed(&POST[split..]);
+            let request = parser
+                .next_request()
+                .expect("valid HTTP")
+                .unwrap_or_else(|| panic!("incomplete after rejoining at {split}"));
+            assert_eq!(request.method, "POST");
+            assert_eq!(request.body, b"abcd");
+            assert!(!parser.mid_request(), "leftover bytes at split {split}");
+        }
     }
 
     #[test]
-    fn oversized_body_rejected() {
-        let result = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
-        assert!(matches!(result, Err(ReadError::Malformed(_))));
+    fn pipelined_requests_in_one_segment() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"GET /health HTTP/1.1\r\n\r\n");
+        wire.extend_from_slice(POST);
+        wire.extend_from_slice(b"GET /metrics HTTP/1.1\r\n\r\n");
+        let mut parser = RequestParser::new();
+        parser.feed(&wire);
+        let requests = parse_all(&mut parser);
+        assert_eq!(requests.len(), 3);
+        assert_eq!(requests[0].path, "/health");
+        assert_eq!(requests[1].body, b"abcd");
+        assert_eq!(requests[2].path, "/metrics");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_accepted() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST / HTTP/1.1\nContent-Length: 2\n\nhi");
+        let requests = parse_all(&mut parser);
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].body, b"hi");
+    }
+
+    #[test]
+    fn leading_blank_lines_skipped() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+        let requests = parse_all(&mut parser);
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].path, "/");
+    }
+
+    #[test]
+    fn oversized_header_is_431() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nX-Filler: ");
+        parser.feed(&vec![b'a'; MAX_HEADER_BYTES + 1]);
+        let err = parser.next_request().expect_err("must reject");
+        assert!(matches!(err, ParseError::HeadersTooLarge));
+        assert_eq!(err.response().status, 431);
+    }
+
+    #[test]
+    fn oversized_body_declaration_rejected() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+        let err = parser.next_request().expect_err("must reject");
+        assert!(matches!(err, ParseError::BodyTooLarge));
+        assert_eq!(err.response().status, 400);
+    }
+
+    #[test]
+    fn malformed_header_line_rejected() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n");
+        assert!(matches!(
+            parser.next_request(),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn missing_target_rejected() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET\r\n\r\n");
+        assert!(matches!(
+            parser.next_request(),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_stays_pending() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert!(parser.next_request().expect("valid HTTP").is_none());
+        assert!(parser.mid_request(), "a half-received body is mid-request");
+    }
+
+    #[test]
+    fn response_encode_sets_retry_after_on_503() {
+        let wire = Response::error(503, "busy").encode(false);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let wire = Response::json("{}".into()).encode(true);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

@@ -7,12 +7,19 @@
 //!
 //! 1. **HTTP/1.1 JSON-RPC server** ([`server`]) — a from-scratch
 //!    implementation over `std::net` (no async runtime, no HTTP
-//!    dependency): an accept thread feeds a *bounded* connection queue
-//!    drained by a fixed worker pool; when the queue is full the server
-//!    answers `503` immediately instead of buffering unboundedly.
-//!    Methods: `proxy_check`, `logic_history`, `collisions`,
-//!    `contracts`, `stats`, `health`, plus `GET /health` and a
-//!    Prometheus-text `GET /metrics`.
+//!    dependency): a single-threaded epoll **reactor** ([`sys`] wraps
+//!    the raw syscalls) owns every socket — non-blocking accept,
+//!    resumable parsing ([`http::RequestParser`]), keep-alive
+//!    multiplexing, HTTP/1.1 pipelining with in-order responses, and
+//!    partial-write buffering — while parsed requests run on a fixed
+//!    worker pool behind a *bounded* job queue; completed responses
+//!    return to the reactor through an eventfd wake. When the queue is
+//!    full the server answers `503` immediately instead of buffering
+//!    unboundedly, and shutdown drains in-flight responses before
+//!    closing. Methods: `proxy_check`, `proxy_check_batch` (N
+//!    addresses, one snapshot, per-entry failures), `logic_history`,
+//!    `collisions`, `contracts`, `stats`, `health`, plus `GET /health`
+//!    and a Prometheus-text `GET /metrics`.
 //! 2. **Snapshot read path** — every handler and follower round analyzes
 //!    an O(1) copy-on-write [`proxion_chain::ChainSnapshot`] wrapped in a
 //!    shared [`proxion_chain::CachedSource`]; the global chain lock is
@@ -79,7 +86,9 @@ pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
+mod reactor;
 pub mod server;
+pub mod sys;
 
 pub use follower::{FollowerHandle, FollowerStats, UpgradeRecord};
 pub use loadgen::{ClientConn, LoadgenConfig, LoadgenReport};

@@ -1,7 +1,16 @@
 //! Load generator for the analysis server, plus the minimal HTTP/1.1
 //! client it is built on ([`ClientConn`], also used by integration tests
 //! and the throughput bench).
+//!
+//! The generator is *open-loop per connection*: each connection keeps a
+//! window of [`LoadgenConfig::pipeline_depth`] requests outstanding
+//! (HTTP/1.1 pipelining) instead of strict request/response lock-step,
+//! so a small number of client threads can exercise genuine
+//! multiplexing on the server's reactor. Latency is reported as
+//! p50/p99/p999 over every individual response — a mean hides exactly
+//! the tail that backpressure problems live in.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -9,6 +18,11 @@ use std::time::{Duration, Instant};
 use crate::json::{self, JsonValue};
 
 /// A keep-alive HTTP/1.1 client connection.
+///
+/// Requests can be driven lock-step ([`Self::get`] / [`Self::post`] /
+/// [`Self::rpc`]) or pipelined by pairing the `send_*` halves with
+/// [`Self::read_response`] — any number of sends may be in flight
+/// before the matching (in-order) reads.
 pub struct ClientConn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
@@ -19,6 +33,7 @@ impl ClientConn {
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(ClientConn {
             writer,
@@ -28,14 +43,25 @@ impl ClientConn {
 
     /// Sends a GET and returns `(status, body)`.
     pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.send_get(path)?;
+        self.read_response()
+    }
+
+    /// Writes a GET without waiting for the response (pipelined use).
+    pub fn send_get(&mut self, path: &str) -> io::Result<()> {
         let head = format!("GET {path} HTTP/1.1\r\nHost: loopback\r\n\r\n");
         self.writer.write_all(head.as_bytes())?;
-        self.writer.flush()?;
-        self.read_response()
+        self.writer.flush()
     }
 
     /// Sends a POST with a body and returns `(status, body)`.
     pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.send_post(path, body)?;
+        self.read_response()
+    }
+
+    /// Writes a POST without waiting for the response (pipelined use).
+    pub fn send_post(&mut self, path: &str, body: &str) -> io::Result<()> {
         let head = format!(
             "POST {path} HTTP/1.1\r\nHost: loopback\r\nContent-Type: application/json\r\n\
              Content-Length: {}\r\n\r\n",
@@ -43,18 +69,13 @@ impl ClientConn {
         );
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body.as_bytes())?;
-        self.writer.flush()?;
-        self.read_response()
+        self.writer.flush()
     }
 
     /// Convenience: a JSON-RPC call; returns the parsed response document.
     pub fn rpc(&mut self, method: &str, params: &JsonValue) -> io::Result<JsonValue> {
-        let body = format!(
-            "{{\"method\":{},\"params\":{}}}",
-            json::to_json(method),
-            json::to_json(params)
-        );
-        let (status, text) = self.post("/rpc", &body)?;
+        self.send_rpc(method, params)?;
+        let (status, text) = self.read_response()?;
         if status != 200 {
             return Err(io::Error::other(format!("HTTP {status}: {text}")));
         }
@@ -62,7 +83,19 @@ impl ClientConn {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON: {e}")))
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, String)> {
+    /// Writes a JSON-RPC call without waiting for the response.
+    pub fn send_rpc(&mut self, method: &str, params: &JsonValue) -> io::Result<()> {
+        let body = format!(
+            "{{\"method\":{},\"params\":{}}}",
+            json::to_json(method),
+            json::to_json(params)
+        );
+        self.send_post("/rpc", &body)
+    }
+
+    /// Reads the next pipelined response in arrival order; returns
+    /// `(status, body)`.
+    pub fn read_response(&mut self) -> io::Result<(u16, String)> {
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
             return Err(io::ErrorKind::UnexpectedEof.into());
@@ -110,6 +143,13 @@ pub struct LoadgenConfig {
     pub connections: usize,
     /// `proxy_check` requests issued per connection.
     pub requests_per_connection: usize,
+    /// Outstanding pipelined requests kept in flight per connection
+    /// (1 = classic lock-step request/response).
+    pub pipeline_depth: usize,
+    /// Addresses per wire request. 1 sends plain `proxy_check`; larger
+    /// values send `proxy_check_batch` with this many addresses, so one
+    /// round trip carries N checks.
+    pub batch_size: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -117,6 +157,8 @@ impl Default for LoadgenConfig {
         LoadgenConfig {
             connections: 4,
             requests_per_connection: 100,
+            pipeline_depth: 1,
+            batch_size: 1,
         }
     }
 }
@@ -124,19 +166,143 @@ impl Default for LoadgenConfig {
 /// What a load-generation run measured.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct LoadgenReport {
-    /// Requests that returned a `result`.
+    /// Checks that returned a verdict (batch entries count individually).
     pub ok: u64,
-    /// Requests that returned an `error` or failed at the transport.
+    /// Checks that returned an error or failed at the transport.
     pub errors: u64,
     /// Wall-clock duration of the measured phase.
     pub elapsed_secs: f64,
-    /// Throughput over the measured phase.
+    /// Verdict throughput over the measured phase (checks, not wire
+    /// round trips — the two differ when batching).
     pub requests_per_sec: f64,
+    /// Median wire-response latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile wire-response latency in microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile wire-response latency in microseconds.
+    pub p999_us: u64,
+}
+
+/// Sorted-slice percentile (nearest-rank on an inclusive index).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// What one connection worker produced.
+struct ConnTotals {
+    ok: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Per-request latency is measured from *send* to *read*, so under deep
+/// pipelines it includes server queueing — exactly the number a client
+/// would experience.
+fn drive_connection(
+    addr: SocketAddr,
+    addresses: &[String],
+    worker: usize,
+    config: &LoadgenConfig,
+) -> ConnTotals {
+    let per_connection = config.requests_per_connection;
+    let depth = config.pipeline_depth.max(1);
+    let batch = config.batch_size.max(1);
+    let mut totals = ConnTotals {
+        ok: 0,
+        errors: 0,
+        latencies_us: Vec::with_capacity(per_connection),
+    };
+    let Ok(mut conn) = ClientConn::connect(addr) else {
+        totals.errors = (per_connection * batch) as u64;
+        return totals;
+    };
+    let request_body = |i: usize| -> String {
+        if batch == 1 {
+            let address = &addresses[(worker + i) % addresses.len()];
+            format!(
+                "{{\"method\":\"proxy_check\",\"params\":{{\"address\":{}}}}}",
+                json::to_json(address.as_str())
+            )
+        } else {
+            let entries: Vec<String> = (0..batch)
+                .map(|j| {
+                    json::to_json(addresses[(worker + i * batch + j) % addresses.len()].as_str())
+                })
+                .collect();
+            format!(
+                "{{\"method\":\"proxy_check_batch\",\"params\":{{\"addresses\":[{}]}}}}",
+                entries.join(",")
+            )
+        }
+    };
+    let mut pending: VecDeque<Instant> = VecDeque::with_capacity(depth);
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    while received < per_connection {
+        // Top up the pipeline window.
+        while sent < per_connection && pending.len() < depth {
+            if conn.send_post("/rpc", &request_body(sent)).is_err() {
+                totals.errors += ((per_connection - received) * batch) as u64;
+                return totals;
+            }
+            pending.push_back(Instant::now());
+            sent += 1;
+        }
+        // Responses come back strictly in send order.
+        let started = pending.pop_front().expect("window is non-empty");
+        let Ok((status, text)) = conn.read_response() else {
+            totals.errors += ((per_connection - received) * batch) as u64;
+            return totals;
+        };
+        totals
+            .latencies_us
+            .push(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        received += 1;
+        if status != 200 {
+            totals.errors += batch as u64;
+            continue;
+        }
+        if batch == 1 {
+            match json::parse(&text) {
+                Ok(doc) if doc.get("result").is_some() => totals.ok += 1,
+                _ => totals.errors += 1,
+            }
+        } else {
+            // Partial failure is per entry: count each one.
+            match json::parse(&text) {
+                Ok(doc) => {
+                    let entries = doc
+                        .get("result")
+                        .and_then(|r| r.get("results"))
+                        .and_then(JsonValue::as_array);
+                    match entries {
+                        Some(entries) => {
+                            for entry in entries {
+                                if entry.get("result").is_some() {
+                                    totals.ok += 1;
+                                } else {
+                                    totals.errors += 1;
+                                }
+                            }
+                        }
+                        None => totals.errors += batch as u64,
+                    }
+                }
+                Err(_) => totals.errors += batch as u64,
+            }
+        }
+    }
+    totals
 }
 
 /// Drives `proxy_check` load against a running server: fetches the
 /// contract list once, then hammers it from `connections` keep-alive
-/// clients, each cycling through the addresses from a different offset.
+/// clients, each keeping `pipeline_depth` requests in flight and cycling
+/// through the addresses from a different offset.
 pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let mut setup = ClientConn::connect(addr)?;
     let contracts = setup.rpc("contracts", &JsonValue::Null)?;
@@ -156,50 +322,53 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport
             "server reports no contracts to check",
         ));
     }
-    // Close the setup connection before the measured phase: an idle
-    // keep-alive connection pins a worker, which on a single-worker
-    // server would starve every measured connection.
+    // The reactor multiplexes idle keep-alive connections for free, but
+    // the setup connection is done — close it so the measured phase owns
+    // the socket budget.
     drop(setup);
 
     let connections = config.connections.max(1);
-    let per_connection = config.requests_per_connection;
     let started = Instant::now();
-    let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
+    let totals: Vec<ConnTotals> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|worker| {
                 let addresses = &addresses;
-                scope.spawn(move || {
-                    let Ok(mut conn) = ClientConn::connect(addr) else {
-                        return (0u64, per_connection as u64);
-                    };
-                    let mut ok = 0u64;
-                    let mut errors = 0u64;
-                    for i in 0..per_connection {
-                        let address = &addresses[(worker + i) % addresses.len()];
-                        let params = json::object(vec![("address", address.as_str().into())]);
-                        match conn.rpc("proxy_check", &params) {
-                            Ok(doc) if doc.get("result").is_some() => ok += 1,
-                            _ => errors += 1,
-                        }
-                    }
-                    (ok, errors)
-                })
+                let config = &*config;
+                scope.spawn(move || drive_connection(addr, addresses, worker, config))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or((0, 0)))
-            .collect()
+        handles.into_iter().filter_map(|h| h.join().ok()).collect()
     });
     let elapsed = started.elapsed();
 
-    let ok: u64 = totals.iter().map(|&(o, _)| o).sum();
-    let errors: u64 = totals.iter().map(|&(_, e)| e).sum();
+    let ok: u64 = totals.iter().map(|t| t.ok).sum();
+    let errors: u64 = totals.iter().map(|t| t.errors).sum();
+    let mut latencies: Vec<u64> = totals.into_iter().flat_map(|t| t.latencies_us).collect();
+    latencies.sort_unstable();
     let elapsed_secs = elapsed.as_secs_f64().max(1e-9);
     Ok(LoadgenReport {
         ok,
         errors,
         elapsed_secs,
         requests_per_sec: (ok + errors) as f64 / elapsed_secs,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_input() {
+        assert_eq!(percentile(&[], 0.99), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.50), 51); // nearest rank rounds up at .5
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+    }
 }

@@ -71,8 +71,9 @@ impl LatencyHistogram {
 
 /// RPC method names tracked by the per-method histograms, in a fixed
 /// order so `/metrics` output is stable.
-pub const TRACKED_METHODS: [&str; 8] = [
+pub const TRACKED_METHODS: [&str; 9] = [
     "proxy_check",
+    "proxy_check_batch",
     "logic_history",
     "collisions",
     "replay",
@@ -90,6 +91,14 @@ pub struct ServiceMetrics {
     pub requests_total: AtomicU64,
     /// Connections refused with 503 because the queue was full.
     pub rejected_total: AtomicU64,
+    /// Client connections currently held open by the reactor (gauge).
+    pub open_connections: AtomicU64,
+    /// Requests that arrived on a connection while an earlier request on
+    /// the same connection was still unanswered (HTTP/1.1 pipelining).
+    pub requests_pipelined_total: AtomicU64,
+    /// `proxy_check_batch` calls served (each covers up to
+    /// [`crate::server::MAX_BATCH_ADDRESSES`] addresses).
+    pub batch_requests_total: AtomicU64,
     /// Requests that produced a JSON-RPC error response.
     pub errors_total: AtomicU64,
     /// Blocks processed by the follower.
@@ -198,6 +207,26 @@ impl ServiceMetrics {
             "proxion_errors_total",
             "Requests answered with a JSON-RPC error.",
             self.errors_total.load(Ordering::Relaxed),
+        );
+
+        gauge(
+            &mut out,
+            "proxion_server_open_connections",
+            "Client connections currently held open by the reactor.",
+            self.open_connections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_server_requests_pipelined_total",
+            "Requests that arrived while an earlier request on the same \
+             connection was still unanswered (HTTP/1.1 pipelining).",
+            self.requests_pipelined_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "proxion_server_batch_requests_total",
+            "proxy_check_batch calls served.",
+            self.batch_requests_total.load(Ordering::Relaxed),
         );
 
         counter(
@@ -475,6 +504,9 @@ mod tests {
         let history = proxion_core::HistoryIndex::default().stats();
         let store = proxion_store::StoreStats::default();
         let text = metrics.render(&stats, &source, &artifacts, &history, &store, 42);
+        assert!(text.contains("proxion_server_open_connections 0"));
+        assert!(text.contains("proxion_server_requests_pipelined_total 0"));
+        assert!(text.contains("proxion_server_batch_requests_total 0"));
         assert!(text.contains("proxion_source_cache_code_hits_total 0"));
         assert!(text.contains("proxion_store_loaded_entries 0"));
         assert!(text.contains("proxion_store_checkpoints_total 0"));

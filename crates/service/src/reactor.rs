@@ -1,0 +1,558 @@
+//! The connection reactor: a single-threaded epoll event loop that owns
+//! every socket, while CPU-heavy analysis runs on the worker pool.
+//!
+//! ```text
+//!                    ┌────────────────────────────── reactor thread ──┐
+//!   clients ══════▶  │ epoll { listener, waker, conns… }              │
+//!                    │   accept → admission check (503 at the door)   │
+//!                    │   read  → RequestParser → seq-tagged Job ──────┼──▶ bounded queue
+//!                    │   write ← in-order response buffer ◀───────────┼─── worker pool
+//!                    └───────────────▲────────────────────────────────┘      │
+//!                                    └── completions (Mutex<Vec> + eventfd) ─┘
+//! ```
+//!
+//! Design points:
+//!
+//! - **The reactor never blocks on analysis.** Every parsed request is
+//!   handed to the worker pool through the bounded job queue; workers
+//!   push the finished [`Response`] into the completion list and wake
+//!   the reactor through the eventfd ([`sys::Waker`]). The reactor's own
+//!   work per event is bounded: non-blocking reads, incremental parsing,
+//!   buffer copies.
+//! - **Pipelining with strict ordering.** Each request gets a
+//!   per-connection sequence number at parse time. Workers complete out
+//!   of order; responses are staged in a `BTreeMap` and flushed strictly
+//!   in sequence, so HTTP/1.1 pipelined clients always see answers in
+//!   request order.
+//! - **Backpressure at two layers.** When the job queue is full, new
+//!   connections get the classic at-the-door `503 + Retry-After`
+//!   (exactly the seed worker-pool semantics), and requests arriving on
+//!   established connections get a per-request `503` without losing the
+//!   connection.
+//! - **Graceful drain.** Shutdown closes the listener (new connections
+//!   are refused by the kernel), stops parsing new requests, lets every
+//!   dispatched job complete and every response buffer flush, then
+//!   drops the job queue so workers exit. No throwaway self-connection,
+//!   no reliance on read timeouts.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Sender, TrySendError};
+use parking_lot::Mutex;
+
+use crate::http::{Request, RequestParser, Response};
+use crate::sys;
+
+/// Epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Epoll token of the wake eventfd.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+/// Per-slice read scratch size.
+const READ_CHUNK: usize = 64 * 1024;
+/// Hard ceiling on the graceful drain (covers the longest `debug_sleep`).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One parsed request on its way to the worker pool.
+pub(crate) struct Job {
+    pub conn: u64,
+    pub seq: u64,
+    pub request: Request,
+}
+
+/// One finished response on its way back to the reactor.
+pub(crate) struct Completion {
+    pub conn: u64,
+    pub seq: u64,
+    pub response: Response,
+    pub keep_alive: bool,
+}
+
+/// State shared between the reactor, the worker pool, and the server
+/// handle: the wake mechanism, the completion mailbox, and the shutdown
+/// flag. (Analysis state lives in `ServerShared`; this is purely the
+/// connection engine's plumbing.)
+pub(crate) struct ReactorShared {
+    pub waker: sys::Waker,
+    pub completions: Mutex<Vec<Completion>>,
+    pub shutdown: AtomicBool,
+    /// Jobs accepted into the queue but not yet picked up by a worker —
+    /// the admission-control measure of queue fullness.
+    pub queued_jobs: AtomicUsize,
+}
+
+impl ReactorShared {
+    pub fn new() -> std::io::Result<Self> {
+        Ok(ReactorShared {
+            waker: sys::Waker::new()?,
+            completions: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            queued_jobs: AtomicUsize::new(0),
+        })
+    }
+
+    /// Called by workers (and the reactor itself for locally generated
+    /// responses that must merge with worker completions).
+    pub fn complete(&self, completion: Completion) {
+        self.completions.lock().push(completion);
+        self.waker.wake();
+    }
+}
+
+/// Reactor-tunable knobs split out of `ServerConfig`.
+pub(crate) struct ReactorConfig {
+    pub queue_capacity: usize,
+    pub max_connections: usize,
+}
+
+/// Per-connection incremental state machine.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Bytes waiting to go out; `out_pos` marks the flushed prefix
+    /// (partial-write buffering).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Sequence number the next parsed request will get.
+    next_seq: u64,
+    /// Sequence number whose response must be written next.
+    next_write: u64,
+    /// Completed responses that arrived out of order.
+    ready: BTreeMap<u64, (Response, bool)>,
+    /// Requests dispatched to the worker pool, not yet completed.
+    in_flight: usize,
+    /// Peer sent EOF — no more requests will arrive.
+    read_closed: bool,
+    /// Close once the output buffer drains (Connection: close, errors).
+    close_after_flush: bool,
+    /// Fatal parse error, answered after pending responses flush.
+    parse_error: Option<Response>,
+    /// Whether the current epoll registration includes write interest.
+    registered_writable: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            parser: RequestParser::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            next_write: 0,
+            ready: BTreeMap::new(),
+            in_flight: 0,
+            read_closed: false,
+            close_after_flush: false,
+            parse_error: None,
+            registered_writable: false,
+        }
+    }
+
+    /// Requests accepted but not yet fully answered on the wire.
+    fn outstanding(&self) -> u64 {
+        self.next_seq - self.next_write
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+
+    /// Whether this connection still wants new bytes parsed.
+    fn reading(&self) -> bool {
+        !self.read_closed && self.parse_error.is_none() && !self.close_after_flush
+    }
+}
+
+/// Everything the reactor needs beyond its own connection table.
+pub(crate) struct Reactor {
+    epoll: sys::Epoll,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    /// Jobs dispatched to workers across all connections (incl. ones
+    /// whose connection has since died) — drain completion gate.
+    jobs_in_flight: usize,
+    jobs: Sender<Job>,
+    shared: Arc<ReactorShared>,
+    config: ReactorConfig,
+    metrics: Arc<crate::metrics::ServiceMetrics>,
+    telemetry: Arc<proxion_telemetry::Telemetry>,
+    draining: bool,
+    drain_started: Option<Instant>,
+}
+
+impl Reactor {
+    pub fn new(
+        listener: TcpListener,
+        jobs: Sender<Job>,
+        shared: Arc<ReactorShared>,
+        config: ReactorConfig,
+        metrics: Arc<crate::metrics::ServiceMetrics>,
+        telemetry: Arc<proxion_telemetry::Telemetry>,
+    ) -> std::io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let epoll = sys::Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+        epoll.add(shared.waker.raw_fd(), TOKEN_WAKER, true, false)?;
+        Ok(Reactor {
+            epoll,
+            listener: Some(listener),
+            conns: HashMap::new(),
+            next_conn_id: 0,
+            jobs_in_flight: 0,
+            jobs,
+            shared,
+            config,
+            metrics,
+            telemetry,
+            draining: false,
+            drain_started: None,
+        })
+    }
+
+    /// Runs the event loop until shutdown completes its drain.
+    pub fn run(mut self) {
+        let mut events = vec![sys::EpollEvent::zeroed(); 256];
+        loop {
+            let n = self.epoll.wait(&mut events, 500).unwrap_or_default();
+            {
+                // The reactor stage span measures the *busy* slice of
+                // each wakeup — epoll blocking time is deliberately
+                // outside it, so /trace shows reactor occupancy.
+                let telemetry = Arc::clone(&self.telemetry);
+                let mut span = telemetry.span(proxion_telemetry::Stage::Reactor, "wake");
+                if span.is_recording() {
+                    span.set_detail(format!("{n} events"));
+                }
+                for &event in events.iter().take(n) {
+                    match event.token() {
+                        TOKEN_LISTENER => self.accept_ready(),
+                        TOKEN_WAKER => self.shared.waker.drain(),
+                        id => self.conn_event(id, &event),
+                    }
+                }
+                self.drain_completions();
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining && self.drain_complete() {
+                break;
+            }
+        }
+        // Dropping `self.jobs` disconnects the queue once queued jobs
+        // are drained, which lets every blocked worker exit.
+    }
+
+    /// Accepts until the listener reports `WouldBlock`, applying the
+    /// admission policy: when the job queue is full or the connection
+    /// table is at capacity, the connection is answered `503` at the
+    /// door and dropped — load is shed immediately, never absorbed as
+    /// unbounded latency.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if self.draining {
+                continue; // drops the connection — refused during drain
+            }
+            let queue_full =
+                self.shared.queued_jobs.load(Ordering::SeqCst) >= self.config.queue_capacity;
+            if queue_full || self.conns.len() >= self.config.max_connections {
+                self.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                let reason = if queue_full {
+                    "request queue full, retry later"
+                } else {
+                    "connection limit reached, retry later"
+                };
+                let mut stream = stream;
+                let _ =
+                    crate::http::write_response(&mut stream, &Response::error(503, reason), false);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let id = self.next_conn_id;
+            self.next_conn_id += 1;
+            if self.epoll.add(stream.as_raw_fd(), id, true, false).is_err() {
+                continue;
+            }
+            self.conns.insert(id, Conn::new(stream));
+            self.metrics
+                .open_connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Handles readiness on one connection: drain the socket, pump the
+    /// parser, dispatch complete requests, flush output.
+    fn conn_event(&mut self, id: u64, event: &sys::EpollEvent) {
+        if !self.conns.contains_key(&id) {
+            return;
+        }
+        let telemetry = Arc::clone(&self.telemetry);
+        let mut span = telemetry.span(proxion_telemetry::Stage::Reactor, "conn_io");
+        if span.is_recording() {
+            span.set_detail(format!("conn {id}"));
+        }
+        if event.broken() {
+            self.close_conn(id);
+            return;
+        }
+        if event.readable() {
+            if let Err(()) = self.read_and_dispatch(id) {
+                self.close_conn(id);
+                return;
+            }
+        }
+        // Flush unconditionally, not only on writable readiness: a parse
+        // error discovered during the read stages its response inside
+        // flush_conn, and EPOLLOUT is not armed while the output buffer
+        // is empty — gating on writability would park the connection with
+        // the error response never written.
+        if self.flush_conn(id).is_err() {
+            self.close_conn(id);
+            return;
+        }
+        self.settle_conn(id);
+    }
+
+    /// Reads until `WouldBlock`/EOF and turns complete requests into
+    /// jobs. `Err(())` means the connection is beyond saving.
+    fn read_and_dispatch(&mut self, id: u64) -> Result<(), ()> {
+        let mut scratch = [0u8; READ_CHUNK];
+        loop {
+            let conn = self.conns.get_mut(&id).ok_or(())?;
+            if !conn.reading() || self.draining {
+                return Ok(());
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.parser.feed(&scratch[..n]);
+                    self.pump_parser(id)?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Pulls every complete request out of the parser and dispatches it.
+    fn pump_parser(&mut self, id: u64) -> Result<(), ()> {
+        loop {
+            let conn = self.conns.get_mut(&id).ok_or(())?;
+            match conn.parser.next_request() {
+                Ok(Some(request)) => self.dispatch_request(id, request),
+                Ok(None) => return Ok(()),
+                Err(error) => {
+                    let conn = self.conns.get_mut(&id).ok_or(())?;
+                    conn.parse_error = Some(error.response());
+                    conn.read_closed = true;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Assigns the next sequence number and hands the request to the
+    /// worker pool; a full queue becomes an immediate per-request `503`.
+    fn dispatch_request(&mut self, id: u64, request: Request) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        if conn.outstanding() > 1 {
+            // This request arrived while an earlier one on the same
+            // connection was still unanswered: genuine pipelining.
+            self.metrics
+                .requests_pipelined_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let keep_alive = request.keep_alive;
+        conn.in_flight += 1;
+        self.shared.queued_jobs.fetch_add(1, Ordering::SeqCst);
+        match self.jobs.try_send(Job {
+            conn: id,
+            seq,
+            request,
+        }) {
+            Ok(()) => {
+                self.jobs_in_flight += 1;
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+                self.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                let conn = self.conns.get_mut(&id).expect("checked above");
+                conn.in_flight -= 1;
+                conn.ready.insert(
+                    seq,
+                    (
+                        Response::error(503, "request queue full, retry later"),
+                        keep_alive,
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Collects finished responses from the workers and stages them on
+    /// their connections, preserving per-connection request order.
+    fn drain_completions(&mut self) {
+        let completions = std::mem::take(&mut *self.shared.completions.lock());
+        if completions.is_empty() {
+            return;
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity(completions.len());
+        for completion in completions {
+            self.jobs_in_flight = self.jobs_in_flight.saturating_sub(1);
+            let Some(conn) = self.conns.get_mut(&completion.conn) else {
+                continue; // client went away while the job ran
+            };
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            conn.ready
+                .insert(completion.seq, (completion.response, completion.keep_alive));
+            if !touched.contains(&completion.conn) {
+                touched.push(completion.conn);
+            }
+        }
+        for id in touched {
+            if self.flush_conn(id).is_err() {
+                self.close_conn(id);
+            } else {
+                self.settle_conn(id);
+            }
+        }
+    }
+
+    /// Encodes every in-order ready response into the output buffer and
+    /// writes as much as the socket accepts (partial-write buffering).
+    fn flush_conn(&mut self, id: u64) -> Result<(), ()> {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return Ok(());
+        };
+        // Stage in-order responses.
+        while let Some((response, keep_alive)) = conn.ready.remove(&conn.next_write) {
+            conn.next_write += 1;
+            if conn.close_after_flush {
+                // A previous response already announced Connection:
+                // close — later pipelined responses are dropped.
+                continue;
+            }
+            conn.out.extend_from_slice(&response.encode(keep_alive));
+            if !keep_alive {
+                conn.close_after_flush = true;
+            }
+        }
+        // A fatal parse error is answered only after every previously
+        // accepted request has been answered in order.
+        if conn.in_flight == 0 && conn.ready.is_empty() && conn.outstanding() == 0 {
+            if let Some(response) = conn.parse_error.take() {
+                conn.out.extend_from_slice(&response.encode(false));
+                conn.close_after_flush = true;
+            }
+        }
+        // Write as much as the socket accepts.
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if conn.flushed() {
+            conn.out.clear();
+            conn.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Re-arms epoll interest to match the connection's state, or closes
+    /// it when nothing is left to do.
+    fn settle_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let done_writing = conn.flushed()
+            && conn.in_flight == 0
+            && conn.ready.is_empty()
+            && conn.outstanding() == 0;
+        let close_now = (conn.close_after_flush && conn.flushed())
+            || (conn.read_closed && done_writing && conn.parse_error.is_none())
+            || (self.draining && done_writing && conn.parse_error.is_none());
+        if close_now {
+            self.close_conn(id);
+            return;
+        }
+        let want_writable = !conn.flushed();
+        let want_readable = conn.reading() && !self.draining;
+        if want_writable != conn.registered_writable || !want_readable {
+            if self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), id, want_readable, want_writable)
+                .is_err()
+            {
+                self.close_conn(id);
+                return;
+            }
+            conn.registered_writable = want_writable;
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = self.epoll.remove(conn.stream.as_raw_fd());
+            self.metrics
+                .open_connections
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Enters the graceful drain: refuse new connections at the kernel
+    /// (close the listener), stop reading new requests, finish what is
+    /// in flight.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_started = Some(Instant::now());
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.remove(listener.as_raw_fd());
+            drop(listener);
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.settle_conn(id);
+        }
+    }
+
+    fn drain_complete(&mut self) -> bool {
+        if self.jobs_in_flight == 0 && self.conns.values().all(|c| c.flushed()) {
+            return true;
+        }
+        // Safety valve: a client that never reads its response, or a
+        // pathological job, must not wedge shutdown forever.
+        matches!(self.drain_started, Some(t) if t.elapsed() > DRAIN_DEADLINE)
+    }
+}

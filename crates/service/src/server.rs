@@ -1,29 +1,34 @@
-//! The analysis server: a fixed worker pool behind a bounded connection
-//! queue, with explicit backpressure.
+//! The analysis server: an epoll connection reactor in front of a
+//! CPU-bound worker pool, with explicit backpressure.
 //!
-//! Architecture (all std::net + crossbeam, no async runtime):
+//! Architecture (all std::net + raw epoll via [`crate::sys`], no async
+//! runtime):
 //!
 //! ```text
-//!   accept thread ──try_send──▶ bounded queue ──recv──▶ worker threads
-//!        │ (queue full)                                     │
-//!        └────────▶ 503 + close                             ├─ keep-alive
-//!                                                           │  HTTP/1.1
-//!                                                           └─ JSON-RPC
+//!   reactor thread (epoll) ──try_send──▶ bounded job queue ──recv──▶ workers
+//!        │ accept / parse / write                                      │
+//!        │ (queue full at accept)                                      │
+//!        └────────▶ 503 + close              completions + eventfd ◀───┘
 //! ```
 //!
-//! A full queue is answered immediately with `503 Service Unavailable`
-//! (`Retry-After: 1`) instead of letting connections pile up unbounded —
-//! the client sees the overload, the server's memory stays flat.
+//! The reactor (the private `reactor` module) owns every socket: it
+//! accepts,
+//! reads, parses (resumable, pipelining-aware), and writes, all
+//! non-blocking. Workers only ever see fully parsed [`Request`]s and
+//! compute [`Response`]s — an EVM probe can take milliseconds without
+//! holding up a single other connection. A full job queue is answered
+//! immediately with `503 Service Unavailable` (`Retry-After: 1`) instead
+//! of letting requests pile up unbounded — the client sees the overload,
+//! the server's memory stays flat.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 use proxion_chain::{
     CachedSource, Chain, ChainSource, FaultConfig, FaultySource, SourceCache, SourceError,
@@ -34,9 +39,13 @@ use proxion_primitives::Address;
 use proxion_store::StateStore;
 
 use crate::follower::{self, FollowerHandle};
-use crate::http::{self, ReadError, Request, Response};
+use crate::http::{Request, Response};
 use crate::json::{self, JsonValue};
 use crate::metrics::ServiceMetrics;
+use crate::reactor::{Completion, Job, Reactor, ReactorConfig, ReactorShared};
+
+/// Hard ceiling on addresses per `proxy_check_batch` call.
+pub const MAX_BATCH_ADDRESSES: usize = 256;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -44,11 +53,15 @@ pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see
     /// [`ServerHandle::local_addr`]).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads running analysis handlers.
     pub workers: usize,
-    /// Bounded queue of accepted-but-unclaimed connections; when full,
-    /// new connections get an immediate 503.
+    /// Bounded queue of parsed-but-unclaimed requests; when full, new
+    /// connections get an immediate 503 at the door and requests on
+    /// established connections get a per-request 503.
     pub queue_capacity: usize,
+    /// Maximum simultaneously open client connections held by the
+    /// reactor; connections beyond it are answered 503 at accept.
+    pub max_connections: usize,
     /// Whether to start the incremental block follower.
     pub follow_chain: bool,
     /// Optional deterministic fault injection on every worker's and the
@@ -69,12 +82,14 @@ pub struct ServerConfig {
 }
 
 impl Default for ServerConfig {
-    /// Defaults: ephemeral (no state directory), checkpoint cadence 64.
+    /// Defaults: ephemeral (no state directory), checkpoint cadence 64,
+    /// up to 4096 concurrent connections.
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
             queue_capacity: 64,
+            max_connections: 4096,
             follow_chain: true,
             fault: None,
             state_dir: None,
@@ -97,7 +112,6 @@ struct ServerShared {
     /// state files itself (`devtools/check-offline.sh` enforces it).
     store: Option<Arc<StateStore>>,
     fault: Option<FaultConfig>,
-    shutdown: AtomicBool,
 }
 
 impl ServerShared {
@@ -130,7 +144,8 @@ fn source_error(error: &SourceError) -> String {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_shared: Arc<ReactorShared>,
+    reactor_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     follower: Option<FollowerHandle>,
 }
@@ -157,18 +172,22 @@ impl ServerHandle {
         self.shared.store.as_ref()
     }
 
-    /// Stops accepting, drains workers, and joins every thread.
+    /// Stops accepting, drains in-flight work, and joins every thread.
     pub fn stop(mut self) {
         self.stop_inner();
     }
 
     fn stop_inner(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+        if self.reactor_shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(thread) = self.accept_thread.take() {
+        // Graceful drain: the eventfd wake makes the reactor observe the
+        // shutdown flag immediately — it closes the listener (new
+        // connections refused by the kernel), finishes in-flight
+        // responses, flushes write buffers, then drops the job queue,
+        // which in turn lets every worker's `recv` disconnect.
+        self.reactor_shared.waker.wake();
+        if let Some(thread) = self.reactor_thread.take() {
             let _ = thread.join();
         }
         for worker in self.workers.drain(..) {
@@ -196,7 +215,7 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds, spawns the accept thread + worker pool (+ follower), and
+/// Binds, spawns the reactor thread + worker pool (+ follower), and
 /// returns immediately.
 pub fn start(
     config: ServerConfig,
@@ -230,23 +249,32 @@ pub fn start(
         source_cache: Arc::new(SourceCache::new(SourceCache::DEFAULT_CAPACITY)),
         store: store.clone(),
         fault: config.fault,
-        shutdown: AtomicBool::new(false),
     });
 
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_capacity.max(1));
+    let reactor_shared = Arc::new(ReactorShared::new()?);
+    let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(config.queue_capacity.max(1));
 
     let workers = (0..config.workers.max(1))
         .map(|_| {
             let rx = rx.clone();
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(rx, shared))
+            let reactor_shared = Arc::clone(&reactor_shared);
+            std::thread::spawn(move || worker_loop(rx, shared, reactor_shared))
         })
         .collect();
 
-    let accept_thread = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(listener, tx, shared))
-    };
+    let reactor = Reactor::new(
+        listener,
+        tx,
+        Arc::clone(&reactor_shared),
+        ReactorConfig {
+            queue_capacity: config.queue_capacity.max(1),
+            max_connections: config.max_connections.max(1),
+        },
+        Arc::clone(&metrics),
+        Arc::clone(shared.pipeline.telemetry()),
+    )?;
+    let reactor_thread = std::thread::spawn(move || reactor.run());
 
     let follower = if config.follow_chain {
         let from_block = chain.read().head_block();
@@ -267,87 +295,27 @@ pub fn start(
     Ok(ServerHandle {
         local_addr,
         shared,
-        accept_thread: Some(accept_thread),
+        reactor_shared,
+        reactor_thread: Some(reactor_thread),
         workers,
         follower,
     })
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shared: Arc<ServerShared>) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
-                shared
-                    .metrics
-                    .rejected_total
-                    .fetch_add(1, Ordering::Relaxed);
-                let response = Response::error(503, "request queue full, retry later");
-                let _ = http::write_response(&mut stream, &response, false);
-            }
-            Err(TrySendError::Disconnected(_)) => return,
-        }
-    }
-    // The queue sender drops here, which unblocks any worker stuck in
-    // recv once all queued connections have been drained.
-}
-
-fn worker_loop(rx: Receiver<TcpStream>, shared: Arc<ServerShared>) {
-    loop {
-        match rx.recv_timeout(Duration::from_millis(100)) {
-            Ok(stream) => handle_connection(stream, &shared),
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &ServerShared) {
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    // A finite read timeout lets keep-alive connections notice shutdown.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut reader = BufReader::new(stream);
-
-    loop {
-        let request = match http::read_request(&mut reader) {
-            Ok(request) => request,
-            Err(ReadError::TimedOut) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-            Err(ReadError::Closed) => return,
-            Err(ReadError::Malformed(message)) => {
-                let response = Response::error(400, &message);
-                let _ = http::write_response(&mut writer, &response, false);
-                return;
-            }
-            Err(ReadError::Io(_)) => return,
-        };
-        let keep_alive = request.keep_alive;
-        let response = dispatch(&request, shared);
-        if http::write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
-            return;
-        }
+/// Worker: pull parsed requests off the queue, run the handler, hand the
+/// response back to the reactor. Exits when the reactor drops the queue.
+fn worker_loop(rx: Receiver<Job>, shared: Arc<ServerShared>, reactor_shared: Arc<ReactorShared>) {
+    while let Ok(job) = rx.recv() {
+        // The job left the queue: admission control stops counting it.
+        reactor_shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+        let keep_alive = job.request.keep_alive;
+        let response = dispatch(&job.request, &shared);
+        reactor_shared.complete(Completion {
+            conn: job.conn,
+            seq: job.seq,
+            response,
+            keep_alive,
+        });
     }
 }
 
@@ -518,6 +486,48 @@ fn parse_address(params: &JsonValue, key: &str) -> Result<Address, String> {
         .map_err(|_| format!("param {key:?} is not a valid address: {text:?}"))
 }
 
+/// Checks one batch entry against the shared snapshot: full
+/// `proxy_check` semantics, rendered with the entry's address echoed
+/// back so clients can correlate positionally *and* by address.
+fn batch_entry(
+    shared: &ServerShared,
+    source: &dyn ChainSource,
+    etherscan: &Etherscan,
+    entry: &JsonValue,
+) -> String {
+    let Some(text) = entry.as_str() else {
+        return format!(
+            "{{\"address\":{},\"error\":\"entry is not an address string\"}}",
+            json::to_json(entry)
+        );
+    };
+    let Ok(address) = text.parse::<Address>() else {
+        return format!(
+            "{{\"address\":{},\"error\":\"not a valid address\"}}",
+            json::to_json(text)
+        );
+    };
+    match source.deployment(address) {
+        Err(e) => format!(
+            "{{\"address\":{},\"error\":{}}}",
+            json::to_json(&address),
+            json::to_json(&source_error(&e))
+        ),
+        Ok(None) => format!(
+            "{{\"address\":{},\"error\":\"no contract deployed\"}}",
+            json::to_json(&address)
+        ),
+        Ok(Some(_)) => {
+            let report = shared.pipeline.analyze_one(source, etherscan, address);
+            format!(
+                "{{\"address\":{},\"result\":{}}}",
+                json::to_json(&address),
+                json::to_json(&report)
+            )
+        }
+    }
+}
+
 fn handle_method(
     method: &str,
     params: &JsonValue,
@@ -537,6 +547,41 @@ fn handle_method(
             let etherscan = shared.etherscan.read();
             let report = shared.pipeline.analyze_one(&*source, &etherscan, address);
             Ok(json::to_json(&report))
+        }
+        // One round trip, N verdicts: every entry is checked against the
+        // *same* chain snapshot, failures are per-entry (a bad address
+        // never poisons its neighbours), and entries come back in request
+        // order.
+        "proxy_check_batch" => {
+            let entries = params
+                .get("addresses")
+                .and_then(JsonValue::as_array)
+                .ok_or("missing array param \"addresses\"")?;
+            if entries.is_empty() {
+                return Err("param \"addresses\" is empty".to_owned());
+            }
+            if entries.len() > MAX_BATCH_ADDRESSES {
+                return Err(format!(
+                    "batch of {} exceeds the {MAX_BATCH_ADDRESSES}-address limit",
+                    entries.len()
+                ));
+            }
+            shared
+                .metrics
+                .batch_requests_total
+                .fetch_add(1, Ordering::Relaxed);
+            let source = shared.analysis_source();
+            let as_of_block = source.head_block().map_err(|e| source_error(&e))?;
+            let etherscan = shared.etherscan.read();
+            let results: Vec<String> = entries
+                .iter()
+                .map(|entry| batch_entry(shared, &*source, &etherscan, entry))
+                .collect();
+            Ok(format!(
+                "{{\"as_of_block\":{as_of_block},\"checked\":{},\"results\":[{}]}}",
+                results.len(),
+                results.join(",")
+            ))
         }
         "logic_history" => {
             let address = parse_address(params, "address")?;
@@ -614,8 +659,19 @@ fn handle_method(
             // `store` reports zeros when running without --state-dir, so
             // clients can rely on the field's presence.
             let store = shared.store_stats();
+            // The connection-engine gauge/counters mirror the
+            // `proxion_server_*` series on /metrics.
+            let server = format!(
+                "{{\"open_connections\":{},\"requests_pipelined_total\":{},\"batch_requests_total\":{}}}",
+                shared.metrics.open_connections.load(Ordering::Relaxed),
+                shared
+                    .metrics
+                    .requests_pipelined_total
+                    .load(Ordering::Relaxed),
+                shared.metrics.batch_requests_total.load(Ordering::Relaxed)
+            );
             Ok(format!(
-                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"artifact_cache\":{},\"history_index\":{},\"store\":{},\"unique_codehashes\":{},\"requests_total\":{},\"rejected_total\":{}}}",
+                "{{\"head\":{head},\"cache\":{},\"source_cache\":{},\"artifact_cache\":{},\"history_index\":{},\"store\":{},\"server\":{server},\"unique_codehashes\":{},\"requests_total\":{},\"rejected_total\":{}}}",
                 json::to_json(&cache),
                 json::to_json(&source_cache),
                 json::to_json(&artifact_cache),

@@ -1,0 +1,281 @@
+//! Raw readiness-notification syscalls for the connection reactor.
+//!
+//! The reactor needs exactly three kernel facilities that `std` does not
+//! expose: an epoll instance, an eventfd to wake the event loop from
+//! worker threads, and interest registration for both. In the same
+//! zero-dependency spirit as the from-scratch HTTP parser and CRC-32,
+//! this module declares the handful of libc symbols directly (std
+//! already links libc on every supported target) instead of pulling in
+//! the `libc` or `mio` crates.
+//!
+//! **Every `unsafe` block and every `extern` declaration of the service
+//! crate lives in this file** — `devtools/check-offline.sh` grep-enforces
+//! that no other module under `crates/service/src` contains `unsafe`,
+//! `extern`, or a raw `epoll_*`/`eventfd` call. The wrappers exported
+//! from here ([`Epoll`], [`Waker`]) are safe: they own their file
+//! descriptors, close them on drop, and never hand out raw pointers.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// Interest and event bits (linux uapi `eventpoll.h`).
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// One readiness event, ABI-compatible with the kernel's
+/// `struct epoll_event` (packed on x86-64, natural alignment elsewhere).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event, for pre-sizing the wait buffer.
+    pub fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The caller-chosen token registered with the fd this event is for.
+    pub fn token(&self) -> u64 {
+        // Copy out of the (possibly packed) struct; no reference is taken.
+        self.data
+    }
+
+    /// Readable readiness (includes peer EOF under level triggering).
+    pub fn readable(&self) -> bool {
+        self.events & EPOLLIN != 0
+    }
+
+    /// Writable readiness.
+    pub fn writable(&self) -> bool {
+        self.events & EPOLLOUT != 0
+    }
+
+    /// Error or hangup condition — the connection is beyond saving.
+    pub fn broken(&self) -> bool {
+        self.events & (EPOLLERR | EPOLLHUP) != 0
+    }
+}
+
+/// Owned epoll instance. Level-triggered: the reactor re-arms write
+/// interest only while a connection has unflushed output, so readiness
+/// never busy-loops.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: Option<(u64, bool, bool)>) -> io::Result<()> {
+        let mut event = EpollEvent { events: 0, data: 0 };
+        let event_ptr = match interest {
+            Some((token, readable, writable)) => {
+                event.data = token;
+                if readable {
+                    event.events |= EPOLLIN;
+                }
+                if writable {
+                    event.events |= EPOLLOUT;
+                }
+                &mut event as *mut EpollEvent
+            }
+            // EPOLL_CTL_DEL ignores the event argument (NULL since 2.6.9).
+            None => std::ptr::null_mut(),
+        };
+        // SAFETY: `event_ptr` is either null (DEL) or points at a live
+        // stack-local `EpollEvent` for the duration of the call.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, event_ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given token and interest set.
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, Some((token, readable, writable)))
+    }
+
+    /// Replaces the interest set of an already registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, Some((token, readable, writable)))
+    }
+
+    /// Deregisters `fd`.
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until readiness or `timeout_ms` (`-1` = forever); fills
+    /// `events` and returns how many are valid. A signal interruption
+    /// reports zero events rather than an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: the pointer/len pair describes the caller's live
+        // mutable slice; the kernel writes at most `len` entries.
+        let rc = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(rc as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is a live fd owned by this struct.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Cross-thread wakeup for the reactor: an eventfd registered in the
+/// epoll set. Worker threads call [`Waker::wake`] after pushing a
+/// completed response; the reactor drains it and collects completions.
+/// `Send + Sync` by construction (the fd is just an integer and eventfd
+/// reads/writes are atomic 8-byte transfers).
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a non-blocking, close-on-exec eventfd.
+    pub fn new() -> io::Result<Waker> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register in the epoll set (read interest).
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wakes the reactor. Best-effort: if the eventfd counter is already
+    /// saturated the reactor is awake anyway.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack local; eventfd writes
+        // of exactly 8 bytes are the documented protocol.
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Consumes all pending wakeups so level-triggered readiness clears.
+    pub fn drain(&self) {
+        let mut counter = [0u8; 8];
+        // SAFETY: reads at most 8 bytes into a live stack buffer; the fd
+        // is non-blocking so this never parks the reactor.
+        unsafe { read(self.fd, counter.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is a live fd owned by this struct.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn waker_wakes_epoll_and_drains() {
+        let epoll = Epoll::new().unwrap();
+        let waker = Waker::new().unwrap();
+        epoll.add(waker.raw_fd(), 7, true, false).unwrap();
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        // Nothing pending: a zero-timeout wait reports no events.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        waker.wake();
+        waker.wake();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].readable());
+
+        // Draining clears level-triggered readiness.
+        waker.drain();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readability_is_reported_with_its_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        epoll.add(server_side.as_raw_fd(), 42, true, false).unwrap();
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert!(events[0].readable());
+
+        // Interest can be narrowed to write-only and removed entirely.
+        epoll
+            .modify(server_side.as_raw_fd(), 42, false, true)
+            .unwrap();
+        let n = epoll.wait(&mut events, 100).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable());
+        epoll.remove(server_side.as_raw_fd()).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the resumable HTTP/1.1 request parser: a
+//! pipelined wire stream must parse to the same requests no matter how
+//! the bytes are torn into segments — the reactor feeds the parser
+//! whatever chunk sizes the kernel happens to return.
+
+use proptest::prelude::*;
+use proxion_service::http::RequestParser;
+
+/// A request to put on the wire, small enough to shrink well.
+#[derive(Debug, Clone)]
+struct WireRequest {
+    get: bool,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+fn wire_request() -> impl Strategy<Value = WireRequest> {
+    (
+        any::<bool>(),
+        "[a-z/_]{1,12}",
+        proptest::collection::vec(any::<u8>(), 0..48),
+        any::<bool>(),
+    )
+        .prop_map(|(get, path, body, keep_alive)| WireRequest {
+            get,
+            path: format!("/{path}"),
+            body: if get { Vec::new() } else { body },
+            keep_alive,
+        })
+}
+
+fn encode(request: &WireRequest) -> Vec<u8> {
+    let method = if request.get { "GET" } else { "POST" };
+    let connection = if request.keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    };
+    let mut bytes = format!(
+        "{method} {} HTTP/1.1\r\nHost: prop\r\nConnection: {connection}\r\n",
+        request.path
+    )
+    .into_bytes();
+    if !request.get {
+        bytes.extend_from_slice(format!("Content-Length: {}\r\n", request.body.len()).as_bytes());
+    }
+    bytes.extend_from_slice(b"\r\n");
+    bytes.extend_from_slice(&request.body);
+    bytes
+}
+
+/// Cut points as fractions of the stream length, so shrinking stays
+/// meaningful regardless of how long the encoded stream turns out.
+fn splits() -> impl Strategy<Value = Vec<prop::sample::Index>> {
+    proptest::collection::vec(any::<prop::sample::Index>(), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// However a pipelined stream is torn into segments, the parser
+    /// recovers exactly the original requests, in order, leaving an
+    /// empty buffer.
+    #[test]
+    fn any_segmentation_parses_to_the_same_requests(
+        requests in proptest::collection::vec(wire_request(), 1..5),
+        splits in splits(),
+    ) {
+        let stream: Vec<u8> = requests.iter().flat_map(|r| encode(r)).collect();
+        let mut cuts: Vec<usize> = splits.iter().map(|ix| ix.index(stream.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(stream.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut parser = RequestParser::new();
+        let mut parsed = Vec::new();
+        for window in cuts.windows(2) {
+            parser.feed(&stream[window[0]..window[1]]);
+            while let Some(request) = parser.next_request().expect("valid stream") {
+                parsed.push(request);
+            }
+        }
+        prop_assert_eq!(parsed.len(), requests.len());
+        for (got, want) in parsed.iter().zip(&requests) {
+            prop_assert_eq!(got.method.as_str(), if want.get { "GET" } else { "POST" });
+            prop_assert_eq!(&got.path, &want.path);
+            prop_assert_eq!(&got.body, &want.body);
+            prop_assert_eq!(got.keep_alive, want.keep_alive);
+        }
+        prop_assert_eq!(parser.buffered(), 0);
+        prop_assert!(!parser.mid_request());
+    }
+
+    /// Byte-at-a-time is the worst-case segmentation; it must agree with
+    /// a single-feed parse and stay O(n) enough to run under proptest.
+    #[test]
+    fn byte_at_a_time_agrees_with_single_feed(request in wire_request()) {
+        let stream = encode(&request);
+
+        let mut whole = RequestParser::new();
+        whole.feed(&stream);
+        let want = whole.next_request().expect("valid").expect("complete");
+
+        let mut trickle = RequestParser::new();
+        let mut got = None;
+        for byte in &stream {
+            trickle.feed(std::slice::from_ref(byte));
+            if let Some(request) = trickle.next_request().expect("valid") {
+                prop_assert!(got.is_none(), "request completed twice");
+                got = Some(request);
+            }
+        }
+        let got = got.expect("complete at final byte");
+        prop_assert_eq!(got.method, want.method);
+        prop_assert_eq!(got.path, want.path);
+        prop_assert_eq!(got.body, want.body);
+        prop_assert_eq!(got.keep_alive, want.keep_alive);
+    }
+
+    /// Arbitrary garbage never panics the parser: it either keeps asking
+    /// for more bytes or fails with a fatal-but-clean parse error.
+    #[test]
+    fn arbitrary_bytes_never_panic(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..64), 0..8,
+    )) {
+        let mut parser = RequestParser::new();
+        for chunk in &chunks {
+            parser.feed(chunk);
+            // Errors are fatal for a real connection; stop like the
+            // reactor would.
+            match parser.next_request() {
+                Ok(_) => {}
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+}

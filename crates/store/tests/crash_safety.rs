@@ -8,7 +8,6 @@
 
 use std::fs;
 use std::path::PathBuf;
-use std::sync::Arc;
 
 use proxion_asm::opcode as op;
 use proxion_chain::{Chain, CountingSource};

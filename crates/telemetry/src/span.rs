@@ -46,6 +46,10 @@ pub enum Stage {
     ProbeSession,
     /// One service RPC request (the method name is in the span detail).
     Request,
+    /// One busy slice of the service's connection reactor (accept, read,
+    /// parse, write — never analysis, which runs on the worker pool under
+    /// [`Stage::Request`]).
+    Reactor,
     /// One block-follower catch-up iteration.
     Follower,
     /// Per-codehash artifact interning (`ArtifactStore::intern`): covers
@@ -58,7 +62,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in rendering order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 15] = [
         Stage::Analyze,
         Stage::Disassembly,
         Stage::Dispatcher,
@@ -70,6 +74,7 @@ impl Stage {
         Stage::Replay,
         Stage::ProbeSession,
         Stage::Request,
+        Stage::Reactor,
         Stage::Follower,
         Stage::ArtifactStore,
         Stage::Other,
@@ -89,6 +94,7 @@ impl Stage {
             Stage::Replay => "replay",
             Stage::ProbeSession => "probe_session",
             Stage::Request => "request",
+            Stage::Reactor => "reactor",
             Stage::Follower => "follower",
             Stage::ArtifactStore => "artifact_store",
             Stage::Other => "other",

@@ -61,6 +61,18 @@ if grep -rn "Evm::" \
     exit 1
 fi
 
+# Syscall confinement invariant: the connection reactor talks to epoll
+# and eventfd through the safe wrappers in crates/service/src/sys.rs,
+# and that file is the *only* place in the service crate allowed to
+# contain `unsafe`, an `extern` declaration, or a raw epoll_*/eventfd
+# call. Everything above it (reactor, server, http) stays fully safe, so
+# the audit surface for memory safety is one short module.
+if grep -rnE '\bunsafe\b|\bextern\b|epoll_create1?\(|epoll_ctl\(|epoll_wait\(|eventfd\(' \
+    "$REPO/crates/service/src" | grep -v "crates/service/src/sys.rs:"; then
+    echo "error: unsafe/extern/raw syscalls in proxion-service must be confined to src/sys.rs" >&2
+    exit 1
+fi
+
 # Persistence invariant: every byte that reaches the state directory goes
 # through proxion-store (header + CRC framing, tmp-then-rename sealing).
 # A direct std::fs call in the service would bypass that framing and can

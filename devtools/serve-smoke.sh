@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Serve-mode smoke test: boot `proxion serve` on a loopback port, drive a
+# short pipelined + batched loadgen burst at it, and fail on any 5xx (a
+# healthy reactor under this light load must answer every request).
+#
+# Designed for CI: small landscape, one burst, seconds of wall clock.
+#
+# Usage: devtools/serve-smoke.sh [path-to-proxion-binary]
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+PROXION="${1:-$REPO/target/release/proxion}"
+PORT="${PROXION_SMOKE_PORT:-18474}"
+LOG="$(mktemp /tmp/proxion-smoke.XXXXXX.log)"
+
+if [ ! -x "$PROXION" ]; then
+    echo "error: proxion binary not found at $PROXION (build with: cargo build --release)" >&2
+    exit 1
+fi
+
+"$PROXION" serve 60 7 --port "$PORT" --workers 4 --queue 256 --no-follow \
+    > "$LOG" 2>&1 &
+SERVER_PID=$!
+cleanup() {
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Wait for the server to answer /health (landscape generation takes a
+# moment; the reactor accepts only once serving starts).
+for _ in $(seq 1 120); do
+    if "$PROXION" loadgen "127.0.0.1:$PORT" 1 1 > /dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "error: server exited during startup; log follows" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+run_burst() {
+    local label="$1"; shift
+    local out
+    out="$("$PROXION" loadgen "127.0.0.1:$PORT" "$@")"
+    echo "--- $label ---"
+    echo "$out"
+    # loadgen reports "N ok, M errors"; any error (transport failure or
+    # non-200, i.e. the 5xx this smoke test exists to catch) fails CI.
+    if ! echo "$out" | grep -qE '(^|[^0-9])0 errors'; then
+        echo "error: $label burst reported errors" >&2
+        exit 1
+    fi
+}
+
+run_burst "pipelined" 8 40 --pipeline 4
+run_burst "batched"   4 10 --pipeline 2 --batch 16
+
+echo "serve smoke OK: pipelined + batched bursts completed with zero errors"

@@ -1,0 +1,304 @@
+//! Reactor-specific end-to-end behavior over raw loopback sockets:
+//! HTTP/1.1 pipelining with in-order responses, the batch RPC's
+//! per-entry failure semantics, graceful drain on shutdown, wire-level
+//! 431 on oversized headers, and the connection gauge.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use proxion_chain::Chain;
+use proxion_core::{Pipeline, PipelineConfig};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, U256};
+use proxion_service::json::{self, JsonValue};
+use proxion_service::loadgen::ClientConn;
+use proxion_service::{server, ServerConfig};
+use proxion_solc::{compile, templates, SlotSpec};
+
+struct World {
+    chain: Arc<RwLock<Chain>>,
+    etherscan: Arc<RwLock<Etherscan>>,
+    proxy: Address,
+    token: Address,
+}
+
+fn build_world() -> World {
+    let mut chain = Chain::new();
+    let me = chain.new_funded_account();
+    let logic = chain
+        .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+        .unwrap();
+    let proxy = chain
+        .install_new(me, compile(&templates::eip1967_proxy("P")).unwrap().runtime)
+        .unwrap();
+    chain.set_storage(
+        proxy,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+    let token = chain
+        .install_new(me, compile(&templates::plain_token("T")).unwrap().runtime)
+        .unwrap();
+    World {
+        chain: Arc::new(RwLock::new(chain)),
+        etherscan: Arc::new(RwLock::new(Etherscan::new())),
+        proxy,
+        token,
+    }
+}
+
+fn start_server(world: &World, workers: usize, queue: usize) -> proxion_service::ServerHandle {
+    server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_capacity: queue,
+            follow_chain: false,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&world.chain),
+        Arc::clone(&world.etherscan),
+        Arc::new(Pipeline::new(PipelineConfig::default())),
+    )
+    .expect("server starts")
+}
+
+#[test]
+fn pipelined_requests_answer_in_request_order() {
+    let world = build_world();
+    let handle = start_server(&world, 2, 16);
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // A slow request followed by two instant ones, all written before
+    // any response is read. The fast handlers finish first on the
+    // worker pool, but the wire must answer strictly in request order.
+    client
+        .send_rpc(
+            "debug_sleep",
+            &json::object(vec![("millis", JsonValue::from(300u64))]),
+        )
+        .unwrap();
+    client.send_get("/health").unwrap();
+    client.send_get("/health").unwrap();
+
+    let (status, body) = client.read_response().unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("slept_ms"), "first response is the sleeper");
+    for _ in 0..2 {
+        let (status, body) = client.read_response().unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+    }
+
+    assert!(
+        handle
+            .metrics()
+            .requests_pipelined_total
+            .load(Ordering::Relaxed)
+            >= 2,
+        "the two requests behind the sleeper count as pipelined"
+    );
+
+    // The same counters surface on /metrics and in the stats RPC.
+    let (_, metrics) = client.get("/metrics").unwrap();
+    assert!(metrics.contains("proxion_server_requests_pipelined_total"));
+    let doc = client.rpc("stats", &JsonValue::Null).unwrap();
+    let server_block = doc.get("result").unwrap().get("server").unwrap();
+    assert!(
+        server_block
+            .get("requests_pipelined_total")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 2
+    );
+    assert!(
+        server_block
+            .get("open_connections")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    handle.stop();
+}
+
+#[test]
+fn batch_rpc_checks_entries_in_order_with_per_entry_failures() {
+    let world = build_world();
+    let handle = start_server(&world, 2, 16);
+    let mut client = ClientConn::connect(handle.local_addr()).unwrap();
+
+    let body = format!(
+        "{{\"method\":\"proxy_check_batch\",\"params\":{{\"addresses\":[{},\"not-an-address\",{},{}]}}}}",
+        json::to_json(&world.proxy.to_string()),
+        json::to_json(&Address::from_low_u64(0x9999).to_string()),
+        json::to_json(&world.token.to_string())
+    );
+    let (status, text) = client.post("/rpc", &body).unwrap();
+    assert_eq!(status, 200);
+    let doc = json::parse(&text).unwrap();
+    let result = doc.get("result").expect("batch answers a result");
+    assert!(result.get("as_of_block").unwrap().as_u64().is_some());
+    assert_eq!(result.get("checked").unwrap().as_u64(), Some(4));
+    let entries = result.get("results").unwrap().as_array().unwrap();
+    assert_eq!(entries.len(), 4, "one entry per address, in request order");
+
+    // Entry 0: the proxy gets a full report.
+    assert_eq!(
+        entries[0].get("address").unwrap().as_str(),
+        Some(world.proxy.to_string().as_str())
+    );
+    let check = entries[0].get("result").unwrap().get("check").unwrap();
+    assert!(check.get("Proxy").is_some(), "proxy classified: {text}");
+    // Entry 1: malformed address — failure stays local to the entry.
+    assert!(entries[1].get("error").unwrap().as_str().is_some());
+    assert!(entries[1].get("result").is_none());
+    // Entry 2: no deployment there.
+    assert!(entries[2].get("error").unwrap().as_str().is_some());
+    // Entry 3: the plain token still gets its (not-a-proxy) report.
+    assert!(entries[3].get("result").is_some());
+
+    // Limits: an empty batch and an oversized batch are request-level
+    // errors, not silent truncation.
+    let doc = client
+        .rpc(
+            "proxy_check_batch",
+            &json::object(vec![("addresses", JsonValue::Array(Vec::new()))]),
+        )
+        .unwrap();
+    assert!(doc.get("error").is_some());
+    let too_many: Vec<JsonValue> = (0..server::MAX_BATCH_ADDRESSES + 1)
+        .map(|_| JsonValue::from(world.proxy.to_string()))
+        .collect();
+    let doc = client
+        .rpc(
+            "proxy_check_batch",
+            &json::object(vec![("addresses", JsonValue::Array(too_many))]),
+        )
+        .unwrap();
+    assert!(doc.get("error").is_some());
+
+    // The batch counter covers the one successful call.
+    assert_eq!(
+        handle
+            .metrics()
+            .batch_requests_total
+            .load(Ordering::Relaxed),
+        1
+    );
+    let (_, metrics) = client.get("/metrics").unwrap();
+    assert!(metrics.contains("proxion_server_batch_requests_total 1"));
+    handle.stop();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_and_refuses_new_connections() {
+    let world = build_world();
+    let handle = start_server(&world, 1, 4);
+    let addr = handle.local_addr();
+
+    // An in-flight slow request on an established connection.
+    let mut client = ClientConn::connect(addr).unwrap();
+    client
+        .send_rpc(
+            "debug_sleep",
+            &json::object(vec![("millis", JsonValue::from(600u64))]),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Stop from another thread; stop() blocks until the drain finishes.
+    let stopper = std::thread::spawn(move || handle.stop());
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Mid-drain: the listener is closed, so new connections are refused
+    // outright (or immediately closed), never queued.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut refused) => {
+            refused
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut buf = String::new();
+            let n = refused.read_to_string(&mut buf).unwrap_or(0);
+            assert_eq!(n, 0, "a drain-time connection gets no service: {buf:?}");
+        }
+    }
+
+    // The in-flight response still completes in full.
+    let (status, body) = client.read_response().unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"slept_ms\":600"),
+        "drained response: {body}"
+    );
+
+    stopper.join().expect("stop() returns after the drain");
+}
+
+#[test]
+fn oversized_header_answers_431_on_the_wire() {
+    let world = build_world();
+    let handle = start_server(&world, 1, 4);
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // One byte past the header cap, and not a byte more: the server
+    // reads everything we sent before the parser trips, so the close
+    // after the 431 is a clean FIN (no unread bytes → no RST racing the
+    // response off the wire).
+    let prefix = b"GET /health HTTP/1.1\r\nX-Pad: ";
+    stream.write_all(prefix).unwrap();
+    let padding = vec![b'a'; proxion_service::http::MAX_HEADER_BYTES + 1 - prefix.len()];
+    stream.write_all(&padding).unwrap();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.starts_with("HTTP/1.1 431"),
+        "expected 431, got: {:?}",
+        &response[..response.len().min(120)]
+    );
+    handle.stop();
+}
+
+#[test]
+fn open_connections_gauge_tracks_clients() {
+    let world = build_world();
+    let handle = start_server(&world, 2, 16);
+    let addr = handle.local_addr();
+
+    let mut a = ClientConn::connect(addr).unwrap();
+    let mut b = ClientConn::connect(addr).unwrap();
+    // Both connections must be accepted (registered) before the gauge
+    // render; a round trip each guarantees that.
+    assert_eq!(a.get("/health").unwrap().0, 200);
+    assert_eq!(b.get("/health").unwrap().0, 200);
+    assert_eq!(handle.metrics().open_connections.load(Ordering::Relaxed), 2);
+    let (_, metrics) = a.get("/metrics").unwrap();
+    assert!(
+        metrics.contains("proxion_server_open_connections 2"),
+        "gauge on /metrics: {metrics}"
+    );
+
+    // Closing a connection drops the gauge once the reactor notices.
+    drop(b);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if handle.metrics().open_connections.load(Ordering::Relaxed) == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reactor reaps the closed connection"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.stop();
+}
