@@ -1,0 +1,59 @@
+//! Criterion benchmarks for detection over the adversarial population —
+//! what beacon indirection, multi-hop chains, metamorphic redeploys and
+//! dirty bytecode cost per contract, next to the standard-EIP landscape
+//! the paper's §6.1 throughput numbers are measured on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxion_core::{Pipeline, PipelineConfig, ProxyDetector};
+use proxion_dataset::{AdversarialCorpus, Landscape, LandscapeConfig};
+
+fn adversarial_detection(c: &mut Criterion) {
+    let corpus = AdversarialCorpus::generate(0xadbe, 4);
+    let entries: Vec<_> = corpus.cases.iter().map(|case| case.entry).collect();
+    let standard = Landscape::generate(&LandscapeConfig {
+        seed: 0xadbe,
+        total_contracts: entries.len(),
+    });
+    let standard_entries: Vec<_> = standard.contracts.iter().map(|c| c.address).collect();
+
+    // Raw detector sweeps: adversarial vs standard population of the
+    // same size, no caching between iterations.
+    let detector = ProxyDetector::new();
+    c.bench_function("detect_adversarial_population", |b| {
+        b.iter(|| {
+            entries
+                .iter()
+                .filter(|&&a| detector.check(&corpus.chain, a).is_proxy())
+                .count()
+        })
+    });
+    c.bench_function("detect_standard_population", |b| {
+        b.iter(|| {
+            standard_entries
+                .iter()
+                .filter(|&&a| detector.check(&standard.chain, a).is_proxy())
+                .count()
+        })
+    });
+
+    // Full pipeline over the adversarial corpus: delegation-graph walk,
+    // upgradeability classification, and collision checks included. A
+    // fresh pipeline per iteration so verdict caches never amortize.
+    c.bench_function("pipeline_adversarial_population", |b| {
+        b.iter(|| {
+            let pipeline = Pipeline::new(PipelineConfig {
+                parallelism: 1,
+                resolve_history: false,
+                check_collisions: true,
+                check_historical_pairs: false,
+                ..PipelineConfig::default()
+            });
+            pipeline
+                .analyze(&corpus.chain, &corpus.etherscan, &entries)
+                .proxy_count()
+        })
+    });
+}
+
+criterion_group!(benches, adversarial_detection);
+criterion_main!(benches);

@@ -8,7 +8,10 @@
 //! use.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use proxion_core::{FunctionCollisionDetector, ImplSource, StorageCollisionDetector};
+use proxion_chain::ChainSource;
+use proxion_core::{
+    DelegationChain, FunctionCollisionDetector, ImplSource, ProxyStandard, StorageCollisionDetector,
+};
 use proxion_dataset::ExploitCorpus;
 use proxion_replay::ReplayEngine;
 
@@ -16,18 +19,30 @@ fn replay_confirmation(c: &mut Criterion) {
     let corpus = ExploitCorpus::generate(0xbe9c);
     let snapshot = corpus.chain.snapshot();
     let engine = ReplayEngine::new();
+    let head = ChainSource::head_block(&snapshot).unwrap();
+    let chain_for = |proxy, slot, logic| {
+        DelegationChain::single_hop(
+            proxy,
+            snapshot.code_hash_at(proxy).unwrap(),
+            ImplSource::StorageSlot(slot),
+            ProxyStandard::Other,
+            logic,
+            head,
+        )
+    };
 
     // The full confirmation pass: all three probes over all six cases.
     c.bench_function("replay_confirm_corpus", |b| {
         b.iter(|| {
             let mut confirmed = 0;
             for case in &corpus.cases {
+                let delegation = chain_for(case.proxy, case.impl_slot, case.logic);
                 let verdict = engine
                     .confirm_pair(
                         &snapshot,
                         case.proxy,
                         case.logic,
-                        Some(ImplSource::StorageSlot(case.impl_slot)),
+                        Some(&delegation),
                         &case.collided_selectors,
                     )
                     .unwrap();
@@ -76,6 +91,7 @@ fn replay_confirmation(c: &mut Criterion) {
         })
     });
     let honeypot = &corpus.cases[4];
+    let honeypot_chain = chain_for(honeypot.proxy, honeypot.impl_slot, honeypot.logic);
     c.bench_function("check_fake_proxy", |b| {
         b.iter(|| {
             engine
@@ -83,7 +99,7 @@ fn replay_confirmation(c: &mut Criterion) {
                     &snapshot,
                     honeypot.proxy,
                     honeypot.logic,
-                    Some(ImplSource::StorageSlot(honeypot.impl_slot)),
+                    Some(&honeypot_chain),
                     &honeypot.collided_selectors,
                 )
                 .unwrap()

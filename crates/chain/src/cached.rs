@@ -10,9 +10,14 @@
 //!
 //! The cache tables ([`SourceCache`]) are shared behind an `Arc` so every
 //! per-request snapshot wrapper in the service hits one warm cache.
-//! Correctness across snapshots at different heights is by key design:
-//! address→codehash entries are keyed by `(address, head)`, and storage
-//! entries by `(address, slot, block)` — both immutable once observed.
+//! Storage entries are keyed by `(address, slot, block)` — immutable facts.
+//! The address→codehash binding is NOT immutable: accounts gain code after
+//! being empty (the negative-cache staleness bug) and metamorphic CREATE2
+//! contracts swap code at a fixed address. Each address therefore holds one
+//! block-stamped binding (`codehash` + the head it was observed at), served
+//! only when the reader's head matches the stamp and refreshed otherwise —
+//! so an advancing head re-observes deployments and redeploys instead of
+//! replaying stale answers forever.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,8 +44,11 @@ pub struct SourceCacheStats {
 pub struct SourceCache {
     /// codehash → interned bytecode. Immutable facts; never evicted.
     intern: Mutex<HashMap<B256, Arc<Vec<u8>>>>,
-    /// (address, head) → codehash of that address at that height.
-    code_map: ShardedLru<(Address, u64), B256>,
+    /// address → (codehash, observed-at-head). One binding per address,
+    /// valid only for the exact head it was stamped with; any other head
+    /// refetches and restamps. Bounds the negative cache by block height
+    /// and makes metamorphic redeploys visible on the next head advance.
+    code_map: ShardedLru<Address, (B256, u64)>,
     /// (address, slot, block) → historical value. Immutable facts.
     storage: ShardedLru<(Address, U256, u64), U256>,
 }
@@ -115,15 +123,21 @@ impl<S: ChainSource> CachedSource<S> {
     /// and interning on miss.
     fn lookup_code(&self, address: Address) -> SourceResult<(B256, Arc<Vec<u8>>)> {
         let head = self.inner.head_block()?;
-        if let Some(hash) = self.cache.code_map.get(&(address, head)) {
-            let pool = self.cache.intern.lock();
-            if let Some(code) = pool.get(&hash) {
-                return Ok((hash, Arc::clone(code)));
+        if let Some((hash, stamped_at)) = self.cache.code_map.get(&address) {
+            // A binding is only trusted at the exact head it was observed
+            // at; any other head revalidates against the backend. This is
+            // what expires the negative cache (empty→deployed) and stale
+            // metamorphic bindings (redeployed code) on head advance.
+            if stamped_at == head {
+                let pool = self.cache.intern.lock();
+                if let Some(code) = pool.get(&hash) {
+                    return Ok((hash, Arc::clone(code)));
+                }
             }
         }
         let fetched = self.inner.code_at(address)?;
         let (hash, canonical) = self.cache.intern(fetched);
-        self.cache.code_map.insert((address, head), hash);
+        self.cache.code_map.insert(address, (hash, head));
         Ok((hash, canonical))
     }
 }
@@ -239,6 +253,54 @@ mod tests {
         );
         // The empty code is interned exactly once.
         assert_eq!(cached.cache().stats().interned_codes, 1);
+    }
+
+    #[test]
+    fn negative_cache_expires_on_head_advance() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let cache = Arc::new(SourceCache::default());
+        let target = Address::from_low_u64(0xbeef);
+
+        // The address is empty and the emptiness is negatively cached.
+        {
+            let cached = CachedSource::with_cache(&chain, Arc::clone(&cache));
+            assert!(cached.code_at(target).unwrap().is_empty());
+            assert!(cached.code_at(target).unwrap().is_empty());
+        }
+
+        // A later block deploys code at the previously-empty address. The
+        // head advanced, so the stale negative entry must not be served.
+        chain.install(me, target, vec![0x42]).unwrap();
+        let cached = CachedSource::with_cache(&chain, Arc::clone(&cache));
+        assert_eq!(
+            *cached.code_at(target).unwrap(),
+            vec![0x42],
+            "negative cache outlived the deployment"
+        );
+    }
+
+    #[test]
+    fn metamorphic_redeploy_invalidates_code_binding() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![0x01]).unwrap();
+        let cache = Arc::new(SourceCache::default());
+
+        {
+            let cached = CachedSource::with_cache(&chain, Arc::clone(&cache));
+            assert_eq!(*cached.code_at(a).unwrap(), vec![0x01]);
+        }
+
+        chain.selfdestruct(a).unwrap();
+        chain.redeploy(me, a, vec![0x02]).unwrap();
+
+        let cached = CachedSource::with_cache(&chain, Arc::clone(&cache));
+        assert_eq!(
+            *cached.code_at(a).unwrap(),
+            vec![0x02],
+            "stale code binding survived the redeploy"
+        );
     }
 
     #[test]

@@ -57,5 +57,5 @@ pub use lru::{CacheStats, ShardedLru};
 pub use node::{
     Chain, ChainError, ChainSnapshot, DeploymentInfo, HeadWatch, InternalCall, TxRecord,
 };
-pub use source::{env_for_head, ChainSource, SourceError, SourceHost, SourceResult};
+pub use source::{env_for_head, ChainSource, CodeIdentity, SourceError, SourceHost, SourceResult};
 pub use trace::{TraceBuilder, TraceFrame, TxTrace};

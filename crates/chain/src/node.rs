@@ -20,6 +20,8 @@ pub enum ChainError {
     DeploymentFailed(String),
     /// A direct install targeted an address that already has code.
     AddressOccupied(Address),
+    /// A selfdestruct targeted an address without live code.
+    NotAContract(Address),
 }
 
 impl fmt::Display for ChainError {
@@ -27,6 +29,7 @@ impl fmt::Display for ChainError {
         match self {
             ChainError::DeploymentFailed(reason) => write!(f, "deployment failed: {reason}"),
             ChainError::AddressOccupied(a) => write!(f, "address {a} already has code"),
+            ChainError::NotAContract(a) => write!(f, "address {a} has no live code"),
         }
     }
 }
@@ -164,7 +167,11 @@ struct ChainState {
     deployments: HashMap<Address, DeploymentInfo>,
     /// `(block, address)` for every deployment, in chain order — the feed
     /// incremental followers consume to analyze only what is new.
+    /// Metamorphic redeploys append here too, so followers re-observe an
+    /// address whose code changed under them.
     deploy_log: Vec<(u64, Address)>,
+    /// Per-address selfdestruct heights, in chain order.
+    destructions: HashMap<Address, Vec<u64>>,
     txs: Vec<TxRecord>,
     /// Per-address indexes into `txs` (as target or internal participant).
     tx_index: HashMap<Address, Vec<usize>>,
@@ -177,6 +184,7 @@ impl ChainState {
             storage_history: HashMap::new(),
             deployments: HashMap::new(),
             deploy_log: Vec::new(),
+            destructions: HashMap::new(),
             txs: Vec::new(),
             tx_index: HashMap::new(),
         }
@@ -436,6 +444,86 @@ impl Chain {
         let address = self.rng.next_address();
         self.install(deployer, address, runtime_code)?;
         Ok(address)
+    }
+
+    /// Destroys a live contract in a new block: code removed, every
+    /// recorded storage slot zeroed (with history), and the account marked
+    /// destroyed so [`Chain::is_alive`] turns false. This is the first half
+    /// of a CREATE2 metamorphic swap; [`Chain::redeploy`] is the second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::NotAContract`] if the address has no live code.
+    pub fn selfdestruct(&mut self, address: Address) -> Result<(), ChainError> {
+        if self.state.db.code(address).is_empty() || self.state.db.is_destroyed(address) {
+            return Err(ChainError::NotAContract(address));
+        }
+        let block = self.begin_block();
+        let slots: Vec<U256> = self
+            .state
+            .storage_history
+            .keys()
+            .filter(|&&(a, _)| a == address)
+            .map(|&(_, slot)| slot)
+            .collect();
+        {
+            let state = self.state_mut();
+            for slot in slots {
+                state.db.set_storage(address, slot, U256::ZERO);
+            }
+            state.db.set_code(address, Vec::new());
+            state.db.mark_destroyed(address);
+        }
+        self.record_state_changes(block);
+        self.state_mut()
+            .destructions
+            .entry(address)
+            .or_default()
+            .push(block);
+        self.commit_block();
+        Ok(())
+    }
+
+    /// Installs fresh runtime bytecode at a previously destroyed address —
+    /// the CREATE2 metamorphic pattern (same address, different code). The
+    /// redeploy is appended to the deployment feed so incremental followers
+    /// observe the address again and re-analyze it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::AddressOccupied`] if the address still has
+    /// live code (selfdestruct it first).
+    pub fn redeploy(
+        &mut self,
+        deployer: Address,
+        address: Address,
+        runtime_code: Vec<u8>,
+    ) -> Result<(), ChainError> {
+        if !self.state.db.code(address).is_empty() {
+            return Err(ChainError::AddressOccupied(address));
+        }
+        let block = self.begin_block();
+        {
+            let state = self.state_mut();
+            state.db.resurrect(address);
+            state.db.set_code(address, runtime_code);
+            state.db.inc_nonce(address);
+        }
+        self.record_state_changes(block);
+        self.record_deployment(block, address, deployer);
+        self.commit_block();
+        Ok(())
+    }
+
+    /// Block heights at which the address selfdestructed, in chain order.
+    /// A non-empty answer for a live contract means it is metamorphic: the
+    /// code observed today is not the code observed before the last entry.
+    pub fn destructions_of(&self, address: Address) -> Vec<u64> {
+        self.state
+            .destructions
+            .get(&address)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Writes a storage slot directly (dataset setup), recording history.
@@ -885,6 +973,55 @@ mod tests {
         let a = chain.install_new(me, vec![op::STOP]).unwrap();
         assert_eq!(
             chain.install(me, a, vec![op::STOP]),
+            Err(ChainError::AddressOccupied(a))
+        );
+    }
+
+    #[test]
+    fn metamorphic_lifecycle_roundtrip() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+        chain.set_storage(a, U256::ZERO, U256::from(7u64));
+        let before = chain.head_block();
+
+        chain.selfdestruct(a).unwrap();
+        let died_at = chain.head_block();
+        assert!(!chain.is_alive(a));
+        assert!(chain.code_at(a).is_empty());
+        assert_eq!(chain.storage_latest(a, U256::ZERO), U256::ZERO);
+        // History still answers for the pre-destruction height.
+        assert_eq!(chain.storage_at(a, U256::ZERO, before), U256::from(7u64));
+        assert_eq!(chain.destructions_of(a), vec![died_at]);
+        // A second selfdestruct has nothing to destroy.
+        assert_eq!(chain.selfdestruct(a), Err(ChainError::NotAContract(a)));
+
+        let new_code = vec![op::PUSH0, op::PUSH0, op::RETURN];
+        chain.redeploy(me, a, new_code.clone()).unwrap();
+        let reborn_at = chain.head_block();
+        assert!(chain.is_alive(a));
+        assert_eq!(*chain.code_at(a), new_code);
+        // Storage was wiped, not inherited.
+        assert_eq!(chain.storage_latest(a, U256::ZERO), U256::ZERO);
+        // The redeploy shows up in the incremental feed followers consume.
+        let fresh: Vec<Address> = chain
+            .deployed_between(died_at, chain.head_block())
+            .iter()
+            .map(|&(_, addr)| addr)
+            .collect();
+        assert_eq!(fresh, vec![a]);
+        assert_eq!(chain.deployment(a).unwrap().block, reborn_at);
+        // The destruction record survives the rebirth.
+        assert_eq!(chain.destructions_of(a), vec![died_at]);
+    }
+
+    #[test]
+    fn redeploy_rejects_live_address() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![op::STOP]).unwrap();
+        assert_eq!(
+            chain.redeploy(me, a, vec![op::STOP]),
             Err(ChainError::AddressOccupied(a))
         );
     }

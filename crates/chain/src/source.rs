@@ -55,6 +55,34 @@ impl std::error::Error for SourceError {}
 /// Result alias for [`ChainSource`] reads.
 pub type SourceResult<T> = Result<T, SourceError>;
 
+/// A block-versioned account→code binding.
+///
+/// `address → codehash` is NOT a stable mapping on Ethereum: a CREATE2
+/// selfdestruct-and-redeploy (metamorphic contract) installs different code
+/// at the same address. Every cache that binds analysis state to an address
+/// must therefore remember *which* code it observed and *when*; the binding
+/// is only trustworthy while the live codehash still matches. Artifacts
+/// themselves stay keyed by codehash (immutable per hash) — identity is the
+/// revalidation token for the binding, not the artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeIdentity {
+    /// The account the code was observed at.
+    pub address: Address,
+    /// `keccak256` of the runtime bytecode observed.
+    pub code_hash: B256,
+    /// Head height of the observation.
+    pub as_of_block: u64,
+}
+
+impl CodeIdentity {
+    /// Whether a later observation still names the same code. Identity
+    /// holds when the hash is unchanged; the block only tells *when* the
+    /// binding was last validated.
+    pub fn same_code(&self, current_hash: B256) -> bool {
+        self.code_hash == current_hash
+    }
+}
+
 /// The read API Proxion consumes from an (archive) node, as a trait so
 /// backends can be swapped and decorated.
 ///
@@ -116,6 +144,18 @@ pub trait ChainSource: Sync {
     /// The execution environment for this source's head block.
     fn env(&self) -> SourceResult<Env> {
         Ok(env_for_head(self.head_block()?))
+    }
+
+    /// The block-versioned code binding for an account at this source's
+    /// head: what code is there *now*, stamped with the height of the
+    /// observation. Consumers compare a stored identity's hash against a
+    /// fresh one to detect metamorphic redeploys.
+    fn code_identity(&self, address: Address) -> SourceResult<CodeIdentity> {
+        Ok(CodeIdentity {
+            address,
+            code_hash: self.code_hash_at(address)?,
+            as_of_block: self.head_block()?,
+        })
     }
 }
 

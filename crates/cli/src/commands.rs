@@ -7,7 +7,7 @@ use proxion_baselines::{CrushLike, UschuntLike};
 use proxion_chain::Chain;
 use proxion_core::{
     FunctionCollisionDetector, Pipeline, PipelineConfig, ProxyDetector, ProxyStandard,
-    StorageCollisionDetector,
+    StorageCollisionDetector, Upgradeability,
 };
 use proxion_dataset::{CollisionCorpus, ExploitCorpus, Landscape, LandscapeConfig};
 use proxion_disasm::{extract_dispatcher_selectors, naive_push4_selectors, Cfg, Disassembly};
@@ -258,7 +258,15 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
                         .is_some_and(|s| s.has_collisions())
             })
             .filter_map(|r| {
-                let logic = r.check.logic().filter(|l| !l.is_zero())?;
+                // Replay against the chain's *terminal* logic — for a
+                // multi-hop chain that is what the collision checks ran
+                // against, not the first delegate.
+                let logic = r
+                    .delegation
+                    .as_ref()
+                    .filter(|d| d.is_resolved())
+                    .map(|d| d.terminal)
+                    .or_else(|| r.check.logic().filter(|l| !l.is_zero()))?;
                 let selectors: Vec<[u8; 4]> = r
                     .function_collisions
                     .as_ref()
@@ -269,7 +277,7 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
                         &snapshot,
                         r.address,
                         logic,
-                        r.check.impl_source(),
+                        r.delegation.as_ref(),
                         &selectors,
                     )
                     .ok()
@@ -277,12 +285,38 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
             .collect::<Vec<_>>()
     };
     let confirmed = verdicts.iter().filter(|v| v.confirmed).count();
+    // Score the upgradeability classifier against the generator's ground
+    // truth (labels match `Upgradeability::label` by construction).
+    let truth_labels: std::collections::HashMap<Address, &'static str> = landscape
+        .contracts
+        .iter()
+        .filter_map(|c| c.truth.upgradeability.map(|u| (c.address, u.label())))
+        .collect();
+    let mut upgradeability_scored = 0usize;
+    let mut upgradeability_correct = 0usize;
+    for r in &report.reports {
+        if let Some(truth) = truth_labels.get(&r.address) {
+            upgradeability_scored += 1;
+            if r.upgradeability.as_ref().map(|u| u.label()) == Some(*truth) {
+                upgradeability_correct += 1;
+            }
+        }
+    }
+    let upgradeability_accuracy = if upgradeability_scored == 0 {
+        1.0
+    } else {
+        upgradeability_correct as f64 / upgradeability_scored as f64
+    };
+    let classes = report.upgradeability_distribution();
+    let class_count = |key: Upgradeability| -> usize { classes.get(&key).copied().unwrap_or(0) };
     if as_json {
         let standards = report.standard_distribution();
         let standard_members: Vec<(&str, JsonValue)> = [
             ("eip1167", ProxyStandard::Eip1167),
             ("eip1822", ProxyStandard::Eip1822),
             ("eip1967", ProxyStandard::Eip1967),
+            ("beacon", ProxyStandard::Beacon),
+            ("nonstandard_slot", ProxyStandard::NonStandardSlot),
             ("other", ProxyStandard::Other),
         ]
         .into_iter()
@@ -293,6 +327,21 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
             ("proxies", report.proxy_count().into()),
             ("hidden_proxies", report.hidden_proxy_count().into()),
             ("standards", json::object(standard_members)),
+            ("multi_hop_proxies", report.multi_hop_proxy_count().into()),
+            (
+                "upgradeability",
+                json::object(vec![
+                    ("frozen", class_count(Upgradeability::Frozen).into()),
+                    ("proxy", class_count(Upgradeability::Proxy).into()),
+                    (
+                        "upgradeable_proxy",
+                        class_count(Upgradeability::UpgradeableProxy).into(),
+                    ),
+                    ("scored", upgradeability_scored.into()),
+                    ("correct", upgradeability_correct.into()),
+                    ("accuracy", upgradeability_accuracy.into()),
+                ]),
+            ),
             (
                 "function_collision_pairs",
                 report.function_collision_count().into(),
@@ -341,10 +390,25 @@ pub fn landscape(args: &[String]) -> Result<(), String> {
         ("EIP-1167", ProxyStandard::Eip1167),
         ("EIP-1822", ProxyStandard::Eip1822),
         ("EIP-1967", ProxyStandard::Eip1967),
+        ("beacon", ProxyStandard::Beacon),
+        ("odd-slot", ProxyStandard::NonStandardSlot),
         ("others", ProxyStandard::Other),
     ] {
         println!("  {label:<9} {}", standards.get(&key).copied().unwrap_or(0));
     }
+    println!(
+        "delegation: {} multi-hop chains",
+        report.multi_hop_proxy_count()
+    );
+    println!(
+        "upgradeability: {} frozen, {} proxy, {} upgradeable ({}/{} correct vs ground truth, {:.1}%)",
+        class_count(Upgradeability::Frozen),
+        class_count(Upgradeability::Proxy),
+        class_count(Upgradeability::UpgradeableProxy),
+        upgradeability_correct,
+        upgradeability_scored,
+        100.0 * upgradeability_accuracy
+    );
     println!(
         "collisions: {} function pairs, {} exploitable storage pairs",
         report.function_collision_count(),
@@ -387,12 +451,24 @@ pub fn replay(args: &[String]) -> Result<(), String> {
 
     let mut rows = Vec::new();
     for case in &corpus.cases {
+        // The corpus pins each case's provenance: a single-hop chain
+        // bound through the recorded implementation slot.
+        let delegation = proxion_core::DelegationChain::single_hop(
+            case.proxy,
+            proxion_chain::ChainSource::code_hash_at(&snapshot, case.proxy)
+                .map_err(|e| format!("code hash failed for `{}`: {e}", case.name))?,
+            proxion_core::ImplSource::StorageSlot(case.impl_slot),
+            ProxyStandard::Other,
+            case.logic,
+            proxion_chain::ChainSource::head_block(&snapshot)
+                .map_err(|e| format!("head read failed for `{}`: {e}", case.name))?,
+        );
         let verdict = engine
             .confirm_pair(
                 &snapshot,
                 case.proxy,
                 case.logic,
-                Some(proxion_core::ImplSource::StorageSlot(case.impl_slot)),
+                Some(&delegation),
                 &case.collided_selectors,
             )
             .map_err(|e| format!("replay failed for `{}`: {e}", case.name))?;

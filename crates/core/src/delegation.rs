@@ -1,0 +1,372 @@
+//! Delegation-graph resolution: multi-hop chains, beacons, and the
+//! upgradeability classifier.
+//!
+//! Real deployments compose proxies: a minimal proxy clones an EIP-1967
+//! proxy, a beacon proxy asks a separate contract where the logic lives,
+//! and a chain of two or three hops ends at the contract whose layout
+//! actually matters for collision analysis. A single-hop `ImplSource`
+//! cannot represent this, so the resolution core produces a
+//! [`DelegationChain`]: one [`DelegationHop`] per proxy encountered (each
+//! with its own source kind), the *terminal* logic the collision checks
+//! must run against, and cycle/truncation flags so adversarial graphs
+//! cannot hang the resolver.
+//!
+//! On top of the chain shape, [`classify_upgradeability`] answers the
+//! UPC-Sentinel-style question: can the delegation target ever change?
+//! A chain of hardcoded forwarders is [`Upgradeability::Frozen`]; a chain
+//! with a slot or beacon binding that some reachable code path can write
+//! is an [`Upgradeability::UpgradeableProxy`]; a slot binding nothing in
+//! the resolved graph can write is a plain [`Upgradeability::Proxy`].
+
+use proxion_chain::{ChainSource, SourceResult};
+use proxion_primitives::{Address, B256, U256};
+
+use crate::artifacts::ArtifactStore;
+use crate::proxy::{ImplSource, ProxyCheck, ProxyStandard};
+use crate::storage::{AccessKind, StorageCollisionDetector};
+
+/// Hop budget of the chain resolver. Mainnet chains are 2–3 hops deep;
+/// anything past this is adversarial and reported as truncated.
+pub const MAX_DELEGATION_DEPTH: usize = 8;
+
+/// One proxy in a delegation chain: the account, the code it carried when
+/// resolved, where its implementation pointer came from, and the target it
+/// forwarded to during emulation.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DelegationHop {
+    /// The proxy account.
+    pub address: Address,
+    /// `keccak256` of the proxy's runtime bytecode at resolution time —
+    /// the metamorphic-safety token: a redeploy changes the hash and
+    /// invalidates any state bound to this hop.
+    pub code_hash: B256,
+    /// Where this hop's implementation pointer came from.
+    pub source: ImplSource,
+    /// Standard classification of this hop.
+    pub standard: ProxyStandard,
+    /// The address this hop delegated to.
+    pub target: Address,
+}
+
+/// An ordered delegation chain from an entry proxy to its terminal logic.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DelegationChain {
+    /// The hops, entry proxy first. Never empty.
+    pub hops: Vec<DelegationHop>,
+    /// The first non-proxy contract reached — what the collision checks
+    /// run against. On a cycle, the address where the walk closed; on
+    /// truncation, the first unvisited target.
+    pub terminal: Address,
+    /// The walk revisited an address (mutually-referential proxies).
+    pub cycle: bool,
+    /// The walk ran out of hop budget before reaching a non-proxy.
+    pub truncated: bool,
+    /// Head height the chain was resolved at.
+    pub as_of_block: u64,
+}
+
+impl DelegationChain {
+    /// A one-hop chain — the shape every pre-existing single-hop consumer
+    /// migrates through mechanically.
+    pub fn single_hop(
+        address: Address,
+        code_hash: B256,
+        source: ImplSource,
+        standard: ProxyStandard,
+        target: Address,
+        as_of_block: u64,
+    ) -> Self {
+        DelegationChain {
+            hops: vec![DelegationHop {
+                address,
+                code_hash,
+                source,
+                standard,
+                target,
+            }],
+            terminal: target,
+            cycle: false,
+            truncated: false,
+            as_of_block,
+        }
+    }
+
+    /// The entry hop (the address the caller asked about).
+    pub fn entry(&self) -> &DelegationHop {
+        self.hops.first().expect("chains are never empty")
+    }
+
+    /// Number of proxy hops.
+    pub fn depth(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The entry proxy's own storage slot, if its pointer lives in one —
+    /// the slot whose timeline Algorithm 1 recovers. Beacon entries expose
+    /// the beacon-address slot.
+    pub fn entry_storage_slot(&self) -> Option<U256> {
+        self.entry().source.storage_slot()
+    }
+
+    /// Whether the terminal was reached cleanly (no cycle, no truncation,
+    /// and a non-zero terminal address).
+    pub fn is_resolved(&self) -> bool {
+        !self.cycle && !self.truncated && !self.terminal.is_zero()
+    }
+}
+
+/// Can the delegation target of a resolved chain ever change? The
+/// three-way split UPC Sentinel evaluates on mainnet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum Upgradeability {
+    /// Every hop hardcodes its target: the chain can never point anywhere
+    /// else (EIP-1167 clones of immutable logic).
+    Frozen,
+    /// At least one hop reads its target from mutable state, but no code
+    /// in the resolved graph can write that binding — a proxy, yet not an
+    /// upgradeable one.
+    Proxy,
+    /// Some reachable code path (the hop's own setter, a UUPS write in
+    /// the terminal logic, or a beacon setter) can rebind a hop's target.
+    UpgradeableProxy,
+}
+
+impl Upgradeability {
+    /// The stable string the reports and wire schemas use.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Upgradeability::Frozen => "frozen",
+            Upgradeability::Proxy => "proxy",
+            Upgradeability::UpgradeableProxy => "upgradeable-proxy",
+        }
+    }
+}
+
+/// Walks the delegation graph from `address`, classifying each hop with
+/// `check` (which also reports the hop's codehash, so cached and uncached
+/// callers share one walk). Returns `None` when the entry is not a proxy.
+pub(crate) fn resolve_chain_with<S, F>(
+    chain: &S,
+    address: Address,
+    mut check: F,
+) -> SourceResult<Option<DelegationChain>>
+where
+    S: ChainSource + ?Sized,
+    F: FnMut(&S, Address) -> SourceResult<(ProxyCheck, B256)>,
+{
+    let head = chain.head_block()?;
+    let mut hops: Vec<DelegationHop> = Vec::new();
+    let mut visited = vec![address];
+    let mut current = address;
+    let mut cycle = false;
+    let mut truncated = false;
+    loop {
+        let (verdict, code_hash) = check(chain, current)?;
+        match verdict {
+            ProxyCheck::Proxy {
+                logic,
+                impl_source,
+                standard,
+            } => {
+                hops.push(DelegationHop {
+                    address: current,
+                    code_hash,
+                    source: impl_source,
+                    standard,
+                    target: logic,
+                });
+                if logic.is_zero() {
+                    // Unset pointer: the chain dead-ends at the zero
+                    // address (still a proxy, nothing to analyze behind).
+                    current = logic;
+                    break;
+                }
+                if visited.contains(&logic) {
+                    cycle = true;
+                    current = logic;
+                    break;
+                }
+                if hops.len() >= MAX_DELEGATION_DEPTH {
+                    truncated = true;
+                    current = logic;
+                    break;
+                }
+                visited.push(logic);
+                current = logic;
+            }
+            ProxyCheck::NotProxy(_) => break,
+        }
+    }
+    if hops.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(DelegationChain {
+        hops,
+        terminal: current,
+        cycle,
+        truncated,
+        as_of_block: head,
+    }))
+}
+
+/// Whether `artifacts` contains a reachable write to scalar slot `slot`.
+fn writes_slot(
+    detector: &StorageCollisionDetector,
+    store: &ArtifactStore,
+    code: std::sync::Arc<Vec<u8>>,
+    slot: U256,
+) -> bool {
+    let artifacts = store.intern(code);
+    detector
+        .layout_of_artifacts(&artifacts)
+        .iter()
+        .any(|r| r.kind == AccessKind::Write && !r.hashed && r.slot == slot)
+}
+
+/// Whether `artifacts` contains any reachable non-hashed storage write.
+fn writes_any_slot(
+    detector: &StorageCollisionDetector,
+    store: &ArtifactStore,
+    code: std::sync::Arc<Vec<u8>>,
+) -> bool {
+    let artifacts = store.intern(code);
+    detector
+        .layout_of_artifacts(&artifacts)
+        .iter()
+        .any(|r| r.kind == AccessKind::Write && !r.hashed)
+}
+
+/// Classifies a resolved chain's upgradeability from the access regions of
+/// the code actually participating in it.
+///
+/// A hop's slot binding is mutable when the hop's own code writes the slot
+/// (transparent-proxy setters), when the *terminal* logic writes it (UUPS:
+/// the setter runs in the proxy's storage context via delegatecall), or —
+/// for beacon hops — when the beacon contract writes any of its own scalar
+/// slots (the implementation pointer lives beacon-side).
+///
+/// # Errors
+///
+/// Propagates backend failures from the code reads.
+pub fn classify_upgradeability<S: ChainSource + ?Sized>(
+    chain: &S,
+    store: &ArtifactStore,
+    detector: &StorageCollisionDetector,
+    delegation: &DelegationChain,
+) -> SourceResult<Upgradeability> {
+    let terminal_code = chain.code_at(delegation.terminal)?;
+    let mut any_mutable = false;
+    let mut all_hardcoded = true;
+    for hop in &delegation.hops {
+        match hop.source {
+            ImplSource::Hardcoded => {}
+            ImplSource::StorageSlot(slot) => {
+                all_hardcoded = false;
+                if writes_slot(detector, store, chain.code_at(hop.address)?, slot)
+                    || writes_slot(detector, store, terminal_code.clone(), slot)
+                {
+                    any_mutable = true;
+                }
+            }
+            ImplSource::Beacon { slot, beacon } => {
+                all_hardcoded = false;
+                if writes_slot(detector, store, chain.code_at(hop.address)?, slot)
+                    || writes_any_slot(detector, store, chain.code_at(beacon)?)
+                {
+                    any_mutable = true;
+                }
+            }
+            ImplSource::Computed => {
+                all_hardcoded = false;
+            }
+        }
+    }
+    Ok(if any_mutable {
+        Upgradeability::UpgradeableProxy
+    } else if all_hardcoded {
+        Upgradeability::Frozen
+    } else {
+        Upgradeability::Proxy
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(address: u64, source: ImplSource, target: u64) -> DelegationHop {
+        DelegationHop {
+            address: Address::from_low_u64(address),
+            code_hash: proxion_primitives::keccak256(&address.to_be_bytes()),
+            source,
+            standard: ProxyStandard::Other,
+            target: Address::from_low_u64(target),
+        }
+    }
+
+    #[test]
+    fn single_hop_constructor_matches_manual_chain() {
+        let chain = DelegationChain::single_hop(
+            Address::from_low_u64(1),
+            proxion_primitives::keccak256(b"x"),
+            ImplSource::StorageSlot(U256::from(7u64)),
+            ProxyStandard::NonStandardSlot,
+            Address::from_low_u64(2),
+            42,
+        );
+        assert_eq!(chain.depth(), 1);
+        assert_eq!(chain.terminal, Address::from_low_u64(2));
+        assert_eq!(chain.entry_storage_slot(), Some(U256::from(7u64)));
+        assert!(chain.is_resolved());
+    }
+
+    #[test]
+    fn beacon_entry_exposes_beacon_slot() {
+        let slot = U256::from(11u64);
+        let chain = DelegationChain {
+            hops: vec![hop(
+                1,
+                ImplSource::Beacon {
+                    slot,
+                    beacon: Address::from_low_u64(9),
+                },
+                2,
+            )],
+            terminal: Address::from_low_u64(2),
+            cycle: false,
+            truncated: false,
+            as_of_block: 1,
+        };
+        assert_eq!(chain.entry_storage_slot(), Some(slot));
+    }
+
+    #[test]
+    fn unresolved_flags_reported() {
+        let cyclic = DelegationChain {
+            hops: vec![hop(1, ImplSource::StorageSlot(U256::ZERO), 2)],
+            terminal: Address::from_low_u64(1),
+            cycle: true,
+            truncated: false,
+            as_of_block: 3,
+        };
+        assert!(!cyclic.is_resolved());
+        let dead_end = DelegationChain {
+            hops: vec![hop(1, ImplSource::Hardcoded, 0)],
+            terminal: Address::ZERO,
+            cycle: false,
+            truncated: false,
+            as_of_block: 3,
+        };
+        assert!(!dead_end.is_resolved());
+    }
+
+    #[test]
+    fn upgradeability_labels_stable() {
+        assert_eq!(Upgradeability::Frozen.label(), "frozen");
+        assert_eq!(Upgradeability::Proxy.label(), "proxy");
+        assert_eq!(
+            Upgradeability::UpgradeableProxy.label(),
+            "upgradeable-proxy"
+        );
+    }
+}

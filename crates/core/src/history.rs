@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use proxion_chain::{ChainSource, ShardedLru, SourceResult};
-use proxion_primitives::{Address, U256};
+use proxion_primitives::{Address, B256, U256};
 
 use crate::logic::{LogicHistory, LogicResolver, UpgradeEvent};
 
@@ -45,6 +45,13 @@ pub struct SlotTimeline {
     points: Vec<(u64, U256)>,
     resolved_to: Option<u64>,
     probes: u64,
+    /// Hash of the proxy code the timeline was last extended against.
+    /// `address → code` is not stable (CREATE2 metamorphic redeploys), so
+    /// a timeline is only meaningful for the code it was resolved for;
+    /// a hash change on the next extension resets the resolved prefix.
+    /// `None` until first bound (fresh and restored timelines alike —
+    /// restores revalidate on their first live extension).
+    code_hash: Option<B256>,
 }
 
 impl SlotTimeline {
@@ -56,6 +63,7 @@ impl SlotTimeline {
             points: Vec::new(),
             resolved_to: None,
             probes: 0,
+            code_hash: None,
         }
     }
 
@@ -94,6 +102,7 @@ impl SlotTimeline {
             points,
             resolved_to,
             probes,
+            code_hash: None,
         })
     }
 
@@ -128,6 +137,22 @@ impl SlotTimeline {
     /// zero epoch included.
     pub fn points(&self) -> &[(u64, U256)] {
         &self.points
+    }
+
+    /// Binds the timeline to the proxy code it is about to be extended
+    /// against. Returns `true` when a *different* code was previously
+    /// bound — the metamorphic case — in which case the resolved prefix
+    /// is discarded: those change points describe the storage of code
+    /// that no longer exists at the address. The probe counter stays
+    /// monotonic (it measures investment, not validity).
+    pub(crate) fn rebind(&mut self, current: B256) -> bool {
+        let stale = self.code_hash.is_some_and(|h| h != current);
+        if stale {
+            self.points.clear();
+            self.resolved_to = None;
+        }
+        self.code_hash = Some(current);
+        stale
     }
 
     /// Merges freshly partitioned `points` covering
@@ -199,6 +224,9 @@ pub struct HistoryIndexStats {
     /// Probes that resolving from genesis would have re-spent but the
     /// resident timeline prefix made unnecessary.
     pub probes_saved: u64,
+    /// Timelines whose resolved prefix was discarded because the proxy's
+    /// code changed under them (metamorphic redeploys).
+    pub invalidations: u64,
 }
 
 /// A sharded, size-bounded store of [`SlotTimeline`]s keyed by
@@ -215,6 +243,7 @@ pub struct HistoryIndex {
     extensions: AtomicU64,
     probes_issued: AtomicU64,
     probes_saved: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl HistoryIndex {
@@ -229,6 +258,7 @@ impl HistoryIndex {
             extensions: AtomicU64::new(0),
             probes_issued: AtomicU64::new(0),
             probes_saved: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -257,14 +287,26 @@ impl HistoryIndex {
         let prior = timeline.probes();
         if timeline.resolved_to().is_some_and(|r| r >= head) {
             // Fully served from the index: a from-scratch resolution
-            // would have re-spent the whole prefix.
+            // would have re-spent the whole prefix. (Zero-read by design:
+            // a metamorphic redeploy always advances the head, so a
+            // covered head proves the binding was validated at or past
+            // the last code change the feed announced.)
             self.probes_saved.fetch_add(prior, Ordering::Relaxed);
             return Ok(timeline.history_at(head));
+        }
+        // Extension path: revalidate the account→code binding first. A
+        // hash change means the address was selfdestructed and redeployed
+        // — the resolved prefix describes dead code and is discarded.
+        let stale = timeline.rebind(chain.code_hash_at(proxy)?);
+        if stale {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
         let spent = self.resolver.extend(chain, &mut timeline, head)?;
         self.extensions.fetch_add(1, Ordering::Relaxed);
         self.probes_issued.fetch_add(spent, Ordering::Relaxed);
-        self.probes_saved.fetch_add(prior, Ordering::Relaxed);
+        if !stale {
+            self.probes_saved.fetch_add(prior, Ordering::Relaxed);
+        }
         Ok(timeline.history_at(head))
     }
 
@@ -316,6 +358,7 @@ impl HistoryIndex {
             extensions: self.extensions.load(Ordering::Relaxed),
             probes_issued: self.probes_issued.load(Ordering::Relaxed),
             probes_saved: self.probes_saved.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -516,6 +559,57 @@ mod tests {
         let history = index.extend_to(&chain, proxy, U256::ZERO, head2).unwrap();
         assert_eq!(history.resolved_to, head2);
         assert_eq!(history.addresses.len(), 1);
+    }
+
+    #[test]
+    fn metamorphic_redeploy_invalidates_timeline() {
+        // The incremental extension trusts the standing value at
+        // `resolved_to` (never-reinstall assumption). A selfdestruct
+        // zeroes the slot and a redeploy may reinstall the same value —
+        // exactly the swap the 2-probe extension cannot see. The index
+        // must detect the code change and re-resolve from scratch.
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let proxy = chain.install_new(me, vec![op::STOP]).unwrap();
+        let old_logic = Address::from_low_u64(0xaaaa);
+        chain.set_storage(proxy, U256::ZERO, U256::from(old_logic));
+        for _ in 0..40 {
+            chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        }
+
+        let index = HistoryIndex::default();
+        let before = index
+            .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+            .unwrap();
+        assert_eq!(before.addresses, vec![old_logic]);
+        assert_eq!(index.stats().invalidations, 0);
+
+        // Metamorphic swap: different code, and the slot is re-pointed at
+        // a different logic after the rebirth.
+        chain.selfdestruct(proxy).unwrap();
+        chain.redeploy(me, proxy, vec![op::STOP, op::STOP]).unwrap();
+        let new_logic = Address::from_low_u64(0xbbbb);
+        chain.set_storage(proxy, U256::ZERO, U256::from(new_logic));
+
+        let after = index
+            .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+            .unwrap();
+        assert_eq!(index.stats().invalidations, 1);
+        // The re-resolved timeline reflects the archived reality: old
+        // value, the destruct-zeroing, then the new value — and the last
+        // standing logic is the new one.
+        assert_eq!(after.addresses.last(), Some(&new_logic));
+        assert_eq!(
+            Address::from_word(index.snapshot_timelines()[0].last_value()),
+            new_logic
+        );
+
+        // A further extension with unchanged code does not re-invalidate.
+        chain.set_storage(proxy, U256::from(7u64), U256::ONE);
+        index
+            .extend_to(&chain, proxy, U256::ZERO, chain.head_block())
+            .unwrap();
+        assert_eq!(index.stats().invalidations, 1);
     }
 
     #[test]

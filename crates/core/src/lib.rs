@@ -60,6 +60,7 @@
 
 mod artifacts;
 mod cache;
+mod delegation;
 mod diamond;
 mod funcsig;
 mod history;
@@ -70,6 +71,9 @@ mod storage;
 
 pub use artifacts::{ArtifactStore, ArtifactStoreStats, CodeArtifacts};
 pub use cache::{AnalysisCache, AnalysisCacheStats, CacheStats, CachedVerdict, ShardedLru};
+pub use delegation::{
+    classify_upgradeability, DelegationChain, DelegationHop, Upgradeability, MAX_DELEGATION_DEPTH,
+};
 pub use diamond::{DiamondCheck, DiamondDetector, FacetRoute};
 pub use funcsig::{
     FunctionCollision, FunctionCollisionDetector, FunctionCollisionReport, SelectorSource,

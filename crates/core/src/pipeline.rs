@@ -17,6 +17,7 @@ use proxion_telemetry::{Outcome, Stage, Telemetry};
 
 use crate::artifacts::{ArtifactStore, CodeArtifacts};
 use crate::cache::{AnalysisCache, CachedVerdict};
+use crate::delegation::{classify_upgradeability, DelegationChain, Upgradeability};
 use crate::funcsig::{FunctionCollisionDetector, FunctionCollisionReport};
 use crate::history::HistoryIndex;
 use crate::logic::LogicHistory;
@@ -114,6 +115,12 @@ pub struct ContractReport {
     pub code_hash: B256,
     /// The proxy check outcome.
     pub check: ProxyCheck,
+    /// The resolved delegation chain (proxies only): every hop from the
+    /// entry proxy through beacons and chained proxies to the terminal
+    /// logic, with per-hop sources and cycle/truncation flags.
+    pub delegation: Option<DelegationChain>,
+    /// Upgradeability class of the resolved chain (proxies only).
+    pub upgradeability: Option<Upgradeability>,
     /// Whether verified source is available (directly or propagated).
     pub has_source: bool,
     /// Whether the contract appears in any transaction.
@@ -181,6 +188,28 @@ impl AnalysisReport {
             }
         }
         out
+    }
+
+    /// Distribution of upgradeability classes over the identified proxies
+    /// (the UPC-Sentinel-style three-way split; feeds the landscape
+    /// report's per-class counts).
+    pub fn upgradeability_distribution(&self) -> HashMap<Upgradeability, usize> {
+        let mut out = HashMap::new();
+        for report in &self.reports {
+            if let Some(class) = report.upgradeability {
+                *out.entry(class).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of proxies whose delegation chain has more than one hop
+    /// (chained proxies: clones of proxies, proxies behind beacons).
+    pub fn multi_hop_proxy_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.delegation.as_ref().is_some_and(|d| d.depth() > 1))
+            .count()
     }
 
     /// Number of pairs with at least one function collision.
@@ -508,6 +537,8 @@ impl Pipeline {
             address,
             code_hash: B256::ZERO,
             check: ProxyCheck::NotProxy(NotProxyReason::SourceError(error.to_string())),
+            delegation: None,
+            upgradeability: None,
             has_source: false,
             has_transactions: false,
             deploy_block: 0,
@@ -519,13 +550,20 @@ impl Pipeline {
         }
     }
 
-    /// One analysis attempt; the first backend failure aborts it.
-    fn try_analyze_one<S: ChainSource + ?Sized>(
+    /// One cached proxy check: interns the bytecode, reuses (or inserts)
+    /// the per-codehash verdict, and reports the codehash alongside — the
+    /// shape the delegation walk consumes per hop.
+    ///
+    /// Proxy detection is bytecode-determined (except the concrete logic
+    /// address); identical bytecode shares one verdict. A verdict computed
+    /// at an older head is *revalidated*, not recomputed: rehydration
+    /// re-reads the address-level slot state at the current head, and the
+    /// refreshed stamp is written back.
+    fn cached_check<S: ChainSource + ?Sized>(
         &self,
         chain: &S,
-        etherscan: &Etherscan,
         address: Address,
-    ) -> SourceResult<ContractReport> {
+    ) -> SourceResult<(ProxyCheck, B256)> {
         let head = chain.head_block()?;
         let code = chain.code_at(address)?;
         let artifacts = {
@@ -535,12 +573,6 @@ impl Pipeline {
             self.artifacts.intern(code)
         };
         let code_hash = artifacts.code_hash();
-
-        // Proxy detection is bytecode-determined (except the concrete
-        // logic address); reuse cached verdicts for identical bytecode. A
-        // verdict computed at an older head is *revalidated*, not
-        // recomputed: rehydration re-reads the address-level slot state
-        // at the current head, and the refreshed stamp is written back.
         let check = match self.cache.get_check(&code_hash, head) {
             Some(verdict) => {
                 let check = self.rehydrate(chain, address, &artifacts, &verdict)?;
@@ -583,31 +615,77 @@ impl Pipeline {
                 fresh
             }
         };
+        Ok((check, code_hash))
+    }
 
-        let history = match (&check, self.config.resolve_history) {
-            (
-                ProxyCheck::Proxy {
-                    impl_source: ImplSource::StorageSlot(slot),
-                    ..
-                },
-                true,
-            ) => {
-                let _span = self
-                    .telemetry
-                    .span(Stage::HistoryResolution, "resolve_history");
-                Some(self.history.extend_to(chain, address, *slot, head)?)
+    /// One analysis attempt; the first backend failure aborts it.
+    fn try_analyze_one<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        etherscan: &Etherscan,
+        address: Address,
+    ) -> SourceResult<ContractReport> {
+        let head = chain.head_block()?;
+        let (check, code_hash) = self.cached_check(chain, address)?;
+
+        // Walk the delegation graph behind a positive verdict: each
+        // further hop goes through the same cached check, and the entry
+        // hop reuses the verdict just computed instead of re-checking.
+        let mut seed = Some((check.clone(), code_hash));
+        let delegation = match &check {
+            ProxyCheck::Proxy { .. } => {
+                crate::delegation::resolve_chain_with(chain, address, |c, a| {
+                    if a == address {
+                        if let Some(entry) = seed.take() {
+                            return Ok(entry);
+                        }
+                    }
+                    self.cached_check(c, a)
+                })?
             }
+            ProxyCheck::NotProxy(_) => None,
+        };
+        let upgradeability = match delegation.as_ref() {
+            Some(chain_shape) => Some(classify_upgradeability(
+                chain,
+                &self.artifacts,
+                &self.storage,
+                chain_shape,
+            )?),
+            None => None,
+        };
+
+        // Algorithm 1 recovers the timeline of the *entry* proxy's own
+        // slot — the implementation pointer, or the beacon-address slot
+        // for beacon proxies.
+        let history = match (delegation.as_ref(), self.config.resolve_history) {
+            (Some(delegation), true) => match delegation.entry_storage_slot() {
+                Some(slot) => {
+                    let _span = self
+                        .telemetry
+                        .span(Stage::HistoryResolution, "resolve_history");
+                    Some(self.history.extend_to(chain, address, slot, head)?)
+                }
+                None => None,
+            },
             _ => None,
         };
 
-        let (function_collisions, storage_collisions) = match (&check, self.config.check_collisions)
-        {
-            (ProxyCheck::Proxy { logic, .. }, true) if !logic.is_zero() => {
-                let (f, s) = self.check_pair(chain, etherscan, address, *logic)?;
-                (Some(f), Some(s))
-            }
-            _ => (None, None),
-        };
+        // Collision checks run against the *terminal* logic — the
+        // contract whose dispatcher and layout actually serve the calls —
+        // not the next hop.
+        let collision_target = delegation
+            .as_ref()
+            .filter(|d| d.is_resolved())
+            .map(|d| d.terminal);
+        let (function_collisions, storage_collisions) =
+            match (collision_target, self.config.check_collisions) {
+                (Some(logic), true) => {
+                    let (f, s) = self.check_pair(chain, etherscan, address, logic)?;
+                    (Some(f), Some(s))
+                }
+                _ => (None, None),
+            };
 
         // Historical (superseded) pairs, when requested.
         let mut historical_pairs = Vec::new();
@@ -632,6 +710,8 @@ impl Pipeline {
             address,
             code_hash,
             check,
+            delegation,
+            upgradeability,
             has_source: etherscan.effective_source(address).is_some(),
             has_transactions: chain.has_transactions(address)?,
             deploy_block: chain.deployment(address)?.map(|d| d.block).unwrap_or(0),
@@ -702,10 +782,11 @@ impl Pipeline {
             ImplSource::StorageSlot(slot) => {
                 Address::from_word(chain.storage_latest(address, slot)?)
             }
-            ImplSource::Hardcoded | ImplSource::Computed => {
-                // Hard-coded addresses require reading the bytecode; rerun
-                // the cheap emulation path for exactness (against the
-                // already-interned artifacts — no re-disassembly).
+            ImplSource::Hardcoded | ImplSource::Computed | ImplSource::Beacon { .. } => {
+                // Hard-coded addresses require reading the bytecode, and
+                // beacon targets come from a live call into the beacon;
+                // rerun the cheap emulation path for exactness (against
+                // the already-interned artifacts — no re-disassembly).
                 return self.detector.try_check_artifacts(chain, address, artifacts);
             }
         };
@@ -809,9 +890,108 @@ mod tests {
         let standards = report.standard_distribution();
         assert_eq!(standards.get(&ProxyStandard::Eip1967), Some(&1));
         assert_eq!(standards.get(&ProxyStandard::Eip1167), Some(&1));
-        assert_eq!(standards.get(&ProxyStandard::Other), Some(&1));
+        // The wyvern-style proxy keeps its pointer in slot 1 — a
+        // non-standard slot, reported distinctly (paper Table 2).
+        assert_eq!(standards.get(&ProxyStandard::NonStandardSlot), Some(&1));
         // The wyvern pair has 3 function collisions.
         assert_eq!(report.function_collision_count(), 1);
+        // Every proxy resolves a single-hop chain whose terminal is the
+        // direct logic, and every slot-based proxy is upgradeable (both
+        // templates carry setters).
+        for r in report.proxies() {
+            let delegation = r.delegation.as_ref().expect("proxies carry chains");
+            assert_eq!(delegation.depth(), 1);
+            assert_eq!(Some(delegation.terminal), r.check.logic());
+            assert!(delegation.is_resolved());
+        }
+        let classes = report.upgradeability_distribution();
+        assert_eq!(classes.get(&Upgradeability::UpgradeableProxy), Some(&2));
+        assert_eq!(classes.get(&Upgradeability::Frozen), Some(&1), "EIP-1167");
+        assert_eq!(report.multi_hop_proxy_count(), 0);
+    }
+
+    #[test]
+    fn multi_hop_chain_checked_against_terminal() {
+        // Entry proxy (wyvern-style, slot 1) → middle EIP-1967 proxy →
+        // wyvern logic. The colliding pair is (entry, wyvern logic): only
+        // a resolver that walks to the *terminal* sees the collisions.
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&templates::wyvern_logic("WL")).unwrap().runtime)
+            .unwrap();
+        let middle = chain
+            .install_new(me, compile(&templates::eip1967_proxy("M")).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(
+            middle,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(logic),
+        );
+        let entry = chain
+            .install_new(
+                me,
+                compile(&templates::ownable_delegate_proxy("E"))
+                    .unwrap()
+                    .runtime,
+            )
+            .unwrap();
+        chain.set_storage(entry, U256::ONE, U256::from(logic));
+        chain.set_storage(entry, U256::ONE, U256::from(middle));
+
+        let report = Pipeline::default().analyze(&chain, &Etherscan::new(), &[entry]);
+        let r = &report.reports[0];
+        let delegation = r.delegation.as_ref().expect("chain resolved");
+        assert_eq!(delegation.depth(), 2, "entry + middle hops");
+        assert_eq!(delegation.terminal, logic);
+        assert!(delegation.is_resolved());
+        assert_eq!(delegation.hops[0].address, entry);
+        assert_eq!(delegation.hops[0].target, middle);
+        assert_eq!(delegation.hops[1].address, middle);
+        assert_eq!(delegation.hops[1].target, logic);
+        // The collision check ran against the terminal wyvern logic.
+        assert!(r.function_collisions.as_ref().unwrap().has_collisions());
+        assert_eq!(report.multi_hop_proxy_count(), 1);
+        // The entry's own slot history still resolves (slot 1 changed
+        // logic → middle: one upgrade event).
+        assert_eq!(r.history.as_ref().unwrap().addresses, vec![logic, middle]);
+    }
+
+    #[test]
+    fn beacon_proxy_classified_and_resolved() {
+        let mut chain = Chain::new();
+        let etherscan = Etherscan::new();
+        let me = chain.new_funded_account();
+        let logic = chain
+            .install_new(me, compile(&templates::simple_logic("L")).unwrap().runtime)
+            .unwrap();
+        let beacon = chain
+            .install_new(me, compile(&templates::beacon("B")).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(beacon, U256::ZERO, U256::from(logic));
+        let slot = templates::eip1967_beacon_slot().to_u256();
+        let proxy = chain
+            .install_new(me, compile(&templates::beacon_proxy("BP")).unwrap().runtime)
+            .unwrap();
+        chain.set_storage(proxy, slot, U256::from(beacon));
+
+        let report = Pipeline::default().analyze(&chain, &etherscan, &[proxy]);
+        let r = &report.reports[0];
+        assert!(r.check.is_proxy());
+        let delegation = r.delegation.as_ref().expect("chain resolved");
+        assert_eq!(delegation.depth(), 1);
+        assert_eq!(delegation.terminal, logic);
+        assert_eq!(
+            delegation.entry().source,
+            ImplSource::Beacon { slot, beacon }
+        );
+        // History tracks the beacon-address slot.
+        assert_eq!(delegation.entry_storage_slot(), Some(slot));
+        assert_eq!(r.history.as_ref().unwrap().addresses, vec![beacon]);
+        // The beacon carries a setter, so the chain is upgradeable.
+        assert_eq!(r.upgradeability, Some(Upgradeability::UpgradeableProxy));
+        // Collisions ran against the resolved logic, not the beacon.
+        assert!(r.function_collisions.is_some());
     }
 
     #[test]

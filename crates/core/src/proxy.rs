@@ -18,9 +18,32 @@ pub enum ImplSource {
     Hardcoded,
     /// Loaded from the given storage slot.
     StorageSlot(U256),
+    /// Fetched from a beacon contract: the proxy reads the *beacon's*
+    /// address from `slot`, calls it, and delegate-calls whatever it
+    /// returned. Upgrades happen on the beacon, not the proxy, so the
+    /// proxy's own storage never changes when the logic does.
+    Beacon {
+        /// The proxy storage slot holding the beacon address.
+        slot: U256,
+        /// The beacon contract observed during emulation.
+        beacon: Address,
+    },
     /// Computed at runtime in a way the provenance tags could not
     /// attribute (e.g. a memory round-trip).
     Computed,
+}
+
+impl ImplSource {
+    /// The proxy-side storage slot the resolution starts from, if any —
+    /// the slot Algorithm 1's binary search walks. Beacon proxies expose
+    /// their *beacon* slot (the timeline of beacon bindings); hardcoded
+    /// and computed sources have no slot to walk.
+    pub fn storage_slot(&self) -> Option<U256> {
+        match self {
+            ImplSource::StorageSlot(slot) | ImplSource::Beacon { slot, .. } => Some(*slot),
+            ImplSource::Hardcoded | ImplSource::Computed => None,
+        }
+    }
 }
 
 /// The proxy standard a contract follows (paper Table 4).
@@ -32,7 +55,15 @@ pub enum ProxyStandard {
     Eip1822,
     /// EIP-1967 (`keccak256("eip1967.proxy.implementation") - 1` slot).
     Eip1967,
-    /// A proxy that stores its logic address elsewhere.
+    /// A beacon proxy: the implementation comes from a beacon contract
+    /// call, not from the proxy's own storage.
+    Beacon,
+    /// A slot-based proxy whose slot is neither the EIP-1967 nor the
+    /// EIP-1822 well-known slot (paper Table 2's non-standard-slot row).
+    /// The slot itself is on the check's [`ImplSource::StorageSlot`].
+    NonStandardSlot,
+    /// A proxy whose implementation source could not be attributed to a
+    /// known pattern (runtime-computed addresses).
     Other,
 }
 
@@ -218,6 +249,27 @@ impl ProxyDetector {
         hops
     }
 
+    /// Resolves the full delegation chain from `address`: one hop per
+    /// proxy (slot, beacon, hardcoded or computed source each), following
+    /// targets recursively up to [`crate::MAX_DELEGATION_DEPTH`] with
+    /// cycle detection. Returns `None` when `address` is not a proxy.
+    ///
+    /// This is the uncached walk (one fresh check per hop); the pipeline
+    /// performs the same walk through its verdict cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend failure of any hop's check.
+    pub fn resolve_chain<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+    ) -> SourceResult<Option<crate::DelegationChain>> {
+        crate::delegation::resolve_chain_with(chain, address, |c, a| {
+            Ok((self.try_check(c, a)?, c.code_hash_at(a)?))
+        })
+    }
+
     /// Runs the two-step proxy check against any [`ChainSource`] backend.
     ///
     /// The emulation runs on a [`SourceHost`] overlay; the backend is
@@ -364,7 +416,28 @@ impl ProxyDetector {
                 let impl_source = match obs.target_word.origin {
                     Origin::CodeConstant => ImplSource::Hardcoded,
                     Origin::StorageSlot(slot) => ImplSource::StorageSlot(slot),
-                    _ => ImplSource::Computed,
+                    // The delegate target was not traceable to code or a
+                    // slot — check for the beacon shape: before the
+                    // delegatecall, the outer frame called out to an
+                    // address it loaded from its own storage (SLOAD slot →
+                    // CALL/STATICCALL beacon → use the returned word).
+                    _ => inspector
+                        .calls
+                        .iter()
+                        .find(|c| {
+                            c.depth == 0
+                                && c.caller == address
+                                && c.kind != proxion_evm::CallKind::DelegateCall
+                                && matches!(c.target_word.origin, Origin::StorageSlot(_))
+                        })
+                        .map(|c| match c.target_word.origin {
+                            Origin::StorageSlot(slot) => ImplSource::Beacon {
+                                slot,
+                                beacon: c.code_address,
+                            },
+                            _ => unreachable!("filtered on StorageSlot origin"),
+                        })
+                        .unwrap_or(ImplSource::Computed),
                 };
                 let standard = classify(artifacts.code(), impl_source);
                 ProxyCheck::Proxy {
@@ -408,9 +481,13 @@ fn classify(code: &[u8], impl_source: ImplSource) -> ProxyStandard {
             } else if slot == SlotSpec::eip1822_proxiable().to_u256() {
                 ProxyStandard::Eip1822
             } else {
-                ProxyStandard::Other
+                // Surfaced distinctly (not folded into `Other`) so the
+                // landscape can count the paper's non-standard-slot row;
+                // the slot itself rides on the `ImplSource`.
+                ProxyStandard::NonStandardSlot
             }
         }
+        ImplSource::Beacon { .. } => ProxyStandard::Beacon,
         ImplSource::Computed => ProxyStandard::Other,
     }
 }
@@ -488,7 +565,7 @@ mod tests {
     }
 
     #[test]
-    fn custom_slot_proxy_classified_other() {
+    fn custom_slot_proxy_classified_non_standard() {
         let mut fx = Fixture::new();
         let logic = fx.install_spec(&templates::simple_logic("L"));
         let proxy = fx.install_spec(&templates::custom_slot_proxy("P", 7));
@@ -496,11 +573,32 @@ mod tests {
             .set_storage(proxy, U256::from(7u64), U256::from(logic));
         let check = fx.check(proxy);
         assert!(check.is_proxy());
-        assert_eq!(check.standard(), Some(ProxyStandard::Other));
+        assert_eq!(check.standard(), Some(ProxyStandard::NonStandardSlot));
         assert_eq!(
             check.impl_source(),
             Some(ImplSource::StorageSlot(U256::from(7u64)))
         );
+    }
+
+    #[test]
+    fn beacon_proxy_detected_with_beacon_source() {
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        let beacon = fx.install_spec(&templates::beacon("B"));
+        fx.chain.set_storage(beacon, U256::ZERO, U256::from(logic));
+        let proxy = fx.install_spec(&templates::beacon_proxy("P"));
+        let slot = templates::eip1967_beacon_slot().to_u256();
+        fx.chain.set_storage(proxy, slot, U256::from(beacon));
+
+        let check = fx.check(proxy);
+        assert!(check.is_proxy());
+        assert_eq!(check.logic(), Some(logic));
+        assert_eq!(check.standard(), Some(ProxyStandard::Beacon));
+        assert_eq!(
+            check.impl_source(),
+            Some(ImplSource::Beacon { slot, beacon })
+        );
+        assert_eq!(check.impl_source().unwrap().storage_slot(), Some(slot));
     }
 
     #[test]
@@ -511,7 +609,11 @@ mod tests {
         fx.chain.set_storage(proxy, U256::ONE, U256::from(logic));
         let check = fx.check(proxy);
         assert!(check.is_proxy());
-        assert_eq!(check.standard(), Some(ProxyStandard::Other));
+        assert_eq!(check.standard(), Some(ProxyStandard::NonStandardSlot));
+        assert_eq!(
+            check.impl_source(),
+            Some(ImplSource::StorageSlot(U256::ONE))
+        );
     }
 
     #[test]
@@ -640,6 +742,61 @@ mod tests {
         );
         // A non-proxy resolves to itself.
         assert_eq!(detector.resolve_terminal(&fx.chain, logic, 8), vec![logic]);
+    }
+
+    #[test]
+    fn two_hop_chain_resolved_with_per_hop_sources() {
+        // minimal proxy -> EIP-1967 proxy -> logic, hop by hop.
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        let middle = fx.install_spec(&templates::eip1967_proxy("Mid"));
+        let slot = SlotSpec::eip1967_implementation().to_u256();
+        fx.chain.set_storage(middle, slot, U256::from(logic));
+        let outer = fx
+            .chain
+            .install_new(fx.me, templates::minimal_proxy_runtime(middle))
+            .unwrap();
+
+        let chain = ProxyDetector::new()
+            .resolve_chain(&fx.chain, outer)
+            .unwrap()
+            .expect("outer is a proxy");
+        assert_eq!(chain.depth(), 2);
+        assert_eq!(chain.terminal, logic);
+        assert!(chain.is_resolved());
+        assert_eq!(chain.hops[0].address, outer);
+        assert_eq!(chain.hops[0].source, ImplSource::Hardcoded);
+        assert_eq!(chain.hops[0].standard, ProxyStandard::Eip1167);
+        assert_eq!(chain.hops[0].target, middle);
+        assert_eq!(chain.hops[1].address, middle);
+        assert_eq!(chain.hops[1].source, ImplSource::StorageSlot(slot));
+        assert_eq!(chain.hops[1].standard, ProxyStandard::Eip1967);
+        assert_eq!(chain.hops[1].target, logic);
+        // The entry hop's pointer is hardcoded: no slot timeline to walk.
+        assert_eq!(chain.entry_storage_slot(), None);
+
+        // A non-proxy resolves to no chain at all.
+        assert!(ProxyDetector::new()
+            .resolve_chain(&fx.chain, logic)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn cyclic_chain_flagged_not_hung() {
+        let mut fx = Fixture::new();
+        let a = fx.install_spec(&templates::custom_slot_proxy("A", 0));
+        let b = fx.install_spec(&templates::custom_slot_proxy("B", 0));
+        fx.chain.set_storage(a, U256::ZERO, U256::from(b));
+        fx.chain.set_storage(b, U256::ZERO, U256::from(a));
+        let chain = ProxyDetector::new()
+            .resolve_chain(&fx.chain, a)
+            .unwrap()
+            .expect("a is a proxy");
+        assert!(chain.cycle);
+        assert!(!chain.is_resolved());
+        assert_eq!(chain.depth(), 2);
+        assert_eq!(chain.terminal, a, "cycle closes back at the entry");
     }
 
     #[test]

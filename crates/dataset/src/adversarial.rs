@@ -1,0 +1,388 @@
+//! The adversarial detection corpus: delegation shapes engineered to
+//! break single-hop resolvers and address-keyed caches.
+//!
+//! Every case records ground truth by construction — the hop addresses
+//! the resolver must report, the terminal logic the collision checks must
+//! run against, and the upgradeability class — so the effectiveness bench
+//! can score per-class precision/recall exactly. The metamorphic cases
+//! additionally carry a recorded selfdestruct-and-redeploy history: the
+//! same address served *different bytecode* at different heights, and any
+//! cache keyed on the address alone will serve a stale verdict.
+
+use proxion_chain::Chain;
+use proxion_etherscan::Etherscan;
+use proxion_primitives::{Address, DetRng, U256};
+use proxion_solc::{compile, templates, SlotSpec};
+
+use crate::landscape::UpgradeClass;
+
+/// The adversarial population classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdversarialClass {
+    /// A beacon proxy: the implementation pointer lives beacon-side.
+    Beacon,
+    /// A two-hop chain: minimal proxy cloning an EIP-1967 proxy.
+    ChainedTwoHop,
+    /// A three-hop chain: minimal proxy → custom-slot proxy → EIP-1967
+    /// proxy → logic.
+    ChainedThreeHop,
+    /// A CREATE2-style selfdestruct-and-redeploy: the address carried
+    /// different code at different heights.
+    Metamorphic,
+    /// A slot-based proxy on a non-standard sequential slot.
+    NonStandardSlot,
+    /// An EIP-1167 body wrapped in prefix padding and suffix junk.
+    DirtyMinimal,
+    /// A slot-bound proxy no emitted code can rebind.
+    SetterlessSlot,
+}
+
+impl AdversarialClass {
+    /// Stable label for reports and bench JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdversarialClass::Beacon => "beacon",
+            AdversarialClass::ChainedTwoHop => "chained-2hop",
+            AdversarialClass::ChainedThreeHop => "chained-3hop",
+            AdversarialClass::Metamorphic => "metamorphic",
+            AdversarialClass::NonStandardSlot => "non-standard-slot",
+            AdversarialClass::DirtyMinimal => "dirty-minimal",
+            AdversarialClass::SetterlessSlot => "setterless-slot",
+        }
+    }
+
+    /// Every class, in report order.
+    pub fn all() -> [AdversarialClass; 7] {
+        [
+            AdversarialClass::Beacon,
+            AdversarialClass::ChainedTwoHop,
+            AdversarialClass::ChainedThreeHop,
+            AdversarialClass::Metamorphic,
+            AdversarialClass::NonStandardSlot,
+            AdversarialClass::DirtyMinimal,
+            AdversarialClass::SetterlessSlot,
+        ]
+    }
+}
+
+/// One adversarial case with its by-construction ground truth.
+#[derive(Debug, Clone)]
+pub struct AdversarialCase {
+    /// Case name (unique within the corpus).
+    pub name: String,
+    /// The population class.
+    pub class: AdversarialClass,
+    /// The entry address the analysis is pointed at.
+    pub entry: Address,
+    /// Whether the entry is a proxy *at the current head* (one
+    /// metamorphic case redeploys a non-proxy over a dead proxy).
+    pub expected_is_proxy: bool,
+    /// The delegation hops the resolver must report, entry first.
+    pub expected_hops: Vec<Address>,
+    /// The terminal logic the collision checks must run against.
+    pub expected_terminal: Option<Address>,
+    /// The upgradeability class of the resolved chain.
+    pub expected_upgradeability: Option<UpgradeClass>,
+    /// Heights at which the entry address selfdestructed (metamorphic
+    /// cases; empty otherwise).
+    pub destroyed_at: Vec<u64>,
+}
+
+/// The generated adversarial corpus.
+pub struct AdversarialCorpus {
+    /// The chain holding every case.
+    pub chain: Chain,
+    /// Source registry (everything unverified — the corpus is hidden).
+    pub etherscan: Etherscan,
+    /// The labeled cases.
+    pub cases: Vec<AdversarialCase>,
+}
+
+impl AdversarialCorpus {
+    /// Generates the corpus: `per_class` instances of every class, with
+    /// deterministic per-seed variation in slots, padding and junk.
+    pub fn generate(seed: u64, per_class: usize) -> AdversarialCorpus {
+        let mut chain = Chain::new();
+        let etherscan = Etherscan::new();
+        let mut rng = DetRng::new(seed);
+        let deployer = chain.new_funded_account();
+        let mut cases = Vec::new();
+
+        for i in 0..per_class {
+            let logic_spec = templates::simple_logic(&format!("AdvLogic{i}"));
+            let logic = chain
+                .install_new(deployer, compile(&logic_spec).expect("compiles").runtime)
+                .expect("fresh address");
+
+            // -- beacon --
+            let beacon = chain
+                .install_new(
+                    deployer,
+                    compile(&templates::beacon(&format!("AdvBeacon{i}")))
+                        .expect("compiles")
+                        .runtime,
+                )
+                .expect("fresh address");
+            chain.set_storage(beacon, U256::ZERO, U256::from(logic));
+            let beacon_proxy = chain
+                .install_new(
+                    deployer,
+                    compile(&templates::beacon_proxy(&format!("AdvBeaconProxy{i}")))
+                        .expect("compiles")
+                        .runtime,
+                )
+                .expect("fresh address");
+            chain.set_storage(
+                beacon_proxy,
+                templates::eip1967_beacon_slot().to_u256(),
+                U256::from(beacon),
+            );
+            cases.push(AdversarialCase {
+                name: format!("beacon-{i}"),
+                class: AdversarialClass::Beacon,
+                entry: beacon_proxy,
+                expected_is_proxy: true,
+                expected_hops: vec![beacon_proxy],
+                expected_terminal: Some(logic),
+                expected_upgradeability: Some(UpgradeClass::Upgradeable),
+                destroyed_at: Vec::new(),
+            });
+
+            // -- chained, two hops: minimal → 1967 → logic --
+            let middle = chain
+                .install_new(
+                    deployer,
+                    compile(&templates::eip1967_proxy(&format!("AdvMiddle{i}")))
+                        .expect("compiles")
+                        .runtime,
+                )
+                .expect("fresh address");
+            chain.set_storage(
+                middle,
+                SlotSpec::eip1967_implementation().to_u256(),
+                U256::from(logic),
+            );
+            let two_hop = chain
+                .install_new(deployer, templates::minimal_proxy_runtime(middle))
+                .expect("fresh address");
+            cases.push(AdversarialCase {
+                name: format!("chained-2hop-{i}"),
+                class: AdversarialClass::ChainedTwoHop,
+                entry: two_hop,
+                expected_is_proxy: true,
+                expected_hops: vec![two_hop, middle],
+                expected_terminal: Some(logic),
+                // The middle hop's own `upgradeTo` rebinds its slot.
+                expected_upgradeability: Some(UpgradeClass::Upgradeable),
+                destroyed_at: Vec::new(),
+            });
+
+            // -- chained, three hops: minimal → custom-slot → 1967 → logic --
+            let custom_slot = rng.next_range(3, 10);
+            let custom = chain
+                .install_new(
+                    deployer,
+                    compile(&templates::custom_slot_proxy(
+                        &format!("AdvCustom{i}"),
+                        custom_slot,
+                    ))
+                    .expect("compiles")
+                    .runtime,
+                )
+                .expect("fresh address");
+            chain.set_storage(custom, U256::from(custom_slot), U256::from(middle));
+            let three_hop = chain
+                .install_new(deployer, templates::minimal_proxy_runtime(custom))
+                .expect("fresh address");
+            cases.push(AdversarialCase {
+                name: format!("chained-3hop-{i}"),
+                class: AdversarialClass::ChainedThreeHop,
+                entry: three_hop,
+                expected_is_proxy: true,
+                expected_hops: vec![three_hop, custom, middle],
+                expected_terminal: Some(logic),
+                expected_upgradeability: Some(UpgradeClass::Upgradeable),
+                destroyed_at: Vec::new(),
+            });
+
+            // -- metamorphic: proxy dies, different code takes the address --
+            let morph = chain
+                .install_new(
+                    deployer,
+                    compile(&templates::custom_slot_proxy(&format!("AdvMorphA{i}"), 0))
+                        .expect("compiles")
+                        .runtime,
+                )
+                .expect("fresh address");
+            chain.set_storage(morph, U256::ZERO, U256::from(logic));
+            chain.selfdestruct(morph).expect("live contract");
+            let redeploy_as_proxy = i % 2 == 0;
+            let (new_code, expected_is_proxy, hops, terminal, class_after) = if redeploy_as_proxy {
+                // A *different* proxy shape at the same address: slot 4,
+                // no setter.
+                (
+                    compile(&templates::setterless_slot_proxy(
+                        &format!("AdvMorphB{i}"),
+                        4,
+                    ))
+                    .expect("compiles")
+                    .runtime,
+                    true,
+                    vec![morph],
+                    Some(logic),
+                    Some(UpgradeClass::Proxy),
+                )
+            } else {
+                // A non-proxy over the dead proxy: stale verdicts must
+                // flip to NotProxy.
+                (
+                    compile(&templates::plain_token(&format!("AdvMorphB{i}")))
+                        .expect("compiles")
+                        .runtime,
+                    false,
+                    Vec::new(),
+                    None,
+                    None,
+                )
+            };
+            chain
+                .redeploy(deployer, morph, new_code)
+                .expect("address is free after selfdestruct");
+            if redeploy_as_proxy {
+                chain.set_storage(morph, U256::from(4u64), U256::from(logic));
+            }
+            cases.push(AdversarialCase {
+                name: format!("metamorphic-{i}"),
+                class: AdversarialClass::Metamorphic,
+                entry: morph,
+                expected_is_proxy,
+                expected_hops: hops,
+                expected_terminal: terminal,
+                expected_upgradeability: class_after,
+                destroyed_at: chain.destructions_of(morph),
+            });
+
+            // -- non-standard slot (setter present) --
+            let odd_slot = rng.next_range(2, 7);
+            let non_standard = chain
+                .install_new(
+                    deployer,
+                    compile(&templates::custom_slot_proxy(
+                        &format!("AdvOddSlot{i}"),
+                        odd_slot,
+                    ))
+                    .expect("compiles")
+                    .runtime,
+                )
+                .expect("fresh address");
+            chain.set_storage(non_standard, U256::from(odd_slot), U256::from(logic));
+            cases.push(AdversarialCase {
+                name: format!("non-standard-slot-{i}"),
+                class: AdversarialClass::NonStandardSlot,
+                entry: non_standard,
+                expected_is_proxy: true,
+                expected_hops: vec![non_standard],
+                expected_terminal: Some(logic),
+                expected_upgradeability: Some(UpgradeClass::Upgradeable),
+                destroyed_at: Vec::new(),
+            });
+
+            // -- dirty minimal: prefix padding + suffix junk --
+            let prefix = rng.next_range(1, 32) as usize;
+            let mut junk = vec![0u8; rng.next_range(1, 24) as usize];
+            rng.fill_bytes(&mut junk);
+            // Ensure the junk ends mid-PUSH (a truncated immediate) so the
+            // disassembler's robustness is actually exercised.
+            junk.push(0x7f);
+            let dirty = chain
+                .install_new(
+                    deployer,
+                    templates::dirty_minimal_proxy_runtime(logic, prefix, &junk),
+                )
+                .expect("fresh address");
+            cases.push(AdversarialCase {
+                name: format!("dirty-minimal-{i}"),
+                class: AdversarialClass::DirtyMinimal,
+                entry: dirty,
+                expected_is_proxy: true,
+                expected_hops: vec![dirty],
+                expected_terminal: Some(logic),
+                expected_upgradeability: Some(UpgradeClass::Frozen),
+                destroyed_at: Vec::new(),
+            });
+
+            // -- setterless slot: mutable binding nobody can write --
+            // Slot 9: `simple_logic` only writes slot 0, so neither side
+            // of the pair can rebind.
+            let setterless = chain
+                .install_new(
+                    deployer,
+                    compile(&templates::setterless_slot_proxy(
+                        &format!("AdvSetterless{i}"),
+                        9,
+                    ))
+                    .expect("compiles")
+                    .runtime,
+                )
+                .expect("fresh address");
+            chain.set_storage(setterless, U256::from(9u64), U256::from(logic));
+            cases.push(AdversarialCase {
+                name: format!("setterless-slot-{i}"),
+                class: AdversarialClass::SetterlessSlot,
+                entry: setterless,
+                expected_is_proxy: true,
+                expected_hops: vec![setterless],
+                expected_terminal: Some(logic),
+                expected_upgradeability: Some(UpgradeClass::Proxy),
+                destroyed_at: Vec::new(),
+            });
+        }
+
+        AdversarialCorpus {
+            chain,
+            etherscan,
+            cases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_class() {
+        let corpus = AdversarialCorpus::generate(7, 2);
+        for class in AdversarialClass::all() {
+            assert_eq!(
+                corpus.cases.iter().filter(|c| c.class == class).count(),
+                2,
+                "class {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metamorphic_cases_record_destruction_history() {
+        let corpus = AdversarialCorpus::generate(3, 2);
+        for case in corpus
+            .cases
+            .iter()
+            .filter(|c| c.class == AdversarialClass::Metamorphic)
+        {
+            assert_eq!(case.destroyed_at.len(), 1, "{}", case.name);
+            // The address is live again with the *new* code.
+            assert!(!corpus.chain.code_at(case.entry).is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = AdversarialCorpus::generate(11, 2);
+        let b = AdversarialCorpus::generate(11, 2);
+        assert_eq!(
+            a.cases.iter().map(|c| c.entry).collect::<Vec<_>>(),
+            b.cases.iter().map(|c| c.entry).collect::<Vec<_>>()
+        );
+    }
+}

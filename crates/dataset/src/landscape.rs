@@ -55,6 +55,34 @@ pub enum TemplateId {
     Logic,
 }
 
+/// The ground-truth upgradeability class of a generated proxy — the
+/// UPC-Sentinel-style three-way split, known by construction from which
+/// template (and which setters) the generator emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpgradeClass {
+    /// Every delegation binding is hardcoded (minimal-proxy clones).
+    Frozen,
+    /// The binding lives in mutable state, but no code the generator
+    /// emitted can write it.
+    Proxy,
+    /// A reachable setter (proxy-side, terminal-side, or beacon-side) can
+    /// rebind the implementation.
+    Upgradeable,
+}
+
+impl UpgradeClass {
+    /// The stable label, matching
+    /// `proxion_core::Upgradeability::label()` so predictions and truth
+    /// compare directly.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpgradeClass::Frozen => "frozen",
+            UpgradeClass::Proxy => "proxy",
+            UpgradeClass::Upgradeable => "upgradeable-proxy",
+        }
+    }
+}
+
 /// Ground truth for one generated contract.
 #[derive(Debug, Clone)]
 pub struct GroundTruth {
@@ -74,6 +102,10 @@ pub struct GroundTruth {
     pub storage_collision: bool,
     /// Number of upgrade events performed.
     pub upgrades: usize,
+    /// The upgradeability class, for proxies the resolver is expected to
+    /// classify (`None` for non-proxies and for the diamond, Proxion's
+    /// documented miss).
+    pub upgradeability: Option<UpgradeClass>,
 }
 
 /// One generated contract.
@@ -234,6 +266,7 @@ impl Landscape {
                     function_collision: false,
                     storage_collision: false,
                     upgrades: 0,
+                    upgradeability: None,
                 },
             });
         }
@@ -336,6 +369,12 @@ impl Landscape {
                     function_collision,
                     storage_collision: false,
                     upgrades: 0,
+                    upgradeability: Some(if which == 2 {
+                        // The wyvern clone's own `upgradeTo` writes slot 1.
+                        UpgradeClass::Upgradeable
+                    } else {
+                        UpgradeClass::Frozen
+                    }),
                 },
             };
         }
@@ -365,6 +404,9 @@ impl Landscape {
                     function_collision: true,
                     storage_collision: false,
                     upgrades: 0,
+                    // Neither the honeypot proxy nor its logic writes the
+                    // slot-1 binding.
+                    upgradeability: Some(UpgradeClass::Proxy),
                 },
             };
         }
@@ -397,6 +439,9 @@ impl Landscape {
                     function_collision: false,
                     storage_collision: true,
                     upgrades: 0,
+                    // The Audius pair writes owner/initialized slots, never
+                    // the slot-1 binding.
+                    upgradeability: Some(UpgradeClass::Proxy),
                 },
             };
         }
@@ -429,6 +474,8 @@ impl Landscape {
                     function_collision: false,
                     storage_collision: false,
                     upgrades: 0,
+                    // The beacon's `setImplementation` rebinds the target.
+                    upgradeability: Some(UpgradeClass::Upgradeable),
                 },
             };
         }
@@ -459,6 +506,8 @@ impl Landscape {
                     function_collision: false,
                     storage_collision: false,
                     upgrades: 0,
+                    // The diamond is Proxion's documented miss: unscored.
+                    upgradeability: None,
                 },
             };
         }
@@ -542,6 +591,15 @@ impl Landscape {
         if drive {
             g.drive_tx(address);
         }
+        let upgradeability = match standard_index {
+            // Hardcoded clone target: nothing to rebind.
+            0 => UpgradeClass::Frozen,
+            // The 1822 template has no setter and the pool logic never
+            // writes the proxiable slot: mutable binding, no writer.
+            1 => UpgradeClass::Proxy,
+            // 1967 and custom-slot templates carry their own `upgradeTo`.
+            _ => UpgradeClass::Upgradeable,
+        };
         GeneratedContract {
             address,
             year,
@@ -555,6 +613,7 @@ impl Landscape {
                 function_collision: false,
                 storage_collision: false,
                 upgrades,
+                upgradeability: Some(upgradeability),
             },
         }
     }
@@ -616,6 +675,7 @@ impl Landscape {
                 function_collision: false,
                 storage_collision: false,
                 upgrades: 0,
+                upgradeability: None,
             },
         }
     }

@@ -27,13 +27,16 @@
 //! assert!(proxies > 0);
 //! ```
 
+mod adversarial;
 mod corpus;
 mod exploits;
 mod landscape;
 pub mod params;
 
+pub use adversarial::{AdversarialCase, AdversarialClass, AdversarialCorpus};
 pub use corpus::{CollisionCorpus, LabeledPair, PairKind};
 pub use exploits::{ExploitCase, ExploitCorpus, ExploitKind};
 pub use landscape::{
     GeneratedContract, GroundTruth, Landscape, LandscapeConfig, TemplateId, TrueStandard,
+    UpgradeClass,
 };

@@ -206,6 +206,30 @@ impl MemoryDb {
         self.journal.clear();
     }
 
+    /// Clears a destroyed account back to the empty state (no code, no
+    /// storage, destroyed flag dropped) so a CREATE2 redeploy can install
+    /// fresh code at the same address. Mainnet semantics: `SELFDESTRUCT`
+    /// wipes code and storage at the end of the transaction, and a later
+    /// deterministic deployment starts from an empty account. Journaled
+    /// like every other mutation; a rollback restores the pre-resurrect
+    /// account byte for byte.
+    pub fn resurrect(&mut self, address: Address) {
+        let slots: Vec<U256> = self
+            .accounts
+            .get(&address)
+            .map(|a| a.storage.keys().copied().collect())
+            .unwrap_or_default();
+        for slot in slots {
+            self.set_storage(address, slot, U256::ZERO);
+        }
+        self.set_code(address, Vec::new());
+        let account = self.account_mut(address);
+        let prev = account.destroyed;
+        account.destroyed = false;
+        self.journal
+            .push(JournalEntry::DestroyedChanged { address, prev });
+    }
+
     /// The unique `(address, slot)` pairs written since the last
     /// [`MemoryDb::commit`], in first-write order. Rolled-back writes have
     /// been popped from the journal and therefore do not appear. Archive

@@ -31,7 +31,7 @@
 use std::sync::Arc;
 
 use proxion_chain::{env_for_head, ChainSource, SourceResult};
-use proxion_core::ImplSource;
+use proxion_core::{DelegationChain, ImplSource};
 use proxion_evm::{CallKind, Host as _, Message, Origin, ProbeSession, RecordingInspector};
 use proxion_primitives::{selector, Address, U256};
 use proxion_telemetry::{Outcome, Stage, Telemetry};
@@ -244,10 +244,11 @@ impl ReplayEngine {
     /// Runs all three probes for one proxy/logic pair and combines the
     /// evidence into a [`ReplayVerdict`].
     ///
-    /// `impl_source` is the detector's classification of where the proxy
-    /// loads its implementation from (pass
-    /// `report.check.impl_source()`); `collided_selectors` are the
-    /// function-collision selectors to bait-scan (pass the selectors of
+    /// `delegation` is the resolved delegation chain of the proxy (pass
+    /// `report.delegation.as_ref()`): the fake-proxy check compares the
+    /// observed delegate against the *entry hop*'s advertised binding.
+    /// `collided_selectors` are the function-collision selectors to
+    /// bait-scan (pass the selectors of
     /// `FunctionCollisionReport.collisions`).
     ///
     /// # Errors
@@ -259,7 +260,7 @@ impl ReplayEngine {
         source: &S,
         proxy: Address,
         logic: Address,
-        impl_source: Option<ImplSource>,
+        delegation: Option<&DelegationChain>,
         collided_selectors: &[[u8; 4]],
     ) -> SourceResult<ReplayVerdict> {
         let mut span = self.telemetry.span(Stage::Replay, "confirm_pair");
@@ -283,7 +284,7 @@ impl ReplayEngine {
                 &mut session,
                 proxy,
                 logic,
-                impl_source,
+                delegation,
                 collided_selectors,
             )?;
             stats.merge(s);
@@ -382,7 +383,7 @@ impl ReplayEngine {
         source: &S,
         proxy: Address,
         logic: Address,
-        impl_source: Option<ImplSource>,
+        delegation: Option<&DelegationChain>,
         collided_selectors: &[[u8; 4]],
     ) -> SourceResult<(Option<FakeProxyEvidence>, ReplayStats)> {
         let head = source.head_block()?;
@@ -393,7 +394,7 @@ impl ReplayEngine {
             &mut session,
             proxy,
             logic,
-            impl_source,
+            delegation,
             collided_selectors,
         )
     }
@@ -407,18 +408,27 @@ impl ReplayEngine {
         session: &mut ProbeSession<'_, ReplayHost<'_, S>>,
         proxy: Address,
         logic: Address,
-        impl_source: Option<ImplSource>,
+        delegation: Option<&DelegationChain>,
         collided_selectors: &[[u8; 4]],
     ) -> SourceResult<(Option<FakeProxyEvidence>, ReplayStats)> {
         let mut span = self.telemetry.span(Stage::Replay, "check_fake_proxy");
         let mut stats = ReplayStats::default();
-        let advertised_slot = match impl_source {
+        // What the *entry hop* advertises: the live slot value for
+        // slot-bound proxies (the slot's content may have moved since the
+        // chain was resolved), the resolved hop target otherwise (beacon
+        // and hardcoded bindings), the caller's logic when no chain was
+        // resolved. Multi-hop chains compare against the entry's own
+        // delegate — the observed DELEGATECALL out of `proxy` — not the
+        // terminal.
+        let entry = delegation.map(|d| d.entry());
+        let advertised_slot = match entry.map(|hop| hop.source) {
             Some(ImplSource::StorageSlot(slot)) => Some(slot),
             _ => None,
         };
-        let advertised = match advertised_slot {
-            Some(slot) => Address::from_word(source.storage_latest(proxy, slot)?),
-            None => logic,
+        let advertised = match (advertised_slot, entry) {
+            (Some(slot), _) => Address::from_word(source.storage_latest(proxy, slot)?),
+            (None, Some(hop)) => hop.target,
+            (None, None) => logic,
         };
 
         let run = Self::run_probe(

@@ -28,7 +28,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use proxion_chain::{Chain, ChainSource, FaultConfig, FaultySource};
-use proxion_core::{ImplSource, NotProxyReason, Pipeline, ProxyCheck};
+use proxion_core::{NotProxyReason, Pipeline, ProxyCheck};
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{Address, U256};
 
@@ -261,20 +261,30 @@ fn follow(
                     .fetch_add(1, Ordering::Relaxed);
             }
             metrics.follower_contracts.fetch_add(1, Ordering::Relaxed);
-            if let ProxyCheck::Proxy {
-                logic,
-                impl_source: ImplSource::StorageSlot(slot),
-                ..
-            } = report.check
-            {
-                known.insert(
-                    address,
-                    TrackedProxy {
-                        slot,
-                        last_logic: logic,
-                        reported_to: report.as_of_block,
-                    },
-                );
+            // Track the delegation chain's *entry* slot: that is the
+            // binding the proxy itself reads, and for beacon proxies the
+            // beacon-pointer slot. A redeploy lands in the deployment
+            // feed, so a metamorphic swap re-enters here — and if the new
+            // code no longer carries a slot-tracked chain, the stale
+            // tracking entry is evicted instead of probing a dead slot.
+            let entry_slot = report
+                .delegation
+                .as_ref()
+                .and_then(|d| d.entry_storage_slot().map(|slot| (slot, d.entry().target)));
+            match entry_slot {
+                Some((slot, target)) => {
+                    known.insert(
+                        address,
+                        TrackedProxy {
+                            slot,
+                            last_logic: target,
+                            reported_to: report.as_of_block,
+                        },
+                    );
+                }
+                None => {
+                    known.remove(&address);
+                }
             }
         }
 

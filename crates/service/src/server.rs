@@ -445,7 +445,7 @@ fn replay_confirm(
     let engine =
         proxion_replay::ReplayEngine::new().with_telemetry(Arc::clone(shared.pipeline.telemetry()));
     let verdict = engine
-        .confirm_pair(source, proxy, logic, report.check.impl_source(), &selectors)
+        .confirm_pair(source, proxy, logic, report.delegation.as_ref(), &selectors)
         .map_err(|e| source_error(&e))?;
     shared.metrics.record_replay(
         verdict.stats.executions,
@@ -469,9 +469,11 @@ fn resolve_logic(
         None => {
             let report = shared.pipeline.analyze_one(source, etherscan, proxy);
             report
-                .check
-                .logic()
-                .filter(|l| !l.is_zero())
+                .delegation
+                .as_ref()
+                .filter(|d| d.is_resolved())
+                .map(|d| d.terminal)
+                .or_else(|| report.check.logic().filter(|l| !l.is_zero()))
                 .ok_or_else(|| format!("{proxy} is not a proxy with a resolvable logic contract"))
         }
     }

@@ -50,6 +50,43 @@ pub fn parse_minimal_proxy(code: &[u8]) -> Option<Address> {
     Some(Address(address))
 }
 
+/// A *dirty* EIP-1167 variant: `prefix` `JUMPDEST` padding bytes before
+/// the canonical 45-byte body (whose `JUMPI` target is patched to the
+/// shifted offset) and arbitrary `suffix` junk after the terminal
+/// `RETURN` — vanity prefixes and metadata trailers, as real deployments
+/// carry. The suffix may be garbage (truncated `PUSH` data included); it
+/// is unreachable, and neither the disassembler nor the detector gate may
+/// be thrown off by it.
+///
+/// [`parse_minimal_proxy`] deliberately rejects these (they are not the
+/// canonical pattern); only the emulation path detects them.
+///
+/// # Panics
+///
+/// Panics if `prefix` exceeds 212 bytes (the patched one-byte jump target
+/// would overflow).
+pub fn dirty_minimal_proxy_runtime(logic: Address, prefix: usize, suffix: &[u8]) -> Vec<u8> {
+    assert!(prefix <= 0xff - 0x2b, "jump target must stay one byte");
+    let mut code = vec![0x5b; prefix];
+    let mut body = minimal_proxy_runtime(logic);
+    debug_assert_eq!(body[40], 0x2b, "canonical body jumps to 0x2b");
+    body[40] = 0x2b + prefix as u8;
+    code.extend_from_slice(&body);
+    code.extend_from_slice(suffix);
+    code
+}
+
+/// A slot-bound proxy with **no setter anywhere**: the fallback reads the
+/// implementation address from sequential slot `slot` and forwards, and
+/// no function of the contract writes it. The binding is mutable state
+/// that no reachable code path can rebind — the `proxy` (but not
+/// `upgradeable-proxy`) class of the upgradeability split.
+pub fn setterless_slot_proxy(name: &str, slot: u64) -> ContractSpec {
+    ContractSpec::new(name).with_fallback(Fallback::DelegateForward(ImplRef::Slot(
+        SlotSpec::Index(slot),
+    )))
+}
+
 /// The storage slot that holds the facet address for `selector` in our
 /// EIP-2535 diamond template: `keccak256(pad32(selector) ‖ DIAMOND_SLOT)`.
 pub fn diamond_facet_slot(selector: [u8; 4]) -> U256 {

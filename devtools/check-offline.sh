@@ -73,6 +73,22 @@ if grep -rnE '\bunsafe\b|\bextern\b|epoll_create1?\(|epoll_ctl\(|epoll_wait\(|ev
     exit 1
 fi
 
+# Delegation-graph invariant: the collision checks and the replay engine
+# consume resolved DelegationChains (terminal logic, per-hop provenance),
+# never the scalar single-hop `.impl_source()` accessor — a single-hop
+# read silently checks a middle proxy instead of the terminal logic on
+# chained/beacon deployments. Pattern-matching the ImplSource enum on a
+# hop's `source` field stays legitimate; the banned form is the accessor
+# call.
+if grep -rn "\.impl_source()" \
+    "$REPO/crates/core/src/funcsig.rs" \
+    "$REPO/crates/core/src/storage.rs" \
+    "$REPO/crates/core/src/diamond.rs" \
+    "$REPO/crates/replay/src"; then
+    echo "error: collision checks and replay must consume DelegationChains, not the single-hop .impl_source() accessor" >&2
+    exit 1
+fi
+
 # Persistence invariant: every byte that reaches the state directory goes
 # through proxion-store (header + CRC framing, tmp-then-rename sealing).
 # A direct std::fs call in the service would bypass that framing and can

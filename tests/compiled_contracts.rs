@@ -408,7 +408,7 @@ fn beacon_proxy_resolves_implementation_through_beacon() {
 }
 
 #[test]
-fn beacon_proxy_detected_with_computed_provenance() {
+fn beacon_proxy_detected_with_beacon_provenance() {
     use proxion_core::{ImplSource, ProxyDetector};
     let mut chain = Chain::new();
     let me = chain.new_funded_account();
@@ -416,11 +416,8 @@ fn beacon_proxy_detected_with_computed_provenance() {
     let beacon = deploy(&mut chain, me, &templates::beacon("Beacon"));
     chain.set_storage(beacon, U256::ZERO, U256::from(logic));
     let proxy = deploy(&mut chain, me, &templates::beacon_proxy("BeaconProxy"));
-    chain.set_storage(
-        proxy,
-        templates::eip1967_beacon_slot().to_u256(),
-        U256::from(beacon),
-    );
+    let slot = templates::eip1967_beacon_slot().to_u256();
+    chain.set_storage(proxy, slot, U256::from(beacon));
 
     let check = ProxyDetector::new().check(&chain, proxy);
     assert!(check.is_proxy(), "beacon proxy must be detected: {check:?}");
@@ -430,8 +427,13 @@ fn beacon_proxy_detected_with_computed_provenance() {
         "delegate goes to the implementation"
     );
     // The implementation address travelled through memory (beacon
-    // staticcall return data), so provenance is Computed → "Others".
-    assert_eq!(check.impl_source(), Some(ImplSource::Computed));
+    // staticcall return data), but the emulation observed the beacon
+    // *call* whose target came straight out of the beacon slot — the
+    // provenance is the beacon binding, not an opaque Computed.
+    assert_eq!(
+        check.impl_source(),
+        Some(ImplSource::Beacon { slot, beacon })
+    );
 }
 
 #[test]

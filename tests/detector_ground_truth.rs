@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use proxion_core::{Pipeline, PipelineConfig, ProxyStandard};
-use proxion_dataset::{Landscape, LandscapeConfig, TrueStandard};
+use proxion_dataset::{Landscape, LandscapeConfig, TemplateId, TrueStandard};
 use proxion_primitives::Address;
 
 fn landscape() -> Landscape {
@@ -87,7 +87,13 @@ fn standards_match_ground_truth() {
             Some(TrueStandard::Minimal) => Some(ProxyStandard::Eip1167),
             Some(TrueStandard::Eip1822) => Some(ProxyStandard::Eip1822),
             Some(TrueStandard::Eip1967) => Some(ProxyStandard::Eip1967),
-            Some(TrueStandard::OtherSlot) => Some(ProxyStandard::Other),
+            // Non-standard sequential slots now surface distinctly rather
+            // than folding into the `Other` bucket, and beacon proxies
+            // carry their own standard.
+            Some(TrueStandard::OtherSlot) if c.template == TemplateId::BeaconProxy => {
+                Some(ProxyStandard::Beacon)
+            }
+            Some(TrueStandard::OtherSlot) => Some(ProxyStandard::NonStandardSlot),
             Some(TrueStandard::Diamond) | None => continue,
         };
         assert_eq!(

@@ -1,0 +1,260 @@
+//! Metamorphic (CREATE2 selfdestruct-and-redeploy) regression: when an
+//! address swaps its bytecode, every cached layer — verdicts, slot
+//! timelines, code bindings — must invalidate, and the new analysis must
+//! be correct for the *new* code. Exercised both directly through the
+//! pipeline and through the service's incremental block follower.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use proxion_chain::{CachedSource, Chain, ChainSource};
+use proxion_core::{Pipeline, PipelineConfig, ProxyStandard, Upgradeability};
+use proxion_etherscan::Etherscan;
+use proxion_primitives::U256;
+use proxion_service::{follower, ServiceMetrics};
+use proxion_solc::{compile, templates, SlotSpec};
+
+const WAIT: Duration = Duration::from_secs(20);
+
+fn runtime(spec: &proxion_solc::ContractSpec) -> Vec<u8> {
+    compile(spec).expect("template compiles").runtime
+}
+
+/// analyze → selfdestruct → redeploy *different proxy code* at the same
+/// address → re-analyze. The verdict, the delegation chain, and the slot
+/// timeline must all describe the new code, and the stale timeline must
+/// be counted as invalidated.
+#[test]
+fn redeploy_as_different_proxy_invalidates_verdict_and_timeline() {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    let etherscan = Etherscan::new();
+    let logic_a = chain
+        .install_new(deployer, runtime(&templates::simple_logic("LogicA")))
+        .unwrap();
+    let logic_b = chain
+        .install_new(deployer, runtime(&templates::simple_logic("LogicB")))
+        .unwrap();
+    // Generation 1: custom-slot proxy bound through slot 3 to logic A.
+    let morph = chain
+        .install_new(deployer, runtime(&templates::custom_slot_proxy("Gen1", 3)))
+        .unwrap();
+    chain.set_storage(morph, U256::from(3u64), U256::from(logic_a));
+
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let first = pipeline.analyze_one(&chain, &etherscan, morph);
+    assert!(first.check.is_proxy());
+    assert_eq!(first.check.standard(), Some(ProxyStandard::NonStandardSlot));
+    let delegation = first.delegation.as_ref().expect("resolved chain");
+    assert_eq!(delegation.terminal, logic_a);
+    assert_eq!(
+        first.history.as_ref().map(|h| h.addresses.clone()),
+        Some(vec![logic_a])
+    );
+    let gen1_hash = chain.code_hash_at(morph).unwrap();
+
+    // The metamorphic swap: same address, different proxy (slot 5 now).
+    chain.selfdestruct(morph).unwrap();
+    chain
+        .redeploy(
+            deployer,
+            morph,
+            runtime(&templates::custom_slot_proxy("Gen2", 5)),
+        )
+        .unwrap();
+    chain.set_storage(morph, U256::from(5u64), U256::from(logic_b));
+    assert_eq!(chain.destructions_of(morph).len(), 1);
+    let gen2_hash = chain.code_hash_at(morph).unwrap();
+    assert_ne!(gen1_hash, gen2_hash, "the swap must change the codehash");
+
+    let invalidations_before = pipeline.history_index().stats().invalidations;
+    let second = pipeline.analyze_one(&chain, &etherscan, morph);
+    assert!(second.check.is_proxy());
+    let delegation = second.delegation.as_ref().expect("re-resolved chain");
+    assert_eq!(
+        delegation.terminal, logic_b,
+        "the verdict must describe generation 2, not a stale cache entry"
+    );
+    assert_eq!(delegation.entry_storage_slot(), Some(U256::from(5u64)));
+    assert_eq!(delegation.entry().code_hash, gen2_hash);
+    assert_eq!(
+        second.history.as_ref().map(|h| h.addresses.clone()),
+        Some(vec![logic_b]),
+        "the timeline must be rebuilt for the new slot binding"
+    );
+    // Generation 1 probed (morph, slot 3); generation 2 probes (morph,
+    // slot 5) — a different timeline key, so the *code rebinding* is what
+    // guards (morph, slot N) collisions across generations. Force the
+    // stale-key path explicitly: extending the old key under the new code
+    // must count an invalidation and restart from scratch.
+    let head = ChainSource::head_block(&chain).unwrap();
+    pipeline
+        .history_index()
+        .extend_to(&chain, morph, U256::from(3u64), head)
+        .unwrap();
+    assert!(
+        pipeline.history_index().stats().invalidations > invalidations_before,
+        "re-touching the stale generation-1 timeline must invalidate it"
+    );
+}
+
+/// analyze → redeploy a *non-proxy* over the dead proxy → re-analyze:
+/// the verdict flips to NotProxy and no delegation chain survives.
+#[test]
+fn redeploy_as_non_proxy_flips_the_verdict() {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    let etherscan = Etherscan::new();
+    let logic = chain
+        .install_new(deployer, runtime(&templates::simple_logic("Logic")))
+        .unwrap();
+    let morph = chain
+        .install_new(deployer, runtime(&templates::custom_slot_proxy("Gen1", 0)))
+        .unwrap();
+    chain.set_storage(morph, U256::ZERO, U256::from(logic));
+
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let first = pipeline.analyze_one(&chain, &etherscan, morph);
+    assert!(first.check.is_proxy());
+    assert!(first.delegation.is_some());
+    assert!(first.upgradeability.is_some());
+
+    chain.selfdestruct(morph).unwrap();
+    chain
+        .redeploy(deployer, morph, runtime(&templates::plain_token("Gen2")))
+        .unwrap();
+
+    let second = pipeline.analyze_one(&chain, &etherscan, morph);
+    assert!(
+        !second.check.is_proxy(),
+        "generation 2 is a token; a stale proxy verdict leaked through"
+    );
+    assert!(second.delegation.is_none());
+    assert!(second.upgradeability.is_none());
+    assert!(second.function_collisions.is_none());
+}
+
+/// The negative verdict must not stick either: a non-proxy replaced by a
+/// proxy through a block-stamped [`CachedSource`] is re-observed, because
+/// code bindings are bounded by the block they were read at.
+#[test]
+fn cached_source_does_not_pin_the_pre_swap_code() {
+    let mut chain = Chain::new();
+    let deployer = chain.new_funded_account();
+    let etherscan = Etherscan::new();
+    let logic = chain
+        .install_new(deployer, runtime(&templates::simple_logic("Logic")))
+        .unwrap();
+    let morph = chain
+        .install_new(deployer, runtime(&templates::plain_token("Gen1")))
+        .unwrap();
+
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    {
+        let cached = CachedSource::new(&chain);
+        let first = pipeline.analyze_one(&cached, &etherscan, morph);
+        assert!(!first.check.is_proxy());
+    }
+
+    chain.selfdestruct(morph).unwrap();
+    chain
+        .redeploy(deployer, morph, runtime(&templates::eip1967_proxy("Gen2")))
+        .unwrap();
+    chain.set_storage(
+        morph,
+        SlotSpec::eip1967_implementation().to_u256(),
+        U256::from(logic),
+    );
+
+    // A fresh read-through layer at the new head must see generation 2.
+    let cached = CachedSource::new(&chain);
+    let second = pipeline.analyze_one(&cached, &etherscan, morph);
+    assert!(second.check.is_proxy(), "the NotProxy verdict went stale");
+    assert_eq!(second.check.standard(), Some(ProxyStandard::Eip1967));
+    assert_eq!(
+        second.upgradeability,
+        Some(Upgradeability::UpgradeableProxy)
+    );
+}
+
+/// The service follower path: a tracked proxy is metamorphically swapped
+/// for a token. The redeploy lands in the deployment feed, the follower
+/// re-analyzes the address, drops the stale tracking entry, and later
+/// writes to the old implementation slot no longer surface as upgrades.
+#[test]
+fn follower_evicts_metamorphically_swapped_proxies() {
+    let chain = Arc::new(RwLock::new(Chain::new()));
+    let etherscan = Arc::new(RwLock::new(Etherscan::new()));
+    let pipeline = Arc::new(Pipeline::new(PipelineConfig::default()));
+    let metrics = Arc::new(ServiceMetrics::new());
+    let deployer = chain.write().new_funded_account();
+    let from_block = chain.read().head_block();
+    let handle = follower::start(
+        Arc::clone(&chain),
+        Arc::clone(&etherscan),
+        Arc::clone(&pipeline),
+        Arc::clone(&metrics),
+        from_block,
+        None,
+        None,
+        64,
+    );
+
+    // Phase 1: a slot-bound proxy the follower starts tracking.
+    let (logic, morph, head) = {
+        let mut chain = chain.write();
+        let logic = chain
+            .install_new(deployer, runtime(&templates::simple_logic("L1")))
+            .unwrap();
+        let morph = chain
+            .install_new(deployer, runtime(&templates::eip1967_proxy("P")))
+            .unwrap();
+        chain.set_storage(
+            morph,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(logic),
+        );
+        (logic, morph, chain.head_block())
+    };
+    assert!(handle.wait_for_block(head, WAIT), "follower fell behind");
+    assert_eq!(handle.stats().contracts_analyzed, 2);
+
+    // Phase 2: the swap. The redeploy re-enters the deployment feed, so
+    // the follower re-analyzes the address and evicts it from tracking.
+    let head = {
+        let mut chain = chain.write();
+        chain.selfdestruct(morph).unwrap();
+        chain
+            .redeploy(deployer, morph, runtime(&templates::plain_token("T")))
+            .unwrap();
+        chain.head_block()
+    };
+    assert!(handle.wait_for_block(head, WAIT), "follower fell behind");
+    let stats = handle.stats();
+    assert_eq!(
+        stats.contracts_analyzed, 3,
+        "the redeployed address must be re-analyzed"
+    );
+
+    // Phase 3: writes to the *old* implementation slot. A stale tracking
+    // entry would binary-search the timeline and report phantom upgrades.
+    let head = {
+        let mut chain = chain.write();
+        chain.set_storage(
+            morph,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(deployer),
+        );
+        chain.head_block()
+    };
+    assert!(handle.wait_for_block(head, WAIT), "follower fell behind");
+    let stats = handle.stats();
+    assert_eq!(
+        stats.upgrades_observed, 0,
+        "the dead proxy's slot is no longer tracked"
+    );
+    assert!(handle.upgrades().is_empty());
+    let _ = logic;
+    handle.stop();
+}

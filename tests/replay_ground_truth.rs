@@ -5,7 +5,8 @@
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use proxion_core::{ImplSource, Pipeline, PipelineConfig};
+use proxion_chain::ChainSource;
+use proxion_core::{DelegationChain, ImplSource, Pipeline, PipelineConfig, ProxyStandard};
 use proxion_dataset::{ExploitCorpus, ExploitKind};
 use proxion_replay::{FakeProxyKind, ReplayEngine, ReplayVerdict};
 use proxion_service::json::{self, JsonValue};
@@ -15,16 +16,25 @@ use proxion_service::{server, ServerConfig};
 fn confirm_all(corpus: &ExploitCorpus) -> Vec<ReplayVerdict> {
     let snapshot = corpus.chain.snapshot();
     let engine = ReplayEngine::new();
+    let head = ChainSource::head_block(&snapshot).expect("in-memory head");
     corpus
         .cases
         .iter()
         .map(|case| {
+            let delegation = DelegationChain::single_hop(
+                case.proxy,
+                snapshot.code_hash_at(case.proxy).expect("code hash"),
+                ImplSource::StorageSlot(case.impl_slot),
+                ProxyStandard::Other,
+                case.logic,
+                head,
+            );
             engine
                 .confirm_pair(
                     &snapshot,
                     case.proxy,
                     case.logic,
-                    Some(ImplSource::StorageSlot(case.impl_slot)),
+                    Some(&delegation),
                     &case.collided_selectors,
                 )
                 .expect("in-memory snapshot reads are infallible")
