@@ -13,11 +13,14 @@
 //! Storage entries are keyed by `(address, slot, block)` — immutable facts.
 //! The address→codehash binding is NOT immutable: accounts gain code after
 //! being empty (the negative-cache staleness bug) and metamorphic CREATE2
-//! contracts swap code at a fixed address. Each address therefore holds one
-//! block-stamped binding (`codehash` + the head it was observed at), served
-//! only when the reader's head matches the stamp and refreshed otherwise —
-//! so an advancing head re-observes deployments and redeploys instead of
-//! replaying stale answers forever.
+//! contracts swap code at a fixed address. Each address therefore holds a
+//! small set of block-stamped bindings (`codehash` + the head it was
+//! observed at), each served only when the reader's head matches its
+//! stamp and refreshed otherwise — so an advancing head re-observes
+//! deployments and redeploys instead of replaying stale answers forever,
+//! while readers pinned at *different* heights (snapshots during a
+//! follower catch-up) each keep their own warm stamp instead of
+//! perpetually evicting one another's.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -44,11 +47,14 @@ pub struct SourceCacheStats {
 pub struct SourceCache {
     /// codehash → interned bytecode. Immutable facts; never evicted.
     intern: Mutex<HashMap<B256, Arc<Vec<u8>>>>,
-    /// address → (codehash, observed-at-head). One binding per address,
-    /// valid only for the exact head it was stamped with; any other head
-    /// refetches and restamps. Bounds the negative cache by block height
-    /// and makes metamorphic redeploys visible on the next head advance.
-    code_map: ShardedLru<Address, (B256, u64)>,
+    /// address → [(observed-at-head, codehash); ≤ CODE_STAMPS]. Each
+    /// stamp is valid only for the exact head it was observed at; an
+    /// unknown head refetches and adds a stamp (evicting the oldest past
+    /// the cap). Bounds the negative cache by block height, makes
+    /// metamorphic redeploys visible on the next head advance, and lets
+    /// a few concurrent snapshot heights share the table without
+    /// thrashing each other's binding.
+    code_map: ShardedLru<Address, Vec<(u64, B256)>>,
     /// (address, slot, block) → historical value. Immutable facts.
     storage: ShardedLru<(Address, U256, u64), U256>,
 }
@@ -56,6 +62,11 @@ pub struct SourceCache {
 impl SourceCache {
     /// Default capacity (entries) of each bounded table.
     pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Block-stamped codehash bindings kept per address. Matches the
+    /// handful of snapshot heights alive at once (head + a short catch-up
+    /// tail); more would only delay noticing a stale binding's eviction.
+    pub const CODE_STAMPS: usize = 4;
 
     /// Creates cache tables bounded at roughly `capacity` entries each.
     pub fn new(capacity: usize) -> Self {
@@ -123,12 +134,13 @@ impl<S: ChainSource> CachedSource<S> {
     /// and interning on miss.
     fn lookup_code(&self, address: Address) -> SourceResult<(B256, Arc<Vec<u8>>)> {
         let head = self.inner.head_block()?;
-        if let Some((hash, stamped_at)) = self.cache.code_map.get(&address) {
-            // A binding is only trusted at the exact head it was observed
-            // at; any other head revalidates against the backend. This is
+        let stamps = self.cache.code_map.get(&address);
+        if let Some(stamps) = &stamps {
+            // A stamp is only trusted at the exact head it was observed
+            // at; an unknown head revalidates against the backend. This is
             // what expires the negative cache (empty→deployed) and stale
             // metamorphic bindings (redeployed code) on head advance.
-            if stamped_at == head {
+            if let Some(&(_, hash)) = stamps.iter().find(|&&(at, _)| at == head) {
                 let pool = self.cache.intern.lock();
                 if let Some(code) = pool.get(&hash) {
                     return Ok((hash, Arc::clone(code)));
@@ -137,7 +149,16 @@ impl<S: ChainSource> CachedSource<S> {
         }
         let fetched = self.inner.code_at(address)?;
         let (hash, canonical) = self.cache.intern(fetched);
-        self.cache.code_map.insert(address, (hash, head));
+        // Re-stamp the freshest set: keep the other heights' bindings
+        // (concurrent snapshots at different heads stay warm), newest
+        // first so the cap evicts the oldest observation. A racing
+        // lookup between `get` and `insert` can lose a stamp — harmless,
+        // the next miss re-fetches and re-stamps.
+        let mut stamps = stamps.unwrap_or_default();
+        stamps.retain(|&(at, _)| at != head);
+        stamps.insert(0, (head, hash));
+        stamps.truncate(SourceCache::CODE_STAMPS);
+        self.cache.code_map.insert(address, stamps);
         Ok((hash, canonical))
     }
 }
@@ -349,5 +370,46 @@ mod tests {
         // and reading through one wrapper never corrupted the other.
         assert!(at_old.code_at(b).unwrap().is_empty());
         assert_eq!(at_new.code_hash_at(a).unwrap(), old_hash);
+    }
+
+    #[test]
+    fn concurrent_snapshot_heights_both_stay_warm() {
+        let mut chain = Chain::new();
+        let me = chain.new_funded_account();
+        let a = chain.install_new(me, vec![0x01]).unwrap();
+
+        let cache = Arc::new(SourceCache::default());
+        let snap_old = chain.snapshot();
+        let _ = chain.install_new(me, vec![0x02]).unwrap(); // advance head
+        let snap_new = chain.snapshot();
+        assert_ne!(snap_old.head_block(), snap_new.head_block());
+
+        let counted_old = CountingSource::new(&snap_old);
+        let counted_new = CountingSource::new(&snap_new);
+        let at_old = CachedSource::with_cache(&counted_old, Arc::clone(&cache));
+        let at_new = CachedSource::with_cache(&counted_new, Arc::clone(&cache));
+
+        // Warm both heights once, then alternate: with a single stamp per
+        // address each read would evict the other height's binding and
+        // every lookup would miss; per-height stamps keep both warm.
+        let _ = at_old.code_at(a).unwrap();
+        let _ = at_new.code_at(a).unwrap();
+        let (old_fetches, new_fetches) =
+            (counted_old.counts().code_at, counted_new.counts().code_at);
+        for _ in 0..5 {
+            let _ = at_old.code_at(a).unwrap();
+            let _ = at_new.code_at(a).unwrap();
+        }
+        assert_eq!(
+            counted_old.counts().code_at,
+            old_fetches,
+            "old-height reads thrashed back to the backend"
+        );
+        assert_eq!(
+            counted_new.counts().code_at,
+            new_fetches,
+            "new-height reads thrashed back to the backend"
+        );
+        assert!(cache.stats().code.hits >= 10);
     }
 }

@@ -11,6 +11,16 @@
 //! must run against, and cycle/truncation flags so adversarial graphs
 //! cannot hang the resolver.
 //!
+//! The chain is built from the recorded call tree of a **single probe
+//! through the entry**, never from independent per-hop probes.
+//! `DELEGATECALL` keeps the caller's storage context, so every hop of a
+//! real chain executes against the *entry's* storage: in
+//! `minimal proxy → EIP-1967 proxy → logic`, the middle hop's code SLOADs
+//! the EIP-1967 slot from the entry account, not from the middle proxy's
+//! own storage. Probing the middle hop in isolation would read its own
+//! (unrelated) storage and can resolve a terminal that never executes for
+//! calls through the entry.
+//!
 //! On top of the chain shape, [`classify_upgradeability`] answers the
 //! UPC-Sentinel-style question: can the delegation target ever change?
 //! A chain of hardcoded forwarders is [`Upgradeability::Frozen`]; a chain
@@ -19,10 +29,11 @@
 //! the resolved graph can write is a plain [`Upgradeability::Proxy`].
 
 use proxion_chain::{ChainSource, SourceResult};
+use proxion_evm::{CallKind, CallRecord, Origin, RecordingInspector};
 use proxion_primitives::{Address, B256, U256};
 
 use crate::artifacts::ArtifactStore;
-use crate::proxy::{ImplSource, ProxyCheck, ProxyStandard};
+use crate::proxy::{classify, ImplSource, ProxyStandard};
 use crate::storage::{AccessKind, StorageCollisionDetector};
 
 /// Hop budget of the chain resolver. Mainnet chains are 2–3 hops deep;
@@ -46,6 +57,16 @@ pub struct DelegationHop {
     pub standard: ProxyStandard,
     /// The address this hop delegated to.
     pub target: Address,
+    /// The storage context the hop's code executed in during resolution.
+    /// `DELEGATECALL` keeps the caller's context, so on a forwarding chain
+    /// this is the *entry* account for every hop — slot-based sources read
+    /// their pointer from this account, not from `address`.
+    pub context: Address,
+    /// For beacon hops: the slot observed holding the implementation
+    /// pointer in the *beacon's own* storage — the binding beacon-side
+    /// upgrades rewrite without ever touching the proxy. `None` for
+    /// non-beacon hops.
+    pub beacon_impl_slot: Option<U256>,
 }
 
 /// An ordered delegation chain from an entry proxy to its terminal logic.
@@ -83,6 +104,8 @@ impl DelegationChain {
                 source,
                 standard,
                 target,
+                context: address,
+                beacon_impl_slot: None,
             }],
             terminal: target,
             cycle: false,
@@ -142,71 +165,131 @@ impl Upgradeability {
     }
 }
 
-/// Walks the delegation graph from `address`, classifying each hop with
-/// `check` (which also reports the hop's codehash, so cached and uncached
-/// callers share one walk). Returns `None` when the entry is not a proxy.
-pub(crate) fn resolve_chain_with<S, F>(
+/// Builds the delegation chain of `entry` from the recorded call tree of
+/// a single probe through it. Returns `None` when the trace contains no
+/// forwarding delegatecall at the outermost frame (not a proxy).
+///
+/// Hop `k` is the account whose code issued the `k`-th forwarding
+/// delegatecall — issued at call depth `k`, in the entry's storage
+/// context, forwarding the probe call data unmodified — and the record's
+/// `code_address` names the next hop. Because the probe executed the real
+/// `DELEGATECALL` semantics, slot-based hop pointers were read from the
+/// entry account, exactly as they are for live traffic through the entry.
+///
+/// The walk is bounded by [`MAX_DELEGATION_DEPTH`]: the chain is flagged
+/// truncated only when a *further* forwarding delegatecall exists past
+/// the budget — a chain of exactly `MAX_DELEGATION_DEPTH` hops with a
+/// non-forwarding terminal resolves cleanly.
+pub(crate) fn chain_from_trace<S: ChainSource + ?Sized>(
     chain: &S,
-    address: Address,
-    mut check: F,
-) -> SourceResult<Option<DelegationChain>>
-where
-    S: ChainSource + ?Sized,
-    F: FnMut(&S, Address) -> SourceResult<(ProxyCheck, B256)>,
-{
-    let head = chain.head_block()?;
+    entry: Address,
+    trace: &RecordingInspector,
+    call_data: &[u8],
+    head: u64,
+) -> SourceResult<Option<DelegationChain>> {
+    let calls = &trace.calls;
     let mut hops: Vec<DelegationHop> = Vec::new();
-    let mut visited = vec![address];
-    let mut current = address;
+    let mut current = entry;
+    let mut search_from = 0usize;
     let mut cycle = false;
     let mut truncated = false;
-    loop {
-        let (verdict, code_hash) = check(chain, current)?;
-        match verdict {
-            ProxyCheck::Proxy {
-                logic,
-                impl_source,
-                standard,
-            } => {
-                hops.push(DelegationHop {
-                    address: current,
-                    code_hash,
-                    source: impl_source,
-                    standard,
-                    target: logic,
-                });
-                if logic.is_zero() {
-                    // Unset pointer: the chain dead-ends at the zero
-                    // address (still a proxy, nothing to analyze behind).
-                    current = logic;
-                    break;
-                }
-                if visited.contains(&logic) {
-                    cycle = true;
-                    current = logic;
-                    break;
-                }
-                if hops.len() >= MAX_DELEGATION_DEPTH {
-                    truncated = true;
-                    current = logic;
-                    break;
-                }
-                visited.push(logic);
-                current = logic;
+    let terminal = loop {
+        let depth = hops.len();
+        let found = calls.iter().enumerate().skip(search_from).find(|(_, c)| {
+            c.depth == depth
+                && c.kind == CallKind::DelegateCall
+                && c.target == entry
+                && c.input == call_data
+        });
+        let Some((idx, rec)) = found else {
+            if hops.is_empty() {
+                return Ok(None);
             }
-            ProxyCheck::NotProxy(_) => break,
+            // The last target's code never forwarded: it is the terminal.
+            break current;
+        };
+        if hops.len() >= MAX_DELEGATION_DEPTH {
+            // `current` forwards further but the budget is spent; it is
+            // the first unvisited target.
+            truncated = true;
+            break current;
         }
-    }
-    if hops.is_empty() {
-        return Ok(None);
-    }
+        let source = hop_source(calls, rec, search_from, idx, entry);
+        let beacon_impl_slot = match source {
+            // The beacon answered a plain call in its *own* context, so
+            // its implementation read is the first recorded access on the
+            // beacon account.
+            ImplSource::Beacon { beacon, .. } => trace
+                .storage
+                .iter()
+                .find(|a| a.address == beacon && !a.is_write)
+                .map(|a| a.slot),
+            _ => None,
+        };
+        let code = chain.code_at(current)?;
+        hops.push(DelegationHop {
+            address: current,
+            code_hash: chain.code_hash_at(current)?,
+            source,
+            standard: classify(&code, source),
+            target: rec.code_address,
+            context: rec.target,
+            beacon_impl_slot,
+        });
+        let target = rec.code_address;
+        if target.is_zero() {
+            // Unset pointer: the chain dead-ends at the zero address
+            // (still a proxy, nothing to analyze behind).
+            break target;
+        }
+        if hops.iter().any(|h| h.address == target) {
+            cycle = true;
+            break target;
+        }
+        current = target;
+        search_from = idx + 1;
+    };
     Ok(Some(DelegationChain {
         hops,
-        terminal: current,
+        terminal,
         cycle,
         truncated,
         as_of_block: head,
     }))
+}
+
+/// Attributes one hop's implementation source from its forwarding record
+/// and the records its frame issued before it (`frame_start..idx`, same
+/// depth): a storage-tagged target word is a slot binding, an untraceable
+/// word preceded by a call to a storage-loaded address is the beacon
+/// shape, anything else is computed.
+fn hop_source(
+    calls: &[CallRecord],
+    rec: &CallRecord,
+    frame_start: usize,
+    idx: usize,
+    entry: Address,
+) -> ImplSource {
+    match rec.target_word.origin {
+        Origin::CodeConstant => ImplSource::Hardcoded,
+        Origin::StorageSlot(slot) => ImplSource::StorageSlot(slot),
+        _ => calls[frame_start..idx]
+            .iter()
+            .find(|c| {
+                c.depth == rec.depth
+                    && c.caller == entry
+                    && c.kind != CallKind::DelegateCall
+                    && matches!(c.target_word.origin, Origin::StorageSlot(_))
+            })
+            .map(|c| match c.target_word.origin {
+                Origin::StorageSlot(slot) => ImplSource::Beacon {
+                    slot,
+                    beacon: c.code_address,
+                },
+                _ => unreachable!("filtered on StorageSlot origin"),
+            })
+            .unwrap_or(ImplSource::Computed),
+    }
 }
 
 /// Whether `artifacts` contains a reachable write to scalar slot `slot`.
@@ -301,6 +384,8 @@ mod tests {
             source,
             standard: ProxyStandard::Other,
             target: Address::from_low_u64(target),
+            context: Address::from_low_u64(address),
+            beacon_impl_slot: None,
         }
     }
 

@@ -618,6 +618,52 @@ impl Pipeline {
         Ok((check, code_hash))
     }
 
+    /// Resolves the delegation chain behind a positive verdict.
+    ///
+    /// Fast path: when the entry's target is not itself proxy-shaped (one
+    /// cached check of the target's bytecode, in the target's own context
+    /// — correct there, because a non-proxy never forwards), the entry
+    /// verdict already *is* the chain and no extra emulation runs.
+    ///
+    /// Multi-hop shapes and beacon entries instead derive the chain from
+    /// one *recorded* probe through the entry: `DELEGATECALL` keeps the
+    /// entry's storage context, so later hops cannot be checked
+    /// independently — their slot reads resolve against the entry
+    /// account, not their own storage. Beacon entries always take the
+    /// recorded probe so the chain carries the beacon-side implementation
+    /// slot the follower watches for beacon-side upgrades.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_delegation<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+        logic: Address,
+        impl_source: ImplSource,
+        standard: ProxyStandard,
+        code_hash: B256,
+        head: u64,
+    ) -> SourceResult<DelegationChain> {
+        let single_hop = |target| {
+            DelegationChain::single_hop(address, code_hash, impl_source, standard, target, head)
+        };
+        if !matches!(impl_source, ImplSource::Beacon { .. }) {
+            if logic.is_zero() {
+                return Ok(single_hop(logic));
+            }
+            let (target_check, _) = self.cached_check(chain, logic)?;
+            if !target_check.is_proxy() {
+                return Ok(single_hop(logic));
+            }
+        }
+        match self.detector.resolve_chain(chain, address)? {
+            Some(resolved) => Ok(resolved),
+            // The cached verdict said proxy but a fresh probe found no
+            // forwarding delegate — a same-block rebind raced us; fall
+            // back to the verdict's single-hop shape.
+            None => Ok(single_hop(logic)),
+        }
+    }
+
     /// One analysis attempt; the first backend failure aborts it.
     fn try_analyze_one<S: ChainSource + ?Sized>(
         &self,
@@ -628,21 +674,23 @@ impl Pipeline {
         let head = chain.head_block()?;
         let (check, code_hash) = self.cached_check(chain, address)?;
 
-        // Walk the delegation graph behind a positive verdict: each
-        // further hop goes through the same cached check, and the entry
-        // hop reuses the verdict just computed instead of re-checking.
-        let mut seed = Some((check.clone(), code_hash));
+        // Resolve the delegation chain behind a positive verdict. The
+        // common single-hop case stays on the cached fast path; suspected
+        // multi-hop shapes run one recorded probe through the entry.
         let delegation = match &check {
-            ProxyCheck::Proxy { .. } => {
-                crate::delegation::resolve_chain_with(chain, address, |c, a| {
-                    if a == address {
-                        if let Some(entry) = seed.take() {
-                            return Ok(entry);
-                        }
-                    }
-                    self.cached_check(c, a)
-                })?
-            }
+            ProxyCheck::Proxy {
+                logic,
+                impl_source,
+                standard,
+            } => Some(self.resolve_delegation(
+                chain,
+                address,
+                *logic,
+                *impl_source,
+                *standard,
+                code_hash,
+                head,
+            )?),
             ProxyCheck::NotProxy(_) => None,
         };
         let upgradeability = match delegation.as_ref() {
@@ -915,10 +963,16 @@ mod tests {
         // Entry proxy (wyvern-style, slot 1) → middle EIP-1967 proxy →
         // wyvern logic. The colliding pair is (entry, wyvern logic): only
         // a resolver that walks to the *terminal* sees the collisions.
+        // The middle hop's code executes in the ENTRY's storage context,
+        // so the EIP-1967 slot is set on the entry; the middle's own slot
+        // holds a decoy a wrong-context resolver would follow.
         let mut chain = Chain::new();
         let me = chain.new_funded_account();
         let logic = chain
             .install_new(me, compile(&templates::wyvern_logic("WL")).unwrap().runtime)
+            .unwrap();
+        let decoy = chain
+            .install_new(me, compile(&templates::simple_logic("D")).unwrap().runtime)
             .unwrap();
         let middle = chain
             .install_new(me, compile(&templates::eip1967_proxy("M")).unwrap().runtime)
@@ -926,7 +980,7 @@ mod tests {
         chain.set_storage(
             middle,
             SlotSpec::eip1967_implementation().to_u256(),
-            U256::from(logic),
+            U256::from(decoy),
         );
         let entry = chain
             .install_new(
@@ -938,6 +992,11 @@ mod tests {
             .unwrap();
         chain.set_storage(entry, U256::ONE, U256::from(logic));
         chain.set_storage(entry, U256::ONE, U256::from(middle));
+        chain.set_storage(
+            entry,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(logic),
+        );
 
         let report = Pipeline::default().analyze(&chain, &Etherscan::new(), &[entry]);
         let r = &report.reports[0];
@@ -985,6 +1044,9 @@ mod tests {
             delegation.entry().source,
             ImplSource::Beacon { slot, beacon }
         );
+        // The chain carries the beacon-side implementation slot, so the
+        // follower can watch beacon upgrades that never touch the proxy.
+        assert_eq!(delegation.entry().beacon_impl_slot, Some(U256::ZERO));
         // History tracks the beacon-address slot.
         assert_eq!(delegation.entry_storage_slot(), Some(slot));
         assert_eq!(r.history.as_ref().unwrap().addresses, vec![beacon]);

@@ -228,7 +228,11 @@ impl ProxyDetector {
     ///
     /// Nested proxies are common on mainnet (e.g. a minimal proxy cloning
     /// an EIP-1967 proxy); a pair analysis against the *intermediate* hop
-    /// would miss collisions with the terminal logic.
+    /// would miss collisions with the terminal logic. The hops come from
+    /// one recorded probe through `address` (see
+    /// [`ProxyDetector::resolve_chain`]), so slot-based hop pointers are
+    /// read from the entry's storage — the context their code really
+    /// executes in.
     pub fn resolve_terminal<S: ChainSource + ?Sized>(
         &self,
         chain: &S,
@@ -236,38 +240,55 @@ impl ProxyDetector {
         max_hops: usize,
     ) -> Vec<Address> {
         let mut hops = vec![address];
-        let mut current = address;
-        for _ in 0..max_hops {
-            match self.check(chain, current) {
-                ProxyCheck::Proxy { logic, .. } if !logic.is_zero() && !hops.contains(&logic) => {
-                    hops.push(logic);
-                    current = logic;
+        if let Ok(Some(resolved)) = self.resolve_chain(chain, address) {
+            for hop in resolved.hops.iter().take(max_hops) {
+                if hop.target.is_zero() || hops.contains(&hop.target) {
+                    break;
                 }
-                _ => break,
+                hops.push(hop.target);
             }
         }
         hops
     }
 
     /// Resolves the full delegation chain from `address`: one hop per
-    /// proxy (slot, beacon, hardcoded or computed source each), following
-    /// targets recursively up to [`crate::MAX_DELEGATION_DEPTH`] with
-    /// cycle detection. Returns `None` when `address` is not a proxy.
+    /// proxy (slot, beacon, hardcoded or computed source each), up to
+    /// [`crate::MAX_DELEGATION_DEPTH`] with cycle detection. Returns
+    /// `None` when `address` is not a proxy.
     ///
-    /// This is the uncached walk (one fresh check per hop); the pipeline
-    /// performs the same walk through its verdict cache.
+    /// The chain is derived from the recorded nested call tree of a
+    /// *single* probe through the entry: `DELEGATECALL` keeps the
+    /// caller's storage context, so later hops execute against the
+    /// entry's storage and cannot be probed independently — an isolated
+    /// probe of a middle hop would read that hop's own (unrelated)
+    /// storage and resolve code that never runs for calls through the
+    /// entry.
     ///
     /// # Errors
     ///
-    /// Propagates the first backend failure of any hop's check.
+    /// Propagates the first backend failure the probe's
+    /// [`SourceHost`] overlay observed.
     pub fn resolve_chain<S: ChainSource + ?Sized>(
         &self,
         chain: &S,
         address: Address,
     ) -> SourceResult<Option<crate::DelegationChain>> {
-        crate::delegation::resolve_chain_with(chain, address, |c, a| {
-            Ok((self.try_check(c, a)?, c.code_hash_at(a)?))
-        })
+        let code = chain.code_at(address)?;
+        if code.is_empty() {
+            return Ok(None);
+        }
+        let artifacts = {
+            let _span = self
+                .telemetry
+                .span(Stage::ArtifactStore, "intern_artifacts");
+            self.artifacts.intern(code)
+        };
+        if artifacts.is_empty() || !artifacts.has_delegatecall() {
+            return Ok(None);
+        }
+        let (inspector, call_data, _result) = self.run_probe(chain, address, &artifacts)?;
+        let head = chain.head_block()?;
+        crate::delegation::chain_from_trace(chain, address, &inspector, &call_data, head)
     }
 
     /// Runs the two-step proxy check against any [`ChainSource`] backend.
@@ -367,44 +388,7 @@ impl ProxyDetector {
             span.set_outcome(Outcome::Ok);
         }
         // Step 2 (§4.2): emulate with crafted call data and observe.
-        let call_data = {
-            let _span = self.telemetry.span(Stage::Dispatcher, "craft_call_data");
-            self.craft_call_data(artifacts, address)
-        };
-        let env = chain.env()?;
-        let mut fork = SourceHost::new(chain);
-        let mut inspector = RecordingInspector::new();
-        let probe = Address::from_low_u64(0x5eed_cafe);
-        let result = {
-            let _session_span = self.telemetry.span(Stage::ProbeSession, "detector_session");
-            let mut session = ProbeSession::new(&mut fork, env);
-            let mut span = self.telemetry.span(Stage::Emulation, "probe_call");
-            let message = Message::eoa_call(probe, address, call_data.clone());
-            let result = if span.is_recording() {
-                span.set_detail(address.to_string());
-                // Compose the analysis recorder with a telemetry profiler;
-                // the disabled path below stays identical to the seed.
-                let mut both = (
-                    &mut inspector,
-                    ProfilingInspector::new(Arc::clone(&self.telemetry)),
-                );
-                session.run_probe_with(message, &mut both)
-            } else {
-                session.run_probe_with(message, &mut inspector)
-            };
-            span.set_outcome(if result.is_success() {
-                Outcome::Ok
-            } else {
-                Outcome::Error
-            });
-            result
-        };
-        // The Host interface is infallible, so a backend failure during
-        // emulation poisons the overlay instead; a poisoned run proves
-        // nothing about the bytecode and must not become a verdict.
-        if let Some(error) = fork.take_error() {
-            return Err(error);
-        }
+        let (inspector, call_data, result) = self.run_probe(chain, address, artifacts)?;
 
         // A proxy is a contract whose outermost frame delegate-calls with
         // the full call data forwarded.
@@ -464,10 +448,66 @@ impl ProxyDetector {
             }
         })
     }
+
+    /// One crafted-call-data probe of `address` with full recording: the
+    /// nested call tree (every call with target-word provenance) and all
+    /// storage traffic. Both the two-step check and the chain resolver
+    /// interpret this trace; the probe itself is identical for both.
+    ///
+    /// # Errors
+    ///
+    /// The first backend failure the emulation's [`SourceHost`] overlay
+    /// observed.
+    fn run_probe<S: ChainSource + ?Sized>(
+        &self,
+        chain: &S,
+        address: Address,
+        artifacts: &CodeArtifacts,
+    ) -> SourceResult<(RecordingInspector, Vec<u8>, proxion_evm::CallResult)> {
+        let call_data = {
+            let _span = self.telemetry.span(Stage::Dispatcher, "craft_call_data");
+            self.craft_call_data(artifacts, address)
+        };
+        let env = chain.env()?;
+        let mut fork = SourceHost::new(chain);
+        let mut inspector = RecordingInspector::new();
+        let probe = Address::from_low_u64(0x5eed_cafe);
+        let result = {
+            let _session_span = self.telemetry.span(Stage::ProbeSession, "detector_session");
+            let mut session = ProbeSession::new(&mut fork, env);
+            let mut span = self.telemetry.span(Stage::Emulation, "probe_call");
+            let message = Message::eoa_call(probe, address, call_data.clone());
+            let result = if span.is_recording() {
+                span.set_detail(address.to_string());
+                // Compose the analysis recorder with a telemetry profiler;
+                // the disabled path below stays identical to the seed.
+                let mut both = (
+                    &mut inspector,
+                    ProfilingInspector::new(Arc::clone(&self.telemetry)),
+                );
+                session.run_probe_with(message, &mut both)
+            } else {
+                session.run_probe_with(message, &mut inspector)
+            };
+            span.set_outcome(if result.is_success() {
+                Outcome::Ok
+            } else {
+                Outcome::Error
+            });
+            result
+        };
+        // The Host interface is infallible, so a backend failure during
+        // emulation poisons the overlay instead; a poisoned run proves
+        // nothing about the bytecode and must not become a verdict.
+        if let Some(error) = fork.take_error() {
+            return Err(error);
+        }
+        Ok((inspector, call_data, result))
+    }
 }
 
 /// Classifies a confirmed proxy against the standards of Table 4.
-fn classify(code: &[u8], impl_source: ImplSource) -> ProxyStandard {
+pub(crate) fn classify(code: &[u8], impl_source: ImplSource) -> ProxyStandard {
     match impl_source {
         ImplSource::Hardcoded => {
             // Any hard-coded-address forwarder is the minimal pattern; the
@@ -599,6 +639,17 @@ mod tests {
             Some(ImplSource::Beacon { slot, beacon })
         );
         assert_eq!(check.impl_source().unwrap().storage_slot(), Some(slot));
+
+        // The resolved chain additionally carries the slot the BEACON
+        // keeps its implementation in — the binding beacon-side upgrades
+        // rewrite without touching the proxy's storage.
+        let chain = ProxyDetector::new()
+            .resolve_chain(&fx.chain, proxy)
+            .unwrap()
+            .expect("proxy resolves");
+        assert_eq!(chain.depth(), 1);
+        assert_eq!(chain.terminal, logic);
+        assert_eq!(chain.entry().beacon_impl_slot, Some(U256::ZERO));
     }
 
     #[test]
@@ -718,19 +769,21 @@ mod tests {
 
     #[test]
     fn nested_proxies_resolved_to_terminal_logic() {
-        // minimal proxy -> EIP-1967 proxy -> logic.
+        // minimal proxy -> EIP-1967 proxy -> logic. The middle hop's code
+        // runs in the OUTER's storage context (delegatecall), so the
+        // implementation slot must be set on the outer account.
         let mut fx = Fixture::new();
         let logic = fx.install_spec(&templates::simple_logic("L"));
         let middle = fx.install_spec(&templates::eip1967_proxy("Mid"));
-        fx.chain.set_storage(
-            middle,
-            SlotSpec::eip1967_implementation().to_u256(),
-            U256::from(logic),
-        );
         let outer = fx
             .chain
             .install_new(fx.me, templates::minimal_proxy_runtime(middle))
             .unwrap();
+        fx.chain.set_storage(
+            outer,
+            SlotSpec::eip1967_implementation().to_u256(),
+            U256::from(logic),
+        );
 
         let detector = ProxyDetector::new();
         let hops = detector.resolve_terminal(&fx.chain, outer, 8);
@@ -746,32 +799,45 @@ mod tests {
 
     #[test]
     fn two_hop_chain_resolved_with_per_hop_sources() {
-        // minimal proxy -> EIP-1967 proxy -> logic, hop by hop.
+        // minimal proxy -> EIP-1967 proxy -> logic, hop by hop. The
+        // implementation slot the middle hop's code reads lives in the
+        // OUTER's storage (delegatecall keeps the entry's context); the
+        // middle's own slot carries a decoy that must NOT be followed.
         let mut fx = Fixture::new();
         let logic = fx.install_spec(&templates::simple_logic("L"));
+        let decoy = fx.install_spec(&templates::simple_logic("Decoy"));
         let middle = fx.install_spec(&templates::eip1967_proxy("Mid"));
         let slot = SlotSpec::eip1967_implementation().to_u256();
-        fx.chain.set_storage(middle, slot, U256::from(logic));
+        fx.chain.set_storage(middle, slot, U256::from(decoy));
         let outer = fx
             .chain
             .install_new(fx.me, templates::minimal_proxy_runtime(middle))
             .unwrap();
+        fx.chain.set_storage(outer, slot, U256::from(logic));
 
         let chain = ProxyDetector::new()
             .resolve_chain(&fx.chain, outer)
             .unwrap()
             .expect("outer is a proxy");
         assert_eq!(chain.depth(), 2);
-        assert_eq!(chain.terminal, logic);
+        assert_eq!(
+            chain.terminal, logic,
+            "resolution must follow the entry's storage, not the decoy in \
+             the middle hop's own slot"
+        );
         assert!(chain.is_resolved());
         assert_eq!(chain.hops[0].address, outer);
         assert_eq!(chain.hops[0].source, ImplSource::Hardcoded);
         assert_eq!(chain.hops[0].standard, ProxyStandard::Eip1167);
         assert_eq!(chain.hops[0].target, middle);
+        assert_eq!(chain.hops[0].context, outer);
         assert_eq!(chain.hops[1].address, middle);
         assert_eq!(chain.hops[1].source, ImplSource::StorageSlot(slot));
         assert_eq!(chain.hops[1].standard, ProxyStandard::Eip1967);
         assert_eq!(chain.hops[1].target, logic);
+        // Every hop of a delegatecall chain executes in the entry's
+        // storage context.
+        assert_eq!(chain.hops[1].context, outer);
         // The entry hop's pointer is hardcoded: no slot timeline to walk.
         assert_eq!(chain.entry_storage_slot(), None);
 
@@ -796,7 +862,47 @@ mod tests {
         assert!(chain.cycle);
         assert!(!chain.is_resolved());
         assert_eq!(chain.depth(), 2);
-        assert_eq!(chain.terminal, a, "cycle closes back at the entry");
+        // In the entry's storage context slot 0 always reads `b`, so the
+        // trace delegates a -> b -> b: the walk closes where a code
+        // address repeats.
+        assert_eq!(chain.terminal, b, "cycle closes at the repeated hop");
+    }
+
+    #[test]
+    fn chain_at_exact_depth_budget_resolves_cleanly() {
+        // A chain of exactly MAX_DELEGATION_DEPTH hardcoded forwarders
+        // ending at a non-proxy must resolve (not be reported truncated);
+        // one hop more exhausts the budget.
+        let mut fx = Fixture::new();
+        let logic = fx.install_spec(&templates::simple_logic("L"));
+        let build_chain = |fx: &mut Fixture, hops: usize| {
+            let mut next = logic;
+            for _ in 0..hops {
+                next = fx
+                    .chain
+                    .install_new(fx.me, templates::minimal_proxy_runtime(next))
+                    .unwrap();
+            }
+            next
+        };
+        let exact = build_chain(&mut fx, crate::MAX_DELEGATION_DEPTH);
+        let chain = ProxyDetector::new()
+            .resolve_chain(&fx.chain, exact)
+            .unwrap()
+            .expect("entry is a proxy");
+        assert_eq!(chain.depth(), crate::MAX_DELEGATION_DEPTH);
+        assert!(!chain.truncated, "exact-budget chain is not truncated");
+        assert_eq!(chain.terminal, logic);
+        assert!(chain.is_resolved());
+
+        let deep = build_chain(&mut fx, crate::MAX_DELEGATION_DEPTH + 1);
+        let chain = ProxyDetector::new()
+            .resolve_chain(&fx.chain, deep)
+            .unwrap()
+            .expect("entry is a proxy");
+        assert_eq!(chain.depth(), crate::MAX_DELEGATION_DEPTH);
+        assert!(chain.truncated);
+        assert!(!chain.is_resolved());
     }
 
     #[test]

@@ -149,6 +149,12 @@ impl AdversarialCorpus {
             });
 
             // -- chained, two hops: minimal → 1967 → logic --
+            // DELEGATECALL keeps the entry's storage context, so the
+            // middle hop's code reads the EIP-1967 slot from the ENTRY
+            // account. The middle's own slot carries a decoy (the beacon
+            // contract): a resolver that probes hops in their own storage
+            // follows the decoy and reports code that never executes for
+            // calls through the entry.
             let middle = chain
                 .install_new(
                     deployer,
@@ -160,11 +166,16 @@ impl AdversarialCorpus {
             chain.set_storage(
                 middle,
                 SlotSpec::eip1967_implementation().to_u256(),
-                U256::from(logic),
+                U256::from(beacon),
             );
             let two_hop = chain
                 .install_new(deployer, templates::minimal_proxy_runtime(middle))
                 .expect("fresh address");
+            chain.set_storage(
+                two_hop,
+                SlotSpec::eip1967_implementation().to_u256(),
+                U256::from(logic),
+            );
             cases.push(AdversarialCase {
                 name: format!("chained-2hop-{i}"),
                 class: AdversarialClass::ChainedTwoHop,
@@ -178,6 +189,10 @@ impl AdversarialCorpus {
             });
 
             // -- chained, three hops: minimal → custom-slot → 1967 → logic --
+            // Both slot-based hops read from the ENTRY's storage: the
+            // custom slot routes to the middle, and the middle's EIP-1967
+            // read lands on the entry's slot holding the logic. The
+            // custom hop's own slot is a decoy, as above.
             let custom_slot = rng.next_range(3, 10);
             let custom = chain
                 .install_new(
@@ -190,10 +205,16 @@ impl AdversarialCorpus {
                     .runtime,
                 )
                 .expect("fresh address");
-            chain.set_storage(custom, U256::from(custom_slot), U256::from(middle));
+            chain.set_storage(custom, U256::from(custom_slot), U256::from(beacon));
             let three_hop = chain
                 .install_new(deployer, templates::minimal_proxy_runtime(custom))
                 .expect("fresh address");
+            chain.set_storage(three_hop, U256::from(custom_slot), U256::from(middle));
+            chain.set_storage(
+                three_hop,
+                SlotSpec::eip1967_implementation().to_u256(),
+                U256::from(logic),
+            );
             cases.push(AdversarialCase {
                 name: format!("chained-3hop-{i}"),
                 class: AdversarialClass::ChainedThreeHop,

@@ -28,7 +28,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use proxion_chain::{Chain, ChainSource, FaultConfig, FaultySource};
-use proxion_core::{NotProxyReason, Pipeline, ProxyCheck};
+use proxion_core::{DelegationChain, ImplSource, NotProxyReason, Pipeline, ProxyCheck};
 use proxion_etherscan::Etherscan;
 use proxion_primitives::{Address, U256};
 
@@ -201,10 +201,33 @@ fn follow(
     // what the *reporting* needs: the slot, the implementation last
     // reported, and the block up to which events have been reported
     // (events at or before it were part of the discovery analysis).
+    #[derive(Clone, Copy)]
+    struct BeaconTracking {
+        /// The beacon contract the proxy's slot points at.
+        beacon: Address,
+        /// The slot the beacon keeps the implementation in (observed
+        /// during chain resolution), when the probe could attribute it.
+        impl_slot: Option<U256>,
+    }
     struct TrackedProxy {
         slot: U256,
         last_logic: Address,
         reported_to: u64,
+        /// `Some` for beacon entries: the tracked proxy slot then holds
+        /// the BEACON address, not the implementation — upgrades normally
+        /// happen by rewriting the beacon's own implementation slot, a
+        /// write the proxy's storage never sees.
+        beacon: Option<BeaconTracking>,
+    }
+    fn beacon_tracking_of(delegation: &DelegationChain) -> Option<BeaconTracking> {
+        let entry = delegation.entry();
+        match entry.source {
+            ImplSource::Beacon { beacon, .. } => Some(BeaconTracking {
+                beacon,
+                impl_slot: entry.beacon_impl_slot,
+            }),
+            _ => None,
+        }
     }
     let mut known: HashMap<Address, TrackedProxy> = HashMap::new();
 
@@ -267,20 +290,17 @@ fn follow(
             // feed, so a metamorphic swap re-enters here — and if the new
             // code no longer carries a slot-tracked chain, the stale
             // tracking entry is evicted instead of probing a dead slot.
-            let entry_slot = report
-                .delegation
-                .as_ref()
-                .and_then(|d| d.entry_storage_slot().map(|slot| (slot, d.entry().target)));
-            match entry_slot {
-                Some((slot, target)) => {
-                    known.insert(
-                        address,
-                        TrackedProxy {
-                            slot,
-                            last_logic: target,
-                            reported_to: report.as_of_block,
-                        },
-                    );
+            let tracking = report.delegation.as_ref().and_then(|d| {
+                d.entry_storage_slot().map(|slot| TrackedProxy {
+                    slot,
+                    last_logic: d.entry().target,
+                    reported_to: report.as_of_block,
+                    beacon: beacon_tracking_of(d),
+                })
+            });
+            match tracking {
+                Some(tracked) => {
+                    known.insert(address, tracked);
                 }
                 None => {
                     known.remove(&address);
@@ -316,11 +336,31 @@ fn follow(
                 .iter()
                 .filter(|e| e.block > tracked.reported_to)
             {
+                // For beacon entries the tracked slot holds the BEACON
+                // address: a change re-points the proxy at a different
+                // beacon, and the raw slot value is NOT the logic. Re-run
+                // chain resolution so the upgrade record and the pair
+                // re-check name the implementation the new beacon serves,
+                // and re-target the beacon-side tracking below.
+                let new_logic = if tracked.beacon.is_some() {
+                    let report = pipeline.analyze_one(&*source, &etherscan, proxy);
+                    match report.delegation.as_ref() {
+                        Some(d) => {
+                            tracked.beacon = beacon_tracking_of(d);
+                            d.entry().target
+                        }
+                        // Degraded resolution: report the raw slot value
+                        // rather than dropping the observation.
+                        None => event.new_logic,
+                    }
+                } else {
+                    event.new_logic
+                };
                 shared.upgrades.lock().push(UpgradeRecord {
                     block: event.block,
                     proxy,
                     old_logic: tracked.last_logic,
-                    new_logic: event.new_logic,
+                    new_logic,
                 });
                 // The same observation as a typed telemetry event: the
                 // structured upgrade stream in /trace, correlated with the
@@ -331,13 +371,13 @@ fn follow(
                         ("block", event.block.to_string()),
                         ("proxy", proxy.to_string()),
                         ("old_logic", tracked.last_logic.to_string()),
-                        ("new_logic", event.new_logic.to_string()),
+                        ("new_logic", new_logic.to_string()),
                     ],
                 );
                 metrics.follower_upgrades.fetch_add(1, Ordering::Relaxed);
-                tracked.last_logic = event.new_logic;
-                if !event.new_logic.is_zero() {
-                    match pipeline.check_pair(&*source, &etherscan, proxy, event.new_logic) {
+                tracked.last_logic = new_logic;
+                if !new_logic.is_zero() {
+                    match pipeline.check_pair(&*source, &etherscan, proxy, new_logic) {
                         Ok(_) => {
                             metrics
                                 .follower_pair_rechecks
@@ -347,6 +387,74 @@ fn follow(
                             metrics
                                 .follower_source_errors
                                 .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+
+            // Beacon-side upgrades rewrite the BEACON's own implementation
+            // slot; the proxy's storage never changes, so the timeline
+            // above cannot see them. Follow the beacon's binding too — its
+            // slot value IS the implementation the proxy executes.
+            if let Some(BeaconTracking {
+                beacon,
+                impl_slot: Some(impl_slot),
+            }) = tracked.beacon
+            {
+                let beacon_history = {
+                    let _span =
+                        telemetry.span(proxion_telemetry::Stage::HistoryIndex, "extend_beacon");
+                    match index.extend_to(&*source, beacon, impl_slot, head) {
+                        Ok(history) => history,
+                        Err(_) => {
+                            metrics
+                                .follower_source_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                };
+                for event in beacon_history
+                    .events
+                    .iter()
+                    .filter(|e| e.block > tracked.reported_to)
+                {
+                    // A write that lands on the already-reported logic is
+                    // not an upgrade: after a re-pointing resolved above,
+                    // the new beacon's own wiring write is already
+                    // accounted for by the slot-change record.
+                    if event.new_logic == tracked.last_logic {
+                        continue;
+                    }
+                    shared.upgrades.lock().push(UpgradeRecord {
+                        block: event.block,
+                        proxy,
+                        old_logic: tracked.last_logic,
+                        new_logic: event.new_logic,
+                    });
+                    telemetry.emit(
+                        "proxy_upgrade",
+                        vec![
+                            ("block", event.block.to_string()),
+                            ("proxy", proxy.to_string()),
+                            ("old_logic", tracked.last_logic.to_string()),
+                            ("new_logic", event.new_logic.to_string()),
+                        ],
+                    );
+                    metrics.follower_upgrades.fetch_add(1, Ordering::Relaxed);
+                    tracked.last_logic = event.new_logic;
+                    if !event.new_logic.is_zero() {
+                        match pipeline.check_pair(&*source, &etherscan, proxy, event.new_logic) {
+                            Ok(_) => {
+                                metrics
+                                    .follower_pair_rechecks
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                metrics
+                                    .follower_source_errors
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 }

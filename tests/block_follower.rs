@@ -122,6 +122,114 @@ fn upgrade_triggers_exactly_one_pair_recheck() {
 }
 
 #[test]
+fn beacon_side_upgrade_observed_without_proxy_storage_change() {
+    let fx = fixture();
+    let handle = fx.start_follower();
+
+    // Discovery: logic v1 behind a beacon behind a beacon proxy. The
+    // proxy's own slot holds the BEACON address and never changes again.
+    let (l1, beacon, proxy, head1) = {
+        let mut chain = fx.chain.write();
+        let l1 = fx.install(&mut chain, &templates::simple_logic("L1"));
+        let beacon = fx.install(&mut chain, &templates::beacon("B"));
+        chain.set_storage(beacon, U256::ZERO, U256::from(l1));
+        let proxy = fx.install(&mut chain, &templates::beacon_proxy("BP"));
+        chain.set_storage(
+            proxy,
+            templates::eip1967_beacon_slot().to_u256(),
+            U256::from(beacon),
+        );
+        (l1, beacon, proxy, chain.head_block())
+    };
+    assert!(handle.wait_for_block(head1, WAIT), "follower fell behind");
+    assert_eq!(handle.stats().upgrades_observed, 0);
+
+    // The upgrade rewrites the BEACON's implementation slot only; the
+    // proxy's storage is untouched, so a proxy-slot tracker alone would
+    // miss it entirely.
+    let (l2, head2) = {
+        let mut chain = fx.chain.write();
+        let l2 = fx.install(&mut chain, &templates::eip1822_logic("L2"));
+        chain.set_storage(beacon, U256::ZERO, U256::from(l2));
+        (l2, chain.head_block())
+    };
+    assert!(handle.wait_for_block(head2, WAIT), "follower fell behind");
+    let stats = handle.stats();
+    assert_eq!(stats.upgrades_observed, 1, "beacon-side upgrade surfaced");
+    assert_eq!(stats.pair_rechecks, 1);
+
+    let upgrades = handle.upgrades();
+    assert_eq!(upgrades.len(), 1);
+    assert_eq!(upgrades[0].proxy, proxy, "attributed to the proxy");
+    assert_eq!(upgrades[0].old_logic, l1);
+    assert_eq!(
+        upgrades[0].new_logic, l2,
+        "the record names the implementation, not the beacon"
+    );
+    handle.stop();
+}
+
+#[test]
+fn beacon_repoint_resolves_implementation_behind_new_beacon() {
+    let fx = fixture();
+    let handle = fx.start_follower();
+
+    let (proxy, head1) = {
+        let mut chain = fx.chain.write();
+        let l1 = fx.install(&mut chain, &templates::simple_logic("L1"));
+        let beacon = fx.install(&mut chain, &templates::beacon("B1"));
+        chain.set_storage(beacon, U256::ZERO, U256::from(l1));
+        let proxy = fx.install(&mut chain, &templates::beacon_proxy("BP"));
+        chain.set_storage(
+            proxy,
+            templates::eip1967_beacon_slot().to_u256(),
+            U256::from(beacon),
+        );
+        (proxy, chain.head_block())
+    };
+    assert!(handle.wait_for_block(head1, WAIT), "follower fell behind");
+
+    // Re-point the proxy at a brand-new beacon serving logic v2. The
+    // proxy-slot value that changed is the new BEACON address — the
+    // upgrade record and pair re-check must name l2, the code that will
+    // actually execute, never the beacon contract.
+    let (l2, beacon2, head2) = {
+        let mut chain = fx.chain.write();
+        let l2 = fx.install(&mut chain, &templates::eip1822_logic("L2"));
+        let beacon2 = fx.install(&mut chain, &templates::beacon("B2"));
+        chain.set_storage(beacon2, U256::ZERO, U256::from(l2));
+        chain.set_storage(
+            proxy,
+            templates::eip1967_beacon_slot().to_u256(),
+            U256::from(beacon2),
+        );
+        (l2, beacon2, chain.head_block())
+    };
+    assert!(handle.wait_for_block(head2, WAIT), "follower fell behind");
+
+    let upgrades = handle.upgrades();
+    assert_eq!(upgrades.len(), 1, "one upgrade, not a beacon-wiring echo");
+    assert_eq!(upgrades[0].proxy, proxy);
+    assert_eq!(upgrades[0].new_logic, l2, "resolved through the new beacon");
+    assert_ne!(upgrades[0].new_logic, beacon2);
+    assert_eq!(handle.stats().pair_rechecks, 1);
+
+    // Follow-up upgrades through the NEW beacon keep being tracked.
+    let (l3, head3) = {
+        let mut chain = fx.chain.write();
+        let l3 = fx.install(&mut chain, &templates::simple_logic("L3"));
+        chain.set_storage(beacon2, U256::ZERO, U256::from(l3));
+        (l3, chain.head_block())
+    };
+    assert!(handle.wait_for_block(head3, WAIT), "follower fell behind");
+    let upgrades = handle.upgrades();
+    assert_eq!(upgrades.len(), 2, "retargeted beacon timeline is live");
+    assert_eq!(upgrades[1].old_logic, l2);
+    assert_eq!(upgrades[1].new_logic, l3);
+    handle.stop();
+}
+
+#[test]
 fn non_proxy_deployments_are_analyzed_but_not_tracked() {
     let fx = fixture();
     let handle = fx.start_follower();
